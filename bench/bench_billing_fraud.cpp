@@ -1,0 +1,98 @@
+// §3.2 ablation: how many independent pieces of evidence should the
+// billing-fraud rule demand?
+//
+// The paper argues single-event rules false-alarm ("bugs or temporary
+// system failures might cause Event 2... relying solely on Event 2 will
+// possibly give us false alarms") while the multi-event cross-protocol rule
+// stays accurate. We sweep billing_min_evidence over {1, 2, 3} against
+//   (a) a fraud run (proxy exploit, call billed to alice), and
+//   (b) a benign run with injected *benign anomalies*: a glitchy accounting
+//       component that double-reports a CDR under a stale call-id, and a
+//       buggy-but-harmless client that emits one malformed SIP datagram.
+#include <cstdio>
+
+#include "testbed/testbed.h"
+
+using namespace scidive;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+namespace {
+
+struct Outcome {
+  size_t fraud_alerts = 0;   // should be >= 1
+  size_t benign_alerts = 0;  // should be 0
+};
+
+Outcome run(int min_evidence) {
+  Outcome out;
+  {
+    // (a) the fraud.
+    TestbedConfig config;
+    config.billing_bug = true;
+    config.ids_watches_client_a = false;
+    config.ids_watches_proxy = true;
+    config.ids_rules.billing_min_evidence = min_evidence;
+    Testbed tb(config);
+    tb.register_all();
+    tb.inject_billing_fraud();
+    tb.run_for(sec(3));
+    out.fraud_alerts = tb.alerts().count_for_rule("billing-fraud");
+  }
+  {
+    // (b) benign anomalies only.
+    TestbedConfig config;
+    config.ids_watches_client_a = false;
+    config.ids_watches_proxy = true;
+    config.ids_rules.billing_min_evidence = min_evidence;
+    Testbed tb(config);
+    std::string call_id = tb.establish_call(sec(2));
+
+    // Glitch 1: the accounting component re-emits the CDR under a stale
+    // call-id (think: retry after a crash with a corrupted journal). The
+    // AccUnmatched condition fires — exactly the benign failure the paper
+    // warns single-event rules about.
+    voip::AccRecord stale{voip::AccRecord::Kind::kStart, "stale-" + call_id,
+                          tb.client_a().aor(), tb.client_b().aor(), tb.now()};
+    tb.sim().after(msec(10), [&tb, stale] {
+      tb.client_a().host().send_udp(9010, {pkt::Ipv4Address(10, 0, 0, 200), voip::kAccPort},
+                                    stale.serialize());
+    });
+
+    // Glitch 2: one malformed SIP datagram from a buggy client.
+    tb.sim().after(msec(20), [&tb] {
+      tb.client_a().host().send_udp(5060, {pkt::Ipv4Address(10, 0, 0, 100), 5060},
+                                    std::string_view("INVITE broken\r\n\r\n"));
+    });
+    tb.run_for(sec(3));
+    out.benign_alerts = tb.alerts().count_for_rule("billing-fraud");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  printf("Billing-fraud rule ablation: evidence threshold (paper §3.2)\n");
+  printf("=============================================================\n\n");
+  printf("%-22s | %-22s | %-24s\n", "min evidence events", "fraud run: alerts",
+         "benign-anomaly run: alerts");
+  printf("--------------------------------------------------------------------------\n");
+  bool shape_holds = true;
+  for (int min_evidence = 1; min_evidence <= 3; ++min_evidence) {
+    Outcome outcome = run(min_evidence);
+    printf("%-22d | %-22zu | %-24zu%s\n", min_evidence, outcome.fraud_alerts,
+           outcome.benign_alerts,
+           outcome.benign_alerts > 0 ? "  <- false alarm" : "");
+    if (min_evidence == 1 && outcome.benign_alerts == 0) shape_holds = false;
+    if (min_evidence == 2 && (outcome.fraud_alerts == 0 || outcome.benign_alerts > 0))
+      shape_holds = false;
+  }
+  printf("\nexpected shape (paper): 1-event rules false-alarm on benign glitches;\n");
+  printf("the multi-event cross-protocol rule detects the fraud with none.\n");
+  printf("3-event note: only two of the three conditions are observable for this\n");
+  printf("exploit (the crafted INVITE is syntactically valid), so demanding all\n");
+  printf("three trades the detection away — the paper's accuracy/robustness knob.\n");
+  printf("shape holds: %s\n", shape_holds ? "yes" : "NO");
+  return shape_holds ? 0 : 1;
+}

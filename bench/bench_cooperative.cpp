@@ -1,0 +1,110 @@
+// Cooperative vs single-point detection matrix (paper §4.2.2 / §6
+// extension): two fake-IM variants against two IDS deployments, plus the
+// control-channel cost the paper worries about ("does not overwhelm the
+// system with control messages").
+#include <cstdio>
+
+#include "scidive/coop.h"
+#include "testbed/testbed.h"
+#include "voip/attack.h"
+
+using namespace scidive;
+using testbed::Testbed;
+
+namespace {
+
+struct Deployment {
+  Testbed tb;
+  core::CooperativeIds ids_a;
+  core::CooperativeIds ids_b;
+
+  explicit Deployment(bool cooperative)
+      : ids_a(tb.client_a().host(), engine_config(tb.client_a().host().address()),
+              core::CoopConfig{.node_name = "ids-a"}),
+        ids_b(tb.client_b().host(), engine_config(tb.client_b().host().address()),
+              core::CoopConfig{.node_name = "ids-b"}) {
+    tb.net().add_tap(ids_a.tap());
+    tb.net().add_tap(ids_b.tap());
+    if (cooperative) {
+      ids_a.add_peer({tb.client_b().host().address(), core::kSepPort});
+      ids_b.add_peer({tb.client_a().host().address(), core::kSepPort});
+      ids_a.attach_local_agent(tb.client_a());
+      ids_b.attach_local_agent(tb.client_b());
+      ids_a.add_peer_user(tb.client_b().aor());
+      ids_b.add_peer_user(tb.client_a().aor());
+    }
+  }
+
+  static core::EngineConfig engine_config(pkt::Ipv4Address home) {
+    core::EngineConfig config;
+    config.home_addresses = {home};
+    return config;
+  }
+
+  void seed_history() {
+    tb.register_all();
+    tb.client_b().add_contact(tb.client_a().aor(), tb.client_a().sip_endpoint());
+    tb.client_b().send_im("alice", "legitimate history");
+    tb.run_for(sec(2));
+  }
+
+  size_t detections() const {
+    return ids_a.alerts().count_for_rule("fake-im") +
+           ids_a.alerts().count_for_rule(core::CooperativeIds::kCoopFakeImRule);
+  }
+};
+
+}  // namespace
+
+int main() {
+  printf("Cooperative vs endpoint-only detection of forged IMs\n");
+  printf("=====================================================\n\n");
+  printf("%-28s | %-18s | %-18s\n", "attack variant", "endpoint-only IDS", "cooperative IDS");
+  printf("----------------------------------------------------------------------\n");
+
+  struct Case {
+    const char* name;
+    bool spoofed;
+  };
+  for (const Case test_case : {Case{"fake IM (attacker's IP)", false},
+                               Case{"fake IM (spoofed bob IP)", true}}) {
+    size_t detected[2];
+    for (int coop = 0; coop <= 1; ++coop) {
+      Deployment d(coop == 1);
+      d.seed_history();
+      voip::FakeImAttacker attacker(d.tb.attacker_host());
+      if (test_case.spoofed) {
+        attacker.send_spoofed(d.tb.client_a().sip_endpoint(), d.tb.client_b().aor(),
+                              d.tb.client_b().sip_endpoint(), "pay up");
+      } else {
+        attacker.send(d.tb.client_a().sip_endpoint(), d.tb.client_b().aor(), "pay up");
+      }
+      d.tb.run_for(sec(2));
+      detected[coop] = d.detections();
+    }
+    printf("%-28s | %-18s | %-18s\n", test_case.name,
+           detected[0] ? "DETECTED" : "missed", detected[1] ? "DETECTED" : "missed");
+  }
+
+  // False alarms + control-channel overhead under a benign IM exchange.
+  {
+    Deployment d(true);
+    d.seed_history();
+    for (int i = 0; i < 10; ++i) {
+      d.tb.client_b().send_im("alice", "chat " + std::to_string(i));
+      d.tb.run_for(msec(700));
+    }
+    d.tb.run_for(sec(2));
+    printf("\nbenign run (11 genuine IMs): alerts=%zu, SEP events shared by ids-b=%llu,\n"
+           "received by ids-a=%llu (~1 control msg per shared event — far below the\n"
+           "media plane's 50 pkt/s per call)\n",
+           d.ids_a.alerts().count(),
+           static_cast<unsigned long long>(d.ids_b.coop_stats().events_shared),
+           static_cast<unsigned long long>(d.ids_a.coop_stats().events_received));
+  }
+
+  printf("\nexpected shape: the endpoint-only deployment catches the clumsy forgery\n");
+  printf("but misses the spoofed one (the paper's admitted blind spot); the\n");
+  printf("cooperative deployment catches both with zero benign false alarms.\n");
+  return 0;
+}

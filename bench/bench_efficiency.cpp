@@ -1,0 +1,197 @@
+// Micro-benchmarks for the IDS pipeline — the paper's efficiency concerns
+// (§1 "applicable in high throughput systems"; §6 "the efficiency of the
+// algorithm for creating events from footprints and matching events against
+// the rule set will affect the detection latency").
+//
+// google-benchmark; run with --benchmark_filter=... to narrow.
+#include <benchmark/benchmark.h>
+
+#include "common/md5.h"
+#include "pkt/packet.h"
+#include "rtp/rtp.h"
+#include "scidive/distiller.h"
+#include "scidive/engine.h"
+#include "sip/message.h"
+#include "sip/sdp.h"
+
+using namespace scidive;
+
+namespace {
+
+const pkt::Endpoint kASip{pkt::Ipv4Address(10, 0, 0, 1), 5060};
+const pkt::Endpoint kBSip{pkt::Ipv4Address(10, 0, 0, 2), 5060};
+const pkt::Endpoint kAMedia{pkt::Ipv4Address(10, 0, 0, 1), 16384};
+const pkt::Endpoint kBMedia{pkt::Ipv4Address(10, 0, 0, 2), 16384};
+
+std::string make_invite_text() {
+  auto m = sip::SipMessage::request(sip::Method::kInvite, sip::SipUri("bob", "lab.net"));
+  m.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bench-1");
+  m.headers().add("Max-Forwards", "70");
+  m.headers().add("From", "\"Alice\" <sip:alice@lab.net>;tag=ta");
+  m.headers().add("To", "<sip:bob@lab.net>");
+  m.headers().add("Call-ID", "bench-call-1");
+  m.headers().add("CSeq", "1 INVITE");
+  m.headers().add("Contact", "<sip:alice@10.0.0.1:5060>");
+  m.set_body(sip::make_audio_sdp("10.0.0.1", 16384, 1).to_string(), "application/sdp");
+  return m.to_string();
+}
+
+pkt::Packet make_rtp_pkt(uint16_t seq) {
+  rtp::RtpHeader h;
+  h.sequence = seq;
+  h.timestamp = static_cast<uint32_t>(seq) * 160;
+  h.ssrc = 0xb0b;
+  Bytes payload(160, 0xd5);
+  return pkt::make_udp_packet(kBMedia, kAMedia, rtp::serialize_rtp(h, payload));
+}
+
+void BM_SipParse(benchmark::State& state) {
+  std::string text = make_invite_text();
+  for (auto _ : state) {
+    auto msg = sip::SipMessage::parse(text);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_SipParse);
+
+void BM_SipSerialize(benchmark::State& state) {
+  auto msg = sip::SipMessage::parse(make_invite_text()).value();
+  for (auto _ : state) {
+    std::string wire = msg.to_string();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_SipSerialize);
+
+void BM_SdpParse(benchmark::State& state) {
+  std::string sdp = sip::make_audio_sdp("10.0.0.1", 16384, 1).to_string();
+  for (auto _ : state) {
+    auto parsed = sip::Sdp::parse(sdp);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_SdpParse);
+
+void BM_RtpParse(benchmark::State& state) {
+  rtp::RtpHeader h;
+  h.sequence = 1000;
+  h.ssrc = 7;
+  Bytes payload(160, 0xd5);
+  Bytes wire = rtp::serialize_rtp(h, payload);
+  for (auto _ : state) {
+    auto parsed = rtp::parse_rtp(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_RtpParse);
+
+void BM_Md5Digest(benchmark::State& state) {
+  std::string input = "alice:lab.net:alice-pass";
+  for (auto _ : state) {
+    auto digest = Md5::hex(input);
+    benchmark::DoNotOptimize(digest);
+  }
+}
+BENCHMARK(BM_Md5Digest);
+
+void BM_Ipv4Checksum(benchmark::State& state) {
+  Bytes data(1500, 0x5a);
+  for (auto _ : state) {
+    uint16_t csum = internet_checksum(data);
+    benchmark::DoNotOptimize(csum);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Ipv4Checksum);
+
+void BM_DistillSipPacket(benchmark::State& state) {
+  core::Distiller distiller;
+  auto p = pkt::make_udp_packet(kASip, kBSip, from_string(make_invite_text()));
+  for (auto _ : state) {
+    auto fp = distiller.distill(p);
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * p.data.size()));
+}
+BENCHMARK(BM_DistillSipPacket);
+
+void BM_DistillRtpPacket(benchmark::State& state) {
+  core::Distiller distiller;
+  auto p = make_rtp_pkt(100);
+  for (auto _ : state) {
+    auto fp = distiller.distill(p);
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * p.data.size()));
+}
+BENCHMARK(BM_DistillRtpPacket);
+
+/// Full pipeline cost per in-session RTP packet: distill -> trail -> event
+/// generation -> rules (the common case the paper optimizes with the event
+/// abstraction).
+void BM_EngineRtpPacket(benchmark::State& state) {
+  core::ScidiveEngine engine;
+  // Establish the session so RTP correlates.
+  auto invite = pkt::make_udp_packet(kASip, kBSip, from_string(make_invite_text()));
+  invite.timestamp = 0;
+  engine.on_packet(invite);
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bench-1");
+  ok.headers().add("From", "<sip:alice@lab.net>;tag=ta");
+  ok.headers().add("To", "<sip:bob@lab.net>;tag=tb");
+  ok.headers().add("Call-ID", "bench-call-1");
+  ok.headers().add("CSeq", "1 INVITE");
+  ok.headers().add("Contact", "<sip:bob@10.0.0.2:5060>");
+  ok.set_body(sip::make_audio_sdp("10.0.0.2", 16384, 2).to_string(), "application/sdp");
+  auto ok_pkt = pkt::make_udp_packet(kBSip, kASip, from_string(ok.to_string()));
+  ok_pkt.timestamp = msec(10);
+  engine.on_packet(ok_pkt);
+
+  uint16_t seq = 0;
+  SimTime now = msec(100);
+  for (auto _ : state) {
+    auto p = make_rtp_pkt(seq++);
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineRtpPacket);
+
+void BM_EngineSipPacket(benchmark::State& state) {
+  core::ScidiveEngine engine;
+  std::string text = make_invite_text();
+  SimTime now = 0;
+  uint64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Unique Call-ID per packet so each INVITE opens a fresh session.
+    std::string unique = text;
+    auto pos = unique.find("bench-call-1");
+    unique.replace(pos, 12, "call-" + std::to_string(n++));
+    auto p = pkt::make_udp_packet(kASip, kBSip, from_string(unique));
+    p.timestamp = (now += msec(1));
+    state.ResumeTiming();
+    engine.on_packet(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineSipPacket);
+
+void BM_EngineGarbagePacket(benchmark::State& state) {
+  core::ScidiveEngine engine;
+  Bytes garbage(200, 0xa5);
+  pkt::Packet p;
+  p.data = garbage;
+  for (auto _ : state) {
+    engine.on_packet(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineGarbagePacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

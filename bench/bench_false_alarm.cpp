@@ -1,0 +1,90 @@
+// §4.3.1 false-alarm probability P_f for the BYE-attack rule: a legitimate
+// BYE racing the sender's final RTP packets. If the network reorders them
+// (the BYE takes a faster path), the IDS sees "RTP after BYE" and raises a
+// false alarm.
+//
+//   closed-form: P_f = E_{N_sip}[ F_rtp(s+m) - F_rtp(s) ]  (paper's integral)
+//   monte-carlo: same race, sampled
+//   testbed:     live legitimate teardowns under increasingly jittery links;
+//                fraction of teardowns that produce a bye-attack alert
+//
+// Expected shape: zero for deterministic symmetric paths, growing with
+// delay variance, bounded by the reordering probability (1/2 for iid
+// continuous delays and large m).
+#include <cstdio>
+
+#include "analysis/section43.h"
+#include "testbed/testbed.h"
+
+using namespace scidive;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+namespace {
+
+struct JitterConfig {
+  const char* name;
+  DelayModel b_uplink;       // variable leg (B -> hub)
+  DelayModel one_way_model;  // equivalent single-distribution for the model
+};
+
+double testbed_false_alarm_rate(const DelayModel& b_uplink, SimDuration window, int trials) {
+  int alarms = 0;
+  Rng phase_rng(99);
+  for (int t = 0; t < trials; ++t) {
+    TestbedConfig config;
+    config.seed = 7000 + static_cast<uint64_t>(t);
+    // Everyone else on near-instant links so the race is exactly on B's leg.
+    config.link = netsim::LinkConfig{.delay = DelayModel::fixed(usec(500))};
+    config.ids_events.monitor_window = window;
+    Testbed tb(config);
+    tb.establish_call(sec(2));
+    tb.net().set_link(tb.client_b().host(), netsim::LinkConfig{.delay = b_uplink});
+    tb.run_for(static_cast<SimDuration>(phase_rng.uniform(0, 20000.0)));
+    tb.client_b().hangup(tb.sniffer().latest_active_call()->call_id);  // legitimate!
+    tb.run_for(window + msec(500));
+    if (tb.alerts().count_for_rule("bye-attack") > 0) ++alarms;
+  }
+  return static_cast<double>(alarms) / trials;
+}
+
+}  // namespace
+
+int main() {
+  printf("False alarm probability P_f (legitimate BYE reordered) — paper §4.3.1\n");
+  printf("======================================================================\n\n");
+
+  const JitterConfig configs[] = {
+      {"fixed 1ms (no jitter)", DelayModel::fixed(msec(1)),
+       DelayModel::fixed(msec(1) + usec(500))},
+      {"uniform 1-8ms", DelayModel::uniform(msec(1), msec(8)),
+       DelayModel::uniform(msec(1) + usec(500), msec(8) + usec(500))},
+      {"exp floor1 mean5ms", DelayModel::exponential(msec(1), msec(5)),
+       DelayModel::exponential(msec(1) + usec(500), msec(5) + usec(500))},
+      {"exp floor1 mean15ms", DelayModel::exponential(msec(1), msec(15)),
+       DelayModel::exponential(msec(1) + usec(500), msec(15) + usec(500))},
+  };
+  const SimDuration kWindow = msec(100);
+  const int kMcTrials = 200000;
+  const int kTestbedTrials = 60;
+
+  printf("%-24s | %-12s | %-12s | %-12s\n", "B-leg delay model", "closed P_f", "MC P_f",
+         "testbed P_f");
+  printf("----------------------------------------------------------------------\n");
+  for (const auto& config : configs) {
+    analysis::Section43Model model;
+    model.n_rtp = config.one_way_model;
+    model.n_sip = config.one_way_model;
+    double closed = model.false_alarm_probability(kWindow);
+    Rng rng(3);
+    double mc = model.simulate_false_alarm(kMcTrials, kWindow, rng);
+    double measured = testbed_false_alarm_rate(config.b_uplink, kWindow, kTestbedTrials);
+    printf("%-24s | %12.4f | %12.4f | %12.4f\n", config.name, closed, mc, measured);
+  }
+
+  printf("\npaper: P_f = Pr{N_sip < N_rtp} (windowed) — zero without reordering,\n");
+  printf("approaching 1/2 for iid heavy jitter. The live testbed sits below the\n");
+  printf("model because a real client stops sending ~an RTP period before the BYE\n");
+  printf("departs, giving the final packets a head start the model does not.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §3.3 stateful vs stateless detection at the registrar: sweep the number
+// of concurrently re-registering legitimate clients and measure false
+// alarms from (a) SCIDIVE's session-aware register-flood / password-guess
+// rules and (b) the stateless "count 4xx responses" strawman; then verify
+// both real attacks are still caught.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "testbed/testbed.h"
+
+using namespace scidive;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+namespace {
+
+std::unique_ptr<Testbed> make_testbed(int extra_clients) {
+  TestbedConfig config;
+  config.require_auth = true;
+  config.ids_watches_client_a = false;
+  config.ids_watches_proxy = true;
+  auto tb = std::make_unique<Testbed>(config);
+  tb->ids().add_rule(std::make_unique<core::Stateless4xxRule>(core::RulesConfig{}));
+  for (int i = 0; i < extra_clients; ++i) {
+    tb->add_client("user" + std::to_string(i), static_cast<uint8_t>(10 + i));
+  }
+  return tb;
+}
+
+}  // namespace
+
+int main() {
+  printf("Stateful vs stateless registrar-abuse detection — paper §3.3\n");
+  printf("=============================================================\n\n");
+
+  printf("benign load: N clients all (re-)registering within ~2 seconds\n");
+  printf("(each produces the routine unauthenticated-REGISTER -> 401 -> retry)\n\n");
+  printf("%-10s | %-14s | %-14s | %-16s\n", "N clients", "flood alerts", "guess alerts",
+         "stateless-4xx");
+  printf("----------------------------------------------------------\n");
+  for (int n : {2, 4, 8, 16}) {
+    auto tb = make_testbed(n - 2);
+    tb->register_all();
+    for (auto* client : tb->clients()) client->register_now();  // re-register burst
+    tb->run_for(sec(10));
+    printf("%-10d | %-14zu | %-14zu | %-16zu%s\n", n,
+           tb->alerts().count_for_rule("register-flood"),
+           tb->alerts().count_for_rule("password-guess"),
+           tb->alerts().count_for_rule("stateless-4xx"),
+           tb->alerts().count_for_rule("stateless-4xx") > 0 ? "  <- false alarms" : "");
+  }
+
+  printf("\nattack runs (2 legit clients + attacker):\n\n");
+  printf("%-26s | %-14s | %-14s | %-16s\n", "attack", "flood alerts", "guess alerts",
+         "stateless-4xx");
+  printf("--------------------------------------------------------------------------\n");
+  {
+    auto tb = make_testbed(0);
+    tb->register_all();
+    tb->inject_register_flood(25);
+    tb->run_for(sec(12));
+    printf("%-26s | %-14zu | %-14zu | %-16zu\n", "REGISTER flood (25 reqs)",
+           tb->alerts().count_for_rule("register-flood"),
+           tb->alerts().count_for_rule("password-guess"),
+           tb->alerts().count_for_rule("stateless-4xx"));
+  }
+  {
+    auto tb = make_testbed(0);
+    tb->register_all();
+    tb->inject_password_guessing({"123456", "password", "qwerty", "letmein", "admin",
+                                  "dragon"});
+    tb->run_for(sec(12));
+    printf("%-26s | %-14zu | %-14zu | %-16zu\n", "password guessing (6 tries)",
+           tb->alerts().count_for_rule("register-flood"),
+           tb->alerts().count_for_rule("password-guess"),
+           tb->alerts().count_for_rule("stateless-4xx"));
+  }
+
+  printf("\nexpected shape (paper): the stateful rules never fire on the benign\n");
+  printf("bursts but catch both attacks and tell them apart; the stateless 4xx\n");
+  printf("counter cannot distinguish N clients' routine 401s from one attacker.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Table 1 of the paper: the four attacks, their protocol span,
+// whether the detecting rule is cross-protocol / stateful, and whether the
+// prototype detects them — measured live on the Figure-4 testbed. Also
+// reports the observed detection delay for the orphan-flow rules.
+//
+//   row format mirrors the paper's table; DETECTED column is measured.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+
+using namespace scidive;
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+namespace {
+
+struct Row {
+  const char* attack;
+  const char* protocols;
+  const char* cross;
+  const char* stateful;
+  bool detected = false;
+  double delay_ms = -1;  // orphan-flow rules only
+  size_t alerts = 0;
+};
+
+}  // namespace
+
+int main() {
+  printf("Table 1 — attacks, rule structure, and measured detection\n");
+  printf("==========================================================\n\n");
+
+  std::vector<Row> rows;
+
+  {
+    Row row{"BYE attack", "SIP, RTP", "yes: no RTP after BYE", "yes: teardown state"};
+    Testbed tb;
+    double delay_ms = -1;
+    tb.ids().set_event_callback([&](const core::Event& event) {
+      if (event.type == core::EventType::kRtpAfterBye && delay_ms < 0)
+        delay_ms = to_msec(event.value);
+    });
+    tb.establish_call(sec(3));
+    tb.inject_bye_attack();
+    tb.run_for(sec(1));
+    row.detected = tb.alerts().count_for_rule("bye-attack") > 0;
+    row.alerts = tb.alerts().count_for_rule("bye-attack");
+    row.delay_ms = delay_ms;
+    rows.push_back(row);
+  }
+
+  {
+    Row row{"Fake Instant Messaging", "SIP, IP", "yes: IM source IP check",
+            "yes: per-sender source history"};
+    Testbed tb;
+    tb.register_all();
+    tb.client_b().add_contact(tb.client_a().aor(), tb.client_a().sip_endpoint());
+    tb.client_b().send_im("alice", "hello!");
+    tb.run_for(sec(1));
+    tb.inject_fake_im();
+    tb.run_for(sec(1));
+    row.detected = tb.alerts().count_for_rule("fake-im") > 0;
+    row.alerts = tb.alerts().count_for_rule("fake-im");
+    rows.push_back(row);
+  }
+
+  {
+    Row row{"Call Hijacking", "SIP, RTP", "yes: no RTP after REINVITE",
+            "yes: session media state"};
+    Testbed tb;
+    double delay_ms = -1;
+    tb.ids().set_event_callback([&](const core::Event& event) {
+      if (event.type == core::EventType::kRtpAfterReinvite && delay_ms < 0)
+        delay_ms = to_msec(event.value);
+    });
+    tb.establish_call(sec(3));
+    tb.inject_call_hijack();
+    tb.run_for(sec(1));
+    row.detected = tb.alerts().count_for_rule("call-hijack") > 0;
+    row.alerts = tb.alerts().count_for_rule("call-hijack");
+    row.delay_ms = delay_ms;
+    rows.push_back(row);
+  }
+
+  {
+    Row row{"RTP attack", "RTP, IP", "yes: RTP source IP check",
+            "yes: consecutive seq numbers"};
+    Testbed tb;
+    tb.establish_call(sec(3));
+    tb.inject_rtp_flood(30);
+    tb.run_for(sec(1));
+    row.detected = tb.alerts().count_for_rule("rtp-attack") > 0;
+    row.alerts = tb.alerts().count_for_rule("rtp-attack");
+    rows.push_back(row);
+  }
+
+  printf("%-24s | %-9s | %-28s | %-32s | %-8s | %-6s | %s\n", "Attack", "Protocols",
+         "Cross-protocol?", "Stateful?", "Detected", "Alerts", "Delay");
+  printf("%.*s\n", 140,
+         "-----------------------------------------------------------------------------------"
+         "---------------------------------------------------------");
+  int detected = 0;
+  for (const auto& row : rows) {
+    char delay[32] = "-";
+    if (row.delay_ms >= 0) snprintf(delay, sizeof(delay), "%.1f ms", row.delay_ms);
+    printf("%-24s | %-9s | %-28s | %-32s | %-8s | %-6zu | %s\n", row.attack, row.protocols,
+           row.cross, row.stateful, row.detected ? "YES" : "no", row.alerts, delay);
+    detected += row.detected;
+  }
+  printf("\n%d / 4 attacks detected (paper: 4 / 4).\n", detected);
+  return detected == 4 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Cooperative detection demo (paper §4.2.2 / §6): SCIDIVE nodes at both
+// clients exchanging events over the SEP control channel.
+//
+// The paper concedes its fake-IM rule fails against source-IP spoofing:
+//   "If the attacker is able to spoof its IP address, then this rule will
+//    not work. ... This motivates a more ambitious architecture like
+//    deploying IDS on both client ends."
+// This program runs that architecture: bob's node vouches for IMs bob
+// really sent; alice's node flags any incoming "from bob" that was never
+// vouched — spoofed or not.
+//
+//   $ ./cooperative_ids
+#include <cstdio>
+
+#include "scidive/coop.h"
+#include "voip/attack.h"
+#include "testbed/testbed.h"
+
+using namespace scidive;
+using testbed::Testbed;
+
+int main() {
+  printf("SCIDIVE — cooperative detection across two IDS nodes\n");
+  printf("=====================================================\n\n");
+
+  Testbed tb;  // reuse the Figure-4 plant; we bring our own IDS nodes
+  core::EngineConfig cfg_a;
+  cfg_a.home_addresses = {tb.client_a().host().address()};
+  core::EngineConfig cfg_b;
+  cfg_b.home_addresses = {tb.client_b().host().address()};
+
+  core::CooperativeIds ids_a(tb.client_a().host(), cfg_a,
+                             core::CoopConfig{.node_name = "ids-a"});
+  core::CooperativeIds ids_b(tb.client_b().host(), cfg_b,
+                             core::CoopConfig{.node_name = "ids-b"});
+  tb.net().add_tap(ids_a.tap());
+  tb.net().add_tap(ids_b.tap());
+  ids_a.add_peer({tb.client_b().host().address(), core::kSepPort});
+  ids_b.add_peer({tb.client_a().host().address(), core::kSepPort});
+  ids_a.attach_local_agent(tb.client_a());
+  ids_b.attach_local_agent(tb.client_b());
+  ids_a.add_peer_user(tb.client_b().aor());
+  ids_b.add_peer_user(tb.client_a().aor());
+
+  ids_a.engine().alerts().set_callback([](const core::Alert& alert) {
+    printf(">>> [ids-a] %s\n", alert.to_string().c_str());
+  });
+
+  printf("1) bob sends a genuine IM to alice\n");
+  tb.register_all();
+  tb.client_b().add_contact(tb.client_a().aor(), tb.client_a().sip_endpoint());
+  tb.client_b().send_im("alice", "lunch?");
+  tb.run_for(sec(2));
+  printf("   verifications=%llu confirmed=%llu flagged=%llu (vouched -> silent)\n\n",
+         (unsigned long long)ids_a.coop_stats().verifications,
+         (unsigned long long)ids_a.coop_stats().confirmed_legit,
+         (unsigned long long)ids_a.coop_stats().flagged_forged);
+
+  printf("2) attacker forges an IM 'from bob' with bob's IP spoofed perfectly\n");
+  voip::FakeImAttacker attacker(tb.attacker_host());
+  attacker.send_spoofed(tb.client_a().sip_endpoint(), tb.client_b().aor(),
+                        tb.client_b().sip_endpoint(), "wire money now");
+  tb.run_for(sec(2));
+  printf("\n   local fake-im rule alerts:  %zu   (blind: source IP looked right)\n",
+         ids_a.alerts().count_for_rule("fake-im"));
+  printf("   cooperative rule alerts:    %zu   (bob's IDS never vouched the send)\n",
+         ids_a.alerts().count_for_rule(core::CooperativeIds::kCoopFakeImRule));
+
+  printf("\nSEP control-channel cost: %llu events shared by ids-a, %llu received\n",
+         (unsigned long long)ids_a.coop_stats().events_shared,
+         (unsigned long long)ids_a.coop_stats().events_received);
+  bool ok = ids_a.alerts().count_for_rule(core::CooperativeIds::kCoopFakeImRule) >= 1 &&
+            ids_a.coop_stats().confirmed_legit == 1;
+  printf("\n%s\n", ok ? "cooperative detection closed the spoofing blind spot."
+                      : "UNEXPECTED: scenario did not behave as designed");
+  return ok ? 0 : 1;
+}

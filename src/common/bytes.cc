@@ -1,0 +1,36 @@
+#include "common/bytes.h"
+
+namespace scidive {
+
+std::string to_hex(std::span<const uint8_t> data) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  s.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    s.push_back(kDigits[b >> 4]);
+    s.push_back(kDigits[b & 0xf]);
+  }
+  return s;
+}
+
+Bytes from_string(std::string_view s) {
+  return Bytes(reinterpret_cast<const uint8_t*>(s.data()),
+               reinterpret_cast<const uint8_t*>(s.data()) + s.size());
+}
+
+std::string to_string_view_copy(std::span<const uint8_t> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+uint16_t internet_checksum(std::span<const uint8_t> data, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+}  // namespace scidive

@@ -1,0 +1,141 @@
+// Byte-buffer primitives used by every packet codec. Network byte order
+// (big-endian) throughout, matching on-the-wire formats.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scidive {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Sequential big-endian reader over a borrowed byte span. All reads are
+/// bounds-checked and fail with Errc::kTruncated instead of reading past the
+/// end; parsers built on it are safe against arbitrary input.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const uint8_t> data) : data_(data) {}
+  BufReader(const uint8_t* p, size_t n) : data_(p, n) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  Result<uint8_t> u8() {
+    if (remaining() < 1) return truncated("u8");
+    return data_[pos_++];
+  }
+  Result<uint16_t> u16() {
+    if (remaining() < 2) return truncated("u16");
+    uint16_t v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  Result<uint32_t> u32() {
+    if (remaining() < 4) return truncated("u32");
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+                 static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> u64() {
+    auto hi = u32();
+    if (!hi) return hi.error();
+    auto lo = u32();
+    if (!lo) return lo.error();
+    return (static_cast<uint64_t>(hi.value()) << 32) | lo.value();
+  }
+
+  /// Borrow the next n bytes without copying.
+  Result<std::span<const uint8_t>> bytes(size_t n) {
+    if (remaining() < n) return truncated("bytes");
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Copy the next n bytes.
+  Result<Bytes> copy(size_t n) {
+    auto s = bytes(n);
+    if (!s) return s.error();
+    return Bytes(s.value().begin(), s.value().end());
+  }
+
+  Status skip(size_t n) {
+    if (remaining() < n) return Error{Errc::kTruncated, "skip past end"};
+    pos_ += n;
+    return {};
+  }
+
+  /// Everything not yet consumed, without consuming it.
+  std::span<const uint8_t> rest() const { return data_.subspan(pos_); }
+
+ private:
+  Error truncated(const char* what) const {
+    return Error{Errc::kTruncated, std::string("reading ") + what};
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// Sequential big-endian writer appending to an owned buffer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(size_t reserve) { out_.reserve(reserve); }
+
+  void u8(uint8_t v) { out_.push_back(v); }
+  void u16(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  void u32(uint32_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 24));
+    out_.push_back(static_cast<uint8_t>(v >> 16));
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  void u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v >> 32));
+    u32(static_cast<uint32_t>(v));
+  }
+  void bytes(std::span<const uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  void bytes(const Bytes& b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  void str(std::string_view s) {
+    out_.insert(out_.end(), reinterpret_cast<const uint8_t*>(s.data()),
+                reinterpret_cast<const uint8_t*>(s.data()) + s.size());
+  }
+
+  /// Overwrite 2 bytes at an earlier offset (e.g. a length or checksum field
+  /// patched after the payload is known).
+  void patch_u16(size_t offset, uint16_t v) {
+    out_[offset] = static_cast<uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<uint8_t>(v);
+  }
+
+  size_t size() const { return out_.size(); }
+  const Bytes& data() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bytes <-> printable helpers.
+std::string to_hex(std::span<const uint8_t> data);
+Bytes from_string(std::string_view s);
+std::string to_string_view_copy(std::span<const uint8_t> data);
+
+/// RFC 1071 Internet checksum (used by IPv4/UDP).
+uint16_t internet_checksum(std::span<const uint8_t> data, uint32_t initial = 0);
+
+}  // namespace scidive

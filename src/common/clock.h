@@ -1,0 +1,47 @@
+// Simulated time. All components of the simulator and the IDS operate on
+// SimTime (microseconds since simulation start) so that every experiment is
+// deterministic and independent of wall-clock behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scidive {
+
+/// Microseconds since simulation start.
+using SimTime = int64_t;
+/// Microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * 1000;
+
+constexpr SimDuration usec(int64_t n) { return n; }
+constexpr SimDuration msec(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration sec(int64_t n) { return n * kSecond; }
+
+constexpr double to_msec(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double to_sec(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+/// "12.345s" style rendering for logs.
+inline std::string format_time(SimTime t) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(t) / kSecond);
+  return buf;
+}
+
+/// A monotonically advancing simulated clock. The Simulator owns one and
+/// advances it as events fire; everything else holds a const reference.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace scidive

@@ -1,0 +1,32 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace scidive {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, std::string_view tag, std::string_view msg) {
+  fprintf(stderr, "[%-5s] %.*s: %.*s\n", level_name(level), static_cast<int>(tag.size()),
+          tag.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace scidive

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Components log with a tag; the sink is a global
+// with a settable level so tests/benches can silence output. Not thread-safe
+// by design — the simulator is single-threaded.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace scidive {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, std::string_view tag, std::string_view msg);
+
+#define SCIDIVE_LOG(level, tag, ...)                                \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::scidive::log_level())) \
+      ::scidive::log_message(level, tag, ::scidive::str::format(__VA_ARGS__)); \
+  } while (0)
+
+#define LOG_TRACE(tag, ...) SCIDIVE_LOG(::scidive::LogLevel::kTrace, tag, __VA_ARGS__)
+#define LOG_DEBUG(tag, ...) SCIDIVE_LOG(::scidive::LogLevel::kDebug, tag, __VA_ARGS__)
+#define LOG_INFO(tag, ...) SCIDIVE_LOG(::scidive::LogLevel::kInfo, tag, __VA_ARGS__)
+#define LOG_WARN(tag, ...) SCIDIVE_LOG(::scidive::LogLevel::kWarn, tag, __VA_ARGS__)
+#define LOG_ERROR(tag, ...) SCIDIVE_LOG(::scidive::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace scidive

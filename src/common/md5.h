@@ -1,0 +1,38 @@
+// MD5 (RFC 1321), implemented from scratch for SIP digest authentication
+// (RFC 2617 uses MD5 for the challenge/response computation). MD5 is broken
+// as a cryptographic hash; it is used here only for protocol fidelity with
+// the 2004-era SIP digest scheme, never for new security decisions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace scidive {
+
+class Md5 {
+ public:
+  Md5();
+
+  void update(std::span<const uint8_t> data);
+  void update(std::string_view s);
+
+  /// Finalize and return the 16-byte digest. The object must not be reused.
+  std::array<uint8_t, 16> digest();
+
+  /// One-shot convenience: lowercase hex digest of a string.
+  static std::string hex(std::string_view s);
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 4> state_;
+  uint64_t total_len_ = 0;            // bytes fed so far
+  std::array<uint8_t, 64> buffer_{};  // partial block
+  size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace scidive

@@ -1,0 +1,110 @@
+// Result<T>: lightweight expected-style error handling for parsers of
+// untrusted input, where failure is a normal outcome and exceptions would be
+// both slow and noisy. Errors carry a code plus a human-readable message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scidive {
+
+enum class Errc {
+  kOk = 0,
+  kTruncated,       // buffer ended before a complete unit was read
+  kMalformed,       // syntactically invalid input
+  kUnsupported,     // recognized but unsupported version/feature
+  kChecksum,        // checksum mismatch
+  kNotFound,        // lookup failed
+  kInvalidArgument, // caller passed an out-of-domain value
+  kState,           // operation invalid in current state
+};
+
+/// Human-readable name for an error code.
+constexpr const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::kOk: return "ok";
+    case Errc::kTruncated: return "truncated";
+    case Errc::kMalformed: return "malformed";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kChecksum: return "checksum";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kInvalidArgument: return "invalid-argument";
+    case Errc::kState: return "state";
+  }
+  return "unknown";
+}
+
+/// An error outcome: machine-matchable code plus free-form context.
+struct Error {
+  Errc code = Errc::kMalformed;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+/// Minimal expected<T, Error>. Intentionally tiny: implicit construction
+/// from both T and Error, checked access with assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : v_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  /// value() if ok, otherwise the provided default.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;                                  // ok
+  Status(Error err) : err_(std::move(err)), ok_(false) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool ok_ = true;
+};
+
+}  // namespace scidive

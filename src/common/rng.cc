@@ -1,0 +1,141 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace scidive {
+
+SimDuration DelayModel::sample(Rng& rng) const {
+  double v = 0;
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return a_;
+    case DelayKind::kUniform:
+      v = rng.uniform(static_cast<double>(a_), static_cast<double>(b_));
+      break;
+    case DelayKind::kExponential: {
+      double mean_excess = std::max(0.0, static_cast<double>(b_ - a_));
+      v = static_cast<double>(a_) + (mean_excess > 0 ? rng.exponential(mean_excess) : 0.0);
+      break;
+    }
+    case DelayKind::kNormal:
+      v = rng.normal(static_cast<double>(a_), static_cast<double>(b_));
+      break;
+  }
+  return std::max<SimDuration>(0, static_cast<SimDuration>(std::llround(v)));
+}
+
+double DelayModel::mean() const {
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return static_cast<double>(a_);
+    case DelayKind::kUniform:
+      return (static_cast<double>(a_) + static_cast<double>(b_)) / 2.0;
+    case DelayKind::kExponential:
+      return static_cast<double>(b_);  // floor + mean excess == b by construction
+    case DelayKind::kNormal:
+      return static_cast<double>(a_);  // truncation bias ignored; stddev << mean in practice
+  }
+  return 0;
+}
+
+double DelayModel::variance() const {
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return 0.0;
+    case DelayKind::kUniform: {
+      double width = static_cast<double>(b_ - a_);
+      return width * width / 12.0;
+    }
+    case DelayKind::kExponential: {
+      double mean_excess = static_cast<double>(b_ - a_);
+      return mean_excess * mean_excess;
+    }
+    case DelayKind::kNormal: {
+      double sd = static_cast<double>(b_);
+      return sd * sd;  // truncation at 0 ignored (stddev << mean in use)
+    }
+  }
+  return 0.0;
+}
+
+double DelayModel::cdf(double x) const {
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return x >= static_cast<double>(a_) ? 1.0 : 0.0;
+    case DelayKind::kUniform: {
+      double lo = static_cast<double>(a_), hi = static_cast<double>(b_);
+      if (x <= lo) return 0.0;
+      if (x >= hi) return 1.0;
+      return (x - lo) / (hi - lo);
+    }
+    case DelayKind::kExponential: {
+      double floor = static_cast<double>(a_);
+      double mean_excess = std::max(1e-12, static_cast<double>(b_ - a_));
+      if (x <= floor) return 0.0;
+      return 1.0 - std::exp(-(x - floor) / mean_excess);
+    }
+    case DelayKind::kNormal: {
+      // Truncation at 0 ignored for the analytics (stddev << mean in use).
+      double z = (x - static_cast<double>(a_)) / (static_cast<double>(b_) * std::sqrt(2.0));
+      return 0.5 * (1.0 + std::erf(z));
+    }
+  }
+  return 0.0;
+}
+
+double DelayModel::pdf(double x) const {
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return 0.0;  // Dirac delta; handled specially by integrators
+    case DelayKind::kUniform: {
+      double lo = static_cast<double>(a_), hi = static_cast<double>(b_);
+      if (x < lo || x > hi || hi <= lo) return 0.0;
+      return 1.0 / (hi - lo);
+    }
+    case DelayKind::kExponential: {
+      double floor = static_cast<double>(a_);
+      double mean_excess = std::max(1e-12, static_cast<double>(b_ - a_));
+      if (x < floor) return 0.0;
+      return std::exp(-(x - floor) / mean_excess) / mean_excess;
+    }
+    case DelayKind::kNormal: {
+      double sd = static_cast<double>(b_);
+      double z = (x - static_cast<double>(a_)) / sd;
+      return std::exp(-0.5 * z * z) / (sd * std::sqrt(2.0 * 3.14159265358979323846));
+    }
+  }
+  return 0.0;
+}
+
+double DelayModel::support_max() const {
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return static_cast<double>(a_);
+    case DelayKind::kUniform:
+      return static_cast<double>(b_);
+    case DelayKind::kExponential:
+      return static_cast<double>(a_) + 14.0 * std::max<double>(1.0, static_cast<double>(b_ - a_));
+    case DelayKind::kNormal:
+      return static_cast<double>(a_) + 5.0 * static_cast<double>(b_);
+  }
+  return 0.0;
+}
+
+std::string DelayModel::describe() const {
+  switch (kind_) {
+    case DelayKind::kFixed:
+      return str::format("fixed(%.2fms)", to_msec(a_));
+    case DelayKind::kUniform:
+      return str::format("uniform(%.2f..%.2fms)", to_msec(a_), to_msec(b_));
+    case DelayKind::kExponential:
+      return str::format("exp(floor=%.2fms,mean=%.2fms)", to_msec(a_), to_msec(b_));
+    case DelayKind::kNormal:
+      return str::format("normal(%.2fms,sd=%.2fms)", to_msec(a_), to_msec(b_));
+  }
+  return "?";
+}
+
+}  // namespace scidive

@@ -1,0 +1,106 @@
+// Deterministic randomness. Every stochastic component (link delays, loss,
+// workload generators, attackers) draws from an explicitly seeded Rng so
+// experiments are reproducible. DelayModel describes the network delay
+// distributions (N_sip, N_rtp, G_sip) of the paper's §4.3 analysis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "common/clock.h"
+
+namespace scidive {
+
+/// Thin wrapper over a seeded mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(gen_); }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+  uint32_t next_u32() { return static_cast<uint32_t>(gen_()); }
+  uint64_t next_u64() { return gen_(); }
+  /// Exponential with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child stream (stable for a given label order).
+  Rng fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Families of delay distributions used for link delays and for the attack
+/// injection offset G_sip in the §4.3 model.
+enum class DelayKind { kFixed, kUniform, kExponential, kNormal };
+
+/// A delay distribution over SimDuration (microseconds), always >= min_.
+/// - Fixed: always `a`.
+/// - Uniform: U[a, b].
+/// - Exponential: a + Exp(mean b-a)  (shifted exponential; `a` is the
+///   propagation floor, `b` the mean total delay).
+/// - Normal: N(a, b) truncated at zero.
+class DelayModel {
+ public:
+  static DelayModel fixed(SimDuration d) { return {DelayKind::kFixed, d, d}; }
+  static DelayModel uniform(SimDuration lo, SimDuration hi) {
+    return {DelayKind::kUniform, lo, hi};
+  }
+  static DelayModel exponential(SimDuration floor, SimDuration mean) {
+    return {DelayKind::kExponential, floor, mean};
+  }
+  static DelayModel normal(SimDuration mean, SimDuration stddev) {
+    return {DelayKind::kNormal, mean, stddev};
+  }
+
+  SimDuration sample(Rng& rng) const;
+
+  /// Analytical mean of the distribution (used to validate simulations
+  /// against the closed forms in analysis/).
+  double mean() const;
+
+  /// Analytical variance (microseconds squared).
+  double variance() const;
+
+  /// Cumulative distribution function P(X <= x), x in microseconds.
+  double cdf(double x) const;
+  /// Probability density (Dirac deltas of the Fixed kind are reported as 0;
+  /// use cdf for that case).
+  double pdf(double x) const;
+  /// An upper bound beyond which the tail mass is < ~1e-6 (for numeric
+  /// integration).
+  double support_max() const;
+
+  DelayKind kind() const { return kind_; }
+  SimDuration a() const { return a_; }
+  SimDuration b() const { return b_; }
+  std::string describe() const;
+
+ private:
+  DelayModel(DelayKind k, SimDuration a, SimDuration b) : kind_(k), a_(a), b_(b) {}
+
+  DelayKind kind_;
+  SimDuration a_;
+  SimDuration b_;
+};
+
+}  // namespace scidive

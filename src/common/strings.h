@@ -1,0 +1,39 @@
+// Small string utilities shared by the text-protocol parsers (SIP, SDP, ACC).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scidive::str {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive prefix test.
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Split on a separator character. Empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on the first occurrence of sep. Returns nullopt if sep is absent.
+std::optional<std::pair<std::string_view, std::string_view>> split_once(std::string_view s,
+                                                                        char sep);
+
+/// Strict non-negative decimal parse; rejects empty/overflow/trailing junk.
+std::optional<uint64_t> parse_u64(std::string_view s);
+std::optional<uint32_t> parse_u32(std::string_view s);
+std::optional<uint16_t> parse_u16(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace scidive::str

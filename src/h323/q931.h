@@ -1,0 +1,57 @@
+// H.225.0 call signaling, Q.931-lite binary encoding — the "other" call
+// management protocol of the paper's §2.1 ("H.323 relies on the H.225.0 and
+// H.245 protocols"). SCIDIVE's architecture is CMP-agnostic; this codec
+// lets the same Distiller/Trail/Event pipeline watch H.323 calls.
+//
+// Simplifications vs the full ASN.1/PER standard (documented in DESIGN.md):
+//   * a compact TLV information-element encoding instead of ASN.1 PER;
+//   * media negotiation via a single "fast start" media-address IE;
+//   * carried over UDP in the simulation (real H.225 uses TCP 1720 — the
+//     byte format is transport-independent and our wire model is UDP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "pkt/addr.h"
+
+namespace scidive::h323 {
+
+constexpr uint16_t kH225Port = 1720;
+constexpr uint8_t kQ931Discriminator = 0x08;
+
+enum class Q931MessageType : uint8_t {
+  kAlerting = 0x01,
+  kCallProceeding = 0x02,
+  kSetup = 0x05,
+  kConnect = 0x07,
+  kReleaseComplete = 0x5a,
+};
+
+std::string_view q931_message_name(Q931MessageType t);
+
+/// Release causes (Q.850 subset).
+enum class Q931Cause : uint8_t {
+  kNormalClearing = 16,
+  kUserBusy = 17,
+  kNoAnswer = 19,
+  kRejected = 21,
+};
+
+struct Q931Message {
+  Q931MessageType type = Q931MessageType::kSetup;
+  uint16_t call_reference = 0;
+  std::string call_id;                       // H.323 conference/call GUID
+  std::string calling_alias;                 // "alice"
+  std::string called_alias;                  // "bob"
+  std::optional<pkt::Endpoint> media;        // fast-start media address
+  std::optional<Q931Cause> cause;            // ReleaseComplete
+
+  Bytes serialize() const;
+  static Result<Q931Message> parse(std::span<const uint8_t> data);
+};
+
+}  // namespace scidive::h323

@@ -1,0 +1,107 @@
+#include "h323/ras.h"
+
+namespace scidive::h323 {
+
+namespace {
+enum Tlv : uint8_t {
+  kTlvAlias = 0x01,
+  kTlvSignalAddress = 0x02,
+  kTlvCallId = 0x03,
+  kTlvDestAlias = 0x04,
+  kTlvReason = 0x05,
+};
+
+void put_string(BufWriter& w, uint8_t tlv, const std::string& value) {
+  if (value.empty()) return;
+  w.u8(tlv);
+  w.u8(static_cast<uint8_t>(std::min<size_t>(value.size(), 255)));
+  w.str(std::string_view(value).substr(0, 255));
+}
+}  // namespace
+
+std::string_view ras_type_name(RasType t) {
+  switch (t) {
+    case RasType::kRegistrationRequest: return "RRQ";
+    case RasType::kRegistrationConfirm: return "RCF";
+    case RasType::kRegistrationReject: return "RRJ";
+    case RasType::kAdmissionRequest: return "ARQ";
+    case RasType::kAdmissionConfirm: return "ACF";
+    case RasType::kAdmissionReject: return "ARJ";
+    case RasType::kDisengageRequest: return "DRQ";
+    case RasType::kDisengageConfirm: return "DCF";
+  }
+  return "?";
+}
+
+Bytes RasMessage::serialize() const {
+  BufWriter w(48);
+  w.u8(static_cast<uint8_t>(type));
+  w.u16(sequence);
+  put_string(w, kTlvAlias, alias);
+  put_string(w, kTlvDestAlias, dest_alias);
+  put_string(w, kTlvCallId, call_id);
+  if (signal_address) {
+    w.u8(kTlvSignalAddress);
+    w.u8(6);
+    w.u32(signal_address->addr.value());
+    w.u16(signal_address->port);
+  }
+  if (reason) {
+    w.u8(kTlvReason);
+    w.u8(1);
+    w.u8(static_cast<uint8_t>(*reason));
+  }
+  return std::move(w).take();
+}
+
+Result<RasMessage> RasMessage::parse(std::span<const uint8_t> data) {
+  BufReader r(data);
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (type.value() < 1 || type.value() > 8)
+    return Error{Errc::kUnsupported, "unknown RAS type"};
+  RasMessage msg;
+  msg.type = static_cast<RasType>(type.value());
+  auto sequence = r.u16();
+  if (!sequence) return sequence.error();
+  msg.sequence = sequence.value();
+
+  while (!r.empty()) {
+    auto tlv = r.u8();
+    if (!tlv) return tlv.error();
+    auto len = r.u8();
+    if (!len) return Error{Errc::kTruncated, "TLV without length"};
+    auto body = r.bytes(len.value());
+    if (!body) return Error{Errc::kTruncated, "TLV body"};
+    std::span<const uint8_t> bytes = body.value();
+    switch (tlv.value()) {
+      case kTlvAlias:
+        msg.alias = to_string_view_copy(bytes);
+        break;
+      case kTlvDestAlias:
+        msg.dest_alias = to_string_view_copy(bytes);
+        break;
+      case kTlvCallId:
+        msg.call_id = to_string_view_copy(bytes);
+        break;
+      case kTlvSignalAddress: {
+        if (bytes.size() != 6) return Error{Errc::kMalformed, "signal address size"};
+        BufReader tlv_reader(bytes);
+        uint32_t addr = tlv_reader.u32().value();
+        uint16_t port = tlv_reader.u16().value();
+        msg.signal_address = pkt::Endpoint{pkt::Ipv4Address(addr), port};
+        break;
+      }
+      case kTlvReason: {
+        if (bytes.size() != 1) return Error{Errc::kMalformed, "reason size"};
+        msg.reason = static_cast<RasReason>(bytes[0]);
+        break;
+      }
+      default:
+        break;  // tolerated
+    }
+  }
+  return msg;
+}
+
+}  // namespace scidive::h323

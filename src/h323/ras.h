@@ -1,0 +1,54 @@
+// H.225.0 RAS (Registration, Admission, Status) — the gatekeeper control
+// protocol (§2.1: "Within an H.323 network, an optional gatekeeper may be
+// present. The gatekeeper performs... authorizing network access...
+// providing address-translation services"). Same TLV simplification as
+// q931.h; carried on UDP 1719 as in the real protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "pkt/addr.h"
+
+namespace scidive::h323 {
+
+constexpr uint16_t kRasPort = 1719;
+
+enum class RasType : uint8_t {
+  kRegistrationRequest = 1,   // RRQ
+  kRegistrationConfirm = 2,   // RCF
+  kRegistrationReject = 3,    // RRJ
+  kAdmissionRequest = 4,      // ARQ
+  kAdmissionConfirm = 5,      // ACF
+  kAdmissionReject = 6,       // ARJ
+  kDisengageRequest = 7,      // DRQ
+  kDisengageConfirm = 8,      // DCF
+};
+
+std::string_view ras_type_name(RasType t);
+
+enum class RasReason : uint8_t {
+  kNone = 0,
+  kDuplicateAlias = 1,
+  kCalledPartyNotRegistered = 2,
+  kResourceUnavailable = 3,
+};
+
+struct RasMessage {
+  RasType type = RasType::kRegistrationRequest;
+  uint16_t sequence = 0;
+  std::string alias;                           // endpoint alias ("alice")
+  std::string dest_alias;                      // ARQ: callee alias
+  std::string call_id;                         // ARQ/ACF/DRQ
+  std::optional<pkt::Endpoint> signal_address; // RRQ: where we take calls;
+                                               // ACF: resolved callee address
+  std::optional<RasReason> reason;             // rejects
+
+  Bytes serialize() const;
+  static Result<RasMessage> parse(std::span<const uint8_t> data);
+};
+
+}  // namespace scidive::h323

@@ -1,0 +1,34 @@
+#include "netsim/host.h"
+
+#include "common/logging.h"
+
+namespace scidive::netsim {
+
+void Host::send_udp(uint16_t src_port, pkt::Endpoint dst, std::span<const uint8_t> payload) {
+  pkt::Packet p =
+      pkt::make_udp_packet({addr_, src_port}, dst, payload, next_ip_id_++);
+  network_.send(*this, std::move(p));
+}
+
+void Host::on_packet(const pkt::Packet& packet) {
+  // Kernel-style receive path: reassemble fragments, then demultiplex by
+  // protocol and destination port.
+  auto whole = reassembler_.push(packet.data, packet.timestamp);
+  if (!whole) return;  // incomplete fragment or garbage
+
+  auto udp = pkt::parse_udp_packet(whole.value());
+  if (!udp) {
+    LOG_TRACE("host", "%s: non-UDP or bad packet dropped (%s)", name_.c_str(),
+              udp.error().to_string().c_str());
+    return;
+  }
+  ++udp_received_;
+  auto it = udp_handlers_.find(udp.value().dst_port);
+  if (it == udp_handlers_.end()) {
+    ++udp_dropped_no_handler_;
+    return;
+  }
+  it->second(udp.value().source(), udp.value().payload, packet.timestamp);
+}
+
+}  // namespace scidive::netsim

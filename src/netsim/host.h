@@ -1,0 +1,72 @@
+// Host: a network node with an OS-like UDP socket interface. Applications
+// (SIP UAs, the proxy, accounting, attackers) bind handlers to local ports
+// and send datagrams; the host handles IP identification numbering, checksum
+// construction and fragment reassembly, like a kernel would.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "netsim/network.h"
+#include "pkt/fragment.h"
+#include "pkt/packet.h"
+
+namespace scidive::netsim {
+
+class Host : public NetworkNode {
+ public:
+  /// Invoked with (source endpoint, payload bytes, arrival time).
+  using UdpHandler =
+      std::function<void(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now)>;
+
+  Host(std::string name, pkt::Ipv4Address addr, Network& network)
+      : name_(std::move(name)), addr_(addr), network_(network) {}
+
+  // NetworkNode:
+  void on_packet(const pkt::Packet& packet) override;
+  pkt::Ipv4Address address() const override { return addr_; }
+  std::string name() const override { return name_; }
+
+  /// Bind a handler to a local UDP port. Replaces any previous handler.
+  void bind_udp(uint16_t port, UdpHandler handler) { udp_handlers_[port] = std::move(handler); }
+  void unbind_udp(uint16_t port) { udp_handlers_.erase(port); }
+
+  /// Send a UDP datagram from a local port.
+  void send_udp(uint16_t src_port, pkt::Endpoint dst, std::span<const uint8_t> payload);
+  void send_udp(uint16_t src_port, pkt::Endpoint dst, const Bytes& payload) {
+    send_udp(src_port, dst, std::span<const uint8_t>(payload));
+  }
+  void send_udp(uint16_t src_port, pkt::Endpoint dst, std::string_view payload) {
+    send_udp(src_port, dst,
+             std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()),
+                                      payload.size()));
+  }
+
+  /// Send a raw, caller-constructed IP packet (attackers use this to forge
+  /// source addresses; normal applications never need it).
+  void send_raw(pkt::Packet packet) { network_.send(*this, std::move(packet)); }
+
+  /// Schedule a callback on the simulation clock.
+  void after(SimDuration d, std::function<void()> fn) {
+    network_.simulator().after(d, std::move(fn));
+  }
+  SimTime now() const { return network_.simulator().now(); }
+
+  Network& network() { return network_; }
+
+  uint64_t udp_received() const { return udp_received_; }
+  uint64_t udp_dropped_no_handler() const { return udp_dropped_no_handler_; }
+
+ private:
+  std::string name_;
+  pkt::Ipv4Address addr_;
+  Network& network_;
+  std::unordered_map<uint16_t, UdpHandler> udp_handlers_;
+  pkt::Ipv4Reassembler reassembler_;
+  uint16_t next_ip_id_ = 1;
+  uint64_t udp_received_ = 0;
+  uint64_t udp_dropped_no_handler_ = 0;
+};
+
+}  // namespace scidive::netsim

@@ -1,0 +1,134 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "pkt/fragment.h"
+
+namespace scidive::netsim {
+
+void Network::attach(NetworkNode& node, LinkConfig link) {
+  assert(find(node) == nullptr && "node already attached");
+  attachments_.push_back(Attachment{&node, link});
+}
+
+void Network::detach(NetworkNode& node) {
+  std::erase_if(attachments_, [&](const Attachment& a) { return a.node == &node; });
+}
+
+void Network::set_link(NetworkNode& node, LinkConfig link) {
+  Attachment* a = find(node);
+  assert(a != nullptr && "node not attached");
+  a->link = link;
+}
+
+void Network::set_gateway(NetworkNode& node) {
+  assert(find(node) != nullptr && "gateway must be attached");
+  gateway_ = &node;
+}
+
+Network::Attachment* Network::find(NetworkNode& node) {
+  for (auto& a : attachments_) {
+    if (a.node == &node) return &a;
+  }
+  return nullptr;
+}
+
+void Network::send(NetworkNode& from, pkt::Packet packet) {
+  Attachment* a = find(from);
+  assert(a != nullptr && "sender not attached");
+  transmit(a, a->link, std::move(packet));
+}
+
+void Network::inject(pkt::Packet packet, const LinkConfig& link) {
+  transmit(nullptr, link, std::move(packet));
+}
+
+void Network::transmit(const Attachment* from_attachment, const LinkConfig& uplink,
+                       pkt::Packet packet) {
+  ++stats_.packets_sent;
+
+  // Fragment at the sender if the datagram exceeds the uplink MTU.
+  std::vector<Bytes> wire_units;
+  auto frags = pkt::fragment_ipv4(packet.data, uplink.mtu);
+  if (frags.ok()) {
+    wire_units = std::move(frags.value());
+    if (wire_units.size() > 1) stats_.fragments_created += wire_units.size() - 1;
+  } else {
+    // Unfragmentable (DF set / malformed): carry as-is; receivers will
+    // judge it. A real hub forwards bytes it cannot interpret.
+    wire_units.push_back(std::move(packet.data));
+  }
+  (void)from_attachment;
+
+  for (auto& unit : wire_units) {
+    // Uplink: sender -> hub.
+    if (rng_.chance(uplink.loss)) {
+      ++stats_.packets_lost;
+      continue;
+    }
+    SimDuration up_delay = uplink.delay.sample(rng_);
+    pkt::Packet on_wire;
+    on_wire.data = std::move(unit);
+    sim_.after(up_delay, [this, on_wire = std::move(on_wire)]() mutable {
+      on_wire.timestamp = sim_.now();
+      deliver_fragment(std::move(on_wire));
+    });
+  }
+}
+
+void Network::deliver_fragment(pkt::Packet fragment) {
+  // The packet is now "on the hub": every tap sees it.
+  for (auto& tap : taps_) tap(fragment);
+
+  auto parsed = pkt::parse_ipv4(fragment.data);
+  if (!parsed) return;  // unparseable bytes still reached the taps
+  pkt::Ipv4Address dst = parsed.value().header.dst;
+
+  bool delivered = false;
+  for (auto& a : attachments_) {
+    if (a.node->address() != dst) continue;
+    // Downlink: hub -> receiver.
+    if (rng_.chance(a.link.loss)) {
+      ++stats_.packets_lost;
+      delivered = true;  // routable, just lost
+      continue;
+    }
+    SimDuration down_delay = a.link.delay.sample(rng_);
+    NetworkNode* node = a.node;
+    pkt::Packet copy = fragment;
+    sim_.after(down_delay, [this, node, copy = std::move(copy)]() mutable {
+      copy.timestamp = sim_.now();
+      ++stats_.packets_delivered;
+      node->on_packet(copy);
+    });
+    delivered = true;
+  }
+  if (!delivered && gateway_ != nullptr && gateway_->address() != parsed.value().header.src) {
+    // Off-segment destination: hand to the gateway (its own traffic is not
+    // looped back to it).
+    Attachment* gw = find(*gateway_);
+    if (gw != nullptr) {
+      if (rng_.chance(gw->link.loss)) {
+        ++stats_.packets_lost;
+        return;
+      }
+      SimDuration down_delay = gw->link.delay.sample(rng_);
+      NetworkNode* node = gw->node;
+      pkt::Packet copy = fragment;
+      sim_.after(down_delay, [this, node, copy = std::move(copy)]() mutable {
+        copy.timestamp = sim_.now();
+        ++stats_.packets_delivered;
+        node->on_packet(copy);
+      });
+      return;
+    }
+  }
+  if (!delivered) {
+    ++stats_.packets_unroutable;
+    LOG_TRACE("netsim", "unroutable packet to %s", dst.to_string().c_str());
+  }
+}
+
+}  // namespace scidive::netsim

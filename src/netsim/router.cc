@@ -1,0 +1,51 @@
+#include "netsim/router.h"
+
+#include "common/logging.h"
+
+namespace scidive::netsim {
+
+void Router::add_interface(Network& network, pkt::Ipv4Address prefix, int prefix_bits) {
+  uint32_t mask = prefix_bits == 0 ? 0 : ~uint32_t{0} << (32 - prefix_bits);
+  interfaces_.push_back(Interface{&network, prefix.value() & mask, mask});
+}
+
+void Router::on_packet(const pkt::Packet& packet) {
+  auto parsed = pkt::parse_ipv4(packet.data);
+  if (!parsed) {
+    ++stats_.undecodable;
+    return;
+  }
+  const pkt::Ipv4Header& header = parsed.value().header;
+  if (header.ttl <= 1) {
+    ++stats_.ttl_expired;
+    LOG_TRACE("router", "%s: TTL expired for %s", name_.c_str(),
+              header.dst.to_string().c_str());
+    return;
+  }
+
+  // Longest-prefix match across interfaces.
+  const Interface* best = nullptr;
+  uint32_t best_mask = 0;
+  for (const Interface& iface : interfaces_) {
+    if ((header.dst.value() & iface.mask) == iface.prefix &&
+        (best == nullptr || iface.mask > best_mask)) {
+      best = &iface;
+      best_mask = iface.mask;
+    }
+  }
+  if (best == nullptr) {
+    ++stats_.no_route;
+    return;
+  }
+
+  // Rewrite TTL (checksum is recomputed by the serializer).
+  pkt::Ipv4Header out_header = header;
+  out_header.ttl = static_cast<uint8_t>(header.ttl - 1);
+  pkt::Packet out;
+  out.data = pkt::serialize_ipv4(out_header, parsed.value().payload);
+  out.timestamp = packet.timestamp;
+  ++stats_.forwarded;
+  best->network->send(*this, std::move(out));
+}
+
+}  // namespace scidive::netsim

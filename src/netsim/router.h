@@ -1,0 +1,52 @@
+// Router: joins two (or more) broadcast segments into a multi-domain
+// topology (the paper's "distributed … typically under several different
+// administrative domains", §1: a provider segment for the proxy and home
+// segments for clients). Longest-prefix routing over /24-style prefixes,
+// TTL decrement, and per-interface forwarding onto each segment's hub.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/network.h"
+#include "pkt/ipv4.h"
+
+namespace scidive::netsim {
+
+struct RouterStats {
+  uint64_t forwarded = 0;
+  uint64_t ttl_expired = 0;
+  uint64_t no_route = 0;
+  uint64_t undecodable = 0;
+};
+
+class Router : public NetworkNode {
+ public:
+  Router(std::string name, pkt::Ipv4Address address) : name_(std::move(name)), addr_(address) {}
+
+  /// Attach an interface: packets matching `prefix`/`prefix_bits` leave
+  /// through `network`. The router must also be attached to that network
+  /// (and usually set as its gateway).
+  void add_interface(Network& network, pkt::Ipv4Address prefix, int prefix_bits);
+
+  // NetworkNode:
+  void on_packet(const pkt::Packet& packet) override;
+  pkt::Ipv4Address address() const override { return addr_; }
+  std::string name() const override { return name_; }
+
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  struct Interface {
+    Network* network;
+    uint32_t prefix;
+    uint32_t mask;
+  };
+
+  std::string name_;
+  pkt::Ipv4Address addr_;
+  std::vector<Interface> interfaces_;
+  RouterStats stats_;
+};
+
+}  // namespace scidive::netsim

@@ -1,0 +1,34 @@
+#include "netsim/simulator.h"
+
+#include <cassert>
+
+namespace scidive::netsim {
+
+void Simulator::at(SimTime t, Callback fn) {
+  assert(t >= now());
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out so the callback
+  // can schedule further events (including at the same time) safely.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.advance_to(ev.time);
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  clock_.advance_to(t);
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace scidive::netsim

@@ -1,0 +1,55 @@
+// Discrete-event simulator: a time-ordered queue of callbacks plus the
+// simulated clock. Single-threaded and deterministic: ties are broken by
+// insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace scidive::netsim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return clock_.now(); }
+  const SimClock& clock() const { return clock_; }
+
+  /// Schedule a callback at an absolute time (>= now).
+  void at(SimTime t, Callback fn);
+  /// Schedule a callback after a delay.
+  void after(SimDuration d, Callback fn) { at(now() + d, std::move(fn)); }
+
+  /// Run the earliest pending event. Returns false if the queue is empty.
+  bool step();
+  /// Run all events with time <= t, then advance the clock to t.
+  void run_until(SimTime t);
+  /// Run until the event queue drains.
+  void run();
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO among same-time events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace scidive::netsim

@@ -1,0 +1,107 @@
+#include "pkt/fragment.h"
+
+#include <algorithm>
+
+namespace scidive::pkt {
+
+Result<std::vector<Bytes>> fragment_ipv4(std::span<const uint8_t> datagram, size_t mtu) {
+  auto parsed = parse_ipv4(datagram);
+  if (!parsed) return parsed.error();
+  const Ipv4Header& h = parsed.value().header;
+  auto payload = parsed.value().payload;
+
+  if (datagram.size() <= mtu) {
+    return std::vector<Bytes>{Bytes(datagram.begin(), datagram.end())};
+  }
+  if (h.dont_fragment) return Error{Errc::kState, "DF set but datagram exceeds MTU"};
+  if (mtu < kIpv4MinHeaderLen + 8) return Error{Errc::kInvalidArgument, "mtu too small"};
+  if (h.is_fragment()) return Error{Errc::kUnsupported, "re-fragmenting a fragment"};
+
+  // Payload bytes per fragment, multiple of 8 for all but the last.
+  size_t per_frag = ((mtu - kIpv4MinHeaderLen) / 8) * 8;
+  std::vector<Bytes> out;
+  for (size_t off = 0; off < payload.size(); off += per_frag) {
+    size_t len = std::min(per_frag, payload.size() - off);
+    Ipv4Header fh = h;
+    fh.fragment_offset = static_cast<uint16_t>(off / 8);
+    fh.more_fragments = (off + len < payload.size());
+    out.push_back(serialize_ipv4(fh, payload.subspan(off, len)));
+  }
+  return out;
+}
+
+Result<Bytes> Ipv4Reassembler::push(std::span<const uint8_t> datagram, SimTime now) {
+  auto parsed = parse_ipv4(datagram);
+  if (!parsed) return parsed.error();
+  const Ipv4Header& h = parsed.value().header;
+
+  if (!h.is_fragment()) return Bytes(datagram.begin(), datagram.end());
+
+  if (pending_.size() >= config_.max_pending) expire(now);
+  if (pending_.size() >= config_.max_pending)
+    return Error{Errc::kState, "reassembler full"};
+
+  Key key{h.src.value(), h.dst.value(), h.identification, h.protocol};
+  Assembly& assembly = pending_[key];
+  if (assembly.parts.empty()) assembly.first_seen = now;
+
+  uint32_t off = h.payload_offset_bytes();
+  auto payload = parsed.value().payload;
+  if (off + payload.size() > config_.max_datagram_size) {
+    pending_.erase(key);
+    return Error{Errc::kMalformed, "fragment past max datagram size"};
+  }
+  assembly.parts[off] = Bytes(payload.begin(), payload.end());
+  if (off == 0) {
+    assembly.first_header = h;
+    assembly.have_first = true;
+  }
+  if (!h.more_fragments) {
+    assembly.saw_last = true;
+    assembly.total_payload_len = off + static_cast<uint32_t>(payload.size());
+  }
+  return try_complete(key, assembly);
+}
+
+Result<Bytes> Ipv4Reassembler::try_complete(const Key& key, Assembly& assembly) {
+  if (!assembly.saw_last || !assembly.have_first)
+    return Error{Errc::kState, "incomplete"};
+
+  // Walk the parts checking for holes. Overlaps take the earlier fragment's
+  // bytes for the overlapping region (first-arrival wins within the map
+  // ordering; offsets are the map key so a duplicate offset overwrites).
+  Bytes payload(assembly.total_payload_len, 0);
+  uint32_t covered = 0;
+  for (const auto& [off, part] : assembly.parts) {
+    if (off > covered) return Error{Errc::kState, "incomplete"};  // hole
+    uint32_t end = off + static_cast<uint32_t>(part.size());
+    if (end > covered) {
+      std::copy(part.begin() + (covered - off), part.end(), payload.begin() + covered);
+      covered = end;
+    }
+  }
+  if (covered < assembly.total_payload_len) return Error{Errc::kState, "incomplete"};
+
+  Ipv4Header h = assembly.first_header;
+  h.more_fragments = false;
+  h.fragment_offset = 0;
+  Bytes out = serialize_ipv4(h, payload);
+  pending_.erase(key);
+  return out;
+}
+
+size_t Ipv4Reassembler::expire(SimTime now) {
+  size_t dropped = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.first_seen > config_.timeout) {
+      it = pending_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  expired_total_ += dropped;
+  return dropped;
+}
+
+}  // namespace scidive::pkt

@@ -1,0 +1,82 @@
+// IPv4 fragmentation and reassembly. The Distiller owns a reassembler (the
+// paper makes IP reassembly a Distiller responsibility); the simulator uses
+// fragment_ipv4() on links with a small MTU.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "pkt/ipv4.h"
+
+namespace scidive::pkt {
+
+/// Split a wire-format IPv4 datagram into fragments no larger than mtu
+/// bytes (including the 20-byte header). Returns the datagram unchanged if
+/// it already fits. Fails if the DF bit is set and fragmentation is needed,
+/// or if the mtu cannot hold the header plus one 8-byte payload unit.
+Result<std::vector<Bytes>> fragment_ipv4(std::span<const uint8_t> datagram, size_t mtu);
+
+/// Reassembles IPv4 fragments keyed by (src, dst, id, protocol), with hole
+/// tracking and a configurable timeout. Complete datagrams are returned from
+/// push(); expired partial assemblies are dropped (counted).
+class Ipv4Reassembler {
+ public:
+  struct Config {
+    SimDuration timeout = sec(30);
+    size_t max_datagram_size = 1 << 16;
+    size_t max_pending = 1024;  // distinct in-flight assemblies
+  };
+
+  Ipv4Reassembler() = default;
+  explicit Ipv4Reassembler(Config config) : config_(config) {}
+
+  /// Feed one datagram (fragment or whole). Returns:
+  ///  - the input copied, if it was not a fragment;
+  ///  - the reassembled datagram, if this fragment completed one;
+  ///  - Errc::kState ("incomplete") while holes remain;
+  ///  - a parse error for invalid input.
+  Result<Bytes> push(std::span<const uint8_t> datagram, SimTime now);
+
+  /// Drop assemblies older than the timeout. Returns how many were dropped.
+  size_t expire(SimTime now);
+
+  size_t pending() const { return pending_.size(); }
+  uint64_t expired_total() const { return expired_total_; }
+
+ private:
+  struct Key {
+    uint32_t src;
+    uint32_t dst;
+    uint16_t id;
+    uint8_t protocol;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const noexcept {
+      uint64_t a = static_cast<uint64_t>(k.src) << 32 | k.dst;
+      uint64_t b = static_cast<uint64_t>(k.id) << 8 | k.protocol;
+      return std::hash<uint64_t>{}(a ^ (b * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Assembly {
+    SimTime first_seen = 0;
+    std::map<uint32_t, Bytes> parts;  // payload offset -> fragment payload
+    bool saw_last = false;
+    uint32_t total_payload_len = 0;  // known once the last fragment arrives
+    Ipv4Header first_header;         // header template from offset-0 fragment
+    bool have_first = false;
+  };
+
+  Result<Bytes> try_complete(const Key& key, Assembly& assembly);
+
+  Config config_;
+  std::unordered_map<Key, Assembly, KeyHash> pending_;
+  uint64_t expired_total_ = 0;
+};
+
+}  // namespace scidive::pkt

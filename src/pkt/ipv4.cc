@@ -1,0 +1,63 @@
+#include "pkt/ipv4.h"
+
+namespace scidive::pkt {
+
+Result<Ipv4View> parse_ipv4(std::span<const uint8_t> data) {
+  if (data.size() < kIpv4MinHeaderLen)
+    return Error{Errc::kTruncated, "ipv4 header"};
+
+  uint8_t version_ihl = data[0];
+  if ((version_ihl >> 4) != 4) return Error{Errc::kUnsupported, "not IPv4"};
+  uint8_t header_len = static_cast<uint8_t>((version_ihl & 0xf) * 4);
+  if (header_len < kIpv4MinHeaderLen) return Error{Errc::kMalformed, "IHL < 5"};
+  if (data.size() < header_len) return Error{Errc::kTruncated, "ipv4 options"};
+
+  if (internet_checksum(data.subspan(0, header_len)) != 0)
+    return Error{Errc::kChecksum, "ipv4 header checksum"};
+
+  BufReader r(data.data(), header_len);
+  (void)r.u8();  // version/ihl, already consumed above
+  Ipv4Header h;
+  h.header_length = header_len;
+  h.dscp = r.u8().value();
+  h.total_length = r.u16().value();
+  h.identification = r.u16().value();
+  uint16_t flags_frag = r.u16().value();
+  h.dont_fragment = (flags_frag >> 13) & kIpv4FlagDontFragment;
+  h.more_fragments = (flags_frag >> 13) & kIpv4FlagMoreFragments;
+  h.fragment_offset = flags_frag & 0x1fff;
+  h.ttl = r.u8().value();
+  h.protocol = r.u8().value();
+  (void)r.u16();  // checksum, verified above
+  h.src = Ipv4Address(r.u32().value());
+  h.dst = Ipv4Address(r.u32().value());
+
+  if (h.total_length < header_len) return Error{Errc::kMalformed, "total_length < header"};
+  if (h.total_length > data.size()) return Error{Errc::kTruncated, "ipv4 payload"};
+
+  return Ipv4View{h, data.subspan(header_len, h.total_length - header_len)};
+}
+
+Bytes serialize_ipv4(const Ipv4Header& header, std::span<const uint8_t> payload) {
+  BufWriter w(kIpv4MinHeaderLen + payload.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(header.dscp);
+  w.u16(static_cast<uint16_t>(kIpv4MinHeaderLen + payload.size()));
+  w.u16(header.identification);
+  uint16_t flags = 0;
+  if (header.dont_fragment) flags |= kIpv4FlagDontFragment;
+  if (header.more_fragments) flags |= kIpv4FlagMoreFragments;
+  w.u16(static_cast<uint16_t>(flags << 13 | (header.fragment_offset & 0x1fff)));
+  w.u8(header.ttl);
+  w.u8(header.protocol);
+  size_t checksum_offset = w.size();
+  w.u16(0);
+  w.u32(header.src.value());
+  w.u32(header.dst.value());
+  uint16_t csum = internet_checksum(std::span<const uint8_t>(w.data().data(), w.size()));
+  w.patch_u16(checksum_offset, csum);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+}  // namespace scidive::pkt

@@ -1,0 +1,57 @@
+// IPv4 header codec (RFC 791). Options are accepted on parse (skipped) but
+// never emitted. The checksum is computed on serialize and verified on parse.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "pkt/addr.h"
+
+namespace scidive::pkt {
+
+/// IP protocol numbers used in this system.
+enum IpProto : uint8_t {
+  kProtoIcmp = 1,
+  kProtoTcp = 6,
+  kProtoUdp = 17,
+};
+
+constexpr uint16_t kIpv4MinHeaderLen = 20;
+constexpr uint16_t kIpv4FlagDontFragment = 0x2;
+constexpr uint16_t kIpv4FlagMoreFragments = 0x1;
+
+struct Ipv4Header {
+  uint8_t dscp = 0;
+  uint16_t total_length = 0;  // header + payload, bytes
+  uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  uint16_t fragment_offset = 0;  // in 8-byte units
+  uint8_t ttl = 64;
+  uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+  uint8_t header_length = kIpv4MinHeaderLen;  // parsed IHL*4; always 20 on serialize
+
+  bool is_fragment() const { return more_fragments || fragment_offset != 0; }
+
+  /// Byte offset of this fragment's payload within the original datagram.
+  uint32_t payload_offset_bytes() const { return static_cast<uint32_t>(fragment_offset) * 8; }
+};
+
+/// A parsed IPv4 datagram view: header plus borrowed payload bytes.
+struct Ipv4View {
+  Ipv4Header header;
+  std::span<const uint8_t> payload;
+};
+
+/// Parse and validate an IPv4 datagram (version, lengths, checksum).
+Result<Ipv4View> parse_ipv4(std::span<const uint8_t> data);
+
+/// Serialize header+payload into a wire-format datagram with a valid
+/// checksum. header.total_length is derived from the payload size.
+Bytes serialize_ipv4(const Ipv4Header& header, std::span<const uint8_t> payload);
+
+}  // namespace scidive::pkt

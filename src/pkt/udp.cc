@@ -1,0 +1,59 @@
+#include "pkt/udp.h"
+
+#include "pkt/ipv4.h"
+
+namespace scidive::pkt {
+namespace {
+
+/// Sum of the IPv4 pseudo-header fields, for folding into the UDP checksum.
+uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst, uint16_t udp_len) {
+  uint32_t sum = 0;
+  sum += src.value() >> 16;
+  sum += src.value() & 0xffff;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xffff;
+  sum += kProtoUdp;
+  sum += udp_len;
+  return sum;
+}
+
+}  // namespace
+
+Result<UdpView> parse_udp(std::span<const uint8_t> data, Ipv4Address src, Ipv4Address dst) {
+  if (data.size() < kUdpHeaderLen) return Error{Errc::kTruncated, "udp header"};
+  BufReader r(data);
+  UdpView v;
+  v.src_port = r.u16().value();
+  v.dst_port = r.u16().value();
+  uint16_t length = r.u16().value();
+  uint16_t checksum = r.u16().value();
+  if (length < kUdpHeaderLen) return Error{Errc::kMalformed, "udp length < 8"};
+  if (length > data.size()) return Error{Errc::kTruncated, "udp payload"};
+
+  if (checksum != 0 && !src.is_unspecified()) {
+    uint32_t initial = pseudo_header_sum(src, dst, length);
+    if (internet_checksum(data.subspan(0, length), initial) != 0)
+      return Error{Errc::kChecksum, "udp checksum"};
+  }
+  v.payload = data.subspan(kUdpHeaderLen, length - kUdpHeaderLen);
+  return v;
+}
+
+Bytes serialize_udp(uint16_t src_port, uint16_t dst_port, std::span<const uint8_t> payload,
+                    Ipv4Address src, Ipv4Address dst) {
+  uint16_t length = static_cast<uint16_t>(kUdpHeaderLen + payload.size());
+  BufWriter w(length);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  size_t checksum_offset = w.size();
+  w.u16(0);
+  w.bytes(payload);
+  uint32_t initial = pseudo_header_sum(src, dst, length);
+  uint16_t csum = internet_checksum(std::span<const uint8_t>(w.data().data(), w.size()), initial);
+  if (csum == 0) csum = 0xffff;  // 0 is reserved for "no checksum"
+  w.patch_u16(checksum_offset, csum);
+  return std::move(w).take();
+}
+
+}  // namespace scidive::pkt

@@ -1,0 +1,30 @@
+// UDP codec (RFC 768) with pseudo-header checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "pkt/addr.h"
+
+namespace scidive::pkt {
+
+constexpr size_t kUdpHeaderLen = 8;
+
+struct UdpView {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  std::span<const uint8_t> payload;
+};
+
+/// Parse a UDP datagram; if src/dst are provided the checksum is verified
+/// (a zero checksum means "not computed" and is accepted, per RFC 768).
+Result<UdpView> parse_udp(std::span<const uint8_t> data, Ipv4Address src = {},
+                          Ipv4Address dst = {});
+
+/// Serialize a UDP datagram with a pseudo-header checksum.
+Bytes serialize_udp(uint16_t src_port, uint16_t dst_port, std::span<const uint8_t> payload,
+                    Ipv4Address src, Ipv4Address dst);
+
+}  // namespace scidive::pkt

@@ -1,0 +1,72 @@
+#include "rtp/jitter_buffer.h"
+
+#include <vector>
+
+namespace scidive::rtp {
+
+bool JitterBuffer::push(const RtpHeader& header, SimTime now) {
+  (void)now;
+  if (crashed_) return false;
+  ++pushed_;
+
+  if (!have_playout_point_) {
+    have_playout_point_ = true;
+    next_play_seq_ = header.sequence;
+  }
+
+  int32_t ahead = seq_distance(next_play_seq_, header.sequence);
+  if (ahead < 0) {
+    // Arrived after its playout slot: a real client drops it.
+    ++discarded_late_;
+    return true;
+  }
+  if (ahead > config_.takeover_threshold) {
+    // Implausible forward jump — garbage takes over the playout point.
+    switch (config_.behavior) {
+      case CorruptionBehavior::kCrash:
+        crashed_ = true;
+        return false;
+      case CorruptionBehavior::kGlitch:
+        // Everything queued becomes "late" relative to the hijacked point.
+        ++glitches_;
+        discarded_late_ += buffer_.size();
+        buffer_.clear();
+        next_play_seq_ = header.sequence;
+        break;
+      case CorruptionBehavior::kRobust:
+        // Treat as noise; drop the implausible packet.
+        ++discarded_late_;
+        return true;
+    }
+  }
+
+  buffer_[header.sequence] = header;
+  if (buffer_.size() > config_.capacity) {
+    // Overflow: the oldest queued packet is forced out to playout.
+    RtpHeader dummy;
+    pop_for_playout(&dummy);
+  }
+  return true;
+}
+
+bool JitterBuffer::pop_for_playout(RtpHeader* out) {
+  if (crashed_ || buffer_.empty()) return false;
+  // Pick the packet closest ahead of the playout point (modulo-2^16 order;
+  // the buffer is bounded so a linear scan is fine).
+  auto best = buffer_.begin();
+  int32_t best_dist = seq_distance(next_play_seq_, best->first);
+  for (auto it = std::next(buffer_.begin()); it != buffer_.end(); ++it) {
+    int32_t d = seq_distance(next_play_seq_, it->first);
+    if (d < best_dist) {
+      best = it;
+      best_dist = d;
+    }
+  }
+  *out = best->second;
+  next_play_seq_ = static_cast<uint16_t>(best->second.sequence + 1);
+  buffer_.erase(best);
+  ++played_;
+  return true;
+}
+
+}  // namespace scidive::rtp

@@ -1,0 +1,58 @@
+// Playout jitter buffer model. Reproduces the client behaviours the paper
+// observed under the RTP garbage attack (§4.2.4): packets with wildly
+// forward sequence numbers take over the playout point, causing queued
+// legitimate audio to be discarded (intermittent audio, Windows Messenger
+// style) or crashing a fragile implementation outright (X-Lite style).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/clock.h"
+#include "rtp/rtp.h"
+
+namespace scidive::rtp {
+
+/// How an implementation reacts to a buffer takeover by garbage.
+enum class CorruptionBehavior {
+  kCrash,   // X-Lite: client dies on the first takeover
+  kGlitch,  // Windows Messenger: audio gap, then resync
+  kRobust,  // well-written client: ignores implausible jumps
+};
+
+class JitterBuffer {
+ public:
+  struct Config {
+    size_t capacity = 16;            // packets held before playout
+    int32_t takeover_threshold = 100;  // forward jump that resets playout
+    CorruptionBehavior behavior = CorruptionBehavior::kGlitch;
+  };
+
+  JitterBuffer() = default;
+  explicit JitterBuffer(Config config) : config_(config) {}
+
+  /// Offer a received packet. Returns false if the client has crashed.
+  bool push(const RtpHeader& header, SimTime now);
+
+  /// Pop the next packet for playout, in sequence order, if any.
+  bool pop_for_playout(RtpHeader* out);
+
+  bool crashed() const { return crashed_; }
+  uint64_t pushed() const { return pushed_; }
+  uint64_t played() const { return played_; }
+  uint64_t discarded_late() const { return discarded_late_; }
+  uint64_t glitches() const { return glitches_; }
+
+ private:
+  Config config_;
+  std::map<uint16_t, RtpHeader> buffer_;  // seq -> packet (bounded by capacity)
+  bool have_playout_point_ = false;
+  uint16_t next_play_seq_ = 0;
+  bool crashed_ = false;
+  uint64_t pushed_ = 0;
+  uint64_t played_ = 0;
+  uint64_t discarded_late_ = 0;
+  uint64_t glitches_ = 0;
+};
+
+}  // namespace scidive::rtp

@@ -1,0 +1,62 @@
+// Minimal RTCP (RFC 3550 §6): Sender Report, Receiver Report and BYE — the
+// control traffic a 2004 softphone emits alongside RTP. The IDS's Distiller
+// decodes these into RTCP footprints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace scidive::rtp {
+
+enum class RtcpType : uint8_t {
+  kSenderReport = 200,
+  kReceiverReport = 201,
+  kSdes = 202,
+  kBye = 203,
+};
+
+struct RtcpReportBlock {
+  uint32_t ssrc = 0;          // stream being reported on
+  uint8_t fraction_lost = 0;  // fixed-point /256
+  uint32_t cumulative_lost = 0;
+  uint32_t highest_seq = 0;
+  uint32_t jitter = 0;  // in timestamp units
+};
+
+struct RtcpSenderReport {
+  uint32_t ssrc = 0;
+  uint64_t ntp_timestamp = 0;
+  uint32_t rtp_timestamp = 0;
+  uint32_t packet_count = 0;
+  uint32_t octet_count = 0;
+  std::vector<RtcpReportBlock> reports;
+};
+
+struct RtcpReceiverReport {
+  uint32_t ssrc = 0;
+  std::vector<RtcpReportBlock> reports;
+};
+
+struct RtcpBye {
+  std::vector<uint32_t> ssrcs;
+  std::string reason;
+};
+
+struct RtcpPacket {
+  std::optional<RtcpSenderReport> sr;
+  std::optional<RtcpReceiverReport> rr;
+  std::optional<RtcpBye> bye;
+};
+
+Result<RtcpPacket> parse_rtcp(std::span<const uint8_t> data);
+Bytes serialize_rtcp(const RtcpSenderReport& sr);
+Bytes serialize_rtcp(const RtcpReceiverReport& rr);
+Bytes serialize_rtcp(const RtcpBye& bye);
+
+}  // namespace scidive::rtp

@@ -1,0 +1,44 @@
+// RTP packet codec (RFC 3550 §5.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace scidive::rtp {
+
+constexpr size_t kRtpMinHeaderLen = 12;
+constexpr uint8_t kPayloadTypePcmu = 0;
+
+/// G.711 at 8 kHz, 20 ms packets: 160 samples / 160 bytes per packet.
+constexpr uint32_t kSamplesPer20Ms = 160;
+
+struct RtpHeader {
+  uint8_t payload_type = kPayloadTypePcmu;
+  bool marker = false;
+  uint16_t sequence = 0;
+  uint32_t timestamp = 0;
+  uint32_t ssrc = 0;
+  std::vector<uint32_t> csrc;  // contributing sources (mixers); usually empty
+};
+
+struct RtpView {
+  RtpHeader header;
+  std::span<const uint8_t> payload;
+};
+
+/// Parse an RTP packet. Validates version==2 and length; padding and
+/// extensions are honored when computing the payload span.
+Result<RtpView> parse_rtp(std::span<const uint8_t> data);
+
+Bytes serialize_rtp(const RtpHeader& header, std::span<const uint8_t> payload);
+
+/// Signed distance from seq a to b modulo 2^16 (positive if b is ahead).
+inline int32_t seq_distance(uint16_t a, uint16_t b) {
+  return static_cast<int16_t>(static_cast<uint16_t>(b - a));
+}
+
+}  // namespace scidive::rtp

@@ -1,0 +1,51 @@
+#include "rtp/stats.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "rtp/rtp.h"
+
+namespace scidive::rtp {
+
+void RtpStreamStats::on_packet(uint16_t sequence, uint32_t rtp_timestamp, SimTime arrival) {
+  ++received_;
+  if (!base_seq_) {
+    base_seq_ = sequence;
+    max_seq_ = sequence;
+  } else {
+    int32_t delta = seq_distance(max_seq_, sequence);
+    if (delta > 0) {
+      if (sequence < max_seq_) ++cycles_;  // wrapped
+      max_seq_ = sequence;
+    }
+    if (last_seq_) {
+      int32_t jump = seq_distance(*last_seq_, sequence);
+      if (std::abs(jump) > std::abs(max_seq_jump_)) max_seq_jump_ = jump;
+    }
+  }
+  last_seq_ = sequence;
+
+  // Jitter (RFC 3550 §6.4.1): J += (|D| - J) / 16 with transit differences
+  // measured in timestamp units.
+  int64_t arrival_ts = arrival * clock_rate_ / kSecond;
+  int64_t transit = arrival_ts - static_cast<int64_t>(rtp_timestamp);
+  if (last_transit_) {
+    double d = std::abs(static_cast<double>(transit - *last_transit_));
+    jitter_ += (d - jitter_) / 16.0;
+  }
+  last_transit_ = transit;
+}
+
+uint32_t RtpStreamStats::extended_highest_seq() const {
+  return (cycles_ << 16) | max_seq_;
+}
+
+int64_t RtpStreamStats::cumulative_lost() const {
+  if (!base_seq_) return 0;
+  int64_t extended_max = static_cast<int64_t>(cycles_) << 16 | max_seq_;
+  int64_t expected = extended_max - *base_seq_ + 1;
+  int64_t lost = expected - static_cast<int64_t>(received_);
+  return lost > 0 ? lost : 0;
+}
+
+}  // namespace scidive::rtp

@@ -1,0 +1,51 @@
+// Per-stream RTP reception statistics per RFC 3550 Appendix A.8: extended
+// highest sequence (with wraparound cycles), cumulative loss and interarrival
+// jitter. Feeds both the endpoints' RTCP reports and the IDS's RtpJitter
+// event generation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/clock.h"
+
+namespace scidive::rtp {
+
+class RtpStreamStats {
+ public:
+  /// clock_rate in Hz (8000 for G.711).
+  explicit RtpStreamStats(uint32_t clock_rate = 8000) : clock_rate_(clock_rate) {}
+
+  /// Record a received packet. arrival is wall (sim) time; rtp_timestamp is
+  /// the packet's media clock timestamp.
+  void on_packet(uint16_t sequence, uint32_t rtp_timestamp, SimTime arrival);
+
+  uint64_t packets_received() const { return received_; }
+  /// Extended sequence number (cycles << 16 | highest seq).
+  uint32_t extended_highest_seq() const;
+  /// expected - received, clamped at 0 (duplicates can make it negative).
+  int64_t cumulative_lost() const;
+  /// RFC 3550 interarrival jitter estimate, in timestamp units.
+  double jitter() const { return jitter_; }
+  /// Jitter converted to milliseconds of media clock.
+  double jitter_ms() const { return jitter_ / (static_cast<double>(clock_rate_) / 1000.0); }
+
+  /// Largest forward jump between consecutive arriving packets seen so far
+  /// (the paper's RTP attack signature: |gap| > 100).
+  int32_t max_seq_jump() const { return max_seq_jump_; }
+
+  bool started() const { return received_ > 0; }
+
+ private:
+  uint32_t clock_rate_;
+  uint64_t received_ = 0;
+  std::optional<uint16_t> base_seq_;
+  uint16_t max_seq_ = 0;
+  uint32_t cycles_ = 0;
+  double jitter_ = 0;
+  std::optional<int64_t> last_transit_;  // arrival(ts units) - rtp_timestamp
+  std::optional<uint16_t> last_seq_;
+  int32_t max_seq_jump_ = 0;
+};
+
+}  // namespace scidive::rtp

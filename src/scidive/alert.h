@@ -1,0 +1,55 @@
+// Alerts — the Rule Matching Engine's verdicts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "scidive/trail.h"
+
+namespace scidive::core {
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+std::string_view severity_name(Severity s);
+
+struct Alert {
+  std::string rule;     // which rule fired
+  Severity severity = Severity::kWarning;
+  SessionId session;
+  SimTime time = 0;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Collects alerts; an optional callback sees each one as it fires.
+class AlertSink {
+ public:
+  using Callback = std::function<void(const Alert&)>;
+
+  void raise(Alert alert) {
+    if (callback_) callback_(alert);
+    alerts_.push_back(std::move(alert));
+  }
+
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  size_t count() const { return alerts_.size(); }
+  size_t count_for_rule(std::string_view rule) const {
+    size_t n = 0;
+    for (const auto& a : alerts_) {
+      if (a.rule == rule) ++n;
+    }
+    return n;
+  }
+  void clear() { alerts_.clear(); }
+
+ private:
+  std::vector<Alert> alerts_;
+  Callback callback_;
+};
+
+}  // namespace scidive::core

@@ -1,0 +1,110 @@
+#include "scidive/coop.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scidive::core {
+
+CooperativeIds::CooperativeIds(netsim::Host& host, EngineConfig engine_config,
+                               CoopConfig coop_config)
+    : host_(host), config_(std::move(coop_config)), engine_(std::move(engine_config)) {
+  engine_.set_event_callback([this](const Event& event) { on_local_event(event); });
+  host_.bind_udp(config_.sep_port,
+                 [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now) {
+                   on_sep_datagram(from, payload, now);
+                 });
+}
+
+void CooperativeIds::add_peer(pkt::Endpoint peer_sep_endpoint) {
+  peers_.push_back(peer_sep_endpoint);
+}
+
+void CooperativeIds::add_peer_user(const std::string& aor) { peer_users_.insert(aor); }
+
+void CooperativeIds::attach_local_agent(voip::UserAgent& agent) {
+  std::string aor = agent.aor();
+  pkt::Endpoint source = agent.sip_endpoint();
+  agent.on_im_sent = [this, aor, source](const std::string& target, const std::string&) {
+    Event sent;
+    sent.type = EventType::kImMessageSent;
+    sent.session = "host:" + aor;
+    sent.time = host_.now();
+    sent.aor = aor;
+    sent.endpoint = source;
+    sent.detail = "genuine IM to " + target;
+    share(sent);
+  };
+}
+
+void CooperativeIds::share(const Event& event) {
+  std::string line = serialize_event(config_.node_name, event);
+  for (const pkt::Endpoint& peer : peers_) {
+    host_.send_udp(config_.sep_port, peer, line);
+  }
+  stats_.events_shared += peers_.empty() ? 0 : 1;
+}
+
+void CooperativeIds::on_local_event(const Event& event) {
+  if (config_.shared_types.contains(event.type)) share(event);
+
+  if (event.type == EventType::kImMessageSeen && peer_users_.contains(event.aor)) {
+    // Hold the message for the peer's vouching; judge after the delay.
+    ++stats_.verifications;
+    Event held = event;
+    host_.after(config_.verify_delay, [this, held] { verify_im(held); });
+  }
+}
+
+bool CooperativeIds::peer_vouched(const std::string& aor, SimTime around) const {
+  for (const RemoteEvent& remote : remote_events_) {
+    if (remote.event.type != EventType::kImMessageSent) continue;
+    if (remote.event.aor != aor) continue;
+    if (std::abs(remote.event.time - around) <= config_.match_window) return true;
+  }
+  return false;
+}
+
+void CooperativeIds::verify_im(Event im_event) {
+  if (peer_vouched(im_event.aor, im_event.time)) {
+    ++stats_.confirmed_legit;
+    return;
+  }
+  // Fail-open when the control channel is silent: a down peer IDS must not
+  // convert every genuine message into an alarm.
+  if (config_.peer_liveness_window > 0 &&
+      (last_peer_heard_ < 0 ||
+       host_.now() - last_peer_heard_ > config_.peer_liveness_window)) {
+    ++stats_.skipped_peer_down;
+    return;
+  }
+  ++stats_.flagged_forged;
+  engine_.alerts().raise(Alert{
+      kCoopFakeImRule, Severity::kCritical, im_event.session, host_.now(),
+      str::format("IM claiming %s from %s was never vouched by %s's own IDS — forged "
+                  "message (source-IP spoofing does not evade this check)",
+                  im_event.aor.c_str(), im_event.endpoint.to_string().c_str(),
+                  im_event.aor.c_str())});
+}
+
+void CooperativeIds::on_sep_datagram(pkt::Endpoint from, std::span<const uint8_t> payload,
+                                     SimTime now) {
+  (void)from;
+  std::string_view text(reinterpret_cast<const char*>(payload.data()), payload.size());
+  auto parsed = parse_event(text);
+  if (!parsed) {
+    ++stats_.parse_errors;
+    LOG_DEBUG("coop", "%s: bad SEP datagram: %s", config_.node_name.c_str(),
+              parsed.error().to_string().c_str());
+    return;
+  }
+  RemoteEvent remote = std::move(parsed.value());
+  remote.received_at = now;
+  remote_events_.push_back(std::move(remote));
+  last_peer_heard_ = now;
+  ++stats_.events_received;
+  if (remote_events_.size() > config_.remote_buffer_max) remote_events_.pop_front();
+}
+
+}  // namespace scidive::core

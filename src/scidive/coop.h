@@ -1,0 +1,106 @@
+// Cooperative detection — the architecture extension the paper sketches in
+// §4.2.2 and §6: "If the attacker is able to spoof its IP address, then
+// this rule will not work... This motivates a more ambitious architecture
+// like deploying IDS on both client ends" and "the two IDSs could exchange
+// event objects ... to enhance the overall detection accuracy".
+//
+// A CooperativeIds wraps a local ScidiveEngine with:
+//   * a SEP endpoint (UDP) that shares selected local events with peers and
+//     ingests theirs;
+//   * host-based ground truth: the co-located user agent reports IMs it
+//     really sent (kImMessageSent), which this node vouches to peers;
+//   * the cooperative fake-IM rule: an incoming IM claiming a peer-homed
+//     user is held for `verify_delay`; if the user's own IDS never vouched
+//     a matching send, the message is flagged — EVEN when the source IP was
+//     spoofed perfectly, the case the single-point rule provably misses.
+//
+// SEP is unauthenticated here, as 2004-era control channels were; a
+// production deployment would run it over an authenticated channel
+// (documented limitation, mirrors the paper's own trust assumptions).
+#pragma once
+
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netsim/host.h"
+#include "scidive/engine.h"
+#include "scidive/exchange.h"
+#include "voip/user_agent.h"
+
+namespace scidive::core {
+
+struct CoopConfig {
+  std::string node_name;        // e.g. "ids-a"
+  uint16_t sep_port = kSepPort;
+  /// Event types worth the control-channel bandwidth ("a challenge is to
+  /// design the appropriate protocol that does not overwhelm the system
+  /// with control messages", §6).
+  std::set<EventType> shared_types = {EventType::kImMessageSent, EventType::kRtpAfterBye,
+                                      EventType::kRtpAfterReinvite};
+  /// How long to wait for a peer's vouching before judging an IM forged.
+  SimDuration verify_delay = msec(300);
+  /// Local/remote event times closer than this are "the same" message.
+  SimDuration match_window = sec(1);
+  size_t remote_buffer_max = 4096;
+  /// Fail-open: when no peer has been heard from within this window, skip
+  /// IM verification rather than flag every message (a dead peer IDS must
+  /// not turn all of a user's genuine IMs into alarms). Set to 0 to always
+  /// verify (fail-closed).
+  SimDuration peer_liveness_window = sec(30);
+};
+
+struct CoopStats {
+  uint64_t events_shared = 0;
+  uint64_t events_received = 0;
+  uint64_t parse_errors = 0;
+  uint64_t verifications = 0;        // IMs held for peer confirmation
+  uint64_t confirmed_legit = 0;      // vouched by the sender's IDS
+  uint64_t flagged_forged = 0;
+  uint64_t skipped_peer_down = 0;    // fail-open: no live peer to ask
+};
+
+class CooperativeIds {
+ public:
+  CooperativeIds(netsim::Host& host, EngineConfig engine_config, CoopConfig coop_config);
+
+  /// Another SCIDIVE node to exchange events with.
+  void add_peer(pkt::Endpoint peer_sep_endpoint);
+
+  /// This node vouches for a co-located client: its genuine outgoing IMs
+  /// become kImMessageSent events shared with peers.
+  void attach_local_agent(voip::UserAgent& agent);
+
+  /// Declare that `aor` is homed at a peer node (so incoming IMs claiming
+  /// it are verified cooperatively).
+  void add_peer_user(const std::string& aor);
+
+  ScidiveEngine& engine() { return engine_; }
+  const ScidiveEngine& engine() const { return engine_; }
+  netsim::PacketTap tap() { return engine_.tap(); }
+  const AlertSink& alerts() const { return engine_.alerts(); }
+
+  const std::deque<RemoteEvent>& remote_events() const { return remote_events_; }
+  const CoopStats& coop_stats() const { return stats_; }
+
+  static constexpr const char* kCoopFakeImRule = "coop-fake-im";
+
+ private:
+  void on_local_event(const Event& event);
+  void on_sep_datagram(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now);
+  void share(const Event& event);
+  void verify_im(Event im_event);
+  bool peer_vouched(const std::string& aor, SimTime around) const;
+
+  netsim::Host& host_;
+  CoopConfig config_;
+  ScidiveEngine engine_;
+  std::vector<pkt::Endpoint> peers_;
+  std::set<std::string> peer_users_;
+  std::deque<RemoteEvent> remote_events_;
+  SimTime last_peer_heard_ = -1;
+  CoopStats stats_;
+};
+
+}  // namespace scidive::core

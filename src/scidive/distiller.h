@@ -1,0 +1,65 @@
+// The Distiller (§3.1): "incoming network flows first pass through the
+// Distiller, which translates packets into protocol dependent information
+// units called Footprints. The Distiller is responsible for doing IP
+// fragmentation, reassembly, decoding protocols, and finally generating the
+// corresponding Footprints."
+//
+// Classification is defensive: the IDS sees raw bytes only, so the decoder
+// is driven by port conventions with content-based verification, and
+// arbitrary garbage degrades to UnknownFootprint instead of failing.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "pkt/fragment.h"
+#include "pkt/packet.h"
+#include "scidive/footprint.h"
+#include "sip/message.h"
+
+namespace scidive::core {
+
+struct DistillerConfig {
+  /// UDP ports treated as SIP signaling (content-verified).
+  std::set<uint16_t> sip_ports = {5060, 5061, 5062, 5064, 5070, 5080, 5081, 5082};
+  /// UDP port of the accounting (ACC) protocol.
+  uint16_t acc_port = 9009;
+  /// Reassembly timeout for fragmented datagrams.
+  SimDuration reassembly_timeout = sec(30);
+};
+
+struct DistillerStats {
+  uint64_t packets_in = 0;
+  uint64_t fragments_held = 0;     // fragment consumed, datagram incomplete
+  uint64_t undecodable = 0;        // not even IPv4+UDP
+  uint64_t footprints_out = 0;
+  uint64_t sip_footprints = 0;
+  uint64_t rtp_footprints = 0;
+  uint64_t rtcp_footprints = 0;
+  uint64_t acc_footprints = 0;
+  uint64_t h225_footprints = 0;
+  uint64_t ras_footprints = 0;
+  uint64_t unknown_footprints = 0;
+};
+
+class Distiller {
+ public:
+  Distiller() : Distiller(DistillerConfig{}) {}
+  explicit Distiller(DistillerConfig config);
+
+  /// Distill one captured packet. Returns nothing for fragments that do not
+  /// yet complete a datagram and for packets that are not IPv4/UDP at all.
+  std::optional<Footprint> distill(const pkt::Packet& packet);
+
+  const DistillerStats& stats() const { return stats_; }
+
+ private:
+  Footprint decode(const pkt::UdpPacketView& udp, SimTime time, size_t wire_len);
+  static SipFootprint decode_sip(const sip::SipMessage& msg);
+
+  DistillerConfig config_;
+  pkt::Ipv4Reassembler reassembler_;
+  DistillerStats stats_;
+};
+
+}  // namespace scidive::core

@@ -1,0 +1,58 @@
+#include "scidive/engine.h"
+
+#include "pkt/ipv4.h"
+
+namespace scidive::core {
+
+ScidiveEngine::ScidiveEngine(EngineConfig config)
+    : config_(std::move(config)),
+      distiller_(config_.distiller),
+      trails_(config_.max_footprints_per_trail),
+      events_(trails_, config_.events),
+      rules_(make_default_ruleset(config_.rules)) {}
+
+void ScidiveEngine::on_packet(const pkt::Packet& packet) {
+  ++stats_.packets_seen;
+
+  if (!config_.home_addresses.empty()) {
+    // Cheap pre-filter on the (unverified) IP header so the endpoint IDS
+    // ignores traffic that is not the monitored client's.
+    auto ip = pkt::parse_ipv4(packet.data);
+    bool ours = false;
+    if (ip.ok()) {
+      ours = config_.home_addresses.contains(ip.value().header.src) ||
+             config_.home_addresses.contains(ip.value().header.dst);
+    }
+    if (!ours) {
+      ++stats_.packets_filtered;
+      return;
+    }
+  }
+  ++stats_.packets_inspected;
+
+  auto started = std::chrono::steady_clock::now();
+  auto fp = distiller_.distill(packet);
+  if (fp) {
+    Trail& trail = trails_.add(std::move(*fp));
+    scratch_events_.clear();
+    events_.process(trail.back(), trail, scratch_events_);
+    stats_.events += scratch_events_.size();
+    RuleContext ctx(trails_, sink_);
+    for (const Event& event : scratch_events_) {
+      if (event_callback_) event_callback_(event);
+      for (auto& rule : rules_) rule->on_event(event, ctx);
+    }
+    stats_.alerts = sink_.count();
+  }
+  stats_.processing_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           started)
+          .count());
+}
+
+void ScidiveEngine::expire_idle(SimTime cutoff) {
+  trails_.expire_idle(cutoff);
+  events_.expire_idle(cutoff);
+}
+
+}  // namespace scidive::core

@@ -1,0 +1,122 @@
+#include "scidive/exchange.h"
+
+#include "common/strings.h"
+
+namespace scidive::core {
+
+namespace {
+
+constexpr struct {
+  EventType type;
+  int id;
+} kWireIds[] = {
+    {EventType::kSipInviteSeen, 1},
+    {EventType::kSipReinviteSeen, 2},
+    {EventType::kSipSessionEstablished, 3},
+    {EventType::kSipByeSeen, 4},
+    {EventType::kSipMalformed, 5},
+    {EventType::kSip4xxSeen, 6},
+    {EventType::kSipRegisterSeen, 7},
+    {EventType::kSipAuthChallenge, 8},
+    {EventType::kSipAuthFailure, 9},
+    {EventType::kImMessageSeen, 10},
+    {EventType::kRtpStreamStarted, 11},
+    {EventType::kRtpSeqJump, 12},
+    {EventType::kRtpUnexpectedSource, 13},
+    {EventType::kRtpAfterBye, 14},
+    {EventType::kRtpAfterReinvite, 15},
+    {EventType::kRtpJitter, 16},
+    {EventType::kNonRtpOnMediaPort, 17},
+    {EventType::kAccStartSeen, 18},
+    {EventType::kAccUnmatched, 19},
+    {EventType::kAccBilledPartyAbsent, 20},
+    {EventType::kImMessageSent, 21},
+    {EventType::kRtpPacketSeen, 22},
+    {EventType::kRtcpByeSeen, 23},
+    {EventType::kRtpAfterRtcpBye, 24},
+};
+
+}  // namespace
+
+int event_type_wire_id(EventType type) {
+  for (const auto& entry : kWireIds) {
+    if (entry.type == type) return entry.id;
+  }
+  return 0;
+}
+
+Result<EventType> event_type_from_wire_id(int id) {
+  for (const auto& entry : kWireIds) {
+    if (entry.id == id) return entry.type;
+  }
+  return Error{Errc::kUnsupported, "unknown event wire id"};
+}
+
+std::string serialize_event(std::string_view node_name, const Event& event) {
+  std::string detail = event.detail;
+  for (char& c : detail) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return str::format("SEP1\t%.*s\t%d\t%s\t%lld\t%s\t%s\t%lld\t%s",
+                     static_cast<int>(node_name.size()), node_name.data(),
+                     event_type_wire_id(event.type), event.session.c_str(),
+                     static_cast<long long>(event.time), event.aor.c_str(),
+                     event.endpoint.to_string().c_str(), static_cast<long long>(event.value),
+                     detail.c_str());
+}
+
+Result<RemoteEvent> parse_event(std::string_view line) {
+  auto fields = str::split(str::trim(line), '\t');
+  if (fields.size() < 9) return Error{Errc::kMalformed, "SEP line needs 9 fields"};
+  if (fields[0] != "SEP1") return Error{Errc::kUnsupported, "not SEP1"};
+
+  RemoteEvent out;
+  out.from_node = std::string(fields[1]);
+  if (out.from_node.empty()) return Error{Errc::kMalformed, "empty node name"};
+
+  auto type_id = str::parse_u32(fields[2]);
+  if (!type_id) return Error{Errc::kMalformed, "bad event type id"};
+  auto type = event_type_from_wire_id(static_cast<int>(*type_id));
+  if (!type) return type.error();
+  out.event.type = type.value();
+
+  out.event.session = std::string(fields[3]);
+  auto time = str::parse_u64(fields[4]);
+  if (!time) return Error{Errc::kMalformed, "bad time"};
+  out.event.time = static_cast<SimTime>(*time);
+  out.event.aor = std::string(fields[5]);
+
+  // addr:port
+  auto colon = str::split_once(fields[6], ':');
+  if (!colon) return Error{Errc::kMalformed, "bad endpoint"};
+  auto addr = pkt::Ipv4Address::parse(colon->first);
+  auto port = str::parse_u16(colon->second);
+  if (!addr || !port) return Error{Errc::kMalformed, "bad endpoint addr/port"};
+  out.event.endpoint = pkt::Endpoint{*addr, *port};
+
+  auto value = str::parse_u64(fields[7]);
+  if (!value) {
+    // Negative values (e.g. backward seq jumps) serialize with '-'.
+    if (!fields[7].empty() && fields[7][0] == '-') {
+      auto magnitude = str::parse_u64(fields[7].substr(1));
+      if (!magnitude) return Error{Errc::kMalformed, "bad value"};
+      out.event.value = -static_cast<int64_t>(*magnitude);
+    } else {
+      return Error{Errc::kMalformed, "bad value"};
+    }
+  } else {
+    out.event.value = static_cast<int64_t>(*value);
+  }
+
+  // Detail: everything after the 8th tab (may itself contain no tabs by
+  // construction, but re-join defensively).
+  std::string detail(fields[8]);
+  for (size_t i = 9; i < fields.size(); ++i) {
+    detail += ' ';
+    detail += std::string(fields[i]);
+  }
+  out.event.detail = std::move(detail);
+  return out;
+}
+
+}  // namespace scidive::core

@@ -1,0 +1,40 @@
+// Event exchange between SCIDIVE instances — the paper's §6 future-work
+// direction ("the two IDSs could exchange event objects and portions of
+// trails to enhance the overall detection accuracy") realized as a small
+// UDP wire protocol, SEP ("Scidive Event Protocol").
+//
+// A serialized event is one tab-separated line:
+//   SEP1 \t <node> \t <type> \t <session> \t <time_usec> \t <aor>
+//        \t <addr:port> \t <value> \t <detail...>
+// The detail field is last and may contain anything but tab/newline.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "scidive/event.h"
+
+namespace scidive::core {
+
+/// An event as received from a peer IDS, with provenance.
+struct RemoteEvent {
+  std::string from_node;  // sender's node name
+  Event event;
+  SimTime received_at = 0;
+};
+
+/// Serialize an event for the wire.
+std::string serialize_event(std::string_view node_name, const Event& event);
+
+/// Parse a SEP line. Rejects unknown versions and malformed fields — peers
+/// are other machines and their traffic is untrusted input.
+Result<RemoteEvent> parse_event(std::string_view line);
+
+/// Stable numeric ids for EventType on the wire (do not reorder).
+int event_type_wire_id(EventType type);
+Result<EventType> event_type_from_wire_id(int id);
+
+constexpr uint16_t kSepPort = 5999;
+
+}  // namespace scidive::core

@@ -1,0 +1,46 @@
+#include "scidive/incident.h"
+
+#include "common/strings.h"
+
+namespace scidive::core {
+
+std::string Incident::to_string() const {
+  std::string nodes;
+  for (const auto& node : reporting_nodes) {
+    if (!nodes.empty()) nodes += ",";
+    nodes += node;
+  }
+  return str::format("[%s] %s session=%s alerts=%llu span=%s..%s nodes={%s}: %s",
+                     severity_name(severity).data(), rule.c_str(), session.c_str(),
+                     static_cast<unsigned long long>(alert_count),
+                     format_time(first_seen).c_str(), format_time(last_seen).c_str(),
+                     nodes.c_str(), first_message.c_str());
+}
+
+void IncidentCorrelator::on_alert(const std::string& node, const Alert& alert) {
+  ++alerts_consumed_;
+  // Search newest-first for an open incident to merge into.
+  for (auto it = incidents_.rbegin(); it != incidents_.rend(); ++it) {
+    if (it->rule != alert.rule || it->session != alert.session) continue;
+    if (alert.time - it->last_seen > config_.merge_window) break;  // burst over
+    it->last_seen = std::max(it->last_seen, alert.time);
+    it->severity = std::max(it->severity, alert.severity);
+    ++it->alert_count;
+    it->reporting_nodes.insert(node);
+    return;
+  }
+  Incident incident;
+  incident.rule = alert.rule;
+  incident.session = alert.session;
+  incident.severity = alert.severity;
+  incident.first_seen = alert.time;
+  incident.last_seen = alert.time;
+  incident.alert_count = 1;
+  incident.reporting_nodes.insert(node);
+  incident.first_message = alert.message;
+  incidents_.push_back(std::move(incident));
+}
+
+std::vector<Incident> IncidentCorrelator::incidents() const { return incidents_; }
+
+}  // namespace scidive::core

@@ -1,0 +1,44 @@
+// The Rule abstraction. Rules are driven by Events (the efficient path) and
+// may additionally inspect Trails directly through the context (the paper's
+// "crude information directly from the Trails" path, §3.1). Stateful rules
+// keep their own per-session state; cross-protocol rules simply subscribe
+// to events originating from different protocol trails of one session.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "scidive/alert.h"
+#include "scidive/event.h"
+#include "scidive/trail_manager.h"
+
+namespace scidive::core {
+
+/// Everything a rule may touch while matching.
+class RuleContext {
+ public:
+  RuleContext(const TrailManager& trails, AlertSink& sink) : trails_(trails), sink_(sink) {}
+
+  /// Query access to all trails (cross-protocol, direct inspection).
+  const TrailManager& trails() const { return trails_; }
+
+  void raise(std::string rule, Severity severity, const Event& cause, std::string message) {
+    sink_.raise(Alert{std::move(rule), severity, cause.session, cause.time,
+                      std::move(message)});
+  }
+
+ private:
+  const TrailManager& trails_;
+  AlertSink& sink_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view name() const = 0;
+  virtual void on_event(const Event& event, RuleContext& ctx) = 0;
+};
+
+using RulePtr = std::unique_ptr<Rule>;
+
+}  // namespace scidive::core

@@ -1,0 +1,87 @@
+#include "scidive/trace.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace scidive::core {
+
+namespace {
+constexpr std::string_view kHeader = "SPCAP1";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(out) { out_ << kHeader << "\n"; }
+
+void TraceWriter::write(const pkt::Packet& packet) {
+  out_ << packet.timestamp << ' ' << to_hex(packet.data) << '\n';
+  out_.flush();
+  ++packets_written_;
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(in) {
+  std::string line;
+  if (std::getline(in_, line) && str::trim(line) == kHeader) {
+    header_ok_ = true;
+  } else {
+    error_ = "missing SPCAP1 header";
+  }
+}
+
+bool TraceReader::next(pkt::Packet* out) {
+  if (!header_ok_ || !error_.empty()) return false;
+  std::string line;
+  while (std::getline(in_, line)) {
+    std::string_view text = str::trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    auto space = str::split_once(text, ' ');
+    if (!space) {
+      error_ = "packet line without timestamp separator";
+      return false;
+    }
+    auto timestamp = str::parse_u64(space->first);
+    if (!timestamp) {
+      error_ = "bad timestamp: " + std::string(space->first);
+      return false;
+    }
+    std::string_view hex = str::trim(space->second);
+    if (hex.size() % 2 != 0) {
+      error_ = "odd-length hex payload";
+      return false;
+    }
+    out->timestamp = static_cast<SimTime>(*timestamp);
+    out->data.clear();
+    out->data.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+      int hi = hex_value(hex[i]);
+      int lo = hex_value(hex[i + 1]);
+      if (hi < 0 || lo < 0) {
+        error_ = "non-hex byte in payload";
+        return false;
+      }
+      out->data.push_back(static_cast<uint8_t>(hi << 4 | lo));
+    }
+    ++packets_read_;
+    return true;
+  }
+  return false;  // clean EOF
+}
+
+Result<uint64_t> replay_trace(std::istream& in,
+                              const std::function<void(const pkt::Packet&)>& consumer) {
+  TraceReader reader(in);
+  if (!reader.header_ok()) return Error{Errc::kMalformed, reader.error()};
+  pkt::Packet packet;
+  while (reader.next(&packet)) consumer(packet);
+  if (!reader.error().empty()) return Error{Errc::kMalformed, reader.error()};
+  return reader.packets_read();
+}
+
+}  // namespace scidive::core

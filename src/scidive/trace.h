@@ -1,0 +1,62 @@
+// Packet trace capture and replay — offline analysis for SCIDIVE. A trace
+// is a text file ("SPCAP1" header, then one `<timestamp_usec> <hex-bytes>`
+// line per packet) that a tap can record and the engine can re-ingest later
+// with identical results; the IDS pipeline is deterministic given the same
+// packet sequence.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "netsim/network.h"
+#include "pkt/packet.h"
+
+namespace scidive::core {
+
+/// Streams packets to an ostream in SPCAP1 format. The stream must outlive
+/// the writer; the writer flushes per packet (traces are evidence).
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out);
+
+  void write(const pkt::Packet& packet);
+  /// A tap that records everything it sees: network.add_tap(writer.tap()).
+  netsim::PacketTap tap() {
+    return [this](const pkt::Packet& packet) { write(packet); };
+  }
+
+  uint64_t packets_written() const { return packets_written_; }
+
+ private:
+  std::ostream& out_;
+  uint64_t packets_written_ = 0;
+};
+
+/// Reads an SPCAP1 trace. Strict on the header, tolerant of blank lines and
+/// '#' comments, strict on packet lines (a corrupt trace should fail loudly,
+/// not half-feed an IDS).
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in);
+
+  /// True until the stream ends or errors.
+  bool next(pkt::Packet* out);
+
+  bool header_ok() const { return header_ok_; }
+  const std::string& error() const { return error_; }
+  uint64_t packets_read() const { return packets_read_; }
+
+ private:
+  std::istream& in_;
+  bool header_ok_ = false;
+  std::string error_;
+  uint64_t packets_read_ = 0;
+};
+
+/// Replay a whole trace into a packet consumer. Returns the number of
+/// packets fed, or an error describing the first corrupt line.
+Result<uint64_t> replay_trace(std::istream& in,
+                              const std::function<void(const pkt::Packet&)>& consumer);
+
+}  // namespace scidive::core

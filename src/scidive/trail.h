@@ -1,0 +1,79 @@
+// Trails — per-session, per-protocol footprint sequences (§3.1). "Footprints
+// that belong to the same session are typically grouped into a Trail"; a
+// session owns one trail per protocol (the cross-protocol substrate: the
+// §3.2 example's SIP trail / RTP trail / Accounting trail).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "scidive/footprint.h"
+
+namespace scidive::core {
+
+/// Sessions are identified by the SIP Call-ID where one exists; RTP flows
+/// that cannot be tied to a signaled call get a synthetic "flow:..." id.
+using SessionId = std::string;
+
+struct TrailKey {
+  SessionId session;
+  Protocol protocol;
+
+  auto operator<=>(const TrailKey&) const = default;
+  std::string to_string() const {
+    return session + "/" + std::string(protocol_name(protocol));
+  }
+};
+
+/// An append-only, bounded sequence of footprints. The bound keeps memory
+/// finite on long sessions ("configured to handle packets spread out
+/// arbitrarily far apart in time, constrained in practice by the amount of
+/// memory available", §1); eviction drops the oldest footprints but keeps
+/// counters, so aggregate rules stay correct.
+class Trail {
+ public:
+  Trail(TrailKey key, size_t max_footprints = 4096)
+      : key_(std::move(key)), max_footprints_(max_footprints) {}
+
+  void append(Footprint fp) {
+    last_time_ = fp.time;
+    if (footprints_.empty()) first_time_ = fp.time;
+    footprints_.push_back(std::move(fp));
+    ++total_appended_;
+    if (footprints_.size() > max_footprints_) {
+      footprints_.pop_front();
+      ++evicted_;
+    }
+  }
+
+  const TrailKey& key() const { return key_; }
+  const std::deque<Footprint>& footprints() const { return footprints_; }
+  size_t size() const { return footprints_.size(); }
+  bool empty() const { return footprints_.empty(); }
+  uint64_t total_appended() const { return total_appended_; }
+  uint64_t evicted() const { return evicted_; }
+  SimTime first_time() const { return first_time_; }
+  SimTime last_time() const { return last_time_; }
+
+  const Footprint& back() const { return footprints_.back(); }
+
+  /// Newest-first scan; stops when fn returns true ("found").
+  template <typename Fn>
+  bool scan_newest_first(Fn&& fn) const {
+    for (auto it = footprints_.rbegin(); it != footprints_.rend(); ++it) {
+      if (fn(*it)) return true;
+    }
+    return false;
+  }
+
+ private:
+  TrailKey key_;
+  size_t max_footprints_;
+  std::deque<Footprint> footprints_;
+  uint64_t total_appended_ = 0;
+  uint64_t evicted_ = 0;
+  SimTime first_time_ = 0;
+  SimTime last_time_ = 0;
+};
+
+}  // namespace scidive::core

@@ -1,0 +1,123 @@
+#include "scidive/trail_manager.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace scidive::core {
+
+SessionId TrailManager::classify(const Footprint& fp) {
+  switch (fp.protocol) {
+    case Protocol::kSip: {
+      const SipFootprint* sip = fp.sip();
+      if (sip != nullptr && !sip->call_id.empty()) return sip->call_id;
+      return "sip-anon";  // unparseable/malformed SIP shares one bucket
+    }
+    case Protocol::kAcc: {
+      const AccFootprint* acc = fp.acc();
+      if (acc != nullptr && !acc->call_id.empty()) return acc->call_id;
+      return "acc-anon";
+    }
+    case Protocol::kH225: {
+      const H225Footprint* h225 = fp.h225();
+      if (h225 != nullptr && !h225->call_id.empty()) return h225->call_id;
+      return "h225-anon";
+    }
+    case Protocol::kRas: {
+      const RasFootprint* ras = fp.ras();
+      if (ras != nullptr && !ras->call_id.empty()) return ras->call_id;
+      if (ras != nullptr && !ras->alias.empty()) return "ras-reg:" + ras->alias;
+      return "ras-anon";
+    }
+    case Protocol::kRtp:
+    case Protocol::kRtcp:
+    case Protocol::kUnknown: {
+      // Media correlates through SDP-learned endpoints. RTCP runs on
+      // media-port + 1; normalize to the even RTP port for the lookup.
+      auto normalize = [&](pkt::Endpoint ep) {
+        if (fp.protocol == Protocol::kRtcp && ep.port % 2 == 1) ep.port -= 1;
+        return ep;
+      };
+      for (pkt::Endpoint ep : {normalize(fp.src), normalize(fp.dst)}) {
+        if (auto session = session_for_media(ep)) {
+          ++stats_.rtp_bound_to_session;
+          return *session;
+        }
+      }
+      ++stats_.rtp_unbound;
+      return str::format("flow:%s->%s", fp.src.to_string().c_str(),
+                         fp.dst.to_string().c_str());
+    }
+  }
+  return "unclassified";
+}
+
+Trail& TrailManager::add(Footprint fp) {
+  TrailKey key{classify(fp), fp.protocol};
+  auto it = trails_.find(key);
+  if (it == trails_.end()) {
+    if (++session_trail_counts_[key.session] == 1) ++stats_.sessions_created;
+    it = trails_.emplace(key, std::make_unique<Trail>(key, max_footprints_per_trail_)).first;
+  }
+  it->second->append(std::move(fp));
+  ++stats_.footprints_routed;
+  return *it->second;
+}
+
+void TrailManager::bind_media_endpoint(const pkt::Endpoint& media, const SessionId& session) {
+  media_to_session_[media] = session;
+}
+
+void TrailManager::unbind_media_endpoint(const pkt::Endpoint& media) {
+  media_to_session_.erase(media);
+}
+
+std::optional<SessionId> TrailManager::session_for_media(const pkt::Endpoint& media) const {
+  auto it = media_to_session_.find(media);
+  if (it == media_to_session_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Trail* TrailManager::find(const SessionId& session, Protocol protocol) const {
+  auto it = trails_.find(TrailKey{session, protocol});
+  return it == trails_.end() ? nullptr : it->second.get();
+}
+
+Trail* TrailManager::find_mut(const SessionId& session, Protocol protocol) {
+  auto it = trails_.find(TrailKey{session, protocol});
+  return it == trails_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Trail*> TrailManager::session_trails(const SessionId& session) const {
+  std::vector<const Trail*> out;
+  for (const auto& [key, trail] : trails_) {
+    if (key.session == session) out.push_back(trail.get());
+  }
+  return out;
+}
+
+std::vector<SessionId> TrailManager::sessions() const {
+  std::vector<SessionId> out;
+  out.reserve(session_trail_counts_.size());
+  for (const auto& [session, count] : session_trail_counts_) out.push_back(session);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t TrailManager::expire_idle(SimTime cutoff) {
+  size_t dropped = 0;
+  for (auto it = trails_.begin(); it != trails_.end();) {
+    if (it->second->last_time() < cutoff) {
+      auto counter = session_trail_counts_.find(it->first.session);
+      if (counter != session_trail_counts_.end() && --counter->second == 0)
+        session_trail_counts_.erase(counter);
+      it = trails_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace scidive::core

@@ -1,0 +1,75 @@
+// TrailManager: routes footprints into per-session, per-protocol Trails and
+// owns the cross-protocol session correlation:
+//   - SIP footprints key by Call-ID;
+//   - RTP/RTCP footprints key by media endpoints learned from the session's
+//     SDP (both offered and answered);
+//   - ACC footprints key by the CDR's call_id field.
+// RTP with no known session gets a synthetic per-flow session so that rules
+// can still reason about unsignaled media ("flow:<src>-><dst>").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scidive/trail.h"
+
+namespace scidive::core {
+
+struct TrailManagerStats {
+  uint64_t footprints_routed = 0;
+  uint64_t sessions_created = 0;
+  uint64_t rtp_bound_to_session = 0;   // matched via SDP-learned endpoints
+  uint64_t rtp_unbound = 0;            // synthetic flow session
+};
+
+class TrailManager {
+ public:
+  explicit TrailManager(size_t max_footprints_per_trail = 4096)
+      : max_footprints_per_trail_(max_footprints_per_trail) {}
+
+  /// Route one footprint. Returns the trail it was appended to.
+  Trail& add(Footprint fp);
+
+  /// Register a media endpoint as belonging to a session (the Distiller
+  /// sees SDP; the EventGenerator calls this when signaling reveals where a
+  /// call's media will flow).
+  void bind_media_endpoint(const pkt::Endpoint& media, const SessionId& session);
+  void unbind_media_endpoint(const pkt::Endpoint& media);
+  std::optional<SessionId> session_for_media(const pkt::Endpoint& media) const;
+
+  /// Lookup; nullptr when the trail does not exist.
+  const Trail* find(const SessionId& session, Protocol protocol) const;
+  Trail* find_mut(const SessionId& session, Protocol protocol);
+
+  /// All trails of one session (the §3.2 "multiple trails for each
+  /// session, one for each protocol").
+  std::vector<const Trail*> session_trails(const SessionId& session) const;
+
+  std::vector<SessionId> sessions() const;
+  size_t trail_count() const { return trails_.size(); }
+  const TrailManagerStats& stats() const { return stats_; }
+
+  /// Drop every trail whose newest footprint is older than `cutoff`.
+  size_t expire_idle(SimTime cutoff);
+
+ private:
+  struct TrailKeyHash {
+    size_t operator()(const TrailKey& k) const noexcept {
+      return std::hash<std::string>{}(k.session) * 31 + static_cast<size_t>(k.protocol);
+    }
+  };
+
+  SessionId classify(const Footprint& fp);
+
+  size_t max_footprints_per_trail_;
+  std::unordered_map<TrailKey, std::unique_ptr<Trail>, TrailKeyHash> trails_;
+  std::unordered_map<std::string, int> session_trail_counts_;  // O(1) session accounting
+  std::unordered_map<pkt::Endpoint, SessionId> media_to_session_;
+  TrailManagerStats stats_;
+};
+
+}  // namespace scidive::core

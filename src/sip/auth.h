@@ -1,0 +1,55 @@
+// SIP digest authentication (RFC 3261 §22 / RFC 2617, no-qop variant that
+// 2004-era proxies like SIP Express Router shipped by default).
+//
+//   response = MD5( MD5(user:realm:password) : nonce : MD5(method:uri) )
+//
+// The registrar challenges REGISTER with 401 + WWW-Authenticate; the client
+// retries with an Authorization header. The password-guessing attack of
+// §3.3 brute-forces the `response` field against a fixed nonce.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace scidive::sip {
+
+/// WWW-Authenticate challenge parameters.
+struct DigestChallenge {
+  std::string realm;
+  std::string nonce;
+
+  std::string to_header_value() const;
+  static Result<DigestChallenge> parse(std::string_view header_value);
+};
+
+/// Authorization credentials presented by a client.
+struct DigestCredentials {
+  std::string username;
+  std::string realm;
+  std::string nonce;
+  std::string uri;
+  std::string response;  // 32 hex chars
+
+  std::string to_header_value() const;
+  static Result<DigestCredentials> parse(std::string_view header_value);
+};
+
+/// Compute the expected digest response.
+std::string compute_digest_response(std::string_view username, std::string_view realm,
+                                    std::string_view password, std::string_view method,
+                                    std::string_view uri, std::string_view nonce);
+
+/// Build credentials answering a challenge.
+DigestCredentials answer_challenge(const DigestChallenge& challenge, std::string_view username,
+                                   std::string_view password, std::string_view method,
+                                   std::string_view uri);
+
+/// Verify presented credentials against the known password.
+bool verify_digest(const DigestCredentials& creds, std::string_view password,
+                   std::string_view method);
+
+}  // namespace scidive::sip

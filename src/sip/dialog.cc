@@ -1,0 +1,35 @@
+#include "sip/dialog.h"
+
+namespace scidive::sip {
+
+std::string_view dialog_state_name(DialogState s) {
+  switch (s) {
+    case DialogState::kEarly: return "early";
+    case DialogState::kConfirmed: return "confirmed";
+    case DialogState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+bool Dialog::confirm(SimTime now) {
+  if (state_ != DialogState::kEarly) return false;
+  state_ = DialogState::kConfirmed;
+  confirmed_at_ = now;
+  return true;
+}
+
+bool Dialog::terminate(SimTime now) {
+  if (state_ == DialogState::kTerminated) return false;
+  state_ = DialogState::kTerminated;
+  terminated_at_ = now;
+  return true;
+}
+
+bool Dialog::accept_remote_cseq(uint32_t v) {
+  if (v == 0) return false;  // CSeq numbers start at 1 (RFC 3261 §8.1.1.5)
+  if (remote_cseq_ && v <= *remote_cseq_) return false;
+  remote_cseq_ = v;
+  return true;
+}
+
+}  // namespace scidive::sip

@@ -1,0 +1,84 @@
+// SIP dialog bookkeeping (RFC 3261 §12): identification by
+// (Call-ID, local tag, remote tag), state machine Early -> Confirmed ->
+// Terminated, and the media session parameters negotiated via SDP. Used
+// actively by the user agents and, in passive mirrored form, by the IDS's
+// event generator.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "pkt/addr.h"
+#include "sip/message.h"
+#include "sip/sdp.h"
+
+namespace scidive::sip {
+
+enum class DialogState { kEarly, kConfirmed, kTerminated };
+
+std::string_view dialog_state_name(DialogState s);
+
+struct DialogId {
+  std::string call_id;
+  std::string local_tag;
+  std::string remote_tag;
+
+  auto operator<=>(const DialogId&) const = default;
+  std::string to_string() const {
+    return call_id + ";l=" + local_tag + ";r=" + remote_tag;
+  }
+};
+
+/// One end's view of a dialog plus its negotiated audio session.
+class Dialog {
+ public:
+  Dialog(DialogId id, SipUri local_uri, SipUri remote_uri)
+      : id_(std::move(id)), local_uri_(std::move(local_uri)), remote_uri_(std::move(remote_uri)) {}
+
+  const DialogId& id() const { return id_; }
+  DialogState state() const { return state_; }
+  const SipUri& local_uri() const { return local_uri_; }
+  const SipUri& remote_uri() const { return remote_uri_; }
+
+  /// State transitions. Invalid transitions are ignored and return false
+  /// (e.g. confirming a terminated dialog), which callers may log.
+  bool confirm(SimTime now);
+  bool terminate(SimTime now);
+
+  SimTime confirmed_at() const { return confirmed_at_; }
+  SimTime terminated_at() const { return terminated_at_; }
+
+  // CSeq bookkeeping.
+  uint32_t next_local_cseq() { return ++local_cseq_; }
+  uint32_t local_cseq() const { return local_cseq_; }
+  void set_local_cseq(uint32_t v) { local_cseq_ = v; }
+  std::optional<uint32_t> remote_cseq() const { return remote_cseq_; }
+  /// Returns false if the request CSeq is stale (out of order).
+  bool accept_remote_cseq(uint32_t v);
+
+  // Media (from SDP offer/answer).
+  void set_local_media(pkt::Endpoint ep) { local_media_ = ep; }
+  void set_remote_media(pkt::Endpoint ep) { remote_media_ = ep; }
+  std::optional<pkt::Endpoint> local_media() const { return local_media_; }
+  std::optional<pkt::Endpoint> remote_media() const { return remote_media_; }
+
+  // Where in-dialog requests go.
+  void set_remote_target(pkt::Endpoint ep) { remote_target_ = ep; }
+  std::optional<pkt::Endpoint> remote_target() const { return remote_target_; }
+
+ private:
+  DialogId id_;
+  SipUri local_uri_;
+  SipUri remote_uri_;
+  DialogState state_ = DialogState::kEarly;
+  SimTime confirmed_at_ = 0;
+  SimTime terminated_at_ = 0;
+  uint32_t local_cseq_ = 0;
+  std::optional<uint32_t> remote_cseq_;
+  std::optional<pkt::Endpoint> local_media_;
+  std::optional<pkt::Endpoint> remote_media_;
+  std::optional<pkt::Endpoint> remote_target_;
+};
+
+}  // namespace scidive::sip

@@ -1,0 +1,102 @@
+#include "sip/sdp.h"
+
+#include "common/strings.h"
+
+namespace scidive::sip {
+
+Result<Sdp> Sdp::parse(std::string_view text) {
+  Sdp sdp;
+  bool saw_version = false;
+  for (auto raw_line : str::split(text, '\n')) {
+    std::string_view line = str::trim(raw_line);
+    if (line.empty()) continue;
+    if (line.size() < 2 || line[1] != '=')
+      return Error{Errc::kMalformed, "SDP line without '='"};
+    char type = line[0];
+    std::string_view value = line.substr(2);
+    switch (type) {
+      case 'v':
+        if (str::trim(value) != "0") return Error{Errc::kUnsupported, "SDP version != 0"};
+        saw_version = true;
+        break;
+      case 'o': {
+        // o=<user> <sess-id> <sess-version> IN IP4 <addr>
+        auto parts = str::split(value, ' ');
+        if (parts.size() < 6) return Error{Errc::kMalformed, "short o= line"};
+        sdp.origin_user = std::string(parts[0]);
+        auto sid = str::parse_u64(parts[1]);
+        auto sver = str::parse_u64(parts[2]);
+        if (!sid || !sver) return Error{Errc::kMalformed, "bad o= ids"};
+        sdp.session_id = *sid;
+        sdp.session_version = *sver;
+        sdp.origin_addr = std::string(parts[5]);
+        break;
+      }
+      case 's':
+        sdp.session_name = std::string(value);
+        break;
+      case 'c': {
+        // c=IN IP4 <addr>
+        auto parts = str::split(value, ' ');
+        if (parts.size() != 3 || parts[0] != "IN" || parts[1] != "IP4")
+          return Error{Errc::kMalformed, "unsupported c= line"};
+        sdp.connection_addr = std::string(parts[2]);
+        break;
+      }
+      case 'm': {
+        // m=audio <port> RTP/AVP <pt...>
+        auto parts = str::split(value, ' ');
+        if (parts.size() < 3) return Error{Errc::kMalformed, "short m= line"};
+        SdpMedia m;
+        m.type = std::string(parts[0]);
+        auto port = str::parse_u16(parts[1]);
+        if (!port) return Error{Errc::kMalformed, "bad m= port"};
+        m.port = *port;
+        m.proto = std::string(parts[2]);
+        for (size_t i = 3; i < parts.size(); ++i) {
+          auto pt = str::parse_u32(parts[i]);
+          if (!pt || *pt > 127) return Error{Errc::kMalformed, "bad payload type"};
+          m.payload_types.push_back(static_cast<uint8_t>(*pt));
+        }
+        sdp.media.push_back(std::move(m));
+        break;
+      }
+      default:
+        break;  // a=, t=, b= etc.: tolerated, ignored
+    }
+  }
+  if (!saw_version) return Error{Errc::kMalformed, "missing v=0"};
+  return sdp;
+}
+
+std::string Sdp::to_string() const {
+  std::string out;
+  out += "v=0\r\n";
+  out += str::format("o=%s %llu %llu IN IP4 %s\r\n", origin_user.c_str(),
+                     static_cast<unsigned long long>(session_id),
+                     static_cast<unsigned long long>(session_version), origin_addr.c_str());
+  out += "s=" + session_name + "\r\n";
+  if (!connection_addr.empty()) out += "c=IN IP4 " + connection_addr + "\r\n";
+  out += "t=0 0\r\n";
+  for (const auto& m : media) {
+    out += str::format("m=%s %u %s", m.type.c_str(), m.port, m.proto.c_str());
+    for (uint8_t pt : m.payload_types) out += str::format(" %u", pt);
+    out += "\r\n";
+  }
+  return out;
+}
+
+Sdp make_audio_sdp(std::string addr, uint16_t rtp_port, uint64_t session_id, uint64_t version) {
+  Sdp sdp;
+  sdp.session_id = session_id;
+  sdp.session_version = version;
+  sdp.origin_addr = addr;
+  sdp.connection_addr = std::move(addr);
+  SdpMedia m;
+  m.port = rtp_port;
+  m.payload_types = {0};  // PCMU
+  sdp.media.push_back(std::move(m));
+  return sdp;
+}
+
+}  // namespace scidive::sip

@@ -1,0 +1,47 @@
+// Minimal SDP (RFC 2327 subset): exactly what a 2004 softphone offers —
+// origin, session name, one connection line, one audio media line. The IDS
+// uses SDP to learn where a call's RTP is supposed to flow (cross-protocol
+// session correlation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scidive::sip {
+
+struct SdpMedia {
+  std::string type = "audio";      // m= media type
+  uint16_t port = 0;               // RTP port
+  std::string proto = "RTP/AVP";   // transport
+  std::vector<uint8_t> payload_types;  // e.g. {0} == PCMU
+};
+
+struct Sdp {
+  std::string origin_user = "-";
+  uint64_t session_id = 0;
+  uint64_t session_version = 0;
+  std::string origin_addr;      // o= address
+  std::string session_name = "-";
+  std::string connection_addr;  // c= address: where to send media
+  std::vector<SdpMedia> media;
+
+  static Result<Sdp> parse(std::string_view text);
+  std::string to_string() const;
+
+  /// First audio media entry, if any.
+  const SdpMedia* audio() const {
+    for (const auto& m : media) {
+      if (m.type == "audio") return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// Convenience: one-audio-stream offer/answer body.
+Sdp make_audio_sdp(std::string addr, uint16_t rtp_port, uint64_t session_id,
+                   uint64_t version = 1);
+
+}  // namespace scidive::sip

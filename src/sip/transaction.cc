@@ -1,0 +1,149 @@
+#include "sip/transaction.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scidive::sip {
+
+std::string TransactionManager::make_branch() {
+  return str::format("z9hG4bK-%llu-%llu", static_cast<unsigned long long>(next_branch_++),
+                     static_cast<unsigned long long>(env_.now ? env_.now() : 0));
+}
+
+std::string TransactionManager::client_key(const SipMessage& msg) {
+  auto via = msg.top_via();
+  std::string branch = via.ok() && via.value().branch() ? *via.value().branch() : "nobranch";
+  auto cs = msg.cseq();
+  std::string method = cs.ok() ? cs.value().method : "nomethod";
+  // ACK completes an INVITE transaction client-side; match on INVITE.
+  if (method == "ACK") method = "INVITE";
+  return branch + "|" + method;
+}
+
+std::string TransactionManager::server_key(const SipMessage& msg) {
+  auto via = msg.top_via();
+  std::string branch = via.ok() && via.value().branch() ? *via.value().branch() : "nobranch";
+  std::string method = msg.is_request() ? msg.method_text() : "rsp";
+  return branch + "|" + method;
+}
+
+void TransactionManager::send_request(SipMessage request, pkt::Endpoint dst,
+                                      ResponseHandler on_response) {
+  auto tx = std::make_shared<ClientTx>();
+  tx->request = std::move(request);
+  tx->dst = dst;
+  tx->on_response = std::move(on_response);
+  tx->started = env_.now();
+  std::string key = client_key(tx->request);
+  clients_[key] = tx;
+  env_.send_message(tx->request, dst);
+  arm_retransmit(key);
+}
+
+void TransactionManager::arm_retransmit(const std::string& key) {
+  auto it = clients_.find(key);
+  if (it == clients_.end()) return;
+  std::shared_ptr<ClientTx> tx = it->second;
+  env_.schedule(tx->interval, [this, key, tx] {
+    if (tx->done) return;
+    auto it2 = clients_.find(key);
+    if (it2 == clients_.end() || it2->second != tx) return;
+    if (env_.now() - tx->started >= kTimerB) {
+      tx->done = true;
+      clients_.erase(key);
+      ++timeouts_;
+      ClientResult result;
+      result.timed_out = true;
+      if (tx->on_response) tx->on_response(result);
+      return;
+    }
+    env_.send_message(tx->request, tx->dst);
+    ++retransmissions_sent_;
+    tx->interval = std::min<SimDuration>(tx->interval * 2, sec(4));
+    arm_retransmit(key);
+  });
+}
+
+void TransactionManager::on_message(const SipMessage& msg, pkt::Endpoint from) {
+  if (msg.is_response()) {
+    auto it = clients_.find(client_key(msg));
+    if (it == clients_.end()) {
+      if (stray_response_handler_) {
+        stray_response_handler_(msg, from);
+      } else {
+        LOG_DEBUG("sip.tx", "stray response %d dropped", msg.status_code());
+      }
+      return;
+    }
+    std::shared_ptr<ClientTx> tx = it->second;
+    ClientResult result;
+    result.response = msg;
+    result.peer = from;
+    if (status_class(msg.status_code()) == 1) {
+      // Provisional: report, keep the transaction alive (retransmission of
+      // the request stops per RFC once a provisional arrives; we keep the
+      // simpler behaviour of continuing slow retransmits).
+      if (tx->on_response) tx->on_response(result);
+      return;
+    }
+    tx->done = true;
+    clients_.erase(it);
+    if (tx->on_response) tx->on_response(result);
+    return;
+  }
+
+  // Request path.
+  if (msg.method() == Method::kAck) {
+    // ACK for 2xx is its own end-to-end message: deliver directly.
+    if (request_handler_) request_handler_(msg, from);
+    return;
+  }
+  std::string key = server_key(msg);
+  auto [it, inserted] = servers_.try_emplace(key);
+  if (!inserted) {
+    // Retransmission: replay last response if we have one.
+    if (it->second.last_response) {
+      env_.send_message(*it->second.last_response, it->second.peer);
+      ++retransmissions_sent_;
+    }
+    return;
+  }
+  it->second.peer = from;
+  it->second.created = env_.now();
+  if (request_handler_) request_handler_(msg, from);
+}
+
+void TransactionManager::respond(const SipMessage& request, SipMessage response,
+                                 pkt::Endpoint to) {
+  std::string key = server_key(request);
+  auto it = servers_.find(key);
+  if (it == servers_.end()) {
+    // Stateless respond (e.g. responding to a request we chose not to track).
+    env_.send_message(response, to);
+    return;
+  }
+  it->second.last_response = response;
+  it->second.peer = to;
+  env_.send_message(response, to);
+}
+
+SipMessage TransactionManager::make_response_for(const SipMessage& request, int code,
+                                                 std::string reason) {
+  SipMessage rsp = SipMessage::response(code, std::move(reason));
+  for (const char* h : {"Via", "From", "To", "Call-ID", "CSeq"}) {
+    for (auto v : request.headers().get_all(h)) rsp.headers().add(h, std::string(v));
+  }
+  return rsp;
+}
+
+void TransactionManager::gc() {
+  SimTime cutoff = env_.now() - kTimerB;
+  for (auto it = servers_.begin(); it != servers_.end();) {
+    if (it->second.created < cutoff)
+      it = servers_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace scidive::sip

@@ -1,0 +1,120 @@
+// SIP transaction layer (RFC 3261 §17, UDP flavor, simplified): client
+// transactions retransmit requests with exponential backoff until a final
+// response or timeout; server transactions absorb retransmitted requests by
+// replaying the last response. ACK is end-to-end and bypasses transactions.
+//
+// The layer is transport-agnostic: the owner injects send/schedule/now
+// callbacks (in this repo, a netsim::Host).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "pkt/addr.h"
+#include "sip/message.h"
+
+namespace scidive::sip {
+
+/// SIP timer T1 (RTT estimate) and the give-up bound per RFC 3261.
+constexpr SimDuration kTimerT1 = msec(500);
+constexpr SimDuration kTimerB = 64 * kTimerT1;
+
+/// Environment a TransactionManager runs in.
+struct TransactionEnv {
+  std::function<void(const SipMessage&, pkt::Endpoint)> send_message;
+  std::function<void(SimDuration, std::function<void()>)> schedule;
+  std::function<SimTime()> now;
+};
+
+/// Outcome reported for a client transaction.
+struct ClientResult {
+  bool timed_out = false;
+  SipMessage response = SipMessage::response(0, "");  // valid when !timed_out
+  pkt::Endpoint peer;
+};
+
+class TransactionManager {
+ public:
+  using ResponseHandler = std::function<void(const ClientResult&)>;
+  /// (request, source). Handlers respond via respond().
+  using RequestHandler = std::function<void(const SipMessage&, pkt::Endpoint)>;
+
+  explicit TransactionManager(TransactionEnv env) : env_(std::move(env)) {}
+
+  /// Issue a request as a new client transaction. The request must carry a
+  /// Via with a branch parameter (use make_branch()). Provisional (1xx)
+  /// responses are reported but do not complete the transaction.
+  void send_request(SipMessage request, pkt::Endpoint dst, ResponseHandler on_response);
+
+  /// Send a request without transaction state (used for ACK).
+  void send_stateless(const SipMessage& msg, pkt::Endpoint dst) { env_.send_message(msg, dst); }
+
+  /// Feed every incoming SIP message here. Requests surface through the
+  /// request handler exactly once per transaction; retransmissions replay
+  /// the stored response. Responses complete client transactions.
+  void on_message(const SipMessage& msg, pkt::Endpoint from);
+
+  void set_request_handler(RequestHandler handler) { request_handler_ = std::move(handler); }
+
+  /// Responses that match no client transaction (e.g. a retransmitted 2xx
+  /// whose transaction already completed — the UA core must re-ACK those,
+  /// RFC 3261 §13.2.2.4).
+  using StrayResponseHandler = std::function<void(const SipMessage&, pkt::Endpoint)>;
+  void set_stray_response_handler(StrayResponseHandler handler) {
+    stray_response_handler_ = std::move(handler);
+  }
+
+  /// Respond to a server transaction (keyed by the request's branch+method).
+  /// Later retransmissions of the same request get this response replayed.
+  void respond(const SipMessage& request, SipMessage response, pkt::Endpoint to);
+
+  /// Generate an RFC 3261 branch token (z9hG4bK-prefixed).
+  std::string make_branch();
+
+  /// Copy/derive the headers a response must echo from its request.
+  static SipMessage make_response_for(const SipMessage& request, int code, std::string reason);
+
+  size_t active_client_transactions() const { return clients_.size(); }
+  size_t active_server_transactions() const { return servers_.size(); }
+  uint64_t retransmissions_sent() const { return retransmissions_sent_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+  /// Drop completed server transactions older than 64*T1 (garbage
+  /// collection; call occasionally from the owner if long-running).
+  void gc();
+
+ private:
+  struct ClientTx {
+    SipMessage request = SipMessage::response(0, "");  // placeholder until set
+    pkt::Endpoint dst;
+    ResponseHandler on_response;
+    SimDuration interval = kTimerT1;
+    SimTime started = 0;
+    bool done = false;
+  };
+  struct ServerTx {
+    std::optional<SipMessage> last_response;
+    pkt::Endpoint peer;
+    SimTime created = 0;
+  };
+
+  void arm_retransmit(const std::string& key);
+
+  static std::string client_key(const SipMessage& msg);
+  static std::string server_key(const SipMessage& msg);
+
+  TransactionEnv env_;
+  RequestHandler request_handler_;
+  StrayResponseHandler stray_response_handler_;
+  std::map<std::string, std::shared_ptr<ClientTx>> clients_;
+  std::map<std::string, ServerTx> servers_;
+  uint64_t next_branch_ = 1;
+  uint64_t retransmissions_sent_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+}  // namespace scidive::sip

@@ -1,0 +1,86 @@
+#include "testbed/workload.h"
+
+#include <map>
+#include <memory>
+
+namespace scidive::testbed {
+
+void BenignWorkload::schedule() {
+  auto clients = testbed_.clients();
+  if (clients.size() < 2) return;
+  Rng& rng = testbed_.rng();
+  netsim::Simulator& sim = testbed_.sim();
+  double span = static_cast<double>(config_.span);
+
+  // Provision buddy lists so IMs go direct (stable sources).
+  for (auto* from : clients) {
+    for (auto* to : clients) {
+      if (from != to) from->add_contact(to->aor(), to->sip_endpoint());
+    }
+  }
+
+  // Calls with exponential talk times; a few migrate media mid-call. A
+  // client is in at most one call at a time (each softphone has one media
+  // port; a person has one mouth).
+  std::map<voip::UserAgent*, SimTime> busy_until;
+  for (int i = 0; i < config_.call_count; ++i) {
+    auto* caller = clients[static_cast<size_t>(rng.uniform_int(0, clients.size() - 1))];
+    voip::UserAgent* callee = caller;
+    while (callee == caller) {
+      callee = clients[static_cast<size_t>(rng.uniform_int(0, clients.size() - 1))];
+    }
+    SimDuration start = static_cast<SimDuration>(rng.uniform(0, span * 0.7));
+    start = std::max({start, busy_until[caller], busy_until[callee]});
+    SimDuration duration = std::max<SimDuration>(
+        sec(2), static_cast<SimDuration>(
+                    rng.exponential(static_cast<double>(config_.mean_call_duration))));
+    busy_until[caller] = busy_until[callee] = start + duration + sec(1);
+    bool migrate = i < config_.migration_count;
+
+    auto call_id = std::make_shared<std::string>();
+    sim.after(start, [caller, callee, call_id] {
+      if (caller->crashed()) return;
+      *call_id = caller->call(callee->config().user);
+    });
+    if (migrate) {
+      uint16_t new_port = static_cast<uint16_t>(19000 + i);
+      sim.after(start + duration / 2, [callee, call_id, new_port] {
+        if (call_id->empty() || callee->crashed()) return;
+        callee->migrate_media(*call_id,
+                              {callee->sip_endpoint().addr, new_port});
+      });
+    }
+    sim.after(start + duration, [caller, call_id] {
+      if (!call_id->empty()) caller->hangup(*call_id);
+    });
+    ++calls_scheduled_;
+  }
+
+  // Instant messages.
+  static const char* kTexts[] = {"hi", "lunch?", "meeting moved", "ok", "see figure 4"};
+  for (int i = 0; i < config_.im_count; ++i) {
+    auto* from = clients[static_cast<size_t>(rng.uniform_int(0, clients.size() - 1))];
+    voip::UserAgent* to = from;
+    while (to == from) {
+      to = clients[static_cast<size_t>(rng.uniform_int(0, clients.size() - 1))];
+    }
+    SimDuration at = static_cast<SimDuration>(rng.uniform(0, span));
+    std::string text = kTexts[static_cast<size_t>(rng.uniform_int(0, 4))];
+    std::string target = to->config().user;
+    sim.after(at, [from, target, text] {
+      if (!from->crashed()) from->send_im(target, text);
+    });
+    ++ims_scheduled_;
+  }
+
+  // Re-registrations (each produces the routine 401 dance when auth is on).
+  for (int i = 0; i < config_.reregister_count; ++i) {
+    auto* ua = clients[static_cast<size_t>(rng.uniform_int(0, clients.size() - 1))];
+    SimDuration at = static_cast<SimDuration>(rng.uniform(0, span));
+    sim.after(at, [ua] {
+      if (!ua->crashed()) ua->register_now();
+    });
+  }
+}
+
+}  // namespace scidive::testbed

@@ -1,0 +1,40 @@
+// Benign background workload: calls of random duration, direct instant
+// messages, mid-call media migrations and periodic re-registrations —
+// everything a healthy VoIP deployment does, including the behaviours the
+// paper singles out as false-alarm bait for naive rules (mobility
+// re-INVITEs, routine 401 challenge round-trips).
+#pragma once
+
+#include "testbed/testbed.h"
+
+namespace scidive::testbed {
+
+struct WorkloadConfig {
+  int call_count = 10;
+  SimDuration mean_call_duration = sec(8);
+  int im_count = 10;
+  int migration_count = 2;      // calls that migrate media mid-way
+  int reregister_count = 4;
+  SimDuration span = sec(60);   // activity window
+};
+
+class BenignWorkload {
+ public:
+  BenignWorkload(Testbed& testbed, WorkloadConfig config)
+      : testbed_(testbed), config_(config) {}
+
+  /// Schedule the whole workload onto the testbed's simulator, starting at
+  /// the current simulation time. Clients must already be registered.
+  void schedule();
+
+  int calls_scheduled() const { return calls_scheduled_; }
+  int ims_scheduled() const { return ims_scheduled_; }
+
+ private:
+  Testbed& testbed_;
+  WorkloadConfig config_;
+  int calls_scheduled_ = 0;
+  int ims_scheduled_ = 0;
+};
+
+}  // namespace scidive::testbed

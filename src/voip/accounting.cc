@@ -1,0 +1,79 @@
+#include "voip/accounting.h"
+
+#include "common/strings.h"
+
+namespace scidive::voip {
+
+std::string AccRecord::serialize() const {
+  return str::format("ACC %s call_id=%s from=%s to=%s t=%lld",
+                     kind == Kind::kStart ? "START" : "STOP", call_id.c_str(), from_aor.c_str(),
+                     to_aor.c_str(), static_cast<long long>(timestamp));
+}
+
+Result<AccRecord> AccRecord::parse(std::string_view line) {
+  auto parts = str::split(str::trim(line), ' ');
+  if (parts.size() < 2 || parts[0] != "ACC") return Error{Errc::kMalformed, "not an ACC line"};
+  AccRecord r;
+  if (parts[1] == "START") {
+    r.kind = Kind::kStart;
+  } else if (parts[1] == "STOP") {
+    r.kind = Kind::kStop;
+  } else {
+    return Error{Errc::kMalformed, "ACC kind"};
+  }
+  for (size_t i = 2; i < parts.size(); ++i) {
+    auto kv = str::split_once(parts[i], '=');
+    if (!kv) return Error{Errc::kMalformed, "ACC field without '='"};
+    if (kv->first == "call_id") {
+      r.call_id = std::string(kv->second);
+    } else if (kv->first == "from") {
+      r.from_aor = std::string(kv->second);
+    } else if (kv->first == "to") {
+      r.to_aor = std::string(kv->second);
+    } else if (kv->first == "t") {
+      auto t = str::parse_u64(kv->second);
+      if (!t) return Error{Errc::kMalformed, "ACC bad timestamp"};
+      r.timestamp = static_cast<SimTime>(*t);
+    }
+  }
+  if (r.call_id.empty() || r.from_aor.empty())
+    return Error{Errc::kMalformed, "ACC missing call_id/from"};
+  return r;
+}
+
+void AccountingClient::call_started(const std::string& call_id, const std::string& from_aor,
+                                    const std::string& to_aor) {
+  send(AccRecord{AccRecord::Kind::kStart, call_id, from_aor, to_aor, host_.now()});
+}
+
+void AccountingClient::call_stopped(const std::string& call_id, const std::string& from_aor,
+                                    const std::string& to_aor) {
+  send(AccRecord{AccRecord::Kind::kStop, call_id, from_aor, to_aor, host_.now()});
+}
+
+void AccountingClient::send(AccRecord record) {
+  host_.send_udp(local_port_, database_, record.serialize());
+  ++records_sent_;
+}
+
+BillingDatabase::BillingDatabase(netsim::Host& host) : host_(host) {
+  host_.bind_udp(kAccPort,
+                 [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime) {
+                   auto record = AccRecord::parse(std::string_view(
+                       reinterpret_cast<const char*>(payload.data()), payload.size()));
+                   if (!record) return;
+                   records_.push_back(record.value());
+                   host_.send_udp(kAccPort, from,
+                                  str::format("OK %zu", records_.size()));
+                 });
+}
+
+std::map<std::string, int> BillingDatabase::bill_counts() const {
+  std::map<std::string, int> counts;
+  for (const auto& r : records_) {
+    if (r.kind == AccRecord::Kind::kStart) ++counts[r.from_aor];
+  }
+  return counts;
+}
+
+}  // namespace scidive::voip

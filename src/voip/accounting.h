@@ -1,0 +1,70 @@
+// The accounting subsystem of the §3.2 billing-fraud example: the proxy's
+// AccountingClient sends CDR transactions over a tiny line-based UDP
+// protocol ("ACC") to a BillingDatabase host, which stores them and acks.
+// The IDS decodes ACC datagrams into accounting footprints and correlates
+// them with the SIP trail.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "netsim/host.h"
+
+namespace scidive::voip {
+
+/// One accounting transaction on the wire.
+struct AccRecord {
+  enum class Kind { kStart, kStop };
+  Kind kind = Kind::kStart;
+  std::string call_id;
+  std::string from_aor;  // the billed party
+  std::string to_aor;
+  SimTime timestamp = 0;
+
+  /// Wire format: "ACC START|STOP call_id=<..> from=<..> to=<..> t=<usec>"
+  std::string serialize() const;
+  static Result<AccRecord> parse(std::string_view line);
+};
+
+constexpr uint16_t kAccPort = 9009;
+
+/// Runs on the proxy host; fires CDR transactions at the database.
+class AccountingClient {
+ public:
+  AccountingClient(netsim::Host& host, pkt::Endpoint database, uint16_t local_port = 9010)
+      : host_(host), database_(database), local_port_(local_port) {}
+
+  void call_started(const std::string& call_id, const std::string& from_aor,
+                    const std::string& to_aor);
+  void call_stopped(const std::string& call_id, const std::string& from_aor,
+                    const std::string& to_aor);
+
+  uint64_t records_sent() const { return records_sent_; }
+
+ private:
+  void send(AccRecord record);
+
+  netsim::Host& host_;
+  pkt::Endpoint database_;
+  uint16_t local_port_;
+  uint64_t records_sent_ = 0;
+};
+
+/// The database server: stores CDRs, replies "OK <n>".
+class BillingDatabase {
+ public:
+  explicit BillingDatabase(netsim::Host& host);
+
+  const std::vector<AccRecord>& records() const { return records_; }
+  /// Total billed call-starts per AOR (who pays).
+  std::map<std::string, int> bill_counts() const;
+
+ private:
+  netsim::Host& host_;
+  std::vector<AccRecord> records_;
+};
+
+}  // namespace scidive::voip

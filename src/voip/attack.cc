@@ -1,0 +1,476 @@
+#include "voip/attack.h"
+
+#include "common/strings.h"
+#include "rtp/rtcp.h"
+#include "rtp/rtp.h"
+#include "sip/sdp.h"
+
+namespace scidive::voip {
+
+using sip::Method;
+using sip::SipMessage;
+
+// --- CallSniffer ---
+
+netsim::PacketTap CallSniffer::tap() {
+  return [this](const pkt::Packet& packet) {
+    auto udp = pkt::parse_udp_packet(packet.data);
+    if (!udp) return;
+    auto msg = SipMessage::parse(udp.value().payload);
+    if (!msg) return;
+    ++sip_seen_;
+    on_sip(msg.value(), udp.value().source(), udp.value().destination());
+  };
+}
+
+void CallSniffer::on_sip(const SipMessage& msg, pkt::Endpoint src, pkt::Endpoint dst) {
+  auto call_id = msg.call_id();
+  if (!call_id) return;
+  auto from = msg.from();
+  auto to = msg.to();
+  if (!from.ok() || !to.ok()) return;
+
+  if (msg.is_request() && msg.method() == Method::kInvite) {
+    // An in-dialog re-INVITE (To carries a tag) means the media moved; it
+    // must not overwrite what we learned about the original caller.
+    if (to.value().tag()) {
+      auto existing = by_call_id_.find(*call_id);
+      if (existing != by_call_id_.end()) existing->second.migrated = true;
+      return;
+    }
+    auto cs = msg.cseq();
+    auto [it, inserted] = by_call_id_.try_emplace(*call_id);
+    ObservedCall& call = it->second;
+    if (inserted) {
+      order_.push_back(*call_id);
+      call.call_id = *call_id;
+      call.caller_aor = from.value().uri.address_of_record();
+      call.callee_aor = to.value().uri.address_of_record();
+      call.caller_tag = from.value().tag().value_or("");
+    }
+    if (cs.ok()) call.last_caller_cseq = std::max(call.last_caller_cseq, cs.value().number);
+    // The caller's SIP endpoint comes from its Contact header (the packet
+    // source may be the proxy on the second hop).
+    auto contact = msg.contact();
+    if (contact.ok()) {
+      if (auto ip = pkt::Ipv4Address::parse(contact.value().uri.host()))
+        call.caller_sip = {*ip, contact.value().uri.port_or_default()};
+    }
+    auto sdp = sip::Sdp::parse(msg.body());
+    if (sdp.ok() && sdp.value().audio() != nullptr) {
+      if (auto ip = pkt::Ipv4Address::parse(sdp.value().connection_addr))
+        call.caller_media = {*ip, sdp.value().audio()->port};
+    }
+    (void)src;
+    (void)dst;
+    return;
+  }
+
+  auto it = by_call_id_.find(*call_id);
+  if (it == by_call_id_.end()) return;
+  ObservedCall& call = it->second;
+
+  if (msg.is_response() && msg.status_code() == 200) {
+    auto cs = msg.cseq();
+    if (cs.ok() && cs.value().method == "INVITE") {
+      call.confirmed = true;
+      if (to.value().tag()) call.callee_tag = *to.value().tag();
+      auto contact = msg.contact();
+      if (contact.ok()) {
+        if (auto ip = pkt::Ipv4Address::parse(contact.value().uri.host()))
+          call.callee_sip = {*ip, contact.value().uri.port_or_default()};
+      }
+      auto sdp = sip::Sdp::parse(msg.body());
+      if (sdp.ok() && sdp.value().audio() != nullptr) {
+        if (auto ip = pkt::Ipv4Address::parse(sdp.value().connection_addr))
+          call.callee_media = {*ip, sdp.value().audio()->port};
+      }
+    }
+    return;
+  }
+  if (msg.is_request() && msg.method() == Method::kBye) {
+    call.torn_down = true;
+  }
+}
+
+std::vector<ObservedCall> CallSniffer::calls() const {
+  std::vector<ObservedCall> out;
+  out.reserve(order_.size());
+  for (const auto& id : order_) out.push_back(by_call_id_.at(id));
+  return out;
+}
+
+std::optional<ObservedCall> CallSniffer::latest_active_call() const {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const ObservedCall& call = by_call_id_.at(*it);
+    if (call.confirmed && !call.torn_down) return call;
+  }
+  return std::nullopt;
+}
+
+std::optional<ObservedCall> CallSniffer::latest_active_call_of(const std::string& aor) const {
+  // Prefer two-way calls whose media positions are still as signaled at
+  // setup (an already-migrated call makes a poor forgery target: one side
+  // has legitimately gone silent).
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const ObservedCall& call = by_call_id_.at(*it);
+    if (call.confirmed && !call.torn_down && !call.migrated &&
+        (call.caller_aor == aor || call.callee_aor == aor))
+      return call;
+  }
+  return std::nullopt;
+}
+
+// --- ByeAttacker ---
+
+void ByeAttacker::attack(const ObservedCall& call, bool attack_caller) {
+  // Victim = the side that receives the forged BYE; impostor = the peer the
+  // BYE pretends to come from.
+  pkt::Endpoint victim = attack_caller ? call.caller_sip : call.callee_sip;
+  pkt::Endpoint impostor = attack_caller ? call.callee_sip : call.caller_sip;
+  const std::string& victim_aor = attack_caller ? call.caller_aor : call.callee_aor;
+  const std::string& impostor_aor = attack_caller ? call.callee_aor : call.caller_aor;
+  const std::string& victim_tag = attack_caller ? call.caller_tag : call.callee_tag;
+  const std::string& impostor_tag = attack_caller ? call.callee_tag : call.caller_tag;
+
+  auto bye = SipMessage::request(
+      Method::kBye, sip::SipUri(victim_aor.substr(0, victim_aor.find('@')),
+                                victim.addr.to_string(), victim.port));
+  sip::Via via;
+  via.host = impostor.addr.to_string();
+  via.port = impostor.port;
+  via.params["branch"] = str::format("z9hG4bK-forged-%llu",
+                                     static_cast<unsigned long long>(byes_sent_ + 1));
+  bye.headers().add("Via", via.to_string());
+  bye.headers().add("Max-Forwards", "70");
+  bye.headers().add("From", "<sip:" + impostor_aor + ">;tag=" + impostor_tag);
+  bye.headers().add("To", "<sip:" + victim_aor + ">;tag=" + victim_tag);
+  bye.headers().add("Call-ID", call.call_id);
+  bye.headers().add("CSeq", str::format("%u BYE", call.last_caller_cseq + 100));
+
+  // Spoof the source IP: on a shared 2004-era segment nothing stops this.
+  auto packet = pkt::make_udp_packet(impostor, victim, from_string(bye.to_string()));
+  host_.send_raw(std::move(packet));
+  ++byes_sent_;
+}
+
+// --- FakeImAttacker ---
+
+void FakeImAttacker::send(pkt::Endpoint victim_sip, const std::string& claimed_from_aor,
+                          const std::string& text) {
+  auto msg = SipMessage::request(
+      Method::kMessage, sip::SipUri("", victim_sip.addr.to_string(), victim_sip.port));
+  sip::Via via;
+  via.host = host_.address().to_string();
+  via.port = 5060;
+  via.params["branch"] = str::format("z9hG4bK-fakeim-%llu",
+                                     static_cast<unsigned long long>(counter_));
+  msg.headers().add("Via", via.to_string());
+  msg.headers().add("Max-Forwards", "70");
+  msg.headers().add("From", "<sip:" + claimed_from_aor + ">;tag=" +
+                                str::format("t%llu", static_cast<unsigned long long>(counter_)));
+  msg.headers().add("To", "<sip:" + claimed_from_aor + ">");  // victim display irrelevant
+  msg.headers().add("Call-ID",
+                    str::format("fakeim-%llu", static_cast<unsigned long long>(counter_)));
+  msg.headers().add("CSeq", "1 MESSAGE");
+  msg.set_body(text, "text/plain");
+  ++counter_;
+  // Sent from the attacker's own address: the header lies, the IP doesn't.
+  host_.send_udp(5060, victim_sip, msg.to_string());
+  ++messages_sent_;
+}
+
+void FakeImAttacker::send_spoofed(pkt::Endpoint victim_sip, const std::string& claimed_from_aor,
+                                  pkt::Endpoint spoofed_source, const std::string& text) {
+  auto msg = SipMessage::request(
+      Method::kMessage, sip::SipUri("", victim_sip.addr.to_string(), victim_sip.port));
+  sip::Via via;
+  via.host = spoofed_source.addr.to_string();
+  via.port = spoofed_source.port;
+  via.params["branch"] = str::format("z9hG4bK-fakeim-sp-%llu",
+                                     static_cast<unsigned long long>(counter_));
+  msg.headers().add("Via", via.to_string());
+  msg.headers().add("Max-Forwards", "70");
+  msg.headers().add("From", "<sip:" + claimed_from_aor + ">;tag=" +
+                                str::format("sp%llu", static_cast<unsigned long long>(counter_)));
+  msg.headers().add("To", "<sip:" + claimed_from_aor + ">");
+  msg.headers().add("Call-ID",
+                    str::format("fakeim-sp-%llu", static_cast<unsigned long long>(counter_)));
+  msg.headers().add("CSeq", "1 MESSAGE");
+  msg.set_body(text, "text/plain");
+  ++counter_;
+  auto packet = pkt::make_udp_packet(spoofed_source, victim_sip, from_string(msg.to_string()));
+  host_.send_raw(std::move(packet));
+  ++messages_sent_;
+}
+
+// --- CallHijacker ---
+
+void CallHijacker::attack(const ObservedCall& call, pkt::Endpoint new_media,
+                          bool attack_caller) {
+  pkt::Endpoint victim = attack_caller ? call.caller_sip : call.callee_sip;
+  pkt::Endpoint impostor = attack_caller ? call.callee_sip : call.caller_sip;
+  const std::string& victim_aor = attack_caller ? call.caller_aor : call.callee_aor;
+  const std::string& impostor_aor = attack_caller ? call.callee_aor : call.caller_aor;
+  const std::string& victim_tag = attack_caller ? call.caller_tag : call.callee_tag;
+  const std::string& impostor_tag = attack_caller ? call.callee_tag : call.caller_tag;
+
+  auto reinvite = SipMessage::request(
+      Method::kInvite, sip::SipUri(victim_aor.substr(0, victim_aor.find('@')),
+                                   victim.addr.to_string(), victim.port));
+  sip::Via via;
+  via.host = impostor.addr.to_string();
+  via.port = impostor.port;
+  via.params["branch"] = str::format("z9hG4bK-hijack-%llu",
+                                     static_cast<unsigned long long>(reinvites_sent_ + 1));
+  reinvite.headers().add("Via", via.to_string());
+  reinvite.headers().add("Max-Forwards", "70");
+  reinvite.headers().add("From", "<sip:" + impostor_aor + ">;tag=" + impostor_tag);
+  reinvite.headers().add("To", "<sip:" + victim_aor + ">;tag=" + victim_tag);
+  reinvite.headers().add("Call-ID", call.call_id);
+  reinvite.headers().add("CSeq", str::format("%u INVITE", call.last_caller_cseq + 100));
+  reinvite.headers().add("Contact", "<sip:" + impostor_aor.substr(0, impostor_aor.find('@')) +
+                                        "@" + new_media.addr.to_string() + ">");
+  auto sdp = sip::make_audio_sdp(new_media.addr.to_string(), new_media.port, 999, 2);
+  reinvite.set_body(sdp.to_string(), "application/sdp");
+
+  auto packet = pkt::make_udp_packet(impostor, victim, from_string(reinvite.to_string()));
+  host_.send_raw(std::move(packet));
+  ++reinvites_sent_;
+}
+
+// --- RtcpByeForger ---
+
+void RtcpByeForger::attack(const ObservedCall& call, bool attack_caller) {
+  // The forged RTCP BYE claims the impostor's stream ended; it is aimed at
+  // the victim's RTCP port with the impostor's media address spoofed.
+  pkt::Endpoint victim_media = attack_caller ? call.caller_media : call.callee_media;
+  pkt::Endpoint impostor_media = attack_caller ? call.callee_media : call.caller_media;
+  rtp::RtcpBye bye;
+  bye.ssrcs = {0xdeadbeef};  // SSRC is unauthenticated; any value passes
+  bye.reason = "forged";
+  pkt::Endpoint src{impostor_media.addr, static_cast<uint16_t>(impostor_media.port + 1)};
+  pkt::Endpoint dst{victim_media.addr, static_cast<uint16_t>(victim_media.port + 1)};
+  auto packet = pkt::make_udp_packet(src, dst, rtp::serialize_rtcp(bye));
+  host_.send_raw(std::move(packet));
+  ++byes_sent_;
+}
+
+// --- RtpInjector ---
+
+void RtpInjector::start(pkt::Endpoint victim_media, Options options) {
+  tick(victim_media, options, options.count);
+}
+
+void RtpInjector::tick(pkt::Endpoint victim, Options options, int remaining) {
+  if (remaining <= 0) return;
+  Bytes garbage(rtp::kRtpMinHeaderLen + options.payload_len);
+  for (auto& b : garbage) b = static_cast<uint8_t>(rng_.next_u32());
+  if (options.keep_version_bits) {
+    garbage[0] = 0x80;  // V=2, no padding/extension/CSRC
+    garbage[1] &= 0x7f; // sane payload type byte
+  }
+  host_.send_udp(40000, victim, garbage);
+  ++packets_sent_;
+  host_.after(options.interval, [this, victim, options, remaining] {
+    tick(victim, options, remaining - 1);
+  });
+}
+
+// --- RegisterFlooder ---
+
+RegisterFlooder::RegisterFlooder(netsim::Host& host, pkt::Endpoint proxy, std::string user,
+                                 std::string domain, uint16_t local_port)
+    : host_(host),
+      proxy_(proxy),
+      user_(std::move(user)),
+      domain_(std::move(domain)),
+      local_port_(local_port),
+      call_id_(str::format("flood-%s@%s", user_.c_str(), host.address().to_string().c_str())) {
+  host_.bind_udp(local_port_, [this](pkt::Endpoint, std::span<const uint8_t> payload, SimTime) {
+    auto rsp = SipMessage::parse(payload);
+    if (rsp.ok() && rsp.value().is_response() && rsp.value().status_code() == 401)
+      ++responses_401_;  // noted — and pointedly ignored
+  });
+}
+
+void RegisterFlooder::start(int count, SimDuration interval) {
+  if (count <= 0) return;
+  auto req = SipMessage::request(Method::kRegister, sip::SipUri("", domain_));
+  sip::Via via;
+  via.host = host_.address().to_string();
+  via.port = local_port_;
+  via.params["branch"] = str::format("z9hG4bK-flood-%u", ++cseq_);
+  req.headers().add("Via", via.to_string());
+  req.headers().add("Max-Forwards", "70");
+  std::string aor = "<sip:" + user_ + "@" + domain_ + ">";
+  req.headers().add("From", aor + ";tag=flood");
+  req.headers().add("To", aor);
+  req.headers().add("Call-ID", call_id_);
+  req.headers().add("CSeq", str::format("%u REGISTER", cseq_));
+  req.headers().add("Contact", "<sip:" + user_ + "@" + host_.address().to_string() +
+                                   str::format(":%u", local_port_) + ">");
+  host_.send_udp(local_port_, proxy_, req.to_string());
+  ++sent_;
+  host_.after(interval, [this, count, interval] { start(count - 1, interval); });
+}
+
+// --- PasswordGuesser ---
+
+PasswordGuesser::PasswordGuesser(netsim::Host& host, pkt::Endpoint proxy, std::string user,
+                                 std::string domain, uint16_t local_port)
+    : host_(host),
+      proxy_(proxy),
+      user_(std::move(user)),
+      domain_(std::move(domain)),
+      local_port_(local_port),
+      call_id_(str::format("guess-%s@%s", user_.c_str(), host.address().to_string().c_str())) {
+  host_.bind_udp(local_port_, [this](pkt::Endpoint, std::span<const uint8_t> payload, SimTime) {
+    auto rsp = SipMessage::parse(payload);
+    if (rsp.ok() && rsp.value().is_response()) on_response(rsp.value());
+  });
+}
+
+void PasswordGuesser::start(std::vector<std::string> guesses, SimDuration interval) {
+  guesses_ = std::move(guesses);
+  interval_ = interval;
+  next_guess_ = 0;
+  send_register(nullptr);  // first request unauthenticated, to earn a challenge
+}
+
+void PasswordGuesser::send_register(const std::string* guess) {
+  auto req = SipMessage::request(Method::kRegister, sip::SipUri("", domain_));
+  sip::Via via;
+  via.host = host_.address().to_string();
+  via.port = local_port_;
+  via.params["branch"] = str::format("z9hG4bK-guess-%u", ++cseq_);
+  req.headers().add("Via", via.to_string());
+  req.headers().add("Max-Forwards", "70");
+  std::string aor = "<sip:" + user_ + "@" + domain_ + ">";
+  req.headers().add("From", aor + ";tag=guess");
+  req.headers().add("To", aor);
+  req.headers().add("Call-ID", call_id_);
+  req.headers().add("CSeq", str::format("%u REGISTER", cseq_));
+  req.headers().add("Contact", "<sip:" + user_ + "@" + host_.address().to_string() +
+                                   str::format(":%u", local_port_) + ">");
+  if (guess != nullptr && challenge_) {
+    auto creds = sip::answer_challenge(*challenge_, user_, *guess, "REGISTER",
+                                       "sip:" + domain_);
+    req.headers().add("Authorization", creds.to_header_value());
+    ++attempts_;
+  }
+  host_.send_udp(local_port_, proxy_, req.to_string());
+}
+
+void PasswordGuesser::on_response(const SipMessage& rsp) {
+  if (succeeded_) return;
+  if (rsp.status_code() == 200) {
+    auto cs = rsp.cseq();
+    if (cs.ok() && cs.value().method == "REGISTER" && attempts_ > 0) succeeded_ = true;
+    return;
+  }
+  if (rsp.status_code() != 401) return;
+  auto challenge_header = rsp.headers().get("WWW-Authenticate");
+  if (challenge_header) {
+    auto ch = sip::DigestChallenge::parse(*challenge_header);
+    if (ch.ok()) challenge_ = ch.value();
+  }
+  if (next_guess_ >= guesses_.size() || !challenge_) return;  // dictionary exhausted
+  std::string guess = guesses_[next_guess_++];
+  host_.after(interval_, [this, guess] { send_register(&guess); });
+}
+
+// --- BillingFraudster ---
+
+BillingFraudster::BillingFraudster(netsim::Host& host, pkt::Endpoint proxy, std::string domain,
+                                   uint16_t sip_port, uint16_t rtp_port)
+    : host_(host),
+      proxy_(proxy),
+      domain_(std::move(domain)),
+      sip_port_(sip_port),
+      rtp_port_(rtp_port) {
+  host_.bind_udp(sip_port_, [this](pkt::Endpoint from, std::span<const uint8_t> payload,
+                                   SimTime) { on_sip(from, payload); });
+}
+
+void BillingFraudster::place_fraudulent_call(const std::string& target_user,
+                                             const std::string& billed_aor) {
+  active_call_id_ = str::format("fraud-%llu@%s", static_cast<unsigned long long>(counter_++),
+                                host_.address().to_string().c_str());
+  local_tag_ = str::format("fraudtag-%llu", static_cast<unsigned long long>(counter_));
+
+  auto invite = SipMessage::request(Method::kInvite, sip::SipUri(target_user, domain_));
+  sip::Via via;
+  via.host = host_.address().to_string();
+  via.port = sip_port_;
+  via.params["branch"] = str::format("z9hG4bK-fraud-%llu",
+                                     static_cast<unsigned long long>(counter_));
+  invite.headers().add("Via", via.to_string());
+  invite.headers().add("Max-Forwards", "70");
+  // The From header is the attacker's own (a throwaway identity)…
+  invite.headers().add("From", "<sip:mallory@" + domain_ + ">;tag=" + local_tag_);
+  invite.headers().add("To", "<sip:" + target_user + "@" + domain_ + ">");
+  invite.headers().add("Call-ID", active_call_id_);
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", "<sip:mallory@" + host_.address().to_string() +
+                                      str::format(":%u", sip_port_) + ">");
+  // …while the crafted header exploits the proxy's billing bug (§3.2).
+  invite.headers().add("X-Billing-Identity", billed_aor);
+  auto sdp = sip::make_audio_sdp(host_.address().to_string(), rtp_port_, counter_);
+  invite.set_body(sdp.to_string(), "application/sdp");
+  host_.send_udp(sip_port_, proxy_, invite.to_string());
+  ++calls_placed_;
+}
+
+void BillingFraudster::on_sip(pkt::Endpoint from, std::span<const uint8_t> payload) {
+  auto msg = SipMessage::parse(payload);
+  if (!msg.ok() || !msg.value().is_response()) return;
+  const auto& rsp = msg.value();
+  if (rsp.status_code() != 200 || rsp.call_id() != active_call_id_) return;
+  auto cs = rsp.cseq();
+  if (!cs.ok() || cs.value().method != "INVITE") return;
+
+  // Complete the handshake: ACK direct to the callee's contact, then stream.
+  pkt::Endpoint remote_sip = from;
+  auto contact = rsp.contact();
+  if (contact.ok()) {
+    if (auto ip = pkt::Ipv4Address::parse(contact.value().uri.host()))
+      remote_sip = {*ip, contact.value().uri.port_or_default()};
+  }
+  auto to_hdr = rsp.to();
+  std::string remote_tag = to_hdr.ok() ? to_hdr.value().tag().value_or("") : "";
+
+  auto ack = SipMessage::request(
+      Method::kAck, sip::SipUri("", remote_sip.addr.to_string(), remote_sip.port));
+  sip::Via via;
+  via.host = host_.address().to_string();
+  via.port = sip_port_;
+  via.params["branch"] = str::format("z9hG4bK-fraudack-%llu",
+                                     static_cast<unsigned long long>(counter_));
+  ack.headers().add("Via", via.to_string());
+  ack.headers().add("From", "<sip:mallory@" + domain_ + ">;tag=" + local_tag_);
+  ack.headers().add("To", to_hdr.ok() ? to_hdr.value().to_string() : "<sip:x@y>");
+  ack.headers().add("Call-ID", active_call_id_);
+  ack.headers().add("CSeq", "1 ACK");
+  host_.send_udp(sip_port_, remote_sip, ack.to_string());
+
+  auto sdp = sip::Sdp::parse(rsp.body());
+  if (sdp.ok() && sdp.value().audio() != nullptr) {
+    if (auto ip = pkt::Ipv4Address::parse(sdp.value().connection_addr)) {
+      media_tick({*ip, sdp.value().audio()->port}, 100);
+    }
+  }
+}
+
+void BillingFraudster::media_tick(pkt::Endpoint remote, int remaining) {
+  if (remaining <= 0) return;
+  rtp::RtpHeader h;
+  h.sequence = static_cast<uint16_t>(1000 + 100 - remaining);
+  h.timestamp = static_cast<uint32_t>((100 - remaining) * rtp::kSamplesPer20Ms);
+  h.ssrc = 0xf4a0d;
+  Bytes payload(160, 0xd5);
+  host_.send_udp(rtp_port_, remote, rtp::serialize_rtp(h, payload));
+  host_.after(msec(20), [this, remote, remaining] { media_tick(remote, remaining - 1); });
+}
+
+}  // namespace scidive::voip

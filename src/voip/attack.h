@@ -1,0 +1,247 @@
+// The attack toolkit: reproductions of the paper's four attacks (§4.2) plus
+// the two stateful-detection scenarios of §3.3 and the billing-fraud exploit
+// of §3.2. An on-hub CallSniffer gives attackers the same vantage point the
+// paper assumes (a shared segment where dialog identifiers can be learned).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "netsim/host.h"
+#include "sip/auth.h"
+#include "sip/message.h"
+
+namespace scidive::voip {
+
+/// Everything an on-hub observer can learn about a call in progress —
+/// exactly the knowledge the BYE/hijack forgeries need.
+struct ObservedCall {
+  std::string call_id;
+  std::string caller_aor;
+  std::string callee_aor;
+  std::string caller_tag;
+  std::string callee_tag;
+  pkt::Endpoint caller_sip;
+  pkt::Endpoint callee_sip;
+  pkt::Endpoint caller_media;
+  pkt::Endpoint callee_media;
+  uint32_t last_caller_cseq = 0;
+  bool confirmed = false;  // saw the 200 to INVITE
+  bool torn_down = false;  // saw a BYE
+  bool migrated = false;   // saw an in-dialog re-INVITE (media moved)
+};
+
+/// Passive SIP observer for a broadcast segment. Attach to the Network as a
+/// tap; it decodes SIP signaling and accumulates ObservedCall state.
+class CallSniffer {
+ public:
+  /// The tap to register: network.add_tap(sniffer.tap()).
+  netsim::PacketTap tap();
+
+  std::vector<ObservedCall> calls() const;
+  /// Most recent confirmed, not-yet-torn-down call, if any.
+  std::optional<ObservedCall> latest_active_call() const;
+  /// Most recent active call with the given AOR as caller or callee.
+  std::optional<ObservedCall> latest_active_call_of(const std::string& aor) const;
+  uint64_t sip_messages_seen() const { return sip_seen_; }
+
+ private:
+  void on_sip(const sip::SipMessage& msg, pkt::Endpoint src, pkt::Endpoint dst);
+
+  std::map<std::string, ObservedCall> by_call_id_;
+  std::vector<std::string> order_;  // call ids in first-seen order
+  uint64_t sip_seen_ = 0;
+};
+
+/// §4.2.1 BYE attack: forge a BYE to the victim that appears to come from
+/// the peer (spoofed source IP + correct dialog identifiers). The victim
+/// stops its media; the unaware peer keeps streaming -> orphan RTP flow.
+class ByeAttacker {
+ public:
+  explicit ByeAttacker(netsim::Host& host) : host_(host) {}
+
+  /// Tear down `call` from the victim's point of view. If attack_caller is
+  /// true the forged BYE goes to the caller (pretending to be the callee),
+  /// otherwise to the callee.
+  void attack(const ObservedCall& call, bool attack_caller = true);
+
+  uint64_t byes_sent() const { return byes_sent_; }
+
+ private:
+  netsim::Host& host_;
+  uint64_t byes_sent_ = 0;
+};
+
+/// §4.2.2 Fake Instant Messaging: a MESSAGE whose From header claims to be
+/// a trusted user but which originates from the attacker's own address
+/// (the rule's observable: source IP differs from the claimed user's usual
+/// address).
+class FakeImAttacker {
+ public:
+  explicit FakeImAttacker(netsim::Host& host) : host_(host) {}
+
+  void send(pkt::Endpoint victim_sip, const std::string& claimed_from_aor,
+            const std::string& text);
+
+  /// The stronger variant the paper concedes defeats the endpoint rule:
+  /// the source IP is spoofed to the claimed user's real endpoint, so the
+  /// IP-consistency check passes. Only cooperative detection catches this.
+  void send_spoofed(pkt::Endpoint victim_sip, const std::string& claimed_from_aor,
+                    pkt::Endpoint spoofed_source, const std::string& text);
+
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  netsim::Host& host_;
+  uint64_t messages_sent_ = 0;
+  uint64_t counter_ = 1;
+};
+
+/// §4.2.3 Call Hijacking: a forged in-dialog re-INVITE that redirects the
+/// victim's outgoing media to the attacker's address.
+class CallHijacker {
+ public:
+  explicit CallHijacker(netsim::Host& host) : host_(host) {}
+
+  /// Redirect the media the victim (caller if attack_caller) is sending so
+  /// it flows to new_media (typically a port on the attacker's host).
+  void attack(const ObservedCall& call, pkt::Endpoint new_media, bool attack_caller = true);
+
+  uint64_t reinvites_sent() const { return reinvites_sent_; }
+
+ private:
+  netsim::Host& host_;
+  uint64_t reinvites_sent_ = 0;
+};
+
+/// Extension attack: a forged RTCP BYE claiming the peer's stream ended —
+/// the RTCP-plane analogue of the §4.2.1 BYE attack. Clients that honor
+/// RTCP BYE mute the caller; the IDS detects the stream continuing after
+/// its own announced end.
+class RtcpByeForger {
+ public:
+  explicit RtcpByeForger(netsim::Host& host) : host_(host) {}
+
+  /// Forge "the callee's stream is over" toward the caller (or vice versa).
+  void attack(const ObservedCall& call, bool attack_caller = true);
+
+  uint64_t byes_sent() const { return byes_sent_; }
+
+ private:
+  netsim::Host& host_;
+  uint64_t byes_sent_ = 0;
+};
+
+/// §4.2.4 RTP attack: flood the victim's media port with packets whose
+/// header and payload are random bytes (optionally keeping the RTP version
+/// bits valid so the garbage reaches the jitter buffer).
+class RtpInjector {
+ public:
+  RtpInjector(netsim::Host& host, uint64_t seed) : host_(host), rng_(seed) {}
+
+  struct Options {
+    int count = 50;
+    SimDuration interval = msec(5);
+    bool keep_version_bits = true;  // true: garbage that parses as RTP
+    size_t payload_len = 160;
+  };
+
+  void start(pkt::Endpoint victim_media, Options options);
+  void start(pkt::Endpoint victim_media) { start(victim_media, Options{}); }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void tick(pkt::Endpoint victim, Options options, int remaining);
+
+  netsim::Host& host_;
+  Rng rng_;
+  uint64_t packets_sent_ = 0;
+};
+
+/// §3.3 DoS: repeated unauthenticated REGISTERs that ignore the 401s.
+class RegisterFlooder {
+ public:
+  RegisterFlooder(netsim::Host& host, pkt::Endpoint proxy, std::string user,
+                  std::string domain, uint16_t local_port = 5080);
+
+  void start(int count, SimDuration interval = msec(50));
+
+  uint64_t sent() const { return sent_; }
+  uint64_t responses_401() const { return responses_401_; }
+
+ private:
+  netsim::Host& host_;
+  pkt::Endpoint proxy_;
+  std::string user_;
+  std::string domain_;
+  uint16_t local_port_;
+  std::string call_id_;
+  uint32_t cseq_ = 0;
+  uint64_t sent_ = 0;
+  uint64_t responses_401_ = 0;
+};
+
+/// §3.3 password guessing: answer the registrar's digest challenge with a
+/// dictionary of guesses, one per attempt, in a single REGISTER session.
+class PasswordGuesser {
+ public:
+  PasswordGuesser(netsim::Host& host, pkt::Endpoint proxy, std::string user,
+                  std::string domain, uint16_t local_port = 5081);
+
+  void start(std::vector<std::string> guesses, SimDuration interval = msec(50));
+
+  bool succeeded() const { return succeeded_; }
+  uint64_t attempts() const { return attempts_; }
+
+ private:
+  void send_register(const std::string* guess);
+  void on_response(const sip::SipMessage& rsp);
+
+  netsim::Host& host_;
+  pkt::Endpoint proxy_;
+  std::string user_;
+  std::string domain_;
+  uint16_t local_port_;
+  std::string call_id_;
+  uint32_t cseq_ = 0;
+  std::optional<sip::DigestChallenge> challenge_;
+  std::vector<std::string> guesses_;
+  size_t next_guess_ = 0;
+  SimDuration interval_ = msec(50);
+  bool succeeded_ = false;
+  uint64_t attempts_ = 0;
+};
+
+/// §3.2 billing fraud: exploit the proxy's billing-identity bug by placing
+/// a call whose crafted X-Billing-Identity header bills someone else.
+class BillingFraudster {
+ public:
+  BillingFraudster(netsim::Host& host, pkt::Endpoint proxy, std::string domain,
+                   uint16_t sip_port = 5082, uint16_t rtp_port = 17000);
+
+  /// Call `target_user`, billing the call to `billed_aor`. The fraudster
+  /// completes the handshake (200/ACK) and streams RTP like a real caller.
+  void place_fraudulent_call(const std::string& target_user, const std::string& billed_aor);
+
+  uint64_t calls_placed() const { return calls_placed_; }
+
+ private:
+  void on_sip(pkt::Endpoint from, std::span<const uint8_t> payload);
+  void media_tick(pkt::Endpoint remote, int remaining);
+
+  netsim::Host& host_;
+  pkt::Endpoint proxy_;
+  std::string domain_;
+  uint16_t sip_port_;
+  uint16_t rtp_port_;
+  uint64_t counter_ = 1;
+  uint64_t calls_placed_ = 0;
+  std::string active_call_id_;
+  std::string local_tag_;
+};
+
+}  // namespace scidive::voip

@@ -1,0 +1,226 @@
+#include "voip/proxy.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace scidive::voip {
+
+using sip::Method;
+using sip::SipMessage;
+
+ProxyRegistrar::ProxyRegistrar(netsim::Host& host, ProxyConfig config)
+    : host_(host), config_(std::move(config)) {
+  if (config_.realm.empty()) config_.realm = config_.domain;
+  host_.bind_udp(config_.sip_port,
+                 [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now) {
+                   on_datagram(from, payload, now);
+                 });
+}
+
+void ProxyRegistrar::add_user(const std::string& user, const std::string& password) {
+  passwords_[user] = password;
+}
+
+std::optional<pkt::Endpoint> ProxyRegistrar::lookup(const std::string& aor) const {
+  auto it = bindings_.find(aor);
+  if (it == bindings_.end()) return std::nullopt;
+  if (it->second.expires_at != 0 && it->second.expires_at < host_.now()) return std::nullopt;
+  return it->second.contact;
+}
+
+void ProxyRegistrar::reply(const SipMessage& req, int code, const std::string& reason,
+                           pkt::Endpoint to) {
+  auto rsp = SipMessage::response(code, reason);
+  for (const char* h : {"Via", "From", "To", "Call-ID", "CSeq"}) {
+    for (auto v : req.headers().get_all(h)) rsp.headers().add(h, std::string(v));
+  }
+  host_.send_udp(config_.sip_port, to, rsp.to_string());
+}
+
+void ProxyRegistrar::on_datagram(pkt::Endpoint from, std::span<const uint8_t> payload,
+                                 SimTime now) {
+  auto msg = SipMessage::parse(payload);
+  if (!msg) {
+    LOG_DEBUG("proxy", "unparseable SIP datagram from %s", from.to_string().c_str());
+    return;
+  }
+  if (msg.value().is_response()) {
+    forward_response(std::move(msg.value()));
+    return;
+  }
+  if (msg.value().method() == Method::kRegister) {
+    handle_register(msg.value(), from, now);
+    return;
+  }
+  forward_request(std::move(msg.value()), from);
+}
+
+void ProxyRegistrar::handle_register(const SipMessage& req, pkt::Endpoint from, SimTime now) {
+  auto from_hdr = req.from();
+  if (!from_hdr.ok() || !req.well_formed()) {
+    ++stats_.registers_rejected;
+    reply(req, 400, "Bad Request", from);
+    return;
+  }
+  std::string aor = from_hdr.value().uri.address_of_record();
+  std::string user = from_hdr.value().uri.user();
+
+  if (config_.require_auth) {
+    auto pw = passwords_.find(user);
+    if (pw == passwords_.end()) {
+      ++stats_.registers_rejected;
+      reply(req, 403, "Forbidden", from);
+      return;
+    }
+    auto auth_header = req.headers().get("Authorization");
+    bool authed = false;
+    if (auth_header) {
+      auto creds = sip::DigestCredentials::parse(*auth_header);
+      authed = creds.ok() && creds.value().username == user &&
+               sip::verify_digest(creds.value(), pw->second, "REGISTER");
+    }
+    if (!authed) {
+      // Challenge (or re-challenge a wrong guess) with 401.
+      sip::DigestChallenge challenge{
+          .realm = config_.realm,
+          .nonce = str::format("n%llu-%lld", static_cast<unsigned long long>(nonce_counter_++),
+                               static_cast<long long>(now))};
+      auto rsp = SipMessage::response(401, "Unauthorized");
+      for (const char* h : {"Via", "From", "To", "Call-ID", "CSeq"}) {
+        for (auto v : req.headers().get_all(h)) rsp.headers().add(h, std::string(v));
+      }
+      rsp.headers().add("WWW-Authenticate", challenge.to_header_value());
+      host_.send_udp(config_.sip_port, from, rsp.to_string());
+      ++stats_.registers_challenged;
+      return;
+    }
+  }
+
+  // Bind the contact.
+  pkt::Endpoint contact = from;
+  auto contact_hdr = req.contact();
+  if (contact_hdr.ok()) {
+    auto addr = pkt::Ipv4Address::parse(contact_hdr.value().uri.host());
+    if (addr) contact = {*addr, contact_hdr.value().uri.port_or_default()};
+  }
+  uint32_t expires = req.expires().value_or(config_.default_expires);
+  bindings_[aor] =
+      Binding{contact, expires == 0 ? now : now + static_cast<SimDuration>(expires) * kSecond};
+  if (expires == 0) bindings_.erase(aor);  // de-registration
+  ++stats_.registers_accepted;
+  reply(req, 200, "OK", from);
+}
+
+void ProxyRegistrar::forward_request(SipMessage req, pkt::Endpoint from) {
+  // Loop detection: if we already have a Via on this request, drop it.
+  std::string own_host = host_.address().to_string();
+  for (auto v : req.headers().get_all("Via")) {
+    auto via = sip::Via::parse(v);
+    if (via.ok() && via.value().host == own_host) {
+      ++stats_.loops_dropped;
+      return;
+    }
+  }
+
+  uint32_t max_forwards = req.max_forwards().value_or(70);
+  if (max_forwards == 0) {
+    ++stats_.loops_dropped;
+    reply(req, 483, "Too Many Hops", from);
+    return;
+  }
+  req.headers().set("Max-Forwards", str::format("%u", max_forwards - 1));
+
+  // Resolve the next hop: IP-literal request URIs go straight there,
+  // domain URIs through the registrar bindings.
+  pkt::Endpoint target;
+  const sip::SipUri& uri = req.request_uri();
+  if (auto ip = pkt::Ipv4Address::parse(uri.host())) {
+    target = {*ip, uri.port_or_default()};
+  } else {
+    auto binding = lookup(uri.address_of_record());
+    if (!binding) {
+      ++stats_.not_found;
+      reply(req, 404, "Not Found", from);
+      return;
+    }
+    target = *binding;
+  }
+
+  // Push our Via so the response returns through us. Retransmissions of
+  // the same client transaction reuse our previous branch.
+  std::string tx_key;
+  {
+    auto via = req.top_via();
+    auto cs = req.cseq();
+    tx_key = (via.ok() && via.value().branch() ? *via.value().branch() : "?") + "|" +
+             req.method_text() + "|" + (cs.ok() ? cs.value().to_string() : "?");
+  }
+  auto [branch_it, fresh_tx] = branch_map_.try_emplace(tx_key);
+  if (fresh_tx) {
+    branch_it->second = str::format("z9hG4bK-proxy-%llu",
+                                    static_cast<unsigned long long>(nonce_counter_++));
+  }
+  const std::string& branch = branch_it->second;
+  sip::Via own;
+  own.host = own_host;
+  own.port = config_.sip_port;
+  own.params["branch"] = branch;
+  std::vector<std::string> vias;
+  for (auto v : req.headers().get_all("Via")) vias.emplace_back(v);
+  req.headers().remove("Via");
+  req.headers().add("Via", own.to_string());
+  for (auto& v : vias) req.headers().add("Via", v);
+
+  // Accounting: remember INVITEs so the 200 passing back can be billed.
+  if (req.method() == Method::kInvite && accounting_ != nullptr) {
+    auto from_hdr = req.from();
+    auto to_hdr = req.to();
+    std::string billed = from_hdr.ok() ? from_hdr.value().uri.address_of_record() : "?";
+    if (billing_identity_bug_) {
+      // The §3.2 vulnerability: a crafted header overrides the billed
+      // identity without any validation.
+      if (auto forged = req.headers().get("X-Billing-Identity")) billed = std::string(*forged);
+    }
+    pending_bills_[branch] = PendingBill{
+        req.call_id().value_or("?"), billed,
+        to_hdr.ok() ? to_hdr.value().uri.address_of_record() : "?"};
+  }
+
+  host_.send_udp(config_.sip_port, target, req.to_string());
+  ++stats_.requests_forwarded;
+}
+
+void ProxyRegistrar::forward_response(SipMessage rsp) {
+  std::vector<std::string> vias;
+  for (auto v : rsp.headers().get_all("Via")) vias.emplace_back(v);
+  if (vias.empty()) return;
+  auto top = sip::Via::parse(vias[0]);
+  if (!top.ok() || top.value().host != host_.address().to_string()) {
+    LOG_DEBUG("proxy", "response whose top Via is not ours; dropping");
+    return;
+  }
+  if (vias.size() < 2) return;  // nowhere to forward
+
+  // Accounting: a 200 completing a tracked INVITE starts billing.
+  if (rsp.status_code() == 200 && accounting_ != nullptr && top.value().branch()) {
+    auto it = pending_bills_.find(*top.value().branch());
+    if (it != pending_bills_.end()) {
+      auto cs = rsp.cseq();
+      if (cs.ok() && cs.value().method == "INVITE") {
+        accounting_->call_started(it->second.call_id, it->second.from_aor, it->second.to_aor);
+        pending_bills_.erase(it);
+      }
+    }
+  }
+
+  rsp.headers().remove("Via");
+  for (size_t i = 1; i < vias.size(); ++i) rsp.headers().add("Via", vias[i]);
+  auto next = sip::Via::parse(vias[1]);
+  if (!next.ok()) return;
+  auto addr = pkt::Ipv4Address::parse(next.value().host);
+  if (!addr) return;
+  host_.send_udp(config_.sip_port, {*addr, next.value().port}, rsp.to_string());
+  ++stats_.responses_forwarded;
+}
+
+}  // namespace scidive::voip

@@ -1,0 +1,94 @@
+// SIP proxy + registrar (SIP Express Router stand-in): registrar bindings
+// with optional digest authentication, stateless-ish forwarding of initial
+// requests by registrar lookup, Via push/pop for responses, and accounting
+// hooks that emit CDR transactions when calls are established (the third
+// protocol of the §3.2 billing-fraud example).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "netsim/host.h"
+#include "sip/auth.h"
+#include "sip/message.h"
+#include "voip/accounting.h"
+
+namespace scidive::voip {
+
+struct ProxyConfig {
+  std::string domain = "lab.net";
+  uint16_t sip_port = 5060;
+  bool require_auth = false;            // digest-challenge REGISTER
+  std::string realm;                    // defaults to domain
+  uint32_t default_expires = 3600;
+};
+
+struct ProxyStats {
+  uint64_t registers_accepted = 0;
+  uint64_t registers_challenged = 0;
+  uint64_t registers_rejected = 0;
+  uint64_t requests_forwarded = 0;
+  uint64_t responses_forwarded = 0;
+  uint64_t not_found = 0;
+  uint64_t loops_dropped = 0;
+};
+
+class ProxyRegistrar {
+ public:
+  ProxyRegistrar(netsim::Host& host, ProxyConfig config);
+
+  /// Provision a subscriber (user + digest password).
+  void add_user(const std::string& user, const std::string& password);
+
+  /// Attach the accounting client that receives call-start CDRs.
+  void set_accounting(AccountingClient* accounting) { accounting_ = accounting; }
+
+  /// Current registered contact for an AOR, if any.
+  std::optional<pkt::Endpoint> lookup(const std::string& aor) const;
+
+  const ProxyStats& stats() const { return stats_; }
+  size_t bindings() const { return bindings_.size(); }
+
+  /// Exploitable parsing bug toggle for the §3.2 billing-fraud scenario:
+  /// when on, a crafted INVITE carrying an "X-Billing-Identity" header makes
+  /// the proxy bill the call to that identity instead of the real From user
+  /// (modeling "a carefully crafted SIP message fools the proxy into
+  /// believing the call is initiated by someone else").
+  void set_billing_identity_bug(bool enabled) { billing_identity_bug_ = enabled; }
+
+ private:
+  struct Binding {
+    pkt::Endpoint contact;
+    SimTime expires_at = 0;
+  };
+  struct PendingBill {
+    std::string call_id;
+    std::string from_aor;
+    std::string to_aor;
+  };
+
+  void on_datagram(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now);
+  void handle_register(const sip::SipMessage& req, pkt::Endpoint from, SimTime now);
+  void forward_request(sip::SipMessage req, pkt::Endpoint from);
+  void forward_response(sip::SipMessage rsp);
+  void reply(const sip::SipMessage& req, int code, const std::string& reason, pkt::Endpoint to);
+
+  netsim::Host& host_;
+  ProxyConfig config_;
+  std::map<std::string, Binding> bindings_;          // aor -> contact
+  std::map<std::string, std::string> passwords_;     // user -> password
+  AccountingClient* accounting_ = nullptr;
+  std::map<std::string, PendingBill> pending_bills_;  // by our Via branch
+  /// Transaction-stateful forwarding: a retransmitted request (same client
+  /// branch/method/CSeq) is forwarded under the SAME proxy branch so the
+  /// callee's transaction layer can absorb it instead of seeing a fresh
+  /// transaction (real SER behaves this way).
+  std::map<std::string, std::string> branch_map_;  // client tx key -> our branch
+  ProxyStats stats_;
+  uint64_t nonce_counter_ = 1;
+  bool billing_identity_bug_ = false;
+};
+
+}  // namespace scidive::voip

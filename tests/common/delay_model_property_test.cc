@@ -1,0 +1,98 @@
+// Property tests tying DelayModel's three faces together: the sampler, the
+// closed-form cdf/pdf/mean/variance and the numeric integrators built on
+// them must all agree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace scidive {
+namespace {
+
+struct ModelCase {
+  const char* name;
+  DelayModel model;
+};
+
+class DelayModelProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static const ModelCase& current() {
+    static const ModelCase kCases[] = {
+        {"uniform", DelayModel::uniform(msec(1), msec(9))},
+        {"exponential", DelayModel::exponential(msec(2), msec(7))},
+        {"normal", DelayModel::normal(msec(10), msec(2))},
+        {"fixed", DelayModel::fixed(msec(5))},
+    };
+    return kCases[GetParam()];
+  }
+};
+
+TEST_P(DelayModelProperty, EmpiricalCdfMatchesClosedForm) {
+  const DelayModel& model = current().model;
+  Rng rng(101 + GetParam());
+  const int kN = 40000;
+  for (double q : {0.25, 0.5, 0.75, 0.9}) {
+    double x = model.mean() * (0.5 + q);  // probe points around the mass
+    int below = 0;
+    Rng local(202 + GetParam());
+    for (int i = 0; i < kN; ++i) {
+      if (static_cast<double>(model.sample(local)) <= x) ++below;
+    }
+    double empirical = static_cast<double>(below) / kN;
+    EXPECT_NEAR(empirical, model.cdf(x), 0.015)
+        << current().name << " at x=" << x;
+  }
+  (void)rng;
+}
+
+TEST_P(DelayModelProperty, EmpiricalMomentsMatchClosedForms) {
+  const DelayModel& model = current().model;
+  Rng rng(303 + GetParam());
+  const int kN = 60000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double v = static_cast<double>(model.sample(rng));
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kN;
+  double variance = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, model.mean(), std::max(20.0, model.mean() * 0.02)) << current().name;
+  double tolerance = std::max(1000.0, model.variance() * 0.05);
+  EXPECT_NEAR(variance, model.variance(), tolerance) << current().name;
+}
+
+TEST_P(DelayModelProperty, PdfIntegratesToCdf) {
+  const DelayModel& model = current().model;
+  if (model.kind() == DelayKind::kFixed) return;  // Dirac: pdf is 0 by contract
+  double lo = 0;
+  double hi = model.support_max();
+  const int kSteps = 20000;
+  double h = (hi - lo) / kSteps;
+  double integral = 0;
+  for (int i = 0; i < kSteps; ++i) {
+    double x = lo + (i + 0.5) * h;
+    integral += model.pdf(x) * h;
+  }
+  EXPECT_NEAR(integral, model.cdf(hi) - model.cdf(lo), 0.01) << current().name;
+  EXPECT_NEAR(integral, 1.0, 0.02) << current().name;  // total mass
+}
+
+TEST_P(DelayModelProperty, CdfMonotone) {
+  const DelayModel& model = current().model;
+  double last = -1;
+  for (int i = 0; i <= 50; ++i) {
+    double x = model.support_max() * i / 50.0;
+    double c = model.cdf(x);
+    EXPECT_GE(c, last - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    last = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DelayModelProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace scidive

@@ -1,0 +1,55 @@
+#include "common/md5.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace scidive {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex("abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(
+      Md5::hex("12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+      "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalUpdatesMatchOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  Md5 md5;
+  for (char c : msg) md5.update(std::string_view(&c, 1));
+  auto digest = md5.digest();
+  EXPECT_EQ(to_hex(digest), "9e107d9d372bb6826bd81d3542a419d6");
+}
+
+TEST(Md5, BlockBoundaries) {
+  // Messages of length 55, 56, 63, 64, 65 exercise padding edge cases.
+  for (size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(n, 'x');
+    Md5 a;
+    a.update(msg);
+    Md5 b;
+    b.update(msg.substr(0, n / 2));
+    b.update(msg.substr(n / 2));
+    EXPECT_EQ(to_hex(a.digest()), to_hex(b.digest())) << "length " << n;
+  }
+}
+
+TEST(Md5, SipDigestExample) {
+  // RFC 2617 §3.5 example (same construction SIP digest auth uses).
+  std::string ha1 = Md5::hex("Mufasa:testrealm@host.com:Circle Of Life");
+  std::string ha2 = Md5::hex("GET:/dir/index.html");
+  std::string response =
+      Md5::hex(ha1 + ":dcd98b7102dd2f0e8b11d0f600bfb0c093:00000001:0a4f113b:auth:" + ha2);
+  EXPECT_EQ(response, "6629fae49393a05397450978507c4ef1");
+}
+
+}  // namespace
+}  // namespace scidive

@@ -1,0 +1,61 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace scidive {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error{Errc::kInvalidArgument, "not positive"};
+  return v;
+}
+
+TEST(Result, OkPath) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(Result, ErrorPath) {
+  auto r = parse_positive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Result, ErrorToString) {
+  Error e{Errc::kTruncated, "udp header"};
+  EXPECT_EQ(e.to_string(), "truncated: udp header");
+  Error bare{Errc::kChecksum, ""};
+  EXPECT_EQ(bare.to_string(), "checksum");
+}
+
+TEST(ErrcName, AllNamed) {
+  for (Errc c : {Errc::kOk, Errc::kTruncated, Errc::kMalformed, Errc::kUnsupported,
+                 Errc::kChecksum, Errc::kNotFound, Errc::kInvalidArgument, Errc::kState}) {
+    EXPECT_STRNE(errc_name(c), "unknown");
+  }
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status err = Error{Errc::kState, "bad"};
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Errc::kState);
+}
+
+}  // namespace
+}  // namespace scidive

@@ -1,0 +1,112 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scidive {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(5);
+  Rng a_child = a.fork();
+  Rng b(5);
+  Rng b_child = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a_child.next_u64(), b_child.next_u64());
+}
+
+// --- DelayModel ---
+
+TEST(DelayModel, FixedAlwaysSame) {
+  Rng rng(1);
+  auto m = DelayModel::fixed(msec(5));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(rng), msec(5));
+  EXPECT_DOUBLE_EQ(m.mean(), 5000.0);
+}
+
+TEST(DelayModel, UniformWithinBounds) {
+  Rng rng(2);
+  auto m = DelayModel::uniform(msec(1), msec(3));
+  double sum = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    auto v = m.sample(rng);
+    EXPECT_GE(v, msec(1));
+    EXPECT_LE(v, msec(3));
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kN, m.mean(), 30.0);  // within 30us of the 2ms mean
+}
+
+TEST(DelayModel, ExponentialMeanMatches) {
+  Rng rng(3);
+  auto m = DelayModel::exponential(msec(1), msec(4));  // floor 1ms, mean 4ms
+  double sum = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    auto v = m.sample(rng);
+    EXPECT_GE(v, msec(1));
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kN, 4000.0, 60.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 4000.0);
+}
+
+TEST(DelayModel, NormalTruncatedAtZero) {
+  Rng rng(4);
+  auto m = DelayModel::normal(msec(1), msec(5));  // heavy truncation
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(m.sample(rng), 0);
+}
+
+TEST(DelayModel, DescribeMentionsKind) {
+  EXPECT_NE(DelayModel::fixed(msec(1)).describe().find("fixed"), std::string::npos);
+  EXPECT_NE(DelayModel::uniform(0, msec(1)).describe().find("uniform"), std::string::npos);
+  EXPECT_NE(DelayModel::exponential(0, msec(1)).describe().find("exp"), std::string::npos);
+  EXPECT_NE(DelayModel::normal(msec(1), msec(1)).describe().find("normal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidive

@@ -1,0 +1,175 @@
+// H.323 plant end-to-end, and the SCIDIVE engine watching the other CMP:
+// the paper's architecture claims protocol-generality ("can operate with
+// both classes of protocols", §1) — here the same rules detect the
+// ReleaseComplete forgery that the BYE rule detects on SIP.
+#include <gtest/gtest.h>
+
+#include "h323/attack.h"
+#include "h323/endpoint.h"
+#include "h323/gatekeeper.h"
+#include "scidive/engine.h"
+
+namespace scidive::h323 {
+namespace {
+
+struct H323Fixture {
+  netsim::Simulator sim;
+  netsim::Network net{sim, 1988};
+  netsim::Host gk_host{"gk", pkt::Ipv4Address(10, 0, 0, 50), net};
+  netsim::Host a_host{"h323-a", pkt::Ipv4Address(10, 0, 0, 1), net};
+  netsim::Host b_host{"h323-b", pkt::Ipv4Address(10, 0, 0, 2), net};
+  netsim::Host attacker_host{"attacker", pkt::Ipv4Address(10, 0, 0, 66), net};
+  Gatekeeper gk{gk_host};
+  Endpoint a;
+  Endpoint b;
+
+  H323Fixture()
+      : a(a_host, config("alice")), b(b_host, config("bob")) {
+    for (netsim::Host* host : {&gk_host, &a_host, &b_host, &attacker_host}) {
+      net.attach(*host, netsim::LinkConfig{.delay = DelayModel::fixed(msec(1))});
+    }
+  }
+
+  EndpointConfig config(const std::string& alias) {
+    EndpointConfig c;
+    c.alias = alias;
+    c.gatekeeper = {gk_host.address(), kRasPort};
+    return c;
+  }
+
+  std::string establish_call(SimDuration talk = sec(2)) {
+    a.register_now();
+    b.register_now();
+    sim.run_until(sim.now() + sec(1));
+    std::string call_id = a.call("bob");
+    sim.run_until(sim.now() + talk);
+    return call_id;
+  }
+};
+
+TEST(H323, RegistrationWithGatekeeper) {
+  H323Fixture f;
+  bool a_ok = false;
+  f.a.register_now([&](bool ok) { a_ok = ok; });
+  f.sim.run_until(sec(1));
+  EXPECT_TRUE(a_ok);
+  EXPECT_TRUE(f.a.registered());
+  EXPECT_EQ(f.gk.registered(), 1u);
+  EXPECT_EQ(f.gk.lookup("alice"), f.a.signal_endpoint());
+}
+
+TEST(H323, EndToEndCallWithMedia) {
+  H323Fixture f;
+  std::string established;
+  f.b.on_call_established = [&](const std::string& id) { established = id; };
+  std::string call_id = f.establish_call(sec(3));
+  EXPECT_EQ(established, call_id);
+  EXPECT_EQ(f.a.active_calls(), 1u);
+  EXPECT_EQ(f.b.active_calls(), 1u);
+  EXPECT_GT(f.a.stats().rtp_sent, 50u);
+  EXPECT_GT(f.b.stats().rtp_received, 50u);
+  EXPECT_EQ(f.gk.stats().admissions_granted, 1u);
+}
+
+TEST(H323, CallToUnregisteredAliasRejected) {
+  H323Fixture f;
+  f.a.register_now();
+  f.sim.run_until(sec(1));
+  f.a.call("ghost");
+  f.sim.run_until(f.sim.now() + sec(2));
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  EXPECT_EQ(f.gk.stats().admissions_rejected, 1u);
+}
+
+TEST(H323, HangupTearsDownBothSides) {
+  H323Fixture f;
+  std::string call_id = f.establish_call(sec(2));
+  f.a.hangup(call_id);
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  EXPECT_EQ(f.b.active_calls(), 0u);
+  EXPECT_EQ(f.gk.stats().disengages, 1u);
+  uint64_t sent = f.a.stats().rtp_sent + f.b.stats().rtp_sent;
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_EQ(f.a.stats().rtp_sent + f.b.stats().rtp_sent, sent);  // silence
+}
+
+TEST(H323, BusyEndpointRejects) {
+  H323Fixture f;
+  auto cfg = f.config("busy");
+  cfg.auto_answer = false;
+  netsim::Host h{"busy", pkt::Ipv4Address(10, 0, 0, 3), f.net};
+  f.net.attach(h, {});
+  Endpoint busy(h, cfg);
+  f.a.register_now();
+  busy.register_now();
+  f.sim.run_until(sec(1));
+  f.a.call("busy");
+  f.sim.run_until(f.sim.now() + sec(2));
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  EXPECT_EQ(busy.active_calls(), 0u);
+}
+
+// --- the IDS on the H.323 plane ---
+
+struct H323IdsFixture : H323Fixture {
+  core::ScidiveEngine ids;
+  H323IdsFixture() : ids(config_for_a()) { net.add_tap(ids.tap()); }
+  static core::EngineConfig config_for_a() {
+    core::EngineConfig c;
+    c.home_addresses = {pkt::Ipv4Address(10, 0, 0, 1)};
+    return c;
+  }
+};
+
+TEST(H323Ids, BenignCallAndTeardownClean) {
+  H323IdsFixture f;
+  std::string call_id = f.establish_call(sec(3));
+  f.b.hangup(call_id);
+  f.sim.run_until(f.sim.now() + sec(2));
+  EXPECT_EQ(f.ids.alerts().count(), 0u) << f.ids.alerts().alerts()[0].to_string();
+  EXPECT_GT(f.ids.distiller().stats().h225_footprints, 0u);
+  EXPECT_GT(f.ids.distiller().stats().ras_footprints, 0u);
+  // Cross-protocol session: H.225 and RTP trails under one call id.
+  EXPECT_NE(f.ids.trails().find(call_id, core::Protocol::kH225), nullptr);
+  EXPECT_NE(f.ids.trails().find(call_id, core::Protocol::kRtp), nullptr);
+}
+
+TEST(H323Ids, ForgedReleaseCompleteDetected) {
+  // The BYE attack, H.323 edition: attacker clears A's side; B keeps
+  // streaming; the same bye-attack rule flags the orphan media.
+  H323IdsFixture f;
+  std::string call_id = f.establish_call(sec(3));
+  ReleaseForger forger(f.attacker_host);
+  forger.attack(call_id, 1, f.a.signal_endpoint(), f.b.signal_endpoint());
+  f.sim.run_until(f.sim.now() + sec(1));
+
+  EXPECT_EQ(f.a.active_calls(), 0u);  // A believed the forgery
+  EXPECT_EQ(f.b.active_calls(), 1u);  // B talks into the void
+  EXPECT_GE(f.ids.alerts().count_for_rule("bye-attack"), 1u);
+  // The alert's session is the H.323 call id — cross-CMP generality.
+  bool session_matches = false;
+  for (const auto& alert : f.ids.alerts().alerts()) {
+    if (alert.session == call_id) session_matches = true;
+  }
+  EXPECT_TRUE(session_matches);
+}
+
+TEST(H323Ids, RtpFloodOnH323CallDetected) {
+  H323IdsFixture f;
+  f.establish_call(sec(2));
+  // Garbage straight at A's H.323 media port (first allocation = base).
+  Rng rng(5);
+  for (int i = 0; i < 15; ++i) {
+    Bytes garbage(rtp::kRtpMinHeaderLen + 60);
+    for (auto& byte : garbage) byte = static_cast<uint8_t>(rng.next_u32());
+    garbage[0] = 0x80;
+    f.attacker_host.send_udp(40000, {f.a_host.address(), 20000}, garbage);
+    f.sim.run_until(f.sim.now() + msec(5));
+  }
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_GE(f.ids.alerts().count_for_rule("rtp-attack"), 1u);
+}
+
+}  // namespace
+}  // namespace scidive::h323

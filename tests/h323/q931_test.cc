@@ -1,0 +1,96 @@
+#include "h323/q931.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scidive::h323 {
+namespace {
+
+TEST(Q931, SetupRoundTrip) {
+  Q931Message msg;
+  msg.type = Q931MessageType::kSetup;
+  msg.call_reference = 0x1234;
+  msg.call_id = "h323-call-1@10.0.0.1";
+  msg.calling_alias = "alice";
+  msg.called_alias = "bob";
+  msg.media = pkt::Endpoint{pkt::Ipv4Address(10, 0, 0, 1), 20000};
+
+  auto parsed = Q931Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().type, Q931MessageType::kSetup);
+  EXPECT_EQ(parsed.value().call_reference, 0x1234);
+  EXPECT_EQ(parsed.value().call_id, "h323-call-1@10.0.0.1");
+  EXPECT_EQ(parsed.value().calling_alias, "alice");
+  EXPECT_EQ(parsed.value().called_alias, "bob");
+  ASSERT_TRUE(parsed.value().media.has_value());
+  EXPECT_EQ(parsed.value().media->port, 20000);
+  EXPECT_FALSE(parsed.value().cause.has_value());
+}
+
+TEST(Q931, ReleaseCompleteRoundTrip) {
+  Q931Message msg;
+  msg.type = Q931MessageType::kReleaseComplete;
+  msg.call_id = "c1";
+  msg.cause = Q931Cause::kNormalClearing;
+  auto parsed = Q931Message::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().type, Q931MessageType::kReleaseComplete);
+  EXPECT_EQ(parsed.value().cause, Q931Cause::kNormalClearing);
+}
+
+TEST(Q931, AllMessageTypesRoundTrip) {
+  for (auto type : {Q931MessageType::kAlerting, Q931MessageType::kCallProceeding,
+                    Q931MessageType::kSetup, Q931MessageType::kConnect,
+                    Q931MessageType::kReleaseComplete}) {
+    Q931Message msg;
+    msg.type = type;
+    msg.call_id = "c";
+    auto parsed = Q931Message::parse(msg.serialize());
+    ASSERT_TRUE(parsed.ok()) << q931_message_name(type);
+    EXPECT_EQ(parsed.value().type, type);
+    EXPECT_NE(q931_message_name(type), "?");
+  }
+}
+
+TEST(Q931, RejectsMalformed) {
+  EXPECT_FALSE(Q931Message::parse({}).ok());
+  Bytes not_q931 = {0x07, 0x00, 0x01, 0x05};
+  EXPECT_FALSE(Q931Message::parse(not_q931).ok());
+  Bytes bad_type = {0x08, 0x00, 0x01, 0x99};
+  EXPECT_FALSE(Q931Message::parse(bad_type).ok());
+  // Valid header, no call-id IE.
+  Q931Message msg;
+  msg.type = Q931MessageType::kSetup;
+  auto wire = msg.serialize();
+  EXPECT_FALSE(Q931Message::parse(wire).ok());
+  // Truncated IE.
+  Bytes truncated = {0x08, 0x00, 0x01, 0x05, 0x7d, 0x10, 'x'};
+  EXPECT_FALSE(Q931Message::parse(truncated).ok());
+}
+
+TEST(Q931, UnknownIeTolerated) {
+  Q931Message msg;
+  msg.type = Q931MessageType::kConnect;
+  msg.call_id = "c1";
+  auto wire = msg.serialize();
+  wire.push_back(0x42);  // unknown IE
+  wire.push_back(2);
+  wire.push_back(0xaa);
+  wire.push_back(0xbb);
+  auto parsed = Q931Message::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().call_id, "c1");
+}
+
+TEST(Q931, FuzzNeverCrashes) {
+  std::mt19937 rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    Bytes junk(rng() % 120);
+    for (auto& b : junk) b = static_cast<uint8_t>(rng());
+    (void)Q931Message::parse(junk);
+  }
+}
+
+}  // namespace
+}  // namespace scidive::h323

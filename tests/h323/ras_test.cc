@@ -1,0 +1,81 @@
+#include "h323/ras.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scidive::h323 {
+namespace {
+
+TEST(Ras, RrqRoundTrip) {
+  RasMessage msg;
+  msg.type = RasType::kRegistrationRequest;
+  msg.sequence = 7;
+  msg.alias = "alice";
+  msg.signal_address = pkt::Endpoint{pkt::Ipv4Address(10, 0, 0, 1), 1720};
+  auto parsed = RasMessage::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().type, RasType::kRegistrationRequest);
+  EXPECT_EQ(parsed.value().sequence, 7);
+  EXPECT_EQ(parsed.value().alias, "alice");
+  ASSERT_TRUE(parsed.value().signal_address.has_value());
+  EXPECT_EQ(parsed.value().signal_address->port, 1720);
+}
+
+TEST(Ras, ArqAcfRoundTrip) {
+  RasMessage arq;
+  arq.type = RasType::kAdmissionRequest;
+  arq.sequence = 9;
+  arq.alias = "alice";
+  arq.dest_alias = "bob";
+  arq.call_id = "h323-1";
+  auto parsed = RasMessage::parse(arq.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().dest_alias, "bob");
+  EXPECT_EQ(parsed.value().call_id, "h323-1");
+
+  RasMessage acf;
+  acf.type = RasType::kAdmissionConfirm;
+  acf.sequence = 9;
+  acf.call_id = "h323-1";
+  acf.signal_address = pkt::Endpoint{pkt::Ipv4Address(10, 0, 0, 2), 1720};
+  auto parsed_acf = RasMessage::parse(acf.serialize());
+  ASSERT_TRUE(parsed_acf.ok());
+  EXPECT_EQ(parsed_acf.value().type, RasType::kAdmissionConfirm);
+}
+
+TEST(Ras, RejectWithReason) {
+  RasMessage arj;
+  arj.type = RasType::kAdmissionReject;
+  arj.sequence = 3;
+  arj.reason = RasReason::kCalledPartyNotRegistered;
+  auto parsed = RasMessage::parse(arj.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().reason, RasReason::kCalledPartyNotRegistered);
+}
+
+TEST(Ras, AllTypesNamed) {
+  for (int i = 1; i <= 8; ++i) {
+    EXPECT_NE(ras_type_name(static_cast<RasType>(i)), "?");
+  }
+}
+
+TEST(Ras, RejectsMalformed) {
+  EXPECT_FALSE(RasMessage::parse({}).ok());
+  Bytes bad_type = {0x63, 0x00, 0x01};
+  EXPECT_FALSE(RasMessage::parse(bad_type).ok());
+  Bytes truncated_tlv = {0x01, 0x00, 0x01, 0x01, 0x08, 'a'};
+  EXPECT_FALSE(RasMessage::parse(truncated_tlv).ok());
+}
+
+TEST(Ras, FuzzNeverCrashes) {
+  std::mt19937 rng(88);
+  for (int i = 0; i < 1000; ++i) {
+    Bytes junk(rng() % 100);
+    for (auto& b : junk) b = static_cast<uint8_t>(rng());
+    (void)RasMessage::parse(junk);
+  }
+}
+
+}  // namespace
+}  // namespace scidive::h323

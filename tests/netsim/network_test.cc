@@ -1,0 +1,165 @@
+#include "netsim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "netsim/host.h"
+
+namespace scidive::netsim {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Network net{sim, /*seed=*/123};
+  Host a{"A", pkt::Ipv4Address(10, 0, 0, 1), net};
+  Host b{"B", pkt::Ipv4Address(10, 0, 0, 2), net};
+  Host c{"C", pkt::Ipv4Address(10, 0, 0, 3), net};
+
+  Fixture(LinkConfig link = {}) {
+    net.attach(a, link);
+    net.attach(b, link);
+    net.attach(c, link);
+  }
+};
+
+TEST(Network, DeliversUdpToBoundPort) {
+  Fixture f;
+  std::string received;
+  pkt::Endpoint from_seen;
+  f.b.bind_udp(5060, [&](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime) {
+    received = to_string_view_copy(payload);
+    from_seen = from;
+  });
+  f.a.send_udp(4000, {f.b.address(), 5060}, std::string_view("hello"));
+  f.sim.run();
+  EXPECT_EQ(received, "hello");
+  EXPECT_EQ(from_seen, (pkt::Endpoint{f.a.address(), 4000}));
+  EXPECT_EQ(f.net.stats().packets_delivered, 1u);
+}
+
+TEST(Network, FixedDelayIsSenderPlusReceiverLink) {
+  Fixture f{LinkConfig{.delay = DelayModel::fixed(msec(3))}};
+  SimTime arrival = -1;
+  f.b.bind_udp(1, [&](auto, auto, SimTime now) { arrival = now; });
+  f.a.send_udp(1, {f.b.address(), 1}, std::string_view("x"));
+  f.sim.run();
+  EXPECT_EQ(arrival, msec(6));
+}
+
+TEST(Network, UnboundPortCounted) {
+  Fixture f;
+  f.a.send_udp(1, {f.b.address(), 9999}, std::string_view("x"));
+  f.sim.run();
+  EXPECT_EQ(f.b.udp_received(), 1u);
+  EXPECT_EQ(f.b.udp_dropped_no_handler(), 1u);
+}
+
+TEST(Network, UnroutableDestinationCounted) {
+  Fixture f;
+  f.a.send_udp(1, {pkt::Ipv4Address(99, 99, 99, 99), 1}, std::string_view("x"));
+  f.sim.run();
+  EXPECT_EQ(f.net.stats().packets_unroutable, 1u);
+  EXPECT_EQ(f.net.stats().packets_delivered, 0u);
+}
+
+TEST(Network, TapSeesAllTraffic) {
+  Fixture f;
+  int tap_count = 0;
+  f.net.add_tap([&](const pkt::Packet&) { ++tap_count; });
+  f.b.bind_udp(1, [](auto, auto, auto) {});
+  f.a.send_udp(1, {f.b.address(), 1}, std::string_view("x"));
+  f.a.send_udp(1, {f.c.address(), 1}, std::string_view("y"));          // other node
+  f.a.send_udp(1, {pkt::Ipv4Address(9, 9, 9, 9), 1}, std::string_view("z"));  // unroutable
+  f.sim.run();
+  EXPECT_EQ(tap_count, 3);  // promiscuous: sees everything on the hub
+}
+
+TEST(Network, TotalLossDropsEverything) {
+  Fixture f{LinkConfig{.loss = 1.0}};
+  int received = 0;
+  f.b.bind_udp(1, [&](auto, auto, auto) { ++received; });
+  for (int i = 0; i < 10; ++i) f.a.send_udp(1, {f.b.address(), 1}, std::string_view("x"));
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net.stats().packets_lost, 10u);
+}
+
+TEST(Network, PartialLossApproximatesRate) {
+  Simulator sim;
+  Network net(sim, 7);
+  Host a{"A", pkt::Ipv4Address(10, 0, 0, 1), net};
+  Host b{"B", pkt::Ipv4Address(10, 0, 0, 2), net};
+  net.attach(a, LinkConfig{.loss = 0.2});
+  net.attach(b, LinkConfig{.loss = 0.0});
+  int received = 0;
+  b.bind_udp(1, [&](auto, auto, auto) { ++received; });
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) a.send_udp(1, {b.address(), 1}, std::string_view("x"));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / kN, 0.8, 0.03);
+}
+
+TEST(Network, MtuFragmentsAndHostReassembles) {
+  Fixture f{LinkConfig{.delay = DelayModel::fixed(msec(1)), .mtu = 200}};
+  std::string received;
+  f.b.bind_udp(1, [&](auto, std::span<const uint8_t> payload, auto) {
+    received = to_string_view_copy(payload);
+  });
+  std::string big(1000, 'Q');
+  f.a.send_udp(1, {f.b.address(), 1}, big);
+  f.sim.run();
+  EXPECT_EQ(received, big);
+  EXPECT_GT(f.net.stats().fragments_created, 0u);
+}
+
+TEST(Network, InjectForgedSourceReachesVictim) {
+  Fixture f;
+  pkt::Endpoint seen_from{};
+  f.b.bind_udp(5060, [&](pkt::Endpoint from, auto, auto) { seen_from = from; });
+  // Forge a packet claiming to come from C.
+  auto p = pkt::make_udp_packet({f.c.address(), 5060}, {f.b.address(), 5060},
+                                from_string("BYE sip:b SIP/2.0"));
+  f.net.inject(std::move(p), LinkConfig{});
+  f.sim.run();
+  EXPECT_EQ(seen_from, (pkt::Endpoint{f.c.address(), 5060}));
+}
+
+TEST(Network, SetLinkChangesDelay) {
+  Fixture f{LinkConfig{.delay = DelayModel::fixed(msec(1))}};
+  f.net.set_link(f.a, LinkConfig{.delay = DelayModel::fixed(msec(10))});
+  SimTime arrival = -1;
+  f.b.bind_udp(1, [&](auto, auto, SimTime now) { arrival = now; });
+  f.a.send_udp(1, {f.b.address(), 1}, std::string_view("x"));
+  f.sim.run();
+  EXPECT_EQ(arrival, msec(11));  // 10 uplink + 1 downlink
+}
+
+TEST(Network, DetachStopsDelivery) {
+  Fixture f;
+  int received = 0;
+  f.b.bind_udp(1, [&](auto, auto, auto) { ++received; });
+  f.net.detach(f.b);
+  f.a.send_udp(1, {f.b.address(), 1}, std::string_view("x"));
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, DuplicateAddressesBothReceive) {
+  Simulator sim;
+  Network net(sim, 1);
+  Host b1{"B1", pkt::Ipv4Address(10, 0, 0, 2), net};
+  Host b2{"B2", pkt::Ipv4Address(10, 0, 0, 2), net};  // address clash (attacker squatting)
+  Host a{"A", pkt::Ipv4Address(10, 0, 0, 1), net};
+  net.attach(a, {});
+  net.attach(b1, {});
+  net.attach(b2, {});
+  int r1 = 0, r2 = 0;
+  b1.bind_udp(1, [&](auto, auto, auto) { ++r1; });
+  b2.bind_udp(1, [&](auto, auto, auto) { ++r2; });
+  a.send_udp(1, {pkt::Ipv4Address(10, 0, 0, 2), 1}, std::string_view("x"));
+  sim.run();
+  EXPECT_EQ(r1 + r2, 2);
+}
+
+}  // namespace
+}  // namespace scidive::netsim

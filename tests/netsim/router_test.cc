@@ -1,0 +1,162 @@
+// Multi-domain topologies: two hubs joined by a router — clients in a
+// "home" subnet, the proxy in a "provider" subnet, and an IDS whose hub tap
+// genuinely cannot see the other domain's local traffic.
+#include "netsim/router.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/host.h"
+#include "scidive/engine.h"
+#include "voip/attack.h"
+#include "voip/proxy.h"
+#include "voip/user_agent.h"
+
+namespace scidive::netsim {
+namespace {
+
+struct TwoDomains {
+  Simulator sim;
+  Network home{sim, 100};       // 10.0.1.0/24
+  Network provider{sim, 200};   // 10.0.2.0/24
+  Router router{"router", pkt::Ipv4Address(10, 0, 0, 254)};
+
+  TwoDomains(LinkConfig link = {.delay = DelayModel::fixed(msec(1))}) {
+    home.attach(router, link);
+    provider.attach(router, link);
+    home.set_gateway(router);
+    provider.set_gateway(router);
+    router.add_interface(home, pkt::Ipv4Address(10, 0, 1, 0), 24);
+    router.add_interface(provider, pkt::Ipv4Address(10, 0, 2, 0), 24);
+  }
+};
+
+TEST(Router, ForwardsAcrossSegments) {
+  TwoDomains topo;
+  Host a{"a", pkt::Ipv4Address(10, 0, 1, 1), topo.home};
+  Host b{"b", pkt::Ipv4Address(10, 0, 2, 1), topo.provider};
+  topo.home.attach(a, {});
+  topo.provider.attach(b, {});
+
+  std::string received;
+  pkt::Endpoint seen_from;
+  b.bind_udp(9, [&](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime) {
+    received = to_string_view_copy(payload);
+    seen_from = from;
+  });
+  a.send_udp(9, {b.address(), 9}, std::string_view("across the router"));
+  topo.sim.run();
+  EXPECT_EQ(received, "across the router");
+  EXPECT_EQ(seen_from.addr, a.address());
+  EXPECT_EQ(topo.router.stats().forwarded, 1u);
+}
+
+TEST(Router, RepliesComeBack) {
+  TwoDomains topo;
+  Host a{"a", pkt::Ipv4Address(10, 0, 1, 1), topo.home};
+  Host b{"b", pkt::Ipv4Address(10, 0, 2, 1), topo.provider};
+  topo.home.attach(a, {});
+  topo.provider.attach(b, {});
+  int a_received = 0;
+  a.bind_udp(9, [&](auto, auto, auto) { ++a_received; });
+  b.bind_udp(9, [&](pkt::Endpoint from, auto, auto) { b.send_udp(9, from, std::string_view("pong")); });
+  a.send_udp(9, {b.address(), 9}, std::string_view("ping"));
+  topo.sim.run();
+  EXPECT_EQ(a_received, 1);
+  EXPECT_EQ(topo.router.stats().forwarded, 2u);
+}
+
+TEST(Router, NoRouteCounted) {
+  TwoDomains topo;
+  Host a{"a", pkt::Ipv4Address(10, 0, 1, 1), topo.home};
+  topo.home.attach(a, {});
+  a.send_udp(9, {pkt::Ipv4Address(192, 168, 9, 9), 9}, std::string_view("nowhere"));
+  topo.sim.run();
+  EXPECT_EQ(topo.router.stats().no_route, 1u);
+}
+
+TEST(Router, TtlExpires) {
+  TwoDomains topo;
+  Host a{"a", pkt::Ipv4Address(10, 0, 1, 1), topo.home};
+  topo.home.attach(a, {});
+  // Destination in the provider prefix but no such host: the packet
+  // ping-pongs hub->router until TTL runs out rather than looping forever.
+  auto p = pkt::make_udp_packet({a.address(), 1}, {pkt::Ipv4Address(10, 0, 2, 99), 1},
+                                from_string("loop bait"), 1, /*ttl=*/3);
+  a.send_raw(std::move(p));
+  topo.sim.run();
+  EXPECT_GE(topo.router.stats().ttl_expired, 1u);
+  EXPECT_LE(topo.router.stats().forwarded, 3u);
+}
+
+TEST(Router, LocalTrafficStaysLocal) {
+  TwoDomains topo;
+  Host a1{"a1", pkt::Ipv4Address(10, 0, 1, 1), topo.home};
+  Host a2{"a2", pkt::Ipv4Address(10, 0, 1, 2), topo.home};
+  topo.home.attach(a1, {});
+  topo.home.attach(a2, {});
+  int provider_saw = 0;
+  topo.provider.add_tap([&](const pkt::Packet&) { ++provider_saw; });
+  int received = 0;
+  a2.bind_udp(9, [&](auto, auto, auto) { ++received; });
+  a1.send_udp(9, {a2.address(), 9}, std::string_view("local"));
+  topo.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(provider_saw, 0);  // never crossed the router
+  EXPECT_EQ(topo.router.stats().forwarded, 0u);
+}
+
+TEST(Router, CrossDomainSipCallWithIdsInHomeDomain) {
+  // The paper's administrative-domain split: clients at home, proxy at the
+  // provider. The endpoint IDS taps the HOME hub only — and still detects
+  // the BYE attack, because everything that matters to client A crosses
+  // its own segment.
+  TwoDomains topo;
+  Host a_host{"a", pkt::Ipv4Address(10, 0, 1, 1), topo.home};
+  Host b_host{"b", pkt::Ipv4Address(10, 0, 1, 2), topo.home};
+  Host attacker_host{"x", pkt::Ipv4Address(10, 0, 1, 66), topo.home};
+  Host proxy_host{"proxy", pkt::Ipv4Address(10, 0, 2, 100), topo.provider};
+  LinkConfig link{.delay = DelayModel::fixed(msec(1))};
+  topo.home.attach(a_host, link);
+  topo.home.attach(b_host, link);
+  topo.home.attach(attacker_host, link);
+  topo.provider.attach(proxy_host, link);
+
+  voip::ProxyRegistrar proxy(proxy_host, voip::ProxyConfig{.domain = "lab.net", .sip_port = 5060, .require_auth = false, .realm = "lab.net"});
+  auto ua_config = [&](const std::string& user) {
+    voip::UserAgentConfig c;
+    c.user = user;
+    c.domain = "lab.net";
+    c.proxy = {proxy_host.address(), 5060};
+    return c;
+  };
+  voip::UserAgent a(a_host, ua_config("alice"));
+  voip::UserAgent b(b_host, ua_config("bob"));
+  proxy.add_user("alice", "x");
+  proxy.add_user("bob", "x");
+
+  core::EngineConfig ids_config;
+  ids_config.home_addresses = {a_host.address()};
+  core::ScidiveEngine ids(ids_config);
+  topo.home.add_tap(ids.tap());  // home hub only!
+  voip::CallSniffer sniffer;
+  topo.home.add_tap(sniffer.tap());
+
+  a.register_now();
+  b.register_now();
+  topo.sim.run_until(sec(2));
+  ASSERT_TRUE(a.registered());
+  a.call("bob");
+  topo.sim.run_until(topo.sim.now() + sec(3));
+  ASSERT_EQ(a.active_calls(), 1u);
+  ASSERT_EQ(b.active_calls(), 1u);
+
+  voip::ByeAttacker attacker(attacker_host);
+  auto call = sniffer.latest_active_call();
+  ASSERT_TRUE(call.has_value());
+  attacker.attack(*call, /*attack_caller=*/true);
+  topo.sim.run_until(topo.sim.now() + sec(1));
+  EXPECT_GE(ids.alerts().count_for_rule("bye-attack"), 1u);
+}
+
+}  // namespace
+}  // namespace scidive::netsim

@@ -1,0 +1,84 @@
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scidive::netsim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(msec(30), [&] { order.push_back(3); });
+  sim.after(msec(10), [&] { order.push_back(1); });
+  sim.after(msec(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), msec(30));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, FifoAmongSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(msec(5), [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> reschedule = [&] {
+    if (++fired < 5) sim.after(msec(1), reschedule);
+  };
+  sim.after(msec(1), reschedule);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), msec(5));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(msec(10), [&] { ++fired; });
+  sim.after(msec(20), [&] { ++fired; });
+  sim.run_until(msec(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), msec(15));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(msec(20));  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.after(0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  sim.after(msec(5), [&] {
+    sim.after(0, [&] { EXPECT_EQ(sim.now(), msec(5)); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, ClockNeverGoesBackwards) {
+  Simulator sim;
+  SimTime last = -1;
+  for (int i = 0; i < 50; ++i) {
+    sim.after(msec(i % 7), [&sim, &last] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run();
+}
+
+}  // namespace
+}  // namespace scidive::netsim

@@ -1,0 +1,78 @@
+#include "pkt/addr.h"
+
+#include <gtest/gtest.h>
+
+#include "pkt/ipv4.h"
+
+#include <unordered_set>
+
+namespace scidive::pkt {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("192.168.1.10");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xc0a8010au);
+  EXPECT_EQ(a->to_string(), "192.168.1.10");
+}
+
+TEST(Ipv4Address, ParseEdges) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1..3.4"));
+}
+
+TEST(Ipv4Address, OctetConstructor) {
+  Ipv4Address a(10, 0, 0, 1);
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+  EXPECT_FALSE(a.is_unspecified());
+  EXPECT_TRUE(Ipv4Address().is_unspecified());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1), *Ipv4Address::parse("10.0.0.1"));
+}
+
+TEST(Endpoint, FormatAndCompare) {
+  Endpoint e{Ipv4Address(10, 0, 0, 1), 5060};
+  EXPECT_EQ(e.to_string(), "10.0.0.1:5060");
+  Endpoint f{Ipv4Address(10, 0, 0, 1), 5061};
+  EXPECT_NE(e, f);
+  EXPECT_LT(e, f);
+}
+
+TEST(FlowKey, ReversedSwapsDirections) {
+  FlowKey k{Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 100, 200, kProtoUdp};
+  FlowKey r = k.reversed();
+  EXPECT_EQ(r.src, k.dst);
+  EXPECT_EQ(r.src_port, k.dst_port);
+  EXPECT_EQ(r.reversed(), k);
+}
+
+TEST(FlowKey, HashDistinguishesDirections) {
+  FlowKey k{Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2), 100, 200, kProtoUdp};
+  std::unordered_set<FlowKey> set;
+  set.insert(k);
+  set.insert(k.reversed());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(k));
+}
+
+TEST(FlowKey, ToStringMentionsBothEndpoints) {
+  FlowKey k{Ipv4Address(1, 2, 3, 4), Ipv4Address(5, 6, 7, 8), 10, 20, kProtoUdp};
+  auto s = k.to_string();
+  EXPECT_NE(s.find("1.2.3.4:10"), std::string::npos);
+  EXPECT_NE(s.find("5.6.7.8:20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidive::pkt

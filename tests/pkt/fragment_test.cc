@@ -1,0 +1,201 @@
+#include "pkt/fragment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "pkt/packet.h"
+
+namespace scidive::pkt {
+namespace {
+
+const Ipv4Address kSrc(10, 0, 0, 1);
+const Ipv4Address kDst(10, 0, 0, 2);
+
+Bytes make_datagram(size_t payload_len, uint16_t id = 42) {
+  Bytes payload(payload_len);
+  std::iota(payload.begin(), payload.end(), 0);
+  Ipv4Header h;
+  h.identification = id;
+  h.protocol = kProtoUdp;
+  h.src = kSrc;
+  h.dst = kDst;
+  return serialize_ipv4(h, payload);
+}
+
+TEST(Fragment, NoFragmentationWhenFits) {
+  Bytes dg = make_datagram(100);
+  auto frags = fragment_ipv4(dg, 1500);
+  ASSERT_TRUE(frags.ok());
+  ASSERT_EQ(frags.value().size(), 1u);
+  EXPECT_EQ(frags.value()[0], dg);
+}
+
+TEST(Fragment, SplitsAtMtu) {
+  Bytes dg = make_datagram(1000);
+  auto frags = fragment_ipv4(dg, 300);
+  ASSERT_TRUE(frags.ok());
+  ASSERT_GT(frags.value().size(), 1u);
+  size_t total_payload = 0;
+  for (size_t i = 0; i < frags.value().size(); ++i) {
+    auto v = parse_ipv4(frags.value()[i]);
+    ASSERT_TRUE(v.ok());
+    EXPECT_LE(frags.value()[i].size(), 300u);
+    EXPECT_EQ(v.value().header.more_fragments, i + 1 != frags.value().size());
+    if (i > 0) { EXPECT_GT(v.value().header.fragment_offset, 0); }
+    total_payload += v.value().payload.size();
+  }
+  EXPECT_EQ(total_payload, 1000u);
+}
+
+TEST(Fragment, RespectsDontFragment) {
+  Bytes payload(1000, 1);
+  Ipv4Header h;
+  h.dont_fragment = true;
+  h.protocol = kProtoUdp;
+  h.src = kSrc;
+  h.dst = kDst;
+  Bytes dg = serialize_ipv4(h, payload);
+  auto frags = fragment_ipv4(dg, 300);
+  EXPECT_FALSE(frags.ok());
+}
+
+TEST(Fragment, RejectsTinyMtu) {
+  Bytes dg = make_datagram(100);
+  EXPECT_FALSE(fragment_ipv4(dg, 21).ok());
+}
+
+TEST(Reassembler, PassthroughForWholeDatagrams) {
+  Ipv4Reassembler r;
+  Bytes dg = make_datagram(64);
+  auto out = r.push(dg, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), dg);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Reassembler, InOrderReassembly) {
+  Ipv4Reassembler r;
+  Bytes dg = make_datagram(1200);
+  auto frags = fragment_ipv4(dg, 400).value();
+  ASSERT_GE(frags.size(), 2u);
+  for (size_t i = 0; i + 1 < frags.size(); ++i) {
+    auto out = r.push(frags[i], 0);
+    EXPECT_FALSE(out.ok()) << "completed early at fragment " << i;
+  }
+  auto out = r.push(frags.back(), 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), dg);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(Reassembler, ReverseOrderReassembly) {
+  Ipv4Reassembler r;
+  Bytes dg = make_datagram(1200);
+  auto frags = fragment_ipv4(dg, 400).value();
+  Bytes result;
+  for (size_t i = frags.size(); i-- > 0;) {
+    auto out = r.push(frags[i], 0);
+    if (out.ok()) result = out.value();
+  }
+  EXPECT_EQ(result, dg);
+}
+
+class ReassemblerPermutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReassemblerPermutation, AnyArrivalOrderReassembles) {
+  Bytes dg = make_datagram(2000, static_cast<uint16_t>(GetParam()));
+  auto frags = fragment_ipv4(dg, 256).value();
+  std::mt19937 shuffle_rng(GetParam());
+  std::shuffle(frags.begin(), frags.end(), shuffle_rng);
+  Ipv4Reassembler r;
+  Bytes result;
+  int completions = 0;
+  for (auto& f : frags) {
+    auto out = r.push(f, 0);
+    if (out.ok()) {
+      result = out.value();
+      ++completions;
+    }
+  }
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(result, dg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ReassemblerPermutation, ::testing::Range(0, 20));
+
+TEST(Reassembler, DuplicateFragmentsHarmless) {
+  Ipv4Reassembler r;
+  Bytes dg = make_datagram(1000);
+  auto frags = fragment_ipv4(dg, 300).value();
+  (void)r.push(frags[0], 0);
+  (void)r.push(frags[0], 0);  // duplicate
+  Bytes result;
+  for (size_t i = 1; i < frags.size(); ++i) {
+    auto out = r.push(frags[i], 0);
+    if (out.ok()) result = out.value();
+  }
+  EXPECT_EQ(result, dg);
+}
+
+TEST(Reassembler, InterleavedDatagrams) {
+  Ipv4Reassembler r;
+  Bytes dg1 = make_datagram(900, 1);
+  Bytes dg2 = make_datagram(900, 2);
+  auto f1 = fragment_ipv4(dg1, 300).value();
+  auto f2 = fragment_ipv4(dg2, 300).value();
+  int complete = 0;
+  for (size_t i = 0; i < f1.size(); ++i) {
+    if (r.push(f1[i], 0).ok()) ++complete;
+    if (r.push(f2[i], 0).ok()) ++complete;
+  }
+  EXPECT_EQ(complete, 2);
+}
+
+TEST(Reassembler, TimeoutDropsStale) {
+  Ipv4Reassembler r(Ipv4Reassembler::Config{.timeout = sec(5)});
+  Bytes dg = make_datagram(1000);
+  auto frags = fragment_ipv4(dg, 300).value();
+  (void)r.push(frags[0], 0);
+  EXPECT_EQ(r.pending(), 1u);
+  EXPECT_EQ(r.expire(sec(10)), 1u);
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_EQ(r.expired_total(), 1u);
+  // Remaining fragments never complete now.
+  for (size_t i = 1; i < frags.size(); ++i) EXPECT_FALSE(r.push(frags[i], sec(10)).ok());
+}
+
+TEST(Reassembler, MissingMiddleNeverCompletes) {
+  Ipv4Reassembler r;
+  Bytes dg = make_datagram(1200);
+  auto frags = fragment_ipv4(dg, 300).value();
+  ASSERT_GE(frags.size(), 3u);
+  EXPECT_FALSE(r.push(frags[0], 0).ok());
+  // skip frags[1]
+  for (size_t i = 2; i < frags.size(); ++i) EXPECT_FALSE(r.push(frags[i], 0).ok());
+  EXPECT_EQ(r.pending(), 1u);
+}
+
+TEST(Reassembler, GarbageRejected) {
+  Ipv4Reassembler r;
+  Bytes garbage(40, 0x5a);
+  EXPECT_FALSE(r.push(garbage, 0).ok());
+}
+
+TEST(Reassembler, OversizeFragmentRejected) {
+  Ipv4Reassembler r(Ipv4Reassembler::Config{.max_datagram_size = 512});
+  Bytes dg = make_datagram(1000);
+  auto frags = fragment_ipv4(dg, 300).value();
+  // A fragment whose offset+len exceeds the cap is rejected outright.
+  bool rejected = false;
+  for (auto& f : frags) {
+    auto out = r.push(f, 0);
+    if (!out.ok() && out.error().code == Errc::kMalformed) rejected = true;
+  }
+  EXPECT_TRUE(rejected);
+}
+
+}  // namespace
+}  // namespace scidive::pkt

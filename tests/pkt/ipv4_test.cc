@@ -1,0 +1,118 @@
+#include "pkt/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace scidive::pkt {
+namespace {
+
+Ipv4Header sample_header() {
+  Ipv4Header h;
+  h.identification = 0x1234;
+  h.ttl = 60;
+  h.protocol = kProtoUdp;
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(10, 0, 0, 2);
+  return h;
+}
+
+TEST(Ipv4, RoundTrip) {
+  Bytes payload = from_string("hello ipv4");
+  Bytes wire = serialize_ipv4(sample_header(), payload);
+  auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto& v = parsed.value();
+  EXPECT_EQ(v.header.identification, 0x1234);
+  EXPECT_EQ(v.header.ttl, 60);
+  EXPECT_EQ(v.header.protocol, kProtoUdp);
+  EXPECT_EQ(v.header.src, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(v.header.dst, Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(v.header.total_length, kIpv4MinHeaderLen + payload.size());
+  EXPECT_EQ(to_string_view_copy(v.payload), "hello ipv4");
+  EXPECT_FALSE(v.header.is_fragment());
+}
+
+TEST(Ipv4, EmptyPayload) {
+  Bytes wire = serialize_ipv4(sample_header(), {});
+  auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().payload.empty());
+}
+
+TEST(Ipv4, ChecksumDetectsCorruption) {
+  Bytes wire = serialize_ipv4(sample_header(), from_string("x"));
+  for (size_t i = 0; i < kIpv4MinHeaderLen; ++i) {
+    Bytes bad = wire;
+    bad[i] ^= 0x01;
+    auto parsed = parse_ipv4(bad);
+    // Flipping the version nibble gives kUnsupported; anything else in the
+    // header must be caught by the checksum (or length checks).
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(Ipv4, TruncatedHeader) {
+  Bytes wire = serialize_ipv4(sample_header(), from_string("payload"));
+  for (size_t len = 0; len < kIpv4MinHeaderLen; ++len) {
+    auto parsed = parse_ipv4(std::span<const uint8_t>(wire.data(), len));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, Errc::kTruncated);
+  }
+}
+
+TEST(Ipv4, TruncatedPayload) {
+  Bytes wire = serialize_ipv4(sample_header(), from_string("payload"));
+  auto parsed = parse_ipv4(std::span<const uint8_t>(wire.data(), wire.size() - 3));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, Errc::kTruncated);
+}
+
+TEST(Ipv4, RejectsNonV4) {
+  Bytes wire = serialize_ipv4(sample_header(), {});
+  wire[0] = 0x65;  // version 6
+  auto parsed = parse_ipv4(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, Errc::kUnsupported);
+}
+
+TEST(Ipv4, FragmentFlagsRoundTrip) {
+  Ipv4Header h = sample_header();
+  h.more_fragments = true;
+  h.fragment_offset = 185;  // 1480 bytes / 8
+  Bytes wire = serialize_ipv4(h, from_string("frag"));
+  auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().header.more_fragments);
+  EXPECT_FALSE(parsed.value().header.dont_fragment);
+  EXPECT_EQ(parsed.value().header.fragment_offset, 185);
+  EXPECT_EQ(parsed.value().header.payload_offset_bytes(), 1480u);
+  EXPECT_TRUE(parsed.value().header.is_fragment());
+}
+
+TEST(Ipv4, DontFragmentRoundTrip) {
+  Ipv4Header h = sample_header();
+  h.dont_fragment = true;
+  Bytes wire = serialize_ipv4(h, {});
+  auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().header.dont_fragment);
+  EXPECT_FALSE(parsed.value().header.is_fragment());
+}
+
+TEST(Ipv4, GarbageInput) {
+  Bytes garbage(64, 0xaa);
+  EXPECT_FALSE(parse_ipv4(garbage).ok());
+}
+
+TEST(Ipv4, ExtraBytesAfterTotalLengthIgnored) {
+  Bytes wire = serialize_ipv4(sample_header(), from_string("abc"));
+  wire.push_back(0xff);  // trailing padding beyond total_length
+  wire.push_back(0xee);
+  auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(to_string_view_copy(parsed.value().payload), "abc");
+}
+
+}  // namespace
+}  // namespace scidive::pkt

@@ -1,0 +1,110 @@
+#include "rtp/jitter_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace scidive::rtp {
+namespace {
+
+RtpHeader pkt(uint16_t seq) {
+  RtpHeader h;
+  h.sequence = seq;
+  h.ssrc = 1;
+  return h;
+}
+
+TEST(JitterBuffer, InOrderPlayout) {
+  JitterBuffer jb;
+  for (uint16_t i = 0; i < 5; ++i) EXPECT_TRUE(jb.push(pkt(i), i * msec(20)));
+  RtpHeader out;
+  for (uint16_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(jb.pop_for_playout(&out));
+    EXPECT_EQ(out.sequence, i);
+  }
+  EXPECT_FALSE(jb.pop_for_playout(&out));
+  EXPECT_EQ(jb.played(), 5u);
+}
+
+TEST(JitterBuffer, ReordersWithinWindow) {
+  JitterBuffer jb;
+  jb.push(pkt(0), 0);
+  jb.push(pkt(2), 1);
+  jb.push(pkt(1), 2);
+  jb.push(pkt(3), 3);
+  RtpHeader out;
+  std::vector<uint16_t> order;
+  while (jb.pop_for_playout(&out)) order.push_back(out.sequence);
+  EXPECT_EQ(order, (std::vector<uint16_t>{0, 1, 2, 3}));
+}
+
+TEST(JitterBuffer, LatePacketDiscarded) {
+  JitterBuffer jb;
+  jb.push(pkt(10), 0);
+  RtpHeader out;
+  jb.pop_for_playout(&out);  // playout point now 11
+  EXPECT_TRUE(jb.push(pkt(5), 1));
+  EXPECT_EQ(jb.discarded_late(), 1u);
+}
+
+TEST(JitterBuffer, GlitchModeFlushesOnTakeover) {
+  JitterBuffer jb(JitterBuffer::Config{.behavior = CorruptionBehavior::kGlitch});
+  for (uint16_t i = 0; i < 5; ++i) jb.push(pkt(i), 0);
+  // Garbage with a wild sequence jump.
+  EXPECT_TRUE(jb.push(pkt(20000), 1));
+  EXPECT_EQ(jb.glitches(), 1u);
+  EXPECT_GE(jb.discarded_late(), 5u);  // queued audio discarded -> audible gap
+  EXPECT_FALSE(jb.crashed());
+  // Buffer resyncs at the hijacked point.
+  RtpHeader out;
+  ASSERT_TRUE(jb.pop_for_playout(&out));
+  EXPECT_EQ(out.sequence, 20000);
+}
+
+TEST(JitterBuffer, CrashModeDiesOnTakeover) {
+  JitterBuffer jb(JitterBuffer::Config{.behavior = CorruptionBehavior::kCrash});
+  jb.push(pkt(0), 0);
+  EXPECT_FALSE(jb.push(pkt(30000), 1));  // X-Lite style crash
+  EXPECT_TRUE(jb.crashed());
+  RtpHeader out;
+  EXPECT_FALSE(jb.pop_for_playout(&out));
+  EXPECT_FALSE(jb.push(pkt(1), 2));  // stays dead
+}
+
+TEST(JitterBuffer, RobustModeIgnoresTakeover) {
+  JitterBuffer jb(JitterBuffer::Config{.behavior = CorruptionBehavior::kRobust});
+  for (uint16_t i = 0; i < 5; ++i) jb.push(pkt(i), 0);
+  EXPECT_TRUE(jb.push(pkt(20000), 1));
+  EXPECT_FALSE(jb.crashed());
+  EXPECT_EQ(jb.glitches(), 0u);
+  RtpHeader out;
+  ASSERT_TRUE(jb.pop_for_playout(&out));
+  EXPECT_EQ(out.sequence, 0);  // legit audio unaffected
+}
+
+TEST(JitterBuffer, SmallForwardGapIsNotTakeover) {
+  JitterBuffer jb(JitterBuffer::Config{.takeover_threshold = 100,
+                                       .behavior = CorruptionBehavior::kCrash});
+  jb.push(pkt(0), 0);
+  EXPECT_TRUE(jb.push(pkt(50), 1));  // within threshold: plain loss, no crash
+  EXPECT_FALSE(jb.crashed());
+}
+
+TEST(JitterBuffer, OverflowForcesPlayout) {
+  JitterBuffer jb(JitterBuffer::Config{.capacity = 4});
+  for (uint16_t i = 0; i < 10; ++i) jb.push(pkt(i), 0);
+  EXPECT_GT(jb.played(), 0u);  // forced playout on overflow
+}
+
+TEST(JitterBuffer, WraparoundSequencesPlayInOrder) {
+  JitterBuffer jb;
+  jb.push(pkt(65534), 0);
+  jb.push(pkt(65535), 1);
+  jb.push(pkt(0), 2);
+  jb.push(pkt(1), 3);
+  RtpHeader out;
+  std::vector<uint16_t> order;
+  while (jb.pop_for_playout(&out)) order.push_back(out.sequence);
+  EXPECT_EQ(order, (std::vector<uint16_t>{65534, 65535, 0, 1}));
+}
+
+}  // namespace
+}  // namespace scidive::rtp

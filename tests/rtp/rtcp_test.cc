@@ -1,0 +1,105 @@
+#include "rtp/rtcp.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scidive::rtp {
+namespace {
+
+TEST(Rtcp, SenderReportRoundTrip) {
+  RtcpSenderReport sr;
+  sr.ssrc = 0x12345678;
+  sr.ntp_timestamp = 0xdeadbeefcafebabeULL;
+  sr.rtp_timestamp = 160000;
+  sr.packet_count = 1000;
+  sr.octet_count = 160000;
+  RtcpReportBlock b;
+  b.ssrc = 0x9999;
+  b.fraction_lost = 12;
+  b.cumulative_lost = 34;
+  b.highest_seq = 5678;
+  b.jitter = 90;
+  sr.reports.push_back(b);
+
+  Bytes wire = serialize_rtcp(sr);
+  EXPECT_EQ(wire.size() % 4, 0u);
+  auto parsed = parse_rtcp(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_TRUE(parsed.value().sr.has_value());
+  const auto& out = *parsed.value().sr;
+  EXPECT_EQ(out.ssrc, sr.ssrc);
+  EXPECT_EQ(out.ntp_timestamp, sr.ntp_timestamp);
+  EXPECT_EQ(out.packet_count, 1000u);
+  ASSERT_EQ(out.reports.size(), 1u);
+  EXPECT_EQ(out.reports[0].fraction_lost, 12);
+  EXPECT_EQ(out.reports[0].cumulative_lost, 34u);
+  EXPECT_EQ(out.reports[0].highest_seq, 5678u);
+  EXPECT_EQ(out.reports[0].jitter, 90u);
+}
+
+TEST(Rtcp, ReceiverReportRoundTrip) {
+  RtcpReceiverReport rr;
+  rr.ssrc = 42;
+  rr.reports.push_back(RtcpReportBlock{.ssrc = 7, .fraction_lost = 1, .cumulative_lost = 2,
+                                       .highest_seq = 3, .jitter = 4});
+  Bytes wire = serialize_rtcp(rr);
+  auto parsed = parse_rtcp(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value().rr.has_value());
+  EXPECT_EQ(parsed.value().rr->ssrc, 42u);
+  ASSERT_EQ(parsed.value().rr->reports.size(), 1u);
+  EXPECT_EQ(parsed.value().rr->reports[0].jitter, 4u);
+}
+
+TEST(Rtcp, ByeRoundTrip) {
+  RtcpBye bye;
+  bye.ssrcs = {0xaaaa, 0xbbbb};
+  bye.reason = "teardown";
+  Bytes wire = serialize_rtcp(bye);
+  EXPECT_EQ(wire.size() % 4, 0u);
+  auto parsed = parse_rtcp(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_TRUE(parsed.value().bye.has_value());
+  EXPECT_EQ(parsed.value().bye->ssrcs, (std::vector<uint32_t>{0xaaaa, 0xbbbb}));
+  EXPECT_EQ(parsed.value().bye->reason, "teardown");
+}
+
+TEST(Rtcp, ByeWithoutReason) {
+  RtcpBye bye;
+  bye.ssrcs = {1};
+  Bytes wire = serialize_rtcp(bye);
+  auto parsed = parse_rtcp(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().bye->reason.empty());
+}
+
+TEST(Rtcp, RejectsTruncatedAndGarbage) {
+  EXPECT_FALSE(parse_rtcp({}).ok());
+  Bytes tiny = {0x80, 200};
+  EXPECT_FALSE(parse_rtcp(tiny).ok());
+  RtcpSenderReport sr;
+  Bytes wire = serialize_rtcp(sr);
+  EXPECT_FALSE(parse_rtcp(std::span<const uint8_t>(wire.data(), wire.size() - 4)).ok());
+  wire[0] = 0x40 | (wire[0] & 0x3f);  // version 1
+  EXPECT_FALSE(parse_rtcp(wire).ok());
+}
+
+TEST(Rtcp, UnknownTypeRejected) {
+  Bytes wire = {0x80, 210, 0x00, 0x00};  // type 210, length 0
+  auto parsed = parse_rtcp(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, Errc::kUnsupported);
+}
+
+TEST(Rtcp, FuzzNeverCrashes) {
+  std::mt19937 rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Bytes garbage(rng() % 80);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng());
+    (void)parse_rtcp(garbage);
+  }
+}
+
+}  // namespace
+}  // namespace scidive::rtp

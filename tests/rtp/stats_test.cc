@@ -1,0 +1,104 @@
+#include "rtp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "rtp/rtp.h"
+
+namespace scidive::rtp {
+namespace {
+
+/// Feed n packets at a perfect 20 ms / 160-sample cadence starting at seq.
+void feed_regular(RtpStreamStats& s, uint16_t start_seq, int n, SimTime start = 0) {
+  for (int i = 0; i < n; ++i) {
+    s.on_packet(static_cast<uint16_t>(start_seq + i), 1000 + i * kSamplesPer20Ms,
+                start + i * msec(20));
+  }
+}
+
+TEST(RtpStats, CountsPackets) {
+  RtpStreamStats s;
+  EXPECT_FALSE(s.started());
+  feed_regular(s, 100, 50);
+  EXPECT_TRUE(s.started());
+  EXPECT_EQ(s.packets_received(), 50u);
+  EXPECT_EQ(s.cumulative_lost(), 0);
+  EXPECT_EQ(s.extended_highest_seq(), 149u);
+}
+
+TEST(RtpStats, PerfectCadenceHasZeroJitter) {
+  RtpStreamStats s;
+  feed_regular(s, 0, 100);
+  EXPECT_NEAR(s.jitter(), 0.0, 1e-9);
+  EXPECT_NEAR(s.jitter_ms(), 0.0, 1e-9);
+}
+
+TEST(RtpStats, JitterGrowsWithIrregularArrivals) {
+  RtpStreamStats s;
+  // Alternate early/late arrivals by 5ms.
+  for (int i = 0; i < 100; ++i) {
+    SimTime noise = (i % 2 == 0) ? msec(5) : 0;
+    s.on_packet(static_cast<uint16_t>(i), i * kSamplesPer20Ms, i * msec(20) + noise);
+  }
+  EXPECT_GT(s.jitter_ms(), 1.0);
+  EXPECT_LT(s.jitter_ms(), 10.0);
+}
+
+TEST(RtpStats, DetectsLoss) {
+  RtpStreamStats s;
+  // Send 0..9, skip 10..14, send 15..19.
+  feed_regular(s, 0, 10);
+  for (int i = 15; i < 20; ++i)
+    s.on_packet(static_cast<uint16_t>(i), i * kSamplesPer20Ms, i * msec(20));
+  EXPECT_EQ(s.packets_received(), 15u);
+  EXPECT_EQ(s.cumulative_lost(), 5);
+}
+
+TEST(RtpStats, SequenceWraparound) {
+  RtpStreamStats s;
+  feed_regular(s, 65530, 12);  // wraps at 65536
+  EXPECT_EQ(s.cumulative_lost(), 0);
+  EXPECT_EQ(s.extended_highest_seq(), (1u << 16) | 5u);
+}
+
+TEST(RtpStats, MaxSeqJumpTracksAttack) {
+  RtpStreamStats s;
+  feed_regular(s, 0, 10);
+  EXPECT_LE(s.max_seq_jump(), 1);
+  // Garbage packet with a wild sequence number (paper: jump > 100 == attack).
+  s.on_packet(5000, 123456, msec(200));
+  EXPECT_GT(s.max_seq_jump(), 100);
+}
+
+TEST(RtpStats, BackwardJumpTracked) {
+  RtpStreamStats s;
+  feed_regular(s, 1000, 5);
+  s.on_packet(500, 0, msec(100));
+  EXPECT_LT(s.max_seq_jump(), -100);
+  // Old packet must not regress the extended highest.
+  EXPECT_EQ(s.extended_highest_seq() & 0xffff, 1004u);
+}
+
+TEST(RtpStats, DuplicatesDoNotInflateLoss) {
+  RtpStreamStats s;
+  for (int i = 0; i < 10; ++i) {
+    s.on_packet(7, 1000, i * msec(20));  // same packet over and over
+  }
+  EXPECT_EQ(s.cumulative_lost(), 0);
+  EXPECT_EQ(s.packets_received(), 10u);
+}
+
+class RtpStatsLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RtpStatsLossSweep, LossCountMatchesGapSize) {
+  int gap = GetParam();
+  RtpStreamStats s;
+  feed_regular(s, 0, 10);
+  for (int i = 10 + gap; i < 20 + gap; ++i)
+    s.on_packet(static_cast<uint16_t>(i), i * kSamplesPer20Ms, i * msec(20));
+  EXPECT_EQ(s.cumulative_lost(), gap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, RtpStatsLossSweep, ::testing::Values(0, 1, 2, 5, 10, 50));
+
+}  // namespace
+}  // namespace scidive::rtp

@@ -1,0 +1,174 @@
+// Cooperative detection (paper §4.2.2 / §6): two SCIDIVE nodes — one at
+// each client — exchanging events over SEP. The flagship scenario: a fake
+// IM with a perfectly spoofed source IP, invisible to the single-point
+// rule, caught by peer vouching.
+#include "scidive/coop.h"
+
+#include <gtest/gtest.h>
+
+#include "voip/attack.h"
+#include "voip/voip_fixture.h"
+
+namespace scidive::core {
+namespace {
+
+using voip::testing::VoipFixture;
+
+struct CoopFixture : VoipFixture {
+  CooperativeIds ids_a;
+  CooperativeIds ids_b;
+
+  CoopFixture()
+      : VoipFixture(),
+        ids_a(a_host, engine_config(a_host.address()),
+              CoopConfig{.node_name = "ids-a", .verify_delay = msec(300)}),
+        ids_b(b_host, engine_config(b_host.address()),
+              CoopConfig{.node_name = "ids-b", .verify_delay = msec(300)}) {
+    net.add_tap(ids_a.tap());
+    net.add_tap(ids_b.tap());
+    ids_a.add_peer({b_host.address(), kSepPort});
+    ids_b.add_peer({a_host.address(), kSepPort});
+    ids_a.attach_local_agent(a);
+    ids_b.attach_local_agent(b);
+    ids_a.add_peer_user("bob@lab.net");
+    ids_b.add_peer_user("alice@lab.net");
+  }
+
+  static EngineConfig engine_config(pkt::Ipv4Address home) {
+    EngineConfig config;
+    config.home_addresses = {home};
+    return config;
+  }
+};
+
+TEST(Coop, GenuineImIsVouchedAndSilent) {
+  CoopFixture f;
+  f.b.add_contact("alice@lab.net", f.a.sip_endpoint());
+  f.b.send_im("alice", "really me");
+  f.sim.run_until(sec(2));
+  EXPECT_EQ(f.ids_a.alerts().count(), 0u);
+  EXPECT_EQ(f.ids_a.coop_stats().verifications, 1u);
+  EXPECT_EQ(f.ids_a.coop_stats().confirmed_legit, 1u);
+  EXPECT_EQ(f.ids_a.coop_stats().flagged_forged, 0u);
+  EXPECT_GE(f.ids_a.coop_stats().events_received, 1u);  // bob's vouch arrived
+}
+
+TEST(Coop, SpoofedFakeImEvadesLocalRuleButNotCooperative) {
+  CoopFixture f;
+  // History: bob IMs alice legitimately so the IP-consistency rule has his
+  // usual source on file.
+  f.b.add_contact("alice@lab.net", f.a.sip_endpoint());
+  f.b.send_im("alice", "hello");
+  f.sim.run_until(sec(2));
+
+  // The stronger attack: source IP spoofed to bob's real endpoint. The
+  // single-point fake-im rule sees a consistent source and stays silent —
+  // exactly the blind spot §4.2.2 concedes.
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send_spoofed(f.a.sip_endpoint(), "bob@lab.net", f.b.sip_endpoint(),
+                        "wire money now");
+  f.sim.run_until(f.sim.now() + sec(2));
+
+  EXPECT_EQ(f.ids_a.alerts().count_for_rule("fake-im"), 0u);  // local rule blind
+  EXPECT_GE(f.ids_a.alerts().count_for_rule(CooperativeIds::kCoopFakeImRule), 1u)
+      << "cooperative verification must catch the spoofed forgery";
+  EXPECT_EQ(f.ids_a.coop_stats().flagged_forged, 1u);
+}
+
+TEST(Coop, UnspoofedFakeImCaughtByBothLayers) {
+  CoopFixture f;
+  f.b.add_contact("alice@lab.net", f.a.sip_endpoint());
+  f.b.send_im("alice", "hello");
+  f.sim.run_until(sec(2));
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "bob@lab.net", "clumsy forgery");
+  f.sim.run_until(f.sim.now() + sec(2));
+  EXPECT_GE(f.ids_a.alerts().count_for_rule("fake-im"), 1u);
+  EXPECT_GE(f.ids_a.alerts().count_for_rule(CooperativeIds::kCoopFakeImRule), 1u);
+}
+
+TEST(Coop, OnlyPeerHomedUsersAreVerified) {
+  CoopFixture f;
+  // carol is not registered as a peer-homed user anywhere: an IM claiming
+  // carol is not held for verification (no alert from the coop layer).
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "carol@lab.net", "who dis");
+  f.sim.run_until(sec(2));
+  EXPECT_EQ(f.ids_a.coop_stats().verifications, 0u);
+  EXPECT_EQ(f.ids_a.alerts().count_for_rule(CooperativeIds::kCoopFakeImRule), 0u);
+}
+
+TEST(Coop, OrphanEventsAreSharedAcrossNodes) {
+  CoopFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(2));
+  voip::ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*sniffer.latest_active_call(), /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  // A's IDS saw the orphan flow and shared the event; B's node received it.
+  EXPECT_GE(f.ids_a.alerts().count_for_rule("bye-attack"), 1u);
+  bool b_received_orphan = false;
+  for (const auto& remote : f.ids_b.remote_events()) {
+    if (remote.event.type == EventType::kRtpAfterBye && remote.from_node == "ids-a")
+      b_received_orphan = true;
+  }
+  EXPECT_TRUE(b_received_orphan);
+}
+
+TEST(Coop, GarbageSepDatagramsCounted) {
+  CoopFixture f;
+  f.attacker_host.send_udp(kSepPort, {f.a_host.address(), kSepPort},
+                           std::string_view("SEP1 but \x01 bogus"));
+  f.attacker_host.send_udp(kSepPort, {f.a_host.address(), kSepPort},
+                           std::string_view("not sep at all"));
+  f.sim.run_until(sec(1));
+  EXPECT_EQ(f.ids_a.coop_stats().parse_errors, 2u);
+  EXPECT_EQ(f.ids_a.coop_stats().events_received, 0u);
+}
+
+TEST(Coop, FailOpenWhenPeerIdsIsDown) {
+  // ids-b never runs (no taps, no vouching possible): a forged IM claiming
+  // bob must NOT alarm under the default fail-open policy — a dead peer IDS
+  // would otherwise turn every message into an alert.
+  VoipFixture f;
+  CooperativeIds ids_a(f.a_host, CoopFixture::engine_config(f.a_host.address()),
+                       CoopConfig{.node_name = "ids-a", .verify_delay = msec(300)});
+  f.net.add_tap(ids_a.tap());
+  ids_a.add_peer({f.b_host.address(), kSepPort});
+  ids_a.add_peer_user("bob@lab.net");
+
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "bob@lab.net", "nobody is watching");
+  f.sim.run_until(sec(2));
+  EXPECT_EQ(ids_a.alerts().count_for_rule(CooperativeIds::kCoopFakeImRule), 0u);
+  EXPECT_EQ(ids_a.coop_stats().skipped_peer_down, 1u);
+}
+
+TEST(Coop, FailClosedConfigurationFlagsWithoutPeer) {
+  VoipFixture f;
+  CoopConfig config{.node_name = "ids-a", .verify_delay = msec(300)};
+  config.peer_liveness_window = 0;  // always verify
+  CooperativeIds ids_a(f.a_host, CoopFixture::engine_config(f.a_host.address()), config);
+  f.net.add_tap(ids_a.tap());
+  ids_a.add_peer_user("bob@lab.net");
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "bob@lab.net", "strict mode");
+  f.sim.run_until(sec(2));
+  EXPECT_EQ(ids_a.alerts().count_for_rule(CooperativeIds::kCoopFakeImRule), 1u);
+}
+
+TEST(Coop, VerificationWaitsFullDelay) {
+  CoopFixture f;
+  f.b.add_contact("alice@lab.net", f.a.sip_endpoint());
+  // Delay B's vouch by putting B on a slow link: vouch arrives after the
+  // IM but still within verify_delay.
+  f.net.set_link(f.b_host, netsim::LinkConfig{.delay = DelayModel::fixed(msec(100))});
+  f.b.send_im("alice", "slow network hello");
+  f.sim.run_until(sec(3));
+  EXPECT_EQ(f.ids_a.coop_stats().flagged_forged, 0u);
+  EXPECT_EQ(f.ids_a.coop_stats().confirmed_legit, 1u);
+}
+
+}  // namespace
+}  // namespace scidive::core

@@ -1,0 +1,89 @@
+#include "scidive/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scidive::core {
+namespace {
+
+Event sample_event() {
+  Event e;
+  e.type = EventType::kImMessageSent;
+  e.session = "host:bob@lab.net";
+  e.time = msec(1234);
+  e.aor = "bob@lab.net";
+  e.endpoint = {pkt::Ipv4Address(10, 0, 0, 2), 5060};
+  e.value = -42;
+  e.detail = "genuine IM to alice@lab.net";
+  return e;
+}
+
+TEST(Exchange, RoundTrip) {
+  Event e = sample_event();
+  std::string wire = serialize_event("ids-b", e);
+  auto parsed = parse_event(wire);
+  ASSERT_TRUE(parsed.ok()) << wire << " -> " << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().from_node, "ids-b");
+  EXPECT_EQ(parsed.value().event.type, EventType::kImMessageSent);
+  EXPECT_EQ(parsed.value().event.session, "host:bob@lab.net");
+  EXPECT_EQ(parsed.value().event.time, msec(1234));
+  EXPECT_EQ(parsed.value().event.aor, "bob@lab.net");
+  EXPECT_EQ(parsed.value().event.endpoint.port, 5060);
+  EXPECT_EQ(parsed.value().event.value, -42);
+  EXPECT_EQ(parsed.value().event.detail, "genuine IM to alice@lab.net");
+}
+
+TEST(Exchange, EveryEventTypeHasStableWireId) {
+  for (EventType type : {
+           EventType::kSipInviteSeen, EventType::kSipReinviteSeen,
+           EventType::kSipSessionEstablished, EventType::kSipByeSeen,
+           EventType::kSipMalformed, EventType::kSip4xxSeen, EventType::kSipRegisterSeen,
+           EventType::kSipAuthChallenge, EventType::kSipAuthFailure,
+           EventType::kImMessageSeen, EventType::kImMessageSent,
+           EventType::kRtpStreamStarted, EventType::kRtpSeqJump,
+           EventType::kRtpUnexpectedSource, EventType::kRtpAfterBye,
+           EventType::kRtpAfterReinvite, EventType::kRtpJitter,
+           EventType::kNonRtpOnMediaPort, EventType::kAccStartSeen,
+           EventType::kAccUnmatched, EventType::kAccBilledPartyAbsent,
+       }) {
+    int id = event_type_wire_id(type);
+    EXPECT_GT(id, 0) << event_type_name(type);
+    auto back = event_type_from_wire_id(id);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), type);
+  }
+}
+
+TEST(Exchange, TabsInDetailSanitized) {
+  Event e = sample_event();
+  e.detail = "evil\tdetail\nwith\rbreaks";
+  std::string wire = serialize_event("n", e);
+  auto parsed = parse_event(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().event.detail, "evil detail with breaks");
+}
+
+TEST(Exchange, RejectsMalformed) {
+  EXPECT_FALSE(parse_event("").ok());
+  EXPECT_FALSE(parse_event("SEP2\tn\t1\ts\t0\ta\t1.2.3.4:5\t0\td").ok());   // version
+  EXPECT_FALSE(parse_event("SEP1\tn\t999\ts\t0\ta\t1.2.3.4:5\t0\td").ok()); // type id
+  EXPECT_FALSE(parse_event("SEP1\tn\t1\ts\t0\ta\tnotanip:5\t0\td").ok());
+  EXPECT_FALSE(parse_event("SEP1\tn\t1\ts\t0\ta\t1.2.3.4:x\t0\td").ok());
+  EXPECT_FALSE(parse_event("SEP1\tn\t1\ts\tBADTIME\ta\t1.2.3.4:5\t0\td").ok());
+  EXPECT_FALSE(parse_event("SEP1\t\t1\ts\t0\ta\t1.2.3.4:5\t0\td").ok());    // empty node
+  EXPECT_FALSE(parse_event("SEP1\tn\t1\ts").ok());                          // short
+  EXPECT_FALSE(parse_event("totally unrelated text").ok());
+}
+
+TEST(Exchange, FuzzNeverCrashes) {
+  std::mt19937 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    std::string junk(rng() % 100, '\0');
+    for (auto& c : junk) c = static_cast<char>(rng() % 256);
+    (void)parse_event(junk);
+  }
+}
+
+}  // namespace
+}  // namespace scidive::core

@@ -1,0 +1,101 @@
+#include "scidive/incident.h"
+
+#include <gtest/gtest.h>
+
+#include "voip/voip_fixture.h"
+#include "scidive/engine.h"
+#include "voip/attack.h"
+
+namespace scidive::core {
+namespace {
+
+Alert make_alert(const char* rule, const char* session, SimTime time,
+                 Severity severity = Severity::kCritical) {
+  return Alert{rule, severity, session, time, "msg"};
+}
+
+TEST(Incident, BurstMergesIntoOne) {
+  IncidentCorrelator correlator;
+  for (int i = 0; i < 40; ++i) {
+    correlator.on_alert("ids-a", make_alert("rtp-attack", "c1", msec(i * 5)));
+  }
+  ASSERT_EQ(correlator.count(), 1u);
+  auto incidents = correlator.incidents();
+  EXPECT_EQ(incidents[0].alert_count, 40u);
+  EXPECT_EQ(incidents[0].rule, "rtp-attack");
+  EXPECT_EQ(incidents[0].first_seen, 0);
+  EXPECT_EQ(incidents[0].last_seen, msec(195));
+  EXPECT_EQ(correlator.alerts_consumed(), 40u);
+}
+
+TEST(Incident, DifferentRulesSeparate) {
+  IncidentCorrelator correlator;
+  correlator.on_alert("ids-a", make_alert("rtp-attack", "c1", msec(1)));
+  correlator.on_alert("ids-a", make_alert("bye-attack", "c1", msec(2)));
+  EXPECT_EQ(correlator.count(), 2u);
+}
+
+TEST(Incident, DifferentSessionsSeparate) {
+  IncidentCorrelator correlator;
+  correlator.on_alert("ids-a", make_alert("rtp-attack", "c1", msec(1)));
+  correlator.on_alert("ids-a", make_alert("rtp-attack", "c2", msec(2)));
+  EXPECT_EQ(correlator.count(), 2u);
+}
+
+TEST(Incident, QuietGapOpensNewIncident) {
+  IncidentCorrelator correlator(IncidentCorrelator::Config{.merge_window = sec(10)});
+  correlator.on_alert("ids-a", make_alert("rtp-attack", "c1", sec(1)));
+  correlator.on_alert("ids-a", make_alert("rtp-attack", "c1", sec(5)));   // merges
+  correlator.on_alert("ids-a", make_alert("rtp-attack", "c1", sec(30)));  // new burst
+  ASSERT_EQ(correlator.count(), 2u);
+  EXPECT_EQ(correlator.incidents()[0].alert_count, 2u);
+  EXPECT_EQ(correlator.incidents()[1].alert_count, 1u);
+}
+
+TEST(Incident, MultiNodeReportsMerge) {
+  IncidentCorrelator correlator;
+  correlator.on_alert("ids-a", make_alert("bye-attack", "c1", msec(10)));
+  correlator.on_alert("ids-b", make_alert("bye-attack", "c1", msec(15)));
+  ASSERT_EQ(correlator.count(), 1u);
+  EXPECT_EQ(correlator.incidents()[0].reporting_nodes,
+            (std::set<std::string>{"ids-a", "ids-b"}));
+}
+
+TEST(Incident, SeverityEscalates) {
+  IncidentCorrelator correlator;
+  correlator.on_alert("a", make_alert("rtp-attack", "c1", 0, Severity::kWarning));
+  correlator.on_alert("a", make_alert("rtp-attack", "c1", 1, Severity::kCritical));
+  EXPECT_EQ(correlator.incidents()[0].severity, Severity::kCritical);
+}
+
+TEST(Incident, ToStringMentionsEverything) {
+  IncidentCorrelator correlator;
+  correlator.on_alert("ids-a", make_alert("bye-attack", "c1", msec(10)));
+  std::string text = correlator.incidents()[0].to_string();
+  EXPECT_NE(text.find("bye-attack"), std::string::npos);
+  EXPECT_NE(text.find("c1"), std::string::npos);
+  EXPECT_NE(text.find("ids-a"), std::string::npos);
+}
+
+TEST(Incident, FoldsLiveRtpAttackToOneIncident) {
+  // The end-to-end motivation: dozens of raw rtp-attack alerts from one
+  // garbage flood become a single incident.
+  voip::testing::VoipFixture f;
+  EngineConfig config;
+  config.home_addresses = {f.a_host.address()};
+  ScidiveEngine ids(config);
+  IncidentCorrelator correlator;
+  ids.alerts().set_callback(correlator.subscriber("ids-a"));
+  f.net.add_tap(ids.tap());
+  f.establish_call(sec(2));
+  voip::RtpInjector injector(f.attacker_host, 3);
+  injector.start({f.a_host.address(), 16384}, {.count = 25});
+  f.sim.run_until(f.sim.now() + sec(1));
+
+  EXPECT_GT(ids.alerts().count(), 5u);   // raw alerts: noisy
+  EXPECT_EQ(correlator.count(), 1u);     // incidents: one attack
+  EXPECT_EQ(correlator.incidents()[0].rule, "rtp-attack");
+}
+
+}  // namespace
+}  // namespace scidive::core

@@ -1,0 +1,69 @@
+// Soak: minutes of simulated mixed traffic with periodic housekeeping —
+// state must stay bounded, determinism must hold, and the attack injected
+// late in the run must still be caught by then-mature state.
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.h"
+#include "testbed/workload.h"
+
+namespace scidive::testbed {
+namespace {
+
+TEST(Soak, LongMixedRunBoundedStateAndLateDetection) {
+  TestbedConfig config;
+  config.seed = 99;
+  Testbed tb(config);
+  tb.add_client("carol", 3);
+  tb.add_client("dave", 4);
+  tb.register_all();
+
+  // Five minutes of simulated traffic in 1-minute waves, expiring idle IDS
+  // state between waves like a production deployment would.
+  size_t max_trails = 0;
+  for (int wave = 0; wave < 5; ++wave) {
+    WorkloadConfig wl;
+    wl.call_count = 6;
+    wl.im_count = 8;
+    wl.migration_count = 1;
+    wl.reregister_count = 2;
+    wl.span = sec(50);
+    BenignWorkload workload(tb, wl);
+    workload.schedule();
+    tb.run_for(sec(60));
+    max_trails = std::max(max_trails, tb.ids().trails().trail_count());
+    tb.ids().expire_idle(tb.now() - sec(90));
+  }
+  EXPECT_EQ(tb.alerts().count(), 0u) << tb.alerts().alerts()[0].to_string();
+  // Housekeeping keeps state bounded: after expiry, old sessions are gone.
+  EXPECT_LT(tb.ids().trails().trail_count(), max_trails + 1);
+  EXPECT_GT(tb.ids().stats().packets_inspected, 5000u);
+
+  // An attack after 5 minutes of uptime is still detected.
+  tb.establish_call(sec(2));
+  tb.inject_bye_attack();
+  tb.run_for(sec(2));
+  EXPECT_GE(tb.alerts().count_for_rule("bye-attack"), 1u);
+  auto score = tb.score();
+  EXPECT_EQ(score.false_positives, 0);
+}
+
+TEST(Soak, DeterministicAcrossRuns) {
+  auto run = [] {
+    TestbedConfig config;
+    config.seed = 123;
+    Testbed tb(config);
+    tb.register_all();
+    WorkloadConfig wl;
+    wl.call_count = 8;
+    wl.span = sec(40);
+    BenignWorkload workload(tb, wl);
+    workload.schedule();
+    tb.run_for(sec(60));
+    return std::make_tuple(tb.ids().stats().packets_inspected, tb.ids().stats().events,
+                           tb.alerts().count());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace scidive::testbed

@@ -1,0 +1,124 @@
+#include "scidive/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scidive/engine.h"
+#include "voip/attack.h"
+#include "voip/voip_fixture.h"
+
+namespace scidive::core {
+namespace {
+
+pkt::Packet make_packet(SimTime at, std::initializer_list<uint8_t> bytes) {
+  pkt::Packet p;
+  p.timestamp = at;
+  p.data = Bytes(bytes);
+  return p;
+}
+
+TEST(Trace, WriteReadRoundTrip) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  writer.write(make_packet(msec(5), {0x45, 0x00, 0xff}));
+  writer.write(make_packet(msec(25), {0xde, 0xad}));
+  EXPECT_EQ(writer.packets_written(), 2u);
+
+  std::istringstream in(out.str());
+  TraceReader reader(in);
+  ASSERT_TRUE(reader.header_ok());
+  pkt::Packet p;
+  ASSERT_TRUE(reader.next(&p));
+  EXPECT_EQ(p.timestamp, msec(5));
+  EXPECT_EQ(p.data, (Bytes{0x45, 0x00, 0xff}));
+  ASSERT_TRUE(reader.next(&p));
+  EXPECT_EQ(p.timestamp, msec(25));
+  EXPECT_EQ(p.data, (Bytes{0xde, 0xad}));
+  EXPECT_FALSE(reader.next(&p));  // clean EOF
+  EXPECT_TRUE(reader.error().empty());
+}
+
+TEST(Trace, CommentsAndBlankLinesTolerated) {
+  std::istringstream in("SPCAP1\n\n# a comment\n100 abcd\n");
+  TraceReader reader(in);
+  pkt::Packet p;
+  ASSERT_TRUE(reader.next(&p));
+  EXPECT_EQ(p.data, (Bytes{0xab, 0xcd}));
+}
+
+TEST(Trace, MissingHeaderRejected) {
+  std::istringstream in("100 abcd\n");
+  TraceReader reader(in);
+  EXPECT_FALSE(reader.header_ok());
+  pkt::Packet p;
+  EXPECT_FALSE(reader.next(&p));
+}
+
+TEST(Trace, CorruptLinesFailLoudly) {
+  for (const char* body : {"no-separator", "x abcd", "100 abc", "100 zzzz"}) {
+    std::istringstream in(std::string("SPCAP1\n") + body + "\n");
+    TraceReader reader(in);
+    pkt::Packet p;
+    EXPECT_FALSE(reader.next(&p)) << body;
+    EXPECT_FALSE(reader.error().empty()) << body;
+  }
+}
+
+TEST(Trace, ReplayHelperCountsAndErrors) {
+  {
+    std::istringstream in("SPCAP1\n1 aa\n2 bb\n");
+    int fed = 0;
+    auto result = replay_trace(in, [&](const pkt::Packet&) { ++fed; });
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 2u);
+    EXPECT_EQ(fed, 2);
+  }
+  {
+    std::istringstream in("SPCAP1\n1 aa\nbroken\n");
+    auto result = replay_trace(in, [](const pkt::Packet&) {});
+    EXPECT_FALSE(result.ok());
+  }
+  {
+    std::istringstream in("NOTATRACE\n");
+    auto result = replay_trace(in, [](const pkt::Packet&) {});
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST(Trace, LiveCaptureReplaysToIdenticalVerdicts) {
+  // Record a BYE attack from the hub, then replay offline: the engine is
+  // deterministic, so the alert set must match the live IDS.
+  std::ostringstream capture;
+  size_t live_alerts;
+  {
+    voip::testing::VoipFixture f;
+    TraceWriter writer(capture);
+    f.net.add_tap(writer.tap());
+    EngineConfig config;
+    config.home_addresses = {f.a_host.address()};
+    ScidiveEngine live(config);
+    f.net.add_tap(live.tap());
+    voip::CallSniffer sniffer;
+    f.net.add_tap(sniffer.tap());
+    f.establish_call(sec(2));
+    voip::ByeAttacker attacker(f.attacker_host);
+    attacker.attack(*sniffer.latest_active_call(), true);
+    f.sim.run_until(f.sim.now() + sec(1));
+    live_alerts = live.alerts().count();
+    ASSERT_GE(live_alerts, 1u);
+  }
+
+  EngineConfig config;
+  config.home_addresses = {pkt::Ipv4Address(10, 0, 0, 1)};
+  ScidiveEngine offline(config);
+  std::istringstream in(capture.str());
+  auto fed = replay_trace(in, [&](const pkt::Packet& p) { offline.on_packet(p); });
+  ASSERT_TRUE(fed.ok());
+  EXPECT_GT(fed.value(), 100u);
+  EXPECT_EQ(offline.alerts().count(), live_alerts);
+  EXPECT_GE(offline.alerts().count_for_rule("bye-attack"), 1u);
+}
+
+}  // namespace
+}  // namespace scidive::core

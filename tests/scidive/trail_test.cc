@@ -1,0 +1,131 @@
+#include "scidive/trail.h"
+
+#include <gtest/gtest.h>
+
+#include "scidive/trail_manager.h"
+#include "scidive/scidive_test_util.h"
+
+namespace scidive::core {
+namespace {
+
+using namespace scidive::core::testing;
+
+TEST(Trail, AppendsAndTracksTimes) {
+  Trail t(TrailKey{"s1", Protocol::kSip});
+  t.append(sip_request("INVITE", "s1", "a@x", "ta", "b@x", "", msec(10), ep(1, 5060), ep(2, 5060)));
+  t.append(sip_request("BYE", "s1", "a@x", "ta", "b@x", "tb", msec(50), ep(1, 5060), ep(2, 5060)));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.first_time(), msec(10));
+  EXPECT_EQ(t.last_time(), msec(50));
+  EXPECT_EQ(t.back().sip()->method, "BYE");
+  EXPECT_EQ(t.key().to_string(), "s1/sip");
+}
+
+TEST(Trail, BoundedEviction) {
+  Trail t(TrailKey{"s1", Protocol::kRtp}, /*max_footprints=*/10);
+  for (int i = 0; i < 25; ++i) {
+    t.append(rtp_packet(static_cast<uint16_t>(i), 1, msec(i), ep(1, 16384), ep(2, 16384)));
+  }
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.total_appended(), 25u);
+  EXPECT_EQ(t.evicted(), 15u);
+  // Oldest surviving footprint is #15.
+  EXPECT_EQ(t.footprints().front().rtp()->sequence, 15);
+}
+
+TEST(Trail, ScanNewestFirst) {
+  Trail t(TrailKey{"s1", Protocol::kSip});
+  for (int i = 0; i < 5; ++i) {
+    t.append(sip_request(i == 2 ? "BYE" : "INFO", "s1", "a@x", "ta", "b@x", "tb", msec(i),
+                         ep(1, 5060), ep(2, 5060)));
+  }
+  int visited = 0;
+  bool found = t.scan_newest_first([&](const Footprint& fp) {
+    ++visited;
+    return fp.sip()->method == "BYE";
+  });
+  EXPECT_TRUE(found);
+  EXPECT_EQ(visited, 3);  // newest-first: INFO(4), INFO(3), BYE(2)
+}
+
+TEST(TrailManager, SipKeysByCallId) {
+  TrailManager tm;
+  tm.add(sip_request("INVITE", "call-A", "a@x", "ta", "b@x", "", 0, ep(1, 5060), ep(2, 5060)));
+  tm.add(sip_request("INVITE", "call-B", "c@x", "tc", "d@x", "", 0, ep(3, 5060), ep(4, 5060)));
+  tm.add(sip_request("BYE", "call-A", "a@x", "ta", "b@x", "tb", 0, ep(1, 5060), ep(2, 5060)));
+  EXPECT_EQ(tm.trail_count(), 2u);
+  ASSERT_NE(tm.find("call-A", Protocol::kSip), nullptr);
+  EXPECT_EQ(tm.find("call-A", Protocol::kSip)->size(), 2u);
+  EXPECT_EQ(tm.find("call-B", Protocol::kSip)->size(), 1u);
+  EXPECT_EQ(tm.stats().sessions_created, 2u);
+}
+
+TEST(TrailManager, RtpBindsViaMediaEndpoint) {
+  TrailManager tm;
+  tm.bind_media_endpoint(ep(2, 16384), "call-A");
+  tm.add(rtp_packet(1, 7, 0, ep(2, 16384), ep(1, 16384)));  // src matches
+  tm.add(rtp_packet(2, 7, 0, ep(1, 16384), ep(2, 16384)));  // dst matches
+  const Trail* t = tm.find("call-A", Protocol::kRtp);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->size(), 2u);
+  EXPECT_EQ(tm.stats().rtp_bound_to_session, 2u);
+  EXPECT_EQ(tm.stats().rtp_unbound, 0u);
+}
+
+TEST(TrailManager, UnboundRtpGetsFlowSession) {
+  TrailManager tm;
+  tm.add(rtp_packet(1, 7, 0, ep(9, 30000), ep(1, 16384)));
+  EXPECT_EQ(tm.stats().rtp_unbound, 1u);
+  auto sessions = tm.sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].rfind("flow:", 0), 0u);
+}
+
+TEST(TrailManager, RtcpNormalizesToRtpPort) {
+  TrailManager tm;
+  tm.bind_media_endpoint(ep(2, 16384), "call-A");
+  Footprint fp;
+  fp.protocol = Protocol::kRtcp;
+  fp.time = 0;
+  fp.src = ep(2, 16385);  // RTCP = RTP port + 1
+  fp.dst = ep(1, 16385);
+  fp.data = RtcpFootprint{.is_bye = true, .ssrc = 1};
+  tm.add(std::move(fp));
+  EXPECT_NE(tm.find("call-A", Protocol::kRtcp), nullptr);
+}
+
+TEST(TrailManager, SessionTrailsSpanProtocols) {
+  TrailManager tm;
+  tm.bind_media_endpoint(ep(1, 16384), "call-A");
+  tm.add(sip_request("INVITE", "call-A", "a@x", "ta", "b@x", "", 0, ep(1, 5060), ep(2, 5060)));
+  tm.add(rtp_packet(1, 7, 0, ep(1, 16384), ep(2, 16384)));
+  tm.add(acc_start("call-A", "a@x", "b@x", 0, ep(100, 9010), ep(200, 9009)));
+  auto trails = tm.session_trails("call-A");
+  EXPECT_EQ(trails.size(), 3u);  // the paper's SIP + RTP + Accounting trails
+}
+
+TEST(TrailManager, AccKeysByCallId) {
+  TrailManager tm;
+  tm.add(acc_start("call-X", "a@x", "b@x", 0, ep(100, 9010), ep(200, 9009)));
+  EXPECT_NE(tm.find("call-X", Protocol::kAcc), nullptr);
+}
+
+TEST(TrailManager, ExpireIdleDropsOldTrails) {
+  TrailManager tm;
+  tm.add(sip_request("INVITE", "old", "a@x", "t", "b@x", "", msec(10), ep(1, 1), ep(2, 2)));
+  tm.add(sip_request("INVITE", "new", "a@x", "t", "b@x", "", sec(100), ep(1, 1), ep(2, 2)));
+  EXPECT_EQ(tm.expire_idle(sec(50)), 1u);
+  EXPECT_EQ(tm.find("old", Protocol::kSip), nullptr);
+  EXPECT_NE(tm.find("new", Protocol::kSip), nullptr);
+}
+
+TEST(TrailManager, UnbindMediaEndpoint) {
+  TrailManager tm;
+  tm.bind_media_endpoint(ep(2, 16384), "call-A");
+  EXPECT_TRUE(tm.session_for_media(ep(2, 16384)).has_value());
+  tm.unbind_media_endpoint(ep(2, 16384));
+  EXPECT_FALSE(tm.session_for_media(ep(2, 16384)).has_value());
+}
+
+}  // namespace
+}  // namespace scidive::core

@@ -1,0 +1,74 @@
+#include "sip/dialog.h"
+
+#include <gtest/gtest.h>
+
+namespace scidive::sip {
+namespace {
+
+Dialog make_dialog() {
+  return Dialog(DialogId{"call-1", "tagA", "tagB"}, SipUri("alice", "x.com"),
+                SipUri("bob", "y.com"));
+}
+
+TEST(Dialog, LifecycleEarlyConfirmedTerminated) {
+  Dialog d = make_dialog();
+  EXPECT_EQ(d.state(), DialogState::kEarly);
+  EXPECT_TRUE(d.confirm(msec(100)));
+  EXPECT_EQ(d.state(), DialogState::kConfirmed);
+  EXPECT_EQ(d.confirmed_at(), msec(100));
+  EXPECT_TRUE(d.terminate(msec(500)));
+  EXPECT_EQ(d.state(), DialogState::kTerminated);
+  EXPECT_EQ(d.terminated_at(), msec(500));
+}
+
+TEST(Dialog, InvalidTransitionsRejected) {
+  Dialog d = make_dialog();
+  EXPECT_TRUE(d.confirm(1));
+  EXPECT_FALSE(d.confirm(2));  // already confirmed
+  EXPECT_TRUE(d.terminate(3));
+  EXPECT_FALSE(d.terminate(4));  // already terminated
+  EXPECT_FALSE(d.confirm(5));    // cannot resurrect
+}
+
+TEST(Dialog, EarlyCanTerminateDirectly) {
+  Dialog d = make_dialog();
+  EXPECT_TRUE(d.terminate(1));
+  EXPECT_EQ(d.state(), DialogState::kTerminated);
+}
+
+TEST(Dialog, CseqMonotonicity) {
+  Dialog d = make_dialog();
+  EXPECT_EQ(d.next_local_cseq(), 1u);
+  EXPECT_EQ(d.next_local_cseq(), 2u);
+  EXPECT_TRUE(d.accept_remote_cseq(10));
+  EXPECT_FALSE(d.accept_remote_cseq(10));  // replay
+  EXPECT_FALSE(d.accept_remote_cseq(9));   // stale
+  EXPECT_TRUE(d.accept_remote_cseq(11));
+}
+
+TEST(Dialog, MediaEndpoints) {
+  Dialog d = make_dialog();
+  EXPECT_FALSE(d.remote_media().has_value());
+  d.set_remote_media({pkt::Ipv4Address(10, 0, 0, 2), 16384});
+  ASSERT_TRUE(d.remote_media().has_value());
+  EXPECT_EQ(d.remote_media()->port, 16384);
+  d.set_local_media({pkt::Ipv4Address(10, 0, 0, 1), 16400});
+  EXPECT_EQ(d.local_media()->port, 16400);
+}
+
+TEST(DialogId, OrderingAndFormat) {
+  DialogId a{"c1", "l", "r"};
+  DialogId b{"c1", "l", "s"};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.to_string(), "c1;l=l;r=r");
+}
+
+TEST(DialogStateName, AllNamed) {
+  EXPECT_EQ(dialog_state_name(DialogState::kEarly), "early");
+  EXPECT_EQ(dialog_state_name(DialogState::kConfirmed), "confirmed");
+  EXPECT_EQ(dialog_state_name(DialogState::kTerminated), "terminated");
+}
+
+}  // namespace
+}  // namespace scidive::sip

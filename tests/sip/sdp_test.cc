@@ -1,0 +1,71 @@
+#include "sip/sdp.h"
+
+#include <gtest/gtest.h>
+
+namespace scidive::sip {
+namespace {
+
+TEST(Sdp, ParseTypical) {
+  std::string text =
+      "v=0\r\n"
+      "o=alice 2890844526 2890844526 IN IP4 10.0.0.1\r\n"
+      "s=Session\r\n"
+      "c=IN IP4 10.0.0.1\r\n"
+      "t=0 0\r\n"
+      "m=audio 49172 RTP/AVP 0 8\r\n"
+      "a=rtpmap:0 PCMU/8000\r\n";
+  auto r = Sdp::parse(text);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& sdp = r.value();
+  EXPECT_EQ(sdp.origin_user, "alice");
+  EXPECT_EQ(sdp.session_id, 2890844526u);
+  EXPECT_EQ(sdp.connection_addr, "10.0.0.1");
+  ASSERT_NE(sdp.audio(), nullptr);
+  EXPECT_EQ(sdp.audio()->port, 49172);
+  EXPECT_EQ(sdp.audio()->payload_types, (std::vector<uint8_t>{0, 8}));
+}
+
+TEST(Sdp, RoundTrip) {
+  Sdp sdp = make_audio_sdp("10.0.0.7", 16384, 77, 2);
+  auto again = Sdp::parse(sdp.to_string());
+  ASSERT_TRUE(again.ok()) << sdp.to_string();
+  EXPECT_EQ(again.value().connection_addr, "10.0.0.7");
+  EXPECT_EQ(again.value().session_id, 77u);
+  EXPECT_EQ(again.value().session_version, 2u);
+  ASSERT_NE(again.value().audio(), nullptr);
+  EXPECT_EQ(again.value().audio()->port, 16384);
+}
+
+TEST(Sdp, BareNewlinesAccepted) {
+  std::string text = "v=0\no=- 1 1 IN IP4 10.0.0.1\ns=-\nc=IN IP4 10.0.0.1\nm=audio 8000 RTP/AVP 0\n";
+  auto r = Sdp::parse(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().audio()->port, 8000);
+}
+
+TEST(Sdp, NoAudioMedia) {
+  std::string text = "v=0\r\no=- 1 1 IN IP4 10.0.0.1\r\nm=video 9000 RTP/AVP 96\r\n";
+  auto r = Sdp::parse(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().audio(), nullptr);
+  ASSERT_EQ(r.value().media.size(), 1u);
+  EXPECT_EQ(r.value().media[0].type, "video");
+}
+
+TEST(Sdp, RejectsMalformed) {
+  EXPECT_FALSE(Sdp::parse("").ok());                         // missing v=
+  EXPECT_FALSE(Sdp::parse("v=1\r\n").ok());                  // wrong version
+  EXPECT_FALSE(Sdp::parse("v=0\r\nx\r\n").ok());             // no '='
+  EXPECT_FALSE(Sdp::parse("v=0\r\no=short\r\n").ok());       // short o=
+  EXPECT_FALSE(Sdp::parse("v=0\r\nm=audio x RTP/AVP 0\r\n").ok());  // bad port
+  EXPECT_FALSE(Sdp::parse("v=0\r\nm=audio 100 RTP/AVP 300\r\n").ok());  // bad PT
+  EXPECT_FALSE(Sdp::parse("v=0\r\nc=IN IP6 ::1\r\n").ok());  // IP6 unsupported
+}
+
+TEST(Sdp, UnknownLinesTolerated) {
+  std::string text = "v=0\r\nb=AS:64\r\nz=unknown\r\nk=clear:weak\r\n";
+  EXPECT_TRUE(Sdp::parse(text).ok());
+}
+
+}  // namespace
+}  // namespace scidive::sip

@@ -1,0 +1,167 @@
+#include "sip/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/simulator.h"
+
+namespace scidive::sip {
+namespace {
+
+using netsim::Simulator;
+
+/// A loopback environment: sent messages are captured; the test feeds
+/// responses back by hand.
+struct TxFixture {
+  Simulator sim;
+  std::vector<std::pair<SipMessage, pkt::Endpoint>> sent;
+  TransactionManager tm{TransactionEnv{
+      .send_message = [this](const SipMessage& m, pkt::Endpoint dst) { sent.emplace_back(m, dst); },
+      .schedule = [this](SimDuration d, std::function<void()> fn) { sim.after(d, std::move(fn)); },
+      .now = [this] { return sim.now(); },
+  }};
+
+  SipMessage make_request(Method method, const std::string& cseq_method, uint32_t cseq = 1) {
+    auto m = SipMessage::request(method, SipUri("bob", "10.0.0.2"));
+    m.headers().add("Via", "SIP/2.0/UDP 10.0.0.1;branch=" + tm.make_branch());
+    m.headers().add("From", "<sip:alice@x>;tag=1");
+    m.headers().add("To", "<sip:bob@x>");
+    m.headers().add("Call-ID", "call-1");
+    m.headers().add("CSeq", std::to_string(cseq) + " " + cseq_method);
+    return m;
+  }
+};
+
+const pkt::Endpoint kPeer{pkt::Ipv4Address(10, 0, 0, 2), 5060};
+
+TEST(Transaction, RequestSentImmediately) {
+  TxFixture f;
+  f.tm.send_request(f.make_request(Method::kRegister, "REGISTER"), kPeer, [](const ClientResult&) {});
+  ASSERT_EQ(f.sent.size(), 1u);
+  EXPECT_EQ(f.sent[0].second, kPeer);
+  EXPECT_EQ(f.tm.active_client_transactions(), 1u);
+}
+
+TEST(Transaction, RetransmitsWithBackoffUntilTimeout) {
+  TxFixture f;
+  bool timed_out = false;
+  f.tm.send_request(f.make_request(Method::kRegister, "REGISTER"), kPeer,
+                    [&](const ClientResult& r) { timed_out = r.timed_out; });
+  f.sim.run();  // nothing ever answers
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(f.tm.timeouts(), 1u);
+  EXPECT_EQ(f.tm.active_client_transactions(), 0u);
+  // 500ms,1s,2s,4s,4s,... within 32s: initial + ~9 retransmissions.
+  EXPECT_GE(f.sent.size(), 8u);
+  EXPECT_LE(f.sent.size(), 12u);
+}
+
+TEST(Transaction, ResponseStopsRetransmission) {
+  TxFixture f;
+  std::vector<int> codes;
+  f.tm.send_request(f.make_request(Method::kRegister, "REGISTER"), kPeer,
+                    [&](const ClientResult& r) {
+                      ASSERT_FALSE(r.timed_out);
+                      codes.push_back(r.response.status_code());
+                    });
+  ASSERT_EQ(f.sent.size(), 1u);
+  auto rsp = TransactionManager::make_response_for(f.sent[0].first, 200, "OK");
+  f.sim.after(msec(100), [&] { f.tm.on_message(rsp, kPeer); });
+  f.sim.run();
+  EXPECT_EQ(codes, (std::vector<int>{200}));
+  EXPECT_EQ(f.sent.size(), 1u);  // no retransmissions after the answer
+  EXPECT_EQ(f.tm.active_client_transactions(), 0u);
+}
+
+TEST(Transaction, ProvisionalKeepsTransactionAlive) {
+  TxFixture f;
+  std::vector<int> codes;
+  f.tm.send_request(f.make_request(Method::kInvite, "INVITE"), kPeer,
+                    [&](const ClientResult& r) {
+                      if (!r.timed_out) codes.push_back(r.response.status_code());
+                    });
+  auto ringing = TransactionManager::make_response_for(f.sent[0].first, 180, "Ringing");
+  f.tm.on_message(ringing, kPeer);
+  EXPECT_EQ(f.tm.active_client_transactions(), 1u);
+  auto ok = TransactionManager::make_response_for(f.sent[0].first, 200, "OK");
+  f.tm.on_message(ok, kPeer);
+  EXPECT_EQ(codes, (std::vector<int>{180, 200}));
+  EXPECT_EQ(f.tm.active_client_transactions(), 0u);
+}
+
+TEST(Transaction, StrayResponseIgnored) {
+  TxFixture f;
+  auto rsp = SipMessage::response(200, "OK");
+  rsp.headers().add("Via", "SIP/2.0/UDP x;branch=z9hG4bK-unknown");
+  rsp.headers().add("CSeq", "1 REGISTER");
+  f.tm.on_message(rsp, kPeer);  // must not crash or send anything
+  EXPECT_TRUE(f.sent.empty());
+}
+
+TEST(Transaction, ServerDeliversRequestOnce) {
+  TxFixture f;
+  int delivered = 0;
+  f.tm.set_request_handler([&](const SipMessage&, pkt::Endpoint) { ++delivered; });
+  auto req = f.make_request(Method::kRegister, "REGISTER");
+  f.tm.on_message(req, kPeer);
+  f.tm.on_message(req, kPeer);  // retransmission (no response stored yet)
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Transaction, ServerReplaysResponseToRetransmission) {
+  TxFixture f;
+  SipMessage captured_req = SipMessage::response(0, "");
+  f.tm.set_request_handler([&](const SipMessage& m, pkt::Endpoint) { captured_req = m; });
+  auto req = f.make_request(Method::kRegister, "REGISTER");
+  f.tm.on_message(req, kPeer);
+  auto rsp = TransactionManager::make_response_for(captured_req, 200, "OK");
+  f.tm.respond(captured_req, rsp, kPeer);
+  ASSERT_EQ(f.sent.size(), 1u);
+  f.tm.on_message(req, kPeer);  // retransmission now replays
+  ASSERT_EQ(f.sent.size(), 2u);
+  EXPECT_TRUE(f.sent[1].first.is_response());
+  EXPECT_EQ(f.sent[1].first.status_code(), 200);
+  EXPECT_GE(f.tm.retransmissions_sent(), 1u);
+}
+
+TEST(Transaction, AckBypassesServerTransactions) {
+  TxFixture f;
+  int delivered = 0;
+  f.tm.set_request_handler([&](const SipMessage&, pkt::Endpoint) { ++delivered; });
+  auto ack = f.make_request(Method::kAck, "ACK");
+  f.tm.on_message(ack, kPeer);
+  f.tm.on_message(ack, kPeer);  // ACKs are end-to-end; both delivered
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Transaction, MakeResponseEchoesHeaders) {
+  TxFixture f;
+  auto req = f.make_request(Method::kBye, "BYE", 7);
+  auto rsp = TransactionManager::make_response_for(req, 481, "Call/Transaction Does Not Exist");
+  EXPECT_EQ(rsp.status_code(), 481);
+  EXPECT_EQ(rsp.call_id(), req.call_id());
+  EXPECT_EQ(rsp.cseq().value().number, 7u);
+  EXPECT_EQ(rsp.cseq().value().method, "BYE");
+  EXPECT_EQ(rsp.top_via().value().branch(), req.top_via().value().branch());
+}
+
+TEST(Transaction, BranchesAreUnique) {
+  TxFixture f;
+  EXPECT_NE(f.tm.make_branch(), f.tm.make_branch());
+  EXPECT_EQ(f.tm.make_branch().rfind("z9hG4bK", 0), 0u);
+}
+
+TEST(Transaction, GcDropsOldServerTransactions) {
+  TxFixture f;
+  f.tm.set_request_handler([](const SipMessage&, pkt::Endpoint) {});
+  auto req = f.make_request(Method::kRegister, "REGISTER");
+  f.tm.on_message(req, kPeer);
+  EXPECT_EQ(f.tm.active_server_transactions(), 1u);
+  f.sim.run_until(sec(60));
+  f.tm.gc();
+  EXPECT_EQ(f.tm.active_server_transactions(), 0u);
+}
+
+}  // namespace
+}  // namespace scidive::sip

@@ -1,0 +1,87 @@
+#include "sip/uri.h"
+
+#include <gtest/gtest.h>
+
+namespace scidive::sip {
+namespace {
+
+TEST(SipUri, ParseFull) {
+  auto r = SipUri::parse("sip:alice@example.com:5070;transport=udp;lr");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const auto& u = r.value();
+  EXPECT_EQ(u.user(), "alice");
+  EXPECT_EQ(u.host(), "example.com");
+  EXPECT_EQ(u.port(), 5070);
+  EXPECT_EQ(u.param("transport"), "udp");
+  EXPECT_EQ(u.param("lr"), "");
+  EXPECT_FALSE(u.param("absent").has_value());
+}
+
+TEST(SipUri, ParseMinimal) {
+  auto r = SipUri::parse("sip:proxy.example.com");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().user().empty());
+  EXPECT_EQ(r.value().host(), "proxy.example.com");
+  EXPECT_EQ(r.value().port(), 0);
+  EXPECT_EQ(r.value().port_or_default(), 5060);
+}
+
+TEST(SipUri, ParseIpHost) {
+  auto r = SipUri::parse("sip:bob@10.0.0.2:5060");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().host(), "10.0.0.2");
+  EXPECT_EQ(r.value().port_or_default(), 5060);
+}
+
+TEST(SipUri, AddressOfRecord) {
+  EXPECT_EQ(SipUri::parse("sip:alice@purdue.edu").value().address_of_record(), "alice@purdue.edu");
+  EXPECT_EQ(SipUri::parse("sip:purdue.edu").value().address_of_record(), "purdue.edu");
+}
+
+TEST(SipUri, RoundTrip) {
+  for (const char* text : {
+           "sip:alice@example.com",
+           "sip:alice@example.com:5070",
+           "sip:example.com",
+           "sip:bob@10.1.2.3:5062;transport=udp",
+       }) {
+    auto u = SipUri::parse(text);
+    ASSERT_TRUE(u.ok()) << text;
+    auto again = SipUri::parse(u.value().to_string());
+    ASSERT_TRUE(again.ok()) << u.value().to_string();
+    EXPECT_EQ(u.value(), again.value()) << text;
+  }
+}
+
+TEST(SipUri, RejectsMalformed) {
+  for (const char* text : {
+           "",
+           "sip:",
+           "http://example.com",
+           "sip:@example.com",     // empty user before @
+           "sip:alice@",           // empty host
+           "sip:alice@host:0",     // zero port
+           "sip:alice@host:99999", // port overflow
+           "sip:alice@ho st",      // space in host
+           "alice@example.com",    // no scheme
+       }) {
+    EXPECT_FALSE(SipUri::parse(text).ok()) << text;
+  }
+}
+
+TEST(SipUri, EqualityIgnoresParams) {
+  auto a = SipUri::parse("sip:alice@example.com;transport=udp").value();
+  auto b = SipUri::parse("sip:alice@example.com").value();
+  EXPECT_EQ(a, b);
+  auto c = SipUri::parse("sip:alice@example.com:5070").value();
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SipUri, SetParamAppears) {
+  SipUri u("alice", "example.com");
+  u.set_param("tag", "abc");
+  EXPECT_NE(u.to_string().find("tag=abc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidive::sip

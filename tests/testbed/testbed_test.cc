@@ -1,0 +1,178 @@
+#include "testbed/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "testbed/workload.h"
+
+namespace scidive::testbed {
+namespace {
+
+TEST(Testbed, EstablishesCallAndStreams) {
+  Testbed tb;
+  std::string call_id = tb.establish_call(sec(3));
+  EXPECT_FALSE(call_id.empty());
+  EXPECT_EQ(tb.client_a().active_calls(), 1u);
+  EXPECT_EQ(tb.client_b().active_calls(), 1u);
+  EXPECT_GT(tb.client_a().stats().rtp_sent, 50u);
+  EXPECT_EQ(tb.alerts().count(), 0u);
+}
+
+TEST(Testbed, Deterministic) {
+  auto run = [](uint64_t seed) {
+    TestbedConfig config;
+    config.seed = seed;
+    Testbed tb(config);
+    tb.establish_call(sec(2));
+    tb.inject_bye_attack();
+    tb.run_for(sec(1));
+    return std::make_pair(tb.alerts().count(), tb.ids().stats().packets_inspected);
+  };
+  auto [alerts1, packets1] = run(7);
+  auto [alerts2, packets2] = run(7);
+  EXPECT_EQ(alerts1, alerts2);
+  EXPECT_EQ(packets1, packets2);
+}
+
+TEST(Testbed, ByeAttackScoresTruePositive) {
+  Testbed tb;
+  tb.establish_call(sec(2));
+  tb.inject_bye_attack();
+  tb.run_for(sec(1));
+  auto score = tb.score();
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.missed, 0);
+  EXPECT_EQ(score.false_positives, 0);
+}
+
+TEST(Testbed, AllFourTable1AttacksDetected) {
+  // One attack per fresh testbed, like the paper's per-attack experiments.
+  struct Case {
+    const char* name;
+    void (*inject)(Testbed&);
+  };
+  const Case cases[] = {
+      {"bye-attack", [](Testbed& tb) { tb.inject_bye_attack(); }},
+      {"call-hijack", [](Testbed& tb) { tb.inject_call_hijack(); }},
+      {"fake-im", [](Testbed& tb) { tb.inject_fake_im(); }},
+      {"rtp-attack", [](Testbed& tb) { tb.inject_rtp_flood(); }},
+  };
+  for (const auto& test_case : cases) {
+    Testbed tb;
+    tb.establish_call(sec(2));
+    if (std::string(test_case.name) == "fake-im") {
+      // Seed the IDS with bob's legitimate IM source first.
+      tb.client_b().send_im("alice", "really me");
+      tb.run_for(sec(1));
+    }
+    test_case.inject(tb);
+    tb.run_for(sec(2));
+    EXPECT_GE(tb.alerts().count_for_rule(test_case.name), 1u) << test_case.name;
+  }
+}
+
+TEST(Testbed, ProxySideScenariosDetected) {
+  {
+    TestbedConfig config;
+    config.require_auth = true;
+    config.ids_watches_client_a = false;
+    config.ids_watches_proxy = true;
+    Testbed tb(config);
+    tb.register_all();
+    tb.inject_register_flood(20);
+    tb.run_for(sec(8));
+    EXPECT_GE(tb.alerts().count_for_rule("register-flood"), 1u);
+  }
+  {
+    TestbedConfig config;
+    config.require_auth = true;
+    config.ids_watches_client_a = false;
+    config.ids_watches_proxy = true;
+    Testbed tb(config);
+    tb.register_all();
+    tb.inject_password_guessing({"a", "b", "c", "d", "e"});
+    tb.run_for(sec(8));
+    EXPECT_GE(tb.alerts().count_for_rule("password-guess"), 1u);
+  }
+  {
+    TestbedConfig config;
+    config.billing_bug = true;
+    config.ids_watches_client_a = false;
+    config.ids_watches_proxy = true;
+    Testbed tb(config);
+    tb.register_all();
+    tb.inject_billing_fraud();
+    tb.run_for(sec(3));
+    EXPECT_GE(tb.alerts().count_for_rule("billing-fraud"), 1u);
+  }
+}
+
+TEST(Testbed, ExtraClientsWork) {
+  Testbed tb;
+  voip::UserAgent& carol = tb.add_client("carol", 3);
+  tb.register_all();
+  ASSERT_TRUE(carol.registered());
+  std::string id = carol.call("bob");
+  tb.run_for(sec(2));
+  EXPECT_EQ(carol.active_calls(), 1u);
+  EXPECT_EQ(tb.clients().size(), 3u);
+  (void)id;
+}
+
+TEST(BenignWorkloadTest, RunsCleanUnderEndpointIds) {
+  TestbedConfig config;
+  Testbed tb(config);
+  tb.add_client("carol", 3, 5070, 16400);
+  tb.add_client("dave", 4, 5070, 16400);
+  tb.register_all();
+  WorkloadConfig wl;
+  wl.call_count = 8;
+  wl.im_count = 10;
+  wl.migration_count = 2;
+  wl.span = sec(40);
+  BenignWorkload workload(tb, wl);
+  workload.schedule();
+  tb.run_for(sec(60));
+  EXPECT_EQ(workload.calls_scheduled(), 8);
+  EXPECT_GT(tb.client_a().stats().rtp_sent + tb.client_b().stats().rtp_sent, 0u);
+  // No attacks injected: any alert is a false positive.
+  EXPECT_EQ(tb.alerts().count(), 0u)
+      << tb.alerts().alerts()[0].to_string();
+}
+
+TEST(BenignWorkloadTest, RunsCleanUnderProxyIdsWithAuth) {
+  TestbedConfig config;
+  config.require_auth = true;
+  config.ids_watches_client_a = false;
+  config.ids_watches_proxy = true;
+  Testbed tb(config);
+  tb.register_all();
+  WorkloadConfig wl;
+  wl.call_count = 5;
+  wl.reregister_count = 6;  // plenty of routine 401 dances
+  wl.span = sec(40);
+  BenignWorkload workload(tb, wl);
+  workload.schedule();
+  tb.run_for(sec(60));
+  EXPECT_EQ(tb.alerts().count(), 0u)
+      << tb.alerts().alerts()[0].to_string();
+}
+
+TEST(Testbed, MixedWorkloadAndAttackScoring) {
+  Testbed tb;
+  tb.register_all();
+  WorkloadConfig wl;
+  wl.call_count = 4;
+  wl.span = sec(30);
+  BenignWorkload workload(tb, wl);
+  workload.schedule();
+  tb.run_for(sec(10));
+  tb.establish_call(sec(2));
+  tb.inject_bye_attack();
+  tb.run_for(sec(30));
+  auto score = tb.score();
+  EXPECT_EQ(score.true_positives, 1);
+  EXPECT_EQ(score.false_positives, 0);
+}
+
+}  // namespace
+}  // namespace scidive::testbed

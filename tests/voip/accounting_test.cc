@@ -1,0 +1,58 @@
+#include "voip/accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "voip/voip_fixture.h"
+
+namespace scidive::voip {
+namespace {
+
+TEST(AccRecord, SerializeParseRoundTrip) {
+  AccRecord r{AccRecord::Kind::kStart, "call-1@10.0.0.1", "alice@lab.net", "bob@lab.net",
+              msec(1234)};
+  auto parsed = AccRecord::parse(r.serialize());
+  ASSERT_TRUE(parsed.ok()) << r.serialize();
+  EXPECT_EQ(parsed.value().kind, AccRecord::Kind::kStart);
+  EXPECT_EQ(parsed.value().call_id, "call-1@10.0.0.1");
+  EXPECT_EQ(parsed.value().from_aor, "alice@lab.net");
+  EXPECT_EQ(parsed.value().to_aor, "bob@lab.net");
+  EXPECT_EQ(parsed.value().timestamp, msec(1234));
+}
+
+TEST(AccRecord, StopKind) {
+  AccRecord r{AccRecord::Kind::kStop, "c", "a@x", "b@x", 0};
+  auto parsed = AccRecord::parse(r.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().kind, AccRecord::Kind::kStop);
+}
+
+TEST(AccRecord, RejectsMalformed) {
+  EXPECT_FALSE(AccRecord::parse("").ok());
+  EXPECT_FALSE(AccRecord::parse("NOTACC START call_id=c from=a").ok());
+  EXPECT_FALSE(AccRecord::parse("ACC BOGUS call_id=c from=a").ok());
+  EXPECT_FALSE(AccRecord::parse("ACC START").ok());                 // missing fields
+  EXPECT_FALSE(AccRecord::parse("ACC START call_id=c").ok());       // missing from
+  EXPECT_FALSE(AccRecord::parse("ACC START call_id=c from=a t=x").ok());  // bad timestamp
+}
+
+TEST(Accounting, ClientSendsAndDatabaseStores) {
+  voip::testing::VoipFixture f;
+  f.accounting.call_started("c1", "alice@lab.net", "bob@lab.net");
+  f.accounting.call_started("c2", "alice@lab.net", "carol@lab.net");
+  f.accounting.call_stopped("c1", "alice@lab.net", "bob@lab.net");
+  f.sim.run();
+  ASSERT_EQ(f.db.records().size(), 3u);
+  EXPECT_EQ(f.accounting.records_sent(), 3u);
+  auto counts = f.db.bill_counts();
+  EXPECT_EQ(counts["alice@lab.net"], 2);  // STOP doesn't add a billed start
+}
+
+TEST(Accounting, DatabaseIgnoresGarbage) {
+  voip::testing::VoipFixture f;
+  f.a_host.send_udp(9999, {f.db_host.address(), kAccPort}, std::string_view("junk data"));
+  f.sim.run();
+  EXPECT_TRUE(f.db.records().empty());
+}
+
+}  // namespace
+}  // namespace scidive::voip

@@ -1,0 +1,210 @@
+#include "voip/attack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "voip/voip_fixture.h"
+
+namespace scidive::voip {
+namespace {
+
+using testing::VoipFixture;
+
+TEST(CallSniffer, LearnsDialogFromHubTraffic) {
+  VoipFixture f;
+  CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  std::string call_id = f.establish_call(sec(2));
+
+  auto call = sniffer.latest_active_call();
+  ASSERT_TRUE(call.has_value());
+  EXPECT_EQ(call->call_id, call_id);
+  EXPECT_EQ(call->caller_aor, "alice@lab.net");
+  EXPECT_EQ(call->callee_aor, "bob@lab.net");
+  EXPECT_FALSE(call->caller_tag.empty());
+  EXPECT_FALSE(call->callee_tag.empty());
+  EXPECT_EQ(call->caller_sip.addr, f.a_host.address());
+  EXPECT_EQ(call->callee_sip.addr, f.b_host.address());
+  EXPECT_EQ(call->caller_media.port, f.a.config().rtp_port);
+  EXPECT_EQ(call->callee_media.port, f.b.config().rtp_port);
+  EXPECT_TRUE(call->confirmed);
+  EXPECT_GT(sniffer.sip_messages_seen(), 4u);
+}
+
+TEST(CallSniffer, SeesTeardown) {
+  VoipFixture f;
+  CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  std::string call_id = f.establish_call(sec(1));
+  f.a.hangup(call_id);
+  f.sim.run_until(f.sim.now() + msec(500));
+  EXPECT_FALSE(sniffer.latest_active_call().has_value());
+  ASSERT_EQ(sniffer.calls().size(), 1u);
+  EXPECT_TRUE(sniffer.calls()[0].torn_down);
+}
+
+TEST(ByeAttack, VictimStopsPeerKeepsStreaming) {
+  VoipFixture f;
+  CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(2));
+
+  auto call = sniffer.latest_active_call();
+  ASSERT_TRUE(call.has_value());
+  ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*call, /*attack_caller=*/true);  // forged BYE to A "from B"
+  f.sim.run_until(f.sim.now() + msec(200));
+
+  // A believed the BYE: its side is down.
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  // B had no idea: it still thinks the call is up and keeps streaming.
+  EXPECT_EQ(f.b.active_calls(), 1u);
+  uint64_t b_sent_before = f.b.stats().rtp_sent;
+  uint64_t a_sent_before = f.a.stats().rtp_sent;
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_GT(f.b.stats().rtp_sent, b_sent_before);   // orphan RTP flow
+  EXPECT_EQ(f.a.stats().rtp_sent, a_sent_before);   // A is silent
+}
+
+TEST(FakeIm, ArrivesWithForgedFromButAttackerSource) {
+  VoipFixture f;
+  f.establish_call(sec(1));
+  FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "bob@lab.net", "send me your password");
+  f.sim.run_until(f.sim.now() + msec(500));
+
+  ASSERT_EQ(f.a.received_ims().size(), 1u);
+  const ImRecord& im = f.a.received_ims()[0];
+  EXPECT_EQ(im.from_aor, "bob@lab.net");                    // what the user sees: "from bob"
+  EXPECT_EQ(im.source.addr, f.attacker_host.address());     // what the wire says
+  EXPECT_NE(im.source.addr, f.b_host.address());
+}
+
+TEST(CallHijack, RedirectsVictimMediaToAttacker) {
+  VoipFixture f;
+  CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  std::string call_id = f.establish_call(sec(2));
+
+  // Attacker listens on its own media port and hijacks A's outbound stream.
+  uint64_t hijacked_packets = 0;
+  f.attacker_host.bind_udp(17000, [&](pkt::Endpoint, std::span<const uint8_t>, SimTime) {
+    ++hijacked_packets;
+  });
+  auto call = sniffer.latest_active_call();
+  ASSERT_TRUE(call.has_value());
+  CallHijacker hijacker(f.attacker_host);
+  hijacker.attack(*call, {f.attacker_host.address(), 17000}, /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+
+  // A's dialog now aims at the attacker...
+  const sip::Dialog* da = f.a.find_call(call_id);
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->remote_media(), (pkt::Endpoint{f.attacker_host.address(), 17000}));
+  // ...and the attacker is receiving A's voice.
+  EXPECT_GT(hijacked_packets, 10u);
+  // B experiences continued silence (DoS aspect) but keeps sending.
+  EXPECT_EQ(f.b.active_calls(), 1u);
+}
+
+TEST(RtpAttack, CrashesXliteStyleClient) {
+  VoipFixture f;
+  // Make A fragile like X-Lite (paper: "X-Lite will crash").
+  auto cfg = f.ua_config("dora", "dora-pass");
+  cfg.jitter_behavior = rtp::CorruptionBehavior::kCrash;
+  cfg.sip_port = 5064;
+  cfg.rtp_port = 16600;
+  netsim::Host fragile_host{"fragile", pkt::Ipv4Address(10, 0, 0, 7), f.net};
+  f.net.attach(fragile_host, {.delay = DelayModel::fixed(msec(1))});
+  UserAgent fragile(fragile_host, cfg);
+  f.proxy.add_user("dora", "dora-pass");
+  fragile.register_now();
+  f.b.register_now();
+  f.sim.run_until(sec(1));
+  fragile.call("bob");
+  f.sim.run_until(f.sim.now() + sec(1));
+  ASSERT_EQ(fragile.active_calls(), 1u);
+
+  RtpInjector injector(f.attacker_host, /*seed=*/7);
+  injector.start({fragile_host.address(), 16600}, {.count = 20});
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_TRUE(fragile.crashed());
+  EXPECT_EQ(fragile.active_calls(), 0u);
+}
+
+TEST(RtpAttack, GlitchesMessengerStyleClient) {
+  VoipFixture f;  // default behavior = kGlitch (Messenger style)
+  f.establish_call(sec(2));
+  uint64_t discarded_before = f.a.jitter_buffer().discarded_late();
+
+  RtpInjector injector(f.attacker_host, /*seed=*/8);
+  injector.start({f.a_host.address(), f.a.config().rtp_port}, {.count = 30});
+  f.sim.run_until(f.sim.now() + sec(1));
+
+  EXPECT_FALSE(f.a.crashed());
+  EXPECT_GT(f.a.jitter_buffer().glitches(), 0u);  // intermittent audio
+  EXPECT_GT(f.a.jitter_buffer().discarded_late(), discarded_before);
+  EXPECT_EQ(f.a.active_calls(), 1u);  // call survives, quality degraded
+}
+
+TEST(RtpAttack, InjectedStreamShowsWildSeqJumps) {
+  VoipFixture f;
+  f.establish_call(sec(1));
+  RtpInjector injector(f.attacker_host, /*seed=*/9);
+  injector.start({f.a_host.address(), f.a.config().rtp_port}, {.count = 10});
+  f.sim.run_until(f.sim.now() + sec(1));
+  // Consecutive packets at the media port must exhibit a sequence jump far
+  // beyond the paper's threshold of 100.
+  EXPECT_GT(std::abs(f.a.rx_port_stats().max_seq_jump()), 100);
+}
+
+TEST(RegisterFlood, ProxyChallengesEveryRequest) {
+  VoipFixture f(/*require_auth=*/true);
+  RegisterFlooder flooder(f.attacker_host, {f.proxy_host.address(), 5060}, "alice", "lab.net");
+  flooder.start(25, msec(40));
+  f.sim.run_until(sec(5));
+  EXPECT_EQ(flooder.sent(), 25u);
+  EXPECT_EQ(flooder.responses_401(), 25u);  // every one challenged, all ignored
+  EXPECT_EQ(f.proxy.stats().registers_challenged, 25u);
+  EXPECT_EQ(f.proxy.stats().registers_accepted, 0u);
+}
+
+TEST(PasswordGuess, FailsWithWrongDictionary) {
+  VoipFixture f(/*require_auth=*/true);
+  PasswordGuesser guesser(f.attacker_host, {f.proxy_host.address(), 5060}, "alice", "lab.net");
+  guesser.start({"123456", "password", "letmein", "qwerty"});
+  f.sim.run_until(sec(5));
+  EXPECT_FALSE(guesser.succeeded());
+  EXPECT_EQ(guesser.attempts(), 4u);
+  EXPECT_GE(f.proxy.stats().registers_challenged, 5u);  // initial + 4 wrong guesses
+}
+
+TEST(PasswordGuess, SucceedsWhenDictionaryContainsPassword) {
+  VoipFixture f(/*require_auth=*/true);
+  PasswordGuesser guesser(f.attacker_host, {f.proxy_host.address(), 5060}, "alice", "lab.net");
+  guesser.start({"123456", "alice-pass", "letmein"});
+  f.sim.run_until(sec(5));
+  EXPECT_TRUE(guesser.succeeded());
+  EXPECT_EQ(guesser.attempts(), 2u);  // stopped at the hit
+}
+
+TEST(BillingFraud, VictimGetsBilledForFraudulentCall) {
+  VoipFixture f;
+  f.proxy.set_billing_identity_bug(true);
+  f.register_both();
+
+  BillingFraudster fraudster(f.attacker_host, {f.proxy_host.address(), 5060}, "lab.net");
+  fraudster.place_fraudulent_call("bob", "alice@lab.net");
+  f.sim.run_until(f.sim.now() + sec(3));
+
+  // The call went through (B answered a real call)...
+  EXPECT_EQ(f.b.active_calls(), 1u);
+  // ...but alice is paying for mallory's call.
+  ASSERT_GE(f.db.records().size(), 1u);
+  EXPECT_EQ(f.db.records()[0].from_aor, "alice@lab.net");
+  EXPECT_EQ(f.db.records()[0].to_aor, "bob@lab.net");
+}
+
+}  // namespace
+}  // namespace scidive::voip

@@ -1,0 +1,158 @@
+#include "voip/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "voip/voip_fixture.h"
+
+namespace scidive::voip {
+namespace {
+
+using testing::VoipFixture;
+
+TEST(Proxy, LookupUnknownReturnsNothing) {
+  VoipFixture f;
+  EXPECT_FALSE(f.proxy.lookup("nobody@lab.net").has_value());
+  EXPECT_EQ(f.proxy.bindings(), 0u);
+}
+
+TEST(Proxy, RegistrationCreatesBinding) {
+  VoipFixture f;
+  f.register_both();
+  EXPECT_EQ(f.proxy.bindings(), 2u);
+  EXPECT_EQ(f.proxy.lookup("alice@lab.net"), (pkt::Endpoint{f.a_host.address(), 5060}));
+  EXPECT_EQ(f.proxy.lookup("bob@lab.net"), (pkt::Endpoint{f.b_host.address(), 5060}));
+}
+
+TEST(Proxy, BindingExpires) {
+  VoipFixture f;
+  auto cfg = f.ua_config("alice", "alice-pass");
+  cfg.register_expires = 2;  // seconds
+  netsim::Host h{"A2", pkt::Ipv4Address(10, 0, 0, 11), f.net};
+  f.net.attach(h, {});
+  UserAgent short_lived(h, cfg);
+  short_lived.register_now();
+  f.sim.run_until(sec(1));
+  EXPECT_TRUE(f.proxy.lookup("alice@lab.net").has_value());
+  f.sim.run_until(sec(5));
+  EXPECT_FALSE(f.proxy.lookup("alice@lab.net").has_value());
+}
+
+TEST(Proxy, ForwardsInviteAndResponses) {
+  VoipFixture f;
+  f.establish_call(sec(1));
+  EXPECT_GT(f.proxy.stats().requests_forwarded, 0u);
+  EXPECT_GT(f.proxy.stats().responses_forwarded, 0u);
+}
+
+TEST(Proxy, RejectsUnknownUserWith404) {
+  VoipFixture f;
+  f.a.register_now();
+  f.sim.run_until(sec(1));
+  f.a.call("ghost");
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_EQ(f.proxy.stats().not_found, 1u);
+}
+
+TEST(Proxy, AuthRejectsUnknownUserWith403) {
+  VoipFixture f(/*require_auth=*/true);
+  auto cfg = f.ua_config("eve", "whatever");
+  netsim::Host h{"eve", pkt::Ipv4Address(10, 0, 0, 12), f.net};
+  f.net.attach(h, {});
+  UserAgent eve(h, cfg);
+  bool ok = true;
+  eve.register_now([&](bool success) { ok = success; });
+  f.sim.run_until(sec(2));
+  EXPECT_FALSE(ok);
+  EXPECT_GE(f.proxy.stats().registers_rejected, 1u);
+}
+
+TEST(Proxy, AccountingFiresOnEstablishedCall) {
+  VoipFixture f;
+  f.establish_call(sec(1));
+  ASSERT_EQ(f.db.records().size(), 1u);
+  EXPECT_EQ(f.db.records()[0].kind, AccRecord::Kind::kStart);
+  EXPECT_EQ(f.db.records()[0].from_aor, "alice@lab.net");
+  EXPECT_EQ(f.db.records()[0].to_aor, "bob@lab.net");
+  auto counts = f.db.bill_counts();
+  EXPECT_EQ(counts["alice@lab.net"], 1);
+}
+
+TEST(Proxy, NoAccountingForFailedCall) {
+  VoipFixture f;
+  f.a.register_now();
+  f.sim.run_until(sec(1));
+  f.a.call("ghost");
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_TRUE(f.db.records().empty());
+}
+
+TEST(Proxy, BillingIdentityBugBillsForgedUser) {
+  VoipFixture f;
+  f.proxy.set_billing_identity_bug(true);
+  f.register_both();
+  // Alice places a normal call but smuggles a forged billing identity.
+  // (Direct exercise of the vulnerable path; the full fraudster flow is in
+  // attack_test.cc.)
+  auto invite = sip::SipMessage::request(sip::Method::kInvite,
+                                         sip::SipUri("bob", "lab.net"));
+  invite.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bill-1");
+  invite.headers().add("Max-Forwards", "70");
+  invite.headers().add("From", "<sip:alice@lab.net>;tag=t1");
+  invite.headers().add("To", "<sip:bob@lab.net>");
+  invite.headers().add("Call-ID", "bill-test-1");
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", "<sip:alice@10.0.0.1:5060>");
+  invite.headers().add("X-Billing-Identity", "victim@lab.net");
+  auto sdp = sip::make_audio_sdp("10.0.0.1", 16384, 1);
+  invite.set_body(sdp.to_string(), "application/sdp");
+  f.a_host.send_udp(5060, {f.proxy_host.address(), 5060}, invite.to_string());
+  f.sim.run_until(f.sim.now() + sec(2));
+  ASSERT_GE(f.db.records().size(), 1u);
+  EXPECT_EQ(f.db.records()[0].from_aor, "victim@lab.net");  // fraud succeeded
+}
+
+TEST(Proxy, WithoutBugForgedHeaderIsIgnored) {
+  VoipFixture f;  // bug disabled by default
+  f.register_both();
+  auto invite = sip::SipMessage::request(sip::Method::kInvite, sip::SipUri("bob", "lab.net"));
+  invite.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bill-2");
+  invite.headers().add("Max-Forwards", "70");
+  invite.headers().add("From", "<sip:alice@lab.net>;tag=t1");
+  invite.headers().add("To", "<sip:bob@lab.net>");
+  invite.headers().add("Call-ID", "bill-test-2");
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", "<sip:alice@10.0.0.1:5060>");
+  invite.headers().add("X-Billing-Identity", "victim@lab.net");
+  auto sdp = sip::make_audio_sdp("10.0.0.1", 16384, 1);
+  invite.set_body(sdp.to_string(), "application/sdp");
+  f.a_host.send_udp(5060, {f.proxy_host.address(), 5060}, invite.to_string());
+  f.sim.run_until(f.sim.now() + sec(2));
+  ASSERT_GE(f.db.records().size(), 1u);
+  EXPECT_EQ(f.db.records()[0].from_aor, "alice@lab.net");  // honest billing
+}
+
+TEST(Proxy, MaxForwardsZeroDropped) {
+  VoipFixture f;
+  f.register_both();
+  auto invite = sip::SipMessage::request(sip::Method::kInvite, sip::SipUri("bob", "lab.net"));
+  invite.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-hops");
+  invite.headers().add("Max-Forwards", "0");
+  invite.headers().add("From", "<sip:alice@lab.net>;tag=t1");
+  invite.headers().add("To", "<sip:bob@lab.net>");
+  invite.headers().add("Call-ID", "hops-1");
+  invite.headers().add("CSeq", "1 INVITE");
+  f.a_host.send_udp(5060, {f.proxy_host.address(), 5060}, invite.to_string());
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_GE(f.proxy.stats().loops_dropped, 1u);
+  EXPECT_EQ(f.b.active_calls(), 0u);
+}
+
+TEST(Proxy, GarbageDatagramIgnored) {
+  VoipFixture f;
+  f.a_host.send_udp(5060, {f.proxy_host.address(), 5060}, std::string_view("\x01\x02garbage"));
+  f.sim.run_until(sec(1));
+  EXPECT_EQ(f.proxy.stats().requests_forwarded, 0u);  // no crash, nothing forwarded
+}
+
+}  // namespace
+}  // namespace scidive::voip

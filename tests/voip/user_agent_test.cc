@@ -1,0 +1,217 @@
+#include "voip/user_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "voip/voip_fixture.h"
+
+namespace scidive::voip {
+namespace {
+
+using testing::VoipFixture;
+
+TEST(UserAgent, RegistersWithoutAuth) {
+  VoipFixture f;
+  bool done = false, ok = false;
+  f.a.register_now([&](bool success) {
+    done = true;
+    ok = success;
+  });
+  f.sim.run_until(sec(2));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(f.a.registered());
+  EXPECT_EQ(f.proxy.lookup("alice@lab.net"),
+            (pkt::Endpoint{f.a_host.address(), 5060}));
+}
+
+TEST(UserAgent, RegistersThroughDigestChallenge) {
+  VoipFixture f(/*require_auth=*/true);
+  bool ok = false;
+  f.a.register_now([&](bool success) { ok = success; });
+  f.sim.run_until(sec(2));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.proxy.stats().registers_challenged, 1u);
+  EXPECT_EQ(f.proxy.stats().registers_accepted, 1u);
+}
+
+TEST(UserAgent, WrongPasswordFailsRegistration) {
+  VoipFixture f(/*require_auth=*/true);
+  auto cfg = f.ua_config("alice", "wrong-password");
+  cfg.sip_port = 5062;
+  cfg.rtp_port = 16500;
+  netsim::Host rogue_host{"rogue", pkt::Ipv4Address(10, 0, 0, 9), f.net};
+  f.net.attach(rogue_host, {});
+  UserAgent rogue(rogue_host, cfg);
+  bool done = false, ok = true;
+  rogue.register_now([&](bool success) {
+    done = true;
+    ok = success;
+  });
+  f.sim.run_until(sec(2));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(rogue.registered());
+}
+
+TEST(UserAgent, EndToEndCallEstablishesAndStreams) {
+  VoipFixture f;
+  std::string established_id, a_established;
+  f.b.on_call_established = [&](const std::string& id) { established_id = id; };
+  f.a.on_call_established = [&](const std::string& id) { a_established = id; };
+  std::string call_id = f.establish_call(sec(3));
+
+  EXPECT_EQ(established_id, call_id);
+  EXPECT_EQ(a_established, call_id);
+  EXPECT_EQ(f.a.active_calls(), 1u);
+  EXPECT_EQ(f.b.active_calls(), 1u);
+
+  const sip::Dialog* da = f.a.find_call(call_id);
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->state(), sip::DialogState::kConfirmed);
+  ASSERT_TRUE(da->remote_media().has_value());
+  EXPECT_EQ(da->remote_media()->addr, f.b_host.address());
+
+  // ~3s of 20ms RTP in both directions (minus setup time).
+  EXPECT_GT(f.a.stats().rtp_sent, 100u);
+  EXPECT_GT(f.b.stats().rtp_sent, 100u);
+  EXPECT_GT(f.a.stats().rtp_received, 100u);
+  EXPECT_GT(f.b.stats().rtp_received, 100u);
+  // B sees exactly one inbound stream, with sane stats.
+  ASSERT_EQ(f.b.rx_streams().size(), 1u);
+  EXPECT_NEAR(f.b.rx_streams().begin()->second.jitter_ms(), 0.0, 2.0);
+}
+
+TEST(UserAgent, HangupStopsBothDirections) {
+  VoipFixture f;
+  std::string call_id = f.establish_call(sec(2));
+  std::string a_ended, b_ended;
+  f.a.on_call_ended = [&](const std::string& id) { a_ended = id; };
+  f.b.on_call_ended = [&](const std::string& id) { b_ended = id; };
+
+  f.a.hangup(call_id);
+  f.sim.run_until(f.sim.now() + msec(200));
+  EXPECT_EQ(a_ended, call_id);
+  EXPECT_EQ(b_ended, call_id);
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  EXPECT_EQ(f.b.active_calls(), 0u);
+
+  uint64_t a_sent = f.a.stats().rtp_sent;
+  uint64_t b_sent = f.b.stats().rtp_sent;
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_EQ(f.a.stats().rtp_sent, a_sent);  // silence after BYE
+  EXPECT_EQ(f.b.stats().rtp_sent, b_sent);
+}
+
+TEST(UserAgent, CalleeHangupAlsoWorks) {
+  VoipFixture f;
+  std::string call_id = f.establish_call(sec(1));
+  f.b.hangup(call_id);
+  f.sim.run_until(f.sim.now() + msec(200));
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  EXPECT_EQ(f.b.active_calls(), 0u);
+}
+
+TEST(UserAgent, CallToUnregisteredUserFails) {
+  VoipFixture f;
+  f.a.register_now();
+  f.sim.run_until(sec(1));
+  std::string ended;
+  f.a.on_call_ended = [&](const std::string& id) { ended = id; };
+  std::string call_id = f.a.call("nobody");
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_EQ(ended, call_id);  // 404 -> call ends
+  EXPECT_EQ(f.a.active_calls(), 0u);
+  EXPECT_EQ(f.proxy.stats().not_found, 1u);
+}
+
+TEST(UserAgent, DirectImBetweenPeers) {
+  VoipFixture f;
+  f.a.add_contact("bob@lab.net", f.b.sip_endpoint());
+  f.a.send_im("bob", "hello bob");
+  f.sim.run_until(sec(1));
+  ASSERT_EQ(f.b.received_ims().size(), 1u);
+  EXPECT_EQ(f.b.received_ims()[0].from_aor, "alice@lab.net");
+  EXPECT_EQ(f.b.received_ims()[0].text, "hello bob");
+  EXPECT_EQ(f.b.received_ims()[0].source.addr, f.a_host.address());
+}
+
+TEST(UserAgent, ImViaProxyWhenNoContact) {
+  VoipFixture f;
+  f.register_both();
+  f.a.send_im("bob", "routed through proxy");
+  f.sim.run_until(f.sim.now() + sec(1));
+  ASSERT_EQ(f.b.received_ims().size(), 1u);
+  EXPECT_EQ(f.b.received_ims()[0].text, "routed through proxy");
+  // Relayed: the IM arrives from the proxy's address.
+  EXPECT_EQ(f.b.received_ims()[0].source.addr, f.proxy_host.address());
+}
+
+TEST(UserAgent, CallLearnsPeerContact) {
+  VoipFixture f;
+  f.establish_call(sec(1));
+  // After the call, A knows B's contact and IMs go direct.
+  f.a.send_im("bob", "direct now");
+  f.sim.run_until(f.sim.now() + sec(1));
+  ASSERT_GE(f.b.received_ims().size(), 1u);
+  EXPECT_EQ(f.b.received_ims().back().source.addr, f.a_host.address());
+}
+
+TEST(UserAgent, MigrationMovesMediaAndStopsOldSource) {
+  VoipFixture f;
+  std::string call_id = f.establish_call(sec(2));
+
+  // B migrates its end of the call to a "new device" (different endpoint).
+  pkt::Endpoint new_media{pkt::Ipv4Address(10, 0, 0, 55), 18000};
+  f.b.migrate_media(call_id, new_media);
+  f.sim.run_until(f.sim.now() + msec(500));
+
+  // A now aims its RTP at the new endpoint...
+  const sip::Dialog* da = f.a.find_call(call_id);
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->remote_media(), new_media);
+  // ...and B (old device) stopped sourcing media.
+  uint64_t b_sent = f.b.stats().rtp_sent;
+  f.sim.run_until(f.sim.now() + sec(1));
+  EXPECT_EQ(f.b.stats().rtp_sent, b_sent);
+}
+
+TEST(UserAgent, RejectsStaleCseqInDialog) {
+  VoipFixture f;
+  std::string call_id = f.establish_call(sec(1));
+  // Craft a BYE with CSeq 0 (stale) using A's dialog identifiers, from B.
+  const sip::Dialog* da = f.a.find_call(call_id);
+  ASSERT_NE(da, nullptr);
+  auto bye = sip::SipMessage::request(sip::Method::kBye,
+                                      sip::SipUri("alice", "10.0.0.1", 5060));
+  bye.headers().add("Via", "SIP/2.0/UDP 10.0.0.2;branch=z9hG4bK-stale");
+  bye.headers().add("From", "<sip:bob@lab.net>;tag=" + da->id().remote_tag);
+  bye.headers().add("To", "<sip:alice@lab.net>;tag=" + da->id().local_tag);
+  bye.headers().add("Call-ID", call_id);
+  bye.headers().add("CSeq", "0 BYE");
+  f.b_host.send_udp(5060, f.a.sip_endpoint(), bye.to_string());
+  f.sim.run_until(f.sim.now() + msec(500));
+  EXPECT_EQ(f.a.active_calls(), 1u);  // stale request rejected, call survives
+}
+
+TEST(UserAgent, TwoSimultaneousCalls) {
+  VoipFixture f;
+  netsim::Host c_host{"C", pkt::Ipv4Address(10, 0, 0, 3), f.net};
+  f.net.attach(c_host, {.delay = DelayModel::fixed(msec(1))});
+  auto cfg = f.ua_config("carol", "carol-pass");
+  UserAgent carol(c_host, cfg);
+  f.proxy.add_user("carol", "carol-pass");
+
+  f.a.register_now();
+  f.b.register_now();
+  carol.register_now();
+  f.sim.run_until(sec(1));
+  f.a.call("bob");
+  f.a.call("carol");
+  f.sim.run_until(f.sim.now() + sec(2));
+  EXPECT_EQ(f.a.active_calls(), 2u);
+  EXPECT_EQ(f.b.active_calls(), 1u);
+  EXPECT_EQ(carol.active_calls(), 1u);
+}
+
+}  // namespace
+}  // namespace scidive::voip

@@ -1,0 +1,73 @@
+// Shared test topology: the paper's Figure 4 — proxy, clients A and B, an
+// attacker and a billing database, all on one hub.
+#pragma once
+
+#include <memory>
+
+#include "netsim/host.h"
+#include "netsim/network.h"
+#include "voip/accounting.h"
+#include "voip/proxy.h"
+#include "voip/user_agent.h"
+
+namespace scidive::voip::testing {
+
+struct VoipFixture {
+  netsim::Simulator sim;
+  netsim::Network net{sim, /*seed=*/2004};
+
+  netsim::Host proxy_host{"proxy", pkt::Ipv4Address(10, 0, 0, 100), net};
+  netsim::Host a_host{"A", pkt::Ipv4Address(10, 0, 0, 1), net};
+  netsim::Host b_host{"B", pkt::Ipv4Address(10, 0, 0, 2), net};
+  netsim::Host attacker_host{"attacker", pkt::Ipv4Address(10, 0, 0, 66), net};
+  netsim::Host db_host{"billing-db", pkt::Ipv4Address(10, 0, 0, 200), net};
+
+  ProxyRegistrar proxy;
+  BillingDatabase db{db_host};
+  AccountingClient accounting{proxy_host, {db_host.address(), kAccPort}};
+  UserAgent a;
+  UserAgent b;
+
+  static constexpr const char* kDomain = "lab.net";
+
+  explicit VoipFixture(bool require_auth = false,
+                       netsim::LinkConfig link = {.delay = DelayModel::fixed(msec(1))})
+      : proxy(proxy_host,
+              ProxyConfig{.domain = kDomain, .sip_port = 5060, .require_auth = require_auth, .realm = kDomain}),
+        a(a_host, ua_config("alice", "alice-pass")),
+        b(b_host, ua_config("bob", "bob-pass")) {
+    net.attach(proxy_host, link);
+    net.attach(a_host, link);
+    net.attach(b_host, link);
+    net.attach(attacker_host, link);
+    net.attach(db_host, link);
+    proxy.add_user("alice", "alice-pass");
+    proxy.add_user("bob", "bob-pass");
+    proxy.set_accounting(&accounting);
+  }
+
+  UserAgentConfig ua_config(const std::string& user, const std::string& password) {
+    UserAgentConfig c;
+    c.user = user;
+    c.domain = kDomain;
+    c.password = password;
+    c.proxy = {proxy_host.address(), 5060};
+    return c;
+  }
+
+  void register_both() {
+    a.register_now();
+    b.register_now();
+    sim.run_until(sim.now() + sec(2));
+  }
+
+  /// Register, place A->B, and let it run for `talk_time`.
+  std::string establish_call(SimDuration talk_time = sec(2)) {
+    register_both();
+    std::string call_id = a.call("bob");
+    sim.run_until(sim.now() + talk_time);
+    return call_id;
+  }
+};
+
+}  // namespace scidive::voip::testing
