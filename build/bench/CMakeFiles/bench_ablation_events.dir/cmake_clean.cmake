@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_events.dir/bench_ablation_events.cpp.o"
+  "CMakeFiles/bench_ablation_events.dir/bench_ablation_events.cpp.o.d"
+  "bench_ablation_events"
+  "bench_ablation_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_billing_fraud.dir/bench_billing_fraud.cpp.o"
+  "CMakeFiles/bench_billing_fraud.dir/bench_billing_fraud.cpp.o.d"
+  "bench_billing_fraud"
+  "bench_billing_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_billing_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cooperative.dir/bench_cooperative.cpp.o"
+  "CMakeFiles/bench_cooperative.dir/bench_cooperative.cpp.o.d"
+  "bench_cooperative"
+  "bench_cooperative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cooperative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

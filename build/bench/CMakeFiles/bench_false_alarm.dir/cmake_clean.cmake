@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_alarm.dir/bench_false_alarm.cpp.o"
+  "CMakeFiles/bench_false_alarm.dir/bench_false_alarm.cpp.o.d"
+  "bench_false_alarm"
+  "bench_false_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

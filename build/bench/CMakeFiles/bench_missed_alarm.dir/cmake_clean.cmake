@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_missed_alarm.dir/bench_missed_alarm.cpp.o"
+  "CMakeFiles/bench_missed_alarm.dir/bench_missed_alarm.cpp.o.d"
+  "bench_missed_alarm"
+  "bench_missed_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_missed_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stateful_dos.dir/bench_stateful_dos.cpp.o"
+  "CMakeFiles/bench_stateful_dos.dir/bench_stateful_dos.cpp.o.d"
+  "bench_stateful_dos"
+  "bench_stateful_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stateful_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_fraud.dir/billing_fraud.cpp.o"
+  "CMakeFiles/billing_fraud.dir/billing_fraud.cpp.o.d"
+  "billing_fraud"
+  "billing_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

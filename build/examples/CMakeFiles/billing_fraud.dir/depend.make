@@ -1,0 +1,2 @@
+# Empty dependencies file for billing_fraud.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cooperative_ids.cpp" "examples/CMakeFiles/cooperative_ids.dir/cooperative_ids.cpp.o" "gcc" "examples/CMakeFiles/cooperative_ids.dir/cooperative_ids.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/scidive_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/scidive/CMakeFiles/scidive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/h323/CMakeFiles/scidive_h323.dir/DependInfo.cmake"
+  "/root/repo/build/src/voip/CMakeFiles/scidive_voip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/scidive_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/scidive_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/scidive_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/scidive_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

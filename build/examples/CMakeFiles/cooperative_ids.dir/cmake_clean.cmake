@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_ids.dir/cooperative_ids.cpp.o"
+  "CMakeFiles/cooperative_ids.dir/cooperative_ids.cpp.o.d"
+  "cooperative_ids"
+  "cooperative_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

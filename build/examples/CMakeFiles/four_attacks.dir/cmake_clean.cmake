@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_attacks.dir/four_attacks.cpp.o"
+  "CMakeFiles/four_attacks.dir/four_attacks.cpp.o.d"
+  "four_attacks"
+  "four_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_analyze.dir/scidive_analyze.cpp.o"
+  "CMakeFiles/scidive_analyze.dir/scidive_analyze.cpp.o.d"
+  "scidive_analyze"
+  "scidive_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

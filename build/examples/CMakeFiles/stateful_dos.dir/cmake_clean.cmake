@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateful_dos.dir/stateful_dos.cpp.o"
+  "CMakeFiles/stateful_dos.dir/stateful_dos.cpp.o.d"
+  "stateful_dos"
+  "stateful_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateful_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_analysis.dir/section43.cc.o"
+  "CMakeFiles/scidive_analysis.dir/section43.cc.o.d"
+  "libscidive_analysis.a"
+  "libscidive_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_common.dir/bytes.cc.o"
+  "CMakeFiles/scidive_common.dir/bytes.cc.o.d"
+  "CMakeFiles/scidive_common.dir/logging.cc.o"
+  "CMakeFiles/scidive_common.dir/logging.cc.o.d"
+  "CMakeFiles/scidive_common.dir/md5.cc.o"
+  "CMakeFiles/scidive_common.dir/md5.cc.o.d"
+  "CMakeFiles/scidive_common.dir/rng.cc.o"
+  "CMakeFiles/scidive_common.dir/rng.cc.o.d"
+  "CMakeFiles/scidive_common.dir/strings.cc.o"
+  "CMakeFiles/scidive_common.dir/strings.cc.o.d"
+  "libscidive_common.a"
+  "libscidive_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

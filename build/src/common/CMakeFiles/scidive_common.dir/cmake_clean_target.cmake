@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscidive_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h323/attack.cc" "src/h323/CMakeFiles/scidive_h323.dir/attack.cc.o" "gcc" "src/h323/CMakeFiles/scidive_h323.dir/attack.cc.o.d"
+  "/root/repo/src/h323/endpoint.cc" "src/h323/CMakeFiles/scidive_h323.dir/endpoint.cc.o" "gcc" "src/h323/CMakeFiles/scidive_h323.dir/endpoint.cc.o.d"
+  "/root/repo/src/h323/gatekeeper.cc" "src/h323/CMakeFiles/scidive_h323.dir/gatekeeper.cc.o" "gcc" "src/h323/CMakeFiles/scidive_h323.dir/gatekeeper.cc.o.d"
+  "/root/repo/src/h323/q931.cc" "src/h323/CMakeFiles/scidive_h323.dir/q931.cc.o" "gcc" "src/h323/CMakeFiles/scidive_h323.dir/q931.cc.o.d"
+  "/root/repo/src/h323/ras.cc" "src/h323/CMakeFiles/scidive_h323.dir/ras.cc.o" "gcc" "src/h323/CMakeFiles/scidive_h323.dir/ras.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtp/CMakeFiles/scidive_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/scidive_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

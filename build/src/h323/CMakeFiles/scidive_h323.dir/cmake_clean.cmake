@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_h323.dir/attack.cc.o"
+  "CMakeFiles/scidive_h323.dir/attack.cc.o.d"
+  "CMakeFiles/scidive_h323.dir/endpoint.cc.o"
+  "CMakeFiles/scidive_h323.dir/endpoint.cc.o.d"
+  "CMakeFiles/scidive_h323.dir/gatekeeper.cc.o"
+  "CMakeFiles/scidive_h323.dir/gatekeeper.cc.o.d"
+  "CMakeFiles/scidive_h323.dir/q931.cc.o"
+  "CMakeFiles/scidive_h323.dir/q931.cc.o.d"
+  "CMakeFiles/scidive_h323.dir/ras.cc.o"
+  "CMakeFiles/scidive_h323.dir/ras.cc.o.d"
+  "libscidive_h323.a"
+  "libscidive_h323.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_h323.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

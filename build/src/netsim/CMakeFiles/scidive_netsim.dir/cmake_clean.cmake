@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_netsim.dir/host.cc.o"
+  "CMakeFiles/scidive_netsim.dir/host.cc.o.d"
+  "CMakeFiles/scidive_netsim.dir/network.cc.o"
+  "CMakeFiles/scidive_netsim.dir/network.cc.o.d"
+  "CMakeFiles/scidive_netsim.dir/router.cc.o"
+  "CMakeFiles/scidive_netsim.dir/router.cc.o.d"
+  "CMakeFiles/scidive_netsim.dir/simulator.cc.o"
+  "CMakeFiles/scidive_netsim.dir/simulator.cc.o.d"
+  "libscidive_netsim.a"
+  "libscidive_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

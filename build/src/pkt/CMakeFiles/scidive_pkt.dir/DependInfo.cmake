@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkt/fragment.cc" "src/pkt/CMakeFiles/scidive_pkt.dir/fragment.cc.o" "gcc" "src/pkt/CMakeFiles/scidive_pkt.dir/fragment.cc.o.d"
+  "/root/repo/src/pkt/ipv4.cc" "src/pkt/CMakeFiles/scidive_pkt.dir/ipv4.cc.o" "gcc" "src/pkt/CMakeFiles/scidive_pkt.dir/ipv4.cc.o.d"
+  "/root/repo/src/pkt/packet.cc" "src/pkt/CMakeFiles/scidive_pkt.dir/packet.cc.o" "gcc" "src/pkt/CMakeFiles/scidive_pkt.dir/packet.cc.o.d"
+  "/root/repo/src/pkt/udp.cc" "src/pkt/CMakeFiles/scidive_pkt.dir/udp.cc.o" "gcc" "src/pkt/CMakeFiles/scidive_pkt.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_pkt.dir/fragment.cc.o"
+  "CMakeFiles/scidive_pkt.dir/fragment.cc.o.d"
+  "CMakeFiles/scidive_pkt.dir/ipv4.cc.o"
+  "CMakeFiles/scidive_pkt.dir/ipv4.cc.o.d"
+  "CMakeFiles/scidive_pkt.dir/packet.cc.o"
+  "CMakeFiles/scidive_pkt.dir/packet.cc.o.d"
+  "CMakeFiles/scidive_pkt.dir/udp.cc.o"
+  "CMakeFiles/scidive_pkt.dir/udp.cc.o.d"
+  "libscidive_pkt.a"
+  "libscidive_pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

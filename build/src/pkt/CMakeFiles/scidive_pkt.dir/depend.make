@@ -1,0 +1,2 @@
+# Empty dependencies file for scidive_pkt.
+# This may be replaced when dependencies are built.

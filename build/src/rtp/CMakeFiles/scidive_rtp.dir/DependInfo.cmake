@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/jitter_buffer.cc" "src/rtp/CMakeFiles/scidive_rtp.dir/jitter_buffer.cc.o" "gcc" "src/rtp/CMakeFiles/scidive_rtp.dir/jitter_buffer.cc.o.d"
+  "/root/repo/src/rtp/rtcp.cc" "src/rtp/CMakeFiles/scidive_rtp.dir/rtcp.cc.o" "gcc" "src/rtp/CMakeFiles/scidive_rtp.dir/rtcp.cc.o.d"
+  "/root/repo/src/rtp/rtp.cc" "src/rtp/CMakeFiles/scidive_rtp.dir/rtp.cc.o" "gcc" "src/rtp/CMakeFiles/scidive_rtp.dir/rtp.cc.o.d"
+  "/root/repo/src/rtp/stats.cc" "src/rtp/CMakeFiles/scidive_rtp.dir/stats.cc.o" "gcc" "src/rtp/CMakeFiles/scidive_rtp.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_rtp.dir/jitter_buffer.cc.o"
+  "CMakeFiles/scidive_rtp.dir/jitter_buffer.cc.o.d"
+  "CMakeFiles/scidive_rtp.dir/rtcp.cc.o"
+  "CMakeFiles/scidive_rtp.dir/rtcp.cc.o.d"
+  "CMakeFiles/scidive_rtp.dir/rtp.cc.o"
+  "CMakeFiles/scidive_rtp.dir/rtp.cc.o.d"
+  "CMakeFiles/scidive_rtp.dir/stats.cc.o"
+  "CMakeFiles/scidive_rtp.dir/stats.cc.o.d"
+  "libscidive_rtp.a"
+  "libscidive_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scidive/alert.cc" "src/scidive/CMakeFiles/scidive_core.dir/alert.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/alert.cc.o.d"
+  "/root/repo/src/scidive/coop.cc" "src/scidive/CMakeFiles/scidive_core.dir/coop.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/coop.cc.o.d"
+  "/root/repo/src/scidive/distiller.cc" "src/scidive/CMakeFiles/scidive_core.dir/distiller.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/distiller.cc.o.d"
+  "/root/repo/src/scidive/engine.cc" "src/scidive/CMakeFiles/scidive_core.dir/engine.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/engine.cc.o.d"
+  "/root/repo/src/scidive/event_generator.cc" "src/scidive/CMakeFiles/scidive_core.dir/event_generator.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/event_generator.cc.o.d"
+  "/root/repo/src/scidive/exchange.cc" "src/scidive/CMakeFiles/scidive_core.dir/exchange.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/exchange.cc.o.d"
+  "/root/repo/src/scidive/incident.cc" "src/scidive/CMakeFiles/scidive_core.dir/incident.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/incident.cc.o.d"
+  "/root/repo/src/scidive/rules.cc" "src/scidive/CMakeFiles/scidive_core.dir/rules.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/rules.cc.o.d"
+  "/root/repo/src/scidive/trace.cc" "src/scidive/CMakeFiles/scidive_core.dir/trace.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/trace.cc.o.d"
+  "/root/repo/src/scidive/trail_manager.cc" "src/scidive/CMakeFiles/scidive_core.dir/trail_manager.cc.o" "gcc" "src/scidive/CMakeFiles/scidive_core.dir/trail_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sip/CMakeFiles/scidive_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/scidive_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/h323/CMakeFiles/scidive_h323.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/scidive_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/voip/CMakeFiles/scidive_voip.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

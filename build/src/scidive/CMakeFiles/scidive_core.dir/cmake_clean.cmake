@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_core.dir/alert.cc.o"
+  "CMakeFiles/scidive_core.dir/alert.cc.o.d"
+  "CMakeFiles/scidive_core.dir/coop.cc.o"
+  "CMakeFiles/scidive_core.dir/coop.cc.o.d"
+  "CMakeFiles/scidive_core.dir/distiller.cc.o"
+  "CMakeFiles/scidive_core.dir/distiller.cc.o.d"
+  "CMakeFiles/scidive_core.dir/engine.cc.o"
+  "CMakeFiles/scidive_core.dir/engine.cc.o.d"
+  "CMakeFiles/scidive_core.dir/event_generator.cc.o"
+  "CMakeFiles/scidive_core.dir/event_generator.cc.o.d"
+  "CMakeFiles/scidive_core.dir/exchange.cc.o"
+  "CMakeFiles/scidive_core.dir/exchange.cc.o.d"
+  "CMakeFiles/scidive_core.dir/incident.cc.o"
+  "CMakeFiles/scidive_core.dir/incident.cc.o.d"
+  "CMakeFiles/scidive_core.dir/rules.cc.o"
+  "CMakeFiles/scidive_core.dir/rules.cc.o.d"
+  "CMakeFiles/scidive_core.dir/trace.cc.o"
+  "CMakeFiles/scidive_core.dir/trace.cc.o.d"
+  "CMakeFiles/scidive_core.dir/trail_manager.cc.o"
+  "CMakeFiles/scidive_core.dir/trail_manager.cc.o.d"
+  "libscidive_core.a"
+  "libscidive_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

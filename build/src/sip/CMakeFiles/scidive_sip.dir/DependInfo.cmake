@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/auth.cc" "src/sip/CMakeFiles/scidive_sip.dir/auth.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/auth.cc.o.d"
+  "/root/repo/src/sip/dialog.cc" "src/sip/CMakeFiles/scidive_sip.dir/dialog.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/dialog.cc.o.d"
+  "/root/repo/src/sip/headers.cc" "src/sip/CMakeFiles/scidive_sip.dir/headers.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/headers.cc.o.d"
+  "/root/repo/src/sip/message.cc" "src/sip/CMakeFiles/scidive_sip.dir/message.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/message.cc.o.d"
+  "/root/repo/src/sip/sdp.cc" "src/sip/CMakeFiles/scidive_sip.dir/sdp.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/sdp.cc.o.d"
+  "/root/repo/src/sip/transaction.cc" "src/sip/CMakeFiles/scidive_sip.dir/transaction.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/transaction.cc.o.d"
+  "/root/repo/src/sip/uri.cc" "src/sip/CMakeFiles/scidive_sip.dir/uri.cc.o" "gcc" "src/sip/CMakeFiles/scidive_sip.dir/uri.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_sip.dir/auth.cc.o"
+  "CMakeFiles/scidive_sip.dir/auth.cc.o.d"
+  "CMakeFiles/scidive_sip.dir/dialog.cc.o"
+  "CMakeFiles/scidive_sip.dir/dialog.cc.o.d"
+  "CMakeFiles/scidive_sip.dir/headers.cc.o"
+  "CMakeFiles/scidive_sip.dir/headers.cc.o.d"
+  "CMakeFiles/scidive_sip.dir/message.cc.o"
+  "CMakeFiles/scidive_sip.dir/message.cc.o.d"
+  "CMakeFiles/scidive_sip.dir/sdp.cc.o"
+  "CMakeFiles/scidive_sip.dir/sdp.cc.o.d"
+  "CMakeFiles/scidive_sip.dir/transaction.cc.o"
+  "CMakeFiles/scidive_sip.dir/transaction.cc.o.d"
+  "CMakeFiles/scidive_sip.dir/uri.cc.o"
+  "CMakeFiles/scidive_sip.dir/uri.cc.o.d"
+  "libscidive_sip.a"
+  "libscidive_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

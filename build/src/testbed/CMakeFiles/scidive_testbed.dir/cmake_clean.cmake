@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_testbed.dir/testbed.cc.o"
+  "CMakeFiles/scidive_testbed.dir/testbed.cc.o.d"
+  "CMakeFiles/scidive_testbed.dir/workload.cc.o"
+  "CMakeFiles/scidive_testbed.dir/workload.cc.o.d"
+  "libscidive_testbed.a"
+  "libscidive_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/voip/accounting.cc" "src/voip/CMakeFiles/scidive_voip.dir/accounting.cc.o" "gcc" "src/voip/CMakeFiles/scidive_voip.dir/accounting.cc.o.d"
+  "/root/repo/src/voip/attack.cc" "src/voip/CMakeFiles/scidive_voip.dir/attack.cc.o" "gcc" "src/voip/CMakeFiles/scidive_voip.dir/attack.cc.o.d"
+  "/root/repo/src/voip/proxy.cc" "src/voip/CMakeFiles/scidive_voip.dir/proxy.cc.o" "gcc" "src/voip/CMakeFiles/scidive_voip.dir/proxy.cc.o.d"
+  "/root/repo/src/voip/user_agent.cc" "src/voip/CMakeFiles/scidive_voip.dir/user_agent.cc.o" "gcc" "src/voip/CMakeFiles/scidive_voip.dir/user_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sip/CMakeFiles/scidive_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/scidive_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/scidive_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scidive_voip.dir/accounting.cc.o"
+  "CMakeFiles/scidive_voip.dir/accounting.cc.o.d"
+  "CMakeFiles/scidive_voip.dir/attack.cc.o"
+  "CMakeFiles/scidive_voip.dir/attack.cc.o.d"
+  "CMakeFiles/scidive_voip.dir/proxy.cc.o"
+  "CMakeFiles/scidive_voip.dir/proxy.cc.o.d"
+  "CMakeFiles/scidive_voip.dir/user_agent.cc.o"
+  "CMakeFiles/scidive_voip.dir/user_agent.cc.o.d"
+  "libscidive_voip.a"
+  "libscidive_voip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scidive_voip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

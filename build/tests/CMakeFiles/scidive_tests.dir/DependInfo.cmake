@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/section43_test.cc" "tests/CMakeFiles/scidive_tests.dir/analysis/section43_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/analysis/section43_test.cc.o.d"
+  "/root/repo/tests/common/bytes_test.cc" "tests/CMakeFiles/scidive_tests.dir/common/bytes_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/common/bytes_test.cc.o.d"
+  "/root/repo/tests/common/delay_model_property_test.cc" "tests/CMakeFiles/scidive_tests.dir/common/delay_model_property_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/common/delay_model_property_test.cc.o.d"
+  "/root/repo/tests/common/md5_test.cc" "tests/CMakeFiles/scidive_tests.dir/common/md5_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/common/md5_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/scidive_tests.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/scidive_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/strings_test.cc" "tests/CMakeFiles/scidive_tests.dir/common/strings_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/common/strings_test.cc.o.d"
+  "/root/repo/tests/h323/h323_integration_test.cc" "tests/CMakeFiles/scidive_tests.dir/h323/h323_integration_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/h323/h323_integration_test.cc.o.d"
+  "/root/repo/tests/h323/q931_test.cc" "tests/CMakeFiles/scidive_tests.dir/h323/q931_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/h323/q931_test.cc.o.d"
+  "/root/repo/tests/h323/ras_test.cc" "tests/CMakeFiles/scidive_tests.dir/h323/ras_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/h323/ras_test.cc.o.d"
+  "/root/repo/tests/netsim/network_test.cc" "tests/CMakeFiles/scidive_tests.dir/netsim/network_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/netsim/network_test.cc.o.d"
+  "/root/repo/tests/netsim/router_test.cc" "tests/CMakeFiles/scidive_tests.dir/netsim/router_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/netsim/router_test.cc.o.d"
+  "/root/repo/tests/netsim/simulator_test.cc" "tests/CMakeFiles/scidive_tests.dir/netsim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/netsim/simulator_test.cc.o.d"
+  "/root/repo/tests/pkt/addr_test.cc" "tests/CMakeFiles/scidive_tests.dir/pkt/addr_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/pkt/addr_test.cc.o.d"
+  "/root/repo/tests/pkt/fragment_test.cc" "tests/CMakeFiles/scidive_tests.dir/pkt/fragment_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/pkt/fragment_test.cc.o.d"
+  "/root/repo/tests/pkt/ipv4_test.cc" "tests/CMakeFiles/scidive_tests.dir/pkt/ipv4_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/pkt/ipv4_test.cc.o.d"
+  "/root/repo/tests/pkt/udp_test.cc" "tests/CMakeFiles/scidive_tests.dir/pkt/udp_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/pkt/udp_test.cc.o.d"
+  "/root/repo/tests/rtp/jitter_buffer_test.cc" "tests/CMakeFiles/scidive_tests.dir/rtp/jitter_buffer_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/rtp/jitter_buffer_test.cc.o.d"
+  "/root/repo/tests/rtp/rtcp_test.cc" "tests/CMakeFiles/scidive_tests.dir/rtp/rtcp_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/rtp/rtcp_test.cc.o.d"
+  "/root/repo/tests/rtp/rtp_test.cc" "tests/CMakeFiles/scidive_tests.dir/rtp/rtp_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/rtp/rtp_test.cc.o.d"
+  "/root/repo/tests/rtp/stats_test.cc" "tests/CMakeFiles/scidive_tests.dir/rtp/stats_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/rtp/stats_test.cc.o.d"
+  "/root/repo/tests/scidive/coop_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/coop_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/coop_test.cc.o.d"
+  "/root/repo/tests/scidive/distiller_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/distiller_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/distiller_test.cc.o.d"
+  "/root/repo/tests/scidive/engine_edge_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/engine_edge_test.cc.o.d"
+  "/root/repo/tests/scidive/engine_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/engine_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/engine_test.cc.o.d"
+  "/root/repo/tests/scidive/event_generator_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/event_generator_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/event_generator_test.cc.o.d"
+  "/root/repo/tests/scidive/exchange_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/exchange_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/exchange_test.cc.o.d"
+  "/root/repo/tests/scidive/incident_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/incident_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/incident_test.cc.o.d"
+  "/root/repo/tests/scidive/rtcp_rule_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/rtcp_rule_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/rtcp_rule_test.cc.o.d"
+  "/root/repo/tests/scidive/rules_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/rules_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/rules_test.cc.o.d"
+  "/root/repo/tests/scidive/soak_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/soak_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/soak_test.cc.o.d"
+  "/root/repo/tests/scidive/trace_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/trace_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/trace_test.cc.o.d"
+  "/root/repo/tests/scidive/trail_test.cc" "tests/CMakeFiles/scidive_tests.dir/scidive/trail_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/scidive/trail_test.cc.o.d"
+  "/root/repo/tests/sip/auth_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/auth_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/auth_test.cc.o.d"
+  "/root/repo/tests/sip/dialog_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/dialog_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/dialog_test.cc.o.d"
+  "/root/repo/tests/sip/headers_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/headers_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/headers_test.cc.o.d"
+  "/root/repo/tests/sip/message_property_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/message_property_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/message_property_test.cc.o.d"
+  "/root/repo/tests/sip/message_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/message_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/message_test.cc.o.d"
+  "/root/repo/tests/sip/sdp_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/sdp_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/sdp_test.cc.o.d"
+  "/root/repo/tests/sip/transaction_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/transaction_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/transaction_test.cc.o.d"
+  "/root/repo/tests/sip/uri_test.cc" "tests/CMakeFiles/scidive_tests.dir/sip/uri_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/sip/uri_test.cc.o.d"
+  "/root/repo/tests/testbed/testbed_test.cc" "tests/CMakeFiles/scidive_tests.dir/testbed/testbed_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/testbed/testbed_test.cc.o.d"
+  "/root/repo/tests/voip/accounting_test.cc" "tests/CMakeFiles/scidive_tests.dir/voip/accounting_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/voip/accounting_test.cc.o.d"
+  "/root/repo/tests/voip/attack_test.cc" "tests/CMakeFiles/scidive_tests.dir/voip/attack_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/voip/attack_test.cc.o.d"
+  "/root/repo/tests/voip/proxy_test.cc" "tests/CMakeFiles/scidive_tests.dir/voip/proxy_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/voip/proxy_test.cc.o.d"
+  "/root/repo/tests/voip/ua_edge_test.cc" "tests/CMakeFiles/scidive_tests.dir/voip/ua_edge_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/voip/ua_edge_test.cc.o.d"
+  "/root/repo/tests/voip/user_agent_test.cc" "tests/CMakeFiles/scidive_tests.dir/voip/user_agent_test.cc.o" "gcc" "tests/CMakeFiles/scidive_tests.dir/voip/user_agent_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/scidive_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/scidive_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/scidive/CMakeFiles/scidive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/h323/CMakeFiles/scidive_h323.dir/DependInfo.cmake"
+  "/root/repo/build/src/voip/CMakeFiles/scidive_voip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/scidive_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/scidive_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/scidive_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkt/CMakeFiles/scidive_pkt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scidive_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
