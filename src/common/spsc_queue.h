@@ -1,0 +1,93 @@
+// Bounded single-producer / single-consumer ring buffer. One thread pushes,
+// one thread pops; no locks anywhere. Capacity is rounded up to a power of
+// two so index wrapping is a mask. Head/tail live on separate cache lines
+// and each side caches the other's index, so the steady-state fast path
+// touches no shared cache line at all (the classic SPSC optimization: the
+// producer only reloads `tail` when the ring looks full, the consumer only
+// reloads `head` when it looks empty).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace scidive {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr size_t kCacheLineSize = std::hardware_destructive_interference_size;
+#else
+inline constexpr size_t kCacheLineSize = 64;
+#endif
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false (leaving `value` untouched) when full.
+  bool try_push(T&& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drain up to `max` elements into `fn`, amortizing the
+  /// release store over the whole batch. Returns the number consumed.
+  template <typename Fn>
+  size_t pop_batch(Fn&& fn, size_t max) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return 0;
+    }
+    size_t available = cached_head_ - tail;
+    size_t n = available < max ? available : max;
+    for (size_t i = 0; i < n; ++i) fn(std::move(slots_[(tail + i) & mask_]));
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate (exact only when the other side is quiescent).
+  size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};  // next write index
+  alignas(kCacheLineSize) size_t cached_tail_ = 0;       // producer's view of tail_
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};  // next read index
+  alignas(kCacheLineSize) size_t cached_head_ = 0;       // consumer's view of head_
+};
+
+}  // namespace scidive

@@ -31,15 +31,28 @@ Distiller::Distiller(DistillerConfig config)
 std::optional<Footprint> Distiller::distill(const pkt::Packet& packet) {
   ++stats_.packets_in;
 
-  auto whole = reassembler_.push(packet.data, packet.timestamp);
-  if (!whole) {
-    if (whole.error().code == Errc::kState)
-      ++stats_.fragments_held;
-    else
-      ++stats_.undecodable;
+  // Non-fragments (the overwhelming common case) parse straight out of the
+  // capture buffer; only fragments pay the reassembler's datagram copy.
+  auto ip = pkt::parse_ipv4(packet.data);
+  if (!ip) {
+    ++stats_.undecodable;
     return std::nullopt;
   }
-  auto udp = pkt::parse_udp_packet(whole.value());
+  std::span<const uint8_t> datagram = packet.data;
+  Bytes reassembled;
+  if (ip.value().header.is_fragment()) {
+    auto whole = reassembler_.push(packet.data, packet.timestamp);
+    if (!whole) {
+      if (whole.error().code == Errc::kState)
+        ++stats_.fragments_held;
+      else
+        ++stats_.undecodable;
+      return std::nullopt;
+    }
+    reassembled = std::move(whole.value());
+    datagram = reassembled;
+  }
+  auto udp = pkt::parse_udp_packet(datagram);
   if (!udp) {
     ++stats_.undecodable;
     return std::nullopt;

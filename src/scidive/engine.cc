@@ -9,7 +9,11 @@ ScidiveEngine::ScidiveEngine(EngineConfig config)
       distiller_(config_.distiller),
       trails_(config_.max_footprints_per_trail),
       events_(trails_, config_.events),
-      rules_(make_default_ruleset(config_.rules)) {}
+      rules_(make_default_ruleset(config_.rules)) {
+  // A packet rarely yields more than a handful of events; reserving once
+  // keeps the per-packet clear()/push_back cycle allocation-free.
+  scratch_events_.reserve(16);
+}
 
 void ScidiveEngine::on_packet(const pkt::Packet& packet) {
   ++stats_.packets_seen;

@@ -1,0 +1,194 @@
+#include "scidive/shard_router.h"
+
+#include <algorithm>
+
+#include "h323/q931.h"
+#include "h323/ras.h"
+#include "sip/message.h"
+#include "sip/sdp.h"
+#include "voip/accounting.h"
+
+namespace scidive::core {
+
+namespace {
+
+/// Header-only UDP peek: no checksum verification, no copies. The shard's
+/// own Distiller re-parses defensively; the router only needs addresses,
+/// ports and a payload view to pick a shard.
+struct UdpPeek {
+  pkt::Endpoint src;
+  pkt::Endpoint dst;
+  std::span<const uint8_t> payload;
+};
+
+std::optional<UdpPeek> peek_udp(std::span<const uint8_t> d) {
+  if (d.size() < 20) return std::nullopt;
+  if ((d[0] >> 4) != 4) return std::nullopt;
+  const size_t ihl = static_cast<size_t>(d[0] & 0x0f) * 4;
+  if (ihl < 20 || d.size() < ihl + pkt::kUdpHeaderLen) return std::nullopt;
+  if (d[9] != pkt::kProtoUdp) return std::nullopt;
+  UdpPeek p;
+  p.src.addr = pkt::Ipv4Address(d[12], d[13], d[14], d[15]);
+  p.dst.addr = pkt::Ipv4Address(d[16], d[17], d[18], d[19]);
+  p.src.port = static_cast<uint16_t>(d[ihl] << 8 | d[ihl + 1]);
+  p.dst.port = static_cast<uint16_t>(d[ihl + 2] << 8 | d[ihl + 3]);
+  const size_t udp_len = static_cast<size_t>(d[ihl + 4]) << 8 | d[ihl + 5];
+  size_t payload_len = udp_len >= pkt::kUdpHeaderLen ? udp_len - pkt::kUdpHeaderLen : 0;
+  payload_len = std::min(payload_len, d.size() - ihl - pkt::kUdpHeaderLen);
+  p.payload = d.subspan(ihl + pkt::kUdpHeaderLen, payload_len);
+  return p;
+}
+
+bool is_fragment(std::span<const uint8_t> d) {
+  if (d.size() < 20 || (d[0] >> 4) != 4) return false;
+  // MF flag or a non-zero fragment offset.
+  return ((static_cast<uint16_t>(d[6]) << 8 | d[7]) & 0x3fff) != 0;
+}
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterConfig config)
+    : config_(std::move(config)),
+      reassembler_(pkt::Ipv4Reassembler::Config{.timeout = config_.reassembly_timeout}) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+}
+
+size_t ShardRouter::shard_of_key(std::string_view key) const {
+  return mix64(std::hash<std::string_view>{}(key)) % config_.num_shards;
+}
+
+void ShardRouter::learn_media(pkt::Endpoint media, size_t shard) {
+  auto [it, inserted] = media_shard_.insert_or_assign(media, static_cast<uint32_t>(shard));
+  if (inserted) ++stats_.media_bindings_learned;
+}
+
+std::optional<ShardRouter::Routed> ShardRouter::route(const pkt::Packet& packet) {
+  if (is_fragment(packet.data)) {
+    auto whole = reassembler_.push(packet.data, packet.timestamp);
+    if (!whole.ok()) {
+      if (whole.error().code == Errc::kState) {
+        ++stats_.fragments_held;
+        return std::nullopt;  // datagram incomplete — nothing to deliver yet
+      }
+      // Invalid fragment: hand the raw packet to shard 0 so its distiller
+      // accounts for it as undecodable (never silently lost).
+      return Routed{0, std::nullopt};
+    }
+    pkt::Packet datagram;
+    datagram.data = std::move(whole.value());
+    datagram.timestamp = packet.timestamp;
+    size_t shard = route_datagram(datagram);
+    return Routed{shard, std::move(datagram)};
+  }
+  return Routed{route_datagram(packet), std::nullopt};
+}
+
+size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
+  auto peek = peek_udp(packet.data);
+  if (!peek) return 0;  // undecodable — shard 0 keeps the error accounting
+
+  const bool sip_port = config_.sip_ports.contains(peek->src.port) ||
+                        config_.sip_ports.contains(peek->dst.port);
+  if (sip_port) {
+    auto msg = sip::SipMessage::parse(peek->payload);
+    if (!msg.ok()) {
+      // Unparseable SIP shares the "sip-anon" session on every engine.
+      ++stats_.by_call_id;
+      return shard_of_key("sip-anon");
+    }
+    const sip::SipMessage& m = msg.value();
+    std::string cseq_method;
+    if (auto cs = m.cseq(); cs.ok()) {
+      cseq_method = cs.value().method;
+    } else if (m.is_request()) {
+      cseq_method = m.method_text();
+    }
+    std::string from_aor;
+    if (auto from = m.from(); from.ok()) from_aor = from.value().uri.address_of_record();
+
+    size_t shard;
+    // REGISTER and MESSAGE feed per-principal rule state (the registration
+    // mirror, the fake-IM sender history); everything claiming one identity
+    // must meet on one shard. Dialog traffic routes by Call-ID instead so a
+    // call's two directions (whose From AORs differ) stay together.
+    if ((cseq_method == "REGISTER" || cseq_method == "MESSAGE") && !from_aor.empty()) {
+      ++stats_.by_principal;
+      shard = shard_of_key(from_aor);
+    } else {
+      ++stats_.by_call_id;
+      std::string call_id = m.call_id().value_or("");
+      shard = shard_of_key(call_id.empty() ? std::string_view("sip-anon") : call_id);
+    }
+    auto sdp = sip::Sdp::parse(m.body());
+    if (sdp.ok() && sdp.value().audio() != nullptr) {
+      if (auto ip = pkt::Ipv4Address::parse(sdp.value().connection_addr))
+        learn_media({*ip, sdp.value().audio()->port}, shard);
+    }
+    return shard;
+  }
+
+  if (peek->src.port == config_.acc_port || peek->dst.port == config_.acc_port) {
+    std::string_view text(reinterpret_cast<const char*>(peek->payload.data()),
+                          peek->payload.size());
+    ++stats_.by_call_id;
+    auto record = voip::AccRecord::parse(text);
+    if (record.ok() && !record.value().call_id.empty())
+      return shard_of_key(record.value().call_id);
+    return shard_of_key("acc-anon");
+  }
+
+  if (peek->src.port == h323::kH225Port || peek->dst.port == h323::kH225Port) {
+    ++stats_.by_call_id;
+    auto q931 = h323::Q931Message::parse(peek->payload);
+    if (!q931.ok()) return shard_of_key("h225-anon");
+    const auto& m = q931.value();
+    size_t shard = shard_of_key(m.call_id.empty() ? std::string_view("h225-anon") : m.call_id);
+    if (m.media) learn_media(*m.media, shard);
+    return shard;
+  }
+
+  if (peek->src.port == h323::kRasPort || peek->dst.port == h323::kRasPort) {
+    ++stats_.by_call_id;
+    auto ras = h323::RasMessage::parse(peek->payload);
+    if (!ras.ok()) return shard_of_key("ras-anon");
+    const auto& m = ras.value();
+    if (!m.call_id.empty()) return shard_of_key(m.call_id);
+    if (!m.alias.empty()) return shard_of_key("ras-reg:" + m.alias);
+    return shard_of_key("ras-anon");
+  }
+
+  // Media plane: two hash lookups, no parsing. RTCP conventionally runs on
+  // media-port + 1; fall back to the even port like TrailManager::classify.
+  auto lookup = [&](pkt::Endpoint ep) -> std::optional<uint32_t> {
+    if (auto it = media_shard_.find(ep); it != media_shard_.end()) return it->second;
+    if (ep.port % 2 == 1) {
+      ep.port -= 1;
+      if (auto it = media_shard_.find(ep); it != media_shard_.end()) return it->second;
+    }
+    return std::nullopt;
+  };
+  if (auto shard = lookup(peek->src)) {
+    ++stats_.by_media_binding;
+    return *shard;
+  }
+  if (auto shard = lookup(peek->dst)) {
+    ++stats_.by_media_binding;
+    return *shard;
+  }
+
+  // Unsignaled flow: symmetric 4-tuple hash so both directions agree.
+  ++stats_.by_flow_hash;
+  uint64_t a = static_cast<uint64_t>(peek->src.addr.value()) << 16 | peek->src.port;
+  uint64_t b = static_cast<uint64_t>(peek->dst.addr.value()) << 16 | peek->dst.port;
+  if (a > b) std::swap(a, b);
+  return mix64(a ^ mix64(b)) % config_.num_shards;
+}
+
+}  // namespace scidive::core

@@ -1,0 +1,90 @@
+// Producer-side shard routing for the sharded engine front-end. Every packet
+// is mapped to a stable shard so that all state any rule consults for it
+// lives in exactly one shard's private engine:
+//
+//   - SIP dialog traffic (INVITE/ACK/BYE/CANCEL and their responses) routes
+//     by Call-ID — a dialog's trails, mirrored state machine and media
+//     monitors stay together;
+//   - SIP REGISTER and MESSAGE traffic routes by the From AOR (the claimed
+//     principal): the fake-IM sender history and the passive registration
+//     mirror are per-principal state, so every message claiming one identity
+//     must land where that identity's history lives;
+//   - media (RTP/RTCP) routes through an endpoint map learned from the SDP
+//     carried in signaling — the same endpoints the engines' TrailManagers
+//     bind — so media lands on the shard holding its session (RTCP's odd
+//     port is normalized down, mirroring TrailManager::classify);
+//   - ACC billing records route by CDR call-id (they correlate with the SIP
+//     session of the same call-id);
+//   - H.225 routes by Q.931 call-id, RAS by gatekeeper call-id/alias;
+//   - anything else falls back to a symmetric 4-tuple hash, which keeps both
+//     directions of an unsignaled flow on one shard.
+//
+// Signaling is parsed with the real codecs (it is rare); the media hot path
+// is two hash lookups on trivially-hashable endpoints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+
+#include "pkt/fragment.h"
+#include "pkt/packet.h"
+
+namespace scidive::core {
+
+struct ShardRouterConfig {
+  size_t num_shards = 4;
+  /// Port conventions — mirror DistillerConfig so the router and the shard
+  /// distillers classify identically.
+  std::set<uint16_t> sip_ports = {5060, 5061, 5062, 5064, 5070, 5080, 5081, 5082};
+  uint16_t acc_port = 9009;
+  SimDuration reassembly_timeout = sec(30);
+};
+
+struct ShardRouterStats {
+  uint64_t by_call_id = 0;       // SIP dialogs, ACC, H.225, RAS
+  uint64_t by_principal = 0;     // REGISTER / MESSAGE traffic by From AOR
+  uint64_t by_media_binding = 0; // RTP/RTCP via the learned endpoint map
+  uint64_t by_flow_hash = 0;     // 4-tuple fallback
+  uint64_t media_bindings_learned = 0;
+  uint64_t fragments_held = 0;   // fragment consumed, datagram incomplete
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterConfig config);
+
+  struct Routed {
+    size_t shard = 0;
+    /// Set when the input was the final fragment of a datagram: the shard
+    /// must be fed this reassembled datagram instead of the fragment.
+    std::optional<pkt::Packet> reassembled;
+  };
+
+  /// Route one packet. Returns nothing for fragments that do not yet
+  /// complete a datagram (there is nothing to deliver) and for packets too
+  /// mangled to carry even an IPv4 header (routed nowhere — shard 0 gets
+  /// them so their error accounting is not lost).
+  std::optional<Routed> route(const pkt::Packet& packet);
+
+  const ShardRouterStats& stats() const { return stats_; }
+  size_t media_binding_count() const { return media_shard_.size(); }
+
+ private:
+  size_t shard_of_key(std::string_view key) const;
+  size_t route_datagram(const pkt::Packet& packet);
+  void learn_media(pkt::Endpoint media, size_t shard);
+
+  ShardRouterConfig config_;
+  pkt::Ipv4Reassembler reassembler_;
+  /// Media endpoint -> shard, learned from SDP/H.245 addresses seen in
+  /// signaling. Entries are only ever added or overwritten (mirroring
+  /// TrailManager::bind_media_endpoint); stale entries are harmless because
+  /// an unbound flow is classified identically on every shard.
+  std::unordered_map<pkt::Endpoint, uint32_t> media_shard_;
+  ShardRouterStats stats_;
+};
+
+}  // namespace scidive::core

@@ -1,0 +1,174 @@
+#include "scidive/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "pkt/ipv4.h"
+
+namespace scidive::core {
+
+namespace {
+
+ShardRouterConfig router_config(const ShardedEngineConfig& config) {
+  ShardRouterConfig rc;
+  rc.num_shards = config.num_shards == 0 ? 1 : config.num_shards;
+  rc.sip_ports = config.engine.distiller.sip_ports;
+  rc.acc_port = config.engine.distiller.acc_port;
+  rc.reassembly_timeout = config.engine.distiller.reassembly_timeout;
+  return rc;
+}
+
+EngineConfig shard_engine_config(const ShardedEngineConfig& config) {
+  EngineConfig ec = config.engine;
+  ec.home_addresses.clear();  // the front-end already filtered
+  return ec;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineConfig config)
+    : config_(std::move(config)), router_(router_config(config_)) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  EngineConfig ec = shard_engine_config(config_);
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(ec, config_.queue_capacity));
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+}
+
+ShardedEngine::~ShardedEngine() { stop(); }
+
+void ShardedEngine::worker_loop(Shard& shard) {
+  const size_t batch = config_.batch_size;
+  int idle_polls = 0;
+  for (;;) {
+    size_t n = shard.queue.pop_batch(
+        [&](pkt::Packet&& packet) { shard.engine.on_packet(packet); }, batch);
+    if (n != 0) {
+      // One release store per batch publishes both the progress counter and
+      // every engine mutation made while processing the batch.
+      shard.processed.fetch_add(n, std::memory_order_release);
+      idle_polls = 0;
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (++idle_polls < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void ShardedEngine::enqueue(size_t index, pkt::Packet&& packet) {
+  Shard& shard = *shards_[index];
+  if (!shard.queue.try_push(std::move(packet))) {
+    if (config_.overflow == OverflowPolicy::kDrop) {
+      ++dropped_;
+      return;
+    }
+    do {
+      std::this_thread::yield();
+    } while (!shard.queue.try_push(std::move(packet)));
+  }
+  ++shard.enqueued;
+}
+
+void ShardedEngine::on_packet(const pkt::Packet& packet) {
+  pkt::Packet copy = packet;
+  on_packet(std::move(copy));
+}
+
+void ShardedEngine::on_packet(pkt::Packet&& packet) {
+  ++seen_;
+  if (!config_.engine.home_addresses.empty()) {
+    auto ip = pkt::parse_ipv4(packet.data);
+    bool ours = false;
+    if (ip.ok()) {
+      ours = config_.engine.home_addresses.contains(ip.value().header.src) ||
+             config_.engine.home_addresses.contains(ip.value().header.dst);
+    }
+    if (!ours) {
+      ++filtered_;
+      return;
+    }
+  }
+  auto routed = router_.route(packet);
+  if (!routed) return;  // fragment held by the router's reassembler
+  if (routed->reassembled) {
+    enqueue(routed->shard, std::move(*routed->reassembled));
+  } else {
+    enqueue(routed->shard, std::move(packet));
+  }
+}
+
+void ShardedEngine::flush() {
+  for (auto& shard : shards_) {
+    const uint64_t target = shard->enqueued;
+    int spins = 0;
+    while (shard->processed.load(std::memory_order_acquire) < target) {
+      if (++spins < 1024) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+}
+
+void ShardedEngine::stop() {
+  if (stopped_) return;
+  flush();
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  stopped_ = true;
+}
+
+void ShardedEngine::expire_idle(SimTime cutoff) {
+  flush();
+  for (auto& shard : shards_) shard->engine.expire_idle(cutoff);
+}
+
+ShardedEngineStats ShardedEngine::stats() const {
+  ShardedEngineStats out;
+  out.packets_seen = seen_;
+  out.packets_filtered = filtered_;
+  out.packets_dropped = dropped_;
+  for (const auto& shard : shards_) {
+    const EngineStats& s = shard->engine.stats();
+    out.engine.packets_seen += s.packets_seen;
+    out.engine.packets_filtered += s.packets_filtered;
+    out.engine.packets_inspected += s.packets_inspected;
+    out.engine.events += s.events;
+    out.engine.alerts += s.alerts;
+    out.engine.processing_ns += s.processing_ns;
+  }
+  return out;
+}
+
+std::vector<Alert> ShardedEngine::merged_alerts() const {
+  std::vector<Alert> out;
+  for (const auto& shard : shards_) {
+    const auto& alerts = shard->engine.alerts().alerts();
+    out.insert(out.end(), alerts.begin(), alerts.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Alert& a, const Alert& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.session != b.session) return a.session < b.session;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+size_t ShardedEngine::alert_count() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->engine.alerts().count();
+  return n;
+}
+
+}  // namespace scidive::core

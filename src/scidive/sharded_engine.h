@@ -1,0 +1,120 @@
+// ShardedEngine: a multi-worker front-end over N private ScidiveEngines.
+// One producer thread calls on_packet(); a session-affinity router (see
+// shard_router.h) picks a shard and the packet crosses a bounded SPSC ring
+// to that shard's worker thread, which owns a full single-threaded engine.
+// Because every packet of a session — signaling, media learned from its SDP,
+// billing records — lands on one shard, the paper's stateful and
+// cross-protocol semantics are preserved with zero locking on the hot path.
+//
+// Determinism protocol: flush() blocks until every queue is drained and
+// every worker is parked; after it returns (and until the next on_packet)
+// the shard engines, merged stats and merged alerts may be read safely.
+// Backpressure is explicit: a full ring either blocks the producer
+// (OverflowPolicy::kBlock, the default) or drops the packet and counts it —
+// packets are never silently lost.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "scidive/engine.h"
+#include "scidive/shard_router.h"
+
+namespace scidive::core {
+
+enum class OverflowPolicy {
+  kBlock,  // producer waits for ring space (lossless; applies backpressure)
+  kDrop,   // producer drops and counts (bounded latency; never silent)
+};
+
+struct ShardedEngineConfig {
+  /// Per-shard engine configuration. The home-address scope is enforced
+  /// once at the front-end; shards receive the config with an empty scope
+  /// so the filter is not paid twice.
+  EngineConfig engine;
+  size_t num_shards = 4;
+  size_t queue_capacity = 4096;  // per-shard ring slots (rounded up to 2^k)
+  size_t batch_size = 64;        // max packets drained per worker wakeup
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+struct ShardedEngineStats {
+  uint64_t packets_seen = 0;      // front-end
+  uint64_t packets_filtered = 0;  // outside the home scope
+  uint64_t packets_dropped = 0;   // ring full under OverflowPolicy::kDrop
+  EngineStats engine;             // summed across shards (read after flush())
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineConfig config = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Feed one captured packet. Single producer: all on_packet calls must
+  /// come from one thread (the capture thread), like a NIC RX ring.
+  void on_packet(const pkt::Packet& packet);
+  void on_packet(pkt::Packet&& packet);
+
+  /// A tap suitable for netsim::Network::add_tap.
+  netsim::PacketTap tap() {
+    return [this](const pkt::Packet& packet) { on_packet(packet); };
+  }
+
+  /// Drain every ring and park every worker. After this returns, shard
+  /// state is safe to read until the next on_packet call.
+  void flush();
+
+  /// flush() + join the workers. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Housekeeping across all shards (flushes first).
+  void expire_idle(SimTime cutoff);
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Shard engine access — only safe between flush() and the next on_packet.
+  ScidiveEngine& shard(size_t i) { return shards_[i]->engine; }
+  const ScidiveEngine& shard(size_t i) const { return shards_[i]->engine; }
+  const ShardRouter& router() const { return router_; }
+
+  /// Front-end counters plus shard-summed engine stats (call after flush()).
+  ShardedEngineStats stats() const;
+  /// All alerts across shards in a deterministic order (call after flush()).
+  std::vector<Alert> merged_alerts() const;
+  size_t alert_count() const;
+  uint64_t packets_dropped() const { return dropped_; }
+
+ private:
+  struct Shard {
+    Shard(const EngineConfig& config, size_t queue_capacity)
+        : engine(config), queue(queue_capacity) {}
+    ScidiveEngine engine;
+    SpscQueue<pkt::Packet> queue;
+    /// Producer-side count of packets pushed (single producer: plain).
+    uint64_t enqueued = 0;
+    /// Worker-side count of packets fully processed. The release store
+    /// after each batch is what makes post-flush engine reads safe.
+    alignas(kCacheLineSize) std::atomic<uint64_t> processed{0};
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void enqueue(size_t index, pkt::Packet&& packet);
+
+  ShardedEngineConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  // Front-end counters (producer thread only).
+  uint64_t seen_ = 0;
+  uint64_t filtered_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace scidive::core

@@ -4,8 +4,8 @@
 // §3.2 example's SIP trail / RTP trail / Accounting trail).
 #pragma once
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "scidive/footprint.h"
 
@@ -30,38 +30,50 @@ struct TrailKey {
 /// arbitrarily far apart in time, constrained in practice by the amount of
 /// memory available", §1); eviction drops the oldest footprints but keeps
 /// counters, so aggregate rules stay correct.
+///
+/// Storage is a ring over a vector: the vector grows geometrically up to the
+/// bound, after which every append overwrites the oldest slot in place —
+/// the steady-state media path performs no heap allocation per packet.
 class Trail {
  public:
   Trail(TrailKey key, size_t max_footprints = 4096)
-      : key_(std::move(key)), max_footprints_(max_footprints) {}
+      : key_(std::move(key)), max_footprints_(max_footprints == 0 ? 1 : max_footprints) {}
 
   void append(Footprint fp) {
     last_time_ = fp.time;
-    if (footprints_.empty()) first_time_ = fp.time;
-    footprints_.push_back(std::move(fp));
-    ++total_appended_;
-    if (footprints_.size() > max_footprints_) {
-      footprints_.pop_front();
+    if (ring_.empty()) first_time_ = fp.time;
+    if (ring_.size() < max_footprints_) {
+      ring_.push_back(std::move(fp));
+    } else {
+      ring_[head_] = std::move(fp);
+      head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
       ++evicted_;
     }
+    ++total_appended_;
   }
 
   const TrailKey& key() const { return key_; }
-  const std::deque<Footprint>& footprints() const { return footprints_; }
-  size_t size() const { return footprints_.size(); }
-  bool empty() const { return footprints_.empty(); }
+  size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
   uint64_t total_appended() const { return total_appended_; }
   uint64_t evicted() const { return evicted_; }
   SimTime first_time() const { return first_time_; }
   SimTime last_time() const { return last_time_; }
 
-  const Footprint& back() const { return footprints_.back(); }
+  /// Logical index access, oldest first.
+  const Footprint& at(size_t i) const {
+    size_t idx = head_ + i;
+    if (idx >= ring_.size()) idx -= ring_.size();
+    return ring_[idx];
+  }
+  const Footprint& front() const { return at(0); }
+  const Footprint& back() const { return at(ring_.size() - 1); }
 
   /// Newest-first scan; stops when fn returns true ("found").
   template <typename Fn>
   bool scan_newest_first(Fn&& fn) const {
-    for (auto it = footprints_.rbegin(); it != footprints_.rend(); ++it) {
-      if (fn(*it)) return true;
+    for (size_t i = ring_.size(); i-- > 0;) {
+      if (fn(at(i))) return true;
     }
     return false;
   }
@@ -69,7 +81,8 @@ class Trail {
  private:
   TrailKey key_;
   size_t max_footprints_;
-  std::deque<Footprint> footprints_;
+  std::vector<Footprint> ring_;
+  size_t head_ = 0;  // index of the oldest footprint once the ring is full
   uint64_t total_appended_ = 0;
   uint64_t evicted_ = 0;
   SimTime first_time_ = 0;

@@ -6,7 +6,16 @@
 
 namespace scidive::core {
 
-SessionId TrailManager::classify(const Footprint& fp) {
+namespace {
+
+bool is_media(Protocol p) {
+  return p == Protocol::kRtp || p == Protocol::kRtcp || p == Protocol::kUnknown;
+}
+
+}  // namespace
+
+SessionId TrailManager::classify(const Footprint& fp, bool& media_bound) {
+  media_bound = false;
   switch (fp.protocol) {
     case Protocol::kSip: {
       const SipFootprint* sip = fp.sip();
@@ -40,11 +49,10 @@ SessionId TrailManager::classify(const Footprint& fp) {
       };
       for (pkt::Endpoint ep : {normalize(fp.src), normalize(fp.dst)}) {
         if (auto session = session_for_media(ep)) {
-          ++stats_.rtp_bound_to_session;
+          media_bound = true;
           return *session;
         }
       }
-      ++stats_.rtp_unbound;
       return str::format("flow:%s->%s", fp.src.to_string().c_str(),
                          fp.dst.to_string().c_str());
     }
@@ -52,24 +60,66 @@ SessionId TrailManager::classify(const Footprint& fp) {
   return "unclassified";
 }
 
-Trail& TrailManager::add(Footprint fp) {
-  TrailKey key{classify(fp), fp.protocol};
+Trail& TrailManager::trail_for(const SessionId& session, Protocol protocol) {
+  TrailKey key{session, protocol};
   auto it = trails_.find(key);
   if (it == trails_.end()) {
-    if (++session_trail_counts_[key.session] == 1) ++stats_.sessions_created;
     it = trails_.emplace(key, std::make_unique<Trail>(key, max_footprints_per_trail_)).first;
+    auto& index = session_index_[session];
+    if (index.empty()) ++stats_.sessions_created;
+    index.push_back(it->second.get());
   }
-  it->second->append(std::move(fp));
-  ++stats_.footprints_routed;
   return *it->second;
 }
 
+Trail& TrailManager::route(const Footprint& fp) {
+  if (is_media(fp.protocol)) {
+    MediaFlowKey flow{fp.src, fp.dst, fp.protocol};
+    auto cached = media_flow_cache_.find(flow);
+    if (cached != media_flow_cache_.end()) {
+      ++stats_.flow_cache_hits;
+      if (cached->second.bound) {
+        ++stats_.rtp_bound_to_session;
+      } else {
+        ++stats_.rtp_unbound;
+      }
+      return *cached->second.trail;
+    }
+    bool bound = false;
+    SessionId session = classify(fp, bound);
+    if (bound) {
+      ++stats_.rtp_bound_to_session;
+    } else {
+      ++stats_.rtp_unbound;
+    }
+    Trail& trail = trail_for(session, fp.protocol);
+    media_flow_cache_.emplace(flow, CachedRoute{&trail, bound});
+    return trail;
+  }
+  bool bound = false;
+  return trail_for(classify(fp, bound), fp.protocol);
+}
+
+Trail& TrailManager::add(Footprint fp) {
+  Trail& trail = route(fp);
+  trail.append(std::move(fp));
+  ++stats_.footprints_routed;
+  return trail;
+}
+
 void TrailManager::bind_media_endpoint(const pkt::Endpoint& media, const SessionId& session) {
-  media_to_session_[media] = session;
+  auto [it, inserted] = media_to_session_.try_emplace(media, session);
+  if (!inserted) {
+    if (it->second == session) return;  // re-signaled same binding: keep cache
+    it->second = session;
+  }
+  // A new or changed binding can redirect flows that previously resolved to
+  // a synthetic flow-session (or another call), so cached routes are stale.
+  media_flow_cache_.clear();
 }
 
 void TrailManager::unbind_media_endpoint(const pkt::Endpoint& media) {
-  media_to_session_.erase(media);
+  if (media_to_session_.erase(media) != 0) media_flow_cache_.clear();
 }
 
 std::optional<SessionId> TrailManager::session_for_media(const pkt::Endpoint& media) const {
@@ -90,16 +140,16 @@ Trail* TrailManager::find_mut(const SessionId& session, Protocol protocol) {
 
 std::vector<const Trail*> TrailManager::session_trails(const SessionId& session) const {
   std::vector<const Trail*> out;
-  for (const auto& [key, trail] : trails_) {
-    if (key.session == session) out.push_back(trail.get());
-  }
+  auto it = session_index_.find(session);
+  if (it == session_index_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
   return out;
 }
 
 std::vector<SessionId> TrailManager::sessions() const {
   std::vector<SessionId> out;
-  out.reserve(session_trail_counts_.size());
-  for (const auto& [session, count] : session_trail_counts_) out.push_back(session);
+  out.reserve(session_index_.size());
+  for (const auto& [session, trails] : session_index_) out.push_back(session);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -108,15 +158,19 @@ size_t TrailManager::expire_idle(SimTime cutoff) {
   size_t dropped = 0;
   for (auto it = trails_.begin(); it != trails_.end();) {
     if (it->second->last_time() < cutoff) {
-      auto counter = session_trail_counts_.find(it->first.session);
-      if (counter != session_trail_counts_.end() && --counter->second == 0)
-        session_trail_counts_.erase(counter);
+      auto indexed = session_index_.find(it->first.session);
+      if (indexed != session_index_.end()) {
+        std::erase(indexed->second, it->second.get());
+        if (indexed->second.empty()) session_index_.erase(indexed);
+      }
       it = trails_.erase(it);
       ++dropped;
     } else {
       ++it;
     }
   }
+  // Expired trails may still be referenced by cached media routes.
+  if (dropped != 0) media_flow_cache_.clear();
   return dropped;
 }
 

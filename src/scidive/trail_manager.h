@@ -6,9 +6,16 @@
 //   - ACC footprints key by the CDR's call_id field.
 // RTP with no known session gets a synthetic per-flow session so that rules
 // can still reason about unsignaled media ("flow:<src>-><dst>").
+//
+// The media path is the hot path: once a flow's first packet has been
+// classified, a (src, dst, protocol) -> Trail* cache routes every further
+// packet of that flow with a single hash lookup on trivially-hashable keys —
+// no session-id strings are built or copied, so steady-state in-session RTP
+// classification performs zero heap allocations. The cache is invalidated
+// whenever a binding changes (SDP re-binds, expiry), which only happens on
+// the rare signaling path.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +31,7 @@ struct TrailManagerStats {
   uint64_t sessions_created = 0;
   uint64_t rtp_bound_to_session = 0;   // matched via SDP-learned endpoints
   uint64_t rtp_unbound = 0;            // synthetic flow session
+  uint64_t flow_cache_hits = 0;        // media packets routed without classify
 };
 
 class TrailManager {
@@ -31,8 +39,13 @@ class TrailManager {
   explicit TrailManager(size_t max_footprints_per_trail = 4096)
       : max_footprints_per_trail_(max_footprints_per_trail) {}
 
-  /// Route one footprint. Returns the trail it was appended to.
+  /// Route one footprint and append it. Returns the trail it joined.
   Trail& add(Footprint fp);
+
+  /// Routing only (creates the trail on a flow's first packet). Exposed so
+  /// the allocation benchmark can measure the steady-state classify cost in
+  /// isolation.
+  Trail& route(const Footprint& fp);
 
   /// Register a media endpoint as belonging to a session (the Distiller
   /// sees SDP; the EventGenerator calls this when signaling reveals where a
@@ -46,7 +59,8 @@ class TrailManager {
   Trail* find_mut(const SessionId& session, Protocol protocol);
 
   /// All trails of one session (the §3.2 "multiple trails for each
-  /// session, one for each protocol").
+  /// session, one for each protocol"), in creation order. O(trails of that
+  /// session) via the per-session index.
   std::vector<const Trail*> session_trails(const SessionId& session) const;
 
   std::vector<SessionId> sessions() const;
@@ -57,18 +71,49 @@ class TrailManager {
   size_t expire_idle(SimTime cutoff);
 
  private:
+  static size_t hash_combine(size_t seed, size_t value) {
+    // boost::hash_combine-style mixing — unlike `h * 31 + p`, a change in
+    // any input bit diffuses across the whole word.
+    return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  }
+
   struct TrailKeyHash {
     size_t operator()(const TrailKey& k) const noexcept {
-      return std::hash<std::string>{}(k.session) * 31 + static_cast<size_t>(k.protocol);
+      return hash_combine(std::hash<std::string>{}(k.session),
+                          static_cast<size_t>(k.protocol));
     }
   };
 
-  SessionId classify(const Footprint& fp);
+  /// One direction of a media flow. Trivially hashable: the steady-state
+  /// lookup never touches a string.
+  struct MediaFlowKey {
+    pkt::Endpoint src;
+    pkt::Endpoint dst;
+    Protocol protocol;
+    bool operator==(const MediaFlowKey&) const = default;
+  };
+  struct MediaFlowKeyHash {
+    size_t operator()(const MediaFlowKey& k) const noexcept {
+      size_t h = hash_combine(std::hash<pkt::Endpoint>{}(k.src),
+                              std::hash<pkt::Endpoint>{}(k.dst));
+      return hash_combine(h, static_cast<size_t>(k.protocol));
+    }
+  };
+  struct CachedRoute {
+    Trail* trail = nullptr;
+    bool bound = false;  // preserved so stats stay exact on cache hits
+  };
+
+  SessionId classify(const Footprint& fp, bool& media_bound);
+  Trail& trail_for(const SessionId& session, Protocol protocol);
 
   size_t max_footprints_per_trail_;
   std::unordered_map<TrailKey, std::unique_ptr<Trail>, TrailKeyHash> trails_;
-  std::unordered_map<std::string, int> session_trail_counts_;  // O(1) session accounting
+  /// session -> its trails in creation order (O(1) session_trails()).
+  std::unordered_map<SessionId, std::vector<Trail*>> session_index_;
   std::unordered_map<pkt::Endpoint, SessionId> media_to_session_;
+  /// Flow-direction -> trail fast path; cleared when bindings change.
+  std::unordered_map<MediaFlowKey, CachedRoute, MediaFlowKeyHash> media_flow_cache_;
   TrailManagerStats stats_;
 };
 

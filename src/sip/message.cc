@@ -56,11 +56,28 @@ Result<SipMessage> SipMessage::parse(std::span<const uint8_t> bytes) {
 namespace {
 
 /// Pop one header line, honoring RFC 2822-style folding (continuation lines
-/// begin with whitespace).
-std::optional<std::string> next_logical_line(std::string_view& text) {
+/// begin with whitespace). Unfolded lines — the overwhelming common case —
+/// are returned as a view into the input; only a folded line is assembled
+/// into `fold_buf` (the returned view then points at the buffer).
+std::optional<std::string_view> next_logical_line(std::string_view& text,
+                                                  std::string& fold_buf) {
   if (text.empty()) return std::nullopt;
-  std::string line;
-  while (true) {
+  std::string_view first;
+  {
+    size_t eol = text.find("\r\n");
+    if (eol == std::string_view::npos) {
+      first = text;
+      text = {};
+    } else {
+      first = text.substr(0, eol);
+      text.remove_prefix(eol + 2);
+    }
+  }
+  if (text.empty() || (text.front() != ' ' && text.front() != '\t')) {
+    return first;  // zero-copy fast path
+  }
+  fold_buf.assign(first);
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
     size_t eol = text.find("\r\n");
     std::string_view raw;
     if (eol == std::string_view::npos) {
@@ -70,27 +87,24 @@ std::optional<std::string> next_logical_line(std::string_view& text) {
       raw = text.substr(0, eol);
       text.remove_prefix(eol + 2);
     }
-    line += std::string(raw);
-    // Folded continuation?
-    if (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
-      continue;
-    }
-    return line;
+    fold_buf += raw;
   }
+  return std::string_view(fold_buf);
 }
 
 }  // namespace
 
 Result<SipMessage> SipMessage::parse(std::string_view text) {
   SipMessage msg;
+  std::string fold_buf;
 
-  auto start = next_logical_line(text);
+  auto start = next_logical_line(text, fold_buf);
   if (!start || start->empty()) return Error{Errc::kMalformed, "missing start line"};
 
   if (str::istarts_with(*start, "SIP/2.0 ")) {
     // Status line: SIP/2.0 code reason
     msg.is_request_ = false;
-    std::string_view rest = std::string_view(*start).substr(8);
+    std::string_view rest = start->substr(8);
     auto sp = str::split_once(rest, ' ');
     std::string_view code_text = sp ? sp->first : rest;
     auto code = str::parse_u32(str::trim(code_text));
@@ -113,11 +127,11 @@ Result<SipMessage> SipMessage::parse(std::string_view text) {
 
   // Headers until the empty line.
   while (true) {
-    auto line = next_logical_line(text);
+    auto line = next_logical_line(text, fold_buf);
     if (!line) return Error{Errc::kTruncated, "no end of headers"};
     if (line->empty()) break;
     auto colon = str::split_once(*line, ':');
-    if (!colon) return Error{Errc::kMalformed, "header without colon: " + *line};
+    if (!colon) return Error{Errc::kMalformed, "header without colon: " + std::string(*line)};
     std::string_view name = str::trim(colon->first);
     if (name.empty()) return Error{Errc::kMalformed, "empty header name"};
     msg.headers_.add(std::string(name), std::string(str::trim(colon->second)));

@@ -30,7 +30,12 @@ TEST(Trail, BoundedEviction) {
   EXPECT_EQ(t.total_appended(), 25u);
   EXPECT_EQ(t.evicted(), 15u);
   // Oldest surviving footprint is #15.
-  EXPECT_EQ(t.footprints().front().rtp()->sequence, 15);
+  EXPECT_EQ(t.front().rtp()->sequence, 15);
+  EXPECT_EQ(t.back().rtp()->sequence, 24);
+  // Logical indexing stays oldest-first across the ring wrap.
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.at(i).rtp()->sequence, 15 + i);
+  }
 }
 
 TEST(Trail, ScanNewestFirst) {
