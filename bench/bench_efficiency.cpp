@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/md5.h"
+#include "obs/metrics.h"
 #include "pkt/packet.h"
 #include "rtp/rtp.h"
 #include "scidive/distiller.h"
@@ -242,7 +243,18 @@ BENCHMARK(BM_EngineSipPacket);
 /// Steady-state media routing must be allocation-free: once a flow's first
 /// packet has populated TrailManager's flow cache, classifying further
 /// packets builds no session strings. allocs_per_op must read 0.00.
+///
+/// Arg(0) = bare routing; Arg(1) additionally performs the engine's
+/// per-packet metric recording (interned counter inc + stage-latency
+/// histogram observe) to prove instrumentation keeps the hot path at zero
+/// allocations — instruments are interned once before the timed loop, as
+/// the engine interns them at construction.
 void BM_TrailRouteRtpAllocs(benchmark::State& state) {
+  const bool with_metrics = state.range(0) != 0;
+  obs::MetricsRegistry registry;
+  obs::Counter& routed = registry.counter("bench_routed_total", "Packets routed");
+  obs::Histogram& stage_ns = registry.histogram(
+      "bench_stage_ns", "Per-stage latency", obs::latency_ns_bounds(), {{"stage", "route"}});
   core::TrailManager tm;
   tm.bind_media_endpoint(kAMedia, "bench-call-1");
   core::Footprint fp;
@@ -254,17 +266,23 @@ void BM_TrailRouteRtpAllocs(benchmark::State& state) {
   fp.data = core::RtpFootprint{.ssrc = 0xb0b, .sequence = 0, .timestamp = 0,
                                .payload_type = 1, .payload_len = 160};
   tm.add(fp);  // warms the flow cache and creates the trail
+  uint64_t tick = 0;
   uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
   for (auto _ : state) {
     core::Trail& t = tm.route(fp);
     benchmark::DoNotOptimize(&t);
+    if (with_metrics) {
+      routed.inc();
+      stage_ns.observe(++tick % 100'000);  // sweeps every bucket over the run
+    }
   }
   uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
   state.counters["allocs_per_op"] =
       benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(with_metrics ? "metrics=on" : "metrics=off");
 }
-BENCHMARK(BM_TrailRouteRtpAllocs);
+BENCHMARK(BM_TrailRouteRtpAllocs)->Arg(0)->Arg(1);
 
 /// Same property one level up: add() = route + ring append. Once the trail
 /// ring has grown to its bound, appends overwrite in place — steady state

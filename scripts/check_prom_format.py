@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (format 0.0.4) file.
+
+Checks the structural rules a scrape would enforce: every series line must
+parse as `name[{labels}] value`, every series must be preceded by # HELP and
+# TYPE lines for its family, label values must be properly quoted, histogram
+families must expose cumulative _bucket series ending in le="+Inf" whose
+final count equals the family's _count sample. Exits non-zero with a line
+diagnostic on the first violation.
+
+Usage: check_prom_format.py <file.prom>
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?[0-9]+(?:\.[0-9]+)?(?:e[+-][0-9]+)?|[+-]Inf|NaN)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(lineno, line, why):
+    print(f"{sys.argv[1]}:{lineno}: {why}\n  {line}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_labels(raw):
+    # Split on commas outside quotes.
+    parts, depth, cur = [], False, ""
+    for c in raw:
+        if c == '"' and (not cur or cur[-1] != "\\"):
+            depth = not depth
+        if c == "," and not depth:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += c
+    if cur:
+        parts.append(cur)
+    return parts
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    helped, typed = {}, {}
+    series_count = 0
+    # histogram family -> {"labels-sans-le" -> [(le, cumulative)]}, and _count values
+    buckets, counts = {}, {}
+    with open(sys.argv[1], encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                name = line.split(" ", 3)[2]
+                if not NAME_RE.match(name):
+                    fail(lineno, line, f"bad metric name in HELP: {name}")
+                if name in helped:
+                    fail(lineno, line, f"duplicate # HELP for {name}")
+                helped[name] = lineno
+                continue
+            if line.startswith("# TYPE "):
+                fields = line.split(" ")
+                if len(fields) != 4 or fields[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    fail(lineno, line, "malformed # TYPE line")
+                typed[fields[2]] = fields[3]
+                continue
+            if line.startswith("#"):
+                continue  # comment
+            m = SERIES_RE.match(line)
+            if not m:
+                fail(lineno, line, "unparseable series line")
+            series_count += 1
+            name = m.group("name")
+            family = re.sub(r"_(bucket|sum|count)$", "", name)
+            if family not in typed and name not in typed:
+                fail(lineno, line, f"series {name} has no # TYPE")
+            if family not in helped and name not in helped:
+                fail(lineno, line, f"series {name} has no # HELP")
+            labels = m.group("labels")
+            le = None
+            if labels is not None:
+                if labels == "":
+                    fail(lineno, line, "empty label braces")
+                rest = []
+                for pair in parse_labels(labels):
+                    if not LABEL_RE.match(pair):
+                        fail(lineno, line, f"malformed label pair: {pair}")
+                    if pair.startswith('le="'):
+                        le = pair[4:-1]
+                    else:
+                        rest.append(pair)
+                labels = ",".join(rest)
+            if typed.get(family) == "histogram" and name.endswith("_bucket"):
+                if le is None:
+                    fail(lineno, line, "_bucket series without an le label")
+                buckets.setdefault(family, {}).setdefault(labels or "", []).append(
+                    (le, float(m.group("value")))
+                )
+            if typed.get(family) == "histogram" and name.endswith("_count"):
+                counts.setdefault(family, {})[labels or ""] = float(m.group("value"))
+    for family, by_labels in buckets.items():
+        for labels, series in by_labels.items():
+            if series[-1][0] != "+Inf":
+                fail(0, family, f'histogram {family}{{{labels}}} does not end at le="+Inf"')
+            values = [v for _, v in series]
+            if values != sorted(values):
+                fail(0, family, f"histogram {family}{{{labels}}} buckets are not cumulative")
+            if counts.get(family, {}).get(labels) != values[-1]:
+                fail(0, family, f"histogram {family}{{{labels}}} +Inf bucket != _count")
+    if series_count == 0:
+        print(f"{sys.argv[1]}: no series found", file=sys.stderr)
+        return 1
+    print(f"{sys.argv[1]}: OK ({series_count} series, {len(typed)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+// AlertLedger — an append-only audit record of every alert the rule engine
+// raised, capturing what the sink's compact Alert does not: the triggering
+// event (type, detail, numeric payload, endpoint), the trail the evidence
+// lives in, and both timestamps (simulation time for reproducibility, wall
+// time for correlating with operational logs). Post-hoc audit of a detection
+// — "why did this fire, against which session state, when" — reads the
+// ledger instead of re-running the scenario.
+//
+// Bounded like every other long-run structure in the IDS: beyond `capacity`
+// the newest records are dropped and counted (the earliest evidence is the
+// valuable part of an audit trail, so the head is kept, not the tail).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scidive/alert.h"
+#include "scidive/event.h"
+
+namespace scidive::obs {
+
+struct AlertRecord {
+  core::Alert alert;                 // rule, severity, session, sim time, message
+  core::EventType cause_type;        // the event that triggered the rule
+  std::string cause_detail;
+  int64_t cause_value = 0;
+  pkt::Endpoint cause_endpoint;
+  core::TrailKey trail;              // where the triggering evidence lives
+  SimTime sim_time = 0;              // == alert.time; kept explicit for audits
+  int64_t wall_unix_usec = 0;        // wall clock at record time
+};
+
+class AlertLedger {
+ public:
+  explicit AlertLedger(size_t capacity = 65536) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(const core::Alert& alert, const core::Event& cause);
+
+  const std::vector<AlertRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  /// JSON array of records (audit export; bench JSON idiom).
+  std::string to_json() const;
+
+  void clear() {
+    records_.clear();
+    total_recorded_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<AlertRecord> records_;
+  uint64_t total_recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace scidive::obs

@@ -1,0 +1,312 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace scidive::obs {
+
+namespace {
+
+/// Canonical ordering: family name first, then label set — the order the
+/// serializers emit and the golden tests depend on.
+bool sample_less(const Sample& a, const Sample& b) {
+  return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+}
+
+bool same_series(const Sample& a, const Sample& b) {
+  return a.name == b.name && a.labels == b.labels;
+}
+
+void append_label_set(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {  // Prometheus escaping for label values
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Label set with one extra pair appended (histogram `le` series).
+void append_label_set_with(std::string& out, const Labels& labels, const std::string& extra_key,
+                           const std::string& extra_value) {
+  Labels extended = labels;
+  extended.emplace_back(extra_key, extra_value);
+  append_label_set(out, extended);
+}
+
+std::string_view kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<uint64_t> latency_ns_bounds() {
+  // Sub-microsecond buckets resolve the media fast path, the long tail
+  // catches signaling (full SIP parse) and reassembly outliers.
+  return {100,    250,    500,     1'000,   2'500,     5'000,      10'000,
+          25'000, 50'000, 100'000, 250'000, 1'000'000, 10'000'000};
+}
+
+void Snapshot::add(Sample sample) {
+  samples_.push_back(std::move(sample));
+  sort();
+}
+
+void Snapshot::sort() { std::stable_sort(samples_.begin(), samples_.end(), sample_less); }
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const Sample& theirs : other.samples_) {
+    auto it = std::find_if(samples_.begin(), samples_.end(),
+                           [&](const Sample& s) { return same_series(s, theirs); });
+    if (it == samples_.end()) {
+      samples_.push_back(theirs);
+      continue;
+    }
+    Sample& ours = *it;
+    ours.counter += theirs.counter;
+    ours.gauge += theirs.gauge;
+    ours.sum += theirs.sum;
+    ours.count += theirs.count;
+    if (ours.buckets.size() == theirs.buckets.size()) {
+      for (size_t i = 0; i < ours.buckets.size(); ++i) ours.buckets[i] += theirs.buckets[i];
+    }
+  }
+  sort();
+}
+
+Snapshot Snapshot::diff(const Snapshot& base) const {
+  Snapshot out;
+  out.samples_ = samples_;
+  for (Sample& sample : out.samples_) {
+    const Sample* before = base.find(sample.name, sample.labels);
+    if (!before) continue;
+    sample.counter -= std::min(sample.counter, before->counter);
+    sample.sum -= std::min(sample.sum, before->sum);
+    sample.count -= std::min(sample.count, before->count);
+    if (sample.buckets.size() == before->buckets.size()) {
+      for (size_t i = 0; i < sample.buckets.size(); ++i)
+        sample.buckets[i] -= std::min(sample.buckets[i], before->buckets[i]);
+    }
+    // Gauges keep the current level: a delta of levels is not a level.
+  }
+  out.sort();
+  return out;
+}
+
+const Sample* Snapshot::find(std::string_view name, const Labels& labels) const {
+  for (const Sample& sample : samples_) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+uint64_t Snapshot::counter_value(std::string_view name, const Labels& labels) const {
+  const Sample* sample = find(name, labels);
+  return sample ? sample->counter : 0;
+}
+
+int64_t Snapshot::gauge_value(std::string_view name, const Labels& labels) const {
+  const Sample* sample = find(name, labels);
+  return sample ? sample->gauge : 0;
+}
+
+Counter& MetricsRegistry::counter(std::string name, std::string help, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (auto& cell : counters_) {
+    if (cell.name == name && cell.labels == labels) return cell.instrument;
+  }
+  counters_.push_back({std::move(name), std::move(help), std::move(labels), Counter{}});
+  return counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string name, std::string help, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (auto& cell : gauges_) {
+    if (cell.name == name && cell.labels == labels) return cell.instrument;
+  }
+  gauges_.push_back({std::move(name), std::move(help), std::move(labels), Gauge{}});
+  return gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(std::string name, std::string help,
+                                      std::vector<uint64_t> bounds, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (auto& cell : histograms_) {
+    if (cell.name == name && cell.labels == labels) return cell.instrument;
+  }
+  histograms_.push_back(
+      {std::move(name), std::move(help), std::move(labels), Histogram{std::move(bounds)}});
+  return histograms_.back().instrument;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot out;
+  for (const auto& cell : counters_) {
+    Sample s;
+    s.name = cell.name;
+    s.help = cell.help;
+    s.kind = InstrumentKind::kCounter;
+    s.labels = cell.labels;
+    s.counter = cell.instrument.value();
+    out.add(std::move(s));
+  }
+  for (const auto& cell : gauges_) {
+    Sample s;
+    s.name = cell.name;
+    s.help = cell.help;
+    s.kind = InstrumentKind::kGauge;
+    s.labels = cell.labels;
+    s.gauge = cell.instrument.value();
+    out.add(std::move(s));
+  }
+  for (const auto& cell : histograms_) {
+    Sample s;
+    s.name = cell.name;
+    s.help = cell.help;
+    s.kind = InstrumentKind::kHistogram;
+    s.labels = cell.labels;
+    s.bounds = cell.instrument.bounds();
+    s.buckets = cell.instrument.bucket_counts();
+    s.sum = cell.instrument.sum();
+    s.count = cell.instrument.count();
+    out.add(std::move(s));
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::string_view last_family;
+  for (const Sample& sample : snapshot.samples()) {
+    if (sample.name != last_family) {
+      last_family = sample.name;
+      out += "# HELP " + sample.name + " " + sample.help + "\n";
+      out += "# TYPE " + sample.name + " " + std::string(kind_name(sample.kind)) + "\n";
+    }
+    switch (sample.kind) {
+      case InstrumentKind::kCounter:
+        out += sample.name;
+        append_label_set(out, sample.labels);
+        out += ' ';
+        out += std::to_string(sample.counter);
+        out += '\n';
+        break;
+      case InstrumentKind::kGauge:
+        out += sample.name;
+        append_label_set(out, sample.labels);
+        out += ' ';
+        out += std::to_string(sample.gauge);
+        out += '\n';
+        break;
+      case InstrumentKind::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          cumulative += sample.buckets[i];
+          out += sample.name + "_bucket";
+          append_label_set_with(out, sample.labels, "le",
+                                i < sample.bounds.size() ? std::to_string(sample.bounds[i])
+                                                         : "+Inf");
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        out += sample.name + "_sum";
+        append_label_set(out, sample.labels);
+        out += ' ' + std::to_string(sample.sum) + '\n';
+        out += sample.name + "_count";
+        append_label_set(out, sample.labels);
+        out += ' ' + std::to_string(sample.count) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [\n";
+  bool first = true;
+  for (const Sample& sample : snapshot.samples()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    append_json_escaped(out, sample.name);
+    out += "\", \"type\": \"" + std::string(kind_name(sample.kind)) + "\"";
+    if (!sample.labels.empty()) {
+      out += ", \"labels\": {";
+      bool first_label = true;
+      for (const auto& [key, value] : sample.labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += '"';
+        append_json_escaped(out, key);
+        out += "\": \"";
+        append_json_escaped(out, value);
+        out += '"';
+      }
+      out += '}';
+    }
+    switch (sample.kind) {
+      case InstrumentKind::kCounter:
+        out += ", \"value\": " + std::to_string(sample.counter);
+        break;
+      case InstrumentKind::kGauge:
+        out += ", \"value\": " + std::to_string(sample.gauge);
+        break;
+      case InstrumentKind::kHistogram: {
+        out += ", \"buckets\": [";
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (i) out += ", ";
+          out += "{\"le\": ";
+          out += i < sample.bounds.size() ? std::to_string(sample.bounds[i]) : "\"+Inf\"";
+          out += ", \"count\": " + std::to_string(sample.buckets[i]) + "}";
+        }
+        out += "], \"sum\": " + std::to_string(sample.sum);
+        out += ", \"count\": " + std::to_string(sample.count);
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace scidive::obs

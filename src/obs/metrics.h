@@ -1,0 +1,175 @@
+// Observability primitives for the IDS: a MetricsRegistry holding Counter,
+// Gauge and fixed-bucket Histogram instruments, plus deterministic Snapshots
+// and two exposition formats (Prometheus text, JSON).
+//
+// Designed for the engine's hot path: an instrument is interned ONCE at
+// construction (name/help/label strings are allocated then, never again) and
+// recording is a plain uint64_t cell update — no locks, no maps, no string
+// building, no heap allocation. Thread model matches the engines': one
+// registry per shard, touched only by that shard's worker; cross-shard views
+// are built by snapshotting each registry after flush() and merging the
+// snapshots (counters and histogram cells sum; gauges sum, so per-shard
+// occupancies aggregate to fleet totals).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scidive::obs {
+
+/// Sorted-by-key (key, value) pairs; kept tiny (0–2 labels in practice).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  /// Rebase to an externally maintained total. Used only by the snapshot
+  /// path to mirror component-kept stats (DistillerStats etc.) into the
+  /// registry without double bookkeeping on the hot path; the mirrored
+  /// source is itself monotone, so exposition stays counter-correct.
+  void sync(uint64_t total) { value_ = total; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time level (ring occupancy, active sessions, ...).
+class Gauge {
+ public:
+  void set(int64_t v) { value_ = v; }
+  void inc(int64_t n = 1) { value_ += n; }
+  void dec(int64_t n = 1) { value_ -= n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at construction
+/// (sorted, inclusive, Prometheus `le` semantics); one implicit +Inf bucket
+/// catches the tail. observe() is a bounded linear scan over ≤ ~16 bounds
+/// plus two adds — allocation-free by construction.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void observe(uint64_t v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    sum_ += v;
+    ++count_;
+  }
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Default bucket bounds for per-stage pipeline latencies, in nanoseconds.
+std::vector<uint64_t> latency_ns_bounds();
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// One instrument's state at snapshot time. Plain data: snapshots are value
+/// types that survive their registry and are safe to ship across threads.
+struct Sample {
+  std::string name;
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  Labels labels;
+  uint64_t counter = 0;               // kCounter
+  int64_t gauge = 0;                  // kGauge
+  std::vector<uint64_t> bounds;       // kHistogram: upper bounds
+  std::vector<uint64_t> buckets;      // kHistogram: per-bucket counts (+Inf last)
+  uint64_t sum = 0;                   // kHistogram
+  uint64_t count = 0;                 // kHistogram
+};
+
+/// A deterministic, canonically ordered view of a registry (or a merge of
+/// several). Ordering is (name, labels) lexicographic, so two snapshots of
+/// identical state serialize to identical bytes — the property the golden
+/// tests pin.
+class Snapshot {
+ public:
+  void add(Sample sample);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Sum `other` into this snapshot. Instruments are matched by
+  /// (name, labels); counters, histogram cells and gauges all add (a gauge
+  /// here is a per-shard level, so the merged value is the fleet total).
+  /// Unmatched instruments are appended.
+  void merge(const Snapshot& other);
+
+  /// This-minus-base for counters and histograms; gauges keep this
+  /// snapshot's value (a level has no meaningful delta). Instruments absent
+  /// from `base` pass through unchanged. The deterministic way to assert
+  /// "what did this scenario add" in tests.
+  Snapshot diff(const Snapshot& base) const;
+
+  const Sample* find(std::string_view name, const Labels& labels = {}) const;
+  /// Convenience: counter value or 0 when absent.
+  uint64_t counter_value(std::string_view name, const Labels& labels = {}) const;
+  /// Convenience: gauge value or 0 when absent.
+  int64_t gauge_value(std::string_view name, const Labels& labels = {}) const;
+
+ private:
+  void sort();
+  std::vector<Sample> samples_;
+};
+
+/// Owns instruments and their metadata. Registration happens at component
+/// construction (strings interned once, duplicate registrations return the
+/// existing cell); the returned references stay valid for the registry's
+/// lifetime (deque storage, no reallocation of cells).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string name, std::string help, Labels labels = {});
+  Gauge& gauge(std::string name, std::string help, Labels labels = {});
+  Histogram& histogram(std::string name, std::string help, std::vector<uint64_t> bounds,
+                       Labels labels = {});
+
+  Snapshot snapshot() const;
+  size_t instrument_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  template <typename T>
+  struct Cell {
+    std::string name;
+    std::string help;
+    Labels labels;
+    T instrument;
+  };
+
+  std::deque<Cell<Counter>> counters_;
+  std::deque<Cell<Gauge>> gauges_;
+  std::deque<Cell<Histogram>> histograms_;
+};
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE per
+/// family, histogram as cumulative _bucket{le=...}/_sum/_count series.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// JSON snapshot (same idiom as the bench emitters: hand-built, stable key
+/// order, integers only — no float formatting surprises across platforms).
+std::string to_json(const Snapshot& snapshot);
+
+}  // namespace scidive::obs

@@ -4,15 +4,6 @@
 
 namespace scidive::core {
 
-std::string_view severity_name(Severity s) {
-  switch (s) {
-    case Severity::kInfo: return "info";
-    case Severity::kWarning: return "warning";
-    case Severity::kCritical: return "critical";
-  }
-  return "?";
-}
-
 std::string Alert::to_string() const {
   return str::format("[%s] %s @%s session=%s: %s", severity_name(severity).data(), rule.c_str(),
                      format_time(time).c_str(), session.c_str(), message.c_str());

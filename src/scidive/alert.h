@@ -12,7 +12,14 @@ namespace scidive::core {
 
 enum class Severity { kInfo, kWarning, kCritical };
 
-std::string_view severity_name(Severity s);
+constexpr std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
 
 struct Alert {
   std::string rule;     // which rule fired
@@ -25,19 +32,40 @@ struct Alert {
 };
 
 /// Collects alerts; an optional callback sees each one as it fires.
+///
+/// Storage is bounded: soak runs must not grow memory without limit, so
+/// beyond `capacity` newly raised alerts are dropped from the retained
+/// vector and counted in dropped(). The callback and total_raised() still
+/// see every alert — only retention is capped, never notification.
 class AlertSink {
  public:
   using Callback = std::function<void(const Alert&)>;
 
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit AlertSink(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
   void raise(Alert alert) {
+    ++total_raised_;
     if (callback_) callback_(alert);
+    if (alerts_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
     alerts_.push_back(std::move(alert));
   }
 
   void set_callback(Callback cb) { callback_ = std::move(cb); }
+  void set_capacity(size_t capacity) { capacity_ = capacity == 0 ? 1 : capacity; }
 
   const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Retained alerts (≤ capacity). See total_raised() for the true count.
   size_t count() const { return alerts_.size(); }
+  /// Every alert ever raised, including ones dropped from retention.
+  uint64_t total_raised() const { return total_raised_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
   size_t count_for_rule(std::string_view rule) const {
     size_t n = 0;
     for (const auto& a : alerts_) {
@@ -45,10 +73,17 @@ class AlertSink {
     }
     return n;
   }
-  void clear() { alerts_.clear(); }
+  void clear() {
+    alerts_.clear();
+    total_raised_ = 0;
+    dropped_ = 0;
+  }
 
  private:
+  size_t capacity_;
   std::vector<Alert> alerts_;
+  uint64_t total_raised_ = 0;
+  uint64_t dropped_ = 0;
   Callback callback_;
 };
 

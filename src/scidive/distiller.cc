@@ -51,6 +51,7 @@ std::optional<Footprint> Distiller::distill(const pkt::Packet& packet) {
     }
     reassembled = std::move(whole.value());
     datagram = reassembled;
+    ++stats_.datagrams_reassembled;
   }
   auto udp = pkt::parse_udp_packet(datagram);
   if (!udp) {

@@ -31,6 +31,7 @@ struct DistillerConfig {
 struct DistillerStats {
   uint64_t packets_in = 0;
   uint64_t fragments_held = 0;     // fragment consumed, datagram incomplete
+  uint64_t datagrams_reassembled = 0;  // fragmented datagrams completed
   uint64_t undecodable = 0;        // not even IPv4+UDP
   uint64_t footprints_out = 0;
   uint64_t sip_footprints = 0;

@@ -4,19 +4,103 @@
 
 namespace scidive::core {
 
+namespace {
+
+uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                    std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
 ScidiveEngine::ScidiveEngine(EngineConfig config)
     : config_(std::move(config)),
       distiller_(config_.distiller),
       trails_(config_.max_footprints_per_trail),
       events_(trails_, config_.events),
-      rules_(make_default_ruleset(config_.rules)) {
+      sink_(config_.obs.alert_capacity),
+      ledger_(config_.obs.ledger_capacity) {
   // A packet rarely yields more than a handful of events; reserving once
   // keeps the per-packet clear()/push_back cycle allocation-free.
   scratch_events_.reserve(16);
+  intern_pipeline_instruments();
+  auto ruleset = make_default_ruleset(config_.rules);
+  for (RulePtr& rule : ruleset) add_rule(std::move(rule));
+}
+
+void ScidiveEngine::intern_pipeline_instruments() {
+  packets_seen_ =
+      &registry_.counter("scidive_packets_seen_total", "Packets offered to the engine tap");
+  packets_filtered_ = &registry_.counter("scidive_packets_filtered_total",
+                                         "Packets outside the home-address scope");
+  packets_inspected_ = &registry_.counter("scidive_packets_inspected_total",
+                                          "Packets that entered the detection pipeline");
+  events_total_ =
+      &registry_.counter("scidive_events_total", "Events emitted by the event generator");
+  processing_ns_ = &registry_.counter(
+      "scidive_processing_ns_total",
+      "Wall-clock nanoseconds spent inside the pipeline (0 when stage timing is off)");
+  for (size_t i = 0; i < kEventTypeCount; ++i) {
+    event_type_counters_[i] = &registry_.counter(
+        "scidive_events_by_type_total", "Events emitted, by event type",
+        {{"type", std::string(event_type_name(static_cast<EventType>(i)))}});
+  }
+  const auto bounds = obs::latency_ns_bounds();
+  stage_distill_ = &registry_.histogram(
+      "scidive_stage_ns", "Per-stage pipeline latency in nanoseconds", bounds,
+      {{"stage", "distill"}});
+  stage_route_ = &registry_.histogram("scidive_stage_ns",
+                                      "Per-stage pipeline latency in nanoseconds", bounds,
+                                      {{"stage", "route"}});
+  stage_events_ = &registry_.histogram("scidive_stage_ns",
+                                       "Per-stage pipeline latency in nanoseconds", bounds,
+                                       {{"stage", "events"}});
+  stage_rules_ = &registry_.histogram("scidive_stage_ns",
+                                      "Per-stage pipeline latency in nanoseconds", bounds,
+                                      {{"stage", "rules"}});
+  alerts_total_ = &registry_.counter(
+      "scidive_alerts_total", "Alerts raised by the rule engine (including retention drops)");
+  alerts_dropped_ = &registry_.counter("scidive_alerts_dropped_total",
+                                       "Alerts dropped from sink retention (capacity bound)");
+  alerts_retained_ =
+      &registry_.gauge("scidive_alerts_retained", "Alerts currently held by the sink");
+  ledger_recorded_ = &registry_.counter("scidive_alert_ledger_recorded_total",
+                                        "Alerts offered to the audit ledger");
+  ledger_dropped_ = &registry_.counter("scidive_alert_ledger_dropped_total",
+                                       "Audit records dropped at the ledger capacity bound");
+  ledger_size_ =
+      &registry_.gauge("scidive_alert_ledger_size", "Audit records currently in the ledger");
+}
+
+ScidiveEngine::RuleInstruments ScidiveEngine::intern_rule_instruments(const Rule& rule) {
+  const std::string rule_name(rule.name());
+  RuleInstruments ri;
+  ri.events_seen = &registry_.counter("scidive_rule_events_total",
+                                      "Events delivered to the rule", {{"rule", rule_name}});
+  ri.alerts = &registry_.counter("scidive_rule_alerts_total", "Alerts raised by the rule",
+                                 {{"rule", rule_name}});
+  ri.state_entries =
+      &registry_.gauge("scidive_rule_state_entries",
+                       "Per-session/per-principal state entries held by the rule",
+                       {{"rule", rule_name}});
+  return ri;
+}
+
+void ScidiveEngine::add_rule(RulePtr rule) {
+  rule_inst_.push_back(intern_rule_instruments(*rule));
+  rules_.push_back(std::move(rule));
+}
+
+void ScidiveEngine::clear_rules() {
+  // Registry cells are append-only; a cleared rule's instruments simply
+  // freeze at their last values.
+  rules_.clear();
+  rule_inst_.clear();
 }
 
 void ScidiveEngine::on_packet(const pkt::Packet& packet) {
-  ++stats_.packets_seen;
+  packets_seen_->inc();
 
   if (!config_.home_addresses.empty()) {
     // Cheap pre-filter on the (unverified) IP header so the endpoint IDS
@@ -28,30 +112,162 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
              config_.home_addresses.contains(ip.value().header.dst);
     }
     if (!ours) {
-      ++stats_.packets_filtered;
+      packets_filtered_->inc();
       return;
     }
   }
-  ++stats_.packets_inspected;
+  packets_inspected_->inc();
 
-  auto started = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  const bool timed = config_.obs.time_stages;
+  Clock::time_point start{}, mark{};
+  if (timed) start = mark = Clock::now();
+
   auto fp = distiller_.distill(packet);
+  if (timed) {
+    const auto now = Clock::now();
+    stage_distill_->observe(ns_between(mark, now));
+    mark = now;
+  }
   if (fp) {
     Trail& trail = trails_.add(std::move(*fp));
+    if (timed) {
+      const auto now = Clock::now();
+      stage_route_->observe(ns_between(mark, now));
+      mark = now;
+    }
     scratch_events_.clear();
     events_.process(trail.back(), trail, scratch_events_);
-    stats_.events += scratch_events_.size();
-    RuleContext ctx(trails_, sink_);
-    for (const Event& event : scratch_events_) {
-      if (event_callback_) event_callback_(event);
-      for (auto& rule : rules_) rule->on_event(event, ctx);
+    if (timed) {
+      const auto now = Clock::now();
+      stage_events_->observe(ns_between(mark, now));
+      mark = now;
     }
-    stats_.alerts = sink_.count();
+    events_total_->inc(scratch_events_.size());
+    RuleContext ctx(trails_, sink_, &ledger_);
+    for (const Event& event : scratch_events_) {
+      event_type_counters_[static_cast<size_t>(event.type)]->inc();
+      if (event_callback_) event_callback_(event);
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        rule_inst_[i].events_seen->inc();
+        const uint64_t before = sink_.total_raised();
+        rules_[i]->on_event(event, ctx);
+        const uint64_t raised = sink_.total_raised() - before;
+        if (raised != 0) rule_inst_[i].alerts->inc(raised);
+      }
+    }
+    if (timed) {
+      const auto now = Clock::now();
+      stage_rules_->observe(ns_between(mark, now));
+      mark = now;
+    }
   }
-  stats_.processing_ns += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
-                                                           started)
-          .count());
+  if (timed) processing_ns_->inc(ns_between(start, mark));
+}
+
+EngineStats ScidiveEngine::stats() const {
+  EngineStats s;
+  s.packets_seen = packets_seen_->value();
+  s.packets_filtered = packets_filtered_->value();
+  s.packets_inspected = packets_inspected_->value();
+  s.events = events_total_->value();
+  s.alerts = sink_.total_raised();
+  s.processing_ns = processing_ns_->value();
+  return s;
+}
+
+void ScidiveEngine::sync_component_stats() {
+  const DistillerStats& d = distiller_.stats();
+  registry_.counter("scidive_distiller_packets_total", "Packets entering the distiller")
+      .sync(d.packets_in);
+  registry_
+      .counter("scidive_distiller_undecodable_total", "Packets that were not even IPv4+UDP")
+      .sync(d.undecodable);
+  registry_
+      .counter("scidive_distiller_fragments_held_total",
+               "Fragments consumed while their datagram stayed incomplete")
+      .sync(d.fragments_held);
+  registry_
+      .counter("scidive_distiller_datagrams_reassembled_total",
+               "Fragmented datagrams successfully reassembled")
+      .sync(d.datagrams_reassembled);
+  const char* kHelp = "Footprints distilled, by protocol";
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "sip"}})
+      .sync(d.sip_footprints);
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "rtp"}})
+      .sync(d.rtp_footprints);
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "rtcp"}})
+      .sync(d.rtcp_footprints);
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "acc"}})
+      .sync(d.acc_footprints);
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "h225"}})
+      .sync(d.h225_footprints);
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "ras"}})
+      .sync(d.ras_footprints);
+  registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "unknown"}})
+      .sync(d.unknown_footprints);
+
+  const TrailManagerStats& t = trails_.stats();
+  registry_
+      .counter("scidive_trail_footprints_routed_total", "Footprints routed into trails")
+      .sync(t.footprints_routed);
+  registry_.counter("scidive_trail_sessions_created_total", "Sessions the trail manager created")
+      .sync(t.sessions_created);
+  registry_
+      .counter("scidive_trail_rtp_bound_total",
+               "RTP footprints bound to a session via SDP-learned endpoints")
+      .sync(t.rtp_bound_to_session);
+  registry_
+      .counter("scidive_trail_rtp_unbound_total",
+               "RTP footprints that fell back to a synthetic flow session")
+      .sync(t.rtp_unbound);
+  registry_
+      .counter("scidive_trail_flow_cache_hits_total",
+               "Media packets routed through the flow cache without classify")
+      .sync(t.flow_cache_hits);
+  registry_.counter("scidive_trails_expired_total", "Trails dropped by idle expiry")
+      .sync(t.trails_expired);
+  registry_.gauge("scidive_trails_active", "Live trails (per-session, per-protocol)")
+      .set(static_cast<int64_t>(trails_.trail_count()));
+  registry_.gauge("scidive_sessions_active", "Live sessions with at least one trail")
+      .set(static_cast<int64_t>(trails_.session_count()));
+  registry_.gauge("scidive_media_bindings", "SDP-learned media endpoint bindings")
+      .set(static_cast<int64_t>(trails_.media_binding_count()));
+
+  const EventGeneratorStats& e = events_.stats();
+  registry_
+      .counter("scidive_eventgen_footprints_total", "Footprints the event generator processed")
+      .sync(e.footprints_processed);
+  registry_
+      .counter("scidive_monitors_started_total",
+               "Post-BYE/re-INVITE/RTCP-BYE media monitors armed")
+      .sync(e.monitors_started);
+  registry_.counter("scidive_monitors_fired_total", "Media monitors that caught orphan media")
+      .sync(e.monitors_fired);
+  registry_.counter("scidive_monitors_expired_total", "Media monitors that expired quietly")
+      .sync(e.monitors_expired);
+  registry_
+      .counter("scidive_eventgen_sessions_expired_total",
+               "Event-generator session states dropped by idle expiry")
+      .sync(e.sessions_expired);
+  registry_.gauge("scidive_tracked_sessions", "Sessions with live event-generator state")
+      .set(static_cast<int64_t>(events_.tracked_sessions()));
+
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    rule_inst_[i].state_entries->set(static_cast<int64_t>(rules_[i]->state_entries()));
+  }
+
+  alerts_total_->sync(sink_.total_raised());
+  alerts_dropped_->sync(sink_.dropped());
+  alerts_retained_->set(static_cast<int64_t>(sink_.count()));
+  ledger_recorded_->sync(ledger_.total_recorded());
+  ledger_dropped_->sync(ledger_.dropped());
+  ledger_size_->set(static_cast<int64_t>(ledger_.size()));
+}
+
+obs::Snapshot ScidiveEngine::metrics_snapshot() {
+  sync_component_stats();
+  return registry_.snapshot();
 }
 
 void ScidiveEngine::expire_idle(SimTime cutoff) {

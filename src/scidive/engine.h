@@ -2,6 +2,13 @@
 // vantage point (an endpoint tap in the paper's experiments), receives raw
 // packets, and drives Distiller -> TrailManager -> EventGenerator ->
 // RuleMatchingEngine -> Alerts.
+//
+// Every engine carries an obs::MetricsRegistry instrumenting the whole
+// pipeline: packet/event/alert counters, per-stage latency histograms,
+// per-rule counters and state gauges, and component-stat mirrors synced at
+// snapshot time. Instruments are interned once at construction; recording
+// on the packet path is plain cell arithmetic, so the zero-allocation hot
+// path stays zero-allocation with metrics enabled.
 #pragma once
 
 #include <chrono>
@@ -10,6 +17,8 @@
 #include <vector>
 
 #include "netsim/network.h"
+#include "obs/alert_ledger.h"
+#include "obs/metrics.h"
 #include "scidive/distiller.h"
 #include "scidive/event_generator.h"
 #include "scidive/rule.h"
@@ -18,10 +27,22 @@
 
 namespace scidive::core {
 
+struct EngineObsConfig {
+  /// Wall-clock the pipeline stages into the per-stage latency histograms
+  /// and the processing_ns total. Costs a few steady_clock reads per packet;
+  /// disable for byte-deterministic metric exposition (golden tests do).
+  bool time_stages = true;
+  /// AlertSink retention bound (alerts beyond it are dropped and counted).
+  size_t alert_capacity = AlertSink::kDefaultCapacity;
+  /// AlertLedger retention bound (audit records beyond it are counted).
+  size_t ledger_capacity = 65536;
+};
+
 struct EngineConfig {
   DistillerConfig distiller;
   EventGeneratorConfig events;
   RulesConfig rules;
+  EngineObsConfig obs;
   /// Endpoint-based deployment (Figure 3/4): when non-empty, only packets
   /// to or from these addresses are inspected — "although the prototype IDS
   /// can also see the traffic of Client B and the SIP Proxy, it does not
@@ -30,6 +51,9 @@ struct EngineConfig {
   size_t max_footprints_per_trail = 4096;
 };
 
+/// Aggregate pipeline counters. Since the observability subsystem landed
+/// this is a *view* over the engine's MetricsRegistry — stats() builds it
+/// from the registry cells, so there is exactly one source of truth.
 struct EngineStats {
   uint64_t packets_seen = 0;
   uint64_t packets_filtered = 0;   // outside the home scope
@@ -37,7 +61,8 @@ struct EngineStats {
   uint64_t events = 0;
   uint64_t alerts = 0;
   /// Wall-clock nanoseconds spent inside the IDS pipeline (real CPU cost of
-  /// detection; the simulation clock is unrelated).
+  /// detection; the simulation clock is unrelated). Zero when
+  /// EngineObsConfig::time_stages is off.
   uint64_t processing_ns = 0;
 };
 
@@ -55,9 +80,9 @@ class ScidiveEngine {
   }
 
   /// Install an additional rule (the ruleset defaults to the paper's).
-  void add_rule(RulePtr rule) { rules_.push_back(std::move(rule)); }
+  void add_rule(RulePtr rule);
   /// Drop all rules (for baseline configurations in the benches).
-  void clear_rules() { rules_.clear(); }
+  void clear_rules();
 
   /// Observe every generated event (experiments measure detection delay
   /// from the value carried on kRtpAfterBye/kRtpAfterReinvite events).
@@ -68,24 +93,68 @@ class ScidiveEngine {
   AlertSink& alerts() { return sink_; }
   const AlertSink& alerts() const { return sink_; }
 
-  const EngineStats& stats() const { return stats_; }
+  /// Registry-backed view (by value; fields as before).
+  EngineStats stats() const;
+
   const Distiller& distiller() const { return distiller_; }
   const TrailManager& trails() const { return trails_; }
   const EventGenerator& events() const { return events_; }
+
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::AlertLedger& ledger() const { return ledger_; }
+
+  /// Deterministic snapshot of every instrument. Refreshes the component
+  /// stat mirrors (distiller/trails/event-generator/rule-state gauges)
+  /// first, which is why it is non-const.
+  obs::Snapshot metrics_snapshot();
 
   /// Housekeeping: expire idle trails/session state older than cutoff.
   void expire_idle(SimTime cutoff);
 
  private:
+  /// Interned once per rule at registration; indexed parallel to rules_.
+  struct RuleInstruments {
+    obs::Counter* events_seen = nullptr;
+    obs::Counter* alerts = nullptr;
+    obs::Gauge* state_entries = nullptr;
+  };
+
+  void intern_pipeline_instruments();
+  RuleInstruments intern_rule_instruments(const Rule& rule);
+  /// Mirror the component-kept stats into registry cells (snapshot path).
+  void sync_component_stats();
+
   EngineConfig config_;
+  obs::MetricsRegistry registry_;
   Distiller distiller_;
   TrailManager trails_;
   EventGenerator events_;
   std::vector<RulePtr> rules_;
+  std::vector<RuleInstruments> rule_inst_;
   std::function<void(const Event&)> event_callback_;
   AlertSink sink_;
-  EngineStats stats_;
+  obs::AlertLedger ledger_;
   std::vector<Event> scratch_events_;
+
+  // Hot-path instruments (registry-owned cells).
+  obs::Counter* packets_seen_ = nullptr;
+  obs::Counter* packets_filtered_ = nullptr;
+  obs::Counter* packets_inspected_ = nullptr;
+  obs::Counter* events_total_ = nullptr;
+  obs::Counter* processing_ns_ = nullptr;
+  obs::Counter* event_type_counters_[kEventTypeCount] = {};
+  obs::Histogram* stage_distill_ = nullptr;
+  obs::Histogram* stage_route_ = nullptr;
+  obs::Histogram* stage_events_ = nullptr;
+  obs::Histogram* stage_rules_ = nullptr;
+
+  // Snapshot-synced mirrors (see sync_component_stats()).
+  obs::Counter* alerts_total_ = nullptr;
+  obs::Counter* alerts_dropped_ = nullptr;
+  obs::Gauge* alerts_retained_ = nullptr;
+  obs::Counter* ledger_recorded_ = nullptr;
+  obs::Counter* ledger_dropped_ = nullptr;
+  obs::Gauge* ledger_size_ = nullptr;
 };
 
 }  // namespace scidive::core

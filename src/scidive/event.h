@@ -54,6 +54,10 @@ enum class EventType {
                            // legitimate call setup" via the location service)
 };
 
+/// Number of EventType values (for per-type instrument arrays). Keep in
+/// sync with the last enumerator above.
+inline constexpr size_t kEventTypeCount = static_cast<size_t>(EventType::kAccBilledPartyAbsent) + 1;
+
 std::string_view event_type_name(EventType t);
 
 struct Event {

@@ -425,6 +425,7 @@ size_t EventGenerator::expire_idle(SimTime cutoff) {
     if (it->second.last_touched < cutoff) {
       it = sessions_.erase(it);
       ++dropped;
+      ++stats_.sessions_expired;
     } else {
       ++it;
     }

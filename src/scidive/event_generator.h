@@ -39,6 +39,7 @@ struct EventGeneratorStats {
   uint64_t monitors_started = 0;
   uint64_t monitors_fired = 0;
   uint64_t monitors_expired = 0;
+  uint64_t sessions_expired = 0;  // session states dropped by expire_idle
 };
 
 class EventGenerator {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string_view>
 
+#include "obs/alert_ledger.h"
 #include "scidive/alert.h"
 #include "scidive/event.h"
 #include "scidive/trail_manager.h"
@@ -17,19 +18,22 @@ namespace scidive::core {
 /// Everything a rule may touch while matching.
 class RuleContext {
  public:
-  RuleContext(const TrailManager& trails, AlertSink& sink) : trails_(trails), sink_(sink) {}
+  RuleContext(const TrailManager& trails, AlertSink& sink, obs::AlertLedger* ledger = nullptr)
+      : trails_(trails), sink_(sink), ledger_(ledger) {}
 
   /// Query access to all trails (cross-protocol, direct inspection).
   const TrailManager& trails() const { return trails_; }
 
   void raise(std::string rule, Severity severity, const Event& cause, std::string message) {
-    sink_.raise(Alert{std::move(rule), severity, cause.session, cause.time,
-                      std::move(message)});
+    Alert alert{std::move(rule), severity, cause.session, cause.time, std::move(message)};
+    if (ledger_) ledger_->record(alert, cause);
+    sink_.raise(std::move(alert));
   }
 
  private:
   const TrailManager& trails_;
   AlertSink& sink_;
+  obs::AlertLedger* ledger_;
 };
 
 class Rule {
@@ -37,6 +41,10 @@ class Rule {
   virtual ~Rule() = default;
   virtual std::string_view name() const = 0;
   virtual void on_event(const Event& event, RuleContext& ctx) = 0;
+  /// How many per-session (or per-principal) state entries the rule holds
+  /// right now — the observability surface for rule memory. Stateless rules
+  /// keep the default.
+  virtual size_t state_entries() const { return 0; }
 };
 
 using RulePtr = std::unique_ptr<Rule>;

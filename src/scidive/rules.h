@@ -69,6 +69,7 @@ class FakeImRule : public Rule {
   explicit FakeImRule(const RulesConfig& config) : config_(config) {}
   std::string_view name() const override { return "fake-im"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return senders_.size() + registrations_.size(); }
 
  private:
   struct SenderHistory {
@@ -100,6 +101,7 @@ class BillingFraudRule : public Rule {
   explicit BillingFraudRule(const RulesConfig& config) : config_(config) {}
   std::string_view name() const override { return "billing-fraud"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return evidence_.size(); }
 
  private:
   RulesConfig config_;
@@ -114,6 +116,7 @@ class RegisterFloodRule : public Rule {
   explicit RegisterFloodRule(const RulesConfig& config) : config_(config) {}
   std::string_view name() const override { return "register-flood"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return sessions_.size(); }
 
  private:
   struct SessionAuthState {
@@ -132,6 +135,7 @@ class PasswordGuessRule : public Rule {
   explicit PasswordGuessRule(const RulesConfig& config) : config_(config) {}
   std::string_view name() const override { return "password-guess"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return sessions_.size(); }
 
  private:
   struct GuessState {
@@ -151,6 +155,7 @@ class Stateless4xxRule : public Rule {
   explicit Stateless4xxRule(const RulesConfig& config) : config_(config) {}
   std::string_view name() const override { return "stateless-4xx"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return recent_4xx_.size(); }
 
  private:
   RulesConfig config_;
@@ -181,6 +186,7 @@ class DirectTrailScanByeRule : public Rule {
   explicit DirectTrailScanByeRule(SimDuration window = msec(200)) : window_(window) {}
   std::string_view name() const override { return "bye-attack-direct"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return alerted_.size(); }
 
  private:
   SimDuration window_;

@@ -84,6 +84,7 @@ std::optional<ShardRouter::Routed> ShardRouter::route(const pkt::Packet& packet)
     pkt::Packet datagram;
     datagram.data = std::move(whole.value());
     datagram.timestamp = packet.timestamp;
+    ++stats_.datagrams_reassembled;
     size_t shard = route_datagram(datagram);
     return Routed{shard, std::move(datagram)};
   }

@@ -50,6 +50,7 @@ struct ShardRouterStats {
   uint64_t by_flow_hash = 0;     // 4-tuple fallback
   uint64_t media_bindings_learned = 0;
   uint64_t fragments_held = 0;   // fragment consumed, datagram incomplete
+  uint64_t datagrams_reassembled = 0;  // fragmented datagrams completed
 };
 
 class ShardRouter {

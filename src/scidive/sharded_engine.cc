@@ -66,7 +66,7 @@ void ShardedEngine::enqueue(size_t index, pkt::Packet&& packet) {
   Shard& shard = *shards_[index];
   if (!shard.queue.try_push(std::move(packet))) {
     if (config_.overflow == OverflowPolicy::kDrop) {
-      ++dropped_;
+      ++shard.dropped;
       return;
     }
     do {
@@ -133,13 +133,19 @@ void ShardedEngine::expire_idle(SimTime cutoff) {
   for (auto& shard : shards_) shard->engine.expire_idle(cutoff);
 }
 
+uint64_t ShardedEngine::packets_dropped() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->dropped;
+  return n;
+}
+
 ShardedEngineStats ShardedEngine::stats() const {
   ShardedEngineStats out;
   out.packets_seen = seen_;
   out.packets_filtered = filtered_;
-  out.packets_dropped = dropped_;
+  out.packets_dropped = packets_dropped();
   for (const auto& shard : shards_) {
-    const EngineStats& s = shard->engine.stats();
+    const EngineStats s = shard->engine.stats();
     out.engine.packets_seen += s.packets_seen;
     out.engine.packets_filtered += s.packets_filtered;
     out.engine.packets_inspected += s.packets_inspected;
@@ -147,6 +153,70 @@ ShardedEngineStats ShardedEngine::stats() const {
     out.engine.alerts += s.alerts;
     out.engine.processing_ns += s.processing_ns;
   }
+  return out;
+}
+
+void ShardedEngine::sync_frontend_stats() {
+  frontend_registry_
+      .counter("scidive_frontend_packets_seen_total", "Packets offered to the front-end")
+      .sync(seen_);
+  frontend_registry_
+      .counter("scidive_frontend_packets_filtered_total",
+               "Packets outside the home-address scope (filtered before routing)")
+      .sync(filtered_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const obs::Labels shard_label = {{"shard", std::to_string(i)}};
+    frontend_registry_
+        .counter("scidive_shard_enqueued_total", "Packets enqueued to the shard's ring",
+                 shard_label)
+        .sync(shards_[i]->enqueued);
+    frontend_registry_
+        .counter("scidive_shard_dropped_total",
+                 "Packets dropped at the shard's full ring (kDrop policy)", shard_label)
+        .sync(shards_[i]->dropped);
+    const uint64_t processed = shards_[i]->processed.load(std::memory_order_acquire);
+    frontend_registry_
+        .gauge("scidive_shard_ring_occupancy", "Packets in the shard's ring at snapshot time",
+               shard_label)
+        .set(static_cast<int64_t>(shards_[i]->enqueued - processed));
+  }
+  const ShardRouterStats& r = router_.stats();
+  frontend_registry_
+      .counter("scidive_router_by_call_id_total", "Packets routed by Call-ID affinity")
+      .sync(r.by_call_id);
+  frontend_registry_
+      .counter("scidive_router_by_principal_total", "Packets routed by From-AOR affinity")
+      .sync(r.by_principal);
+  frontend_registry_
+      .counter("scidive_router_by_media_binding_total",
+               "Packets routed via the SDP-learned media endpoint map")
+      .sync(r.by_media_binding);
+  frontend_registry_
+      .counter("scidive_router_by_flow_hash_total", "Packets routed by the 4-tuple fallback")
+      .sync(r.by_flow_hash);
+  frontend_registry_
+      .counter("scidive_router_media_bindings_learned_total",
+               "Media endpoint bindings the router learned from signaling")
+      .sync(r.media_bindings_learned);
+  frontend_registry_
+      .counter("scidive_router_fragments_held_total",
+               "Fragments held by the router's reassembler awaiting completion")
+      .sync(r.fragments_held);
+  frontend_registry_
+      .counter("scidive_router_datagrams_reassembled_total",
+               "Fragmented datagrams the router reassembled before routing")
+      .sync(r.datagrams_reassembled);
+  frontend_registry_
+      .gauge("scidive_router_media_bindings", "Media endpoint bindings currently mapped")
+      .set(static_cast<int64_t>(router_.media_binding_count()));
+}
+
+obs::Snapshot ShardedEngine::metrics_snapshot() {
+  flush();
+  obs::Snapshot out;
+  for (auto& shard : shards_) out.merge(shard->engine.metrics_snapshot());
+  sync_frontend_stats();
+  out.merge(frontend_registry_.snapshot());
   return out;
 }
 

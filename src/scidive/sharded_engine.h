@@ -41,6 +41,8 @@ struct ShardedEngineConfig {
   OverflowPolicy overflow = OverflowPolicy::kBlock;
 };
 
+/// Front-end counters plus shard-summed engine stats. Like EngineStats this
+/// is a view built on demand — the engine half reads each shard's registry.
 struct ShardedEngineStats {
   uint64_t packets_seen = 0;      // front-end
   uint64_t packets_filtered = 0;  // outside the home scope
@@ -87,7 +89,13 @@ class ShardedEngine {
   /// All alerts across shards in a deterministic order (call after flush()).
   std::vector<Alert> merged_alerts() const;
   size_t alert_count() const;
-  uint64_t packets_dropped() const { return dropped_; }
+  uint64_t packets_dropped() const;
+
+  /// One merged view of every instrument: each shard engine's registry
+  /// (counters/histograms summed, gauges summed) plus the front-end's
+  /// per-shard ring gauges, drop counters and router stats. Flushes first,
+  /// so the result is a deterministic function of the packet sequence.
+  obs::Snapshot metrics_snapshot();
 
  private:
   struct Shard {
@@ -97,6 +105,8 @@ class ShardedEngine {
     SpscQueue<pkt::Packet> queue;
     /// Producer-side count of packets pushed (single producer: plain).
     uint64_t enqueued = 0;
+    /// Producer-side count of packets dropped at this ring (kDrop policy).
+    uint64_t dropped = 0;
     /// Worker-side count of packets fully processed. The release store
     /// after each batch is what makes post-flush engine reads safe.
     alignas(kCacheLineSize) std::atomic<uint64_t> processed{0};
@@ -106,6 +116,10 @@ class ShardedEngine {
   void worker_loop(Shard& shard);
   void enqueue(size_t index, pkt::Packet&& packet);
 
+  /// Mirror front-end/router state into frontend_registry_ (snapshot path;
+  /// caller must hold the post-flush quiescent state).
+  void sync_frontend_stats();
+
   ShardedEngineConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -114,7 +128,9 @@ class ShardedEngine {
   // Front-end counters (producer thread only).
   uint64_t seen_ = 0;
   uint64_t filtered_ = 0;
-  uint64_t dropped_ = 0;
+  /// Front-end instruments (touched only at snapshot time; the producer
+  /// counters above stay plain fields on the hot path).
+  obs::MetricsRegistry frontend_registry_;
 };
 
 }  // namespace scidive::core

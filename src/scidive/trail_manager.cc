@@ -165,6 +165,7 @@ size_t TrailManager::expire_idle(SimTime cutoff) {
       }
       it = trails_.erase(it);
       ++dropped;
+      ++stats_.trails_expired;
     } else {
       ++it;
     }

@@ -32,6 +32,7 @@ struct TrailManagerStats {
   uint64_t rtp_bound_to_session = 0;   // matched via SDP-learned endpoints
   uint64_t rtp_unbound = 0;            // synthetic flow session
   uint64_t flow_cache_hits = 0;        // media packets routed without classify
+  uint64_t trails_expired = 0;         // trails dropped by expire_idle
 };
 
 class TrailManager {
@@ -65,6 +66,8 @@ class TrailManager {
 
   std::vector<SessionId> sessions() const;
   size_t trail_count() const { return trails_.size(); }
+  size_t session_count() const { return session_index_.size(); }
+  size_t media_binding_count() const { return media_to_session_.size(); }
   const TrailManagerStats& stats() const { return stats_; }
 
   /// Drop every trail whose newest footprint is older than `cutoff`.

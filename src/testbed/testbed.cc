@@ -9,6 +9,7 @@ core::EngineConfig ids_config(const TestbedConfig& config, pkt::Ipv4Address a,
   core::EngineConfig out;
   out.events = config.ids_events;
   out.rules = config.ids_rules;
+  out.obs = config.ids_obs;
   if (config.ids_watches_client_a) out.home_addresses.insert(a);
   if (config.ids_watches_proxy) {
     out.home_addresses.insert(proxy);

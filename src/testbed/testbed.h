@@ -34,6 +34,7 @@ struct TestbedConfig {
   bool ids_watches_proxy = false;
   core::EventGeneratorConfig ids_events;
   core::RulesConfig ids_rules;
+  core::EngineObsConfig ids_obs;
   rtp::CorruptionBehavior client_a_jitter = rtp::CorruptionBehavior::kGlitch;
   /// Media pacing for every client (the paper's "typical period employed is
   /// 20 milliseconds"; the detection-delay law scales with it).

@@ -1,0 +1,98 @@
+// Golden-file test: the Prometheus exposition of a fixed four-attacks run is
+// pinned byte-for-byte. The whole simulation is deterministic given the seed,
+// and with stage timing disabled (EngineObsConfig::time_stages = false) no
+// wall-clock value reaches the registry — so any diff here is a real change
+// to what the IDS reports about itself, and must be reviewed like an API
+// change. Regenerate intentionally with:
+//
+//   SCIDIVE_REGEN_GOLDEN=1 ./scidive_tests --gtest_filter='MetricsGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "testbed/testbed.h"
+
+namespace scidive::obs {
+namespace {
+
+using testbed::Testbed;
+using testbed::TestbedConfig;
+
+TestbedConfig deterministic_config() {
+  TestbedConfig cfg;
+  cfg.ids_obs.time_stages = false;  // wall-clock histograms stay all-zero
+  return cfg;
+}
+
+Snapshot four_attacks_snapshot() {
+  Snapshot merged;
+  {
+    Testbed tb(deterministic_config());
+    tb.establish_call(sec(3));
+    tb.inject_bye_attack();
+    tb.run_for(sec(1));
+    merged.merge(tb.ids().metrics_snapshot());
+  }
+  {
+    Testbed tb(deterministic_config());
+    tb.register_all();
+    tb.client_b().add_contact(tb.client_a().aor(), tb.client_a().sip_endpoint());
+    tb.client_b().send_im("alice", "lunch at noon? - bob");
+    tb.run_for(sec(1));
+    tb.inject_fake_im();
+    tb.run_for(sec(1));
+    merged.merge(tb.ids().metrics_snapshot());
+  }
+  {
+    Testbed tb(deterministic_config());
+    tb.establish_call(sec(3));
+    tb.inject_call_hijack();
+    tb.run_for(sec(1));
+    merged.merge(tb.ids().metrics_snapshot());
+  }
+  {
+    Testbed tb(deterministic_config());
+    tb.establish_call(sec(3));
+    tb.inject_rtp_flood(30);
+    tb.run_for(sec(1));
+    merged.merge(tb.ids().metrics_snapshot());
+  }
+  return merged;
+}
+
+std::string golden_path() {
+  return std::string(SCIDIVE_TEST_DATA_DIR) + "/four_attacks_metrics.prom";
+}
+
+TEST(MetricsGolden, FourAttacksPrometheusExposition) {
+  const std::string actual = to_prometheus(four_attacks_snapshot());
+  ASSERT_FALSE(actual.empty());
+
+  if (std::getenv("SCIDIVE_REGEN_GOLDEN")) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — run once with SCIDIVE_REGEN_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "metrics exposition changed; if intentional, regenerate with "
+         "SCIDIVE_REGEN_GOLDEN=1";
+}
+
+TEST(MetricsGolden, RunIsReproducible) {
+  // The determinism claim itself: two independent runs serialize identically.
+  EXPECT_EQ(to_prometheus(four_attacks_snapshot()), to_prometheus(four_attacks_snapshot()));
+}
+
+}  // namespace
+}  // namespace scidive::obs

@@ -1,0 +1,150 @@
+// Sharded-vs-single metric parity: for every Table-1 attack, the metric
+// totals of N sharded engines (merged after flush()) must equal what one
+// single-threaded engine reports on the same capture. Sharding is allowed to
+// change where state lives, never what the IDS counts — this is the metrics
+// companion to the alert-multiset parity test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "scidive/engine.h"
+#include "scidive/sharded_engine.h"
+#include "voip/attack.h"
+#include "voip/voip_fixture.h"
+
+namespace scidive::obs {
+namespace {
+
+using core::EngineConfig;
+using core::ScidiveEngine;
+using core::ShardedEngine;
+using core::ShardedEngineConfig;
+using voip::testing::VoipFixture;
+
+struct CaptureFixture : VoipFixture {
+  std::vector<pkt::Packet> capture;
+
+  CaptureFixture() {
+    net.add_tap([this](const pkt::Packet& packet) { capture.push_back(packet); });
+  }
+};
+
+/// Counter families whose totals must be shard-invariant. Front-end families
+/// (scidive_frontend_*, scidive_shard_*, scidive_router_*) are excluded by
+/// construction: they only exist on the sharded side. scidive_packets_seen /
+/// _filtered are excluded too — the sharded front-end filters before the
+/// shard engines ever see a packet, so the per-engine split differs while
+/// the pipeline totals below may not.
+bool must_match(const std::string& name) {
+  return name == "scidive_packets_inspected_total" || name == "scidive_events_total" ||
+         name == "scidive_alerts_total" || name == "scidive_events_by_type_total" ||
+         name == "scidive_distiller_packets_total" ||
+         name == "scidive_distiller_footprints_total" ||
+         name == "scidive_trail_footprints_routed_total" ||
+         name == "scidive_trail_sessions_created_total" ||
+         name == "scidive_eventgen_footprints_total" ||
+         name == "scidive_rule_events_total" || name == "scidive_rule_alerts_total" ||
+         name == "scidive_alert_ledger_recorded_total";
+}
+
+void expect_metric_parity(const std::vector<pkt::Packet>& capture, pkt::Ipv4Address home,
+                          std::string_view must_fire_rule) {
+  EngineConfig config;
+  config.home_addresses = {home};
+  config.obs.time_stages = false;
+
+  ScidiveEngine single(config);
+  for (const pkt::Packet& packet : capture) single.on_packet(packet);
+  Snapshot single_snap = single.metrics_snapshot();
+  ASSERT_GE(single_snap.counter_value("scidive_alerts_total"), 1u)
+      << "scenario did not exercise " << must_fire_rule;
+
+  ShardedEngineConfig sc;
+  sc.engine = config;
+  sc.num_shards = 3;
+  ShardedEngine sharded(sc);
+  for (const pkt::Packet& packet : capture) sharded.on_packet(packet);
+  Snapshot sharded_snap = sharded.metrics_snapshot();  // flushes first
+
+  size_t compared = 0;
+  for (const Sample& sample : single_snap.samples()) {
+    if (sample.kind != InstrumentKind::kCounter || !must_match(sample.name)) continue;
+    ++compared;
+    EXPECT_EQ(sharded_snap.counter_value(sample.name, sample.labels), sample.counter)
+        << sample.name;
+  }
+  EXPECT_GT(compared, 20u);  // the filter really selected the pipeline families
+
+  // The front-end's own accounting must close: everything seen is filtered,
+  // dropped, or reached a shard ring.
+  const uint64_t seen = sharded_snap.counter_value("scidive_frontend_packets_seen_total");
+  const uint64_t filtered =
+      sharded_snap.counter_value("scidive_frontend_packets_filtered_total");
+  uint64_t enqueued = 0, dropped = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    const Labels l = {{"shard", std::to_string(i)}};
+    enqueued += sharded_snap.counter_value("scidive_shard_enqueued_total", l);
+    dropped += sharded_snap.counter_value("scidive_shard_dropped_total", l);
+    EXPECT_EQ(sharded_snap.gauge_value("scidive_shard_ring_occupancy", l), 0)
+        << "ring not drained after flush";
+  }
+  EXPECT_EQ(seen, capture.size());
+  EXPECT_EQ(seen, filtered + enqueued + dropped);
+  EXPECT_EQ(dropped, 0u);  // kBlock never drops
+}
+
+TEST(MetricsParity, ByeAttack) {
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*sniffer.latest_active_call(), /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  expect_metric_parity(f.capture, f.a_host.address(), "bye-attack");
+}
+
+TEST(MetricsParity, FakeIm) {
+  CaptureFixture f;
+  f.register_both();
+  f.b.add_contact("alice@lab.net", f.a.sip_endpoint());
+  f.b.send_im("alice", "hi, this is really bob");
+  f.sim.run_until(f.sim.now() + sec(1));
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "bob@lab.net", "wire money please");
+  f.sim.run_until(f.sim.now() + sec(1));
+  expect_metric_parity(f.capture, f.a_host.address(), "fake-im");
+}
+
+TEST(MetricsParity, CallHijack) {
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::CallHijacker hijacker(f.attacker_host);
+  hijacker.attack(*sniffer.latest_active_call(), {f.attacker_host.address(), 17000},
+                  /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  expect_metric_parity(f.capture, f.a_host.address(), "call-hijack");
+}
+
+TEST(MetricsParity, RtpInjection) {
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::RtpInjector injector(f.attacker_host, /*seed=*/77);
+  pkt::Endpoint victim{f.a_host.address(), f.a.config().rtp_port};
+  if (auto call = sniffer.latest_active_call();
+      call && call->caller_media.addr == f.a_host.address()) {
+    victim = call->caller_media;
+  }
+  injector.start(victim, {.count = 30});
+  f.sim.run_until(f.sim.now() + sec(1));
+  expect_metric_parity(f.capture, f.a_host.address(), "rtp-attack");
+}
+
+}  // namespace
+}  // namespace scidive::obs

@@ -1,0 +1,197 @@
+// Unit tests for the observability primitives: instruments, registry
+// interning, deterministic snapshots (merge/diff), both exposition formats,
+// and the bounded audit structures (AlertSink retention, AlertLedger).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/alert_ledger.h"
+#include "scidive/alert.h"
+#include "scidive/event.h"
+
+namespace scidive::obs {
+namespace {
+
+TEST(Counter, IncAndSync) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.sync(100);
+  EXPECT_EQ(c.value(), 100u);
+}
+
+TEST(Gauge, SetIncDec) {
+  Gauge g;
+  g.set(10);
+  g.inc(5);
+  g.dec(3);
+  EXPECT_EQ(g.value(), 12);
+  g.set(-4);
+  EXPECT_EQ(g.value(), -4);
+}
+
+TEST(Histogram, BucketPlacementAndInfTail) {
+  Histogram h({10, 100, 1000});
+  h.observe(5);     // <= 10
+  h.observe(10);    // le semantics: boundary lands in its own bucket
+  h.observe(11);    // <= 100
+  h.observe(1001);  // +Inf
+  EXPECT_EQ(h.bucket_counts(), (std::vector<uint64_t>{2, 1, 0, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 11 + 1001);
+}
+
+TEST(Registry, InterningDeduplicatesByNameAndLabels) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", "help");
+  Counter& b = reg.counter("x_total", "help");
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.counter("x_total", "help", {{"shard", "1"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(Snapshot, CanonicalOrderIsNameThenLabels) {
+  MetricsRegistry reg;
+  reg.counter("b_total", "h", {{"k", "2"}}).inc(2);
+  reg.counter("b_total", "h", {{"k", "1"}}).inc(1);
+  reg.counter("a_total", "h").inc(9);
+  Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.samples().size(), 3u);
+  EXPECT_EQ(s.samples()[0].name, "a_total");
+  EXPECT_EQ(s.samples()[1].labels, (Labels{{"k", "1"}}));
+  EXPECT_EQ(s.samples()[2].labels, (Labels{{"k", "2"}}));
+  EXPECT_EQ(s.counter_value("a_total"), 9u);
+  EXPECT_EQ(s.counter_value("b_total", {{"k", "2"}}), 2u);
+  EXPECT_EQ(s.counter_value("absent_total"), 0u);
+}
+
+TEST(Snapshot, MergeSumsEverything) {
+  MetricsRegistry shard0, shard1;
+  shard0.counter("pkts_total", "h").inc(3);
+  shard1.counter("pkts_total", "h").inc(4);
+  shard0.gauge("occupancy", "h").set(2);
+  shard1.gauge("occupancy", "h").set(5);
+  shard0.histogram("lat_ns", "h", {10, 100}).observe(7);
+  shard1.histogram("lat_ns", "h", {10, 100}).observe(70);
+  shard1.counter("only_in_one_total", "h").inc(1);
+
+  Snapshot merged = shard0.snapshot();
+  merged.merge(shard1.snapshot());
+  EXPECT_EQ(merged.counter_value("pkts_total"), 7u);
+  EXPECT_EQ(merged.gauge_value("occupancy"), 7);  // per-shard levels sum
+  const Sample* h = merged.find("lat_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->buckets, (std::vector<uint64_t>{1, 1, 0}));
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->sum, 77u);
+  EXPECT_EQ(merged.counter_value("only_in_one_total"), 1u);
+}
+
+TEST(Snapshot, DiffSubtractsCountersKeepsGauges) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n_total", "h");
+  Gauge& g = reg.gauge("level", "h");
+  Histogram& h = reg.histogram("lat_ns", "h", {10});
+  c.inc(5);
+  g.set(3);
+  h.observe(4);
+  Snapshot before = reg.snapshot();
+  c.inc(2);
+  g.set(9);
+  h.observe(40);
+  Snapshot delta = reg.snapshot().diff(before);
+  EXPECT_EQ(delta.counter_value("n_total"), 2u);
+  EXPECT_EQ(delta.gauge_value("level"), 9);  // a level has no delta
+  const Sample* hs = delta.find("lat_ns");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 1u);
+  EXPECT_EQ(hs->buckets, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(Exposition, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.counter("scidive_pkts_total", "Packets seen", {{"proto", "rtp"}}).inc(3);
+  reg.counter("scidive_pkts_total", "Packets seen", {{"proto", "sip"}}).inc(1);
+  reg.histogram("scidive_lat_ns", "Latency", {10, 100}).observe(50);
+  std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# HELP scidive_pkts_total Packets seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scidive_pkts_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("scidive_pkts_total{proto=\"rtp\"} 3\n"), std::string::npos);
+  // HELP/TYPE once per family, not once per series.
+  EXPECT_EQ(text.find("# HELP scidive_pkts_total"), text.rfind("# HELP scidive_pkts_total"));
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("scidive_lat_ns_bucket{le=\"10\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("scidive_lat_ns_bucket{le=\"100\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("scidive_lat_ns_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("scidive_lat_ns_sum 50\n"), std::string::npos);
+  EXPECT_NE(text.find("scidive_lat_ns_count 1\n"), std::string::npos);
+}
+
+TEST(Exposition, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("x_total", "h", {{"k", "a\"b\\c\nd"}}).inc(1);
+  std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("x_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(Exposition, JsonIsDeterministicAndCarriesAllKinds) {
+  MetricsRegistry reg;
+  reg.counter("n_total", "count things").inc(2);
+  reg.gauge("level", "a level").set(-1);
+  reg.histogram("lat_ns", "latency", {10}).observe(3);
+  std::string a = to_json(reg.snapshot());
+  std::string b = to_json(reg.snapshot());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"name\": \"n_total\""), std::string::npos);
+  EXPECT_NE(a.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(a.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(a.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(a.find("\"value\": -1"), std::string::npos);
+  EXPECT_NE(a.find("{\"le\": 10, \"count\": 1}"), std::string::npos);
+}
+
+TEST(AlertSinkBounds, RetentionCappedNotificationNot) {
+  core::AlertSink sink(/*capacity=*/2);
+  int notified = 0;
+  sink.set_callback([&](const core::Alert&) { ++notified; });
+  for (int i = 0; i < 5; ++i) {
+    sink.raise({.rule = "r", .session = "s", .time = SimTime(i), .message = ""});
+  }
+  EXPECT_EQ(sink.count(), 2u);           // retained
+  EXPECT_EQ(sink.total_raised(), 5u);    // true count survives the cap
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(notified, 5);                // callback sees everything
+  EXPECT_EQ(sink.alerts()[0].time, SimTime(0));  // head kept, tail dropped
+}
+
+TEST(AlertLedger, RecordsCauseAndBounds) {
+  AlertLedger ledger(/*capacity=*/2);
+  core::Event cause;
+  cause.type = core::EventType::kRtpAfterBye;
+  cause.session = "call-1";
+  cause.detail = "rtp after bye";
+  cause.value = 7;
+  for (int i = 0; i < 3; ++i) {
+    ledger.record({.rule = "bye-attack", .session = "call-1", .time = SimTime(i), .message = ""},
+                  cause);
+  }
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.total_recorded(), 3u);
+  EXPECT_EQ(ledger.dropped(), 1u);
+  const AlertRecord& rec = ledger.records()[0];
+  EXPECT_EQ(rec.alert.rule, "bye-attack");
+  EXPECT_EQ(rec.cause_type, core::EventType::kRtpAfterBye);
+  EXPECT_EQ(rec.cause_value, 7);
+  EXPECT_EQ(rec.sim_time, SimTime(0));
+  std::string json = ledger.to_json();
+  EXPECT_NE(json.find("\"rule\": \"bye-attack\""), std::string::npos);
+  EXPECT_NE(json.find("RtpAfterBye"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scidive::obs

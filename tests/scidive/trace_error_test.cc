@@ -1,0 +1,85 @@
+// TraceReader error paths: every way an SPCAP1 trace can be corrupt must
+// produce a specific, stable diagnostic and stop the reader cold — a corrupt
+// trace half-fed into an IDS would silently skew every downstream metric.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scidive/trace.h"
+
+namespace scidive::core {
+namespace {
+
+TEST(TraceError, BadMagicHeader) {
+  std::istringstream in("SPCAP2\n100 abcd\n");
+  TraceReader reader(in);
+  EXPECT_FALSE(reader.header_ok());
+  EXPECT_EQ(reader.error(), "missing SPCAP1 header");
+  pkt::Packet p;
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.packets_read(), 0u);
+}
+
+TEST(TraceError, EmptyStreamHasNoHeader) {
+  std::istringstream in("");
+  TraceReader reader(in);
+  EXPECT_FALSE(reader.header_ok());
+  EXPECT_EQ(reader.error(), "missing SPCAP1 header");
+}
+
+TEST(TraceError, LineWithoutTimestampSeparator) {
+  std::istringstream in("SPCAP1\nabcd\n");
+  TraceReader reader(in);
+  ASSERT_TRUE(reader.header_ok());
+  pkt::Packet p;
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.error(), "packet line without timestamp separator");
+}
+
+TEST(TraceError, NonNumericTimestamp) {
+  std::istringstream in("SPCAP1\nsoon abcd\n");
+  TraceReader reader(in);
+  pkt::Packet p;
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.error(), "bad timestamp: soon");
+}
+
+TEST(TraceError, OddLengthHexPayload) {
+  // A truncated capture line: the last byte lost its second nibble.
+  std::istringstream in("SPCAP1\n100 abcde\n");
+  TraceReader reader(in);
+  pkt::Packet p;
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.error(), "odd-length hex payload");
+}
+
+TEST(TraceError, NonHexByteInPayload) {
+  std::istringstream in("SPCAP1\n100 abzz\n");
+  TraceReader reader(in);
+  pkt::Packet p;
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.error(), "non-hex byte in payload");
+}
+
+TEST(TraceError, ErrorStopsTheStreamForGood) {
+  // Valid packets after a corrupt line must NOT be delivered: fail loudly,
+  // never resynchronize on a trace whose integrity is already gone.
+  std::istringstream in("SPCAP1\n1 aa\nbroken\n3 bb\n");
+  TraceReader reader(in);
+  pkt::Packet p;
+  ASSERT_TRUE(reader.next(&p));
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.error(), "packet line without timestamp separator");
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_EQ(reader.packets_read(), 1u);
+}
+
+TEST(TraceError, ReplaySurfacesReaderDiagnostics) {
+  std::istringstream in("SPCAP1\n1 aa\n2 abc\n");
+  auto result = replay_trace(in, [](const pkt::Packet&) {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message, "odd-length hex payload");
+}
+
+}  // namespace
+}  // namespace scidive::core
