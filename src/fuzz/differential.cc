@@ -1,0 +1,176 @@
+#include "fuzz/differential.h"
+
+#include <map>
+#include <string_view>
+
+#include "common/strings.h"
+
+namespace scidive::fuzz {
+namespace {
+
+/// (rule, session) -> count. The alert identity that must survive sharding.
+using AlertMultiset = std::map<std::pair<std::string, std::string>, size_t>;
+
+AlertMultiset alert_multiset(const std::vector<core::Alert>& alerts) {
+  AlertMultiset out;
+  for (const core::Alert& a : alerts) ++out[{a.rule, a.session}];
+  return out;
+}
+
+/// Detection-side metric families that must be topology-invariant. Packet,
+/// fragment and reassembly counters are deliberately absent: the single
+/// engine reassembles in its distiller while the sharded engine reassembles
+/// in the router, so those legitimately differ in placement.
+bool comparable_family(std::string_view name) {
+  return name == "scidive_events_total" || name == "scidive_events_by_type_total" ||
+         name == "scidive_alerts_total" || name == "scidive_rule_alerts_total" ||
+         name == "scidive_rule_events_total" || name == "scidive_parse_errors_total";
+}
+
+bool comparable_sample(const obs::Sample& s) {
+  if (s.kind != obs::InstrumentKind::kCounter) return false;
+  if (!comparable_family(s.name)) return false;
+  if (s.name == "scidive_parse_errors_total") {
+    // The ipv4 axis counts fragment-train failures, which land in the
+    // router (uncounted by shard distillers) under sharding.
+    for (const auto& [k, v] : s.labels) {
+      if (k == "proto" && v == "ipv4") return false;
+    }
+  }
+  return true;
+}
+
+std::string label_string(const obs::Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+void compare_metrics(const obs::Snapshot& single, obs::Snapshot sharded, size_t shards,
+                     std::vector<std::string>& mismatches) {
+  for (const obs::Sample& s : single.samples()) {
+    if (!comparable_sample(s)) continue;
+    uint64_t other = sharded.counter_value(s.name, s.labels);
+    if (other != s.counter) {
+      mismatches.push_back(str::format(
+          "%zu shards: %s{%s} = %llu, single = %llu", shards, s.name.c_str(),
+          label_string(s.labels).c_str(), static_cast<unsigned long long>(other),
+          static_cast<unsigned long long>(s.counter)));
+    }
+  }
+  // Reverse direction: a lazily-registered cell present only under sharding
+  // is itself a divergence.
+  for (const obs::Sample& s : sharded.samples()) {
+    if (!comparable_sample(s) || s.counter == 0) continue;
+    if (single.find(s.name, s.labels) == nullptr) {
+      mismatches.push_back(str::format(
+          "%zu shards: %s{%s} = %llu, absent from single engine", shards,
+          s.name.c_str(), label_string(s.labels).c_str(),
+          static_cast<unsigned long long>(s.counter)));
+    }
+  }
+}
+
+}  // namespace
+
+std::string DifferentialReport::to_string() const {
+  if (ok()) {
+    return str::format("differential oracle OK: %zu packets, %zu alerts", packets,
+                       single_alerts);
+  }
+  std::string out = str::format("differential oracle FAILED (%zu mismatches):",
+                                mismatches.size());
+  for (const std::string& m : mismatches) {
+    out += "\n  ";
+    out += m;
+  }
+  return out;
+}
+
+DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
+                                    const DifferentialConfig& config) {
+  DifferentialReport report;
+  report.packets = stream.size();
+
+  core::EngineConfig engine_config = config.engine;
+  engine_config.obs.time_stages = false;
+
+  core::ScidiveEngine single(engine_config);
+  for (const pkt::Packet& packet : stream) single.on_packet(packet);
+  const AlertMultiset single_alerts = alert_multiset(single.alerts().alerts());
+  const obs::Snapshot single_snapshot = single.metrics_snapshot();
+  report.single_alerts = single.alerts().alerts().size();
+  const core::EngineStats single_stats = single.stats();
+
+  for (size_t shards : config.shard_counts) {
+    core::ShardedEngineConfig sc;
+    sc.engine = engine_config;
+    sc.num_shards = shards;
+    sc.queue_capacity = config.queue_capacity;
+    sc.overflow = config.overflow;
+    core::ShardedEngine sharded(sc);
+    for (const pkt::Packet& packet : stream) sharded.on_packet(packet);
+    sharded.flush();
+
+    const core::ShardedEngineStats stats = sharded.stats();
+    if (stats.packets_seen != stream.size()) {
+      report.mismatches.push_back(str::format(
+          "%zu shards: front-end saw %llu of %zu packets", shards,
+          static_cast<unsigned long long>(stats.packets_seen), stream.size()));
+    }
+    // Every packet offered to the front-end is filtered, dropped on a full
+    // ring, held as an incomplete fragment in the router's reassembler, or
+    // seen by exactly one shard engine. Nothing may vanish.
+    const uint64_t held = sharded.router().stats().fragments_held;
+    if (stats.packets_seen != stats.packets_filtered + stats.packets_dropped + held +
+                                  stats.engine.packets_seen) {
+      report.mismatches.push_back(str::format(
+          "%zu shards: accounting identity broken: seen=%llu filtered=%llu "
+          "dropped=%llu held=%llu shard-seen=%llu",
+          shards, static_cast<unsigned long long>(stats.packets_seen),
+          static_cast<unsigned long long>(stats.packets_filtered),
+          static_cast<unsigned long long>(stats.packets_dropped),
+          static_cast<unsigned long long>(held),
+          static_cast<unsigned long long>(stats.engine.packets_seen)));
+    }
+    if (stats.packets_filtered != single_stats.packets_filtered) {
+      report.mismatches.push_back(str::format(
+          "%zu shards: filtered %llu packets, single filtered %llu", shards,
+          static_cast<unsigned long long>(stats.packets_filtered),
+          static_cast<unsigned long long>(single_stats.packets_filtered)));
+    }
+
+    // With drops in play (kDrop under saturation) the alert sets may
+    // legitimately differ — the lost packets are counted, not hidden.
+    if (stats.packets_dropped != 0) continue;
+
+    const AlertMultiset sharded_alerts = alert_multiset(sharded.merged_alerts());
+    if (sharded_alerts != single_alerts) {
+      for (const auto& [key, n] : single_alerts) {
+        auto it = sharded_alerts.find(key);
+        size_t have = it == sharded_alerts.end() ? 0 : it->second;
+        if (have != n) {
+          report.mismatches.push_back(str::format(
+              "%zu shards: alert (%s, %s) x%zu, single has x%zu", shards,
+              key.first.c_str(), key.second.c_str(), have, n));
+        }
+      }
+      for (const auto& [key, n] : sharded_alerts) {
+        if (single_alerts.find(key) == single_alerts.end()) {
+          report.mismatches.push_back(str::format(
+              "%zu shards: extra alert (%s, %s) x%zu not raised by single engine",
+              shards, key.first.c_str(), key.second.c_str(), n));
+        }
+      }
+    }
+
+    compare_metrics(single_snapshot, sharded.metrics_snapshot(), shards,
+                    report.mismatches);
+  }
+  return report;
+}
+
+}  // namespace scidive::fuzz

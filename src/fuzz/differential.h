@@ -1,0 +1,50 @@
+// Single-vs-sharded differential oracle. The ShardedEngine's contract is
+// that session-affinity routing changes *where* state lives, never *what*
+// is detected — so for any packet stream, benign or adversarial, a sharded
+// engine must raise the same (rule, session) alert multiset as a single
+// ScidiveEngine, and (when nothing is dropped) agree on the detection-side
+// metric families. run_differential() checks that contract across a set of
+// shard counts and reports every divergence it finds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pkt/packet.h"
+#include "scidive/sharded_engine.h"
+
+namespace scidive::fuzz {
+
+struct DifferentialConfig {
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  core::OverflowPolicy overflow = core::OverflowPolicy::kBlock;
+  size_t queue_capacity = 4096;
+  /// Base per-engine configuration. time_stages is forced off (wall-clock
+  /// histograms can never be equal) and the home scope is left as given.
+  core::EngineConfig engine;
+};
+
+struct DifferentialReport {
+  size_t packets = 0;
+  size_t single_alerts = 0;
+  /// Human-readable divergence descriptions; empty means the oracle holds.
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string to_string() const;
+};
+
+/// Feed `stream` through one single-threaded engine and one ShardedEngine
+/// per configured shard count, all built from the same EngineConfig, and
+/// compare:
+///   - the (rule, session) alert multiset (always);
+///   - the accounting identity seen == filtered + dropped + shard-seen
+///     (always);
+///   - the detection metric families — events, events by type, alerts,
+///     per-rule alerts, and parse errors excluding the ipv4 axis — when the
+///     run was lossless (reassembly placement differs between the two
+///     topologies, so packet/fragment counters are out of scope by design).
+DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
+                                    const DifferentialConfig& config = {});
+
+}  // namespace scidive::fuzz

@@ -1,0 +1,125 @@
+#include "fuzz/fuzz_targets.h"
+
+#include <span>
+#include <string_view>
+
+#include "pkt/fragment.h"
+#include "rtp/rtcp.h"
+#include "rtp/rtp.h"
+#include "scidive/distiller.h"
+#include "scidive/engine.h"
+#include "sip/message.h"
+#include "sip/sdp.h"
+
+namespace scidive::fuzz {
+namespace {
+
+/// Iterate [u16 be length][bytes] records; a final short record is taken
+/// as-is (fuzzers routinely truncate, and the tail bytes are still input).
+template <typename Fn>
+void for_each_record(const uint8_t* data, size_t size, Fn&& fn) {
+  size_t pos = 0;
+  while (pos + 2 <= size) {
+    size_t len = static_cast<size_t>(data[pos]) << 8 | data[pos + 1];
+    pos += 2;
+    len = std::min(len, size - pos);
+    fn(std::span<const uint8_t>(data + pos, len));
+    pos += len;
+    if (len == 0) break;  // zero-length records would loop forever
+  }
+}
+
+}  // namespace
+
+int fuzz_sip_message(const uint8_t* data, size_t size) {
+  auto parsed = sip::SipMessage::parse(std::span<const uint8_t>(data, size));
+  if (!parsed.ok()) return 0;
+  const sip::SipMessage& msg = parsed.value();
+  // Touch every lazy accessor; none may crash on a parsed message.
+  (void)msg.call_id();
+  (void)msg.cseq();
+  (void)msg.from();
+  (void)msg.to();
+  (void)msg.contact();
+  (void)msg.top_via();
+  (void)msg.expires();
+  (void)msg.max_forwards();
+  (void)msg.well_formed();
+  // Round trip: the serializer must accept anything the parser produced.
+  (void)sip::SipMessage::parse(msg.to_string());
+  return 0;
+}
+
+int fuzz_sdp(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = sip::Sdp::parse(text);
+  if (parsed.ok()) {
+    (void)parsed.value().audio();
+    (void)sip::Sdp::parse(parsed.value().to_string());
+  }
+  return 0;
+}
+
+int fuzz_rtp(const uint8_t* data, size_t size) {
+  auto parsed = rtp::parse_rtp(std::span<const uint8_t>(data, size));
+  if (parsed.ok()) {
+    Bytes wire = rtp::serialize_rtp(parsed.value().header, parsed.value().payload);
+    (void)rtp::parse_rtp(wire);
+  }
+  return 0;
+}
+
+int fuzz_rtcp(const uint8_t* data, size_t size) {
+  auto parsed = rtp::parse_rtcp(std::span<const uint8_t>(data, size));
+  if (parsed.ok()) {
+    const rtp::RtcpPacket& p = parsed.value();
+    if (p.sr) (void)rtp::serialize_rtcp(*p.sr);
+    if (p.rr) (void)rtp::serialize_rtcp(*p.rr);
+    if (p.bye) (void)rtp::serialize_rtcp(*p.bye);
+  }
+  return 0;
+}
+
+int fuzz_fragment_reassembly(const uint8_t* data, size_t size) {
+  pkt::Ipv4Reassembler reassembler;
+  SimTime now = 0;
+  for_each_record(data, size, [&](std::span<const uint8_t> record) {
+    now += msec(1);
+    (void)reassembler.push(record, now);
+  });
+  // Jump past the timeout so every pending assembly expires (leak check).
+  (void)reassembler.expire(now + sec(60));
+  return 0;
+}
+
+int fuzz_distiller(const uint8_t* data, size_t size) {
+  core::Distiller distiller;
+  SimTime now = 0;
+  for_each_record(data, size, [&](std::span<const uint8_t> record) {
+    now += msec(1);
+    pkt::Packet packet;
+    packet.data.assign(record.begin(), record.end());
+    packet.timestamp = now;
+    (void)distiller.distill(packet);
+  });
+  return 0;
+}
+
+int fuzz_engine(const uint8_t* data, size_t size) {
+  core::EngineConfig config;
+  config.obs.time_stages = false;  // determinism; wall clock is irrelevant here
+  core::ScidiveEngine engine(config);
+  SimTime now = 0;
+  for_each_record(data, size, [&](std::span<const uint8_t> record) {
+    now += msec(1);
+    pkt::Packet packet;
+    packet.data.assign(record.begin(), record.end());
+    packet.timestamp = now;
+    engine.on_packet(packet);
+  });
+  engine.expire_idle(now + sec(120));
+  (void)engine.metrics_snapshot();
+  return 0;
+}
+
+}  // namespace scidive::fuzz

@@ -1,0 +1,60 @@
+// Fuzz entry points shared by two drivers:
+//   - libFuzzer executables (src/fuzz/targets/*.cc, built only when the
+//     compiler is Clang and SCIDIVE_FUZZ=ON) call one target per binary;
+//   - the ctest corpus-replay tests call every target over the checked-in
+//     corpus plus a deterministic seeded input set, so the same code paths
+//     are exercised on every platform without a fuzzing toolchain.
+//
+// Each target must be total: any byte string returns 0 without crashing,
+// hanging or allocating unboundedly. Multi-packet targets interpret the
+// input as length-prefixed records ([u16 be length][bytes] repeated) so a
+// fuzzer can evolve packet sequences, not just single packets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scidive::fuzz {
+
+/// SIP message grammar: SipMessage::parse + reserialization + the lazy
+/// structured-header accessors.
+int fuzz_sip_message(const uint8_t* data, size_t size);
+
+/// SDP body parser.
+int fuzz_sdp(const uint8_t* data, size_t size);
+
+/// RTP codec: parse, and reserialize-reparse when the input parses.
+int fuzz_rtp(const uint8_t* data, size_t size);
+
+/// RTCP compound parser.
+int fuzz_rtcp(const uint8_t* data, size_t size);
+
+/// IPv4 fragment reassembly: input is length-prefixed datagram records fed
+/// to one Ipv4Reassembler with advancing timestamps (exercises overlap,
+/// duplicate and hole handling plus expiry).
+int fuzz_fragment_reassembly(const uint8_t* data, size_t size);
+
+/// Full Distiller over length-prefixed packet records.
+int fuzz_distiller(const uint8_t* data, size_t size);
+
+/// Whole single-threaded engine (distiller + trails + events + rules) over
+/// length-prefixed packet records.
+int fuzz_engine(const uint8_t* data, size_t size);
+
+struct FuzzTarget {
+  const char* name;
+  int (*fn)(const uint8_t*, size_t);
+};
+
+/// Every target above, for table-driven replay tests.
+constexpr FuzzTarget kFuzzTargets[] = {
+    {"sip_message", fuzz_sip_message},
+    {"sdp", fuzz_sdp},
+    {"rtp", fuzz_rtp},
+    {"rtcp", fuzz_rtcp},
+    {"fragment_reassembly", fuzz_fragment_reassembly},
+    {"distiller", fuzz_distiller},
+    {"engine", fuzz_engine},
+};
+
+}  // namespace scidive::fuzz

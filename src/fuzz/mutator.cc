@@ -1,0 +1,315 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "pkt/fragment.h"
+
+namespace scidive::fuzz {
+
+void Mutator::bit_flip(Bytes& b) {
+  if (b.empty()) return;
+  int flips = 1 + static_cast<int>(rng_.uniform_int(0, 7));
+  for (int i = 0; i < flips; ++i) {
+    size_t at = index_in(b.size());
+    b[at] ^= static_cast<uint8_t>(1u << rng_.uniform_int(0, 7));
+  }
+}
+
+void Mutator::truncate(Bytes& b) {
+  if (b.empty()) return;
+  b.resize(index_in(b.size() + 1));
+}
+
+void Mutator::insert_random(Bytes& b) {
+  size_t n = 1 + index_in(16);
+  size_t at = index_in(b.size() + 1);
+  Bytes extra(n);
+  for (auto& c : extra) c = static_cast<uint8_t>(rng_.next_u32());
+  b.insert(b.begin() + static_cast<ptrdiff_t>(at), extra.begin(), extra.end());
+}
+
+void Mutator::erase_region(Bytes& b) {
+  if (b.empty()) return;
+  size_t at = index_in(b.size());
+  size_t n = 1 + index_in(b.size() - at);
+  b.erase(b.begin() + static_cast<ptrdiff_t>(at), b.begin() + static_cast<ptrdiff_t>(at + n));
+}
+
+void Mutator::overwrite_random(Bytes& b) {
+  if (b.empty()) return;
+  size_t at = index_in(b.size());
+  size_t n = 1 + index_in(b.size() - at);
+  for (size_t i = 0; i < n; ++i) b[at + i] = static_cast<uint8_t>(rng_.next_u32());
+}
+
+void Mutator::duplicate_region(Bytes& b) {
+  if (b.empty()) return;
+  size_t at = index_in(b.size());
+  size_t n = 1 + index_in(std::min<size_t>(b.size() - at, 64));
+  Bytes region(b.begin() + static_cast<ptrdiff_t>(at),
+               b.begin() + static_cast<ptrdiff_t>(at + n));
+  size_t dest = index_in(b.size() + 1);
+  b.insert(b.begin() + static_cast<ptrdiff_t>(dest), region.begin(), region.end());
+}
+
+void Mutator::splice(Bytes& b, const Bytes& donor) {
+  if (donor.empty()) return;
+  size_t keep = index_in(b.size() + 1);
+  size_t from = index_in(donor.size());
+  b.resize(keep);
+  b.insert(b.end(), donor.begin() + static_cast<ptrdiff_t>(from), donor.end());
+}
+
+void Mutator::mutate_bytes(Bytes& b, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    switch (rng_.uniform_int(0, 5)) {
+      case 0: bit_flip(b); break;
+      case 1: truncate(b); break;
+      case 2: insert_random(b); break;
+      case 3: erase_region(b); break;
+      case 4: overwrite_random(b); break;
+      case 5: duplicate_region(b); break;
+    }
+  }
+}
+
+std::string Mutator::tear_lines(std::string_view msg) {
+  std::string out;
+  out.reserve(msg.size() + 8);
+  size_t pos = 0;
+  while (pos < msg.size()) {
+    size_t eol = msg.find("\r\n", pos);
+    if (eol == std::string_view::npos) {
+      out.append(msg.substr(pos));
+      break;
+    }
+    out.append(msg.substr(pos, eol - pos));
+    switch (rng_.uniform_int(0, 4)) {
+      case 0: out += "\r\n"; break;  // intact
+      case 1: out += '\r'; break;    // lone CR
+      case 2: out += '\n'; break;    // lone LF
+      case 3: out += "\r\r\n"; break;
+      case 4:
+        // Break the next line mid-token with a stray CRLF.
+        out += "\r\n\r";
+        break;
+    }
+    pos = eol + 2;
+  }
+  return out;
+}
+
+std::string Mutator::lie_content_length(std::string_view msg) {
+  std::string out(msg);
+  std::string lie = str::format("Content-Length: %llu\r\n",
+                                static_cast<unsigned long long>(rng_.uniform_int(0, 1 << 20)));
+  if (rng_.chance(0.25)) lie = "Content-Length: 18446744073709551616\r\n";  // u64 overflow
+  if (rng_.chance(0.25)) lie = "Content-Length: -1\r\n";
+  size_t hdr_end = out.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) {
+    out += lie;
+  } else {
+    out.insert(hdr_end + 2, lie);
+  }
+  return out;
+}
+
+std::string Mutator::duplicate_header(std::string_view msg) {
+  // Collect header lines (between start line and the blank line).
+  size_t start = msg.find("\r\n");
+  size_t hdr_end = msg.find("\r\n\r\n");
+  if (start == std::string_view::npos) return std::string(msg);
+  if (hdr_end == std::string_view::npos) hdr_end = msg.size();
+  std::vector<std::pair<size_t, size_t>> lines;  // (pos, len)
+  size_t pos = start + 2;
+  while (pos < hdr_end) {
+    size_t eol = msg.find("\r\n", pos);
+    if (eol == std::string_view::npos || eol > hdr_end) eol = hdr_end;
+    if (eol > pos) lines.emplace_back(pos, eol - pos);
+    pos = eol + 2;
+  }
+  if (lines.empty()) return std::string(msg);
+  auto [lpos, llen] = lines[index_in(lines.size())];
+  std::string line(msg.substr(lpos, llen));
+  if (rng_.chance(0.5) && !line.empty()) {
+    // Same name, different value: header-priority confusion.
+    size_t colon = line.find(':');
+    if (colon != std::string::npos)
+      line = line.substr(0, colon + 1) + " " +
+             str::format("%llu", static_cast<unsigned long long>(rng_.next_u32()));
+  }
+  std::string out(msg);
+  out.insert(lpos, line + "\r\n");
+  return out;
+}
+
+std::string Mutator::splice_headers(std::string_view a, std::string_view b) {
+  size_t cut_a = a.find("\r\n");
+  if (cut_a == std::string_view::npos) cut_a = a.size();
+  // Keep the start line plus a random number of a's header lines.
+  size_t keep = cut_a + 2;
+  int keep_lines = static_cast<int>(rng_.uniform_int(0, 4));
+  for (int i = 0; i < keep_lines && keep < a.size(); ++i) {
+    size_t eol = a.find("\r\n", keep);
+    if (eol == std::string_view::npos) break;
+    keep = eol + 2;
+  }
+  keep = std::min(keep, a.size());
+  size_t from = b.find("\r\n");
+  from = from == std::string_view::npos ? 0 : from + 2;
+  std::string out(a.substr(0, keep));
+  out.append(b.substr(std::min(from, b.size())));
+  return out;
+}
+
+std::string Mutator::mutate_sip(std::string_view msg) {
+  switch (rng_.uniform_int(0, 3)) {
+    case 0: return tear_lines(msg);
+    case 1: return lie_content_length(msg);
+    case 2: return duplicate_header(msg);
+    default: {
+      Bytes b(msg.begin(), msg.end());
+      mutate_bytes(b, 2);
+      return std::string(b.begin(), b.end());
+    }
+  }
+}
+
+void Mutator::lie_length_fields(Bytes& datagram) {
+  if (datagram.size() < pkt::kIpv4MinHeaderLen + pkt::kUdpHeaderLen) return;
+  const size_t ihl = std::min<size_t>(static_cast<size_t>(datagram[0] & 0x0f) * 4,
+                                      datagram.size() - pkt::kUdpHeaderLen);
+  auto put16 = [&](size_t at, uint16_t v) {
+    datagram[at] = static_cast<uint8_t>(v >> 8);
+    datagram[at + 1] = static_cast<uint8_t>(v);
+  };
+  uint16_t lie = static_cast<uint16_t>(rng_.next_u32());
+  if (rng_.chance(0.5)) {
+    put16(2, lie);  // IPv4 total_length
+  } else if (ihl >= pkt::kIpv4MinHeaderLen) {
+    put16(ihl + 4, lie);  // UDP length
+  }
+  if (rng_.chance(0.5) && ihl >= pkt::kIpv4MinHeaderLen) {
+    // Re-patch the IPv4 header checksum so the lie passes validation and
+    // reaches the UDP/payload layers instead of dying at the header check.
+    put16(10, 0);
+    uint16_t csum = internet_checksum(std::span<const uint8_t>(datagram.data(), ihl));
+    put16(10, csum);
+  }
+}
+
+pkt::Packet Mutator::mutate_packet(const pkt::Packet& packet) {
+  pkt::Packet out = packet;
+  switch (rng_.uniform_int(0, 2)) {
+    case 0:
+      mutate_bytes(out.data, 1 + static_cast<int>(rng_.uniform_int(0, 2)));
+      break;
+    case 1:
+      lie_length_fields(out.data);
+      break;
+    default: {
+      // Damage only the UDP payload, leaving the carrier intact — reaches
+      // the application-layer parsers with maximum probability.
+      if (out.data.size() > pkt::kIpv4MinHeaderLen + pkt::kUdpHeaderLen) {
+        size_t start = pkt::kIpv4MinHeaderLen + pkt::kUdpHeaderLen;
+        size_t at = start + index_in(out.data.size() - start);
+        size_t n = 1 + index_in(out.data.size() - at);
+        for (size_t i = 0; i < n; ++i)
+          out.data[at + i] = static_cast<uint8_t>(rng_.next_u32());
+      } else {
+        bit_flip(out.data);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<pkt::Packet> Mutator::adversarial_fragments(const pkt::Packet& whole) {
+  std::vector<pkt::Packet> out;
+  auto parsed = pkt::parse_ipv4(whole.data);
+  if (!parsed.ok() || parsed.value().header.is_fragment() ||
+      parsed.value().payload.size() < 16) {
+    out.push_back(whole);
+    return out;
+  }
+  const pkt::Ipv4Header& h = parsed.value().header;
+  auto payload = parsed.value().payload;
+
+  auto frag = [&](uint16_t offset_units, bool more, std::span<const uint8_t> bytes) {
+    pkt::Ipv4Header fh = h;
+    fh.fragment_offset = offset_units;
+    fh.more_fragments = more;
+    pkt::Packet p;
+    p.data = pkt::serialize_ipv4(fh, bytes);
+    p.timestamp = whole.timestamp;
+    return p;
+  };
+
+  // Split the payload into 8-byte-aligned thirds.
+  const size_t third = std::max<size_t>(8, payload.size() / 3 / 8 * 8);
+  const size_t a_len = std::min(third, payload.size());
+  const size_t b_len = std::min(third, payload.size() - a_len);
+  std::span<const uint8_t> part_a = payload.subspan(0, a_len);
+  std::span<const uint8_t> part_b = payload.subspan(a_len, b_len);
+  std::span<const uint8_t> part_c = payload.subspan(a_len + b_len);
+
+  switch (rng_.uniform_int(0, 6)) {
+    case 0: {
+      // Overlap past the final end: a short MF=0 fragment establishes the
+      // total, then an overlapping longer fragment extends beyond it (the
+      // reassembler overflow shape).
+      out.push_back(frag(static_cast<uint16_t>(a_len / 8), false, part_b));
+      out.push_back(frag(0, true, payload));  // overlaps and extends past
+      break;
+    }
+    case 1: {
+      // Duplicate offset, different content.
+      Bytes twisted(part_a.begin(), part_a.end());
+      for (auto& c : twisted) c ^= 0x5a;
+      out.push_back(frag(0, true, part_a));
+      out.push_back(frag(0, true, twisted));
+      out.push_back(frag(static_cast<uint16_t>(a_len / 8), false,
+                         payload.subspan(a_len)));
+      break;
+    }
+    case 2: {
+      // Hole: drop the middle fragment. The assembly must pend, then expire.
+      out.push_back(frag(0, true, part_a));
+      out.push_back(frag(static_cast<uint16_t>((a_len + b_len) / 8), false, part_c));
+      break;
+    }
+    case 3: {
+      // Reverse delivery order (last fragment first).
+      out.push_back(frag(static_cast<uint16_t>((a_len + b_len) / 8), false, part_c));
+      out.push_back(frag(static_cast<uint16_t>(a_len / 8), true, part_b));
+      out.push_back(frag(0, true, part_a));
+      break;
+    }
+    case 4: {
+      // Zero-length fragment in the middle of the train.
+      out.push_back(frag(0, true, part_a));
+      out.push_back(frag(static_cast<uint16_t>(a_len / 8), true, {}));
+      out.push_back(frag(static_cast<uint16_t>(a_len / 8), false, payload.subspan(a_len)));
+      break;
+    }
+    case 5: {
+      // Offset lie: a fragment claiming to sit near the 64 KiB boundary.
+      out.push_back(frag(0, true, part_a));
+      out.push_back(frag(8100, false, part_b));
+      break;
+    }
+    default: {
+      // Oversize train: duplicate the full payload at stacked offsets so
+      // the claimed datagram exceeds every sane bound.
+      out.push_back(frag(0, true, payload));
+      out.push_back(frag(static_cast<uint16_t>(payload.size() / 8), true, payload));
+      out.push_back(frag(static_cast<uint16_t>(payload.size() / 4), false, payload));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace scidive::fuzz

@@ -1,0 +1,89 @@
+// Structure-aware adversarial mutator. Every mutation draws from one seeded
+// Rng, so a (seed, op-sequence) pair replays byte-identically — the property
+// the corpus-replay tests and the differential oracle depend on.
+//
+// Three layers of mutation, matching the attack surface SecSip-style work
+// identifies in SIP/VoIP stacks:
+//   - raw bytes: bit flips, truncation, insertion, splicing — exercises
+//     every bounds check in the binary codecs;
+//   - SIP text: torn CRLF lines, Content-Length lies, duplicated and spliced
+//     headers, fold abuse — exercises the message grammar;
+//   - packet/fragment: length-field lies with re-patched IPv4 checksums (so
+//     the lie survives the header checksum and reaches deeper layers) and
+//     adversarial fragment trains (overlap, duplicate, hole, zero-length,
+//     offset lies) — exercises reassembly state machines.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "pkt/packet.h"
+
+namespace scidive::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(uint64_t seed) : rng_(seed) {}
+
+  Rng& rng() { return rng_; }
+
+  // --- raw byte mutations (no structural knowledge) ---
+
+  /// Flip 1..8 random bits.
+  void bit_flip(Bytes& b);
+  /// Cut the buffer at a random point (possibly to zero length).
+  void truncate(Bytes& b);
+  /// Insert 1..16 random bytes at a random position.
+  void insert_random(Bytes& b);
+  /// Erase a random region.
+  void erase_region(Bytes& b);
+  /// Overwrite a random region with random bytes.
+  void overwrite_random(Bytes& b);
+  /// Duplicate a random region in place (length-field confusion fodder).
+  void duplicate_region(Bytes& b);
+  /// Replace the tail of `b` with the tail of `donor` (header splicing).
+  void splice(Bytes& b, const Bytes& donor);
+  /// Apply `rounds` randomly chosen byte mutations from the set above.
+  void mutate_bytes(Bytes& b, int rounds = 1);
+
+  // --- SIP text mutations (grammar-aware) ---
+
+  /// Tear line endings: CRLF becomes lone CR, lone LF, CR LF CR, or a line
+  /// broken mid-token — the torn-message surface stressed by SecSip.
+  std::string tear_lines(std::string_view msg);
+  /// Rewrite or inject a Content-Length that disagrees with the body.
+  std::string lie_content_length(std::string_view msg);
+  /// Duplicate a random header line (possibly with a different value).
+  std::string duplicate_header(std::string_view msg);
+  /// Take the start-line + first headers of `a` and the rest of `b`.
+  std::string splice_headers(std::string_view a, std::string_view b);
+  /// Apply one randomly chosen SIP text mutation.
+  std::string mutate_sip(std::string_view msg);
+
+  // --- packet-level mutations (codec-aware) ---
+
+  /// Lie in a length field (IPv4 total_length or UDP length). With
+  /// probability 1/2 the IPv4 header checksum is re-patched so the packet
+  /// passes header validation and the lie reaches the UDP/payload parsers.
+  void lie_length_fields(Bytes& datagram);
+  /// One random packet mutation: bytes, length lie, or payload-only damage.
+  pkt::Packet mutate_packet(const pkt::Packet& packet);
+
+  /// Turn a whole (unfragmented) datagram into an adversarial fragment
+  /// train: overlapping fragments (including the overlap-past-final-end
+  /// shape), duplicated offsets with different content, a dropped middle
+  /// fragment, reordering, zero-length fragments, or an offset lie.
+  /// Returns the train in delivery order; timestamps are copied from the
+  /// input packet.
+  std::vector<pkt::Packet> adversarial_fragments(const pkt::Packet& whole);
+
+ private:
+  size_t index_in(size_t size) { return static_cast<size_t>(rng_.uniform_int(0, static_cast<int64_t>(size) - 1)); }
+
+  Rng rng_;
+};
+
+}  // namespace scidive::fuzz

@@ -38,15 +38,14 @@ Network::Attachment* Network::find(NetworkNode& node) {
 void Network::send(NetworkNode& from, pkt::Packet packet) {
   Attachment* a = find(from);
   assert(a != nullptr && "sender not attached");
-  transmit(a, a->link, std::move(packet));
+  transmit(a->link, a->burst_bad, std::move(packet));
 }
 
 void Network::inject(pkt::Packet packet, const LinkConfig& link) {
-  transmit(nullptr, link, std::move(packet));
+  transmit(link, inject_burst_bad_, std::move(packet));
 }
 
-void Network::transmit(const Attachment* from_attachment, const LinkConfig& uplink,
-                       pkt::Packet packet) {
+void Network::transmit(const LinkConfig& uplink, bool& burst_bad, pkt::Packet packet) {
   ++stats_.packets_sent;
 
   // Fragment at the sender if the datagram exceeds the uplink MTU.
@@ -60,21 +59,54 @@ void Network::transmit(const Attachment* from_attachment, const LinkConfig& upli
     // judge it. A real hub forwards bytes it cannot interpret.
     wire_units.push_back(std::move(packet.data));
   }
-  (void)from_attachment;
 
+  const FaultConfig& faults = uplink.faults;
   for (auto& unit : wire_units) {
     // Uplink: sender -> hub.
+    if (faults.burst_enter > 0) {
+      // Gilbert-Elliott two-state chain, advanced once per wire unit.
+      if (burst_bad) {
+        if (rng_.chance(faults.burst_exit)) burst_bad = false;
+      } else if (rng_.chance(faults.burst_enter)) {
+        burst_bad = true;
+      }
+      if (burst_bad && rng_.chance(faults.burst_loss)) {
+        ++stats_.packets_lost;
+        ++stats_.packets_lost_burst;
+        continue;
+      }
+    }
     if (rng_.chance(uplink.loss)) {
       ++stats_.packets_lost;
       continue;
     }
-    SimDuration up_delay = uplink.delay.sample(rng_);
-    pkt::Packet on_wire;
-    on_wire.data = std::move(unit);
-    sim_.after(up_delay, [this, on_wire = std::move(on_wire)]() mutable {
-      on_wire.timestamp = sim_.now();
-      deliver_fragment(std::move(on_wire));
-    });
+    if (faults.corrupt > 0 && !unit.empty() && rng_.chance(faults.corrupt)) {
+      // Damage the unit in place; checksums are left stale on purpose.
+      size_t n = 1 + static_cast<size_t>(rng_.uniform_int(
+                         0, static_cast<int64_t>(faults.corrupt_max_bytes) - 1));
+      for (size_t i = 0; i < n; ++i) {
+        size_t at = static_cast<size_t>(
+            rng_.uniform_int(0, static_cast<int64_t>(unit.size()) - 1));
+        unit[at] = static_cast<uint8_t>(rng_.next_u32());
+      }
+      ++stats_.packets_corrupted;
+    }
+    const int copies =
+        (faults.duplicate > 0 && rng_.chance(faults.duplicate)) ? 2 : 1;
+    if (copies == 2) ++stats_.packets_duplicated;
+    for (int c = 0; c < copies; ++c) {
+      SimDuration up_delay = uplink.delay.sample(rng_);
+      if (faults.reorder > 0 && rng_.chance(faults.reorder)) {
+        up_delay += faults.reorder_window;
+        ++stats_.packets_reordered;
+      }
+      pkt::Packet on_wire;
+      on_wire.data = (c + 1 < copies) ? unit : std::move(unit);
+      sim_.after(up_delay, [this, on_wire = std::move(on_wire)]() mutable {
+        on_wire.timestamp = sim_.now();
+        deliver_fragment(std::move(on_wire));
+      });
+    }
   }
 }
 

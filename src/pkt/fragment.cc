@@ -47,7 +47,13 @@ Result<Bytes> Ipv4Reassembler::push(std::span<const uint8_t> datagram, SimTime n
 
   uint32_t off = h.payload_offset_bytes();
   auto payload = parsed.value().payload;
-  if (off + payload.size() > config_.max_datagram_size) {
+  // The reassembled datagram must be representable: its total_length field
+  // is 16 bits, so the payload can never exceed 65535 minus the header —
+  // independent of any (larger) configured max_datagram_size.
+  const uint32_t hard_cap = std::min<uint32_t>(
+      static_cast<uint32_t>(config_.max_datagram_size),
+      static_cast<uint32_t>(UINT16_MAX) - kIpv4MinHeaderLen);
+  if (off + payload.size() > hard_cap) {
     pending_.erase(key);
     return Error{Errc::kMalformed, "fragment past max datagram size"};
   }
@@ -70,13 +76,19 @@ Result<Bytes> Ipv4Reassembler::try_complete(const Key& key, Assembly& assembly) 
   // Walk the parts checking for holes. Overlaps take the earlier fragment's
   // bytes for the overlapping region (first-arrival wins within the map
   // ordering; offsets are the map key so a duplicate offset overwrites).
-  Bytes payload(assembly.total_payload_len, 0);
+  // A fragment may extend past the end established by the MF=0 fragment
+  // (offsets are attacker-controlled); everything beyond total_payload_len
+  // is discarded, never written.
+  const uint32_t total = assembly.total_payload_len;
+  Bytes payload(total, 0);
   uint32_t covered = 0;
   for (const auto& [off, part] : assembly.parts) {
+    if (covered == total) break;  // stray parts beyond the end are ignored
     if (off > covered) return Error{Errc::kState, "incomplete"};  // hole
-    uint32_t end = off + static_cast<uint32_t>(part.size());
+    uint32_t end = std::min(off + static_cast<uint32_t>(part.size()), total);
     if (end > covered) {
-      std::copy(part.begin() + (covered - off), part.end(), payload.begin() + covered);
+      std::copy(part.begin() + (covered - off), part.begin() + (end - off),
+                payload.begin() + covered);
       covered = end;
     }
   }

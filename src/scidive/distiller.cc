@@ -24,6 +24,20 @@ std::string_view protocol_name(Protocol p) {
   return "?";
 }
 
+std::string_view parse_proto_name(ParseProto p) {
+  switch (p) {
+    case ParseProto::kIpv4: return "ipv4";
+    case ParseProto::kUdp: return "udp";
+    case ParseProto::kSip: return "sip";
+    case ParseProto::kRtp: return "rtp";
+    case ParseProto::kRtcp: return "rtcp";
+    case ParseProto::kAcc: return "acc";
+    case ParseProto::kH225: return "h225";
+    case ParseProto::kRas: return "ras";
+  }
+  return "?";
+}
+
 Distiller::Distiller(DistillerConfig config)
     : config_(std::move(config)),
       reassembler_(pkt::Ipv4Reassembler::Config{.timeout = config_.reassembly_timeout}) {}
@@ -36,6 +50,7 @@ std::optional<Footprint> Distiller::distill(const pkt::Packet& packet) {
   auto ip = pkt::parse_ipv4(packet.data);
   if (!ip) {
     ++stats_.undecodable;
+    stats_.parse_errors.record(ParseProto::kIpv4, ip.error().code);
     return std::nullopt;
   }
   std::span<const uint8_t> datagram = packet.data;
@@ -43,10 +58,12 @@ std::optional<Footprint> Distiller::distill(const pkt::Packet& packet) {
   if (ip.value().header.is_fragment()) {
     auto whole = reassembler_.push(packet.data, packet.timestamp);
     if (!whole) {
-      if (whole.error().code == Errc::kState)
+      if (whole.error().code == Errc::kState) {
         ++stats_.fragments_held;
-      else
+      } else {
         ++stats_.undecodable;
+        stats_.parse_errors.record(ParseProto::kIpv4, whole.error().code);
+      }
       return std::nullopt;
     }
     reassembled = std::move(whole.value());
@@ -56,6 +73,7 @@ std::optional<Footprint> Distiller::distill(const pkt::Packet& packet) {
   auto udp = pkt::parse_udp_packet(datagram);
   if (!udp) {
     ++stats_.undecodable;
+    stats_.parse_errors.record(ParseProto::kUdp, udp.error().code);
     return std::nullopt;
   }
   Footprint fp = decode(udp.value(), packet.timestamp, packet.data.size());
@@ -141,6 +159,7 @@ Footprint Distiller::decode(const pkt::UdpPacketView& udp, SimTime time, size_t 
     }
     // "OK n" acknowledgements and garbage on the ACC port fall through to
     // an unknown footprint in the ACC column.
+    stats_.parse_errors.record(ParseProto::kAcc, record.error().code);
     fp.protocol = Protocol::kAcc;
     fp.data = UnknownFootprint{"unparsed acc datagram"};
     return fp;
@@ -155,6 +174,7 @@ Footprint Distiller::decode(const pkt::UdpPacketView& udp, SimTime time, size_t 
     }
     // A SIP-port packet that does not parse is itself a signal (malformed
     // SIP is event material for the billing-fraud rule).
+    stats_.parse_errors.record(ParseProto::kSip, msg.error().code);
     fp.protocol = Protocol::kSip;
     SipFootprint s;
     s.well_formed = false;
@@ -183,6 +203,7 @@ Footprint Distiller::decode(const pkt::UdpPacketView& udp, SimTime time, size_t 
       fp.data = std::move(h);
       return fp;
     }
+    stats_.parse_errors.record(ParseProto::kH225, q931.error().code);
     fp.protocol = Protocol::kH225;
     fp.data = UnknownFootprint{"unparsed h225 datagram"};
     return fp;
@@ -202,6 +223,7 @@ Footprint Distiller::decode(const pkt::UdpPacketView& udp, SimTime time, size_t 
       fp.data = std::move(r);
       return fp;
     }
+    stats_.parse_errors.record(ParseProto::kRas, ras.error().code);
     fp.protocol = Protocol::kRas;
     fp.data = UnknownFootprint{"unparsed ras datagram"};
     return fp;
@@ -237,6 +259,10 @@ Footprint Distiller::decode(const pkt::UdpPacketView& udp, SimTime time, size_t 
     return fp;
   }
 
+  // Not RTP either: charge the failure to RTP (the final classification
+  // attempt). An RTCP miss on an odd port is not counted separately — the
+  // RTCP attempt is speculative and falls through here.
+  stats_.parse_errors.record(ParseProto::kRtp, rtp.error().code);
   fp.protocol = Protocol::kUnknown;
   fp.data = UnknownFootprint{rtp.error().to_string()};
   return fp;

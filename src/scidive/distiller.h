@@ -28,6 +28,31 @@ struct DistillerConfig {
   SimDuration reassembly_timeout = sec(30);
 };
 
+/// Which wire protocol a parse failure was charged to. Unlike Protocol this
+/// includes the carrier layers (IPv4/UDP), which fail before classification.
+enum class ParseProto : uint8_t { kIpv4, kUdp, kSip, kRtp, kRtcp, kAcc, kH225, kRas };
+constexpr size_t kParseProtoCount = 8;
+std::string_view parse_proto_name(ParseProto p);
+
+/// Errc values are dense (kOk..kState); used as the reason axis.
+constexpr size_t kParseReasonCount = 8;
+
+/// Parse failures on untrusted input, by (protocol, reason). Fixed cells:
+/// recording is two array indexes, so the hot path stays allocation-free
+/// even under a malformed-packet flood.
+struct ParseErrorStats {
+  uint64_t counts[kParseProtoCount][kParseReasonCount] = {};
+  uint64_t total = 0;
+
+  void record(ParseProto p, Errc reason) {
+    ++counts[static_cast<size_t>(p)][static_cast<size_t>(reason)];
+    ++total;
+  }
+  uint64_t count(ParseProto p, Errc reason) const {
+    return counts[static_cast<size_t>(p)][static_cast<size_t>(reason)];
+  }
+};
+
 struct DistillerStats {
   uint64_t packets_in = 0;
   uint64_t fragments_held = 0;     // fragment consumed, datagram incomplete
@@ -41,6 +66,7 @@ struct DistillerStats {
   uint64_t h225_footprints = 0;
   uint64_t ras_footprints = 0;
   uint64_t unknown_footprints = 0;
+  ParseErrorStats parse_errors;
 };
 
 class Distiller {

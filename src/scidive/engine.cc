@@ -206,6 +206,22 @@ void ScidiveEngine::sync_component_stats() {
       .sync(d.ras_footprints);
   registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "unknown"}})
       .sync(d.unknown_footprints);
+  // Parse failures by (proto, reason). Cells are registered lazily on first
+  // non-zero count: clean traffic adds no instruments (and no exposition
+  // lines), while a registered cell persists at its monotone value — the
+  // registry dedupes, so re-registration returns the same counter.
+  for (size_t p = 0; p < kParseProtoCount; ++p) {
+    for (size_t r = 0; r < kParseReasonCount; ++r) {
+      const uint64_t n = d.parse_errors.counts[p][r];
+      if (n == 0) continue;
+      registry_
+          .counter("scidive_parse_errors_total",
+                   "Malformed input rejected by a parser, by protocol and reason",
+                   {{"proto", std::string(parse_proto_name(static_cast<ParseProto>(p)))},
+                    {"reason", errc_name(static_cast<Errc>(r))}})
+          .sync(n);
+    }
+  }
 
   const TrailManagerStats& t = trails_.stats();
   registry_

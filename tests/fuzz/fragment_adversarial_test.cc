@@ -1,0 +1,121 @@
+// Regression tests for the reassembler bugs the fuzz harness surfaced, each
+// minimized to a hand-built fragment train. The overlap-extend case is the
+// heap overflow originally caught under ASan: an MF=0 fragment establishes a
+// short total, then an overlapping fragment extends past that end.
+#include <gtest/gtest.h>
+
+#include "pkt/fragment.h"
+#include "pkt/ipv4.h"
+
+namespace scidive::pkt {
+namespace {
+
+Bytes frag(uint16_t offset_units, bool more, const Bytes& payload, uint16_t id = 7) {
+  Ipv4Header h;
+  h.protocol = kProtoUdp;
+  h.identification = id;
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(10, 0, 0, 2);
+  h.fragment_offset = offset_units;
+  h.more_fragments = more;
+  return serialize_ipv4(h, payload);
+}
+
+TEST(FragmentAdversarial, OverlapExtendingPastFinalEndIsClamped) {
+  // Train: [offset 8, MF=0, 8 bytes] establishes total=16, then
+  // [offset 0, MF=1, 24 bytes] overlaps the whole datagram and extends past
+  // its end. Before the fix the copy wrote 24 bytes into a 16-byte buffer.
+  Ipv4Reassembler r;
+  Bytes tail(8, 0xbb);
+  Bytes overlong(24, 0xaa);
+
+  auto first = r.push(frag(1, false, tail), msec(1));
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, Errc::kState);  // incomplete, not a crash
+
+  auto second = r.push(frag(0, true, overlong), msec(2));
+  ASSERT_TRUE(second.ok());
+  auto parsed = parse_ipv4(second.value());
+  ASSERT_TRUE(parsed.ok());
+  // Exactly total bytes, all from the earliest-offset fragment's range.
+  ASSERT_EQ(parsed.value().payload.size(), 16u);
+  for (uint8_t byte : parsed.value().payload) EXPECT_EQ(byte, 0xaa);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(FragmentAdversarial, StrayPartBeyondEndDoesNotWedgeAssembly) {
+  // A fragment entirely past the MF=0 end must not make completion
+  // impossible (the hole check would otherwise see it as an eternal gap).
+  Ipv4Reassembler r;
+  EXPECT_FALSE(r.push(frag(4, true, Bytes(8, 3)), msec(1)).ok());   // stray at 32
+  EXPECT_FALSE(r.push(frag(1, false, Bytes(8, 2)), msec(2)).ok());  // total = 16
+  auto done = r.push(frag(0, true, Bytes(8, 1)), msec(3));
+  ASSERT_TRUE(done.ok());
+  auto parsed = parse_ipv4(done.value());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().payload.size(), 16u);
+  EXPECT_EQ(parsed.value().payload[0], 1);
+  EXPECT_EQ(parsed.value().payload[8], 2);
+}
+
+TEST(FragmentAdversarial, DuplicateOffsetLastWriteWins) {
+  Ipv4Reassembler r;
+  EXPECT_FALSE(r.push(frag(0, true, Bytes(8, 0x11)), msec(1)).ok());
+  EXPECT_FALSE(r.push(frag(0, true, Bytes(8, 0x22)), msec(2)).ok());  // same offset
+  auto done = r.push(frag(1, false, Bytes(8, 0x33)), msec(3));
+  ASSERT_TRUE(done.ok());
+  auto parsed = parse_ipv4(done.value());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().payload.size(), 16u);
+  // The map keyed by offset keeps one part per offset; the datagram is
+  // internally consistent either way — what matters is no crash and a
+  // deterministic outcome.
+  EXPECT_EQ(parsed.value().payload[0], 0x22);
+}
+
+TEST(FragmentAdversarial, ZeroLengthFragmentIsHarmless) {
+  Ipv4Reassembler r;
+  EXPECT_FALSE(r.push(frag(0, true, Bytes(8, 0xcc)), msec(1)).ok());
+  EXPECT_FALSE(r.push(frag(1, true, Bytes{}), msec(2)).ok());  // zero-length middle
+  auto done = r.push(frag(1, false, Bytes(8, 0xdd)), msec(3));
+  ASSERT_TRUE(done.ok());
+  auto parsed = parse_ipv4(done.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().payload.size(), 16u);
+}
+
+TEST(FragmentAdversarial, OffsetNearSixteenBitBoundaryIsRejected) {
+  // fragment_offset 8100 * 8 = 64800; with any payload the reassembled
+  // datagram could not carry a 16-bit total_length. Must fail cleanly and
+  // drop the assembly instead of truncating silently.
+  Ipv4Reassembler r;
+  auto res = r.push(frag(8100, false, Bytes(800, 0xee)), msec(1));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, Errc::kMalformed);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(FragmentAdversarial, OversizeTrainIsBoundedByConfig) {
+  Ipv4Reassembler::Config config;
+  config.max_datagram_size = 1024;
+  Ipv4Reassembler r(config);
+  // Claimed offset beyond the configured bound: rejected, assembly dropped.
+  EXPECT_FALSE(r.push(frag(0, true, Bytes(512, 1)), msec(1)).ok());
+  auto res = r.push(frag(512 / 8, true, Bytes(1024, 2)), msec(2));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.error().code, Errc::kMalformed);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(FragmentAdversarial, PendingAssembliesExpire) {
+  Ipv4Reassembler r;
+  EXPECT_FALSE(r.push(frag(0, true, Bytes(8, 1)), msec(1)).ok());
+  EXPECT_FALSE(r.push(frag(0, true, Bytes(8, 1), /*id=*/8), msec(2)).ok());
+  EXPECT_EQ(r.pending(), 2u);
+  EXPECT_EQ(r.expire(sec(31) + msec(2)), 2u);
+  EXPECT_EQ(r.pending(), 0u);
+  EXPECT_EQ(r.expired_total(), 2u);
+}
+
+}  // namespace
+}  // namespace scidive::pkt

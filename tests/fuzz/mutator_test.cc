@@ -1,0 +1,118 @@
+// Mutator determinism: the whole harness rests on (seed, op-sequence)
+// replaying byte-identically, so these tests pin that property for every
+// mutation layer.
+#include "fuzz/mutator.h"
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.h"
+#include "pkt/ipv4.h"
+
+namespace scidive::fuzz {
+namespace {
+
+TEST(Mutator, ByteMutationsReplayIdentically) {
+  const Bytes seed = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  auto run = [&](uint64_t rng_seed) {
+    Mutator m(rng_seed);
+    Bytes b = seed;
+    for (int i = 0; i < 200; ++i) m.mutate_bytes(b, 1);
+    return b;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Mutator, SipMutationsReplayIdentically) {
+  const std::vector<std::string> seeds = sip_seeds();
+  auto run = [&](uint64_t rng_seed) {
+    Mutator m(rng_seed);
+    std::vector<std::string> out;
+    for (int round = 0; round < 20; ++round) {
+      for (const std::string& s : seeds) out.push_back(m.mutate_sip(s));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Mutator, PacketMutationsReplayIdentically) {
+  const std::vector<Bytes> seeds = datagram_seeds();
+  auto run = [&](uint64_t rng_seed) {
+    Mutator m(rng_seed);
+    std::vector<Bytes> out;
+    for (const Bytes& s : seeds) {
+      pkt::Packet p;
+      p.data = s;
+      out.push_back(m.mutate_packet(p).data);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(99), run(99));
+}
+
+TEST(Mutator, AdversarialFragmentsAreRealFragmentTrains) {
+  // Every scheme must emit at least one packet, and at least one scheme must
+  // emit actual fragments (MF set or nonzero offset).
+  Mutator m(5);
+  pkt::Packet whole;
+  pkt::Ipv4Header h;
+  h.protocol = pkt::kProtoUdp;
+  h.src = pkt::Ipv4Address(10, 0, 0, 1);
+  h.dst = pkt::Ipv4Address(10, 0, 0, 2);
+  Bytes payload(96, 0xab);
+  whole.data = pkt::serialize_ipv4(h, payload);
+  whole.timestamp = msec(5);
+
+  size_t fragments_seen = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto train = m.adversarial_fragments(whole);
+    ASSERT_FALSE(train.empty());
+    for (const pkt::Packet& p : train) {
+      EXPECT_EQ(p.timestamp, whole.timestamp);
+      auto parsed = pkt::parse_ipv4(p.data);
+      ASSERT_TRUE(parsed.ok());
+      if (parsed.value().header.is_fragment()) ++fragments_seen;
+    }
+  }
+  EXPECT_GT(fragments_seen, 0u);
+}
+
+TEST(Mutator, LieLengthFieldsKeepsCarrierParseableSometimes) {
+  // The point of re-patching the IPv4 checksum is that some lies survive
+  // header validation; over many draws both outcomes must occur.
+  const std::vector<Bytes> seeds = datagram_seeds();
+  Mutator m(11);
+  bool parseable = false, unparseable = false;
+  for (int i = 0; i < 200; ++i) {
+    Bytes b = seeds[static_cast<size_t>(i) % seeds.size()];
+    m.lie_length_fields(b);
+    if (pkt::parse_ipv4(b).ok()) {
+      parseable = true;
+    } else {
+      unparseable = true;
+    }
+  }
+  EXPECT_TRUE(parseable);
+  EXPECT_TRUE(unparseable);
+}
+
+TEST(AdversarialStream, DeterministicAndOrdered) {
+  StreamConfig config;
+  config.mutated = 60;
+  config.fragment_trains = 6;
+  config.garbage = 12;
+  auto a = adversarial_stream(1234, config);
+  auto b = adversarial_stream(1234, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].data, b[i].data) << "packet " << i;
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp) << "packet " << i;
+  }
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_GT(a[i].timestamp, a[i - 1].timestamp);
+  EXPECT_NE(adversarial_stream(1235, config)[5].timestamp, a[5].timestamp);
+}
+
+}  // namespace
+}  // namespace scidive::fuzz
