@@ -8,14 +8,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <vector>
 
 #include "common/md5.h"
 #include "obs/metrics.h"
 #include "pkt/packet.h"
 #include "rtp/rtp.h"
+#include "ruledsl/loader.h"
 #include "scidive/distiller.h"
 #include "scidive/engine.h"
 #include "scidive/trail_manager.h"
@@ -72,6 +75,38 @@ std::string make_invite_text() {
   m.headers().add("Contact", "<sip:alice@10.0.0.1:5060>");
   m.set_body(sip::make_audio_sdp("10.0.0.1", 16384, 1).to_string(), "application/sdp");
   return m.to_string();
+}
+
+/// INVITE + 200 OK so the bench call's media correlates into a session.
+void establish_bench_call(core::ScidiveEngine& engine) {
+  auto invite = pkt::make_udp_packet(kASip, kBSip, from_string(make_invite_text()));
+  invite.timestamp = 0;
+  engine.on_packet(invite);
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bench-1");
+  ok.headers().add("From", "<sip:alice@lab.net>;tag=ta");
+  ok.headers().add("To", "<sip:bob@lab.net>;tag=tb");
+  ok.headers().add("Call-ID", "bench-call-1");
+  ok.headers().add("CSeq", "1 INVITE");
+  ok.headers().add("Contact", "<sip:bob@10.0.0.2:5060>");
+  ok.set_body(sip::make_audio_sdp("10.0.0.2", 16384, 2).to_string(), "application/sdp");
+  auto ok_pkt = pkt::make_udp_packet(kBSip, kASip, from_string(ok.to_string()));
+  ok_pkt.timestamp = msec(10);
+  engine.on_packet(ok_pkt);
+}
+
+/// The shipped .sdr ports of the built-in rules, compiled once per call.
+std::vector<core::RulePtr> shipped_dsl_rules() {
+  const std::string dir = SCIDIVE_RULESET_DIR;
+  auto compiled = ruledsl::compile_ruleset_files(
+      {dir + "/bye_attack.sdr", dir + "/fake_im.sdr", dir + "/call_hijack.sdr",
+       dir + "/rtp_attack.sdr", dir + "/billing_fraud.sdr"});
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "shipped ruleset failed to compile: %s\n",
+                 compiled.error().to_string().c_str());
+    std::abort();
+  }
+  return ruledsl::make_rules(compiled.value());
 }
 
 pkt::Packet make_rtp_pkt(uint16_t seq) {
@@ -172,20 +207,7 @@ BENCHMARK(BM_DistillRtpPacket);
 void BM_EngineRtpPacket(benchmark::State& state) {
   core::ScidiveEngine engine;
   // Establish the session so RTP correlates.
-  auto invite = pkt::make_udp_packet(kASip, kBSip, from_string(make_invite_text()));
-  invite.timestamp = 0;
-  engine.on_packet(invite);
-  auto ok = sip::SipMessage::response(200, "OK");
-  ok.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bench-1");
-  ok.headers().add("From", "<sip:alice@lab.net>;tag=ta");
-  ok.headers().add("To", "<sip:bob@lab.net>;tag=tb");
-  ok.headers().add("Call-ID", "bench-call-1");
-  ok.headers().add("CSeq", "1 INVITE");
-  ok.headers().add("Contact", "<sip:bob@10.0.0.2:5060>");
-  ok.set_body(sip::make_audio_sdp("10.0.0.2", 16384, 2).to_string(), "application/sdp");
-  auto ok_pkt = pkt::make_udp_packet(kBSip, kASip, from_string(ok.to_string()));
-  ok_pkt.timestamp = msec(10);
-  engine.on_packet(ok_pkt);
+  establish_bench_call(engine);
 
   // One pre-built packet, re-sequenced in place each iteration: the loop
   // measures the IDS pipeline, not packet construction.
@@ -203,6 +225,34 @@ void BM_EngineRtpPacket(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EngineRtpPacket);
+
+/// Event delivery strategy on the in-session RTP steady state: Arg(0)
+/// broadcasts every event to every rule (the historical loop); Arg(1) uses
+/// the engine's per-type subscriber index. RTP media events interest only
+/// the media rules, so dispatch skips the SIP-only rules' on_event calls
+/// entirely — the delta is what the index saves per packet.
+void BM_EngineRtpDispatch(benchmark::State& state) {
+  core::EngineConfig config;
+  config.subscription_dispatch = state.range(0) != 0;
+  config.obs.time_stages = false;
+  core::ScidiveEngine engine(config);
+  establish_bench_call(engine);
+
+  pkt::Packet p = make_rtp_pkt(0);
+  disable_udp_checksum(p);
+  uint16_t seq = 0;
+  SimTime now = msec(100);
+  for (auto _ : state) {
+    ++seq;
+    p.data[kRtpSeqOffset] = static_cast<uint8_t>(seq >> 8);
+    p.data[kRtpSeqOffset + 1] = static_cast<uint8_t>(seq & 0xff);
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(config.subscription_dispatch ? "dispatch" : "broadcast");
+}
+BENCHMARK(BM_EngineRtpDispatch)->Arg(0)->Arg(1);
 
 void BM_EngineSipPacket(benchmark::State& state) {
   // Per-iteration PauseTiming/ResumeTiming costs far more than the work
@@ -315,22 +365,16 @@ BENCHMARK(BM_TrailAddRtpAllocs);
 /// (distill + route + events + rules). Not asserted to be zero — the
 /// distiller's footprint and event scratch work are measured here — but
 /// tracked so regressions are visible.
+///
+/// Arg(0) runs the built-in C++ ruleset; Arg(1) replaces it with the
+/// shipped .sdr ports, proving the DSL interpreter's steady state adds no
+/// allocations of its own: per-session records exist after warm-up, so a
+/// transition program runs on slot arithmetic alone.
 void BM_EngineRtpPacketAllocs(benchmark::State& state) {
+  const bool dsl = state.range(0) != 0;
   core::ScidiveEngine engine;
-  auto invite = pkt::make_udp_packet(kASip, kBSip, from_string(make_invite_text()));
-  invite.timestamp = 0;
-  engine.on_packet(invite);
-  auto ok = sip::SipMessage::response(200, "OK");
-  ok.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-bench-1");
-  ok.headers().add("From", "<sip:alice@lab.net>;tag=ta");
-  ok.headers().add("To", "<sip:bob@lab.net>;tag=tb");
-  ok.headers().add("Call-ID", "bench-call-1");
-  ok.headers().add("CSeq", "1 INVITE");
-  ok.headers().add("Contact", "<sip:bob@10.0.0.2:5060>");
-  ok.set_body(sip::make_audio_sdp("10.0.0.2", 16384, 2).to_string(), "application/sdp");
-  auto ok_pkt = pkt::make_udp_packet(kBSip, kASip, from_string(ok.to_string()));
-  ok_pkt.timestamp = msec(10);
-  engine.on_packet(ok_pkt);
+  if (dsl) engine.set_rules(shipped_dsl_rules());
+  establish_bench_call(engine);
 
   pkt::Packet p = make_rtp_pkt(0);
   disable_udp_checksum(p);
@@ -356,8 +400,9 @@ void BM_EngineRtpPacketAllocs(benchmark::State& state) {
   state.counters["allocs_per_op"] =
       benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(dsl ? "rules=dsl" : "rules=builtin");
 }
-BENCHMARK(BM_EngineRtpPacketAllocs);
+BENCHMARK(BM_EngineRtpPacketAllocs)->Arg(0)->Arg(1);
 
 void BM_EngineGarbagePacket(benchmark::State& state) {
   core::ScidiveEngine engine;

@@ -182,6 +182,97 @@ std::vector<Bytes> datagram_seeds() {
   return out;
 }
 
+std::vector<std::string> ruleset_seeds() {
+  std::vector<std::string> out;
+
+  // A stateless template-only rule (the rtp-attack shape).
+  out.push_back(R"sdr(rule stateless-media {
+  on RtpSeqJump {
+    alert critical "sequence number jumped by {value} between consecutive RTP packets (bound 100)";
+  }
+  on NonRtpOnMediaPort {
+    alert warning "undecodable datagram aimed at an active media port";
+  }
+}
+)sdr");
+
+  // Time-window guards: since()/within() over a time slot (the bye-attack
+  // shape, §4.3 window m).
+  out.push_back(R"sdr(# forged-BYE window rule
+rule window-m {
+  key session;
+  state {
+    time bye_at = never;
+  }
+  on SipByeSeen {
+    set bye_at = time;
+  }
+  on RtpPacketSeen {
+    if within(bye_at, 2s) {
+      alert critical "RTP {since(bye_at)} after a BYE from {endpoint}";
+    }
+  }
+}
+)sdr");
+
+  // Every slot type, literal inits, addr()/count()/has_trail(), eventset
+  // accumulation, rendering formats and brace escapes.
+  out.push_back(R"sdr(rule kitchen-sink {
+  key aor;
+  state {
+    int hits = 0;
+    duration budget = 1500ms;
+    time first = never;
+    bool primed = false;
+    string label = "seed";
+    addr origin;
+    endpoint peer;
+    eventset kinds;
+  }
+  on SipRegisterSeen, SipAuthFailure {
+    add kinds;
+    set hits = value;
+    if first == never {
+      set first = time;
+      set origin = addr(endpoint);
+      set peer = endpoint;
+    }
+    if count(kinds) >= 2 && !primed && has_trail("sip") {
+      set primed = true;
+      alert info "{{escaped}} {label}: {count(kinds)} kinds ({kinds}) from {peer} since {since(first):sec1}s ago";
+    }
+  }
+}
+)sdr");
+
+  // Two rules in one file; comparison spread; else-branches; || and !=.
+  out.push_back(R"sdr(rule pair-a {
+  key session;
+  state { int last = 0; bool seen = false; }
+  on RtpSeqJump {
+    if !seen {
+      set seen = true;
+      set last = value;
+    } else {
+      if value > last || value != 0 {
+        alert warning "jump {value} after {last}";
+      }
+    }
+  }
+}
+
+rule pair-b {
+  on SipMalformed {
+    alert info "malformed signaling: {detail}";
+  }
+}
+)sdr");
+
+  // Minimal rule — the smallest valid ruleset.
+  out.push_back("rule tiny { on AccUnmatched { alert info \"acc\"; } }\n");
+  return out;
+}
+
 std::vector<Bytes> load_corpus_dir(const std::string& dir) {
   std::vector<Bytes> out;
   std::error_code ec;

@@ -32,6 +32,12 @@ std::vector<Bytes> rtcp_seeds();
 /// non-UDP and minimal-size datagrams.
 std::vector<Bytes> datagram_seeds();
 
+/// Valid `.sdr` ruleset texts spanning the DSL grammar: the Table-1 rule
+/// ports plus small rules touching every slot type, expression function,
+/// template format and escape. Each compiles cleanly, so a mutation is one
+/// structured step from well-formed.
+std::vector<std::string> ruleset_seeds();
+
 /// Read every regular file in `dir` sorted by filename (deterministic
 /// replay order). A missing or empty directory yields an empty vector.
 std::vector<Bytes> load_corpus_dir(const std::string& dir);

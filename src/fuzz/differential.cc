@@ -99,6 +99,7 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
   engine_config.obs.time_stages = false;
 
   core::ScidiveEngine single(engine_config);
+  if (config.make_rules) single.set_rules(config.make_rules());
   for (const pkt::Packet& packet : stream) single.on_packet(packet);
   const AlertMultiset single_alerts = alert_multiset(single.alerts().alerts());
   const obs::Snapshot single_snapshot = single.metrics_snapshot();
@@ -112,6 +113,9 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
     sc.queue_capacity = config.queue_capacity;
     sc.overflow = config.overflow;
     core::ShardedEngine sharded(sc);
+    if (config.make_rules) {
+      sharded.set_rules([&](size_t) { return config.make_rules(); });
+    }
     for (const pkt::Packet& packet : stream) sharded.on_packet(packet);
     sharded.flush();
 

@@ -7,6 +7,7 @@
 // shard counts and reports every divergence it finds.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ struct DifferentialConfig {
   /// Base per-engine configuration. time_stages is forced off (wall-clock
   /// histograms can never be equal) and the home scope is left as given.
   core::EngineConfig engine;
+  /// Optional ruleset override, called once per engine instance (the single
+  /// engine and every shard of every sharded engine) before any traffic.
+  /// Leave empty to keep the built-in C++ ruleset. DSL parity tests use
+  /// this to prove compiled rules are topology-invariant too.
+  std::function<std::vector<core::RulePtr>()> make_rules;
 };
 
 struct DifferentialReport {

@@ -6,6 +6,7 @@
 #include "pkt/fragment.h"
 #include "rtp/rtcp.h"
 #include "rtp/rtp.h"
+#include "ruledsl/loader.h"
 #include "scidive/distiller.h"
 #include "scidive/engine.h"
 #include "sip/message.h"
@@ -119,6 +120,40 @@ int fuzz_engine(const uint8_t* data, size_t size) {
   });
   engine.expire_idle(now + sec(120));
   (void)engine.metrics_snapshot();
+  return 0;
+}
+
+int fuzz_ruledsl(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto ruleset = ruledsl::compile_ruleset_text(text, "<fuzz>");
+  if (!ruleset.ok()) return 0;  // rejected with a diagnostic — the contract
+  (void)ruleset.value().dump();
+
+  // A ruleset that compiles must also *run*: sweep every subscribed event
+  // type through each rule twice (first-touch and revisit paths) across two
+  // sessions, so slot updates, branches and alert rendering all execute on
+  // whatever programs the fuzzer evolved.
+  std::vector<core::RulePtr> rules = ruledsl::make_rules(ruleset.value());
+  core::TrailManager trails;
+  core::AlertSink sink;
+  core::RuleContext ctx(trails, sink);
+  for (const core::RulePtr& rule : rules) {
+    for (int round = 0; round < 2; ++round) {
+      for (size_t t = 0; t < core::kEventTypeCount; ++t) {
+        if ((rule->subscriptions() >> t & 1) == 0) continue;
+        core::Event event;
+        event.type = static_cast<core::EventType>(t);
+        event.session = round == 0 ? "fuzz-session" : "fuzz-session-2";
+        event.time = sec(static_cast<int64_t>(t) + 1) * (round + 1);
+        event.aor = "fuzz@lab.net";
+        event.endpoint = {pkt::Ipv4Address(0x0a000002u + static_cast<uint32_t>(round)), 16384};
+        event.value = static_cast<int64_t>(t) * 101 - 50;
+        event.detail = "fuzz";
+        rule->on_event(event, ctx);
+      }
+    }
+    (void)rule->state_entries();
+  }
   return 0;
 }
 

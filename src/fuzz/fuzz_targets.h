@@ -41,6 +41,14 @@ int fuzz_distiller(const uint8_t* data, size_t size);
 /// length-prefixed packet records.
 int fuzz_engine(const uint8_t* data, size_t size);
 
+/// Ruleset DSL front end: lexer + parser + compiler over the raw input as
+/// `.sdr` text. Rulesets are operator input, so the loader must reject any
+/// malformed text with a diagnostic — never crash, hang, or partially load.
+/// When the input compiles, the target also instantiates the rules, runs
+/// the disassembler, and drives the transition programs over a small
+/// synthetic event sweep so fuzzer-shaped rules exercise the interpreter.
+int fuzz_ruledsl(const uint8_t* data, size_t size);
+
 struct FuzzTarget {
   const char* name;
   int (*fn)(const uint8_t*, size_t);
@@ -55,6 +63,7 @@ constexpr FuzzTarget kFuzzTargets[] = {
     {"fragment_reassembly", fuzz_fragment_reassembly},
     {"distiller", fuzz_distiller},
     {"engine", fuzz_engine},
+    {"ruledsl", fuzz_ruledsl},
 };
 
 }  // namespace scidive::fuzz

@@ -1,0 +1,59 @@
+// CompiledRule: the Rule adapter that executes one compiled DSL rule.
+// Indistinguishable from a hand-written C++ rule to ScidiveEngine,
+// ShardedEngine, the per-rule obs instruments and the AlertLedger. Each
+// instance owns its per-key state records (one instance per shard — rules
+// are stateful and must not be shared across workers); the immutable
+// CompiledRuleDef is shared.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ruledsl/program.h"
+#include "scidive/rule.h"
+
+namespace scidive::ruledsl {
+
+class CompiledRule : public core::Rule {
+ public:
+  explicit CompiledRule(std::shared_ptr<const CompiledRuleDef> def) : def_(std::move(def)) {}
+
+  std::string_view name() const override { return def_->name; }
+  void on_event(const core::Event& event, core::RuleContext& ctx) override;
+  /// Per-key state records currently held — the same observability surface
+  /// hand-written rules expose through the state-entry gauges.
+  size_t state_entries() const override { return records_.size(); }
+  core::EventTypeMask subscriptions() const override { return def_->subscriptions; }
+
+  const CompiledRuleDef& def() const { return *def_; }
+
+ private:
+  /// Mutable state for one key (session or AOR): one numeric cell per slot
+  /// plus backing storage for string slots.
+  struct Record {
+    std::vector<int64_t> nums;
+    std::vector<std::string> strs;
+  };
+
+  /// Evaluation value. Types are static (checked at compile time), so no
+  /// runtime tag: numbers/times/bools/addrs/packed endpoints/eventset bits
+  /// live in `i`, strings are borrowed pointers (literals, event fields and
+  /// record storage all outlive the evaluation).
+  struct Value {
+    int64_t i = 0;
+    const std::string* s = nullptr;
+  };
+
+  Record& record_for(const core::Event& event);
+  Value eval(const ExprProgram& program, const core::Event& event, const Record* rec,
+             core::RuleContext& ctx) const;
+  std::string render(const AlertTemplate& tmpl, const core::Event& event, const Record* rec,
+                     core::RuleContext& ctx) const;
+
+  std::shared_ptr<const CompiledRuleDef> def_;
+  std::map<std::string, Record, std::less<>> records_;
+};
+
+}  // namespace scidive::ruledsl

@@ -1,0 +1,250 @@
+#include "ruledsl/lexer.h"
+
+#include "common/clock.h"
+#include "common/strings.h"
+
+namespace scidive::ruledsl {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9') || c == '-';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+Error err_at(std::string_view filename, SourceLoc loc, const std::string& what) {
+  return Error{Errc::kMalformed, str::format("%.*s:%u:%u: %s", static_cast<int>(filename.size()),
+                                             filename.data(), loc.line, loc.col, what.c_str())};
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char peek2() const { return pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0'; }
+  SourceLoc loc() const { return loc_; }
+
+  char advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.col = 1;
+    } else {
+      ++loc_.col;
+    }
+    return c;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDuration: return "duration";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAnd: return "'&&'";
+    case TokenKind::kOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> lex(std::string_view text, std::string_view filename) {
+  std::vector<Token> out;
+  Cursor c(text);
+  while (!c.done()) {
+    const char ch = c.peek();
+    // Whitespace and comments ('#' or '//' to end of line).
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') {
+      c.advance();
+      continue;
+    }
+    if (ch == '#' || (ch == '/' && c.peek2() == '/')) {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+
+    Token tok;
+    tok.loc = c.loc();
+
+    if (is_ident_start(ch)) {
+      std::string s;
+      while (!c.done() && is_ident_char(c.peek())) s += c.advance();
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (is_digit(ch)) {
+      std::string digits;
+      while (!c.done() && is_digit(c.peek())) digits += c.advance();
+      auto n = str::parse_u64(digits);
+      if (!n || *n > static_cast<uint64_t>(INT64_MAX)) {
+        return err_at(filename, tok.loc, "integer literal out of range");
+      }
+      // Optional duration suffix: s / ms / us (normalized to microseconds).
+      int64_t scale = 0;
+      if (c.peek() == 's') {
+        c.advance();
+        scale = kSecond;
+      } else if (c.peek() == 'm' && c.peek2() == 's') {
+        c.advance();
+        c.advance();
+        scale = kMillisecond;
+      } else if (c.peek() == 'u' && c.peek2() == 's') {
+        c.advance();
+        c.advance();
+        scale = kMicrosecond;
+      }
+      if (scale != 0) {
+        if (*n > static_cast<uint64_t>(INT64_MAX / scale)) {
+          return err_at(filename, tok.loc, "duration literal out of range");
+        }
+        tok.kind = TokenKind::kDuration;
+        tok.int_value = static_cast<int64_t>(*n) * scale;
+      } else {
+        if (!c.done() && is_ident_char(c.peek())) {
+          return err_at(filename, tok.loc,
+                        "malformed number (expected digits with optional s/ms/us suffix)");
+        }
+        tok.kind = TokenKind::kInt;
+        tok.int_value = static_cast<int64_t>(*n);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (ch == '"') {
+      c.advance();
+      std::string s;
+      bool closed = false;
+      while (!c.done()) {
+        char q = c.advance();
+        if (q == '"') {
+          closed = true;
+          break;
+        }
+        if (q == '\n') break;  // strings may not span lines
+        if (q == '\\') {
+          if (c.done()) break;
+          char esc = c.advance();
+          switch (esc) {
+            case '"': s += '"'; break;
+            case '\\': s += '\\'; break;
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            default:
+              return err_at(filename, tok.loc,
+                            str::format("unknown escape '\\%c' in string", esc));
+          }
+          continue;
+        }
+        s += q;
+      }
+      if (!closed) return err_at(filename, tok.loc, "unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    c.advance();
+    switch (ch) {
+      case '{': tok.kind = TokenKind::kLBrace; break;
+      case '}': tok.kind = TokenKind::kRBrace; break;
+      case '(': tok.kind = TokenKind::kLParen; break;
+      case ')': tok.kind = TokenKind::kRParen; break;
+      case ';': tok.kind = TokenKind::kSemi; break;
+      case ',': tok.kind = TokenKind::kComma; break;
+      case '=':
+        if (c.peek() == '=') {
+          c.advance();
+          tok.kind = TokenKind::kEq;
+        } else {
+          tok.kind = TokenKind::kAssign;
+        }
+        break;
+      case '!':
+        if (c.peek() == '=') {
+          c.advance();
+          tok.kind = TokenKind::kNe;
+        } else {
+          tok.kind = TokenKind::kNot;
+        }
+        break;
+      case '<':
+        if (c.peek() == '=') {
+          c.advance();
+          tok.kind = TokenKind::kLe;
+        } else {
+          tok.kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (c.peek() == '=') {
+          c.advance();
+          tok.kind = TokenKind::kGe;
+        } else {
+          tok.kind = TokenKind::kGt;
+        }
+        break;
+      case '&':
+        if (c.peek() == '&') {
+          c.advance();
+          tok.kind = TokenKind::kAnd;
+          break;
+        }
+        return err_at(filename, tok.loc, "stray '&' (did you mean '&&'?)");
+      case '|':
+        if (c.peek() == '|') {
+          c.advance();
+          tok.kind = TokenKind::kOr;
+          break;
+        }
+        return err_at(filename, tok.loc, "stray '|' (did you mean '||'?)");
+      default:
+        return err_at(filename, tok.loc,
+                      str::format("unexpected character '%c' (0x%02x)",
+                                  (ch >= 0x20 && ch < 0x7f) ? ch : '?',
+                                  static_cast<unsigned char>(ch)));
+    }
+    out.push_back(std::move(tok));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.loc = c.loc();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace scidive::ruledsl

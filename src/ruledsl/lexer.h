@@ -1,0 +1,58 @@
+// Lexer for the .sdr ruleset language. Rulesets are operator input: every
+// failure is a source-located diagnostic (file:line:col), never a crash —
+// the fuzz target fuzz_ruledsl drives arbitrary bytes through here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scidive::ruledsl {
+
+struct SourceLoc {
+  uint32_t line = 1;
+  uint32_t col = 1;
+};
+
+enum class TokenKind {
+  kIdent,     // rule names, keywords, event names (keywords resolved in the parser)
+  kInt,       // bare decimal
+  kDuration,  // decimal with s/ms/us suffix; value normalized to microseconds
+  kString,    // double-quoted, escapes processed
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kSemi,
+  kComma,
+  kAssign,  // =
+  kEq,      // ==
+  kNe,      // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,  // &&
+  kOr,   // ||
+  kNot,  // !
+  kEof,
+};
+
+std::string_view token_kind_name(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceLoc loc;
+  std::string text;        // ident spelling / decoded string contents
+  int64_t int_value = 0;   // kInt value, or kDuration in microseconds
+};
+
+/// Tokenize a whole ruleset. On the first lexical error returns a
+/// "file:line:col: message" diagnostic. The token stream always ends with
+/// one kEof token.
+Result<std::vector<Token>> lex(std::string_view text, std::string_view filename);
+
+}  // namespace scidive::ruledsl

@@ -90,6 +90,7 @@ ScidiveEngine::RuleInstruments ScidiveEngine::intern_rule_instruments(const Rule
 void ScidiveEngine::add_rule(RulePtr rule) {
   rule_inst_.push_back(intern_rule_instruments(*rule));
   rules_.push_back(std::move(rule));
+  rebuild_subscriber_index();
 }
 
 void ScidiveEngine::clear_rules() {
@@ -97,6 +98,27 @@ void ScidiveEngine::clear_rules() {
   // freeze at their last values.
   rules_.clear();
   rule_inst_.clear();
+  rebuild_subscriber_index();
+}
+
+void ScidiveEngine::set_rules(std::vector<RulePtr> rules) {
+  rules_ = std::move(rules);
+  rule_inst_.clear();
+  rule_inst_.reserve(rules_.size());
+  for (const RulePtr& rule : rules_) rule_inst_.push_back(intern_rule_instruments(*rule));
+  rebuild_subscriber_index();
+}
+
+void ScidiveEngine::rebuild_subscriber_index() {
+  for (auto& list : subscribers_) list.clear();
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const EventTypeMask mask = rules_[i]->subscriptions();
+    for (size_t t = 0; t < kEventTypeCount; ++t) {
+      if (mask & (EventTypeMask{1} << t)) {
+        subscribers_[t].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
 }
 
 void ScidiveEngine::on_packet(const pkt::Packet& packet) {
@@ -148,12 +170,24 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
     for (const Event& event : scratch_events_) {
       event_type_counters_[static_cast<size_t>(event.type)]->inc();
       if (event_callback_) event_callback_(event);
-      for (size_t i = 0; i < rules_.size(); ++i) {
-        rule_inst_[i].events_seen->inc();
-        const uint64_t before = sink_.total_raised();
-        rules_[i]->on_event(event, ctx);
-        const uint64_t raised = sink_.total_raised() - before;
-        if (raised != 0) rule_inst_[i].alerts->inc(raised);
+      if (config_.subscription_dispatch) {
+        // Only the subscribers of this event's type are visited; a rule
+        // that kept the default kAllEventsMask appears in every list.
+        for (uint32_t i : subscribers_[static_cast<size_t>(event.type)]) {
+          rule_inst_[i].events_seen->inc();
+          const uint64_t before = sink_.total_raised();
+          rules_[i]->on_event(event, ctx);
+          const uint64_t raised = sink_.total_raised() - before;
+          if (raised != 0) rule_inst_[i].alerts->inc(raised);
+        }
+      } else {
+        for (size_t i = 0; i < rules_.size(); ++i) {
+          rule_inst_[i].events_seen->inc();
+          const uint64_t before = sink_.total_raised();
+          rules_[i]->on_event(event, ctx);
+          const uint64_t raised = sink_.total_raised() - before;
+          if (raised != 0) rule_inst_[i].alerts->inc(raised);
+        }
       }
     }
     if (timed) {

@@ -49,6 +49,11 @@ struct EngineConfig {
   /// look into this traffic".
   std::set<pkt::Ipv4Address> home_addresses;
   size_t max_footprints_per_trail = 4096;
+  /// Deliver each event only to the rules whose subscriptions() mask covers
+  /// its type (the engine keeps a per-type subscriber index). Off = the
+  /// historical broadcast loop; kept as a knob so bench_efficiency can
+  /// measure what the index saves.
+  bool subscription_dispatch = true;
 };
 
 /// Aggregate pipeline counters. Since the observability subsystem landed
@@ -83,6 +88,11 @@ class ScidiveEngine {
   void add_rule(RulePtr rule);
   /// Drop all rules (for baseline configurations in the benches).
   void clear_rules();
+  /// Atomically replace the whole ruleset (hot reload). Instruments for the
+  /// new rules are interned against the same registry, so a rule keeping its
+  /// name keeps its counters across the swap.
+  void set_rules(std::vector<RulePtr> rules);
+  size_t rule_count() const { return rules_.size(); }
 
   /// Observe every generated event (experiments measure detection delay
   /// from the value carried on kRtpAfterBye/kRtpAfterReinvite events).
@@ -121,6 +131,7 @@ class ScidiveEngine {
 
   void intern_pipeline_instruments();
   RuleInstruments intern_rule_instruments(const Rule& rule);
+  void rebuild_subscriber_index();
   /// Mirror the component-kept stats into registry cells (snapshot path).
   void sync_component_stats();
 
@@ -131,6 +142,8 @@ class ScidiveEngine {
   EventGenerator events_;
   std::vector<RulePtr> rules_;
   std::vector<RuleInstruments> rule_inst_;
+  /// Per-EventType list of rule indices subscribed to it.
+  std::vector<uint32_t> subscribers_[kEventTypeCount];
   std::function<void(const Event&)> event_callback_;
   AlertSink sink_;
   obs::AlertLedger ledger_;

@@ -36,6 +36,23 @@ class RuleContext {
   obs::AlertLedger* ledger_;
 };
 
+/// Bitmask over EventType values: which events a rule consumes.
+using EventTypeMask = uint64_t;
+static_assert(kEventTypeCount <= 64, "EventTypeMask is a 64-bit bitmask");
+
+constexpr EventTypeMask event_mask(EventType t) {
+  return EventTypeMask{1} << static_cast<size_t>(t);
+}
+
+template <typename... Ts>
+constexpr EventTypeMask event_mask(EventType t, Ts... rest) {
+  return event_mask(t) | event_mask(rest...);
+}
+
+/// Every event type — the conservative default subscription.
+constexpr EventTypeMask kAllEventsMask =
+    kEventTypeCount == 64 ? ~EventTypeMask{0} : (EventTypeMask{1} << kEventTypeCount) - 1;
+
 class Rule {
  public:
   virtual ~Rule() = default;
@@ -45,6 +62,10 @@ class Rule {
   /// right now — the observability surface for rule memory. Stateless rules
   /// keep the default.
   virtual size_t state_entries() const { return 0; }
+  /// The EventTypes this rule consumes. The engine indexes rules by type so
+  /// an event only visits its subscribers; the default (everything)
+  /// preserves broadcast behavior for rules that do not declare interest.
+  virtual EventTypeMask subscriptions() const { return kAllEventsMask; }
 };
 
 using RulePtr = std::unique_ptr<Rule>;

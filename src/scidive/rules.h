@@ -50,6 +50,7 @@ class ByeAttackRule : public Rule {
  public:
   std::string_view name() const override { return "bye-attack"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  EventTypeMask subscriptions() const override { return event_mask(EventType::kRtpAfterBye); }
 };
 
 /// §4.2.3 — same orphan-flow logic keyed to re-INVITE.
@@ -57,6 +58,9 @@ class CallHijackRule : public Rule {
  public:
   std::string_view name() const override { return "call-hijack"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kRtpAfterReinvite);
+  }
 };
 
 /// §4.2.2 — messages claiming one user must keep a stable source IP within
@@ -70,6 +74,9 @@ class FakeImRule : public Rule {
   std::string_view name() const override { return "fake-im"; }
   void on_event(const Event& event, RuleContext& ctx) override;
   size_t state_entries() const override { return senders_.size() + registrations_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kSipRegisterSeen, EventType::kImMessageSeen);
+  }
 
  private:
   struct SenderHistory {
@@ -92,6 +99,10 @@ class RtpAttackRule : public Rule {
  public:
   std::string_view name() const override { return "rtp-attack"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kRtpSeqJump, EventType::kRtpUnexpectedSource,
+                      EventType::kNonRtpOnMediaPort);
+  }
 };
 
 /// §3.2 — the three-event cross-protocol billing-fraud rule. Alerts once
@@ -102,6 +113,10 @@ class BillingFraudRule : public Rule {
   std::string_view name() const override { return "billing-fraud"; }
   void on_event(const Event& event, RuleContext& ctx) override;
   size_t state_entries() const override { return evidence_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kSipMalformed, EventType::kAccUnmatched,
+                      EventType::kAccBilledPartyAbsent, EventType::kRtpUnexpectedSource);
+  }
 
  private:
   RulesConfig config_;
@@ -117,6 +132,9 @@ class RegisterFloodRule : public Rule {
   std::string_view name() const override { return "register-flood"; }
   void on_event(const Event& event, RuleContext& ctx) override;
   size_t state_entries() const override { return sessions_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kSipRegisterSeen, EventType::kSipAuthChallenge);
+  }
 
  private:
   struct SessionAuthState {
@@ -136,6 +154,9 @@ class PasswordGuessRule : public Rule {
   std::string_view name() const override { return "password-guess"; }
   void on_event(const Event& event, RuleContext& ctx) override;
   size_t state_entries() const override { return sessions_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kSipAuthFailure);
+  }
 
  private:
   struct GuessState {
@@ -156,6 +177,9 @@ class Stateless4xxRule : public Rule {
   std::string_view name() const override { return "stateless-4xx"; }
   void on_event(const Event& event, RuleContext& ctx) override;
   size_t state_entries() const override { return recent_4xx_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kSip4xxSeen);
+  }
 
  private:
   RulesConfig config_;
@@ -171,6 +195,9 @@ class RtcpByeRule : public Rule {
  public:
   std::string_view name() const override { return "rtcp-bye-attack"; }
   void on_event(const Event& event, RuleContext& ctx) override;
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kRtpAfterRtcpBye);
+  }
 };
 
 /// Ablation twin of ByeAttackRule that forgoes the event abstraction: on
@@ -187,6 +214,9 @@ class DirectTrailScanByeRule : public Rule {
   std::string_view name() const override { return "bye-attack-direct"; }
   void on_event(const Event& event, RuleContext& ctx) override;
   size_t state_entries() const override { return alerted_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kRtpPacketSeen);
+  }
 
  private:
   SimDuration window_;

@@ -133,6 +133,17 @@ void ShardedEngine::expire_idle(SimTime cutoff) {
   for (auto& shard : shards_) shard->engine.expire_idle(cutoff);
 }
 
+void ShardedEngine::set_rules(
+    const std::function<std::vector<RulePtr>(size_t shard)>& factory) {
+  flush();
+  // Quiescent: every worker is parked with its ring empty, so the swap is
+  // ordinary single-threaded mutation; the next enqueue's release store
+  // publishes it to the worker.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->engine.set_rules(factory(i));
+  }
+}
+
 uint64_t ShardedEngine::packets_dropped() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) n += shard->dropped;

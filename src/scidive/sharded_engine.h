@@ -78,6 +78,13 @@ class ShardedEngine {
   /// Housekeeping across all shards (flushes first).
   void expire_idle(SimTime cutoff);
 
+  /// Atomically replace every shard's ruleset (hot reload). Flushes first,
+  /// so the swap happens at a quiescent boundary: every in-flight packet is
+  /// matched by the old rules, every later packet by the new — no event is
+  /// lost or double-matched. The factory is called once per shard (rules
+  /// hold per-session state and must not be shared across workers).
+  void set_rules(const std::function<std::vector<RulePtr>(size_t shard)>& factory);
+
   size_t num_shards() const { return shards_.size(); }
   /// Shard engine access — only safe between flush() and the next on_packet.
   ScidiveEngine& shard(size_t i) { return shards_[i]->engine; }
@@ -96,6 +103,10 @@ class ShardedEngine {
   /// per-shard ring gauges, drop counters and router stats. Flushes first,
   /// so the result is a deterministic function of the packet sequence.
   obs::Snapshot metrics_snapshot();
+
+  /// The front-end's own registry (ring/router/reload accounting). Shard
+  /// pipeline instruments live in the per-shard engine registries.
+  obs::MetricsRegistry& frontend_metrics() { return frontend_registry_; }
 
  private:
   struct Shard {

@@ -13,6 +13,7 @@
 #include "fuzz/corpus.h"
 #include "fuzz/mutator.h"
 #include "obs/metrics.h"
+#include "ruledsl/loader.h"
 #include "scidive/distiller.h"
 #include "scidive/engine.h"
 
@@ -54,6 +55,11 @@ TEST(CorpusReplay, SeedsPassEveryTargetUnmutated) {
   EXPECT_EQ(fuzz_distiller(packets.data(), packets.size()), 0);
   EXPECT_EQ(fuzz_engine(packets.data(), packets.size()), 0);
   EXPECT_EQ(fuzz_fragment_reassembly(packets.data(), packets.size()), 0);
+  for (const std::string& r : ruleset_seeds()) {
+    EXPECT_EQ(fuzz_ruledsl(reinterpret_cast<const uint8_t*>(r.data()), r.size()), 0);
+    // The DSL seeds must actually be valid, not merely survivable.
+    EXPECT_TRUE(ruledsl::compile_ruleset_text(r, "<seed>").ok()) << r;
+  }
 }
 
 TEST(CorpusReplay, TenThousandMutatedSipMessages) {
@@ -67,6 +73,37 @@ TEST(CorpusReplay, TenThousandMutatedSipMessages) {
         0);
     ASSERT_EQ(fuzz_sdp(reinterpret_cast<const uint8_t*>(twisted.data()), twisted.size()),
               0);
+  }
+}
+
+TEST(CorpusReplay, TenThousandMutatedRulesets) {
+  // Ruleset files are operator input: the loader must reject anything
+  // malformed with a diagnostic and never crash or partially load. The SIP
+  // text mutators (torn lines, splices, duplicated lines) and raw byte
+  // mutations both apply cleanly to `.sdr` text.
+  Mutator m(0x5d5d5d5d);
+  const std::vector<std::string> seeds = ruleset_seeds();
+  for (int i = 0; i < 10000; ++i) {
+    const std::string& seed = seeds[static_cast<size_t>(i) % seeds.size()];
+    std::string twisted;
+    if (i % 3 != 2) {
+      twisted = m.mutate_sip(seed);
+    } else {
+      Bytes raw(seed.begin(), seed.end());
+      m.mutate_bytes(raw, 1 + i % 4);
+      twisted.assign(raw.begin(), raw.end());
+    }
+    ASSERT_EQ(
+        fuzz_ruledsl(reinterpret_cast<const uint8_t*>(twisted.data()), twisted.size()),
+        0);
+    // All-or-nothing loading: a rejected text yields a diagnostic, an
+    // accepted one yields only complete rules.
+    auto compiled = ruledsl::compile_ruleset_text(twisted, "<mutated>");
+    if (compiled.ok()) {
+      for (const auto& def : compiled.value().rules) ASSERT_NE(def, nullptr);
+    } else {
+      ASSERT_FALSE(compiled.error().message.empty());
+    }
   }
 }
 

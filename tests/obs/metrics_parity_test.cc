@@ -93,6 +93,20 @@ void expect_metric_parity(const std::vector<pkt::Packet>& capture, pkt::Ipv4Addr
   EXPECT_EQ(seen, capture.size());
   EXPECT_EQ(seen, filtered + enqueued + dropped);
   EXPECT_EQ(dropped, 0u);  // kBlock never drops
+
+  // Rule state entries are a gauge, so the counter filter above never sees
+  // them; merge() sums gauges across shards, and sessions partition across
+  // shards, so each rule's merged entry count must equal the single
+  // engine's.
+  size_t gauges_compared = 0;
+  for (const Sample& sample : single_snap.samples()) {
+    if (sample.kind != InstrumentKind::kGauge || sample.name != "scidive_rule_state_entries")
+      continue;
+    ++gauges_compared;
+    EXPECT_EQ(sharded_snap.gauge_value(sample.name, sample.labels), sample.gauge)
+        << sample.name << " for " << sample.labels[0].second;
+  }
+  EXPECT_GT(gauges_compared, 0u);
 }
 
 TEST(MetricsParity, ByeAttack) {

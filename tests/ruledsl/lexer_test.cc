@@ -1,0 +1,108 @@
+// Lexer: token kinds, duration normalization, string escapes, comments,
+// and source-located diagnostics on malformed input.
+#include "ruledsl/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace scidive::ruledsl {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view text) {
+  auto tokens = lex(text, "test.sdr");
+  EXPECT_TRUE(tokens.ok()) << tokens.error().to_string();
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+std::string lex_error(std::string_view text) {
+  auto tokens = lex(text, "test.sdr");
+  EXPECT_FALSE(tokens.ok()) << "expected a lex error";
+  return tokens.ok() ? "" : tokens.error().message;
+}
+
+TEST(RuledslLexer, TokenKindsAndEof) {
+  auto tokens = lex_ok("rule r { } ( ) ; , = == != < <= > >= && || !");
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> want = {
+      TokenKind::kIdent,  TokenKind::kIdent, TokenKind::kLBrace, TokenKind::kRBrace,
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kSemi,  TokenKind::kComma,
+      TokenKind::kAssign, TokenKind::kEq,    TokenKind::kNe,     TokenKind::kLt,
+      TokenKind::kLe,     TokenKind::kGt,    TokenKind::kGe,     TokenKind::kAnd,
+      TokenKind::kOr,     TokenKind::kNot,   TokenKind::kEof};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(RuledslLexer, IdentifiersAllowDashes) {
+  auto tokens = lex_ok("bye-attack _x a1-b2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "bye-attack");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a1-b2");
+}
+
+TEST(RuledslLexer, DurationsNormalizeToMicroseconds) {
+  auto tokens = lex_ok("60s 200ms 100us 0s 7");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDuration);
+  EXPECT_EQ(tokens[0].int_value, sec(60));
+  EXPECT_EQ(tokens[1].int_value, msec(200));
+  EXPECT_EQ(tokens[2].int_value, usec(100));
+  EXPECT_EQ(tokens[3].int_value, 0);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[4].int_value, 7);
+}
+
+TEST(RuledslLexer, DurationOverflowIsAnError) {
+  EXPECT_FALSE(lex_error("99999999999999999999s").empty());
+  EXPECT_FALSE(lex_error("9999999999999999999").empty());  // bare int overflow
+}
+
+TEST(RuledslLexer, StringEscapesAndUtf8Passthrough) {
+  auto tokens = lex_ok("\"a\\\"b\\\\c\\n\\td\" \"em — dash\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a\"b\\c\n\td");
+  EXPECT_EQ(tokens[1].text, "em — dash");
+}
+
+TEST(RuledslLexer, StringErrors) {
+  EXPECT_FALSE(lex_error("\"unterminated").empty());
+  EXPECT_FALSE(lex_error("\"raw\nnewline\"").empty());
+  EXPECT_FALSE(lex_error("\"bad \\q escape\"").empty());
+}
+
+TEST(RuledslLexer, CommentsAreSkipped) {
+  auto tokens = lex_ok("# hash comment\nx // slash comment\ny");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+  EXPECT_EQ(tokens[1].loc.line, 3u);
+}
+
+TEST(RuledslLexer, DiagnosticsCarryFileLineCol) {
+  // The '@' on line 2, column 3 must be named precisely.
+  std::string message = lex_error("ok\n  @");
+  EXPECT_NE(message.find("test.sdr:2:3"), std::string::npos) << message;
+}
+
+TEST(RuledslLexer, LocationsTrackLinesAndColumns) {
+  auto tokens = lex_ok("a\n  bb\n");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.col, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.col, 3u);
+}
+
+TEST(RuledslLexer, EmptyInputYieldsJustEof) {
+  auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace scidive::ruledsl

@@ -1,0 +1,362 @@
+// DSL ↔ C++ rule parity: the compiled `.sdr` ports of the Table-1 attack
+// rules must be indistinguishable from the hand-written rules they replace —
+// byte-identical alert streams and AlertLedger records on the same capture,
+// topology-invariant under ShardedEngine at every shard count, and atomic
+// under hot reload (an invalid ruleset never touches the running one; a
+// valid mid-stream swap loses and double-matches nothing).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "fuzz/differential.h"
+#include "obs/metrics.h"
+#include "ruledsl/loader.h"
+#include "scidive/engine.h"
+#include "scidive/rules.h"
+#include "scidive/sharded_engine.h"
+#include "voip/attack.h"
+#include "voip/voip_fixture.h"
+
+namespace scidive::ruledsl {
+namespace {
+
+using core::EngineConfig;
+using core::ScidiveEngine;
+using core::ShardedEngine;
+using core::ShardedEngineConfig;
+using voip::testing::VoipFixture;
+
+#ifndef SCIDIVE_RULESET_DIR
+#define SCIDIVE_RULESET_DIR "examples/rulesets"
+#endif
+
+std::vector<std::string> shipped_ruleset_paths() {
+  const std::string dir = SCIDIVE_RULESET_DIR;
+  return {dir + "/bye_attack.sdr", dir + "/fake_im.sdr", dir + "/call_hijack.sdr",
+          dir + "/rtp_attack.sdr", dir + "/billing_fraud.sdr"};
+}
+
+CompiledRuleset load_shipped() {
+  auto compiled = compile_ruleset_files(shipped_ruleset_paths());
+  EXPECT_TRUE(compiled.ok()) << compiled.error().to_string();
+  return compiled.ok() ? compiled.value() : CompiledRuleset{};
+}
+
+/// The C++ originals of the five ported rules, in the same order the `.sdr`
+/// files are loaded (order matters: alert interleaving must match exactly).
+std::vector<core::RulePtr> cpp_ported_rules() {
+  const core::RulesConfig config;
+  std::vector<core::RulePtr> out;
+  out.push_back(std::make_unique<core::ByeAttackRule>());
+  out.push_back(std::make_unique<core::FakeImRule>(config));
+  out.push_back(std::make_unique<core::CallHijackRule>());
+  out.push_back(std::make_unique<core::RtpAttackRule>());
+  out.push_back(std::make_unique<core::BillingFraudRule>(config));
+  return out;
+}
+
+/// Full alert identity, not just the (rule, session) multiset: severity,
+/// timestamp and the rendered message all participate in "byte-identical".
+std::vector<std::string> alert_strings(const ScidiveEngine& engine) {
+  std::vector<std::string> out;
+  for (const core::Alert& a : engine.alerts().alerts()) out.push_back(a.to_string());
+  return out;
+}
+
+/// Every deterministic AlertRecord field (wall_unix_usec is wall clock and
+/// legitimately differs between runs).
+std::vector<std::string> ledger_strings(const ScidiveEngine& engine) {
+  std::vector<std::string> out;
+  for (const obs::AlertRecord& r : engine.ledger().records()) {
+    out.push_back(r.alert.to_string() + "|" +
+                  std::string(core::event_type_name(r.cause_type)) + "|" + r.cause_detail +
+                  "|" + std::to_string(r.cause_value) + "|" + r.cause_endpoint.to_string() +
+                  "|" + r.trail.to_string() + "|" + std::to_string(r.sim_time));
+  }
+  return out;
+}
+
+struct CaptureFixture : VoipFixture {
+  std::vector<pkt::Packet> capture;
+
+  CaptureFixture() {
+    net.add_tap([this](const pkt::Packet& packet) { capture.push_back(packet); });
+  }
+};
+
+struct Scenario {
+  const char* rule;                  // which rule the capture must trigger
+  std::vector<pkt::Packet> capture;
+  pkt::Ipv4Address home;
+};
+
+Scenario bye_attack_scenario() {
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*sniffer.latest_active_call(), /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  return {"bye-attack", std::move(f.capture), f.a_host.address()};
+}
+
+Scenario fake_im_scenario() {
+  CaptureFixture f;
+  f.register_both();
+  f.b.add_contact("alice@lab.net", f.a.sip_endpoint());
+  f.b.send_im("alice", "hi, this is really bob");
+  f.sim.run_until(f.sim.now() + sec(1));
+  voip::FakeImAttacker attacker(f.attacker_host);
+  attacker.send(f.a.sip_endpoint(), "bob@lab.net", "wire money please");
+  f.sim.run_until(f.sim.now() + sec(1));
+  return {"fake-im", std::move(f.capture), f.a_host.address()};
+}
+
+Scenario call_hijack_scenario() {
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::CallHijacker hijacker(f.attacker_host);
+  hijacker.attack(*sniffer.latest_active_call(), {f.attacker_host.address(), 17000},
+                  /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  return {"call-hijack", std::move(f.capture), f.a_host.address()};
+}
+
+Scenario rtp_attack_scenario() {
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::RtpInjector injector(f.attacker_host, /*seed=*/77);
+  pkt::Endpoint victim{f.a_host.address(), f.a.config().rtp_port};
+  if (auto call = sniffer.latest_active_call();
+      call && call->caller_media.addr == f.a_host.address()) {
+    victim = call->caller_media;
+  }
+  injector.start(victim, {.count = 30});
+  f.sim.run_until(f.sim.now() + sec(1));
+  return {"rtp-attack", std::move(f.capture), f.a_host.address()};
+}
+
+std::vector<Scenario> table1_scenarios() {
+  std::vector<Scenario> out;
+  out.push_back(bye_attack_scenario());
+  out.push_back(fake_im_scenario());
+  out.push_back(call_hijack_scenario());
+  out.push_back(rtp_attack_scenario());
+  return out;
+}
+
+EngineConfig replay_config(pkt::Ipv4Address home) {
+  EngineConfig config;
+  config.home_addresses = {home};
+  config.obs.time_stages = false;
+  return config;
+}
+
+ScidiveEngine make_engine(const Scenario& s, std::vector<core::RulePtr> rules) {
+  ScidiveEngine engine(replay_config(s.home));
+  engine.set_rules(std::move(rules));
+  return engine;
+}
+
+// --- the shipped rulesets themselves (ctest twin of the CI rulec step) ---
+
+TEST(RuledslParity, EveryShippedRulesetCompiles) {
+  for (const std::string& path : shipped_ruleset_paths()) {
+    auto one = compile_ruleset_file(path);
+    EXPECT_TRUE(one.ok()) << path << ": "
+                          << (one.ok() ? "" : one.error().to_string());
+  }
+  CompiledRuleset all = load_shipped();
+  EXPECT_EQ(all.rules.size(), 5u);
+  EXPECT_FALSE(all.dump().empty());
+}
+
+// --- single-engine byte parity ---
+
+TEST(RuledslParity, FourAttacksByteIdenticalAlertsAndLedger) {
+  const CompiledRuleset ruleset = load_shipped();
+  ASSERT_EQ(ruleset.rules.size(), 5u);
+  for (const Scenario& s : table1_scenarios()) {
+    ScidiveEngine cpp_engine = make_engine(s, cpp_ported_rules());
+    ScidiveEngine dsl_engine = make_engine(s, make_rules(ruleset));
+    for (const pkt::Packet& p : s.capture) {
+      cpp_engine.on_packet(p);
+      dsl_engine.on_packet(p);
+    }
+    ASSERT_GE(cpp_engine.alerts().alerts().size(), 1u)
+        << s.rule << ": scenario did not alert";
+    EXPECT_GE(cpp_engine.alerts().count_for_rule(s.rule), 1u) << s.rule;
+    EXPECT_EQ(alert_strings(cpp_engine), alert_strings(dsl_engine)) << s.rule;
+    EXPECT_EQ(ledger_strings(cpp_engine), ledger_strings(dsl_engine)) << s.rule;
+  }
+}
+
+// --- sharded parity: DSL rules are topology-invariant too ---
+
+TEST(RuledslParity, DifferentialHoldsWithDslRulesOnAttackCaptures) {
+  const CompiledRuleset ruleset = load_shipped();
+  for (const Scenario& s : table1_scenarios()) {
+    fuzz::DifferentialConfig config;
+    config.shard_counts = {1, 2, 4, 8};
+    config.engine.home_addresses = {s.home};
+    config.make_rules = [&ruleset] { return make_rules(ruleset); };
+    fuzz::DifferentialReport report = fuzz::run_differential(s.capture, config);
+    EXPECT_TRUE(report.ok()) << s.rule << ": " << report.to_string();
+    EXPECT_GE(report.single_alerts, 1u) << s.rule;
+  }
+}
+
+TEST(RuledslParity, DifferentialHoldsWithDslRulesOnAdversarialStream) {
+  const CompiledRuleset ruleset = load_shipped();
+  fuzz::DifferentialConfig config;
+  config.make_rules = [&ruleset] { return make_rules(ruleset); };
+  fuzz::DifferentialReport report =
+      fuzz::run_differential(fuzz::adversarial_stream(0xd51d51d5), config);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RuledslParity, ShardedDslMatchesSingleCppMultiset) {
+  // Cross pairing: N-shard DSL engines against the single-threaded C++
+  // originals — the full "indistinguishable to the engine" claim.
+  const CompiledRuleset ruleset = load_shipped();
+  for (const Scenario& s : table1_scenarios()) {
+    ScidiveEngine cpp_engine = make_engine(s, cpp_ported_rules());
+    for (const pkt::Packet& p : s.capture) cpp_engine.on_packet(p);
+    std::multiset<std::string> want;
+    for (const core::Alert& a : cpp_engine.alerts().alerts()) {
+      want.insert(a.rule + "|" + a.session + "|" +
+                  std::string(core::severity_name(a.severity)) + "|" + a.message);
+    }
+    for (size_t shards : {2u, 4u}) {
+      ShardedEngineConfig sc;
+      sc.engine = replay_config(s.home);
+      sc.num_shards = shards;
+      ShardedEngine sharded(sc);
+      sharded.set_rules([&](size_t) { return make_rules(ruleset); });
+      for (const pkt::Packet& p : s.capture) sharded.on_packet(p);
+      sharded.flush();
+      std::multiset<std::string> got;
+      for (const core::Alert& a : sharded.merged_alerts()) {
+        got.insert(a.rule + "|" + a.session + "|" +
+                   std::string(core::severity_name(a.severity)) + "|" + a.message);
+      }
+      EXPECT_EQ(got, want) << s.rule << " @ " << shards << " shards";
+    }
+  }
+}
+
+// --- hot reload ---
+
+TEST(RuledslParity, HotReloadMidStreamLosesAndDoublesNothing) {
+  // Swapping in the same ruleset between packets must leave the alert
+  // stream byte-identical to an undisturbed run: no event is lost to the
+  // swap and none is matched twice. (The ported Table-1 rules keep their
+  // cross-packet state in the event generator, so a swap is semantically a
+  // no-op — which is exactly what makes the comparison exact.)
+  const CompiledRuleset ruleset = load_shipped();
+  Scenario s = bye_attack_scenario();
+
+  ScidiveEngine baseline = make_engine(s, make_rules(ruleset));
+  for (const pkt::Packet& p : s.capture) baseline.on_packet(p);
+  ASSERT_GE(baseline.alerts().count_for_rule("bye-attack"), 1u);
+
+  ScidiveEngine reloaded = make_engine(s, make_rules(ruleset));
+  for (size_t i = 0; i < s.capture.size(); ++i) {
+    if (i % 7 == 3) reloaded.set_rules(make_rules(ruleset));  // frequent swaps
+    reloaded.on_packet(s.capture[i]);
+  }
+  EXPECT_EQ(alert_strings(reloaded), alert_strings(baseline));
+
+  // Sharded: reload between flush boundaries mid-stream.
+  ShardedEngineConfig sc;
+  sc.engine = replay_config(s.home);
+  sc.num_shards = 4;
+  ShardedEngine sharded(sc);
+  sharded.set_rules([&](size_t) { return make_rules(ruleset); });
+  for (size_t i = 0; i < s.capture.size(); ++i) {
+    if (i == s.capture.size() / 2) {
+      sharded.set_rules([&](size_t) { return make_rules(ruleset); });
+    }
+    sharded.on_packet(s.capture[i]);
+  }
+  sharded.flush();
+  std::multiset<std::string> got, want;
+  for (const core::Alert& a : sharded.merged_alerts()) got.insert(a.to_string());
+  for (const core::Alert& a : baseline.alerts().alerts()) want.insert(a.to_string());
+  EXPECT_EQ(got, want);
+}
+
+TEST(RuledslParity, InvalidReloadLeavesRunningRulesetUntouched) {
+  const CompiledRuleset ruleset = load_shipped();
+  Scenario s = bye_attack_scenario();
+
+  // A file whose first rule is valid and second is not: nothing may load.
+  const std::string bad_path = ::testing::TempDir() + "scidive_bad_ruleset.sdr";
+  {
+    std::ofstream out(bad_path, std::ios::trunc);
+    out << "rule half-valid { on RtpAfterBye { alert info \"ok\"; } }\n"
+        << "rule broken { on RtpAfterBye { set ghost = 1; } }\n";
+  }
+
+  ScidiveEngine engine = make_engine(s, make_rules(ruleset));
+  ASSERT_EQ(engine.rule_count(), 5u);
+
+  auto bad = reload_from_file(engine, bad_path);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.error().message.empty());
+  EXPECT_EQ(engine.rule_count(), 5u) << "failed reload must not touch the ruleset";
+
+  auto missing = reload_from_file(engine, bad_path + ".does-not-exist");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(engine.rule_count(), 5u);
+
+  // The untouched rules still detect the attack...
+  for (const pkt::Packet& p : s.capture) engine.on_packet(p);
+  EXPECT_GE(engine.alerts().count_for_rule("bye-attack"), 1u);
+
+  // ...and the reload accounting saw exactly the two failures.
+  obs::Snapshot snap = engine.metrics_snapshot();
+  EXPECT_EQ(snap.counter_value("scidive_ruleset_reloads_total", {{"result", "error"}}), 2u);
+  EXPECT_EQ(snap.counter_value("scidive_ruleset_reloads_total", {{"result", "ok"}}), 0u);
+
+  // A valid reload flips the ok counter and swaps the live set.
+  auto good = reload_from_file(engine, shipped_ruleset_paths()[0]);
+  EXPECT_TRUE(good.ok()) << good.error().to_string();
+  EXPECT_EQ(engine.rule_count(), 1u);
+  snap = engine.metrics_snapshot();
+  EXPECT_EQ(snap.counter_value("scidive_ruleset_reloads_total", {{"result", "ok"}}), 1u);
+  std::remove(bad_path.c_str());
+}
+
+TEST(RuledslParity, ShardedInvalidReloadLeavesRulesUntouched) {
+  const CompiledRuleset ruleset = load_shipped();
+  ShardedEngineConfig sc;
+  sc.num_shards = 2;
+  sc.engine.obs.time_stages = false;
+  ShardedEngine sharded(sc);
+  sharded.set_rules([&](size_t) { return make_rules(ruleset); });
+
+  auto bad = reload_from_file(sharded, std::string(SCIDIVE_RULESET_DIR) + "/nope.sdr");
+  EXPECT_FALSE(bad.ok());
+  obs::Snapshot snap = sharded.frontend_metrics().snapshot();
+  EXPECT_EQ(snap.counter_value("scidive_ruleset_reloads_total", {{"result", "error"}}), 1u);
+
+  auto good = reload_from_file(sharded, shipped_ruleset_paths()[0]);
+  EXPECT_TRUE(good.ok()) << good.error().to_string();
+  snap = sharded.frontend_metrics().snapshot();
+  EXPECT_EQ(snap.counter_value("scidive_ruleset_reloads_total", {{"result", "ok"}}), 1u);
+}
+
+}  // namespace
+}  // namespace scidive::ruledsl
