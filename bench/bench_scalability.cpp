@@ -4,8 +4,11 @@
 // measures wall-clock packets/second while feeding in-session RTP
 // round-robin across all of them:
 //
-//   * single engine, K in {1, 10, 100, 1000, 5000};
-//   * ShardedEngine with 1/2/4/8 shards at K >= 1000.
+//   * single engine, K in {1, 10, 100, 1000, 5000, 20000, 50000};
+//   * ShardedEngine with 1/2/4/8 shards at K >= 1000 (rows where the shard
+//     count exceeds the machine's hardware threads are marked oversubscribed
+//     — they measure queue overhead, not scaling);
+//   * worker drain batch-size sweep (B in {1, 8, 32, 128}) at 5000 sessions.
 //
 // Packets are pre-built once per session with a zero UDP checksum (legal
 // per RFC 768, skipped by the parser) so the feed loop only patches the RTP
@@ -132,9 +135,10 @@ RunResult run_single(SessionPlan& plan, int packets) {
   return r;
 }
 
-RunResult run_sharded(SessionPlan& plan, int packets, size_t shards) {
+RunResult run_sharded(SessionPlan& plan, int packets, size_t shards, size_t batch_size = 0) {
   core::ShardedEngineConfig config;
   config.num_shards = shards;
+  if (batch_size != 0) config.batch_size = batch_size;
   core::ShardedEngine engine(config);
   for (const auto& p : plan.signaling) engine.on_packet(p);
   engine.flush();
@@ -172,9 +176,10 @@ int main() {
   printf("----------------------------------------------------------------------\n");
 
   const int kPackets = 200000;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   bool first = true;
   double single_1000_pps = 0;
-  for (int k : {1, 10, 100, 1000, 5000}) {
+  for (int k : {1, 10, 100, 1000, 5000, 20000, 50000}) {
     auto plan = build_plan(k);
     RunResult r = run_single(plan, kPackets);
     printf("%-10d | %-14d | %11.3f s | %12.0f | %zu\n", k, kPackets, r.elapsed, r.pps, r.trails);
@@ -200,15 +205,44 @@ int main() {
   for (size_t shards : {1u, 2u, 4u, 8u}) {
     auto plan = build_plan(1000);
     RunResult r = run_sharded(plan, kPackets, shards);
-    printf("%-8zu | %11.3f s | %12.0f | %13.2fx | %llu\n", shards, r.elapsed, r.pps,
-           single_1000_pps > 0 ? r.pps / single_1000_pps : 0.0, (unsigned long long)r.dropped);
+    const bool oversubscribed = hw_threads != 0 && shards > hw_threads;
+    printf("%-8zu | %11.3f s | %12.0f | %13.2fx | %-8llu%s\n", shards, r.elapsed, r.pps,
+           single_1000_pps > 0 ? r.pps / single_1000_pps : 0.0, (unsigned long long)r.dropped,
+           oversubscribed ? "  (oversubscribed: shards > hardware threads)" : "");
     if (r.alerts != 0) printf("  unexpected alerts: %llu\n", (unsigned long long)r.alerts);
-    char row[200];
+    char row[256];
     snprintf(row, sizeof(row),
              "    %s{\"shards\": %zu, \"sessions\": 1000, \"packets\": %d, "
-             "\"pkts_per_sec\": %.0f, \"speedup_vs_single\": %.3f, \"dropped\": %llu}",
+             "\"pkts_per_sec\": %.0f, \"speedup_vs_single\": %.3f, \"dropped\": %llu, "
+             "\"oversubscribed\": %s}",
              first ? "" : ",", shards, kPackets, r.pps,
-             single_1000_pps > 0 ? r.pps / single_1000_pps : 0.0, (unsigned long long)r.dropped);
+             single_1000_pps > 0 ? r.pps / single_1000_pps : 0.0, (unsigned long long)r.dropped,
+             oversubscribed ? "true" : "false");
+    json += row;
+    json += "\n";
+    first = false;
+  }
+  json += "  ],\n  \"batch_sweep\": [\n";
+
+  printf("\nWorker drain batch-size sweep at 5000 sessions (%u shard%s)\n",
+         hw_threads > 1 ? 2u : 1u, hw_threads > 1 ? "s" : "");
+  printf("==========================================================\n\n");
+  printf("%-8s | %-14s | %-12s | %-8s\n", "batch", "wall time", "pkts/sec", "dropped");
+  printf("--------------------------------------------------\n");
+
+  const size_t sweep_shards = hw_threads > 1 ? 2 : 1;
+  first = true;
+  for (size_t batch : {1u, 8u, 32u, 128u}) {
+    auto plan = build_plan(5000);
+    RunResult r = run_sharded(plan, kPackets, sweep_shards, batch);
+    printf("%-8zu | %11.3f s | %12.0f | %llu\n", batch, r.elapsed, r.pps,
+           (unsigned long long)r.dropped);
+    char row[200];
+    snprintf(row, sizeof(row),
+             "    %s{\"batch\": %zu, \"shards\": %zu, \"sessions\": 5000, \"packets\": %d, "
+             "\"pkts_per_sec\": %.0f, \"dropped\": %llu}",
+             first ? "" : ",", batch, sweep_shards, kPackets, r.pps,
+             (unsigned long long)r.dropped);
     json += row;
     json += "\n";
     first = false;

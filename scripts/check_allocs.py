@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Allocation-regression guard over bench_efficiency JSON output.
+
+Run the alloc-counting benchmarks with google-benchmark's JSON reporter:
+
+    ./build/bench/bench_efficiency \
+        --benchmark_filter='Allocs' --benchmark_format=json > allocs.json
+    python3 scripts/check_allocs.py allocs.json
+
+The guarded benchmarks measure steady-state allocations per operation on
+the RTP hot path. BM_TrailRouteRtpAllocs (both metric arms) and
+BM_EngineRtpPacketAllocs (builtin and DSL rulesets) must stay at zero:
+the session arena + flat-map + interner layer exists precisely so that
+an in-session packet allocates nothing. A small epsilon absorbs one-time
+noise that leaks past warm-up (a rare flat-map rehash amortised over
+millions of iterations lands around 1e-6 allocs/op).
+
+Exit status is non-zero if any guarded benchmark exceeds the threshold
+or is missing from the JSON (so a renamed/deleted benchmark cannot
+silently disable the guard).
+"""
+
+import json
+import sys
+
+# allocs/op ceiling. Steady state is exactly 0; the epsilon only absorbs
+# amortised one-off growth (e.g. a single hash-table rehash during a long
+# run, ~4.5e-6 allocs/op in practice).
+EPSILON = 0.01
+
+# Benchmark-name prefixes that must stay allocation-free. Each expands to
+# every run matching "<prefix>/" or exactly "<prefix>" in the JSON, so the
+# Arg(0)/Arg(1) arms (metrics off/on, builtin/DSL rules) are all guarded.
+GUARDED = [
+    "BM_TrailRouteRtpAllocs",
+    "BM_TrailAddRtpAllocs",
+    "BM_EngineRtpPacketAllocs",
+]
+
+
+def main(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+
+    runs = [b for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"]
+
+    status = 0
+    seen = {g: 0 for g in GUARDED}
+    for run in runs:
+        name = run.get("name", "")
+        base = name.split("/")[0]
+        if base not in seen:
+            continue
+        seen[base] += 1
+        allocs = run.get("allocs_per_op")
+        if allocs is None:
+            print(f"FAIL {name}: no allocs_per_op counter in JSON")
+            status = 1
+            continue
+        if allocs > EPSILON:
+            print(f"FAIL {name}: allocs_per_op = {allocs:.6g} "
+                  f"(threshold {EPSILON})")
+            status = 1
+        else:
+            print(f"OK   {name}: allocs_per_op = {allocs:.6g}")
+
+    for base, count in seen.items():
+        if count == 0:
+            print(f"FAIL {base}: benchmark absent from {path} "
+                  f"(guard would be silently disabled)")
+            status = 1
+
+    if status == 0:
+        print("allocation guard: all hot paths at zero allocs/op")
+    return status
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

@@ -1,0 +1,166 @@
+// Chunked bump arena. Allocation is pointer arithmetic inside the current
+// chunk; releasing the arena frees every chunk at once — O(#chunks), not
+// O(#allocations) — which is what makes per-session state teardown cheap:
+// a session's trails and their ring storage live in one arena, so ending
+// the session returns all of it in a handful of frees regardless of how
+// many footprints the session accumulated.
+//
+// The arena never runs destructors. Callers that place non-trivially-
+// destructible objects in it (TrailManager does, for Trail) destroy them
+// explicitly before release(); plain byte/POD storage needs nothing.
+//
+// ArenaAllocator<T> adapts an arena to the std allocator interface so
+// standard containers (the Trail footprint ring) can draw from it;
+// deallocate is a no-op — superseded blocks stay in the arena until the
+// whole session is released, bounding waste at the usual geometric-growth
+// constant. A default-constructed ArenaAllocator falls back to the global
+// heap, so arena-aware types still work when no arena is in play (tests,
+// direct construction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace scidive {
+
+class Arena {
+ public:
+  explicit Arena(size_t first_chunk_bytes = 1024) : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(Arena&& other) noexcept { move_from(other); }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    uintptr_t p = (cur_ + align - 1) & ~(uintptr_t{align} - 1);
+    if (p + bytes > end_) {
+      grow(bytes + align);
+      p = (cur_ + align - 1) & ~(uintptr_t{align} - 1);
+    }
+    cur_ = p + bytes;
+    used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Placement-construct a T in the arena. The caller owns the lifetime:
+  /// call the destructor explicitly if T needs one, then release().
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Grow the arena's MOST RECENT allocation in place, if `p + old_bytes` is
+  /// exactly the bump pointer and the current chunk has room. Returns true on
+  /// success (the block now spans new_bytes); false leaves everything
+  /// untouched and the caller falls back to allocate-and-move. This is what
+  /// lets an append-only ring grow without copying or abandoning blocks: the
+  /// ring is almost always the newest allocation in its session's arena.
+  bool try_extend(void* p, size_t old_bytes, size_t new_bytes) {
+    uintptr_t block = reinterpret_cast<uintptr_t>(p);
+    if (block + old_bytes != cur_) return false;
+    if (block + new_bytes > end_) return false;
+    cur_ = block + new_bytes;
+    used_ += new_bytes - old_bytes;
+    return true;
+  }
+
+  /// Free every chunk. O(#chunks); no destructors run.
+  void release() {
+    chunks_.clear();
+    cur_ = end_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out to callers (excludes alignment and chunk slack).
+  size_t bytes_allocated() const { return used_; }
+  /// Bytes held from the heap across all chunks.
+  size_t bytes_reserved() const { return reserved_; }
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    size_t size = 0;
+  };
+
+  /// The source must not keep bump pointers into chunks it no longer owns.
+  void move_from(Arena& other) {
+    chunks_ = std::move(other.chunks_);
+    cur_ = other.cur_;
+    end_ = other.end_;
+    used_ = other.used_;
+    reserved_ = other.reserved_;
+    next_chunk_bytes_ = other.next_chunk_bytes_;
+    other.cur_ = other.end_ = 0;
+    other.used_ = other.reserved_ = 0;
+    other.chunks_.clear();
+  }
+
+  void grow(size_t at_least) {
+    size_t size = next_chunk_bytes_;
+    while (size < at_least) size *= 2;
+    // Chunks double up to a cap so huge sessions don't over-reserve.
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ = size * 2;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    reserved_ += size;
+    cur_ = reinterpret_cast<uintptr_t>(chunks_.back().mem.get());
+    end_ = cur_ + size;
+  }
+
+  static constexpr size_t kMaxChunkBytes = 256 * 1024;
+
+  std::vector<Chunk> chunks_;
+  uintptr_t cur_ = 0;
+  uintptr_t end_ = 0;
+  size_t used_ = 0;
+  size_t reserved_ = 0;
+  size_t next_chunk_bytes_;
+};
+
+/// std-allocator adapter. Null arena = global heap (so arena-aware types
+/// keep working without one).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  /// Container moves/swaps carry the allocator with the storage they own;
+  /// arena-backed blocks must keep deallocating as no-ops after a move.
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena blocks are reclaimed wholesale at release().
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace scidive

@@ -73,6 +73,24 @@ class SpscQueue {
     return n;
   }
 
+  /// Consumer side: drain up to `max` elements into `out` (appended; callers
+  /// reuse a cleared scratch vector so steady state performs no allocation).
+  /// Moves the whole batch out of the ring before the single release store,
+  /// so the producer regains every slot at once and the consumer processes
+  /// from thread-local memory with no further ring traffic.
+  size_t pop_batch(std::vector<T>& out, size_t max) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return 0;
+    }
+    size_t available = cached_head_ - tail;
+    size_t n = available < max ? available : max;
+    for (size_t i = 0; i < n; ++i) out.push_back(std::move(slots_[(tail + i) & mask_]));
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   size_t capacity() const { return mask_ + 1; }
 
   /// Approximate (exact only when the other side is quiescent).

@@ -1,0 +1,65 @@
+#include "common/symbol.h"
+
+#include <cstring>
+
+namespace scidive {
+
+uint32_t SymbolTable::hash_of(std::string_view s) {
+  // FNV-1a, folded through a final avalanche so power-of-two masking sees
+  // entropy in the low bits even for ids sharing long prefixes.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h);
+}
+
+size_t SymbolTable::probe(std::string_view name, uint32_t hash) const {
+  size_t i = hash & mask_;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.id_plus1 == 0) return i;  // empty: insertion point
+    if (slot.hash == hash && names_[slot.id_plus1 - 1] == name) return i;
+    i = (i + 1) & mask_;
+  }
+}
+
+void SymbolTable::grow() {
+  const size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  mask_ = new_cap - 1;
+  for (const Slot& slot : old) {
+    if (slot.id_plus1 == 0) continue;
+    size_t i = slot.hash & mask_;
+    while (slots_[i].id_plus1 != 0) i = (i + 1) & mask_;
+    slots_[i] = slot;
+  }
+}
+
+Symbol SymbolTable::intern(std::string_view name) {
+  if ((names_.size() + 1) * 10 > slots_.size() * 7) grow();
+  const uint32_t hash = hash_of(name);
+  size_t i = probe(name, hash);
+  if (slots_[i].id_plus1 != 0) return slots_[i].id_plus1 - 1;
+
+  char* bytes = static_cast<char*>(arena_.allocate(name.size() == 0 ? 1 : name.size(), 1));
+  if (!name.empty()) std::memcpy(bytes, name.data(), name.size());
+  const Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(bytes, name.size());
+  slots_[i] = Slot{hash, id + 1};
+  return id;
+}
+
+std::optional<Symbol> SymbolTable::find(std::string_view name) const {
+  if (names_.empty()) return std::nullopt;
+  const size_t i = probe(name, hash_of(name));
+  if (slots_[i].id_plus1 == 0) return std::nullopt;
+  return slots_[i].id_plus1 - 1;
+}
+
+}  // namespace scidive

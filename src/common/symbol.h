@@ -1,0 +1,68 @@
+// Symbol interning for the session-scale hot path. Call-IDs, AORs and
+// synthetic flow ids are the keys of every stateful table in the pipeline;
+// hashing and comparing them as strings is what made per-packet cost grow
+// with the session count. A SymbolTable maps each distinct string to a
+// dense uint32_t id exactly once — after the single intern at classify
+// time, every downstream table (trails, session index, event-generator
+// state, rule state) keys on the integer.
+//
+// Ids are dense (0, 1, 2, ...) in first-intern order and never recycled,
+// so they stay stable for the table's lifetime — across rule hot reloads
+// and session expiry. Name bytes live in an arena owned by the table;
+// name() views stay valid as long as the table does.
+//
+// Not thread-safe: one table per shard engine, like every other pipeline
+// component.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace scidive {
+
+using Symbol = uint32_t;
+inline constexpr Symbol kInvalidSymbol = 0xffffffffu;
+
+class SymbolTable {
+ public:
+  SymbolTable() : arena_(kFirstChunkBytes) {}
+
+  /// Id for `name`, interning it on first sight.
+  Symbol intern(std::string_view name);
+
+  /// Lookup without interning (queries for sessions that may not exist).
+  std::optional<Symbol> find(std::string_view name) const;
+
+  /// The interned spelling. Valid for the table's lifetime.
+  std::string_view name(Symbol sym) const { return names_[sym]; }
+
+  size_t size() const { return names_.size(); }
+  /// Heap footprint: name bytes plus the probe table.
+  size_t bytes() const {
+    return arena_.bytes_reserved() + slots_.capacity() * sizeof(Slot) +
+           names_.capacity() * sizeof(std::string_view);
+  }
+
+ private:
+  struct Slot {
+    uint32_t hash = 0;
+    uint32_t id_plus1 = 0;  // 0 = empty
+  };
+
+  static constexpr size_t kFirstChunkBytes = 4096;
+
+  static uint32_t hash_of(std::string_view s);
+  size_t probe(std::string_view name, uint32_t hash) const;
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::vector<std::string_view> names_;  // views into arena_ bytes
+  Arena arena_;
+  size_t mask_ = 0;
+};
+
+}  // namespace scidive

@@ -112,6 +112,7 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
     sc.num_shards = shards;
     sc.queue_capacity = config.queue_capacity;
     sc.overflow = config.overflow;
+    if (config.batch_size != 0) sc.batch_size = config.batch_size;
     core::ShardedEngine sharded(sc);
     if (config.make_rules) {
       sharded.set_rules([&](size_t) { return config.make_rules(); });

@@ -20,6 +20,8 @@ struct DifferentialConfig {
   std::vector<size_t> shard_counts = {1, 2, 4, 8};
   core::OverflowPolicy overflow = core::OverflowPolicy::kBlock;
   size_t queue_capacity = 4096;
+  /// Worker drain batch size (0 keeps the ShardedEngine default).
+  size_t batch_size = 0;
   /// Base per-engine configuration. time_stages is forced off (wall-clock
   /// histograms can never be equal) and the home scope is left as given.
   core::EngineConfig engine;

@@ -33,18 +33,16 @@ int64_t since_value(SimTime now, int64_t t) {
 
 CompiledRule::Record& CompiledRule::record_for(const core::Event& event) {
   const std::string& key = def_->key == KeyKind::kAor ? event.aor : event.session;
-  auto it = records_.find(key);
-  if (it == records_.end()) {
-    Record rec;
-    rec.nums.reserve(def_->slots.size());
-    for (const SlotDecl& slot : def_->slots) rec.nums.push_back(slot.init);
-    rec.strs.resize(def_->num_string_slots);
+  auto [rec, inserted] = records_.try_emplace(keys_.intern(key));
+  if (inserted) {
+    rec->nums.reserve(def_->slots.size());
+    for (const SlotDecl& slot : def_->slots) rec->nums.push_back(slot.init);
+    rec->strs.resize(def_->num_string_slots);
     for (const SlotDecl& slot : def_->slots) {
-      if (slot.type == ValType::kString) rec.strs[slot.str_index] = slot.str_init;
+      if (slot.type == ValType::kString) rec->strs[slot.str_index] = slot.str_init;
     }
-    it = records_.emplace(key, std::move(rec)).first;
   }
-  return it->second;
+  return *rec;
 }
 
 CompiledRule::Value CompiledRule::eval(const ExprProgram& program, const core::Event& event,

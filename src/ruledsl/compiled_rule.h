@@ -6,11 +6,12 @@
 // CompiledRuleDef is shared.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/symbol.h"
 #include "ruledsl/program.h"
 #include "scidive/rule.h"
 
@@ -53,7 +54,11 @@ class CompiledRule : public core::Rule {
                      core::RuleContext& ctx) const;
 
   std::shared_ptr<const CompiledRuleDef> def_;
-  std::map<std::string, Record, std::less<>> records_;
+  /// Rule-local interner: state keys (session ids or AORs) hash once as a
+  /// string and forever after as a dense integer. Symbols are stable across
+  /// hot reloads because reload swaps rule *definitions*, not rule state.
+  SymbolTable keys_;
+  FlatMap<Symbol, Record> records_;
 };
 
 }  // namespace scidive::ruledsl

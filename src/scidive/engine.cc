@@ -283,6 +283,16 @@ void ScidiveEngine::sync_component_stats() {
       .set(static_cast<int64_t>(trails_.session_count()));
   registry_.gauge("scidive_media_bindings", "SDP-learned media endpoint bindings")
       .set(static_cast<int64_t>(trails_.media_binding_count()));
+  registry_
+      .gauge("scidive_interned_symbols", "Distinct session ids interned by the trail manager")
+      .set(static_cast<int64_t>(trails_.symbols().size()));
+  registry_
+      .gauge("scidive_interner_bytes", "Heap bytes held by the session-id interner")
+      .set(static_cast<int64_t>(trails_.symbols().bytes()));
+  registry_
+      .gauge("scidive_session_arena_bytes",
+             "Heap bytes reserved across all per-session trail arenas")
+      .set(static_cast<int64_t>(trails_.arena_bytes_reserved()));
 
   const EventGeneratorStats& e = events_.stats();
   registry_

@@ -46,7 +46,11 @@ void EventGenerator::process(const Footprint& fp, const Trail& trail,
                              std::vector<Event>& out) {
   ++stats_.footprints_processed;
   const SessionId& session = trail.key().session;
-  SessionState& state = sessions_[session];
+  // Managed trails carry their interned symbol; directly-constructed trails
+  // (tests) intern on the fly through the manager's shared table.
+  Symbol sym = trail.sym();
+  if (sym == kInvalidSymbol) sym = trails_.symbols().intern(session);
+  SessionState& state = sessions_[sym];
   state.last_touched = fp.time;
 
   switch (fp.protocol) {
@@ -236,18 +240,18 @@ void EventGenerator::process_rtp(const Footprint& fp, const RtpFootprint& rtp,
                     static_cast<int64_t>(rtp.sequence), ""});
   }
   // Consecutive-packet sequence check at the receiving media port (§4.2.4).
-  auto [seq_it, first_at_dst] = state.last_seq_by_dst.try_emplace(fp.dst, rtp.sequence);
+  auto [last_seq, first_at_dst] = state.last_seq_by_dst.try_emplace(fp.dst, rtp.sequence);
   if (!first_at_dst) {
-    int32_t gap = rtp::seq_distance(seq_it->second, rtp.sequence);
+    int32_t gap = rtp::seq_distance(*last_seq, rtp.sequence);
     if (std::abs(gap) > config_.seq_jump_threshold) {
       emit(out, Event{EventType::kRtpSeqJump, session, fp.time, "", fp.src, gap,
                       str::format("sequence gap %d between consecutive packets", gap)});
     }
-    seq_it->second = rtp.sequence;
+    *last_seq = rtp.sequence;
   }
 
   // New source?
-  if (state.rtp_sources_seen.insert(fp.src).second) {
+  if (state.rtp_sources_seen.insert(fp.src)) {
     emit(out, Event{EventType::kRtpStreamStarted, session, fp.time, "", fp.src,
                     static_cast<int64_t>(rtp.ssrc), "rtp flow started"});
     if (state.invite_seen) {
@@ -261,14 +265,14 @@ void EventGenerator::process_rtp(const Footprint& fp, const RtpFootprint& rtp,
   }
 
   // Jitter estimate per source.
-  auto [stats_it, _] = state.stats_by_src.try_emplace(fp.src, rtp::RtpStreamStats(8000));
-  stats_it->second.on_packet(rtp.sequence, rtp.timestamp, fp.time);
-  if (stats_it->second.packets_received() > config_.jitter_warmup_packets &&
-      stats_it->second.jitter_ms() > config_.jitter_alarm_ms &&
+  auto [src_stats, _] = state.stats_by_src.try_emplace(fp.src, rtp::RtpStreamStats(8000));
+  src_stats->on_packet(rtp.sequence, rtp.timestamp, fp.time);
+  if (src_stats->packets_received() > config_.jitter_warmup_packets &&
+      src_stats->jitter_ms() > config_.jitter_alarm_ms &&
       !state.jitter_alarmed.contains(fp.src)) {
     state.jitter_alarmed.insert(fp.src);
     emit(out, Event{EventType::kRtpJitter, session, fp.time, "", fp.src,
-                    static_cast<int64_t>(stats_it->second.jitter_ms() * 1000),
+                    static_cast<int64_t>(src_stats->jitter_ms() * 1000),
                     "jitter above threshold"});
   }
 
@@ -420,16 +424,9 @@ void EventGenerator::process_acc(const Footprint& fp, const AccFootprint& acc,
 }
 
 size_t EventGenerator::expire_idle(SimTime cutoff) {
-  size_t dropped = 0;
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second.last_touched < cutoff) {
-      it = sessions_.erase(it);
-      ++dropped;
-      ++stats_.sessions_expired;
-    } else {
-      ++it;
-    }
-  }
+  size_t dropped = sessions_.erase_if(
+      [&](const Symbol&, const SessionState& state) { return state.last_touched < cutoff; });
+  stats_.sessions_expired += dropped;
   return dropped;
 }
 

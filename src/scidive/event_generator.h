@@ -10,6 +10,8 @@
 #include <set>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/symbol.h"
 #include "rtp/stats.h"
 #include "scidive/event.h"
 #include "scidive/trail_manager.h"
@@ -85,11 +87,12 @@ class EventGenerator {
     std::optional<pkt::Endpoint> caller_media, callee_media;
     std::optional<pkt::Endpoint> caller_signaling;  // where the INVITE/Setup came from
     std::optional<pkt::Endpoint> callee_signaling;  // where the 200/Connect came from
-    // Media-plane tracking.
-    std::set<pkt::Endpoint> rtp_sources_seen;
-    std::map<pkt::Endpoint, uint16_t> last_seq_by_dst;  // consecutive-packet view
-    std::map<pkt::Endpoint, rtp::RtpStreamStats> stats_by_src;
-    std::set<pkt::Endpoint> jitter_alarmed;
+    // Media-plane tracking. Flat tables: the per-RTP-packet path does a
+    // handful of these lookups, and endpoints hash to one word.
+    FlatSet<pkt::Endpoint> rtp_sources_seen;
+    FlatMap<pkt::Endpoint, uint16_t> last_seq_by_dst;  // consecutive-packet view
+    FlatMap<pkt::Endpoint, rtp::RtpStreamStats> stats_by_src;
+    FlatSet<pkt::Endpoint> jitter_alarmed;
     /// Active orphan-media watches (SIP BYE, re-INVITE, RTCP BYE can all be
     /// pending at once). Bounded: oldest evicted beyond kMaxMonitors.
     std::vector<MediaMonitor> monitors;
@@ -124,7 +127,10 @@ class EventGenerator {
 
   TrailManager& trails_;
   EventGeneratorConfig config_;
-  std::map<SessionId, SessionState> sessions_;
+  /// Keyed by the TrailManager's interned session symbol: the per-footprint
+  /// state lookup is one integer hash instead of a string-keyed tree walk —
+  /// the dominant per-packet cost at thousands of concurrent sessions.
+  FlatMap<Symbol, SessionState> sessions_;
   /// Passive mirror of the registrar's location service: AOR -> addresses
   /// learned from observed REGISTER Contacts. Feeds the billed-party check.
   std::map<std::string, std::set<pkt::Ipv4Address>> registered_locations_;

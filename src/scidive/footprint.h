@@ -11,6 +11,7 @@
 #include <string>
 #include <variant>
 
+#include "common/box.h"
 #include "common/clock.h"
 #include "pkt/addr.h"
 
@@ -105,17 +106,42 @@ struct Footprint {
   pkt::Endpoint src;
   pkt::Endpoint dst;
   size_t wire_len = 0;
-  std::variant<SipFootprint, RtpFootprint, RtcpFootprint, AccFootprint, H225Footprint,
-               RasFootprint, UnknownFootprint>
+  // The string-heavy signaling alternatives are boxed so the variant's (and
+  // therefore the Trail ring slot's) stride stays near the size of the small
+  // media footprints: a steady-state RTP append writes one cache line, not
+  // the six a 376-byte inline SipFootprint forced. Boxing costs one heap
+  // cell per *signaling* footprint — a path that already allocates strings —
+  // and nothing on the RTP/RTCP hot path, which stays inline.
+  std::variant<Box<SipFootprint>, RtpFootprint, RtcpFootprint, Box<AccFootprint>,
+               Box<H225Footprint>, Box<RasFootprint>, Box<UnknownFootprint>>
       data;
 
-  const SipFootprint* sip() const { return std::get_if<SipFootprint>(&data); }
+  const SipFootprint* sip() const { return unbox<SipFootprint>(); }
   const RtpFootprint* rtp() const { return std::get_if<RtpFootprint>(&data); }
   const RtcpFootprint* rtcp() const { return std::get_if<RtcpFootprint>(&data); }
-  const AccFootprint* acc() const { return std::get_if<AccFootprint>(&data); }
-  const H225Footprint* h225() const { return std::get_if<H225Footprint>(&data); }
-  const RasFootprint* ras() const { return std::get_if<RasFootprint>(&data); }
-  const UnknownFootprint* unknown() const { return std::get_if<UnknownFootprint>(&data); }
+  const AccFootprint* acc() const { return unbox<AccFootprint>(); }
+  const H225Footprint* h225() const { return unbox<H225Footprint>(); }
+  const RasFootprint* ras() const { return unbox<RasFootprint>(); }
+  const UnknownFootprint* unknown() const { return unbox<UnknownFootprint>(); }
+
+  /// Mutable accessors for the boxed alternatives (tests and tools that
+  /// tweak a distilled footprint in place).
+  SipFootprint* mutable_sip() { return unbox_mut<SipFootprint>(); }
+  AccFootprint* mutable_acc() { return unbox_mut<AccFootprint>(); }
+  H225Footprint* mutable_h225() { return unbox_mut<H225Footprint>(); }
+  RasFootprint* mutable_ras() { return unbox_mut<RasFootprint>(); }
+
+ private:
+  template <typename T>
+  const T* unbox() const {
+    const auto* b = std::get_if<Box<T>>(&data);
+    return b ? b->get() : nullptr;
+  }
+  template <typename T>
+  T* unbox_mut() {
+    auto* b = std::get_if<Box<T>>(&data);
+    return b ? b->get() : nullptr;
+  }
 };
 
 }  // namespace scidive::core

@@ -1,5 +1,7 @@
 #include "scidive/rules.h"
 
+#include <bit>
+
 #include "common/strings.h"
 
 namespace scidive::core {
@@ -25,20 +27,22 @@ void FakeImRule::on_event(const Event& event, RuleContext& ctx) {
   if (event.type == EventType::kSipRegisterSeen) {
     // Mirror the location service: a registrar update is the sanctioned
     // way for a user's address to move.
-    if (!event.aor.empty())
-      registrations_[event.aor] = Registration{event.endpoint.addr, event.time};
+    if (!event.aor.empty()) {
+      registrations_.insert_or_assign(aors_.intern(event.aor),
+                                      Registration{event.endpoint.addr, event.time});
+    }
     return;
   }
   if (event.type != EventType::kImMessageSeen) return;
-  auto [it, first] = senders_.emplace(event.aor, SenderHistory{event.endpoint, event.time,
+  const Symbol aor = aors_.intern(event.aor);
+  auto [hist, first] = senders_.try_emplace(aor, SenderHistory{event.endpoint, event.time,
                                                                event.time});
-  SenderHistory& h = it->second;
+  SenderHistory& h = *hist;
   if (!first && h.last_source.addr != event.endpoint.addr) {
     // Sanctioned move? The claimed user re-registered from this address.
-    auto reg = registrations_.find(event.aor);
-    bool registered_here = reg != registrations_.end() &&
-                           reg->second.addr == event.endpoint.addr &&
-                           event.time - reg->second.at <= config_.im_registration_window;
+    const Registration* reg = registrations_.find(aor);
+    bool registered_here = reg != nullptr && reg->addr == event.endpoint.addr &&
+                           event.time - reg->at <= config_.im_registration_window;
     SimDuration since_change = event.time - h.last_change;
     if (!registered_here && since_change < config_.im_mobility_interval) {
       ctx.raise(std::string(name()), Severity::kCritical, event,
@@ -85,24 +89,28 @@ void BillingFraudRule::on_event(const Event& event, RuleContext& ctx) {
     default:
       return;
   }
-  auto& evidence = evidence_[event.session];
-  evidence.insert(event.type);
-  if (static_cast<int>(evidence.size()) >= config_.billing_min_evidence &&
-      !alerted_.contains(event.session)) {
-    alerted_.insert(event.session);
+  Evidence& evidence = evidence_[sessions_interned_.intern(event.session)];
+  evidence.mask |= 1u << static_cast<uint32_t>(event.type);
+  const auto count = static_cast<size_t>(std::popcount(evidence.mask));
+  if (static_cast<int>(count) >= config_.billing_min_evidence && !evidence.alerted) {
+    evidence.alerted = true;
+    // Ascending bit order == ascending EventType order, matching the
+    // ordered-set iteration this replaced byte for byte.
     std::string kinds;
-    for (EventType t : evidence) {
-      if (!kinds.empty()) kinds += ", ";
-      kinds += event_type_name(t);
+    for (uint32_t bit = 0; bit < 32; ++bit) {
+      if ((evidence.mask >> bit) & 1u) {
+        if (!kinds.empty()) kinds += ", ";
+        kinds += event_type_name(static_cast<EventType>(bit));
+      }
     }
     ctx.raise(std::string(name()), Severity::kCritical, event,
               str::format("billing fraud suspected: %zu independent conditions violated (%s)",
-                          evidence.size(), kinds.c_str()));
+                          count, kinds.c_str()));
   }
 }
 
 void RegisterFloodRule::on_event(const Event& event, RuleContext& ctx) {
-  auto& state = sessions_[event.session];
+  SessionAuthState& state = sessions_[sessions_interned_.intern(event.session)];
   if (event.type == EventType::kSipRegisterSeen) {
     state.last_register_had_auth = (event.value != 0);
     return;
@@ -127,7 +135,7 @@ void RegisterFloodRule::on_event(const Event& event, RuleContext& ctx) {
 
 void PasswordGuessRule::on_event(const Event& event, RuleContext& ctx) {
   if (event.type != EventType::kSipAuthFailure) return;
-  auto& state = sessions_[event.session];
+  GuessState& state = sessions_[sessions_interned_.intern(event.session)];
   // detail carries the digest response of the failed attempt; attacks show
   // *different* responses ("requests with different values in the challenge
   // response field", §3.3), while a retransmitted legitimate request repeats
@@ -174,7 +182,12 @@ void RtcpByeRule::on_event(const Event& event, RuleContext& ctx) {
 
 void DirectTrailScanByeRule::on_event(const Event& event, RuleContext& ctx) {
   if (event.type != EventType::kRtpPacketSeen) return;
-  if (alerted_.contains(event.session)) return;
+  // find() (no intern) on the per-packet path: only alerted sessions ever
+  // enter the table.
+  if (auto sym = sessions_interned_.find(event.session);
+      sym && alerted_.contains(*sym)) {
+    return;
+  }
   const Trail* sip_trail = ctx.trails().find(event.session, Protocol::kSip);
   if (sip_trail == nullptr) return;
 
@@ -207,7 +220,7 @@ void DirectTrailScanByeRule::on_event(const Event& event, RuleContext& ctx) {
   });
   if (!sender_media || event.endpoint != *sender_media) return;
 
-  alerted_.insert(event.session);
+  alerted_.insert(sessions_interned_.intern(event.session));
   ctx.raise(std::string(name()), Severity::kCritical, event,
             str::format("orphan RTP from %s %lld us after BYE (direct trail scan)",
                         event.endpoint.to_string().c_str(),

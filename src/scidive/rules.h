@@ -12,10 +12,11 @@
 #pragma once
 
 #include <deque>
-#include <map>
 #include <set>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/symbol.h"
 #include "scidive/rule.h"
 
 namespace scidive::core {
@@ -89,8 +90,12 @@ class FakeImRule : public Rule {
     SimTime at = 0;
   };
   RulesConfig config_;
-  std::map<std::string, SenderHistory> senders_;        // by claimed AOR
-  std::map<std::string, Registration> registrations_;   // last observed REGISTER
+  /// Each stateful rule interns its own keys (AORs here): events are rare
+  /// relative to packets, and keeping the interner rule-local means hand-
+  /// constructed Events in tests need no shared table.
+  SymbolTable aors_;
+  FlatMap<Symbol, SenderHistory> senders_;        // by claimed AOR
+  FlatMap<Symbol, Registration> registrations_;   // last observed REGISTER
 };
 
 /// §4.2.4 — "Check if RTP packets come from legitimate IP address and if
@@ -119,9 +124,17 @@ class BillingFraudRule : public Rule {
   }
 
  private:
+  /// Evidence per session, packed: one bit per EventType (the enum has far
+  /// fewer than 32 values). popcount = distinct-condition count; iterating
+  /// ascending bits reproduces the old std::set<EventType> alert-message
+  /// order exactly.
+  struct Evidence {
+    uint32_t mask = 0;
+    bool alerted = false;
+  };
   RulesConfig config_;
-  std::map<SessionId, std::set<EventType>> evidence_;
-  std::set<SessionId> alerted_;
+  SymbolTable sessions_interned_;
+  FlatMap<Symbol, Evidence> evidence_;
 };
 
 /// §3.3 — "DoS via repeated SIP requests": alternating unauthenticated
@@ -143,7 +156,8 @@ class RegisterFloodRule : public Rule {
     SimTime last_alert = -1;
   };
   RulesConfig config_;
-  std::map<SessionId, SessionAuthState> sessions_;
+  SymbolTable sessions_interned_;
+  FlatMap<Symbol, SessionAuthState> sessions_;
 };
 
 /// §3.3 — "Password guessing": continuous SIP requests with *different*
@@ -165,7 +179,8 @@ class PasswordGuessRule : public Rule {
     bool alerted = false;
   };
   RulesConfig config_;
-  std::map<SessionId, GuessState> sessions_;
+  SymbolTable sessions_interned_;
+  FlatMap<Symbol, GuessState> sessions_;
 };
 
 /// The strawman the paper argues against (§3.3, §5): a session-unaware
@@ -220,7 +235,8 @@ class DirectTrailScanByeRule : public Rule {
 
  private:
   SimDuration window_;
-  std::set<SessionId> alerted_;
+  SymbolTable sessions_interned_;
+  FlatSet<Symbol> alerted_;
 };
 
 /// The full SCIDIVE ruleset of the paper (without the strawman).

@@ -65,8 +65,9 @@ size_t ShardRouter::shard_of_key(std::string_view key) const {
 }
 
 void ShardRouter::learn_media(pkt::Endpoint media, size_t shard) {
-  auto [it, inserted] = media_shard_.insert_or_assign(media, static_cast<uint32_t>(shard));
-  if (inserted) ++stats_.media_bindings_learned;
+  if (media_shard_.insert_or_assign(media, static_cast<uint32_t>(shard))) {
+    ++stats_.media_bindings_learned;
+  }
 }
 
 std::optional<ShardRouter::Routed> ShardRouter::route(const pkt::Packet& packet) {
@@ -168,10 +169,10 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
   // Media plane: two hash lookups, no parsing. RTCP conventionally runs on
   // media-port + 1; fall back to the even port like TrailManager::classify.
   auto lookup = [&](pkt::Endpoint ep) -> std::optional<uint32_t> {
-    if (auto it = media_shard_.find(ep); it != media_shard_.end()) return it->second;
+    if (const uint32_t* shard = media_shard_.find(ep)) return *shard;
     if (ep.port % 2 == 1) {
       ep.port -= 1;
-      if (auto it = media_shard_.find(ep); it != media_shard_.end()) return it->second;
+      if (const uint32_t* shard = media_shard_.find(ep)) return *shard;
     }
     return std::nullopt;
   };

@@ -27,8 +27,8 @@
 #include <optional>
 #include <set>
 #include <string_view>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "pkt/fragment.h"
 #include "pkt/packet.h"
 
@@ -84,7 +84,7 @@ class ShardRouter {
   /// signaling. Entries are only ever added or overwritten (mirroring
   /// TrailManager::bind_media_endpoint); stale entries are harmless because
   /// an unbound flow is classified identically on every shard.
-  std::unordered_map<pkt::Endpoint, uint32_t> media_shard_;
+  FlatMap<pkt::Endpoint, uint32_t> media_shard_;
   ShardRouterStats stats_;
 };
 

@@ -4,9 +4,11 @@
 // §3.2 example's SIP trail / RTP trail / Accounting trail).
 #pragma once
 
+#include <new>
 #include <string>
-#include <vector>
 
+#include "common/arena.h"
+#include "common/symbol.h"
 #include "scidive/footprint.h"
 
 namespace scidive::core {
@@ -31,30 +33,74 @@ struct TrailKey {
 /// memory available", §1); eviction drops the oldest footprints but keeps
 /// counters, so aggregate rules stay correct.
 ///
-/// Storage is a ring over a vector: the vector grows geometrically up to the
-/// bound, after which every append overwrites the oldest slot in place —
+/// Storage is a ring over a flat slot array that grows geometrically up to
+/// the bound, after which every append overwrites the oldest slot in place.
+/// When the ring is arena-backed, growth first tries Arena::try_extend: the
+/// ring is almost always its session arena's newest allocation, so growth is
+/// a bump-pointer adjustment — no element moves, no abandoned blocks — and
 /// the steady-state media path performs no heap allocation per packet.
 class Trail {
  public:
-  Trail(TrailKey key, size_t max_footprints = 4096)
-      : key_(std::move(key)), max_footprints_(max_footprints == 0 ? 1 : max_footprints) {}
+  /// `sym` is the interned id of key.session when the trail is managed by a
+  /// TrailManager (kInvalidSymbol for directly-constructed trails). `arena`,
+  /// when set, backs the ring storage: growth bumps the owning session's
+  /// arena instead of the global heap, and session teardown reclaims it
+  /// wholesale.
+  Trail(TrailKey key, size_t max_footprints = 4096, Symbol sym = kInvalidSymbol,
+        Arena* arena = nullptr)
+      : key_(std::move(key)),
+        sym_(sym),
+        max_footprints_(max_footprints == 0 ? 1 : max_footprints),
+        arena_(arena) {}
+
+  Trail(Trail&& other) noexcept
+      : key_(std::move(other.key_)),
+        sym_(other.sym_),
+        max_footprints_(other.max_footprints_),
+        arena_(other.arena_),
+        slots_(other.slots_),
+        cap_(other.cap_),
+        count_(other.count_),
+        head_(other.head_),
+        total_appended_(other.total_appended_),
+        evicted_(other.evicted_),
+        first_time_(other.first_time_),
+        last_time_(other.last_time_) {
+    other.slots_ = nullptr;
+    other.cap_ = other.count_ = other.head_ = 0;
+  }
+  Trail(const Trail&) = delete;
+  Trail& operator=(const Trail&) = delete;
+  Trail& operator=(Trail&&) = delete;
+
+  ~Trail() {
+    for (size_t i = 0; i < count_; ++i) slots_[i].~Footprint();
+    if (arena_ == nullptr && slots_ != nullptr) {
+      ::operator delete(slots_, std::align_val_t{alignof(Footprint)});
+    }
+    // Arena-backed slots are reclaimed wholesale at session release.
+  }
 
   void append(Footprint fp) {
     last_time_ = fp.time;
-    if (ring_.empty()) first_time_ = fp.time;
-    if (ring_.size() < max_footprints_) {
-      ring_.push_back(std::move(fp));
+    if (count_ == 0) first_time_ = fp.time;
+    if (count_ < max_footprints_) {
+      if (count_ == cap_) grow();
+      ::new (&slots_[count_]) Footprint(std::move(fp));
+      ++count_;
     } else {
-      ring_[head_] = std::move(fp);
-      head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+      slots_[head_] = std::move(fp);
+      head_ = head_ + 1 == count_ ? 0 : head_ + 1;
       ++evicted_;
     }
     ++total_appended_;
   }
 
   const TrailKey& key() const { return key_; }
-  size_t size() const { return ring_.size(); }
-  bool empty() const { return ring_.empty(); }
+  /// Interned session id (kInvalidSymbol outside a TrailManager).
+  Symbol sym() const { return sym_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
   uint64_t total_appended() const { return total_appended_; }
   uint64_t evicted() const { return evicted_; }
   SimTime first_time() const { return first_time_; }
@@ -63,25 +109,60 @@ class Trail {
   /// Logical index access, oldest first.
   const Footprint& at(size_t i) const {
     size_t idx = head_ + i;
-    if (idx >= ring_.size()) idx -= ring_.size();
-    return ring_[idx];
+    if (idx >= count_) idx -= count_;
+    return slots_[idx];
   }
   const Footprint& front() const { return at(0); }
-  const Footprint& back() const { return at(ring_.size() - 1); }
+  const Footprint& back() const { return at(count_ - 1); }
 
   /// Newest-first scan; stops when fn returns true ("found").
   template <typename Fn>
   bool scan_newest_first(Fn&& fn) const {
-    for (size_t i = ring_.size(); i-- > 0;) {
+    for (size_t i = count_; i-- > 0;) {
       if (fn(at(i))) return true;
     }
     return false;
   }
 
  private:
+  void grow() {
+    size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+    if (new_cap > max_footprints_) new_cap = max_footprints_;
+    if (arena_ != nullptr) {
+      if (slots_ != nullptr &&
+          arena_->try_extend(slots_, cap_ * sizeof(Footprint), new_cap * sizeof(Footprint))) {
+        cap_ = new_cap;
+        return;
+      }
+      auto* fresh = static_cast<Footprint*>(
+          arena_->allocate(new_cap * sizeof(Footprint), alignof(Footprint)));
+      relocate(fresh);
+      cap_ = new_cap;
+      return;
+    }
+    auto* fresh = static_cast<Footprint*>(::operator new(
+        new_cap * sizeof(Footprint), std::align_val_t{alignof(Footprint)}));
+    Footprint* old = slots_;
+    relocate(fresh);
+    if (old != nullptr) ::operator delete(old, std::align_val_t{alignof(Footprint)});
+    cap_ = new_cap;
+  }
+
+  void relocate(Footprint* fresh) {
+    for (size_t i = 0; i < count_; ++i) {
+      ::new (&fresh[i]) Footprint(std::move(slots_[i]));
+      slots_[i].~Footprint();
+    }
+    slots_ = fresh;
+  }
+
   TrailKey key_;
+  Symbol sym_ = kInvalidSymbol;
   size_t max_footprints_;
-  std::vector<Footprint> ring_;
+  Arena* arena_ = nullptr;
+  Footprint* slots_ = nullptr;
+  size_t cap_ = 0;
+  size_t count_ = 0;
   size_t head_ = 0;  // index of the oldest footprint once the ring is full
   uint64_t total_appended_ = 0;
   uint64_t evicted_ = 0;

@@ -14,86 +14,95 @@ bool is_media(Protocol p) {
 
 }  // namespace
 
-SessionId TrailManager::classify(const Footprint& fp, bool& media_bound) {
+std::optional<Symbol> TrailManager::media_session_sym(pkt::Endpoint ep, Protocol protocol) const {
+  // Media correlates through SDP-learned endpoints. RTCP runs on
+  // media-port + 1; normalize to the even RTP port for the lookup.
+  if (protocol == Protocol::kRtcp && ep.port % 2 == 1) ep.port -= 1;
+  const Symbol* sym = media_to_session_.find(ep);
+  if (sym == nullptr) return std::nullopt;
+  return *sym;
+}
+
+Symbol TrailManager::classify(const Footprint& fp, bool& media_bound) {
   media_bound = false;
   switch (fp.protocol) {
     case Protocol::kSip: {
       const SipFootprint* sip = fp.sip();
-      if (sip != nullptr && !sip->call_id.empty()) return sip->call_id;
-      return "sip-anon";  // unparseable/malformed SIP shares one bucket
+      if (sip != nullptr && !sip->call_id.empty()) return symbols_.intern(sip->call_id);
+      return symbols_.intern("sip-anon");  // unparseable/malformed SIP shares one bucket
     }
     case Protocol::kAcc: {
       const AccFootprint* acc = fp.acc();
-      if (acc != nullptr && !acc->call_id.empty()) return acc->call_id;
-      return "acc-anon";
+      if (acc != nullptr && !acc->call_id.empty()) return symbols_.intern(acc->call_id);
+      return symbols_.intern("acc-anon");
     }
     case Protocol::kH225: {
       const H225Footprint* h225 = fp.h225();
-      if (h225 != nullptr && !h225->call_id.empty()) return h225->call_id;
-      return "h225-anon";
+      if (h225 != nullptr && !h225->call_id.empty()) return symbols_.intern(h225->call_id);
+      return symbols_.intern("h225-anon");
     }
     case Protocol::kRas: {
       const RasFootprint* ras = fp.ras();
-      if (ras != nullptr && !ras->call_id.empty()) return ras->call_id;
-      if (ras != nullptr && !ras->alias.empty()) return "ras-reg:" + ras->alias;
-      return "ras-anon";
+      if (ras != nullptr && !ras->call_id.empty()) return symbols_.intern(ras->call_id);
+      if (ras != nullptr && !ras->alias.empty()) {
+        return symbols_.intern("ras-reg:" + ras->alias);
+      }
+      return symbols_.intern("ras-anon");
     }
     case Protocol::kRtp:
     case Protocol::kRtcp:
     case Protocol::kUnknown: {
-      // Media correlates through SDP-learned endpoints. RTCP runs on
-      // media-port + 1; normalize to the even RTP port for the lookup.
-      auto normalize = [&](pkt::Endpoint ep) {
-        if (fp.protocol == Protocol::kRtcp && ep.port % 2 == 1) ep.port -= 1;
-        return ep;
-      };
-      for (pkt::Endpoint ep : {normalize(fp.src), normalize(fp.dst)}) {
-        if (auto session = session_for_media(ep)) {
+      for (pkt::Endpoint ep : {fp.src, fp.dst}) {
+        if (auto sym = media_session_sym(ep, fp.protocol)) {
           media_bound = true;
-          return *session;
+          return *sym;
         }
       }
-      return str::format("flow:%s->%s", fp.src.to_string().c_str(),
-                         fp.dst.to_string().c_str());
+      return symbols_.intern(str::format("flow:%s->%s", fp.src.to_string().c_str(),
+                                         fp.dst.to_string().c_str()));
     }
   }
-  return "unclassified";
+  return symbols_.intern("unclassified");
 }
 
-Trail& TrailManager::trail_for(const SessionId& session, Protocol protocol) {
-  TrailKey key{session, protocol};
-  auto it = trails_.find(key);
-  if (it == trails_.end()) {
-    it = trails_.emplace(key, std::make_unique<Trail>(key, max_footprints_per_trail_)).first;
-    auto& index = session_index_[session];
-    if (index.empty()) ++stats_.sessions_created;
-    index.push_back(it->second.get());
+Trail& TrailManager::trail_for(Symbol sym, Protocol protocol) {
+  const uint64_t slot_key = trail_slot_key(sym, protocol);
+  if (Trail* const* found = trails_.find(slot_key)) return **found;
+
+  auto [slot_ptr, created] = sessions_.try_emplace(sym);
+  if (created) {
+    *slot_ptr = std::make_unique<SessionSlot>();
+    ++stats_.sessions_created;
   }
-  return *it->second;
+  SessionSlot& slot = **slot_ptr;
+  Trail* trail = slot.arena.create<Trail>(TrailKey{std::string(symbols_.name(sym)), protocol},
+                                          max_footprints_per_trail_, sym, &slot.arena);
+  slot.trails.push_back(trail);
+  trails_.try_emplace(slot_key, trail);
+  return *trail;
 }
 
 Trail& TrailManager::route(const Footprint& fp) {
   if (is_media(fp.protocol)) {
     MediaFlowKey flow{fp.src, fp.dst, fp.protocol};
-    auto cached = media_flow_cache_.find(flow);
-    if (cached != media_flow_cache_.end()) {
+    if (const CachedRoute* cached = media_flow_cache_.find(flow)) {
       ++stats_.flow_cache_hits;
-      if (cached->second.bound) {
+      if (cached->bound) {
         ++stats_.rtp_bound_to_session;
       } else {
         ++stats_.rtp_unbound;
       }
-      return *cached->second.trail;
+      return *cached->trail;
     }
     bool bound = false;
-    SessionId session = classify(fp, bound);
+    Symbol sym = classify(fp, bound);
     if (bound) {
       ++stats_.rtp_bound_to_session;
     } else {
       ++stats_.rtp_unbound;
     }
-    Trail& trail = trail_for(session, fp.protocol);
-    media_flow_cache_.emplace(flow, CachedRoute{&trail, bound});
+    Trail& trail = trail_for(sym, fp.protocol);
+    media_flow_cache_.try_emplace(flow, CachedRoute{&trail, bound});
     return trail;
   }
   bool bound = false;
@@ -108,10 +117,11 @@ Trail& TrailManager::add(Footprint fp) {
 }
 
 void TrailManager::bind_media_endpoint(const pkt::Endpoint& media, const SessionId& session) {
-  auto [it, inserted] = media_to_session_.try_emplace(media, session);
+  const Symbol sym = symbols_.intern(session);
+  auto [slot, inserted] = media_to_session_.try_emplace(media, sym);
   if (!inserted) {
-    if (it->second == session) return;  // re-signaled same binding: keep cache
-    it->second = session;
+    if (*slot == sym) return;  // re-signaled same binding: keep cache
+    *slot = sym;
   }
   // A new or changed binding can redirect flows that previously resolved to
   // a synthetic flow-session (or another call), so cached routes are stale.
@@ -119,57 +129,73 @@ void TrailManager::bind_media_endpoint(const pkt::Endpoint& media, const Session
 }
 
 void TrailManager::unbind_media_endpoint(const pkt::Endpoint& media) {
-  if (media_to_session_.erase(media) != 0) media_flow_cache_.clear();
+  if (media_to_session_.erase(media)) media_flow_cache_.clear();
 }
 
 std::optional<SessionId> TrailManager::session_for_media(const pkt::Endpoint& media) const {
-  auto it = media_to_session_.find(media);
-  if (it == media_to_session_.end()) return std::nullopt;
-  return it->second;
+  const Symbol* sym = media_to_session_.find(media);
+  if (sym == nullptr) return std::nullopt;
+  return SessionId(symbols_.name(*sym));
 }
 
 const Trail* TrailManager::find(const SessionId& session, Protocol protocol) const {
-  auto it = trails_.find(TrailKey{session, protocol});
-  return it == trails_.end() ? nullptr : it->second.get();
+  auto sym = symbols_.find(session);
+  if (!sym) return nullptr;
+  Trail* const* found = trails_.find(trail_slot_key(*sym, protocol));
+  return found == nullptr ? nullptr : *found;
 }
 
 Trail* TrailManager::find_mut(const SessionId& session, Protocol protocol) {
-  auto it = trails_.find(TrailKey{session, protocol});
-  return it == trails_.end() ? nullptr : it->second.get();
+  auto sym = symbols_.find(session);
+  if (!sym) return nullptr;
+  Trail* const* found = trails_.find(trail_slot_key(*sym, protocol));
+  return found == nullptr ? nullptr : *found;
 }
 
 std::vector<const Trail*> TrailManager::session_trails(const SessionId& session) const {
   std::vector<const Trail*> out;
-  auto it = session_index_.find(session);
-  if (it == session_index_.end()) return out;
-  out.assign(it->second.begin(), it->second.end());
+  auto sym = symbols_.find(session);
+  if (!sym) return out;
+  const std::unique_ptr<SessionSlot>* slot = sessions_.find(*sym);
+  if (slot == nullptr) return out;
+  out.assign((*slot)->trails.begin(), (*slot)->trails.end());
   return out;
 }
 
 std::vector<SessionId> TrailManager::sessions() const {
   std::vector<SessionId> out;
-  out.reserve(session_index_.size());
-  for (const auto& [session, trails] : session_index_) out.push_back(session);
+  out.reserve(sessions_.size());
+  sessions_.for_each([&](const Symbol& sym, const std::unique_ptr<SessionSlot>&) {
+    out.emplace_back(symbols_.name(sym));
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
 
+size_t TrailManager::arena_bytes_reserved() const {
+  size_t bytes = 0;
+  sessions_.for_each([&](const Symbol&, const std::unique_ptr<SessionSlot>& slot) {
+    bytes += slot->arena.bytes_reserved();
+  });
+  return bytes;
+}
+
 size_t TrailManager::expire_idle(SimTime cutoff) {
-  size_t dropped = 0;
-  for (auto it = trails_.begin(); it != trails_.end();) {
-    if (it->second->last_time() < cutoff) {
-      auto indexed = session_index_.find(it->first.session);
-      if (indexed != session_index_.end()) {
-        std::erase(indexed->second, it->second.get());
-        if (indexed->second.empty()) session_index_.erase(indexed);
-      }
-      it = trails_.erase(it);
-      ++dropped;
-      ++stats_.trails_expired;
+  size_t dropped = trails_.erase_if([&](const uint64_t&, Trail*& trail) {
+    if (trail->last_time() >= cutoff) return false;
+    const Symbol sym = trail->sym();
+    if (std::unique_ptr<SessionSlot>* slot = sessions_.find(sym)) {
+      std::erase((*slot)->trails, trail);
+      trail->~Trail();
+      // The arena (and every byte the session's trails ever allocated) is
+      // reclaimed in one release once the last trail expires.
+      if ((*slot)->trails.empty()) sessions_.erase(sym);
     } else {
-      ++it;
+      trail->~Trail();
     }
-  }
+    ++stats_.trails_expired;
+    return true;
+  });
   // Expired trails may still be referenced by cached media routes.
   if (dropped != 0) media_flow_cache_.clear();
   return dropped;

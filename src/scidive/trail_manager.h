@@ -7,6 +7,16 @@
 // RTP with no known session gets a synthetic per-flow session so that rules
 // can still reason about unsignaled media ("flow:<src>-><dst>").
 //
+// Session-scale memory layout (§3 trail model at 10k+ concurrent sessions):
+//   - every session id is interned once into a SymbolTable; all internal
+//     tables key on the dense uint32 symbol, so routing compares integers,
+//     never strings;
+//   - the trail table is a flat open-addressing map keyed by the packed
+//     (symbol, protocol) word — one mix, one probe, no per-node heap blocks;
+//   - each session owns an Arena; its Trail objects and their footprint
+//     rings bump-allocate from it, so session teardown is one arena release
+//     instead of per-trail frees.
+//
 // The media path is the hot path: once a flow's first packet has been
 // classified, a (src, dst, protocol) -> Trail* cache routes every further
 // packet of that flow with a single hash lookup on trivially-hashable keys —
@@ -19,9 +29,11 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
+#include "common/symbol.h"
 #include "scidive/trail.h"
 
 namespace scidive::core {
@@ -61,31 +73,45 @@ class TrailManager {
 
   /// All trails of one session (the §3.2 "multiple trails for each
   /// session, one for each protocol"), in creation order. O(trails of that
-  /// session) via the per-session index.
+  /// session) via the per-session slot.
   std::vector<const Trail*> session_trails(const SessionId& session) const;
 
   std::vector<SessionId> sessions() const;
   size_t trail_count() const { return trails_.size(); }
-  size_t session_count() const { return session_index_.size(); }
+  size_t session_count() const { return sessions_.size(); }
   size_t media_binding_count() const { return media_to_session_.size(); }
   const TrailManagerStats& stats() const { return stats_; }
+
+  /// The interner shared by every downstream consumer of this manager's
+  /// session ids (EventGenerator keys its per-session state by these).
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+
+  /// Bytes reserved across all live session arenas (observability gauge).
+  size_t arena_bytes_reserved() const;
 
   /// Drop every trail whose newest footprint is older than `cutoff`.
   size_t expire_idle(SimTime cutoff);
 
  private:
-  static size_t hash_combine(size_t seed, size_t value) {
-    // boost::hash_combine-style mixing — unlike `h * 31 + p`, a change in
-    // any input bit diffuses across the whole word.
-    return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
-  }
-
-  struct TrailKeyHash {
-    size_t operator()(const TrailKey& k) const noexcept {
-      return hash_combine(std::hash<std::string>{}(k.session),
-                          static_cast<size_t>(k.protocol));
+  /// All of a session's storage: trails plus their footprint rings live in
+  /// the arena; the slot destructor runs the Trail destructors and then the
+  /// arena release reclaims every byte at once. Held behind unique_ptr so
+  /// the arena's address survives table rehashes (trail rings keep Arena*).
+  struct SessionSlot {
+    Arena arena;
+    std::vector<Trail*> trails;  // creation order, arena-placed
+    ~SessionSlot() {
+      for (Trail* t : trails) t->~Trail();
     }
   };
+
+  /// (symbol, protocol) packed into one word: Protocol has 7 values, so the
+  /// low 3 bits hold it exactly. Hashing this integer is the whole trail
+  /// lookup — the old TrailKeyHash re-hashed the session string every time.
+  static uint64_t trail_slot_key(Symbol sym, Protocol protocol) {
+    return (static_cast<uint64_t>(sym) << 3) | static_cast<uint64_t>(protocol);
+  }
 
   /// One direction of a media flow. Trivially hashable: the steady-state
   /// lookup never touches a string.
@@ -96,10 +122,11 @@ class TrailManager {
     bool operator==(const MediaFlowKey&) const = default;
   };
   struct MediaFlowKeyHash {
-    size_t operator()(const MediaFlowKey& k) const noexcept {
-      size_t h = hash_combine(std::hash<pkt::Endpoint>{}(k.src),
-                              std::hash<pkt::Endpoint>{}(k.dst));
-      return hash_combine(h, static_cast<size_t>(k.protocol));
+    uint64_t operator()(const MediaFlowKey& k) const noexcept {
+      uint64_t h = (static_cast<uint64_t>(std::hash<pkt::Endpoint>{}(k.src)) << 20) ^
+                   static_cast<uint64_t>(std::hash<pkt::Endpoint>{}(k.dst)) ^
+                   (static_cast<uint64_t>(k.protocol) << 61);
+      return flat_mix64(h);
     }
   };
   struct CachedRoute {
@@ -107,16 +134,19 @@ class TrailManager {
     bool bound = false;  // preserved so stats stay exact on cache hits
   };
 
-  SessionId classify(const Footprint& fp, bool& media_bound);
-  Trail& trail_for(const SessionId& session, Protocol protocol);
+  Symbol classify(const Footprint& fp, bool& media_bound);
+  Trail& trail_for(Symbol sym, Protocol protocol);
+  std::optional<Symbol> media_session_sym(pkt::Endpoint ep, Protocol protocol) const;
 
   size_t max_footprints_per_trail_;
-  std::unordered_map<TrailKey, std::unique_ptr<Trail>, TrailKeyHash> trails_;
-  /// session -> its trails in creation order (O(1) session_trails()).
-  std::unordered_map<SessionId, std::vector<Trail*>> session_index_;
-  std::unordered_map<pkt::Endpoint, SessionId> media_to_session_;
+  SymbolTable symbols_;
+  /// packed (symbol, protocol) -> trail; the Trail objects live in their
+  /// session's arena, not here.
+  FlatMap<uint64_t, Trail*> trails_;
+  FlatMap<Symbol, std::unique_ptr<SessionSlot>> sessions_;
+  FlatMap<pkt::Endpoint, Symbol> media_to_session_;
   /// Flow-direction -> trail fast path; cleared when bindings change.
-  std::unordered_map<MediaFlowKey, CachedRoute, MediaFlowKeyHash> media_flow_cache_;
+  FlatMap<MediaFlowKey, CachedRoute, MediaFlowKeyHash> media_flow_cache_;
   TrailManagerStats stats_;
 };
 

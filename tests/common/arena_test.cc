@@ -1,0 +1,153 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace scidive {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(64);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  std::memset(a, 0xaa, 10);
+  std::memset(b, 0xbb, 10);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[9], 0xaa);  // no overlap
+  EXPECT_EQ(static_cast<unsigned char*>(b)[0], 0xbb);
+}
+
+TEST(Arena, GrowsAcrossChunksAndKeepsOldBytes) {
+  Arena arena(32);
+  char* first = static_cast<char*>(arena.allocate(16, 1));
+  std::memset(first, 'x', 16);
+  // Force several chunk growths.
+  for (int i = 0; i < 100; ++i) arena.allocate(64, 8);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  // Earlier chunk contents are untouched by growth.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(first[i], 'x');
+}
+
+TEST(Arena, ReleaseIsConstantInAllocationCount) {
+  // Teardown cost scales with chunks, not allocations: many small
+  // allocations still leave only a handful of chunks to free.
+  Arena arena(1024);
+  for (int i = 0; i < 100000; ++i) arena.allocate(16, 8);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  size_t chunks = arena.chunk_count();
+  EXPECT_LT(chunks, 64u);  // geometric growth keeps the chunk list tiny
+  arena.release();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+}
+
+TEST(Arena, ReusableAfterRelease) {
+  Arena arena(64);
+  arena.allocate(128, 8);
+  arena.release();
+  char* p = static_cast<char*>(arena.allocate(32, 1));
+  std::memset(p, 'y', 32);
+  EXPECT_EQ(p[31], 'y');
+  EXPECT_EQ(arena.bytes_allocated(), 32u);
+}
+
+TEST(Arena, CreatePlacesObjects) {
+  struct Footprintish {
+    uint64_t a;
+    uint32_t b;
+  };
+  Arena arena;
+  Footprintish* obj = arena.create<Footprintish>(7u, 9u);
+  EXPECT_EQ(obj->a, 7u);
+  EXPECT_EQ(obj->b, 9u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(obj) % alignof(Footprintish), 0u);
+}
+
+TEST(Arena, MovedFromArenaIsEmptyAndUsable) {
+  Arena a(64);
+  void* p = a.allocate(40, 8);
+  std::memset(p, 0x5a, 40);
+  Arena b = std::move(a);
+  // The destination owns the bytes; the source must not hand out memory it
+  // no longer owns.
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+  EXPECT_EQ(a.chunk_count(), 0u);
+  void* q = a.allocate(16, 8);  // fresh chunk, not b's storage
+  EXPECT_NE(q, nullptr);
+  EXPECT_EQ(static_cast<unsigned char*>(p)[39], 0x5a);
+  EXPECT_GT(b.bytes_reserved(), 0u);
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v;  // default allocator: no arena
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999);
+}
+
+TEST(ArenaAllocator, VectorDrawsFromArena) {
+  Arena arena(64);
+  size_t before = arena.bytes_allocated();
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_GT(arena.bytes_allocated(), before);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  // Vector must be destroyed before the arena; both live in this scope with
+  // the vector declared after, so destruction order is already correct.
+}
+
+TEST(Arena, TryExtendGrowsNewestAllocationInPlace) {
+  Arena arena(1024);
+  char* block = static_cast<char*>(arena.allocate(64, 8));
+  std::memset(block, 'a', 64);
+  const size_t used_before = arena.bytes_allocated();
+  ASSERT_TRUE(arena.try_extend(block, 64, 256));
+  EXPECT_EQ(arena.bytes_allocated(), used_before + (256 - 64));
+  // Old bytes untouched; the extension is writable and disjoint from the
+  // next allocation.
+  EXPECT_EQ(block[63], 'a');
+  std::memset(block + 64, 'b', 256 - 64);
+  char* next = static_cast<char*>(arena.allocate(16, 8));
+  EXPECT_GE(next, block + 256);
+}
+
+TEST(Arena, TryExtendRefusesNonNewestAllocation) {
+  Arena arena(1024);
+  char* first = static_cast<char*>(arena.allocate(64, 8));
+  arena.allocate(32, 8);  // something newer on top
+  const size_t used = arena.bytes_allocated();
+  EXPECT_FALSE(arena.try_extend(first, 64, 128));
+  EXPECT_EQ(arena.bytes_allocated(), used);  // untouched on failure
+}
+
+TEST(Arena, TryExtendRefusesWhenChunkIsFull) {
+  Arena arena(128);
+  // Consume most of the (single) chunk, then ask for more than remains.
+  char* block = static_cast<char*>(arena.allocate(96, 8));
+  EXPECT_FALSE(arena.try_extend(block, 96, 4096));
+  // The failed extend must leave the arena consistent: a fresh allocation
+  // still works (new chunk) and the old block keeps its bytes.
+  std::memset(block, 'z', 96);
+  char* more = static_cast<char*>(arena.allocate(64, 8));
+  std::memset(more, 'y', 64);
+  EXPECT_EQ(block[95], 'z');
+}
+
+TEST(ArenaAllocator, SupersededBlocksStayValidUntilRelease) {
+  // Geometric growth abandons old blocks inside the arena; pointers into
+  // them must stay readable until release() (no use-after-free on reallocation).
+  Arena arena(64);
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+  v.push_back(42);
+  const int* old_data = v.data();
+  int old_value = *old_data;
+  for (int i = 0; i < 10000; ++i) v.push_back(i);  // many regrowths
+  EXPECT_EQ(*old_data, old_value);  // abandoned block untouched
+}
+
+}  // namespace
+}  // namespace scidive

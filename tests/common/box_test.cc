@@ -1,0 +1,82 @@
+#include "common/box.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scidive {
+namespace {
+
+TEST(Box, DefaultIsEmptyAndAllocationFree) {
+  Box<std::string> b;
+  EXPECT_EQ(b.get(), nullptr);
+}
+
+TEST(Box, ValueConstructionAndAccess) {
+  Box<std::string> b(std::string("hello"));
+  ASSERT_NE(b.get(), nullptr);
+  EXPECT_EQ(*b, "hello");
+  EXPECT_EQ(b->size(), 5u);
+  *b += " world";
+  EXPECT_EQ(*b, "hello world");
+}
+
+TEST(Box, CopyIsDeep) {
+  Box<std::string> a(std::string("original"));
+  Box<std::string> b(a);
+  ASSERT_NE(b.get(), nullptr);
+  EXPECT_NE(a.get(), b.get());  // distinct cells
+  *b = "changed";
+  EXPECT_EQ(*a, "original");
+
+  Box<std::string> c;
+  c = a;
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(*c, "original");
+}
+
+TEST(Box, CopyFromEmptyYieldsEmpty) {
+  Box<std::string> empty_box;
+  Box<std::string> moved_to(std::string("x"));
+  Box<std::string> sink(std::move(moved_to));
+  EXPECT_EQ(moved_to.get(), nullptr);  // moved-from is empty
+
+  Box<std::string> copy_of_empty(empty_box);
+  EXPECT_EQ(copy_of_empty.get(), nullptr);
+  sink = empty_box;  // copy-assign from empty empties the target
+  EXPECT_EQ(sink.get(), nullptr);
+}
+
+TEST(Box, MoveStealsTheCell) {
+  Box<std::string> a(std::string("payload"));
+  const std::string* cell = a.get();
+  Box<std::string> b(std::move(a));
+  EXPECT_EQ(b.get(), cell);  // same cell, no copy
+  EXPECT_EQ(a.get(), nullptr);
+}
+
+TEST(Box, VariantConvertingAssignmentPicksBoxedAlternative) {
+  // The Footprint pattern: a wide type sits boxed in a variant next to
+  // small inline ones, and plain-value assignment must still work.
+  struct Wide {
+    std::string s;
+  };
+  struct Narrow {
+    int n = 0;
+  };
+  std::variant<Box<Wide>, Narrow> v;
+  EXPECT_EQ(std::get<Box<Wide>>(v).get(), nullptr);  // default: empty box
+
+  v = Wide{"boxed"};
+  ASSERT_TRUE(std::holds_alternative<Box<Wide>>(v));
+  EXPECT_EQ(std::get<Box<Wide>>(v)->s, "boxed");
+
+  v = Narrow{7};
+  ASSERT_TRUE(std::holds_alternative<Narrow>(v));
+  EXPECT_EQ(std::get<Narrow>(v).n, 7);
+}
+
+}  // namespace
+}  // namespace scidive

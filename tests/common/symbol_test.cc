@@ -1,0 +1,95 @@
+#include "common/symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scidive {
+namespace {
+
+TEST(SymbolTable, InternDedupesAndAssignsDenseIds) {
+  SymbolTable table;
+  Symbol a = table.intern("call-1@pbx");
+  Symbol b = table.intern("call-2@pbx");
+  Symbol a2 = table.intern("call-1@pbx");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.name(a), "call-1@pbx");
+  EXPECT_EQ(table.name(b), "call-2@pbx");
+}
+
+TEST(SymbolTable, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_FALSE(table.find("absent").has_value());
+  EXPECT_EQ(table.size(), 0u);
+  Symbol a = table.intern("present");
+  auto found = table.find("present");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, a);
+  EXPECT_FALSE(table.find("still-absent").has_value());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTable, EmptyStringIsAValidSymbol) {
+  SymbolTable table;
+  Symbol empty = table.intern("");
+  EXPECT_EQ(table.name(empty), "");
+  EXPECT_EQ(table.intern(""), empty);
+  auto found = table.find("");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, empty);
+}
+
+TEST(SymbolTable, IdsStableAcrossGrowth) {
+  // Ids and name() views must survive the probe-table rehash and arena
+  // chunk growth (downstream tables hold symbols across the whole run).
+  SymbolTable table;
+  std::vector<Symbol> ids;
+  std::vector<std::string> names;
+  for (int i = 0; i < 5000; ++i) {
+    names.push_back("session-" + std::to_string(i) + "@host" + std::to_string(i % 7));
+    ids.push_back(table.intern(names.back()));
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(ids[static_cast<size_t>(i)], static_cast<Symbol>(i));
+    EXPECT_EQ(table.name(ids[static_cast<size_t>(i)]), names[static_cast<size_t>(i)]);
+    EXPECT_EQ(table.intern(names[static_cast<size_t>(i)]), ids[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SymbolTable, NameViewsSurviveFurtherInterning) {
+  SymbolTable table;
+  Symbol first = table.intern("the-first-session-id-with-some-length");
+  std::string_view view = table.name(first);
+  for (int i = 0; i < 10000; ++i) table.intern("filler-" + std::to_string(i));
+  // The arena never relocates already-written bytes.
+  EXPECT_EQ(view, "the-first-session-id-with-some-length");
+  EXPECT_EQ(table.name(first), view);
+}
+
+TEST(SymbolTable, PerInstanceIsolation) {
+  // One table per shard: the same string may get different ids in different
+  // tables, and neither table sees the other's entries.
+  SymbolTable shard0;
+  SymbolTable shard1;
+  shard0.intern("only-in-shard0");
+  Symbol a1 = shard1.intern("x");
+  Symbol a0 = shard0.intern("x");
+  EXPECT_EQ(a1, 0u);
+  EXPECT_EQ(a0, 1u);
+  EXPECT_FALSE(shard1.find("only-in-shard0").has_value());
+}
+
+TEST(SymbolTable, BytesAccountsForGrowth) {
+  SymbolTable table;
+  size_t before = table.bytes();
+  for (int i = 0; i < 1000; ++i) table.intern("k" + std::to_string(i));
+  EXPECT_GT(table.bytes(), before);
+}
+
+}  // namespace
+}  // namespace scidive

@@ -26,6 +26,19 @@ TEST(Differential, AdversarialStreamAcrossShardCounts) {
   EXPECT_EQ(report.packets, stream.size());
 }
 
+TEST(Differential, BatchSizeSweepAcrossShardCounts) {
+  // The oracle must hold at every worker drain batch size: batching changes
+  // the cadence of ring drains, never the per-shard processing order.
+  StreamConfig stream_config;
+  const std::vector<pkt::Packet> stream = adversarial_stream(0xba7c4ed, stream_config);
+  for (size_t batch : {1, 8, 32, 128}) {
+    DifferentialConfig config;
+    config.batch_size = batch;
+    DifferentialReport report = run_differential(stream, config);
+    EXPECT_TRUE(report.ok()) << "batch " << batch << ": " << report.to_string();
+  }
+}
+
 TEST(Differential, SecondSeedAcrossShardCounts) {
   StreamConfig config;
   config.mutated = 200;

@@ -185,8 +185,8 @@ TEST(EventGenerator, RegisterChallengeSequence) {
   // Now a REGISTER carrying (wrong) credentials, answered 401 again.
   Footprint with_auth = sip_request("REGISTER", "r1", "alice@lab.net", "t", "alice@lab.net",
                                     "", msec(20), kASip, ep(100, 5060));
-  std::get<SipFootprint>(with_auth.data).has_auth = true;
-  std::get<SipFootprint>(with_auth.data).auth_response = "deadbeef";
+  with_auth.mutable_sip()->has_auth = true;
+  with_auth.mutable_sip()->auth_response = "deadbeef";
   h.feed(std::move(with_auth));
   h.feed(sip_response(401, "REGISTER", "r1", "alice@lab.net", "t", "alice@lab.net", "",
                       msec(30), ep(100, 5060), kASip));
@@ -246,7 +246,7 @@ void feed_confirmed_registration(GeneratorHarness& h, const std::string& aor,
                                  pkt::Endpoint contact, SimTime t = 0) {
   Footprint reg = sip_request("REGISTER", "reg-" + aor, aor, "t", aor, "", t, contact,
                               ep(100, 5060));
-  std::get<SipFootprint>(reg.data).contact = contact;
+  reg.mutable_sip()->contact = contact;
   h.feed(std::move(reg));
   h.feed(sip_response(200, "REGISTER", "reg-" + aor, aor, "t", aor, "", t + msec(5),
                       ep(100, 5060), contact));
@@ -286,7 +286,7 @@ TEST(EventGenerator, UnconfirmedRegisterDoesNotPoisonLocationMirror) {
   // Unconfirmed REGISTER claiming alice from the attacker (401 answered).
   Footprint rogue = sip_request("REGISTER", "rogue-reg", "alice@lab.net", "t",
                                 "alice@lab.net", "", msec(50), kAttacker, ep(100, 5060));
-  std::get<SipFootprint>(rogue.data).contact = kAttacker;
+  rogue.mutable_sip()->contact = kAttacker;
   h.feed(std::move(rogue));
   h.feed(sip_response(401, "REGISTER", "rogue-reg", "alice@lab.net", "t", "alice@lab.net", "",
                       msec(55), ep(100, 5060), kAttacker));

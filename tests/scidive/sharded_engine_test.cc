@@ -114,6 +114,42 @@ TEST(ShardedEngine, CallHijackParity) {
   expect_parity(f.capture, home_config(f.a_host.address()), 3, "call-hijack");
 }
 
+TEST(ShardedEngine, BatchedDrainParityAcrossWorkerAndBatchSizes) {
+  // Re-pin sharded-vs-single parity across the full worker × batch-size
+  // grid: the worker-local scratch drain must not reorder packets within a
+  // shard or lose counted work at any batch size.
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  voip::ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*sniffer.latest_active_call(), /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  const EngineConfig config = home_config(f.a_host.address());
+
+  ScidiveEngine single(config);
+  for (const pkt::Packet& packet : f.capture) single.on_packet(packet);
+  const auto expected = alert_multiset(single.alerts().alerts());
+  ASSERT_GE(single.alerts().count_for_rule("bye-attack"), 1u);
+
+  for (size_t workers : {1, 2, 4, 8}) {
+    for (size_t batch : {1, 8, 32, 128}) {
+      ShardedEngineConfig sc;
+      sc.engine = config;
+      sc.num_shards = workers;
+      sc.batch_size = batch;
+      ShardedEngine sharded(sc);
+      for (const pkt::Packet& packet : f.capture) sharded.on_packet(packet);
+      sharded.flush();
+      EXPECT_EQ(alert_multiset(sharded.merged_alerts()), expected)
+          << workers << " workers, batch " << batch;
+      ShardedEngineStats stats = sharded.stats();
+      EXPECT_EQ(stats.packets_seen, f.capture.size());
+      EXPECT_EQ(stats.packets_dropped, 0u);
+    }
+  }
+}
+
 TEST(ShardedEngine, RtpInjectionParity) {
   CaptureFixture f;
   f.establish_call(sec(3));
