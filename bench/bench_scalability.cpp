@@ -8,7 +8,13 @@
 //   * ShardedEngine with 1/2/4/8 shards at K >= 1000 (rows where the shard
 //     count exceeds the machine's hardware threads are marked oversubscribed
 //     — they measure queue overhead, not scaling);
-//   * worker drain batch-size sweep (B in {1, 8, 32, 128}) at 5000 sessions.
+//   * worker drain batch-size sweep (B in {1, 8, 32, 64, 128} plus the
+//     occupancy-adaptive default) at 5000 sessions;
+//   * multicore mode: 1/2/4/8 pinned workers at 50000 sessions — each worker
+//     thread pinned to its own core so the scheduler cannot stack them. This
+//     is the section scripts/check_speedup.py gates CI on; on a machine with
+//     fewer than 4 hardware threads its rows are oversubscribed and only
+//     measure queue overhead.
 //
 // Packets are pre-built once per session with a zero UDP checksum (legal
 // per RFC 768, skipped by the parser) so the feed loop only patches the RTP
@@ -135,10 +141,12 @@ RunResult run_single(SessionPlan& plan, int packets) {
   return r;
 }
 
-RunResult run_sharded(SessionPlan& plan, int packets, size_t shards, size_t batch_size = 0) {
+RunResult run_sharded(SessionPlan& plan, int packets, size_t shards, size_t batch_size = 0,
+                      bool pin_workers = false) {
   core::ShardedEngineConfig config;
   config.num_shards = shards;
-  if (batch_size != 0) config.batch_size = batch_size;
+  config.batch_size = batch_size;  // 0 = occupancy-adaptive default
+  config.pin_workers = pin_workers;
   core::ShardedEngine engine(config);
   for (const auto& p : plan.signaling) engine.on_packet(p);
   engine.flush();
@@ -179,12 +187,14 @@ int main() {
   const unsigned hw_threads = std::thread::hardware_concurrency();
   bool first = true;
   double single_1000_pps = 0;
+  double single_50000_pps = 0;
   for (int k : {1, 10, 100, 1000, 5000, 20000, 50000}) {
     auto plan = build_plan(k);
     RunResult r = run_single(plan, kPackets);
     printf("%-10d | %-14d | %11.3f s | %12.0f | %zu\n", k, kPackets, r.elapsed, r.pps, r.trails);
     if (r.alerts != 0) printf("  unexpected alerts: %llu\n", (unsigned long long)r.alerts);
     if (k == 1000) single_1000_pps = r.pps;
+    if (k == 50000) single_50000_pps = r.pps;
     char row[160];
     snprintf(row, sizeof(row),
              "    %s{\"sessions\": %d, \"packets\": %d, \"pkts_per_sec\": %.0f, \"alerts\": %llu}",
@@ -232,17 +242,56 @@ int main() {
 
   const size_t sweep_shards = hw_threads > 1 ? 2 : 1;
   first = true;
-  for (size_t batch : {1u, 8u, 32u, 128u}) {
+  // 0 = the occupancy-adaptive default (start 8, grow toward 128 only under
+  // backlog) that replaced the old fixed 64 — the sweep shows why: small
+  // batches win at the occupancies this workload actually runs at.
+  for (size_t batch : {0u, 1u, 8u, 32u, 64u, 128u}) {
     auto plan = build_plan(5000);
     RunResult r = run_sharded(plan, kPackets, sweep_shards, batch);
-    printf("%-8zu | %11.3f s | %12.0f | %llu\n", batch, r.elapsed, r.pps,
+    char label[16];
+    if (batch == 0) {
+      snprintf(label, sizeof(label), "auto");
+    } else {
+      snprintf(label, sizeof(label), "%zu", batch);
+    }
+    printf("%-8s | %11.3f s | %12.0f | %llu\n", label, r.elapsed, r.pps,
            (unsigned long long)r.dropped);
-    char row[200];
+    char row[220];
     snprintf(row, sizeof(row),
-             "    %s{\"batch\": %zu, \"shards\": %zu, \"sessions\": 5000, \"packets\": %d, "
+             "    %s{\"batch\": \"%s\", \"shards\": %zu, \"sessions\": 5000, \"packets\": %d, "
              "\"pkts_per_sec\": %.0f, \"dropped\": %llu}",
-             first ? "" : ",", batch, sweep_shards, kPackets, r.pps,
+             first ? "" : ",", label, sweep_shards, kPackets, r.pps,
              (unsigned long long)r.dropped);
+    json += row;
+    json += "\n";
+    first = false;
+  }
+  json += "  ],\n  \"multicore\": [\n";
+
+  printf("\nMulticore mode: pinned workers at 50000 sessions (1/2/4/8 shards)\n");
+  printf("=================================================================\n\n");
+  printf("%-8s | %-14s | %-12s | %-14s | %-8s\n", "shards", "wall time", "pkts/sec",
+         "vs single", "dropped");
+  printf("-------------------------------------------------------------------\n");
+
+  first = true;
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    auto plan = build_plan(50000);
+    RunResult r = run_sharded(plan, kPackets, shards, /*batch_size=*/0, /*pin_workers=*/true);
+    const bool oversubscribed = hw_threads != 0 && shards > hw_threads;
+    printf("%-8zu | %11.3f s | %12.0f | %13.2fx | %-8llu%s\n", shards, r.elapsed, r.pps,
+           single_50000_pps > 0 ? r.pps / single_50000_pps : 0.0,
+           (unsigned long long)r.dropped,
+           oversubscribed ? "  (oversubscribed: shards > hardware threads)" : "");
+    if (r.alerts != 0) printf("  unexpected alerts: %llu\n", (unsigned long long)r.alerts);
+    char row[280];
+    snprintf(row, sizeof(row),
+             "    %s{\"shards\": %zu, \"sessions\": 50000, \"packets\": %d, \"pinned\": true, "
+             "\"pkts_per_sec\": %.0f, \"speedup_vs_single\": %.3f, \"dropped\": %llu, "
+             "\"oversubscribed\": %s}",
+             first ? "" : ",", shards, kPackets, r.pps,
+             single_50000_pps > 0 ? r.pps / single_50000_pps : 0.0,
+             (unsigned long long)r.dropped, oversubscribed ? "true" : "false");
     json += row;
     json += "\n";
     first = false;

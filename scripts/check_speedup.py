@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI gate for multicore scaling (bench_scalability.json).
+
+Reads the "multicore" section (pinned workers, 50k sessions) and fails when:
+  * the 4-worker sharded speedup over the single engine is below the floor
+    (default 2.0x), or
+  * any row whose shard count fits the runner's hardware threads is marked
+    oversubscribed (the flag would mean the bench mis-detected the machine),
+  * or any gated row dropped packets (a drop invalidates the throughput
+    number: the engine did not process the offered load).
+
+On a runner with fewer than 4 hardware threads every sharded row measures
+queue overhead, not scaling, so the check degrades to a warning and exits 0 —
+the multicore CI job (>= 4 vCPUs) is the authoritative execution.
+
+Usage: check_speedup.py bench_scalability.json [--min-speedup 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_scalability.json")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required 4-worker speedup vs single engine")
+    args = parser.parse_args()
+
+    with open(args.results) as f:
+        data = json.load(f)
+
+    hw = int(data.get("hardware_threads", 0))
+    rows = data.get("multicore", [])
+    if not rows:
+        print("FAIL: no 'multicore' section in results "
+              "(bench_scalability predates the pinned-worker mode?)")
+        return 1
+
+    if hw < 4:
+        print(f"WARNING: runner has {hw} hardware threads; multicore scaling "
+              "is unmeasurable here. Skipping (CI multicore job is "
+              "authoritative).")
+        return 0
+
+    failures = []
+    four = None
+    for row in rows:
+        shards = int(row["shards"])
+        if shards == 4:
+            four = row
+        if shards <= hw and row.get("oversubscribed", False):
+            failures.append(
+                f"row shards={shards} marked oversubscribed on a "
+                f"{hw}-thread machine")
+
+    if four is None:
+        failures.append("no 4-shard row in the multicore section")
+    else:
+        speedup = float(four.get("speedup_vs_single", 0.0))
+        dropped = int(four.get("dropped", 0))
+        print(f"4 pinned workers @ 50k sessions: {speedup:.2f}x vs single "
+              f"({four.get('pkts_per_sec', 0):.0f} pkts/s, "
+              f"{dropped} dropped, {hw} hardware threads)")
+        if dropped != 0:
+            failures.append(f"4-worker row dropped {dropped} packets")
+        if speedup < args.min_speedup:
+            failures.append(
+                f"4-worker speedup {speedup:.2f}x is below the "
+                f"{args.min_speedup:.1f}x floor")
+
+    if failures:
+        for f_msg in failures:
+            print(f"FAIL: {f_msg}")
+        return 1
+    print("OK: multicore scaling gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,10 @@ class FlatMap {
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return cap_; }
 
+  /// Address of the record array (alignment audit only; nullptr before the
+  /// first insert).
+  const void* record_data() const { return slots_; }
+
   V* find(const K& key) {
     if (size_ == 0) return nullptr;
     size_t i = index_of(key);
@@ -252,11 +256,17 @@ class FlatMap {
     }
   }
 
+  /// Records start on a cache-line boundary (not just alignof(Slot)): a
+  /// probe then touches whole record lines from line 0, and a shard-local
+  /// table never shares its first record line with whatever the allocator
+  /// placed before it — the false-sharing audit test pins this.
+  static constexpr size_t kRecordAlign = alignof(Slot) > 64 ? alignof(Slot) : 64;
+
   void reserve_slots(size_t cap) {
     cap_ = cap;
     mask_ = cap - 1;
     dist_ = std::make_unique<uint8_t[]>(cap);
-    slot_mem_.reset(new std::byte[cap * sizeof(Slot) + alignof(Slot)]);
+    slot_mem_.reset(new std::byte[cap * sizeof(Slot) + kRecordAlign]);
     slots_ = aligned<Slot>(slot_mem_.get());
   }
 
@@ -264,7 +274,7 @@ class FlatMap {
   static T* aligned(std::byte* p) {
     void* vp = p;
     size_t space = static_cast<size_t>(-1);
-    return static_cast<T*>(std::align(alignof(T), sizeof(T), vp, space));
+    return static_cast<T*>(std::align(kRecordAlign, sizeof(T), vp, space));
   }
 
   void destroy_all() {

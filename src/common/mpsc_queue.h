@@ -1,0 +1,131 @@
+// Bounded multi-producer / single-consumer ring buffer (Vyukov's bounded
+// MPMC queue restricted to one consumer). Each slot carries a sequence
+// number; a producer claims a slot with one CAS on `head_`, writes the
+// value, then publishes it with a release store of the slot sequence. The
+// consumer never contends with producers on any cache line except a claimed
+// slot's own sequence word, and consumes in strict claim order — so per-slot
+// FIFO is preserved exactly as with the SPSC ring, just with N producers
+// interleaving at the claim CAS.
+//
+// Ordering guarantee (what the sharded engine needs): all pushes from one
+// producer thread pop in that producer's push order. Pushes from different
+// producers interleave in claim order, which is fine — the affinity router
+// guarantees a session is only ever fed by one producer at a time.
+//
+// `try_push` is lossless-or-false: when the ring is full it returns false
+// and leaves the value untouched, so callers implement kBlock/kDrop policy
+// exactly as with SpscQueue.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/spsc_queue.h"  // kCacheLineSize
+
+namespace scidive {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Producer side (any thread). Returns false (leaving `value` untouched)
+  /// when the ring is full.
+  bool try_push(T&& value) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[head & mask_];
+      const size_t seq = slot.seq.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(head);
+      if (diff == 0) {
+        // Slot is free for this ticket; race other producers for it.
+        if (head_.compare_exchange_weak(head, head + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(head + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `head`; retry with the fresh ticket.
+      } else if (diff < 0) {
+        // Sequence lags the ticket: the consumer has not freed this slot in
+        // the previous lap — the ring is full.
+        return false;
+      } else {
+        // Another producer claimed this ticket; chase the head.
+        head = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side (single thread). Returns false when empty.
+  bool try_pop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[tail & mask_];
+    const size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(tail + 1) < 0)
+      return false;  // producer has not published this slot yet
+    out = std::move(slot.value);
+    // Free the slot for the producers' next lap.
+    slot.seq.store(tail + mask_ + 1, std::memory_order_release);
+    tail_.store(tail + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side: drain up to `max` published elements into `out`
+  /// (appended; callers reuse a cleared scratch vector so steady state
+  /// performs no allocation). Unlike the SPSC ring each slot needs its own
+  /// release store — a producer may be waiting on that exact slot — but the
+  /// consumer's tail index is only published once per batch.
+  size_t pop_batch(std::vector<T>& out, size_t max) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t n = 0;
+    while (n < max) {
+      Slot& slot = slots_[(tail + n) & mask_];
+      const size_t seq = slot.seq.load(std::memory_order_acquire);
+      if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(tail + n + 1) < 0) break;
+      out.push_back(std::move(slot.value));
+      slot.seq.store(tail + n + mask_ + 1, std::memory_order_release);
+      ++n;
+    }
+    if (n != 0) tail_.store(tail + n, std::memory_order_relaxed);
+    return n;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate (exact only when both sides are quiescent). Safe to call
+  /// from any thread — the snapshot path samples ring occupancy with it.
+  size_t size() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+  /// Producers' claim ticket: the only line producers contend on.
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  /// Consumer-owned; atomic only so size() is safe cross-thread.
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace scidive

@@ -21,6 +21,16 @@ bool iequals(std::string_view a, std::string_view b);
 /// Case-insensitive prefix test.
 bool istarts_with(std::string_view s, std::string_view prefix);
 
+/// Index of the first `needle` byte at or after `from`; npos when absent.
+/// 16-bytes-per-iteration SSE2 scan (SWAR fallback elsewhere) — the SIP
+/// parser's CRLF and colon scans, split() and split_once() all route
+/// through this, so header-heavy messages are scanned a cache line at a
+/// time instead of byte-by-byte.
+size_t find_byte(std::string_view s, char needle, size_t from = 0);
+
+/// Index of the first "\r\n" at or after `from`; npos when absent.
+size_t find_crlf(std::string_view s, size_t from = 0);
+
 /// Split on a separator character. Empty fields are preserved.
 std::vector<std::string_view> split(std::string_view s, char sep);
 

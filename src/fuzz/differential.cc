@@ -117,7 +117,18 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
     if (config.make_rules) {
       sharded.set_rules([&](size_t) { return config.make_rules(); });
     }
-    for (const pkt::Packet& packet : stream) sharded.on_packet(packet);
+    if (config.rebalance_interval != 0) {
+      size_t since = 0;
+      for (const pkt::Packet& packet : stream) {
+        sharded.on_packet(packet);
+        if (++since >= config.rebalance_interval) {
+          since = 0;
+          sharded.rebalance();
+        }
+      }
+    } else {
+      for (const pkt::Packet& packet : stream) sharded.on_packet(packet);
+    }
     sharded.flush();
 
     const core::ShardedEngineStats stats = sharded.stats();

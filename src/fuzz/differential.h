@@ -30,6 +30,11 @@ struct DifferentialConfig {
   /// Leave empty to keep the built-in C++ ruleset. DSL parity tests use
   /// this to prove compiled rules are topology-invariant too.
   std::function<std::vector<core::RulePtr>()> make_rules;
+  /// When non-zero, call ShardedEngine::rebalance() every this-many packets
+  /// during replay. The rebalancer migrates whole sessions between shards;
+  /// the oracle's identical-alert-multiset check then also proves migration
+  /// loses no rule/event/trail state.
+  size_t rebalance_interval = 0;
 };
 
 struct DifferentialReport {

@@ -43,6 +43,10 @@ class Counter {
 class Gauge {
  public:
   void set(int64_t v) { value_ = v; }
+  /// Raise-only set — high-water-mark gauges never regress within a run.
+  void set_max(int64_t v) {
+    if (v > value_) value_ = v;
+  }
   void inc(int64_t n = 1) { value_ += n; }
   void dec(int64_t n = 1) { value_ -= n; }
   int64_t value() const { return value_; }

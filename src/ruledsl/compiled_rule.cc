@@ -31,6 +31,42 @@ int64_t since_value(SimTime now, int64_t t) {
 
 }  // namespace
 
+namespace {
+
+struct BoxedRecord final : core::Rule::SessionState {
+  std::vector<int64_t> nums;
+  std::vector<std::string> strs;
+};
+
+}  // namespace
+
+std::unique_ptr<core::Rule::SessionState> CompiledRule::extract_session(
+    const core::SessionId& session) {
+  if (def_->key != KeyKind::kSession) return nullptr;  // AOR state never moves
+  auto sym = keys_.find(session);
+  if (!sym) return nullptr;
+  Record* rec = records_.find(*sym);
+  if (rec == nullptr) return nullptr;
+  auto box = std::make_unique<BoxedRecord>();
+  box->nums = std::move(rec->nums);
+  box->strs = std::move(rec->strs);
+  records_.erase(*sym);
+  return box;
+}
+
+void CompiledRule::install_session(const core::SessionId& session,
+                                   std::unique_ptr<SessionState> state) {
+  if (def_->key != KeyKind::kSession) return;
+  auto* box = dynamic_cast<BoxedRecord*>(state.get());
+  // A slot-count mismatch means the destination runs a different revision of
+  // this rule (mid-hot-reload); adopting the record would misindex slots.
+  if (box == nullptr || box->nums.size() != def_->slots.size()) return;
+  Record rec;
+  rec.nums = std::move(box->nums);
+  rec.strs = std::move(box->strs);
+  records_.insert_or_assign(keys_.intern(session), std::move(rec));
+}
+
 CompiledRule::Record& CompiledRule::record_for(const core::Event& event) {
   const std::string& key = def_->key == KeyKind::kAor ? event.aor : event.session;
   auto [rec, inserted] = records_.try_emplace(keys_.intern(key));

@@ -28,6 +28,12 @@ class CompiledRule : public core::Rule {
   size_t state_entries() const override { return records_.size(); }
   core::EventTypeMask subscriptions() const override { return def_->subscriptions; }
 
+  /// Migration: session-keyed rules hand their Record over; AOR-keyed state
+  /// is principal state and stays put (the router pins those sessions).
+  std::unique_ptr<SessionState> extract_session(const core::SessionId& session) override;
+  void install_session(const core::SessionId& session,
+                       std::unique_ptr<SessionState> state) override;
+
   const CompiledRuleDef& def() const { return *def_; }
 
  private:

@@ -335,4 +335,33 @@ void ScidiveEngine::expire_idle(SimTime cutoff) {
   events_.expire_idle(cutoff);
 }
 
+ScidiveEngine::SessionTransfer ScidiveEngine::extract_session(const SessionId& session) {
+  SessionTransfer out;
+  out.trails = trails_.extract_session(session);
+  if (!out.trails.valid()) return out;
+  out.id = session;
+  out.valid = true;
+  out.events = events_.extract_session(session);
+  for (const RulePtr& rule : rules_) {
+    if (auto state = rule->extract_session(session)) {
+      out.rule_states.emplace_back(std::string(rule->name()), std::move(state));
+    }
+  }
+  return out;
+}
+
+void ScidiveEngine::install_session(SessionTransfer&& transfer) {
+  if (!transfer.valid) return;
+  trails_.install_session(std::move(transfer.trails));
+  if (transfer.events) events_.install_session(transfer.id, std::move(*transfer.events));
+  for (auto& [rule_name, state] : transfer.rule_states) {
+    for (const RulePtr& rule : rules_) {
+      if (rule->name() == rule_name) {
+        rule->install_session(transfer.id, std::move(state));
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace scidive::core

@@ -121,6 +121,28 @@ class ScidiveEngine {
   /// Housekeeping: expire idle trails/session state older than cutoff.
   void expire_idle(SimTime cutoff);
 
+  // --- Session migration (sharded-engine rebalance) ---------------------
+  /// One session's complete engine-side state: trails (with their arena),
+  /// event-generator aggregation state, and any per-rule session state,
+  /// keyed by rule name so the matching rule instance on the destination
+  /// engine adopts it.
+  struct SessionTransfer {
+    SessionId id;
+    TrailManager::ExtractedSession trails;
+    std::optional<EventGenerator::SessionState> events;
+    std::vector<std::pair<std::string, std::unique_ptr<Rule::SessionState>>> rule_states;
+    bool valid = false;
+  };
+
+  bool has_session(const SessionId& session) const { return trails_.has_session(session); }
+  /// Detach everything this engine knows about `session`. Invalid (and the
+  /// engine unchanged) when the session does not exist here.
+  SessionTransfer extract_session(const SessionId& session);
+  /// Adopt a transfer produced by another engine with the same ruleset.
+  /// Precondition: !has_session(transfer.id). Creation counters are NOT
+  /// incremented — across a sharded engine the session was created once.
+  void install_session(SessionTransfer&& transfer);
+
  private:
   /// Interned once per rule at registration; indexed parallel to rules_.
   struct RuleInstruments {

@@ -423,6 +423,22 @@ void EventGenerator::process_acc(const Footprint& fp, const AccFootprint& acc,
   }
 }
 
+std::optional<EventGenerator::SessionState> EventGenerator::extract_session(
+    const SessionId& session) {
+  auto sym = trails_.symbols().find(session);
+  if (!sym) return std::nullopt;
+  SessionState* state = sessions_.find(*sym);
+  if (state == nullptr) return std::nullopt;
+  SessionState out = std::move(*state);
+  sessions_.erase(*sym);
+  return out;
+}
+
+void EventGenerator::install_session(const SessionId& session, SessionState state) {
+  const Symbol sym = trails_.symbols().intern(session);
+  *sessions_.try_emplace(sym).first = std::move(state);
+}
+
 size_t EventGenerator::expire_idle(SimTime cutoff) {
   size_t dropped = sessions_.erase_if(
       [&](const Symbol&, const SessionState& state) { return state.last_touched < cutoff; });

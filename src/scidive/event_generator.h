@@ -61,7 +61,17 @@ class EventGenerator {
   /// Drop per-session state not touched since `cutoff`.
   size_t expire_idle(SimTime cutoff);
 
- private:
+  struct SessionState;
+
+  /// Migration (sharded-engine rebalance): detach this session's
+  /// aggregation state. The state holds endpoints, strings and times — no
+  /// interner symbols — so it transplants across engines as-is. The
+  /// per-principal registration mirror is NOT per-session state and never
+  /// migrates (principal-routed sessions are pinned by the router).
+  std::optional<SessionState> extract_session(const SessionId& session);
+  /// Adopt migrated state under this engine's interning of `session`.
+  void install_session(const SessionId& session, SessionState state);
+
   /// A watch on a media source after signaling said it should go quiet.
   struct MediaMonitor {
     bool active = false;
@@ -107,6 +117,7 @@ class EventGenerator {
     std::optional<pkt::Ipv4Address> pending_register_addr;
   };
 
+ private:
   static constexpr size_t kMaxMonitors = 4;
 
   void process_sip(const Footprint& fp, const SipFootprint& sip, SessionState& state,

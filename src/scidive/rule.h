@@ -55,6 +55,14 @@ constexpr EventTypeMask kAllEventsMask =
 
 class Rule {
  public:
+  /// Opaque box for one session's worth of a rule's private state, used by
+  /// the sharded engine's rebalancer to move a session between shards. The
+  /// concrete type belongs to the rule that produced it; the matching rule
+  /// instance on the destination shard (same name, same class) unpacks it.
+  struct SessionState {
+    virtual ~SessionState() = default;
+  };
+
   virtual ~Rule() = default;
   virtual std::string_view name() const = 0;
   virtual void on_event(const Event& event, RuleContext& ctx) = 0;
@@ -66,6 +74,20 @@ class Rule {
   /// an event only visits its subscribers; the default (everything)
   /// preserves broadcast behavior for rules that do not declare interest.
   virtual EventTypeMask subscriptions() const { return kAllEventsMask; }
+
+  /// Migration hooks. extract_session detaches and returns the rule's
+  /// state for `session` (nullptr when it holds none — the default for
+  /// stateless and principal-keyed rules, whose state must stay put);
+  /// install_session adopts a box produced by the same rule class on
+  /// another shard. A rule implementing one must implement both.
+  virtual std::unique_ptr<SessionState> extract_session(const SessionId& session) {
+    (void)session;
+    return nullptr;
+  }
+  virtual void install_session(const SessionId& session, std::unique_ptr<SessionState> state) {
+    (void)session;
+    (void)state;
+  }
 };
 
 using RulePtr = std::unique_ptr<Rule>;

@@ -227,6 +227,85 @@ void DirectTrailScanByeRule::on_event(const Event& event, RuleContext& ctx) {
                         static_cast<long long>(event.time - bye_time)));
 }
 
+// --- Session migration ----------------------------------------------------
+// Each session-keyed rule boxes its per-session value; the destination
+// instance re-interns the id into its own rule-local table. dynamic_cast
+// guards against a box reaching the wrong rule class (it cannot under the
+// engine's name-matched dispatch, but a wrong-type box must not corrupt
+// state — it is silently dropped, same as the no-state case).
+
+namespace {
+
+template <typename T>
+struct BoxedState final : Rule::SessionState {
+  explicit BoxedState(T v) : value(std::move(v)) {}
+  T value;
+};
+
+/// Detach `map[session]` (keyed via `interned`) into a box; null when absent.
+template <typename T, typename Map>
+std::unique_ptr<Rule::SessionState> extract_boxed(const SymbolTable& interned, Map& map,
+                                                  const SessionId& session) {
+  auto sym = interned.find(session);
+  if (!sym) return nullptr;
+  T* value = map.find(*sym);
+  if (value == nullptr) return nullptr;
+  auto box = std::make_unique<BoxedState<T>>(std::move(*value));
+  map.erase(*sym);
+  return box;
+}
+
+template <typename T, typename Map>
+void install_boxed(SymbolTable& interned, Map& map, const SessionId& session,
+                   std::unique_ptr<Rule::SessionState> state) {
+  auto* box = dynamic_cast<BoxedState<T>*>(state.get());
+  if (box == nullptr) return;
+  map.insert_or_assign(interned.intern(session), std::move(box->value));
+}
+
+}  // namespace
+
+std::unique_ptr<Rule::SessionState> BillingFraudRule::extract_session(const SessionId& session) {
+  return extract_boxed<Evidence>(sessions_interned_, evidence_, session);
+}
+
+void BillingFraudRule::install_session(const SessionId& session,
+                                       std::unique_ptr<SessionState> state) {
+  install_boxed<Evidence>(sessions_interned_, evidence_, session, std::move(state));
+}
+
+std::unique_ptr<Rule::SessionState> RegisterFloodRule::extract_session(const SessionId& session) {
+  return extract_boxed<SessionAuthState>(sessions_interned_, sessions_, session);
+}
+
+void RegisterFloodRule::install_session(const SessionId& session,
+                                        std::unique_ptr<SessionState> state) {
+  install_boxed<SessionAuthState>(sessions_interned_, sessions_, session, std::move(state));
+}
+
+std::unique_ptr<Rule::SessionState> PasswordGuessRule::extract_session(const SessionId& session) {
+  return extract_boxed<GuessState>(sessions_interned_, sessions_, session);
+}
+
+void PasswordGuessRule::install_session(const SessionId& session,
+                                        std::unique_ptr<SessionState> state) {
+  install_boxed<GuessState>(sessions_interned_, sessions_, session, std::move(state));
+}
+
+std::unique_ptr<Rule::SessionState> DirectTrailScanByeRule::extract_session(
+    const SessionId& session) {
+  // The only per-session state is alerted-set membership.
+  auto sym = sessions_interned_.find(session);
+  if (!sym || !alerted_.erase(*sym)) return nullptr;
+  return std::make_unique<BoxedState<bool>>(true);
+}
+
+void DirectTrailScanByeRule::install_session(const SessionId& session,
+                                             std::unique_ptr<SessionState> state) {
+  if (dynamic_cast<BoxedState<bool>*>(state.get()) == nullptr) return;
+  alerted_.insert(sessions_interned_.intern(session));
+}
+
 std::vector<RulePtr> make_default_ruleset(const RulesConfig& config) {
   std::vector<RulePtr> rules;
   rules.push_back(std::make_unique<ByeAttackRule>());

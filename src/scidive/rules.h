@@ -122,6 +122,8 @@ class BillingFraudRule : public Rule {
     return event_mask(EventType::kSipMalformed, EventType::kAccUnmatched,
                       EventType::kAccBilledPartyAbsent, EventType::kRtpUnexpectedSource);
   }
+  std::unique_ptr<SessionState> extract_session(const SessionId& session) override;
+  void install_session(const SessionId& session, std::unique_ptr<SessionState> state) override;
 
  private:
   /// Evidence per session, packed: one bit per EventType (the enum has far
@@ -148,6 +150,8 @@ class RegisterFloodRule : public Rule {
   EventTypeMask subscriptions() const override {
     return event_mask(EventType::kSipRegisterSeen, EventType::kSipAuthChallenge);
   }
+  std::unique_ptr<SessionState> extract_session(const SessionId& session) override;
+  void install_session(const SessionId& session, std::unique_ptr<SessionState> state) override;
 
  private:
   struct SessionAuthState {
@@ -171,6 +175,8 @@ class PasswordGuessRule : public Rule {
   EventTypeMask subscriptions() const override {
     return event_mask(EventType::kSipAuthFailure);
   }
+  std::unique_ptr<SessionState> extract_session(const SessionId& session) override;
+  void install_session(const SessionId& session, std::unique_ptr<SessionState> state) override;
 
  private:
   struct GuessState {
@@ -232,6 +238,8 @@ class DirectTrailScanByeRule : public Rule {
   EventTypeMask subscriptions() const override {
     return event_mask(EventType::kRtpPacketSeen);
   }
+  std::unique_ptr<SessionState> extract_session(const SessionId& session) override;
+  void install_session(const SessionId& session, std::unique_ptr<SessionState> state) override;
 
  private:
   SimDuration window_;

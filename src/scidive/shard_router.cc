@@ -55,17 +55,31 @@ uint64_t mix64(uint64_t x) {
 }  // namespace
 
 ShardRouter::ShardRouter(ShardRouterConfig config)
+    : ShardRouter(std::move(config), nullptr) {}
+
+ShardRouter::ShardRouter(ShardRouterConfig config, ShardDirectory* directory)
     : config_(std::move(config)),
-      reassembler_(pkt::Ipv4Reassembler::Config{.timeout = config_.reassembly_timeout}) {
+      reassembler_(pkt::Ipv4Reassembler::Config{.timeout = config_.reassembly_timeout}),
+      directory_(directory) {
   if (config_.num_shards == 0) config_.num_shards = 1;
+  if (directory_ == nullptr) {
+    owned_directory_ = std::make_unique<ShardDirectory>(config_.num_shards);
+    directory_ = owned_directory_.get();
+  }
 }
 
 size_t ShardRouter::shard_of_key(std::string_view key) const {
-  return mix64(std::hash<std::string_view>{}(key)) % config_.num_shards;
+  return mix64(ShardDirectory::key_hash(key)) % config_.num_shards;
+}
+
+size_t ShardRouter::session_shard(std::string_view key) const {
+  const uint64_t h = ShardDirectory::key_hash(key);
+  if (auto moved = directory_->override_shard(h)) return *moved % config_.num_shards;
+  return mix64(h) % config_.num_shards;
 }
 
 void ShardRouter::learn_media(pkt::Endpoint media, size_t shard) {
-  if (media_shard_.insert_or_assign(media, static_cast<uint32_t>(shard))) {
+  if (directory_->learn_media(media, static_cast<uint32_t>(shard))) {
     ++stats_.media_bindings_learned;
   }
 }
@@ -103,7 +117,7 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
     if (!msg.ok()) {
       // Unparseable SIP shares the "sip-anon" session on every engine.
       ++stats_.by_call_id;
-      return shard_of_key("sip-anon");
+      return session_shard("sip-anon");
     }
     const sip::SipMessage& m = msg.value();
     std::string cseq_method;
@@ -123,10 +137,14 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
     if ((cseq_method == "REGISTER" || cseq_method == "MESSAGE") && !from_aor.empty()) {
       ++stats_.by_principal;
       shard = shard_of_key(from_aor);
+      // This call-id's trails live wherever the principal's state lives;
+      // pin the session so the rebalancer never separates them.
+      if (auto cid = m.call_id(); cid && !cid->empty())
+        directory_->mark_principal_routed(ShardDirectory::key_hash(*cid));
     } else {
       ++stats_.by_call_id;
       std::string call_id = m.call_id().value_or("");
-      shard = shard_of_key(call_id.empty() ? std::string_view("sip-anon") : call_id);
+      shard = session_shard(call_id.empty() ? std::string_view("sip-anon") : call_id);
     }
     auto sdp = sip::Sdp::parse(m.body());
     if (sdp.ok() && sdp.value().audio() != nullptr) {
@@ -142,16 +160,16 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
     ++stats_.by_call_id;
     auto record = voip::AccRecord::parse(text);
     if (record.ok() && !record.value().call_id.empty())
-      return shard_of_key(record.value().call_id);
-    return shard_of_key("acc-anon");
+      return session_shard(record.value().call_id);
+    return session_shard("acc-anon");
   }
 
   if (peek->src.port == h323::kH225Port || peek->dst.port == h323::kH225Port) {
     ++stats_.by_call_id;
     auto q931 = h323::Q931Message::parse(peek->payload);
-    if (!q931.ok()) return shard_of_key("h225-anon");
+    if (!q931.ok()) return session_shard("h225-anon");
     const auto& m = q931.value();
-    size_t shard = shard_of_key(m.call_id.empty() ? std::string_view("h225-anon") : m.call_id);
+    size_t shard = session_shard(m.call_id.empty() ? std::string_view("h225-anon") : m.call_id);
     if (m.media) learn_media(*m.media, shard);
     return shard;
   }
@@ -159,20 +177,21 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
   if (peek->src.port == h323::kRasPort || peek->dst.port == h323::kRasPort) {
     ++stats_.by_call_id;
     auto ras = h323::RasMessage::parse(peek->payload);
-    if (!ras.ok()) return shard_of_key("ras-anon");
+    if (!ras.ok()) return session_shard("ras-anon");
     const auto& m = ras.value();
-    if (!m.call_id.empty()) return shard_of_key(m.call_id);
+    if (!m.call_id.empty()) return session_shard(m.call_id);
+    // Alias registration state is per-principal (like From-AOR): pure hash.
     if (!m.alias.empty()) return shard_of_key("ras-reg:" + m.alias);
-    return shard_of_key("ras-anon");
+    return session_shard("ras-anon");
   }
 
   // Media plane: two hash lookups, no parsing. RTCP conventionally runs on
   // media-port + 1; fall back to the even port like TrailManager::classify.
   auto lookup = [&](pkt::Endpoint ep) -> std::optional<uint32_t> {
-    if (const uint32_t* shard = media_shard_.find(ep)) return *shard;
+    if (auto shard = directory_->media_shard(ep)) return shard;
     if (ep.port % 2 == 1) {
       ep.port -= 1;
-      if (const uint32_t* shard = media_shard_.find(ep)) return *shard;
+      if (auto shard = directory_->media_shard(ep)) return shard;
     }
     return std::nullopt;
   };

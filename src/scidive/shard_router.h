@@ -21,16 +21,23 @@
 //
 // Signaling is parsed with the real codecs (it is rare); the media hot path
 // is two hash lookups on trivially-hashable endpoints.
+//
+// Multi-producer operation: each capture thread owns one ShardRouter (the
+// reassembler and stats are per-stream), while the learned media map, the
+// rebalancer's affinity overrides and the principal-routed pin set live in
+// a ShardDirectory shared by every router of the engine (see
+// shard_directory.h). A standalone router owns a private directory.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string_view>
 
-#include "common/flat_map.h"
 #include "pkt/fragment.h"
 #include "pkt/packet.h"
+#include "scidive/shard_directory.h"
 
 namespace scidive::core {
 
@@ -55,7 +62,11 @@ struct ShardRouterStats {
 
 class ShardRouter {
  public:
+  /// Standalone router with a private directory (tests, single producer).
   explicit ShardRouter(ShardRouterConfig config);
+  /// Router sharing an engine-owned directory with sibling producers.
+  /// `directory` must outlive the router.
+  ShardRouter(ShardRouterConfig config, ShardDirectory* directory);
 
   struct Routed {
     size_t shard = 0;
@@ -71,20 +82,28 @@ class ShardRouter {
   std::optional<Routed> route(const pkt::Packet& packet);
 
   const ShardRouterStats& stats() const { return stats_; }
-  size_t media_binding_count() const { return media_shard_.size(); }
+  size_t media_binding_count() const { return directory_->media_binding_count(); }
+  const ShardDirectory& directory() const { return *directory_; }
 
  private:
   size_t shard_of_key(std::string_view key) const;
+  /// shard_of_key plus the rebalancer's affinity overrides. Only
+  /// session-keyed routes (Call-ID / CDR / Q.931 / RAS call-id) consult
+  /// overrides; principal (From-AOR) routes never do — principal state is
+  /// never migrated, so a same-string collision between a call-id and an
+  /// AOR must not drag the AOR's traffic along with a migrated session.
+  size_t session_shard(std::string_view key) const;
   size_t route_datagram(const pkt::Packet& packet);
   void learn_media(pkt::Endpoint media, size_t shard);
 
   ShardRouterConfig config_;
   pkt::Ipv4Reassembler reassembler_;
-  /// Media endpoint -> shard, learned from SDP/H.245 addresses seen in
-  /// signaling. Entries are only ever added or overwritten (mirroring
+  /// Shared routing state (media endpoint -> shard, affinity overrides,
+  /// principal pins). Entries are only ever added or overwritten (mirroring
   /// TrailManager::bind_media_endpoint); stale entries are harmless because
   /// an unbound flow is classified identically on every shard.
-  FlatMap<pkt::Endpoint, uint32_t> media_shard_;
+  ShardDirectory* directory_;
+  std::unique_ptr<ShardDirectory> owned_directory_;  // standalone mode only
   ShardRouterStats stats_;
 };
 

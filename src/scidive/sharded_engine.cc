@@ -5,6 +5,11 @@
 
 #include "pkt/ipv4.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace scidive::core {
 
 namespace {
@@ -24,48 +29,127 @@ EngineConfig shard_engine_config(const ShardedEngineConfig& config) {
   return ec;
 }
 
+/// Adaptive drain-batch bounds (batch_size = 0). The sweep shows B=8 wins
+/// at low ring occupancy and large batches only pay under backlog.
+constexpr size_t kMinBatch = 8;
+constexpr size_t kMaxBatch = 128;
+
+uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+
+/// Sessions whose identity is synthesized by the engines rather than
+/// carried by the traffic. Their names collide across unrelated flows
+/// ("sip-anon") or encode per-principal state ("ras-reg:"), so migrating
+/// them would split state the rules expect to stay together.
+bool synthetic_session(const SessionId& id) {
+  using std::string_view_literals::operator""sv;
+  for (std::string_view prefix : {"flow:"sv, "sip-anon"sv, "acc-anon"sv, "h225-anon"sv,
+                                  "ras-anon"sv, "ras-reg:"sv, "unclassified"sv}) {
+    if (id.size() >= prefix.size() && std::string_view(id).substr(0, prefix.size()) == prefix)
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 ShardedEngine::ShardedEngine(ShardedEngineConfig config)
-    : config_(std::move(config)), router_(router_config(config_)) {
+    : config_(std::move(config)),
+      directory_(config_.num_shards == 0 ? 1 : config_.num_shards) {
   if (config_.num_shards == 0) config_.num_shards = 1;
-  if (config_.batch_size == 0) config_.batch_size = 1;
+  producers_.push_back(
+      std::unique_ptr<Producer>(new Producer(*this, router_config(config_))));
   EngineConfig ec = shard_engine_config(config_);
   shards_.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i)
     shards_.push_back(std::make_unique<Shard>(ec, config_.queue_capacity));
-  for (auto& shard : shards_)
-    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  for (size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->worker = std::thread([this, s = shards_[i].get(), i] { worker_loop(*s, i); });
 }
 
 ShardedEngine::~ShardedEngine() { stop(); }
 
-void ShardedEngine::worker_loop(Shard& shard) {
-  const size_t batch = config_.batch_size;
-  // Worker-local scratch: the batch is moved out of the ring in one pass
-  // (single release store frees every slot for the producer at once), then
-  // processed from this thread's own memory with zero ring traffic.
+ShardedEngine::Producer& ShardedEngine::add_producer() {
+  producers_.push_back(
+      std::unique_ptr<Producer>(new Producer(*this, router_config(config_))));
+  return *producers_.back();
+}
+
+void ShardedEngine::pin_worker(size_t index) {
+#if defined(__linux__)
+  unsigned cpu;
+  if (!config_.worker_cpus.empty()) {
+    cpu = static_cast<unsigned>(config_.worker_cpus[index % config_.worker_cpus.size()]);
+  } else {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    cpu = static_cast<unsigned>(index) % hw;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best effort: a denied pin (cgroup restriction, offline cpu) is not an
+  // error — the bench records oversubscription honestly either way.
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+void ShardedEngine::worker_loop(Shard& shard, size_t index) {
+  if (config_.pin_workers) pin_worker(index);
+  const bool adaptive = config_.batch_size == 0;
+  size_t batch = adaptive ? kMinBatch : config_.batch_size;
+  // Worker-local scratch: the batch is moved out of the ring in one pass,
+  // then processed from this thread's own memory with zero ring traffic.
   std::vector<pkt::Packet> scratch;
-  scratch.reserve(batch);
+  scratch.reserve(adaptive ? kMaxBatch : batch);
+  uint64_t hwm = 0;
   int idle_polls = 0;
   for (;;) {
+    // Sample ring depth before draining: the high-water mark feeds the
+    // rebalancer and the scidive_shard_queue_depth_hwm gauge.
+    const size_t depth = shard.queue.size();
+    if (depth > hwm) {
+      hwm = depth;
+      shard.queue_depth_hwm.store(hwm, std::memory_order_relaxed);
+    }
     scratch.clear();
     size_t n = shard.queue.pop_batch(scratch, batch);
     if (n != 0) {
-      for (const pkt::Packet& packet : scratch) shard.engine.on_packet(packet);
+      const auto busy_start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < n; ++i) {
+        // The next packet's bytes are about to be parsed; overlap the miss
+        // with this packet's pipeline work.
+        if (i + 1 < n) __builtin_prefetch(scratch[i + 1].data.data());
+        shard.engine.on_packet(scratch[i]);
+      }
+      shard.busy_ns.fetch_add(elapsed_ns(busy_start), std::memory_order_relaxed);
       // One release store per batch publishes both the progress counter and
       // every engine mutation made while processing the batch. Ordering
       // matters for flush(): processed must trail the processing itself.
       shard.processed.fetch_add(n, std::memory_order_release);
+      if (adaptive) {
+        if (n == batch && batch < kMaxBatch) {
+          batch <<= 1;  // drains run full: the ring is backlogged
+        } else if (n <= batch / 4 && batch > kMinBatch) {
+          batch >>= 1;  // ring runs near-empty: shrink toward low latency
+        }
+      }
       idle_polls = 0;
       continue;
     }
     if (stopping_.load(std::memory_order_acquire)) return;
+    const auto idle_start = std::chrono::steady_clock::now();
     if (++idle_polls < 64) {
       std::this_thread::yield();
     } else {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
+    shard.idle_ns.fetch_add(elapsed_ns(idle_start), std::memory_order_relaxed);
   }
 }
 
@@ -73,29 +157,29 @@ void ShardedEngine::enqueue(size_t index, pkt::Packet&& packet) {
   Shard& shard = *shards_[index];
   if (!shard.queue.try_push(std::move(packet))) {
     if (config_.overflow == OverflowPolicy::kDrop) {
-      ++shard.dropped;
+      shard.dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     do {
       std::this_thread::yield();
     } while (!shard.queue.try_push(std::move(packet)));
   }
-  ++shard.enqueued;
+  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ShardedEngine::on_packet(const pkt::Packet& packet) {
+void ShardedEngine::Producer::on_packet(const pkt::Packet& packet) {
   pkt::Packet copy = packet;
   on_packet(std::move(copy));
 }
 
-void ShardedEngine::on_packet(pkt::Packet&& packet) {
+void ShardedEngine::Producer::on_packet(pkt::Packet&& packet) {
   ++seen_;
-  if (!config_.engine.home_addresses.empty()) {
+  const auto& home = owner_->config_.engine.home_addresses;
+  if (!home.empty()) {
     auto ip = pkt::parse_ipv4(packet.data);
     bool ours = false;
     if (ip.ok()) {
-      ours = config_.engine.home_addresses.contains(ip.value().header.src) ||
-             config_.engine.home_addresses.contains(ip.value().header.dst);
+      ours = home.contains(ip.value().header.src) || home.contains(ip.value().header.dst);
     }
     if (!ours) {
       ++filtered_;
@@ -105,15 +189,15 @@ void ShardedEngine::on_packet(pkt::Packet&& packet) {
   auto routed = router_.route(packet);
   if (!routed) return;  // fragment held by the router's reassembler
   if (routed->reassembled) {
-    enqueue(routed->shard, std::move(*routed->reassembled));
+    owner_->enqueue(routed->shard, std::move(*routed->reassembled));
   } else {
-    enqueue(routed->shard, std::move(packet));
+    owner_->enqueue(routed->shard, std::move(packet));
   }
 }
 
 void ShardedEngine::flush() {
   for (auto& shard : shards_) {
-    const uint64_t target = shard->enqueued;
+    const uint64_t target = shard->enqueued.load(std::memory_order_acquire);
     int spins = 0;
     while (shard->processed.load(std::memory_order_acquire) < target) {
       if (++spins < 1024) {
@@ -151,16 +235,106 @@ void ShardedEngine::set_rules(
   }
 }
 
+bool ShardedEngine::migrate_session(const SessionId& session, size_t from, size_t to) {
+  // install_session's precondition: the destination must not already hold
+  // this session. Affinity makes a collision all but impossible; a stale
+  // candidate list must still not corrupt the destination.
+  if (shards_[to]->engine.has_session(session)) return false;
+  ScidiveEngine::SessionTransfer transfer = shards_[from]->engine.extract_session(session);
+  if (!transfer.valid) return false;
+  shards_[to]->engine.install_session(std::move(transfer));
+  // Repoint routing for every producer: the session key override plus its
+  // media endpoints (which non-SIP packets route by).
+  directory_.set_override(ShardDirectory::key_hash(session), static_cast<uint32_t>(to));
+  for (const pkt::Endpoint& ep : shards_[to]->engine.trails().media_endpoints(session))
+    directory_.learn_media(ep, static_cast<uint32_t>(to));
+  return true;
+}
+
+size_t ShardedEngine::rebalance() {
+  if (shards_.size() < 2) return 0;
+  flush();
+  ++rebalance_rounds_;
+
+  // Load signal: packets each worker processed since the last rebalance —
+  // a deterministic function of the traffic, unlike wall-clock busy time,
+  // so the differential oracle can run rebalance() and stay reproducible.
+  double mean = 0.0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t processed = shards_[i]->processed.load(std::memory_order_acquire);
+    const double sample =
+        static_cast<double>(processed - shards_[i]->processed_at_last_rebalance);
+    shards_[i]->processed_at_last_rebalance = processed;
+    directory_.update_load(i, sample, config_.rebalance_ewma_alpha);
+    mean += directory_.load(i);
+  }
+  mean /= static_cast<double>(shards_.size());
+
+  size_t hottest = 0;
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    if (directory_.load(i) > directory_.load(hottest)) hottest = i;
+  }
+  if (mean <= 0.0 || directory_.load(hottest) <= config_.rebalance_hot_ratio * mean)
+    return 0;
+
+  // Candidates: the hot shard's sessions, coldest first (recent trail
+  // activity), skipping sessions whose state cannot move — synthetic ids
+  // and call-ids pinned to a principal's shard.
+  ScidiveEngine& hot = shards_[hottest]->engine;
+  std::vector<std::pair<uint64_t, SessionId>> candidates;
+  uint64_t hot_activity = 0;
+  for (SessionId& id : hot.trails().sessions()) {
+    const uint64_t activity = hot.trails().session_activity(id);
+    hot_activity += activity;
+    if (synthetic_session(id)) continue;
+    if (directory_.principal_routed(ShardDirectory::key_hash(id))) continue;
+    candidates.emplace_back(activity, std::move(id));
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Keep the hottest sessions where they are (moving them would thrash the
+  // very state making the shard hot); shed cold ones until the surplus over
+  // the mean is gone or the per-round cap is hit.
+  const double surplus_share =
+      (directory_.load(hottest) - mean) / directory_.load(hottest);
+  uint64_t activity_budget =
+      static_cast<uint64_t>(surplus_share * static_cast<double>(hot_activity));
+  size_t migrated = 0;
+  uint64_t moved_activity = 0;
+  for (auto& [activity, id] : candidates) {
+    if (migrated >= config_.rebalance_max_migrations) break;
+    if (moved_activity > activity_budget) break;
+    // Greedy coldest target.
+    size_t coldest = hottest == 0 ? 1 : 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (i != hottest && directory_.load(i) < directory_.load(coldest)) coldest = i;
+    }
+    if (migrate_session(id, hottest, coldest)) {
+      ++migrated;
+      moved_activity += activity;
+      // Shift the load estimate with the move so the greedy target choice
+      // spreads sessions instead of dogpiling one cold shard.
+      const double delta = static_cast<double>(activity);
+      directory_.update_load(coldest, directory_.load(coldest) + delta, 1.0);
+      directory_.update_load(hottest, directory_.load(hottest) - delta, 1.0);
+    }
+  }
+  sessions_migrated_ += migrated;
+  return migrated;
+}
+
 uint64_t ShardedEngine::packets_dropped() const {
   uint64_t n = 0;
-  for (const auto& shard : shards_) n += shard->dropped;
+  for (const auto& shard : shards_) n += shard->dropped.load(std::memory_order_relaxed);
   return n;
 }
 
 ShardedEngineStats ShardedEngine::stats() const {
   ShardedEngineStats out;
-  out.packets_seen = seen_;
-  out.packets_filtered = filtered_;
+  for (const auto& producer : producers_) {
+    out.packets_seen += producer->seen_;
+    out.packets_filtered += producer->filtered_;
+  }
   out.packets_dropped = packets_dropped();
   for (const auto& shard : shards_) {
     const EngineStats s = shard->engine.stats();
@@ -175,58 +349,100 @@ ShardedEngineStats ShardedEngine::stats() const {
 }
 
 void ShardedEngine::sync_frontend_stats() {
+  uint64_t seen = 0, filtered = 0;
+  ShardRouterStats router{};
+  for (const auto& producer : producers_) {
+    seen += producer->seen_;
+    filtered += producer->filtered_;
+    const ShardRouterStats& r = producer->router_.stats();
+    router.by_call_id += r.by_call_id;
+    router.by_principal += r.by_principal;
+    router.by_media_binding += r.by_media_binding;
+    router.by_flow_hash += r.by_flow_hash;
+    router.media_bindings_learned += r.media_bindings_learned;
+    router.fragments_held += r.fragments_held;
+    router.datagrams_reassembled += r.datagrams_reassembled;
+  }
   frontend_registry_
       .counter("scidive_frontend_packets_seen_total", "Packets offered to the front-end")
-      .sync(seen_);
+      .sync(seen);
   frontend_registry_
       .counter("scidive_frontend_packets_filtered_total",
                "Packets outside the home-address scope (filtered before routing)")
-      .sync(filtered_);
+      .sync(filtered);
+  frontend_registry_
+      .gauge("scidive_frontend_producers", "Registered capture streams (MPSC lanes)")
+      .set(static_cast<int64_t>(producers_.size()));
   for (size_t i = 0; i < shards_.size(); ++i) {
     const obs::Labels shard_label = {{"shard", std::to_string(i)}};
+    Shard& s = *shards_[i];
     frontend_registry_
         .counter("scidive_shard_enqueued_total", "Packets enqueued to the shard's ring",
                  shard_label)
-        .sync(shards_[i]->enqueued);
+        .sync(s.enqueued.load(std::memory_order_relaxed));
     frontend_registry_
         .counter("scidive_shard_dropped_total",
                  "Packets dropped at the shard's full ring (kDrop policy)", shard_label)
-        .sync(shards_[i]->dropped);
-    const uint64_t processed = shards_[i]->processed.load(std::memory_order_acquire);
+        .sync(s.dropped.load(std::memory_order_relaxed));
+    const uint64_t processed = s.processed.load(std::memory_order_acquire);
     frontend_registry_
         .gauge("scidive_shard_ring_occupancy", "Packets in the shard's ring at snapshot time",
                shard_label)
-        .set(static_cast<int64_t>(shards_[i]->enqueued - processed));
+        .set(static_cast<int64_t>(s.enqueued.load(std::memory_order_relaxed) - processed));
+    frontend_registry_
+        .gauge("scidive_shard_queue_depth_hwm",
+               "High-water mark of the shard ring depth observed by the worker", shard_label)
+        .set_max(static_cast<int64_t>(s.queue_depth_hwm.load(std::memory_order_relaxed)));
+    frontend_registry_
+        .counter("scidive_shard_worker_busy_ns_total",
+                 "Wall-clock nanoseconds the shard worker spent processing batches",
+                 shard_label)
+        .sync(s.busy_ns.load(std::memory_order_relaxed));
+    frontend_registry_
+        .counter("scidive_shard_worker_idle_ns_total",
+                 "Wall-clock nanoseconds the shard worker spent polling an empty ring",
+                 shard_label)
+        .sync(s.idle_ns.load(std::memory_order_relaxed));
   }
-  const ShardRouterStats& r = router_.stats();
   frontend_registry_
       .counter("scidive_router_by_call_id_total", "Packets routed by Call-ID affinity")
-      .sync(r.by_call_id);
+      .sync(router.by_call_id);
   frontend_registry_
       .counter("scidive_router_by_principal_total", "Packets routed by From-AOR affinity")
-      .sync(r.by_principal);
+      .sync(router.by_principal);
   frontend_registry_
       .counter("scidive_router_by_media_binding_total",
                "Packets routed via the SDP-learned media endpoint map")
-      .sync(r.by_media_binding);
+      .sync(router.by_media_binding);
   frontend_registry_
       .counter("scidive_router_by_flow_hash_total", "Packets routed by the 4-tuple fallback")
-      .sync(r.by_flow_hash);
+      .sync(router.by_flow_hash);
   frontend_registry_
       .counter("scidive_router_media_bindings_learned_total",
                "Media endpoint bindings the router learned from signaling")
-      .sync(r.media_bindings_learned);
+      .sync(router.media_bindings_learned);
   frontend_registry_
       .counter("scidive_router_fragments_held_total",
                "Fragments held by the router's reassembler awaiting completion")
-      .sync(r.fragments_held);
+      .sync(router.fragments_held);
   frontend_registry_
       .counter("scidive_router_datagrams_reassembled_total",
                "Fragmented datagrams the router reassembled before routing")
-      .sync(r.datagrams_reassembled);
+      .sync(router.datagrams_reassembled);
   frontend_registry_
       .gauge("scidive_router_media_bindings", "Media endpoint bindings currently mapped")
-      .set(static_cast<int64_t>(router_.media_binding_count()));
+      .set(static_cast<int64_t>(directory_.media_binding_count()));
+  frontend_registry_
+      .gauge("scidive_router_affinity_overrides",
+             "Session-affinity overrides installed by the rebalancer")
+      .set(static_cast<int64_t>(directory_.override_count()));
+  frontend_registry_
+      .counter("scidive_rebalance_sessions_migrated_total",
+               "Sessions migrated between shards by rebalance()")
+      .sync(sessions_migrated_);
+  frontend_registry_
+      .counter("scidive_rebalance_rounds_total", "rebalance() invocations")
+      .sync(rebalance_rounds_);
 }
 
 obs::Snapshot ShardedEngine::metrics_snapshot() {

@@ -1,17 +1,33 @@
 // ShardedEngine: a multi-worker front-end over N private ScidiveEngines.
-// One producer thread calls on_packet(); a session-affinity router (see
-// shard_router.h) picks a shard and the packet crosses a bounded SPSC ring
+// Producer threads call on_packet(); a session-affinity router (see
+// shard_router.h) picks a shard and the packet crosses a bounded MPSC ring
 // to that shard's worker thread, which owns a full single-threaded engine.
 // Because every packet of a session — signaling, media learned from its SDP,
 // billing records — lands on one shard, the paper's stateful and
 // cross-protocol semantics are preserved with zero locking on the hot path.
 //
+// Multi-producer ingestion: the engine starts with one implicit producer
+// (on_packet()/tap() use it). add_producer() registers further capture
+// threads; each gets a private ShardRouter (reassembler and stats are
+// per-stream) over the engine's shared ShardDirectory, so all producers
+// agree on media bindings and affinity overrides. Per-session ordering is
+// preserved as long as each session's packets arrive through one producer
+// (a capture stream), exactly like RSS NIC queues.
+//
 // Determinism protocol: flush() blocks until every queue is drained and
-// every worker is parked; after it returns (and until the next on_packet)
-// the shard engines, merged stats and merged alerts may be read safely.
+// every worker is parked; after it returns (and until the next on_packet
+// from any producer) the shard engines, merged stats and merged alerts may
+// be read safely. flush() requires producers to be quiescent — it cannot
+// wait for packets still inside another thread's on_packet call.
 // Backpressure is explicit: a full ring either blocks the producer
 // (OverflowPolicy::kBlock, the default) or drops the packet and counts it —
 // packets are never silently lost.
+//
+// Skew handling: rebalance() migrates cold sessions off the hottest shard
+// at a flush-quiesce point, moving their engine state (trails, event state,
+// rule state) and installing directory overrides so every producer routes
+// them to the new shard from then on. Alert multisets are invariant under
+// migration — the differential oracle pins this.
 #pragma once
 
 #include <atomic>
@@ -19,8 +35,9 @@
 #include <thread>
 #include <vector>
 
-#include "common/spsc_queue.h"
+#include "common/mpsc_queue.h"
 #include "scidive/engine.h"
+#include "scidive/shard_directory.h"
 #include "scidive/shard_router.h"
 
 namespace scidive::core {
@@ -37,14 +54,29 @@ struct ShardedEngineConfig {
   EngineConfig engine;
   size_t num_shards = 4;
   size_t queue_capacity = 4096;  // per-shard ring slots (rounded up to 2^k)
-  size_t batch_size = 64;        // max packets drained per worker wakeup
+  /// Max packets drained per worker wakeup. 0 (the default) auto-tunes from
+  /// ring occupancy: start at 8, double toward 128 while drains run full,
+  /// decay back while the ring runs near-empty. The scalability sweep shows
+  /// small batches win at low occupancy (lower latency to first packet) and
+  /// large ones only pay off under backlog, so no fixed value is right.
+  size_t batch_size = 0;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Pin worker i to cpu worker_cpus[i % worker_cpus.size()] (or cpu
+  /// i % hardware_concurrency when worker_cpus is empty). Linux only; a
+  /// failed pin is ignored. The multicore bench uses this to stop the
+  /// scheduler from stacking workers on one core mid-measurement.
+  bool pin_workers = false;
+  std::vector<int> worker_cpus;
+  /// Skew rebalancer knobs (see rebalance()).
+  double rebalance_ewma_alpha = 0.5;  // weight of the newest load sample
+  double rebalance_hot_ratio = 1.25;  // trigger: max load > ratio * mean
+  size_t rebalance_max_migrations = 64;  // per rebalance() call
 };
 
 /// Front-end counters plus shard-summed engine stats. Like EngineStats this
 /// is a view built on demand — the engine half reads each shard's registry.
 struct ShardedEngineStats {
-  uint64_t packets_seen = 0;      // front-end
+  uint64_t packets_seen = 0;      // front-end, summed over producers
   uint64_t packets_filtered = 0;  // outside the home scope
   uint64_t packets_dropped = 0;   // ring full under OverflowPolicy::kDrop
   EngineStats engine;             // summed across shards (read after flush())
@@ -58,10 +90,37 @@ class ShardedEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  /// Feed one captured packet. Single producer: all on_packet calls must
-  /// come from one thread (the capture thread), like a NIC RX ring.
-  void on_packet(const pkt::Packet& packet);
-  void on_packet(pkt::Packet&& packet);
+  /// One registered capture stream. All on_packet calls on a given
+  /// producer must come from one thread at a time, like a NIC RX queue;
+  /// different producers may run on different threads concurrently.
+  class Producer {
+   public:
+    void on_packet(const pkt::Packet& packet);
+    void on_packet(pkt::Packet&& packet);
+    netsim::PacketTap tap() {
+      return [this](const pkt::Packet& packet) { on_packet(packet); };
+    }
+    const ShardRouter& router() const { return router_; }
+
+   private:
+    friend class ShardedEngine;
+    Producer(ShardedEngine& owner, const ShardRouterConfig& rc)
+        : owner_(&owner), router_(rc, &owner.directory_) {}
+    ShardedEngine* owner_;
+    ShardRouter router_;
+    uint64_t seen_ = 0;      // this-thread-only counters
+    uint64_t filtered_ = 0;
+  };
+
+  /// Register an additional capture stream. Must be called while the
+  /// engine is quiescent (before traffic, or between flush() and the next
+  /// on_packet); the handle stays valid for the engine's lifetime.
+  Producer& add_producer();
+  size_t producer_count() const { return producers_.size(); }
+
+  /// Feed one captured packet through the implicit default producer.
+  void on_packet(const pkt::Packet& packet) { producers_.front()->on_packet(packet); }
+  void on_packet(pkt::Packet&& packet) { producers_.front()->on_packet(std::move(packet)); }
 
   /// A tap suitable for netsim::Network::add_tap.
   netsim::PacketTap tap() {
@@ -69,7 +128,8 @@ class ShardedEngine {
   }
 
   /// Drain every ring and park every worker. After this returns, shard
-  /// state is safe to read until the next on_packet call.
+  /// state is safe to read until the next on_packet call. Producers must be
+  /// quiescent (no concurrent on_packet).
   void flush();
 
   /// flush() + join the workers. Idempotent; the destructor calls it.
@@ -85,11 +145,25 @@ class ShardedEngine {
   /// hold per-session state and must not be shared across workers).
   void set_rules(const std::function<std::vector<RulePtr>(size_t shard)>& factory);
 
+  /// Skew-aware re-affinity at a flush-quiesce point. Updates the per-shard
+  /// EWMA load from the packets processed since the last call; when the
+  /// hottest shard exceeds rebalance_hot_ratio x mean load, migrates the
+  /// coldest migratable sessions (never principal-routed or synthetic ones)
+  /// to the least-loaded shards: their engine state moves wholesale and a
+  /// directory override repoints every producer's routing. Returns the
+  /// number of sessions migrated. Alert multisets are invariant under this
+  /// call — the differential oracle runs it mid-stream to pin that.
+  size_t rebalance();
+  uint64_t sessions_migrated() const { return sessions_migrated_; }
+
   size_t num_shards() const { return shards_.size(); }
   /// Shard engine access — only safe between flush() and the next on_packet.
   ScidiveEngine& shard(size_t i) { return shards_[i]->engine; }
   const ScidiveEngine& shard(size_t i) const { return shards_[i]->engine; }
-  const ShardRouter& router() const { return router_; }
+  /// The default producer's router (legacy accessor; per-producer stats
+  /// live on each Producer).
+  const ShardRouter& router() const { return producers_.front()->router(); }
+  const ShardDirectory& directory() const { return directory_; }
 
   /// Front-end counters plus shard-summed engine stats (call after flush()).
   ShardedEngineStats stats() const;
@@ -101,7 +175,9 @@ class ShardedEngine {
   /// One merged view of every instrument: each shard engine's registry
   /// (counters/histograms summed, gauges summed) plus the front-end's
   /// per-shard ring gauges, drop counters and router stats. Flushes first,
-  /// so the result is a deterministic function of the packet sequence.
+  /// so the result is a deterministic function of the packet sequence
+  /// (except the worker busy/idle wall-clock counters, which measure the
+  /// host, not the traffic).
   obs::Snapshot metrics_snapshot();
 
   /// The front-end's own registry (ring/router/reload accounting). Shard
@@ -113,34 +189,43 @@ class ShardedEngine {
     Shard(const EngineConfig& config, size_t queue_capacity)
         : engine(config), queue(queue_capacity) {}
     ScidiveEngine engine;
-    SpscQueue<pkt::Packet> queue;
-    /// Producer-side count of packets pushed (single producer: plain).
-    uint64_t enqueued = 0;
-    /// Producer-side count of packets dropped at this ring (kDrop policy).
-    uint64_t dropped = 0;
-    /// Worker-side count of packets fully processed. The release store
-    /// after each batch is what makes post-flush engine reads safe.
+    MpscQueue<pkt::Packet> queue;
+    /// Producer-shared accounting (relaxed; exact once producers quiesce).
+    std::atomic<uint64_t> enqueued{0};
+    std::atomic<uint64_t> dropped{0};
+    /// Worker-published counters on their own line: the release store of
+    /// `processed` after each batch is what makes post-flush engine reads
+    /// safe, and it must not share a line with producer-written fields.
     alignas(kCacheLineSize) std::atomic<uint64_t> processed{0};
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> idle_ns{0};
+    std::atomic<uint64_t> queue_depth_hwm{0};
+    /// Packets processed at the last rebalance() (quiesce-only).
+    uint64_t processed_at_last_rebalance = 0;
     std::thread worker;
   };
 
-  void worker_loop(Shard& shard);
+  void worker_loop(Shard& shard, size_t index);
   void enqueue(size_t index, pkt::Packet&& packet);
+  void pin_worker(size_t index);
+  /// One cross-shard migration (quiescent). Returns false when the session
+  /// could not be extracted (e.g. raced away by expiry).
+  bool migrate_session(const SessionId& session, size_t from, size_t to);
 
   /// Mirror front-end/router state into frontend_registry_ (snapshot path;
   /// caller must hold the post-flush quiescent state).
   void sync_frontend_stats();
 
   ShardedEngineConfig config_;
-  ShardRouter router_;
+  ShardDirectory directory_;
+  std::vector<std::unique_ptr<Producer>> producers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
-  // Front-end counters (producer thread only).
-  uint64_t seen_ = 0;
-  uint64_t filtered_ = 0;
+  uint64_t sessions_migrated_ = 0;  // quiesce-only
+  uint64_t rebalance_rounds_ = 0;
   /// Front-end instruments (touched only at snapshot time; the producer
-  /// counters above stay plain fields on the hot path).
+  /// counters stay plain fields on the hot path).
   obs::MetricsRegistry frontend_registry_;
 };
 

@@ -99,6 +99,10 @@ class Trail {
   const TrailKey& key() const { return key_; }
   /// Interned session id (kInvalidSymbol outside a TrailManager).
   Symbol sym() const { return sym_; }
+  /// Re-key to a different interner's symbol. Only the owning TrailManager
+  /// calls this, when a migrated session's slot is adopted by another
+  /// manager (the id string is unchanged; the dense id is per-interner).
+  void rebind(Symbol sym) { sym_ = sym; }
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
   uint64_t total_appended() const { return total_appended_; }

@@ -180,6 +180,76 @@ size_t TrailManager::arena_bytes_reserved() const {
   return bytes;
 }
 
+TrailManager::ExtractedSession::ExtractedSession() = default;
+TrailManager::ExtractedSession::ExtractedSession(ExtractedSession&&) noexcept = default;
+TrailManager::ExtractedSession& TrailManager::ExtractedSession::operator=(
+    ExtractedSession&&) noexcept = default;
+TrailManager::ExtractedSession::~ExtractedSession() = default;
+
+bool TrailManager::has_session(const SessionId& session) const {
+  auto sym = symbols_.find(session);
+  return sym && sessions_.contains(*sym);
+}
+
+uint64_t TrailManager::session_activity(const SessionId& session) const {
+  auto sym = symbols_.find(session);
+  if (!sym) return 0;
+  const std::unique_ptr<SessionSlot>* slot = sessions_.find(*sym);
+  if (slot == nullptr) return 0;
+  uint64_t appended = 0;
+  for (const Trail* trail : (*slot)->trails) appended += trail->total_appended();
+  return appended;
+}
+
+std::vector<pkt::Endpoint> TrailManager::media_endpoints(const SessionId& session) const {
+  std::vector<pkt::Endpoint> out;
+  auto sym = symbols_.find(session);
+  if (!sym) return out;
+  media_to_session_.for_each([&](const pkt::Endpoint& ep, const Symbol& bound) {
+    if (bound == *sym) out.push_back(ep);
+  });
+  return out;
+}
+
+TrailManager::ExtractedSession TrailManager::extract_session(const SessionId& session) {
+  ExtractedSession out;
+  auto sym = symbols_.find(session);
+  if (!sym) return out;
+  std::unique_ptr<SessionSlot>* slot = sessions_.find(*sym);
+  if (slot == nullptr) return out;
+  out.id = session;
+  out.slot = std::move(*slot);
+  sessions_.erase(*sym);
+  // Detach the trail index entries (the Trail objects travel in the slot's
+  // arena) and the session's media bindings.
+  for (const Trail* trail : out.slot->trails)
+    trails_.erase(trail_slot_key(*sym, trail->key().protocol));
+  media_to_session_.erase_if([&](const pkt::Endpoint& ep, const Symbol& bound) {
+    if (bound != *sym) return false;
+    out.media.push_back(ep);
+    return true;
+  });
+  // Cached media routes may point into the departed trails. The source
+  // symbol stays interned (symbols are never recycled); it simply has no
+  // state behind it any more.
+  media_flow_cache_.clear();
+  return out;
+}
+
+void TrailManager::install_session(ExtractedSession&& moved) {
+  if (!moved.valid()) return;
+  const Symbol sym = symbols_.intern(moved.id);
+  // Intentionally no ++stats_.sessions_created: the session already exists
+  // from the pipeline's point of view, it just lives here now.
+  for (Trail* trail : moved.slot->trails) {
+    trail->rebind(sym);
+    trails_.try_emplace(trail_slot_key(sym, trail->key().protocol), trail);
+  }
+  for (const pkt::Endpoint& ep : moved.media) media_to_session_.insert_or_assign(ep, sym);
+  sessions_.try_emplace(sym, std::move(moved.slot));
+  if (!moved.media.empty()) media_flow_cache_.clear();
+}
+
 size_t TrailManager::expire_idle(SimTime cutoff) {
   size_t dropped = trails_.erase_if([&](const uint64_t&, Trail*& trail) {
     if (trail->last_time() >= cutoff) return false;

@@ -48,6 +48,9 @@ struct TrailManagerStats {
 };
 
 class TrailManager {
+ private:
+  struct SessionSlot;  // all of one session's storage; defined below
+
  public:
   explicit TrailManager(size_t max_footprints_per_trail = 4096)
       : max_footprints_per_trail_(max_footprints_per_trail) {}
@@ -92,6 +95,40 @@ class TrailManager {
 
   /// Drop every trail whose newest footprint is older than `cutoff`.
   size_t expire_idle(SimTime cutoff);
+
+  // --- Session migration (sharded-engine rebalance) ---------------------
+  // A session's whole trail state moves between managers as one opaque
+  // package: the arena-owning SessionSlot plus the media endpoints bound to
+  // the session. Trail pointers stay valid across the move (the arena
+  // moves, not the objects); install re-interns the id and rebinds the
+  // trails to the adopting manager's symbol.
+
+  struct ExtractedSession {
+    SessionId id;
+    std::unique_ptr<SessionSlot> slot;  // null when extraction failed
+    std::vector<pkt::Endpoint> media;   // endpoints that were bound to it
+    bool valid() const { return slot != nullptr; }
+    ExtractedSession();
+    ExtractedSession(ExtractedSession&&) noexcept;
+    ExtractedSession& operator=(ExtractedSession&&) noexcept;
+    ~ExtractedSession();
+  };
+
+  bool has_session(const SessionId& session) const;
+  /// Footprints ever routed to this session's trails — the rebalancer's
+  /// (deterministic) load proxy for hot-vs-cold ordering.
+  uint64_t session_activity(const SessionId& session) const;
+  std::vector<pkt::Endpoint> media_endpoints(const SessionId& session) const;
+
+  /// Detach a session (trails, arena, media bindings) for transplant.
+  /// Returns an invalid package when the session does not exist. Counters
+  /// (sessions_created etc.) are monotone and unaffected.
+  ExtractedSession extract_session(const SessionId& session);
+  /// Adopt an extracted session. Precondition: no session with this id
+  /// exists here (the router's affinity guarantees it; callers check
+  /// has_session first). Does NOT count a session creation — across a
+  /// sharded engine the session was created exactly once.
+  void install_session(ExtractedSession&& moved);
 
  private:
   /// All of a session's storage: trails plus their footprint rings live in

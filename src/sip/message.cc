@@ -64,7 +64,7 @@ std::optional<std::string_view> next_logical_line(std::string_view& text,
   if (text.empty()) return std::nullopt;
   std::string_view first;
   {
-    size_t eol = text.find("\r\n");
+    size_t eol = str::find_crlf(text);
     if (eol == std::string_view::npos) {
       first = text;
       text = {};
@@ -78,7 +78,7 @@ std::optional<std::string_view> next_logical_line(std::string_view& text,
   }
   fold_buf.assign(first);
   while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
-    size_t eol = text.find("\r\n");
+    size_t eol = str::find_crlf(text);
     std::string_view raw;
     if (eol == std::string_view::npos) {
       raw = text;

@@ -1,0 +1,86 @@
+#include "common/atomic_u64_map.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace scidive {
+namespace {
+
+TEST(AtomicU64Map, InsertFindOverwrite) {
+  AtomicU64Map m(8);
+  uint32_t v = 0;
+  EXPECT_FALSE(m.find(7, v));
+  EXPECT_TRUE(m.insert_or_assign(7, 100));
+  ASSERT_TRUE(m.find(7, v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(m.insert_or_assign(7, 200));  // overwrite, not new
+  ASSERT_TRUE(m.find(7, v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(AtomicU64Map, ZeroKeyWorks) {
+  AtomicU64Map m(8);
+  EXPECT_FALSE(m.contains(0));
+  EXPECT_TRUE(m.insert_or_assign(0, 9));
+  uint32_t v = 0;
+  ASSERT_TRUE(m.find(0, v));
+  EXPECT_EQ(v, 9u);
+  size_t visited = 0;
+  m.for_each([&](uint64_t k, uint32_t val) {
+    EXPECT_EQ(k, 0u);
+    EXPECT_EQ(val, 9u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(AtomicU64Map, GrowsPastInitialCapacityAndKeepsEverything) {
+  AtomicU64Map m(8);
+  constexpr uint64_t kN = 10'000;
+  for (uint64_t i = 0; i < kN; ++i) EXPECT_TRUE(m.insert_or_assign(i * 2654435761ULL, uint32_t(i)));
+  EXPECT_EQ(m.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    uint32_t v = 0;
+    ASSERT_TRUE(m.find(i * 2654435761ULL, v)) << i;
+    EXPECT_EQ(v, uint32_t(i));
+  }
+}
+
+TEST(AtomicU64Map, ConcurrentReadersDuringWriterGrowth) {
+  // Readers race a writer through several table growths: every key the
+  // writer has published must be found with a value it wrote for that key
+  // (values encode their key, so any torn read would be detected).
+  AtomicU64Map m(8);
+  constexpr uint64_t kN = 20'000;
+  std::atomic<uint64_t> published{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (published.load(std::memory_order_acquire) < kN) {
+        const uint64_t upto = published.load(std::memory_order_acquire);
+        for (uint64_t i = 0; i < upto; i += 97) {
+          uint32_t v = 0;
+          if (!m.find(i + 1, v) || v != uint32_t(i)) failed.store(true);
+        }
+      }
+    });
+  }
+
+  for (uint64_t i = 0; i < kN; ++i) {
+    m.insert_or_assign(i + 1, uint32_t(i));
+    published.store(i + 1, std::memory_order_release);
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(m.size(), kN);
+}
+
+}  // namespace
+}  // namespace scidive

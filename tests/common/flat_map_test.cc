@@ -188,5 +188,19 @@ TEST(FlatSet, ChurnAgainstOracle) {
   for (uint64_t k : oracle) EXPECT_TRUE(s.contains(k));
 }
 
+TEST(FlatMap, RecordArrayIsCacheLineAligned) {
+  // False-sharing audit: the interleaved key+value record array must start
+  // on a cache-line boundary so a table never shares its first record line
+  // with a neighboring allocation, across every growth step.
+  FlatMap<uint64_t, uint64_t> m;
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    m[i] = i;
+    if ((i & (i - 1)) == 0) {  // check around the power-of-two growths
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.record_data()) % 64, 0u) << i;
+    }
+  }
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(m.record_data()) % 64, 0u);
+}
+
 }  // namespace
 }  // namespace scidive

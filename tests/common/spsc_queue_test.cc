@@ -11,6 +11,13 @@
 namespace scidive {
 namespace {
 
+// False-sharing audit: the producer-side and consumer-side index fields are
+// alignas(kCacheLineSize), which forces the whole object's alignment up to a
+// cache line. If someone dropped those specifiers the static_assert breaks.
+static_assert(alignof(SpscQueue<int>) >= kCacheLineSize);
+static_assert(sizeof(SpscQueue<int>) >= 4 * kCacheLineSize,
+              "head/cached_tail/tail/cached_head must occupy distinct lines");
+
 TEST(SpscQueue, PushPopOrdering) {
   SpscQueue<int> q(8);
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int(i)));

@@ -87,5 +87,50 @@ TEST(Format, PrintfStyle) {
   EXPECT_EQ(format("%s", ""), "");
 }
 
+TEST(FindByte, MatchesNaiveScanAtEveryLengthAndPosition) {
+  // Cross the 16-byte SIMD block boundary in every phase: needle in the
+  // vector body, in the scalar tail, absent, at position 0, repeated.
+  for (size_t len = 0; len < 50; ++len) {
+    std::string s(len, 'a');
+    EXPECT_EQ(find_byte(s, 'x'), std::string_view::npos) << len;
+    for (size_t pos = 0; pos < len; ++pos) {
+      std::string t = s;
+      t[pos] = 'x';
+      EXPECT_EQ(find_byte(t, 'x'), pos) << len << "/" << pos;
+      t[len - 1] = 'x';  // a later duplicate must not win
+      EXPECT_EQ(find_byte(t, 'x'), pos) << len << "/" << pos;
+    }
+  }
+}
+
+TEST(FindByte, HonorsFromOffset) {
+  std::string s = "a:bb:ccc:dddd:eeee:ffff:gggg:hhhh";
+  EXPECT_EQ(find_byte(s, ':'), 1u);
+  EXPECT_EQ(find_byte(s, ':', 2), 4u);
+  EXPECT_EQ(find_byte(s, ':', 5), 8u);
+  EXPECT_EQ(find_byte(s, ':', s.size()), std::string_view::npos);
+}
+
+TEST(FindCrlf, SkipsLoneCrAndBareLf) {
+  EXPECT_EQ(find_crlf("abc\r\ndef"), 3u);
+  EXPECT_EQ(find_crlf("abc\rdef\r\n"), 7u);
+  EXPECT_EQ(find_crlf("abc\ndef"), std::string_view::npos);
+  EXPECT_EQ(find_crlf("no line ending at all, longer than one simd block"),
+            std::string_view::npos);
+  EXPECT_EQ(find_crlf("trailing cr only\r"), std::string_view::npos);
+  EXPECT_EQ(find_crlf("\r\n"), 0u);
+  EXPECT_EQ(find_crlf("a\r\nb\r\nc", 2), 4u);
+}
+
+TEST(Split, LongInputCrossesSimdBlocks) {
+  std::string s;
+  for (int i = 0; i < 40; ++i) s += "field" + std::to_string(i) + ",";
+  auto parts = split(s, ',');
+  ASSERT_EQ(parts.size(), 41u);  // trailing empty field preserved
+  EXPECT_EQ(parts[0], "field0");
+  EXPECT_EQ(parts[39], "field39");
+  EXPECT_EQ(parts[40], "");
+}
+
 }  // namespace
 }  // namespace scidive::str
