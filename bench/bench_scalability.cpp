@@ -14,7 +14,17 @@
 //     thread pinned to its own core so the scheduler cannot stack them. This
 //     is the section scripts/check_speedup.py gates CI on; on a machine with
 //     fewer than 4 hardware threads its rows are oversubscribed and only
-//     measure queue overhead.
+//     measure queue overhead;
+//   * carrier-mix mode: a statistical carrier workload (CarrierMixSource —
+//     registration churn, digest auth, Poisson calls with RTP, IMs,
+//     re-INVITE mobility) at 10k/100k/1M provisioned users, single engine
+//     and 4 pinned workers. The stream is pre-generated so the timed loop
+//     measures the IDS feed, not the generator.
+//
+// Every JSON row carries a "workload" tag ("rtp_steady" for the synthetic
+// round-robin RTP sections, "carrier_mix" for the statistical mix) so
+// downstream gates can filter: check_speedup.py only trusts rtp_steady
+// rows, and CI archives the carrier_mix rows as a capacity artifact.
 //
 // Packets are pre-built once per session with a zero UDP checksum (legal
 // per RFC 768, skipped by the parser) so the feed loop only patches the RTP
@@ -29,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "capture/carrier_mix.h"
 #include "pkt/packet.h"
 #include "rtp/rtp.h"
 #include "scidive/engine.h"
@@ -197,7 +208,7 @@ int main() {
     if (k == 50000) single_50000_pps = r.pps;
     char row[160];
     snprintf(row, sizeof(row),
-             "    %s{\"sessions\": %d, \"packets\": %d, \"pkts_per_sec\": %.0f, \"alerts\": %llu}",
+             "    %s{\"workload\": \"rtp_steady\", \"sessions\": %d, \"packets\": %d, \"pkts_per_sec\": %.0f, \"alerts\": %llu}",
              first ? "" : ",", k, kPackets, r.pps, (unsigned long long)r.alerts);
     json += row;
     json += "\n";
@@ -222,7 +233,7 @@ int main() {
     if (r.alerts != 0) printf("  unexpected alerts: %llu\n", (unsigned long long)r.alerts);
     char row[256];
     snprintf(row, sizeof(row),
-             "    %s{\"shards\": %zu, \"sessions\": 1000, \"packets\": %d, "
+             "    %s{\"workload\": \"rtp_steady\", \"shards\": %zu, \"sessions\": 1000, \"packets\": %d, "
              "\"pkts_per_sec\": %.0f, \"speedup_vs_single\": %.3f, \"dropped\": %llu, "
              "\"oversubscribed\": %s}",
              first ? "" : ",", shards, kPackets, r.pps,
@@ -258,7 +269,7 @@ int main() {
            (unsigned long long)r.dropped);
     char row[220];
     snprintf(row, sizeof(row),
-             "    %s{\"batch\": \"%s\", \"shards\": %zu, \"sessions\": 5000, \"packets\": %d, "
+             "    %s{\"workload\": \"rtp_steady\", \"batch\": \"%s\", \"shards\": %zu, \"sessions\": 5000, \"packets\": %d, "
              "\"pkts_per_sec\": %.0f, \"dropped\": %llu}",
              first ? "" : ",", label, sweep_shards, kPackets, r.pps,
              (unsigned long long)r.dropped);
@@ -286,7 +297,7 @@ int main() {
     if (r.alerts != 0) printf("  unexpected alerts: %llu\n", (unsigned long long)r.alerts);
     char row[280];
     snprintf(row, sizeof(row),
-             "    %s{\"shards\": %zu, \"sessions\": 50000, \"packets\": %d, \"pinned\": true, "
+             "    %s{\"workload\": \"rtp_steady\", \"shards\": %zu, \"sessions\": 50000, \"packets\": %d, \"pinned\": true, "
              "\"pkts_per_sec\": %.0f, \"speedup_vs_single\": %.3f, \"dropped\": %llu, "
              "\"oversubscribed\": %s}",
              first ? "" : ",", shards, kPackets, r.pps,
@@ -295,6 +306,71 @@ int main() {
     json += row;
     json += "\n";
     first = false;
+  }
+  json += "  ],\n  \"carrier_mix\": [\n";
+
+  printf("\nCarrier-mix workload: 10k/100k/1M provisioned users\n");
+  printf("===================================================\n\n");
+  printf("%-12s | %-8s | %-10s | %-14s | %-12s | %-8s\n", "users", "workers",
+         "pkts fed", "wall time", "pkts/sec", "alerts");
+  printf("--------------------------------------------------------------------------\n");
+
+  first = true;
+  for (uint64_t users : {10'000ull, 100'000ull, 1'000'000ull}) {
+    // Pre-generate the stream so the timed loops measure the IDS feed, not
+    // the generator. 100k packets covers registration churn, call setup and
+    // teardown, RTP, IMs and mobility at every provisioning level.
+    capture::CarrierMixConfig mix;
+    mix.provisioned_users = users;
+    mix.max_packets = 100'000;
+    capture::CarrierMixSource source(mix);
+    std::vector<pkt::Packet> stream;
+    stream.reserve(mix.max_packets);
+    {
+      pkt::Packet p;
+      while (source.next(&p)) stream.push_back(std::move(p));
+    }
+
+    for (size_t workers : {size_t{1}, size_t{4}}) {
+      const bool oversubscribed = hw_threads != 0 && workers > hw_threads;
+      double elapsed = 0;
+      uint64_t alerts = 0, dropped = 0;
+      if (workers == 1) {
+        core::ScidiveEngine engine;
+        auto start = std::chrono::steady_clock::now();
+        for (const auto& p : stream) engine.on_packet(p);
+        elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        alerts = engine.alerts().count();
+      } else {
+        core::ShardedEngineConfig config;
+        config.num_shards = workers;
+        config.pin_workers = true;
+        core::ShardedEngine engine(config);
+        auto start = std::chrono::steady_clock::now();
+        for (const auto& p : stream) engine.on_packet(p);
+        engine.flush();
+        elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        alerts = engine.alert_count();
+        dropped = engine.packets_dropped();
+      }
+      const double pps = stream.size() / elapsed;
+      printf("%-12llu | %-8zu | %-10zu | %11.3f s | %12.0f | %-8llu%s\n",
+             (unsigned long long)users, workers, stream.size(), elapsed, pps,
+             (unsigned long long)alerts,
+             oversubscribed ? "  (oversubscribed)" : "");
+      char row[300];
+      snprintf(row, sizeof(row),
+               "    %s{\"workload\": \"carrier_mix\", \"provisioned_users\": %llu, "
+               "\"users_materialized\": %zu, \"workers\": %zu, \"packets\": %zu, "
+               "\"pkts_per_sec\": %.0f, \"alerts\": %llu, \"dropped\": %llu, "
+               "\"oversubscribed\": %s}",
+               first ? "" : ",", (unsigned long long)users, source.users_materialized(),
+               workers, stream.size(), pps, (unsigned long long)alerts,
+               (unsigned long long)dropped, oversubscribed ? "true" : "false");
+      json += row;
+      json += "\n";
+      first = false;
+    }
   }
   json += "  ]\n}\n";
 

@@ -1,0 +1,66 @@
+// Carrier-mix workload demo: a million provisioned users behind the
+// PacketSource boundary, fed straight into a SCIDIVE engine. Shows the two
+// claims the subsystem makes — memory scales with *touched* users, not
+// provisioned ones, and legitimate carrier traffic (registration churn,
+// digest auth, Poisson calls with RTP, IMs, re-INVITE mobility) raises zero
+// alerts.
+//
+//   $ ./carrier_mix [packets]           (default: 50000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "capture/carrier_mix.h"
+#include "obs/metrics.h"
+#include "scidive/engine.h"
+
+using namespace scidive;
+
+int main(int argc, char** argv) {
+  const uint64_t packets = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50000;
+  printf("SCIDIVE — carrier-mix workload\n");
+  printf("==============================\n\n");
+
+  obs::MetricsRegistry metrics;
+  capture::CarrierMixConfig config;
+  config.provisioned_users = 1'000'000;
+  config.max_packets = packets;
+  config.reinvite_probability = 0.1;   // plenty of mobility bait
+  config.diurnal_amplitude = 0.5;      // load swings ±50% over the period
+  config.metrics = &metrics;
+  capture::CarrierMixSource source(config);
+
+  printf("feeding %llu packets from %llu provisioned users into the IDS...\n\n",
+         static_cast<unsigned long long>(packets),
+         static_cast<unsigned long long>(config.provisioned_users));
+
+  core::ScidiveEngine engine;
+  const uint64_t fed = engine.run(source);
+
+  printf("simulated span:      %.1f s\n", static_cast<double>(source.now()) / kSecond);
+  printf("packets fed:         %llu\n", static_cast<unsigned long long>(fed));
+  printf("calls started:       %llu (%llu deferred at the %zu-call cap)\n",
+         static_cast<unsigned long long>(source.calls_started()),
+         static_cast<unsigned long long>(source.calls_deferred()),
+         config.max_active_calls);
+  printf("registrations:       %llu (%llu failed digest auth)\n",
+         static_cast<unsigned long long>(source.registrations()),
+         static_cast<unsigned long long>(source.digest_failures()));
+  printf("instant messages:    %llu\n", static_cast<unsigned long long>(source.ims_sent()));
+  printf("mobility re-INVITEs: %llu\n", static_cast<unsigned long long>(source.reinvites()));
+  printf("users materialized:  %zu of %llu provisioned (%.4f%%)\n",
+         source.users_materialized(),
+         static_cast<unsigned long long>(config.provisioned_users),
+         100.0 * static_cast<double>(source.users_materialized()) /
+             static_cast<double>(config.provisioned_users));
+
+  printf("\nalerts raised:       %zu", engine.alerts().count());
+  if (engine.alerts().count() == 0) {
+    printf("  (benign workload: zero false positives)\n");
+    return 0;
+  }
+  printf("\n");
+  for (const auto& alert : engine.alerts().alerts()) {
+    printf("  %s\n", alert.to_string().c_str());
+  }
+  return 1;
+}

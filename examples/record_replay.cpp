@@ -1,21 +1,22 @@
-// Record & replay: capture an attack on the live testbed into an SPCAP1
-// trace file, then run a fresh SCIDIVE engine over the recording offline.
+// Record & replay: capture an attack on the live testbed into a standard
+// pcap file, then run a fresh SCIDIVE engine over the recording offline.
 // Deterministic pipeline => identical verdicts. This is how you'd analyze
-// an incident after the fact, or regression-test rules against a corpus.
+// an incident after the fact, or regression-test rules against a corpus —
+// and because the file is classic libpcap, tcpdump/wireshark can open the
+// same capture.
 //
-//   $ ./record_replay [trace-file]      (default: /tmp/scidive_demo.spcap)
+//   $ ./record_replay [trace-file]      (default: /tmp/scidive_demo.pcap)
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
-#include "scidive/trace.h"
+#include "capture/packet_source.h"
+#include "capture/pcap.h"
 #include "testbed/testbed.h"
 
 using namespace scidive;
 using testbed::Testbed;
 
 int main(int argc, char** argv) {
-  const char* path = argc > 1 ? argv[1] : "/tmp/scidive_demo.spcap";
+  const char* path = argc > 1 ? argv[1] : "/tmp/scidive_demo.pcap";
   printf("SCIDIVE — record & replay\n");
   printf("=========================\n\n");
 
@@ -23,36 +24,37 @@ int main(int argc, char** argv) {
   uint64_t recorded = 0;
   {
     printf("recording: BYE attack on the live testbed -> %s\n", path);
-    std::ofstream file(path);
-    if (!file) {
+    capture::PcapFileSink sink(path);
+    if (!sink.ok()) {
       fprintf(stderr, "cannot open %s for writing\n", path);
       return 1;
     }
-    core::TraceWriter writer(file);
     Testbed tb;
-    tb.net().add_tap(writer.tap());
+    tb.net().add_tap(sink.tap());
     tb.establish_call(sec(3));
     tb.inject_bye_attack();
     tb.run_for(sec(1));
     live_alerts = tb.alerts().count();
-    recorded = writer.packets_written();
+    recorded = sink.packets_written();
     printf("  packets recorded: %llu, live alerts: %zu\n\n",
            static_cast<unsigned long long>(recorded), live_alerts);
   }
 
-  printf("replaying the trace through a fresh engine (no simulator, no testbed)\n");
-  std::ifstream file(path);
+  printf("replaying the capture through a fresh engine (no simulator, no testbed)\n");
+  capture::PcapFileSource source(path);
+  if (!source.ok()) {
+    fprintf(stderr, "cannot open %s: %s\n", path, source.error().c_str());
+    return 1;
+  }
   core::EngineConfig config;
   config.home_addresses = {pkt::Ipv4Address(10, 0, 0, 1)};  // client A, as live
   core::ScidiveEngine engine(config);
-  auto fed = core::replay_trace(file, [&](const pkt::Packet& packet) {
-    engine.on_packet(packet);
-  });
-  if (!fed.ok()) {
-    fprintf(stderr, "replay failed: %s\n", fed.error().to_string().c_str());
+  const uint64_t fed = engine.run(source);
+  if (!source.error().empty()) {
+    fprintf(stderr, "replay failed: %s\n", source.error().c_str());
     return 1;
   }
-  printf("  packets replayed: %llu\n", static_cast<unsigned long long>(fed.value()));
+  printf("  packets replayed: %llu\n", static_cast<unsigned long long>(fed));
   printf("  offline alerts:\n");
   for (const auto& alert : engine.alerts().alerts()) {
     printf("    %s\n", alert.to_string().c_str());

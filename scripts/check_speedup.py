@@ -32,7 +32,12 @@ def main() -> int:
         data = json.load(f)
 
     hw = int(data.get("hardware_threads", 0))
-    rows = data.get("multicore", [])
+    # Only the steady-RTP rows are comparable against the single-engine
+    # baseline; carrier_mix rows (mixed signaling/media, lazy session churn)
+    # are capacity data, not a scaling gate. Rows predating the workload tag
+    # are rtp_steady by definition.
+    rows = [r for r in data.get("multicore", [])
+            if r.get("workload", "rtp_steady") == "rtp_steady"]
     if not rows:
         print("FAIL: no 'multicore' section in results "
               "(bench_scalability predates the pinned-worker mode?)")

@@ -1,0 +1,717 @@
+#include "capture/carrier_mix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "rtp/rtp.h"
+#include "sip/auth.h"
+#include "sip/message.h"
+#include "sip/sdp.h"
+
+namespace scidive::capture {
+namespace {
+
+constexpr pkt::Ipv4Address kProxyAddr(192, 168, 0, 1);
+constexpr uint16_t kSipPort = 5060;
+constexpr char kDomain[] = "carrier.example";
+constexpr char kRealm[] = "carrier.example";
+/// User indices map into 10.0.0.0/8; the usable space bounds provisioning.
+constexpr uint64_t kMaxProvisioned = (1u << 24) - 2;
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CarrierMixSource::CarrierMixSource(CarrierMixConfig config) : config_(std::move(config)) {
+  if (config_.provisioned_users == 0) config_.provisioned_users = 1;
+  if (config_.provisioned_users > kMaxProvisioned) config_.provisioned_users = kMaxProvisioned;
+  if (config_.rtp_interval <= 0) config_.rtp_interval = msec(20);
+  if (config_.max_active_calls == 0) config_.max_active_calls = 1;
+
+  if (obs::MetricsRegistry* metrics = config_.metrics) {
+    packets_total_ = &metrics->counter("scidive_capture_packets_total",
+                                       "Packets delivered by a capture source",
+                                       {{"source", "carrier_mix"}});
+    drops_deferred_ = &metrics->counter(
+        "scidive_capture_drops_total",
+        "Packets a capture source could not deliver",
+        {{"reason", "call_cap"}, {"source", "carrier_mix"}});
+  }
+
+  // Seed the three Poisson processes. A zero rate disables its process.
+  now_ = sec(1);  // keep timestamps clear of the t=0 edge
+  if (config_.call_rate_hz > 0) {
+    schedule(now_ + arrival_gap(config_.call_rate_hz), EventKind::kCallArrival);
+  }
+  if (config_.im_rate_hz > 0) {
+    schedule(now_ + arrival_gap(config_.im_rate_hz), EventKind::kImArrival);
+  }
+  if (config_.register_rate_hz > 0) {
+    schedule(now_ + arrival_gap(config_.register_rate_hz), EventKind::kRegArrival);
+  }
+}
+
+// --- counter-based PRNG ---------------------------------------------------
+
+uint64_t CarrierMixSource::draw_u64() {
+  return splitmix64(config_.seed ^ splitmix64(++draw_counter_));
+}
+
+double CarrierMixSource::draw_unit() {
+  return static_cast<double>(draw_u64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t CarrierMixSource::draw_below(uint64_t n) {
+  return n == 0 ? 0 : draw_u64() % n;
+}
+
+double CarrierMixSource::draw_exp(double mean) {
+  return -mean * std::log1p(-draw_unit());
+}
+
+double CarrierMixSource::diurnal_factor(SimTime t) const {
+  if (config_.diurnal_amplitude <= 0 || config_.diurnal_period <= 0) return 1.0;
+  const double phase = 2.0 * M_PI * static_cast<double>(t) /
+                       static_cast<double>(config_.diurnal_period);
+  const double f = 1.0 + config_.diurnal_amplitude * std::sin(phase);
+  return f < 0.05 ? 0.05 : f;
+}
+
+SimDuration CarrierMixSource::arrival_gap(double base_rate_hz) {
+  const double rate = base_rate_hz * diurnal_factor(now_);
+  const double gap_sec = draw_exp(1.0 / rate);
+  const SimDuration gap = static_cast<SimDuration>(gap_sec * kSecond);
+  return gap < 1 ? 1 : gap;
+}
+
+void CarrierMixSource::schedule(SimTime at, EventKind kind, uint32_t slot) {
+  heap_.push(Pending{at, next_seq_++, kind, slot});
+}
+
+// --- lazy user materialization --------------------------------------------
+
+pkt::Ipv4Address CarrierMixSource::user_addr(uint32_t user) const {
+  return pkt::Ipv4Address((10u << 24) + user + 1);
+}
+
+std::string_view CarrierMixSource::user_aor(uint32_t user) {
+  auto [sym, inserted] = user_syms_.try_emplace(user, kInvalidSymbol);
+  if (*sym == kInvalidSymbol) {
+    char buf[48];
+    const int n = snprintf(buf, sizeof(buf), "u%u@%s", user, kDomain);
+    *sym = interner_.intern(std::string_view(buf, static_cast<size_t>(n)));
+  }
+  return interner_.name(*sym);
+}
+
+std::string_view CarrierMixSource::user_name(uint32_t user) {
+  const std::string_view aor = user_aor(user);
+  return aor.substr(0, aor.find('@'));
+}
+
+// --- packet plumbing ------------------------------------------------------
+
+pkt::Packet CarrierMixSource::make_sip(uint32_t /*from_user*/, pkt::Endpoint src,
+                                       pkt::Endpoint dst, const std::string& text) {
+  return pkt::make_udp_packet(src, dst, from_string(text));
+}
+
+void CarrierMixSource::emit(pkt::Packet&& packet, pkt::Packet* out) {
+  packet.timestamp = now_;
+  ++packets_generated_;
+  if (packets_total_ != nullptr) packets_total_->inc();
+  *out = std::move(packet);
+}
+
+bool CarrierMixSource::next(pkt::Packet* out) {
+  if (config_.max_packets != 0 && packets_generated_ >= config_.max_packets) return false;
+  while (!heap_.empty()) {
+    const Pending e = heap_.top();
+    heap_.pop();
+    if (e.at > now_) now_ = e.at;
+    bool produced = false;
+    switch (e.kind) {
+      case EventKind::kCallArrival: produced = on_call_arrival(out); break;
+      case EventKind::kCallAnswer: produced = on_call_answer(e.slot, out); break;
+      case EventKind::kCallAck: produced = on_call_ack(e.slot, out); break;
+      case EventKind::kCallMedia: produced = on_call_media(e.slot, out); break;
+      case EventKind::kCallByeOk: produced = on_call_bye_ok(e.slot, out); break;
+      case EventKind::kCallReinvite: produced = on_call_reinvite(e.slot, out); break;
+      case EventKind::kCallReinviteOk: produced = on_call_reinvite_ok(e.slot, out); break;
+      case EventKind::kImArrival: produced = on_im_arrival(out); break;
+      case EventKind::kImOk: produced = on_im_ok(e.slot, out); break;
+      case EventKind::kRegArrival: produced = on_reg_arrival(out); break;
+      case EventKind::kRegStep: produced = on_reg_step(e.slot, out); break;
+    }
+    if (produced) return true;
+  }
+  return false;  // all rates zero (or every process disabled)
+}
+
+// --- slot pools -----------------------------------------------------------
+
+uint32_t CarrierMixSource::alloc_call() {
+  if (!free_calls_.empty()) {
+    const uint32_t slot = free_calls_.back();
+    free_calls_.pop_back();
+    return slot;
+  }
+  calls_.emplace_back();
+  return static_cast<uint32_t>(calls_.size() - 1);
+}
+
+void CarrierMixSource::free_call(uint32_t slot) {
+  calls_[slot].phase = CallPhase::kFree;
+  free_calls_.push_back(slot);
+  --active_call_count_;
+}
+
+uint32_t CarrierMixSource::alloc_reg() {
+  if (!free_regs_.empty()) {
+    const uint32_t slot = free_regs_.back();
+    free_regs_.pop_back();
+    return slot;
+  }
+  regs_.emplace_back();
+  return static_cast<uint32_t>(regs_.size() - 1);
+}
+
+uint32_t CarrierMixSource::alloc_im() {
+  if (!free_ims_.empty()) {
+    const uint32_t slot = free_ims_.back();
+    free_ims_.pop_back();
+    return slot;
+  }
+  ims_.emplace_back();
+  return static_cast<uint32_t>(ims_.size() - 1);
+}
+
+// --- calls ----------------------------------------------------------------
+
+bool CarrierMixSource::on_call_arrival(pkt::Packet* out) {
+  schedule(now_ + arrival_gap(config_.call_rate_hz), EventKind::kCallArrival);
+
+  // Draws happen unconditionally so the stream beyond a deferred arrival is
+  // unchanged — the cap changes what is emitted, not what is drawn.
+  const uint32_t caller = static_cast<uint32_t>(draw_below(config_.provisioned_users));
+  uint32_t callee = static_cast<uint32_t>(draw_below(config_.provisioned_users));
+  if (callee == caller) callee = (callee + 1) % static_cast<uint32_t>(config_.provisioned_users);
+
+  if (active_call_count_ >= config_.max_active_calls) {
+    ++calls_deferred_;
+    if (drops_deferred_ != nullptr) drops_deferred_->inc();
+    return false;
+  }
+
+  const uint32_t slot = alloc_call();
+  Call& call = calls_[slot];
+  call = Call{};
+  call.id = call_counter_++;
+  call.caller = caller;
+  call.callee = callee;
+  call.caller_port = static_cast<uint16_t>(16384 + (call.id * 4) % 16000);
+  call.callee_port = static_cast<uint16_t>(call.caller_port + 2);
+  call.phase = CallPhase::kInviting;
+  ++active_call_count_;
+  ++calls_started_;
+
+  const pkt::Ipv4Address caller_addr = user_addr(caller);
+  auto invite = sip::SipMessage::request(
+      sip::Method::kInvite, sip::SipUri(std::string(user_name(callee)), kDomain));
+  invite.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-1",
+                                          caller_addr.to_string().c_str(), kSipPort,
+                                          static_cast<unsigned long long>(call.id)));
+  invite.headers().add("Max-Forwards", "70");
+  invite.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                           static_cast<int>(user_aor(caller).size()),
+                                           user_aor(caller).data(),
+                                           static_cast<unsigned long long>(call.id)));
+  invite.headers().add("To", str::format("<sip:%.*s>",
+                                         static_cast<int>(user_aor(callee).size()),
+                                         user_aor(callee).data()));
+  invite.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", str::format("<sip:%.*s@%s:%u>",
+                                              static_cast<int>(user_name(caller).size()),
+                                              user_name(caller).data(),
+                                              caller_addr.to_string().c_str(), kSipPort));
+  invite.set_body(
+      sip::make_audio_sdp(caller_addr.to_string(), call.caller_port, call.id + 1, 1).to_string(),
+      "application/sdp");
+
+  schedule(now_ + msec(30), EventKind::kCallAnswer, slot);
+  emit(make_sip(caller, {caller_addr, kSipPort}, {user_addr(callee), kSipPort},
+                invite.to_string()),
+       out);
+  return true;
+}
+
+bool CarrierMixSource::on_call_answer(uint32_t slot, pkt::Packet* out) {
+  Call& call = calls_[slot];
+  if (call.phase != CallPhase::kInviting) return false;
+  const pkt::Ipv4Address caller_addr = user_addr(call.caller);
+  const pkt::Ipv4Address callee_addr = user_addr(call.callee);
+
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-1",
+                                      caller_addr.to_string().c_str(), kSipPort,
+                                      static_cast<unsigned long long>(call.id)));
+  ok.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                       static_cast<int>(user_aor(call.caller).size()),
+                                       user_aor(call.caller).data(),
+                                       static_cast<unsigned long long>(call.id)));
+  ok.headers().add("To", str::format("<sip:%.*s>;tag=e%llu",
+                                     static_cast<int>(user_aor(call.callee).size()),
+                                     user_aor(call.callee).data(),
+                                     static_cast<unsigned long long>(call.id)));
+  ok.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+  ok.headers().add("CSeq", "1 INVITE");
+  ok.headers().add("Contact", str::format("<sip:%.*s@%s:%u>",
+                                          static_cast<int>(user_name(call.callee).size()),
+                                          user_name(call.callee).data(),
+                                          callee_addr.to_string().c_str(), kSipPort));
+  ok.set_body(
+      sip::make_audio_sdp(callee_addr.to_string(), call.callee_port, call.id + 1, 1).to_string(),
+      "application/sdp");
+
+  call.phase = CallPhase::kAnswered;
+  schedule(now_ + msec(20), EventKind::kCallAck, slot);
+  emit(make_sip(call.callee, {callee_addr, kSipPort}, {caller_addr, kSipPort}, ok.to_string()),
+       out);
+  return true;
+}
+
+bool CarrierMixSource::on_call_ack(uint32_t slot, pkt::Packet* out) {
+  Call& call = calls_[slot];
+  if (call.phase != CallPhase::kAnswered) return false;
+  const pkt::Ipv4Address caller_addr = user_addr(call.caller);
+
+  auto ack = sip::SipMessage::request(
+      sip::Method::kAck, sip::SipUri(std::string(user_name(call.callee)), kDomain));
+  ack.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-2",
+                                       caller_addr.to_string().c_str(), kSipPort,
+                                       static_cast<unsigned long long>(call.id)));
+  ack.headers().add("Max-Forwards", "70");
+  ack.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                        static_cast<int>(user_aor(call.caller).size()),
+                                        user_aor(call.caller).data(),
+                                        static_cast<unsigned long long>(call.id)));
+  ack.headers().add("To", str::format("<sip:%.*s>;tag=e%llu",
+                                      static_cast<int>(user_aor(call.callee).size()),
+                                      user_aor(call.callee).data(),
+                                      static_cast<unsigned long long>(call.id)));
+  ack.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+  ack.headers().add("CSeq", "1 ACK");
+
+  call.phase = CallPhase::kEstablished;
+  const double hold_sec = draw_exp(config_.mean_call_hold_sec);
+  call.end_at = now_ + static_cast<SimDuration>(hold_sec * kSecond);
+  if (call.end_at <= now_) call.end_at = now_ + config_.rtp_interval;
+  if (draw_chance(config_.reinvite_probability)) {
+    call.reinvite_pending = true;
+    const double frac = 0.2 + 0.6 * draw_unit();
+    schedule(now_ + static_cast<SimDuration>(hold_sec * frac * kSecond),
+             EventKind::kCallReinvite, slot);
+  }
+  schedule(now_ + config_.rtp_interval, EventKind::kCallMedia, slot);
+  emit(make_sip(call.caller, {caller_addr, kSipPort}, {user_addr(call.callee), kSipPort},
+                ack.to_string()),
+       out);
+  return true;
+}
+
+bool CarrierMixSource::on_call_media(uint32_t slot, pkt::Packet* out) {
+  Call& call = calls_[slot];
+  if (call.phase != CallPhase::kEstablished) return false;
+  const pkt::Ipv4Address caller_addr = user_addr(call.caller);
+  const pkt::Ipv4Address callee_addr = user_addr(call.callee);
+
+  if (now_ >= call.end_at) {
+    // Hold expired: the caller hangs up. Media stops *before* the BYE by
+    // construction — this workload must never bait the BYE-attack rule.
+    auto bye = sip::SipMessage::request(
+        sip::Method::kBye, sip::SipUri(std::string(user_name(call.callee)), kDomain));
+    bye.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-bye",
+                                         caller_addr.to_string().c_str(), kSipPort,
+                                         static_cast<unsigned long long>(call.id)));
+    bye.headers().add("Max-Forwards", "70");
+    bye.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                          static_cast<int>(user_aor(call.caller).size()),
+                                          user_aor(call.caller).data(),
+                                          static_cast<unsigned long long>(call.id)));
+    bye.headers().add("To", str::format("<sip:%.*s>;tag=e%llu",
+                                        static_cast<int>(user_aor(call.callee).size()),
+                                        user_aor(call.callee).data(),
+                                        static_cast<unsigned long long>(call.id)));
+    bye.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+    bye.headers().add("CSeq", "10 BYE");
+    call.phase = CallPhase::kClosing;
+    schedule(now_ + msec(20), EventKind::kCallByeOk, slot);
+    emit(make_sip(call.caller, {caller_addr, kSipPort}, {callee_addr, kSipPort},
+                  bye.to_string()),
+         out);
+    return true;
+  }
+
+  rtp::RtpHeader h;
+  h.ssrc = static_cast<uint32_t>(0x52000000u ^ (call.id * 2 + (call.toward_callee ? 1 : 0)));
+  h.timestamp = call.media_clock;
+  call.media_clock += 160;
+  pkt::Endpoint src, dst;
+  if (call.toward_callee) {
+    h.sequence = call.seq_a++;
+    src = {caller_addr, call.caller_port};
+    dst = {callee_addr, call.callee_port};
+  } else {
+    h.sequence = call.seq_b++;
+    src = {callee_addr, call.callee_port};
+    dst = {caller_addr, call.caller_port};
+  }
+  call.toward_callee = !call.toward_callee;
+  Bytes payload(160, 0xd5);
+  schedule(now_ + config_.rtp_interval, EventKind::kCallMedia, slot);
+  emit(pkt::make_udp_packet(src, dst, rtp::serialize_rtp(h, payload)), out);
+  return true;
+}
+
+bool CarrierMixSource::on_call_bye_ok(uint32_t slot, pkt::Packet* out) {
+  Call& call = calls_[slot];
+  if (call.phase != CallPhase::kClosing) return false;
+  const pkt::Ipv4Address caller_addr = user_addr(call.caller);
+  const pkt::Ipv4Address callee_addr = user_addr(call.callee);
+
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-bye",
+                                      caller_addr.to_string().c_str(), kSipPort,
+                                      static_cast<unsigned long long>(call.id)));
+  ok.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                       static_cast<int>(user_aor(call.caller).size()),
+                                       user_aor(call.caller).data(),
+                                       static_cast<unsigned long long>(call.id)));
+  ok.headers().add("To", str::format("<sip:%.*s>;tag=e%llu",
+                                     static_cast<int>(user_aor(call.callee).size()),
+                                     user_aor(call.callee).data(),
+                                     static_cast<unsigned long long>(call.id)));
+  ok.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+  ok.headers().add("CSeq", "10 BYE");
+
+  const uint32_t callee = call.callee;
+  free_call(slot);
+  emit(make_sip(callee, {callee_addr, kSipPort}, {caller_addr, kSipPort}, ok.to_string()), out);
+  return true;
+}
+
+bool CarrierMixSource::on_call_reinvite(uint32_t slot, pkt::Packet* out) {
+  Call& call = calls_[slot];
+  if (call.phase != CallPhase::kEstablished || now_ >= call.end_at || !call.reinvite_pending) {
+    return false;  // the call ended (or is ending) before mobility kicked in
+  }
+  call.reinvite_pending = false;
+  call.pending_port = static_cast<uint16_t>(32768 + (call.id * 4) % 16000);
+  // The client has already moved when it signals: caller media flows from
+  // the new port from this instant. RTP from the *old* endpoint after a
+  // re-INVITE is exactly what the hijack rule flags, and benign mobility
+  // must not bait it.
+  call.caller_port = call.pending_port;
+  const pkt::Ipv4Address caller_addr = user_addr(call.caller);
+  ++reinvites_;
+
+  auto reinvite = sip::SipMessage::request(
+      sip::Method::kInvite, sip::SipUri(std::string(user_name(call.callee)), kDomain));
+  reinvite.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-3",
+                                            caller_addr.to_string().c_str(), kSipPort,
+                                            static_cast<unsigned long long>(call.id)));
+  reinvite.headers().add("Max-Forwards", "70");
+  reinvite.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                             static_cast<int>(user_aor(call.caller).size()),
+                                             user_aor(call.caller).data(),
+                                             static_cast<unsigned long long>(call.id)));
+  reinvite.headers().add("To", str::format("<sip:%.*s>;tag=e%llu",
+                                           static_cast<int>(user_aor(call.callee).size()),
+                                           user_aor(call.callee).data(),
+                                           static_cast<unsigned long long>(call.id)));
+  reinvite.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+  reinvite.headers().add("CSeq", "2 INVITE");
+  reinvite.headers().add("Contact", str::format("<sip:%.*s@%s:%u>",
+                                                static_cast<int>(user_name(call.caller).size()),
+                                                user_name(call.caller).data(),
+                                                caller_addr.to_string().c_str(), kSipPort));
+  reinvite.set_body(
+      sip::make_audio_sdp(caller_addr.to_string(), call.pending_port, call.id + 1, 2).to_string(),
+      "application/sdp");
+
+  schedule(now_ + msec(20), EventKind::kCallReinviteOk, slot);
+  emit(make_sip(call.caller, {caller_addr, kSipPort}, {user_addr(call.callee), kSipPort},
+                reinvite.to_string()),
+       out);
+  return true;
+}
+
+bool CarrierMixSource::on_call_reinvite_ok(uint32_t slot, pkt::Packet* out) {
+  Call& call = calls_[slot];
+  if (call.phase != CallPhase::kEstablished) return false;  // raced with BYE
+  const pkt::Ipv4Address caller_addr = user_addr(call.caller);
+  const pkt::Ipv4Address callee_addr = user_addr(call.callee);
+
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-cm%llu-3",
+                                      caller_addr.to_string().c_str(), kSipPort,
+                                      static_cast<unsigned long long>(call.id)));
+  ok.headers().add("From", str::format("<sip:%.*s>;tag=c%llu",
+                                       static_cast<int>(user_aor(call.caller).size()),
+                                       user_aor(call.caller).data(),
+                                       static_cast<unsigned long long>(call.id)));
+  ok.headers().add("To", str::format("<sip:%.*s>;tag=e%llu",
+                                     static_cast<int>(user_aor(call.callee).size()),
+                                     user_aor(call.callee).data(),
+                                     static_cast<unsigned long long>(call.id)));
+  ok.headers().add("Call-ID", str::format("cm-%llu", static_cast<unsigned long long>(call.id)));
+  ok.headers().add("CSeq", "2 INVITE");
+  ok.set_body(
+      sip::make_audio_sdp(callee_addr.to_string(), call.callee_port, call.id + 1, 2).to_string(),
+      "application/sdp");
+
+  emit(make_sip(call.callee, {callee_addr, kSipPort}, {caller_addr, kSipPort}, ok.to_string()),
+       out);
+  return true;
+}
+
+// --- instant messages -----------------------------------------------------
+
+bool CarrierMixSource::on_im_arrival(pkt::Packet* out) {
+  schedule(now_ + arrival_gap(config_.im_rate_hz), EventKind::kImArrival);
+
+  const uint32_t slot = alloc_im();
+  ImExchange& im = ims_[slot];
+  im.from = static_cast<uint32_t>(draw_below(config_.provisioned_users));
+  im.to = static_cast<uint32_t>(draw_below(config_.provisioned_users));
+  if (im.to == im.from) im.to = (im.to + 1) % static_cast<uint32_t>(config_.provisioned_users);
+  im.id = im_counter_++;
+  im.free = false;
+  ++ims_sent_;
+
+  const pkt::Ipv4Address from_addr = user_addr(im.from);
+  auto msg = sip::SipMessage::request(
+      sip::Method::kMessage, sip::SipUri(std::string(user_name(im.to)), kDomain));
+  msg.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-im%llu",
+                                       from_addr.to_string().c_str(), kSipPort,
+                                       static_cast<unsigned long long>(im.id)));
+  msg.headers().add("Max-Forwards", "70");
+  msg.headers().add("From", str::format("<sip:%.*s>;tag=m%llu",
+                                        static_cast<int>(user_aor(im.from).size()),
+                                        user_aor(im.from).data(),
+                                        static_cast<unsigned long long>(im.id)));
+  msg.headers().add("To", str::format("<sip:%.*s>",
+                                      static_cast<int>(user_aor(im.to).size()),
+                                      user_aor(im.to).data()));
+  msg.headers().add("Call-ID", str::format("im-%llu", static_cast<unsigned long long>(im.id)));
+  msg.headers().add("CSeq", "1 MESSAGE");
+  msg.set_body("carrier mix instant message", "text/plain");
+
+  schedule(now_ + msec(25), EventKind::kImOk, slot);
+  emit(make_sip(im.from, {from_addr, kSipPort}, {user_addr(im.to), kSipPort}, msg.to_string()),
+       out);
+  return true;
+}
+
+bool CarrierMixSource::on_im_ok(uint32_t slot, pkt::Packet* out) {
+  ImExchange& im = ims_[slot];
+  if (im.free) return false;
+  const pkt::Ipv4Address from_addr = user_addr(im.from);
+  const pkt::Ipv4Address to_addr = user_addr(im.to);
+
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-im%llu",
+                                      from_addr.to_string().c_str(), kSipPort,
+                                      static_cast<unsigned long long>(im.id)));
+  ok.headers().add("From", str::format("<sip:%.*s>;tag=m%llu",
+                                       static_cast<int>(user_aor(im.from).size()),
+                                       user_aor(im.from).data(),
+                                       static_cast<unsigned long long>(im.id)));
+  ok.headers().add("To", str::format("<sip:%.*s>;tag=mr%llu",
+                                     static_cast<int>(user_aor(im.to).size()),
+                                     user_aor(im.to).data(),
+                                     static_cast<unsigned long long>(im.id)));
+  ok.headers().add("Call-ID", str::format("im-%llu", static_cast<unsigned long long>(im.id)));
+  ok.headers().add("CSeq", "1 MESSAGE");
+
+  im.free = true;
+  free_ims_.push_back(slot);
+  emit(make_sip(im.to, {to_addr, kSipPort}, {from_addr, kSipPort}, ok.to_string()), out);
+  return true;
+}
+
+// --- registration churn ---------------------------------------------------
+
+bool CarrierMixSource::on_reg_arrival(pkt::Packet* out) {
+  schedule(now_ + arrival_gap(config_.register_rate_hz), EventKind::kRegArrival);
+
+  const uint32_t slot = alloc_reg();
+  RegExchange& reg = regs_[slot];
+  reg.user = static_cast<uint32_t>(draw_below(config_.provisioned_users));
+  reg.step = 0;
+  reg.challenged = draw_chance(config_.digest_challenge_probability);
+  reg.fails = reg.challenged && draw_chance(config_.digest_failure_probability);
+  reg.free = false;
+  ++registrations_;
+  reg.id = reg_counter_++;
+  const uint64_t reg_id = reg.id;
+
+  const pkt::Ipv4Address addr = user_addr(reg.user);
+  auto reg_msg = sip::SipMessage::request(sip::Method::kRegister, sip::SipUri("", kDomain));
+  reg_msg.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-rg%llu-0",
+                                           addr.to_string().c_str(), kSipPort,
+                                           static_cast<unsigned long long>(reg_id)));
+  reg_msg.headers().add("Max-Forwards", "70");
+  reg_msg.headers().add("From", str::format("<sip:%.*s>;tag=r%llu",
+                                            static_cast<int>(user_aor(reg.user).size()),
+                                            user_aor(reg.user).data(),
+                                            static_cast<unsigned long long>(reg_id)));
+  reg_msg.headers().add("To", str::format("<sip:%.*s>",
+                                          static_cast<int>(user_aor(reg.user).size()),
+                                          user_aor(reg.user).data()));
+  reg_msg.headers().add("Call-ID", str::format("reg-%llu", static_cast<unsigned long long>(reg_id)));
+  reg_msg.headers().add("CSeq", "1 REGISTER");
+  reg_msg.headers().add("Contact", str::format("<sip:%.*s@%s:%u>",
+                                               static_cast<int>(user_name(reg.user).size()),
+                                               user_name(reg.user).data(),
+                                               addr.to_string().c_str(), kSipPort));
+  reg_msg.headers().add("Expires", "3600");
+
+  schedule(now_ + msec(20), EventKind::kRegStep, slot);
+  emit(make_sip(reg.user, {addr, kSipPort}, {kProxyAddr, kSipPort}, reg_msg.to_string()), out);
+  return true;
+}
+
+bool CarrierMixSource::on_reg_step(uint32_t slot, pkt::Packet* out) {
+  RegExchange& reg = regs_[slot];
+  if (reg.free) return false;
+  const uint64_t reg_id = reg.id;
+  const pkt::Ipv4Address addr = user_addr(reg.user);
+
+  auto finish = [&](sip::SipMessage msg, bool from_proxy, bool done) {
+    if (done) {
+      reg.free = true;
+      free_regs_.push_back(slot);
+    } else {
+      schedule(now_ + msec(from_proxy ? 30 : 20), EventKind::kRegStep, slot);
+    }
+    const pkt::Endpoint user_ep{addr, kSipPort};
+    const pkt::Endpoint proxy_ep{kProxyAddr, kSipPort};
+    emit(make_sip(reg.user, from_proxy ? proxy_ep : user_ep, from_proxy ? user_ep : proxy_ep,
+                  msg.to_string()),
+         out);
+  };
+
+  const std::string nonce = str::format("n%llu", static_cast<unsigned long long>(reg_id));
+  if (reg.step == 0) {
+    if (reg.challenged) {
+      auto challenge = sip::SipMessage::response(401, "Unauthorized");
+      challenge.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-rg%llu-0",
+                                                 addr.to_string().c_str(), kSipPort,
+                                                 static_cast<unsigned long long>(reg_id)));
+      challenge.headers().add("From", str::format("<sip:%.*s>;tag=r%llu",
+                                                  static_cast<int>(user_aor(reg.user).size()),
+                                                  user_aor(reg.user).data(),
+                                                  static_cast<unsigned long long>(reg_id)));
+      challenge.headers().add("To", str::format("<sip:%.*s>;tag=p%llu",
+                                                static_cast<int>(user_aor(reg.user).size()),
+                                                user_aor(reg.user).data(),
+                                                static_cast<unsigned long long>(reg_id)));
+      challenge.headers().add("Call-ID",
+                              str::format("reg-%llu", static_cast<unsigned long long>(reg_id)));
+      challenge.headers().add("CSeq", "1 REGISTER");
+      sip::DigestChallenge dc{kRealm, nonce};
+      challenge.headers().add("WWW-Authenticate", dc.to_header_value());
+      reg.step = 1;
+      finish(std::move(challenge), /*from_proxy=*/true, /*done=*/false);
+    } else {
+      auto ok = sip::SipMessage::response(200, "OK");
+      ok.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-rg%llu-0",
+                                          addr.to_string().c_str(), kSipPort,
+                                          static_cast<unsigned long long>(reg_id)));
+      ok.headers().add("From", str::format("<sip:%.*s>;tag=r%llu",
+                                           static_cast<int>(user_aor(reg.user).size()),
+                                           user_aor(reg.user).data(),
+                                           static_cast<unsigned long long>(reg_id)));
+      ok.headers().add("To", str::format("<sip:%.*s>;tag=p%llu",
+                                         static_cast<int>(user_aor(reg.user).size()),
+                                         user_aor(reg.user).data(),
+                                         static_cast<unsigned long long>(reg_id)));
+      ok.headers().add("Call-ID",
+                       str::format("reg-%llu", static_cast<unsigned long long>(reg_id)));
+      ok.headers().add("CSeq", "1 REGISTER");
+      ok.headers().add("Expires", "3600");
+      finish(std::move(ok), /*from_proxy=*/true, /*done=*/true);
+    }
+    return true;
+  }
+
+  if (reg.step == 1) {
+    // Authorized retry. A failing exchange answers with the wrong password;
+    // the IDS only sees that the registrar rejects it again.
+    auto retry = sip::SipMessage::request(sip::Method::kRegister, sip::SipUri("", kDomain));
+    retry.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-rg%llu-1",
+                                           addr.to_string().c_str(), kSipPort,
+                                           static_cast<unsigned long long>(reg_id)));
+    retry.headers().add("Max-Forwards", "70");
+    retry.headers().add("From", str::format("<sip:%.*s>;tag=r%llu",
+                                            static_cast<int>(user_aor(reg.user).size()),
+                                            user_aor(reg.user).data(),
+                                            static_cast<unsigned long long>(reg_id)));
+    retry.headers().add("To", str::format("<sip:%.*s>",
+                                          static_cast<int>(user_aor(reg.user).size()),
+                                          user_aor(reg.user).data()));
+    retry.headers().add("Call-ID",
+                        str::format("reg-%llu", static_cast<unsigned long long>(reg_id)));
+    retry.headers().add("CSeq", "2 REGISTER");
+    retry.headers().add("Contact", str::format("<sip:%.*s@%s:%u>",
+                                               static_cast<int>(user_name(reg.user).size()),
+                                               user_name(reg.user).data(),
+                                               addr.to_string().c_str(), kSipPort));
+    retry.headers().add("Expires", "3600");
+    sip::DigestChallenge dc{kRealm, nonce};
+    sip::DigestCredentials creds = sip::answer_challenge(
+        dc, user_name(reg.user), reg.fails ? "wrong-password" : "right-password", "REGISTER",
+        str::format("sip:%s", kDomain));
+    retry.headers().add("Authorization", creds.to_header_value());
+    reg.step = 2;
+    finish(std::move(retry), /*from_proxy=*/false, /*done=*/false);
+    return true;
+  }
+
+  // step == 2: the registrar's verdict on the authorized retry.
+  auto verdict = reg.fails ? sip::SipMessage::response(401, "Unauthorized")
+                           : sip::SipMessage::response(200, "OK");
+  verdict.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-rg%llu-1",
+                                           addr.to_string().c_str(), kSipPort,
+                                           static_cast<unsigned long long>(reg_id)));
+  verdict.headers().add("From", str::format("<sip:%.*s>;tag=r%llu",
+                                            static_cast<int>(user_aor(reg.user).size()),
+                                            user_aor(reg.user).data(),
+                                            static_cast<unsigned long long>(reg_id)));
+  verdict.headers().add("To", str::format("<sip:%.*s>;tag=p%llu",
+                                          static_cast<int>(user_aor(reg.user).size()),
+                                          user_aor(reg.user).data(),
+                                          static_cast<unsigned long long>(reg_id)));
+  verdict.headers().add("Call-ID",
+                        str::format("reg-%llu", static_cast<unsigned long long>(reg_id)));
+  verdict.headers().add("CSeq", "2 REGISTER");
+  if (reg.fails) {
+    sip::DigestChallenge dc{kRealm, nonce};
+    verdict.headers().add("WWW-Authenticate", dc.to_header_value());
+    ++digest_failures_;
+  } else {
+    verdict.headers().add("Expires", "3600");
+  }
+  finish(std::move(verdict), /*from_proxy=*/true, /*done=*/true);
+  return true;
+}
+
+}  // namespace scidive::capture

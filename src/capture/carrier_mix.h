@@ -1,0 +1,232 @@
+// CarrierMixSource: a statistical million-user workload behind the
+// PacketSource interface. Everything the scalability story needed and
+// netsim could not give it: registration churn with digest challenges and
+// failures, Poisson call arrivals with exponential holds and in-call RTP,
+// instant messages, re-INVITE mid-call mobility, and a diurnal load curve —
+// for 1M+ provisioned AORs with memory bounded by *active* sessions.
+//
+// How 1M users cost nothing: a provisioned user is just an index in
+// [0, provisioned_users). Picking who registers, calls or messages is a
+// PRNG draw of an index; the AOR spelling ("u<idx>@carrier.example") and
+// its address (10.0.0.0/8 + idx) are derived on demand. A user only
+// materializes — one SymbolTable interning of the AOR plus a FlatMap slot —
+// the first time traffic touches them, so resident state scales with the
+// users the run actually exercised, never with the provisioned count.
+//
+// Determinism: every stochastic decision comes from a counter-based
+// splitmix64 draw (seed, draw-index) — 16 bytes of generator state, no
+// hidden stream — and the internal event heap breaks time ties by
+// insertion sequence. Identical configs therefore replay byte-identical
+// packet streams, timestamps included; the replay test pins this.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/packet_source.h"
+#include "common/clock.h"
+#include "common/flat_map.h"
+#include "common/symbol.h"
+#include "obs/metrics.h"
+#include "pkt/addr.h"
+
+namespace scidive::capture {
+
+struct CarrierMixConfig {
+  uint64_t seed = 2004;
+  uint64_t provisioned_users = 1'000'000;
+
+  /// Poisson arrival rates at diurnal load 1.0, in events per simulated
+  /// second across the whole deployment.
+  double call_rate_hz = 50.0;
+  double im_rate_hz = 20.0;
+  double register_rate_hz = 30.0;
+
+  double mean_call_hold_sec = 30.0;  // exponential call duration
+  SimDuration rtp_interval = msec(20);
+
+  /// Fraction of calls that move their media mid-call (mobility re-INVITE,
+  /// the paper's false-alarm bait: benign when the IDS sees the signaling).
+  double reinvite_probability = 0.05;
+  /// Fraction of REGISTERs the registrar challenges (401 + digest retry).
+  double digest_challenge_probability = 0.3;
+  /// Fraction of challenged retries that fail again (wrong password —
+  /// ambient auth failure noise, not an attack ramp).
+  double digest_failure_probability = 0.05;
+
+  /// Sinusoidal load modulation: rate(t) = base * (1 + A sin(2πt/period)),
+  /// floored at 5% of base. 0 disables (flat load).
+  double diurnal_amplitude = 0.0;
+  SimDuration diurnal_period = sec(600);
+
+  /// Hard bound on concurrent calls: arrivals beyond it are skipped and
+  /// counted, so memory stays bounded no matter the rate/hold product.
+  size_t max_active_calls = 65536;
+  /// Stop after this many packets (0 = unbounded; callers must bound
+  /// elsewhere — the generator never exhausts on its own).
+  uint64_t max_packets = 0;
+
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class CarrierMixSource : public PacketSource {
+ public:
+  explicit CarrierMixSource(CarrierMixConfig config = {});
+
+  bool next(pkt::Packet* out) override;
+  std::string_view name() const override { return "carrier_mix"; }
+
+  // --- introspection (benches/tests) ---
+  SimTime now() const { return now_; }
+  uint64_t packets_generated() const { return packets_generated_; }
+  size_t active_calls() const { return active_call_count_; }
+  uint64_t calls_started() const { return calls_started_; }
+  uint64_t calls_deferred() const { return calls_deferred_; }
+  uint64_t ims_sent() const { return ims_sent_; }
+  uint64_t registrations() const { return registrations_; }
+  uint64_t digest_failures() const { return digest_failures_; }
+  uint64_t reinvites() const { return reinvites_; }
+  /// Users that have materialized (interned AOR + slot); the memory-bound
+  /// claim is that this tracks traffic touched, not provisioned_users.
+  size_t users_materialized() const { return interner_.size(); }
+
+ private:
+  enum class EventKind : uint8_t {
+    kCallArrival,    // Poisson process tick: maybe start a call
+    kCallAnswer,     // 200 OK to the INVITE
+    kCallAck,        // ACK completing setup
+    kCallMedia,      // one RTP packet, or the BYE once the hold expires
+    kCallByeOk,      // 200 OK to the BYE; call slot is freed
+    kCallReinvite,   // mid-call mobility re-INVITE
+    kCallReinviteOk, // 200 OK adopting the new media endpoint
+    kImArrival,      // Poisson tick: MESSAGE
+    kImOk,           // 200 OK to the MESSAGE
+    kRegArrival,     // Poisson tick: REGISTER
+    kRegStep,        // 401 / authorized retry / 200 OK state machine
+  };
+
+  struct Pending {
+    SimTime at = 0;
+    uint64_t seq = 0;   // FIFO among same-time events
+    EventKind kind;
+    uint32_t slot = 0;  // call/exchange pool index (kind-dependent)
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  enum class CallPhase : uint8_t { kInviting, kAnswered, kEstablished, kClosing, kFree };
+
+  struct Call {
+    uint64_t id = 0;          // dense call number -> Call-ID "cm-<id>"
+    uint32_t caller = 0;      // user indices
+    uint32_t callee = 0;
+    uint16_t caller_port = 0; // current caller media port (re-INVITE moves it)
+    uint16_t callee_port = 0;
+    uint16_t pending_port = 0;  // proposed by an in-flight re-INVITE
+    uint16_t seq_a = 0;       // RTP sequence, caller->callee direction
+    uint16_t seq_b = 0;
+    uint32_t media_clock = 0; // shared RTP timestamp base
+    SimTime end_at = 0;
+    CallPhase phase = CallPhase::kFree;
+    bool reinvite_pending = false;
+    bool toward_callee = false;  // RTP direction alternator
+  };
+
+  struct RegExchange {
+    uint64_t id = 0;  // dense exchange number -> Call-ID "reg-<id>"
+    uint32_t user = 0;
+    uint8_t step = 0;      // 0: sent REGISTER; 1: sent 401; 2: sent auth retry
+    bool challenged = false;
+    bool fails = false;
+    bool free = true;
+  };
+
+  struct ImExchange {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint64_t id = 0;
+    bool free = true;
+  };
+
+  // Counter-based PRNG: draw i of seed s is splitmix64(s ^ mix(i)). Pure
+  // function of (seed, index) — replay-identical by construction.
+  uint64_t draw_u64();
+  double draw_unit();                       // [0, 1)
+  uint64_t draw_below(uint64_t n);          // [0, n)
+  double draw_exp(double mean);
+  bool draw_chance(double p) { return p > 0 && draw_unit() < p; }
+
+  double diurnal_factor(SimTime t) const;
+  /// Next Poisson inter-arrival at the current diurnal load.
+  SimDuration arrival_gap(double base_rate_hz);
+
+  void schedule(SimTime at, EventKind kind, uint32_t slot = 0);
+
+  // --- lazy user materialization ---
+  pkt::Ipv4Address user_addr(uint32_t user) const;
+  /// Interned AOR spelling; materializes the user on first touch.
+  std::string_view user_aor(uint32_t user);
+  std::string_view user_name(uint32_t user);  // the part left of '@'
+
+  // --- packet synthesis (each returns one complete UDP/IPv4 datagram) ---
+  pkt::Packet make_sip(uint32_t from_user, pkt::Endpoint src, pkt::Endpoint dst,
+                       const std::string& text);
+  void emit(pkt::Packet&& packet, pkt::Packet* out);
+
+  // --- event handlers; return true when they produced a packet in *out ---
+  bool on_call_arrival(pkt::Packet* out);
+  bool on_call_answer(uint32_t slot, pkt::Packet* out);
+  bool on_call_ack(uint32_t slot, pkt::Packet* out);
+  bool on_call_media(uint32_t slot, pkt::Packet* out);
+  bool on_call_bye_ok(uint32_t slot, pkt::Packet* out);
+  bool on_call_reinvite(uint32_t slot, pkt::Packet* out);
+  bool on_call_reinvite_ok(uint32_t slot, pkt::Packet* out);
+  bool on_im_arrival(pkt::Packet* out);
+  bool on_im_ok(uint32_t slot, pkt::Packet* out);
+  bool on_reg_arrival(pkt::Packet* out);
+  bool on_reg_step(uint32_t slot, pkt::Packet* out);
+
+  uint32_t alloc_call();
+  void free_call(uint32_t slot);
+  uint32_t alloc_reg();
+  uint32_t alloc_im();
+
+  CarrierMixConfig config_;
+  uint64_t draw_counter_ = 0;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Pending, std::vector<Pending>, Later> heap_;
+
+  std::vector<Call> calls_;
+  std::vector<uint32_t> free_calls_;
+  size_t active_call_count_ = 0;
+  std::vector<RegExchange> regs_;
+  std::vector<uint32_t> free_regs_;
+  std::vector<ImExchange> ims_;
+  std::vector<uint32_t> free_ims_;
+
+  SymbolTable interner_;                  // AOR spellings, interned on first touch
+  FlatMap<uint32_t, Symbol> user_syms_;   // user index -> interned AOR
+
+  uint64_t packets_generated_ = 0;
+  uint64_t call_counter_ = 0;
+  uint64_t im_counter_ = 0;
+  uint64_t reg_counter_ = 0;
+  uint64_t calls_started_ = 0;
+  uint64_t calls_deferred_ = 0;
+  uint64_t ims_sent_ = 0;
+  uint64_t registrations_ = 0;
+  uint64_t digest_failures_ = 0;
+  uint64_t reinvites_ = 0;
+
+  obs::Counter* packets_total_ = nullptr;
+  obs::Counter* drops_deferred_ = nullptr;
+};
+
+}  // namespace scidive::capture

@@ -1,0 +1,78 @@
+// The capture boundary (ROADMAP item 3): everything that can produce or
+// consume captured packets speaks one of two tiny interfaces, so the
+// engines, the testbed, the benches and the CLI never care whether bytes
+// came from netsim, a pcap file, a live socket or a statistical workload
+// generator.
+//
+//   - PacketSource is pull-based: the consumer (an engine drive loop, the
+//     CLI) calls next() until it returns false. File and generator sources
+//     are exhausted then; live sources return false only after stop().
+//   - PacketSink is push-based: taps, recorders and exporters implement
+//     write(). A sink's tap() adapter plugs directly into
+//     netsim::Network::add_tap (the PacketTap type is just std::function,
+//     so no netsim dependency is needed here).
+//
+// In the paper's terms (§4.1) a PacketSource is one tap location: the
+// client-side deployment of Figure 3 is a source at the endpoint, a
+// proxy-side deployment is a source on the proxy segment, and the core
+// deployment is a source behind a span port. The engine is placement-
+// agnostic; only the source moves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "pkt/packet.h"
+
+namespace scidive::capture {
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// Pull the next packet. Returns false when the source is exhausted (file
+  /// sources, bounded generators) or stopped (live sources). A false return
+  /// is terminal for finite sources; live sources document their own
+  /// semantics.
+  virtual bool next(pkt::Packet* out) = 0;
+
+  /// Stable label for metrics/diagnostics ("pcap", "udp", "carrier_mix").
+  virtual std::string_view name() const = 0;
+};
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  virtual void write(const pkt::Packet& packet) = 0;
+
+  /// Adapter for netsim::Network::add_tap (PacketTap is this exact
+  /// std::function type).
+  std::function<void(const pkt::Packet&)> tap() {
+    return [this](const pkt::Packet& packet) { write(packet); };
+  }
+};
+
+/// Drain a source into a callback. Returns the number of packets fed.
+inline uint64_t drain(PacketSource& source,
+                      const std::function<void(const pkt::Packet&)>& consumer) {
+  pkt::Packet packet;
+  uint64_t fed = 0;
+  while (source.next(&packet)) {
+    consumer(packet);
+    ++fed;
+  }
+  return fed;
+}
+
+/// Materialize a whole (finite!) source. Test/CLI convenience.
+inline std::vector<pkt::Packet> read_all(PacketSource& source) {
+  std::vector<pkt::Packet> out;
+  pkt::Packet packet;
+  while (source.next(&packet)) out.push_back(std::move(packet));
+  return out;
+}
+
+}  // namespace scidive::capture

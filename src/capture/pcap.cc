@@ -1,0 +1,300 @@
+#include "capture/pcap.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace scidive::capture {
+namespace {
+
+constexpr uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr uint32_t kMagicNano = 0xa1b23c4d;
+constexpr uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+constexpr uint16_t kVersionMajor = 2;
+constexpr uint16_t kVersionMinor = 4;
+constexpr size_t kGlobalHeaderBytes = 24;
+constexpr size_t kRecordHeaderBytes = 16;
+constexpr size_t kEthernetHeaderBytes = 14;
+constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// The synthetic Ethernet II header prepended under LINKTYPE_ETHERNET.
+/// Locally-administered unicast MACs spelling "SCIDV" — recognizable in
+/// Wireshark, impossible on a real wire.
+constexpr uint8_t kSyntheticEthernet[kEthernetHeaderBytes] = {
+    0x02, 0x53, 0x43, 0x49, 0x44, 0x56,  // dst 02:53:43:49:44:56
+    0x02, 0x53, 0x43, 0x49, 0x44, 0x00,  // src 02:53:43:49:44:00
+    0x08, 0x00,                          // ethertype IPv4
+};
+
+void put_u16le(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void put_u32le(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+}  // namespace
+
+// --- PcapWriter -----------------------------------------------------------
+
+PcapWriter::PcapWriter(std::ostream& out, PcapWriterOptions options)
+    : out_(out), options_(options) {
+  if (options_.snaplen == 0) options_.snaplen = 65535;
+  std::string header;
+  header.reserve(kGlobalHeaderBytes);
+  put_u32le(header, kMagicMicro);
+  put_u16le(header, kVersionMajor);
+  put_u16le(header, kVersionMinor);
+  put_u32le(header, 0);  // thiszone: GMT
+  put_u32le(header, 0);  // sigfigs
+  put_u32le(header, options_.snaplen);
+  put_u32le(header, static_cast<uint32_t>(options_.link));
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  bytes_written_ += header.size();
+}
+
+void PcapWriter::write(const pkt::Packet& packet) {
+  const bool ethernet = options_.link == PcapLinkType::kEthernet;
+  const size_t frame_len =
+      packet.data.size() + (ethernet ? kEthernetHeaderBytes : 0);
+  const uint32_t orig_len = static_cast<uint32_t>(frame_len);
+  const uint32_t incl_len =
+      orig_len > options_.snaplen ? options_.snaplen : orig_len;
+
+  // SimTime is microseconds since simulation start; negative timestamps
+  // cannot appear on the wire format, so clamp defensively.
+  const SimTime ts = packet.timestamp < 0 ? 0 : packet.timestamp;
+  std::string record;
+  record.reserve(kRecordHeaderBytes + incl_len);
+  put_u32le(record, static_cast<uint32_t>(ts / kSecond));
+  put_u32le(record, static_cast<uint32_t>(ts % kSecond));
+  put_u32le(record, incl_len);
+  put_u32le(record, orig_len);
+
+  uint32_t remaining = incl_len;
+  if (ethernet) {
+    const uint32_t n = remaining < kEthernetHeaderBytes
+                           ? remaining
+                           : static_cast<uint32_t>(kEthernetHeaderBytes);
+    record.append(reinterpret_cast<const char*>(kSyntheticEthernet), n);
+    remaining -= n;
+  }
+  record.append(reinterpret_cast<const char*>(packet.data.data()), remaining);
+
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  bytes_written_ += record.size();
+  ++packets_written_;
+}
+
+// --- PcapReader -----------------------------------------------------------
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  uint8_t h[kGlobalHeaderBytes];
+  bool clean_eof = false;
+  if (!read_exact(h, sizeof(h), &clean_eof)) {
+    fail(clean_eof ? "empty input (no pcap global header)"
+                   : "truncated pcap global header");
+    return;
+  }
+  uint32_t magic;
+  std::memcpy(&magic, h, 4);
+  switch (magic) {
+    case kMagicMicro: break;
+    case kMagicNano: nanosecond_ = true; break;
+    case kMagicMicroSwapped: swapped_ = true; break;
+    case kMagicNanoSwapped:
+      swapped_ = true;
+      nanosecond_ = true;
+      break;
+    default:
+      fail(str::format("bad pcap magic 0x%08x", magic));
+      return;
+  }
+  const uint16_t major = read_u16(h + 4);
+  if (major != kVersionMajor) {
+    fail(str::format("unsupported pcap version %u", major));
+    return;
+  }
+  snaplen_ = read_u32(h + 16);
+  const uint32_t link = read_u32(h + 20);
+  if (link != static_cast<uint32_t>(PcapLinkType::kEthernet) &&
+      link != static_cast<uint32_t>(PcapLinkType::kRaw)) {
+    fail(str::format("unsupported linktype %u (need ETHERNET=1 or RAW=101)", link));
+    return;
+  }
+  link_type_ = static_cast<PcapLinkType>(link);
+  header_ok_ = true;
+}
+
+bool PcapReader::fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+  return false;
+}
+
+bool PcapReader::read_exact(uint8_t* dst, size_t n, bool* clean_eof) {
+  in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_.gcount()) == n) return true;
+  if (clean_eof != nullptr) *clean_eof = in_.gcount() == 0;
+  return false;
+}
+
+uint32_t PcapReader::read_u32(const uint8_t* p) const {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  if (swapped_) v = __builtin_bswap32(v);
+  return v;
+}
+
+uint16_t PcapReader::read_u16(const uint8_t* p) const {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  if (swapped_) v = __builtin_bswap16(v);
+  return v;
+}
+
+bool PcapReader::next(pkt::Packet* out) {
+  if (!header_ok_ || !error_.empty()) return false;
+  for (;;) {
+    uint8_t rh[kRecordHeaderBytes];
+    bool clean_eof = false;
+    if (!read_exact(rh, sizeof(rh), &clean_eof)) {
+      if (clean_eof) return false;  // normal end of capture
+      return fail("truncated record header");
+    }
+    const uint32_t ts_sec = read_u32(rh);
+    uint32_t ts_sub = read_u32(rh + 4);
+    const uint32_t incl_len = read_u32(rh + 8);
+    const uint32_t orig_len = read_u32(rh + 12);
+
+    // Bounds before any allocation: a record may not exceed the declared
+    // snaplen (a "snaplen lie"), the hard cap, or the bytes that remain.
+    if (incl_len > kPcapMaxRecordBytes) {
+      return fail(str::format("record incl_len %u exceeds hard cap", incl_len));
+    }
+    if (snaplen_ != 0 && incl_len > snaplen_) {
+      return fail(str::format("record incl_len %u exceeds snaplen %u", incl_len,
+                              snaplen_));
+    }
+    Bytes frame(incl_len);
+    if (incl_len > 0 && !read_exact(frame.data(), incl_len, nullptr)) {
+      return fail("truncated record body");
+    }
+    if (incl_len < orig_len) ++stats_.records_truncated;
+
+    if (nanosecond_) ts_sub /= 1000;  // normalize to microseconds
+    // A nonsense sub-second field (>= 1s) would break timestamp round
+    // trips; normalize instead of trusting it.
+    const SimTime timestamp =
+        static_cast<SimTime>(ts_sec) * kSecond + (ts_sub % kSecond);
+
+    if (link_type_ == PcapLinkType::kEthernet) {
+      if (frame.size() < kEthernetHeaderBytes) {
+        ++stats_.records_skipped;  // runt frame: skip, keep reading
+        continue;
+      }
+      const uint16_t ethertype =
+          static_cast<uint16_t>(frame[12]) << 8 | frame[13];
+      if (ethertype != kEtherTypeIpv4) {
+        ++stats_.records_skipped;  // ARP/IPv6/VLAN noise in real captures
+        continue;
+      }
+      frame.erase(frame.begin(), frame.begin() + kEthernetHeaderBytes);
+    }
+
+    out->data = std::move(frame);
+    out->timestamp = timestamp;
+    ++stats_.records_read;
+    return true;
+  }
+}
+
+// --- PcapFileSource -------------------------------------------------------
+
+PcapFileSource::PcapFileSource(const std::string& path, PcapSourceOptions options) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!file->good()) {
+    open_error_ = "cannot open " + path;
+  } else {
+    owned_in_ = std::move(file);
+    reader_ = std::make_unique<PcapReader>(*owned_in_);
+  }
+  intern_instruments(options.metrics);
+}
+
+PcapFileSource::PcapFileSource(std::istream& in, PcapSourceOptions options)
+    : reader_(std::make_unique<PcapReader>(in)) {
+  intern_instruments(options.metrics);
+}
+
+PcapFileSource::~PcapFileSource() = default;
+
+void PcapFileSource::intern_instruments(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  packets_total_ = &metrics->counter("scidive_capture_packets_total",
+                                     "Packets delivered by a capture source",
+                                     {{"source", "pcap"}});
+  drops_malformed_ = &metrics->counter(
+      "scidive_capture_drops_total",
+      "Packets a capture source could not deliver",
+      {{"reason", "malformed"}, {"source", "pcap"}});
+  drops_skipped_ = &metrics->counter(
+      "scidive_capture_drops_total",
+      "Packets a capture source could not deliver",
+      {{"reason", "non_ip"}, {"source", "pcap"}});
+}
+
+bool PcapFileSource::next(pkt::Packet* out) {
+  if (reader_ == nullptr) return false;
+  const uint64_t skipped_before = reader_->stats().records_skipped;
+  const bool got = reader_->next(out);
+  if (drops_skipped_ != nullptr) {
+    drops_skipped_->inc(reader_->stats().records_skipped - skipped_before);
+  }
+  if (got) {
+    if (packets_total_ != nullptr) packets_total_->inc();
+    return true;
+  }
+  if (!reader_->error().empty() && drops_malformed_ != nullptr) {
+    drops_malformed_->inc();
+  }
+  return false;
+}
+
+bool PcapFileSource::ok() const {
+  return open_error_.empty() && reader_ != nullptr && reader_->header_ok() &&
+         reader_->error().empty();
+}
+
+std::string PcapFileSource::error() const {
+  if (!open_error_.empty()) return open_error_;
+  return reader_ != nullptr ? reader_->error() : std::string();
+}
+
+// --- PcapFileSink ---------------------------------------------------------
+
+PcapFileSink::PcapFileSink(const std::string& path, PcapWriterOptions options) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!file->good()) return;  // ok() reports the failure
+  owned_out_ = std::move(file);
+  writer_ = std::make_unique<PcapWriter>(*owned_out_, options);
+}
+
+PcapFileSink::PcapFileSink(std::ostream& out, PcapWriterOptions options)
+    : writer_(std::make_unique<PcapWriter>(out, options)) {}
+
+PcapFileSink::~PcapFileSink() = default;
+
+void PcapFileSink::write(const pkt::Packet& packet) {
+  if (writer_ != nullptr) writer_->write(packet);
+}
+
+}  // namespace scidive::capture

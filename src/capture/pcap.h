@@ -1,0 +1,166 @@
+// Classic libpcap file format (the pre-pcapng .pcap every tool reads),
+// hand-rolled like the rest of src/pkt/ — no external dependency. Scope:
+//
+//   - write: little-endian, microsecond timestamps, LINKTYPE_RAW (raw IPv4,
+//     the repo's native unit) or LINKTYPE_ETHERNET (a synthetic Ethernet II
+//     header is prepended so Wireshark's default dissector chain works);
+//   - read: both byte orders, microsecond and nanosecond magics, both
+//     supported link types (the Ethernet header is stripped again; non-IPv4
+//     ethertypes are counted and skipped, not errors — real captures carry
+//     ARP and IPv6 noise).
+//
+// The reader is total over adversarial input (fuzz_pcap drives it): record
+// lengths are bounds-checked against the stream, the snaplen and a hard
+// cap, so truncated files, snaplen lies and oversized claims fail with a
+// diagnostic instead of an allocation or a crash.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "capture/packet_source.h"
+#include "obs/metrics.h"
+#include "pkt/packet.h"
+
+namespace scidive::capture {
+
+enum class PcapLinkType : uint32_t {
+  kEthernet = 1,   // LINKTYPE_ETHERNET
+  kRaw = 101,      // LINKTYPE_RAW: the packet begins at the IP header
+};
+
+/// Hard upper bound on a single record's captured length; anything larger
+/// is a malformed file, not a packet (IPv4 datagrams cap at 64 KiB).
+inline constexpr uint32_t kPcapMaxRecordBytes = 1u << 20;
+
+struct PcapWriterOptions {
+  PcapLinkType link = PcapLinkType::kRaw;
+  uint32_t snaplen = 65535;  // records longer than this are truncated
+};
+
+/// Streams packets to an ostream as a pcap file. The global header is
+/// written on construction; each record flushes nothing by itself (callers
+/// own stream lifetime/flushing). Byte-deterministic: output depends only
+/// on the packet sequence, never on wall clock or environment — the export
+/// determinism tests pin this.
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& out, PcapWriterOptions options = {});
+
+  void write(const pkt::Packet& packet);
+
+  uint64_t packets_written() const { return packets_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// A recording tap: network.add_tap(writer.tap()) exports any netsim
+  /// scenario — fault injection included — to a Wireshark-readable file.
+  std::function<void(const pkt::Packet&)> tap() {
+    return [this](const pkt::Packet& packet) { write(packet); };
+  }
+
+ private:
+  std::ostream& out_;
+  PcapWriterOptions options_;
+  uint64_t packets_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+struct PcapReaderStats {
+  uint64_t records_read = 0;      // records successfully decoded to packets
+  uint64_t records_skipped = 0;   // non-IPv4 ethertype / runt Ethernet frames
+  uint64_t records_truncated = 0; // incl_len < orig_len (snaplen cut the tail)
+};
+
+/// Incremental pcap decoder over an istream. Strict on structure (a corrupt
+/// capture must fail loudly, not half-feed an IDS), tolerant of foreign
+/// content (unknown ethertypes are skipped and counted).
+class PcapReader {
+ public:
+  explicit PcapReader(std::istream& in);
+
+  /// Decode the next packet. Returns false at clean EOF and on the first
+  /// structural error (error() distinguishes the two).
+  bool next(pkt::Packet* out);
+
+  bool header_ok() const { return header_ok_; }
+  /// Empty while no structural error has been seen.
+  const std::string& error() const { return error_; }
+  PcapLinkType link_type() const { return link_type_; }
+  uint32_t snaplen() const { return snaplen_; }
+  const PcapReaderStats& stats() const { return stats_; }
+
+ private:
+  bool fail(std::string message);
+  bool read_exact(uint8_t* dst, size_t n, bool* clean_eof);
+  uint32_t read_u32(const uint8_t* p) const;
+  uint16_t read_u16(const uint8_t* p) const;
+
+  std::istream& in_;
+  bool header_ok_ = false;
+  bool swapped_ = false;       // file byte order != reader byte order
+  bool nanosecond_ = false;    // 0xa1b23c4d family: sub-second field is ns
+  PcapLinkType link_type_ = PcapLinkType::kRaw;
+  uint32_t snaplen_ = 0;
+  std::string error_;
+  PcapReaderStats stats_;
+};
+
+struct PcapSourceOptions {
+  /// When set, the source interns scidive_capture_packets_total{source} and
+  /// scidive_capture_drops_total{source,reason} cells at construction and
+  /// records into them allocation-free.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// PacketSource over a pcap stream or file — the replay path: any capture
+/// (exported netsim scenario or real-world trace) feeds an engine via
+/// ScidiveEngine::run / ShardedEngine::run.
+class PcapFileSource : public PacketSource {
+ public:
+  /// Open `path`. Check ok()/error() before pulling.
+  explicit PcapFileSource(const std::string& path, PcapSourceOptions options = {});
+  /// Borrow an open stream (in-memory round trips, tests).
+  explicit PcapFileSource(std::istream& in, PcapSourceOptions options = {});
+  ~PcapFileSource() override;
+
+  bool next(pkt::Packet* out) override;
+  std::string_view name() const override { return "pcap"; }
+
+  /// False when the file could not be opened or a structural error occurred.
+  bool ok() const;
+  std::string error() const;
+  const PcapReader& reader() const { return *reader_; }
+
+ private:
+  void intern_instruments(obs::MetricsRegistry* metrics);
+
+  std::unique_ptr<std::istream> owned_in_;  // file constructor only
+  std::unique_ptr<PcapReader> reader_;
+  std::string open_error_;
+  obs::Counter* packets_total_ = nullptr;
+  obs::Counter* drops_malformed_ = nullptr;
+  obs::Counter* drops_skipped_ = nullptr;
+};
+
+/// PacketSink writing a pcap file — the export path. Also usable as a
+/// netsim tap via PacketSink::tap().
+class PcapFileSink : public PacketSink {
+ public:
+  explicit PcapFileSink(const std::string& path, PcapWriterOptions options = {});
+  explicit PcapFileSink(std::ostream& out, PcapWriterOptions options = {});
+  ~PcapFileSink() override;
+
+  void write(const pkt::Packet& packet) override;
+  bool ok() const { return writer_ != nullptr; }
+  uint64_t packets_written() const { return writer_ ? writer_->packets_written() : 0; }
+
+ private:
+  std::unique_ptr<std::ostream> owned_out_;  // file constructor only
+  std::unique_ptr<PcapWriter> writer_;
+};
+
+}  // namespace scidive::capture

@@ -1,0 +1,266 @@
+// scidive_pcap: the capture subsystem's operator tool.
+//
+//   scidive_pcap export SCENARIO OUT.pcap [--seed N] [--link raw|ethernet]
+//                [--users N] [--packets N]
+//       Run a deterministic scenario and record every hub packet to a pcap
+//       file. Scenarios: bye_attack, fake_im, call_hijack, rtp_flood,
+//       benign, carrier_mix. The same seed always produces the same bytes.
+//
+//   scidive_pcap inspect FILE.pcap
+//       Decode the capture and print link type, record counts, skip/
+//       truncation counters and the covered time span.
+//
+//   scidive_pcap replay FILE.pcap [--workers N] [--home IP]... [--metrics]
+//       Feed the capture through a ScidiveEngine (or a ShardedEngine with
+//       --workers > 1) and print the alerts it raises. --home scopes the
+//       deployment to an endpoint (testbed client A is 10.0.0.1); default
+//       is to inspect everything. --metrics dumps the full Prometheus
+//       exposition after the run.
+#include <cstdio>
+#include <set>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "capture/carrier_mix.h"
+#include "capture/pcap.h"
+#include "obs/metrics.h"
+#include "scidive/engine.h"
+#include "scidive/sharded_engine.h"
+#include "testbed/testbed.h"
+#include "testbed/workload.h"
+
+namespace {
+
+using scidive::capture::CarrierMixConfig;
+using scidive::capture::CarrierMixSource;
+using scidive::capture::PcapFileSink;
+using scidive::capture::PcapFileSource;
+using scidive::capture::PcapLinkType;
+using scidive::capture::PcapWriterOptions;
+namespace pkt = scidive::pkt;
+
+int usage(int status) {
+  std::fprintf(
+      status == 0 ? stdout : stderr,
+      "usage: scidive_pcap export SCENARIO OUT.pcap [--seed N] [--link raw|ethernet]\n"
+      "                    [--users N] [--packets N]\n"
+      "       scidive_pcap inspect FILE.pcap\n"
+      "       scidive_pcap replay FILE.pcap [--workers N] [--home IP]... [--metrics]\n"
+      "scenarios: bye_attack fake_im call_hijack rtp_flood benign carrier_mix\n");
+  return status;
+}
+
+bool run_scenario(const std::string& name, uint64_t seed, scidive::capture::PacketSink& sink) {
+  using scidive::testbed::Testbed;
+  using scidive::testbed::TestbedConfig;
+
+  if (name == "carrier_mix") return false;  // handled by the caller
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  Testbed tb(cfg);
+  tb.net().add_tap(sink.tap());
+  if (name == "bye_attack") {
+    tb.establish_call(scidive::sec(3));
+    tb.inject_bye_attack();
+    tb.run_for(scidive::sec(1));
+  } else if (name == "fake_im") {
+    tb.register_all();
+    tb.client_b().add_contact(tb.client_a().aor(), tb.client_a().sip_endpoint());
+    tb.client_b().send_im("alice", "lunch at noon? - bob");
+    tb.run_for(scidive::sec(1));
+    tb.inject_fake_im();
+    tb.run_for(scidive::sec(1));
+  } else if (name == "call_hijack") {
+    tb.establish_call(scidive::sec(3));
+    tb.inject_call_hijack();
+    tb.run_for(scidive::sec(1));
+  } else if (name == "rtp_flood") {
+    tb.establish_call(scidive::sec(3));
+    tb.inject_rtp_flood(30);
+    tb.run_for(scidive::sec(1));
+  } else if (name == "benign") {
+    tb.register_all();
+    scidive::testbed::BenignWorkload workload(tb, {});
+    workload.schedule();
+    tb.run_for(scidive::sec(70));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage(2);
+  const std::string scenario = args[0];
+  const std::string out_path = args[1];
+  uint64_t seed = 2004;
+  uint64_t users = 100000;
+  uint64_t packets = 20000;
+  PcapWriterOptions options;
+  for (size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::stoull(args[++i]);
+    } else if (args[i] == "--users" && i + 1 < args.size()) {
+      users = std::stoull(args[++i]);
+    } else if (args[i] == "--packets" && i + 1 < args.size()) {
+      packets = std::stoull(args[++i]);
+    } else if (args[i] == "--link" && i + 1 < args.size()) {
+      const std::string& link = args[++i];
+      if (link == "raw") {
+        options.link = PcapLinkType::kRaw;
+      } else if (link == "ethernet") {
+        options.link = PcapLinkType::kEthernet;
+      } else {
+        std::fprintf(stderr, "scidive_pcap: unknown link type '%s'\n", link.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "scidive_pcap: bad export argument '%s'\n", args[i].c_str());
+      return 2;
+    }
+  }
+
+  PcapFileSink sink(out_path, options);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "scidive_pcap: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (scenario == "carrier_mix") {
+    CarrierMixConfig cfg;
+    cfg.seed = seed;
+    cfg.provisioned_users = users;
+    cfg.max_packets = packets;
+    CarrierMixSource source(cfg);
+    pkt::Packet packet;
+    while (source.next(&packet)) sink.write(packet);
+  } else if (!run_scenario(scenario, seed, sink)) {
+    std::fprintf(stderr, "scidive_pcap: unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+  std::printf("%s: %llu packets\n", out_path.c_str(),
+              static_cast<unsigned long long>(sink.packets_written()));
+  return 0;
+}
+
+int cmd_inspect(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage(2);
+  std::ifstream in(args[0], std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "scidive_pcap: cannot open %s\n", args[0].c_str());
+    return 1;
+  }
+  scidive::capture::PcapReader reader(in);
+  if (!reader.header_ok()) {
+    std::fprintf(stderr, "scidive_pcap: %s: %s\n", args[0].c_str(), reader.error().c_str());
+    return 1;
+  }
+  std::printf("link: %s  snaplen: %u\n",
+              reader.link_type() == PcapLinkType::kEthernet ? "ethernet" : "raw",
+              reader.snaplen());
+
+  pkt::Packet packet;
+  scidive::SimTime first = 0, last = 0;
+  bool any = false;
+  uint64_t bytes = 0;
+  while (reader.next(&packet)) {
+    if (!any) first = packet.timestamp;
+    last = packet.timestamp;
+    bytes += packet.data.size();
+    any = true;
+  }
+  const auto& stats = reader.stats();
+  std::printf("records: %llu decoded, %llu skipped (non-IP), %llu truncated, %llu bytes\n",
+              static_cast<unsigned long long>(stats.records_read),
+              static_cast<unsigned long long>(stats.records_skipped),
+              static_cast<unsigned long long>(stats.records_truncated),
+              static_cast<unsigned long long>(bytes));
+  if (any) {
+    std::printf("span: %.6fs .. %.6fs (%.6fs)\n",
+                static_cast<double>(first) / scidive::kSecond,
+                static_cast<double>(last) / scidive::kSecond,
+                static_cast<double>(last - first) / scidive::kSecond);
+  }
+  if (!reader.error().empty()) {
+    std::fprintf(stderr, "scidive_pcap: %s: %s\n", args[0].c_str(), reader.error().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.empty()) return usage(2);
+  const std::string path = args[0];
+  size_t workers = 1;
+  bool dump_metrics = false;
+  std::set<pkt::Ipv4Address> home;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--workers" && i + 1 < args.size()) {
+      workers = std::stoul(args[++i]);
+    } else if (args[i] == "--home" && i + 1 < args.size()) {
+      auto addr = pkt::Ipv4Address::parse(args[++i]);
+      if (!addr) {
+        std::fprintf(stderr, "scidive_pcap: bad address '%s'\n", args[i].c_str());
+        return 2;
+      }
+      home.insert(*addr);
+    } else if (args[i] == "--metrics") {
+      dump_metrics = true;
+    } else {
+      std::fprintf(stderr, "scidive_pcap: bad replay argument '%s'\n", args[i].c_str());
+      return 2;
+    }
+  }
+
+  PcapFileSource source(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "scidive_pcap: %s: %s\n", path.c_str(), source.error().c_str());
+    return 1;
+  }
+
+  scidive::core::EngineConfig engine_config;
+  engine_config.home_addresses = home;
+  std::vector<scidive::core::Alert> alerts;
+  uint64_t fed = 0;
+  std::string exposition;
+  if (workers <= 1) {
+    scidive::core::ScidiveEngine engine(engine_config);
+    fed = engine.run(source);
+    alerts.assign(engine.alerts().alerts().begin(), engine.alerts().alerts().end());
+    if (dump_metrics) exposition = scidive::obs::to_prometheus(engine.metrics_snapshot());
+  } else {
+    scidive::core::ShardedEngineConfig cfg;
+    cfg.engine = engine_config;
+    cfg.num_shards = workers;
+    scidive::core::ShardedEngine engine(cfg);
+    fed = engine.run(source);
+    alerts = engine.merged_alerts();
+    if (dump_metrics) exposition = scidive::obs::to_prometheus(engine.metrics_snapshot());
+    engine.stop();
+  }
+  if (!source.error().empty()) {
+    std::fprintf(stderr, "scidive_pcap: %s: %s\n", path.c_str(), source.error().c_str());
+  }
+
+  std::printf("replayed %llu packets through %zu worker%s: %zu alert%s\n",
+              static_cast<unsigned long long>(fed), workers, workers == 1 ? "" : "s",
+              alerts.size(), alerts.size() == 1 ? "" : "s");
+  for (const auto& alert : alerts) std::printf("  %s\n", alert.to_string().c_str());
+  if (dump_metrics) std::fputs(exposition.c_str(), stdout);
+  return source.error().empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "--help" || command == "-h") return usage(0);
+  if (command == "export") return cmd_export(args);
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "replay") return cmd_replay(args);
+  std::fprintf(stderr, "scidive_pcap: unknown command '%s'\n", command.c_str());
+  return usage(2);
+}

@@ -1,8 +1,10 @@
 #include "fuzz/differential.h"
 
 #include <map>
+#include <sstream>
 #include <string_view>
 
+#include "capture/pcap.h"
 #include "common/strings.h"
 
 namespace scidive::fuzz {
@@ -106,6 +108,46 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
   report.single_alerts = single.alerts().alerts().size();
   const core::EngineStats single_stats = single.stats();
 
+  // Pcap-replay mode: everything downstream consumes the stream after a
+  // trip through the capture file format.
+  std::vector<pkt::Packet> reimported;
+  const std::vector<pkt::Packet>* replay_stream = &stream;
+  if (config.pcap_roundtrip) {
+    std::ostringstream exported(std::ios::binary);
+    capture::PcapWriter writer(exported);
+    for (const pkt::Packet& packet : stream) writer.write(packet);
+    std::istringstream back(exported.str(), std::ios::binary);
+    capture::PcapFileSource source(back);
+    reimported = capture::read_all(source);
+    if (!source.ok()) {
+      report.mismatches.push_back("pcap roundtrip: reimport failed: " + source.error());
+    }
+    if (reimported.size() != stream.size()) {
+      report.mismatches.push_back(
+          str::format("pcap roundtrip: %zu packets in, %zu back", stream.size(),
+                      reimported.size()));
+    } else {
+      for (size_t i = 0; i < stream.size(); ++i) {
+        if (reimported[i].data != stream[i].data ||
+            reimported[i].timestamp != stream[i].timestamp) {
+          report.mismatches.push_back(
+              str::format("pcap roundtrip: packet %zu differs after reimport", i));
+          break;
+        }
+      }
+    }
+    // End-to-end: a fresh single engine over the reimported stream must
+    // raise the identical alert multiset.
+    core::ScidiveEngine replayed(engine_config);
+    if (config.make_rules) replayed.set_rules(config.make_rules());
+    for (const pkt::Packet& packet : reimported) replayed.on_packet(packet);
+    if (alert_multiset(replayed.alerts().alerts()) != single_alerts) {
+      report.mismatches.push_back(
+          "pcap roundtrip: alert multiset diverged after capture-file replay");
+    }
+    replay_stream = &reimported;
+  }
+
   for (size_t shards : config.shard_counts) {
     core::ShardedEngineConfig sc;
     sc.engine = engine_config;
@@ -119,7 +161,7 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
     }
     if (config.rebalance_interval != 0) {
       size_t since = 0;
-      for (const pkt::Packet& packet : stream) {
+      for (const pkt::Packet& packet : *replay_stream) {
         sharded.on_packet(packet);
         if (++since >= config.rebalance_interval) {
           since = 0;
@@ -127,15 +169,15 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
         }
       }
     } else {
-      for (const pkt::Packet& packet : stream) sharded.on_packet(packet);
+      for (const pkt::Packet& packet : *replay_stream) sharded.on_packet(packet);
     }
     sharded.flush();
 
     const core::ShardedEngineStats stats = sharded.stats();
-    if (stats.packets_seen != stream.size()) {
+    if (stats.packets_seen != replay_stream->size()) {
       report.mismatches.push_back(str::format(
           "%zu shards: front-end saw %llu of %zu packets", shards,
-          static_cast<unsigned long long>(stats.packets_seen), stream.size()));
+          static_cast<unsigned long long>(stats.packets_seen), replay_stream->size()));
     }
     // Every packet offered to the front-end is filtered, dropped on a full
     // ring, held as an incomplete fragment in the router's reassembler, or

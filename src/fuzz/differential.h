@@ -30,6 +30,14 @@ struct DifferentialConfig {
   /// Leave empty to keep the built-in C++ ruleset. DSL parity tests use
   /// this to prove compiled rules are topology-invariant too.
   std::function<std::vector<core::RulePtr>()> make_rules;
+  /// Pcap-replay mode: export the stream to an in-memory pcap file, read it
+  /// back, and require (a) byte- and timestamp-identical packets, (b) an
+  /// identical alert multiset from a second single engine fed the reimported
+  /// stream. The sharded engines then consume the *reimported* stream, so
+  /// the whole oracle also proves capture-file replay is losslessly
+  /// detection-equivalent. Streams must have non-negative timestamps (the
+  /// wire format cannot represent negatives).
+  bool pcap_roundtrip = false;
   /// When non-zero, call ShardedEngine::rebalance() every this-many packets
   /// during replay. The rebalancer migrates whole sessions between shards;
   /// the oracle's identical-alert-multiset check then also proves migration

@@ -1,8 +1,10 @@
 #include "fuzz/fuzz_targets.h"
 
 #include <span>
+#include <sstream>
 #include <string_view>
 
+#include "capture/pcap.h"
 #include "pkt/fragment.h"
 #include "rtp/rtcp.h"
 #include "rtp/rtp.h"
@@ -153,6 +155,43 @@ int fuzz_ruledsl(const uint8_t* data, size_t size) {
       }
     }
     (void)rule->state_entries();
+  }
+  return 0;
+}
+
+int fuzz_pcap(const uint8_t* data, size_t size) {
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data), size),
+                        std::ios::binary);
+  capture::PcapFileSource source(in);
+
+  // Bounded drain: packets are kept only up to a byte budget so oversized
+  // (but in-bounds) captures cannot balloon memory.
+  std::vector<pkt::Packet> kept;
+  size_t kept_bytes = 0;
+  pkt::Packet packet;
+  while (source.next(&packet)) {
+    if (kept_bytes + packet.data.size() <= (1u << 21)) {
+      kept_bytes += packet.data.size();
+      kept.push_back(std::move(packet));
+    }
+  }
+  (void)source.error();
+  if (!source.ok() || kept.empty()) return 0;
+
+  // The stream decoded cleanly: re-export the packets under both link types
+  // and re-read each. The writer is total over any decoded packet, and the
+  // reader must accept everything the writer emits.
+  for (capture::PcapLinkType link :
+       {capture::PcapLinkType::kRaw, capture::PcapLinkType::kEthernet}) {
+    std::ostringstream out(std::ios::binary);
+    capture::PcapWriter writer(out, {.link = link});
+    for (const pkt::Packet& p : kept) writer.write(p);
+    std::istringstream back(out.str(), std::ios::binary);
+    capture::PcapReader reader(back);
+    pkt::Packet again;
+    uint64_t reread = 0;
+    while (reader.next(&again)) ++reread;
+    if (!reader.error().empty() || reread != kept.size()) __builtin_trap();
   }
   return 0;
 }

@@ -49,6 +49,13 @@ int fuzz_engine(const uint8_t* data, size_t size);
 /// synthetic event sweep so fuzzer-shaped rules exercise the interpreter.
 int fuzz_ruledsl(const uint8_t* data, size_t size);
 
+/// Pcap file decoder: the raw input is read as a capture file (global
+/// header, record headers, bodies). Exercises truncated/oversized record
+/// lengths, snaplen lies, malformed global headers, both byte orders and
+/// both supported link types. When the stream decodes cleanly, the decoded
+/// packets are re-exported under both link types and re-read (round trip).
+int fuzz_pcap(const uint8_t* data, size_t size);
+
 struct FuzzTarget {
   const char* name;
   int (*fn)(const uint8_t*, size_t);
@@ -64,6 +71,7 @@ constexpr FuzzTarget kFuzzTargets[] = {
     {"distiller", fuzz_distiller},
     {"engine", fuzz_engine},
     {"ruledsl", fuzz_ruledsl},
+    {"pcap", fuzz_pcap},
 };
 
 }  // namespace scidive::fuzz

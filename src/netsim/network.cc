@@ -76,7 +76,11 @@ void Network::transmit(const LinkConfig& uplink, bool& burst_bad, pkt::Packet pa
         continue;
       }
     }
-    if (rng_.chance(uplink.loss)) {
+    // Loss draws are gated on a nonzero probability, like every other fault
+    // knob: zero-probability configs must consume no RNG draws, so the
+    // packet schedule of a fault-free run is independent of which fault
+    // knobs *exist* (export determinism depends on this).
+    if (uplink.loss > 0 && rng_.chance(uplink.loss)) {
       ++stats_.packets_lost;
       continue;
     }
@@ -122,7 +126,7 @@ void Network::deliver_fragment(pkt::Packet fragment) {
   for (auto& a : attachments_) {
     if (a.node->address() != dst) continue;
     // Downlink: hub -> receiver.
-    if (rng_.chance(a.link.loss)) {
+    if (a.link.loss > 0 && rng_.chance(a.link.loss)) {
       ++stats_.packets_lost;
       delivered = true;  // routable, just lost
       continue;
@@ -142,7 +146,7 @@ void Network::deliver_fragment(pkt::Packet fragment) {
     // looped back to it).
     Attachment* gw = find(*gateway_);
     if (gw != nullptr) {
-      if (rng_.chance(gw->link.loss)) {
+      if (gw->link.loss > 0 && rng_.chance(gw->link.loss)) {
         ++stats_.packets_lost;
         return;
       }

@@ -16,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "capture/packet_source.h"
 #include "netsim/network.h"
 #include "obs/alert_ledger.h"
 #include "obs/metrics.h"
@@ -82,6 +83,20 @@ class ScidiveEngine {
   /// A tap suitable for netsim::Network::add_tap.
   netsim::PacketTap tap() {
     return [this](const pkt::Packet& packet) { on_packet(packet); };
+  }
+
+  /// Drive loop over a capture source: pull packets until the source is
+  /// exhausted (pcap EOF, generator cap, or a stopped live source). Returns
+  /// the number of packets fed. Deterministic for deterministic sources:
+  /// the engine state afterward is a pure function of the packet sequence.
+  uint64_t run(capture::PacketSource& source) {
+    pkt::Packet packet;
+    uint64_t fed = 0;
+    while (source.next(&packet)) {
+      on_packet(packet);
+      ++fed;
+    }
+    return fed;
   }
 
   /// Install an additional rule (the ruleset defaults to the paper's).

@@ -127,6 +127,21 @@ class ShardedEngine {
     return [this](const pkt::Packet& packet) { on_packet(packet); };
   }
 
+  /// Drive loop over a capture source through the default producer, then
+  /// flush() — so when this returns, merged alerts/stats/shards are safe to
+  /// read. Flush-deterministic: the post-run state is a pure function of
+  /// the packet sequence (same guarantee the differential oracle pins).
+  uint64_t run(capture::PacketSource& source) {
+    pkt::Packet packet;
+    uint64_t fed = 0;
+    while (source.next(&packet)) {
+      on_packet(std::move(packet));
+      ++fed;
+    }
+    flush();
+    return fed;
+  }
+
   /// Drain every ring and park every worker. After this returns, shard
   /// state is safe to read until the next on_packet call. Producers must be
   /// quiescent (no concurrent on_packet).

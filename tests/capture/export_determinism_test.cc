@@ -1,0 +1,57 @@
+// Regression test for netsim export determinism: zero-probability loss
+// knobs must consume no RNG draws. Before the gating fix, every packet paid
+// a loss draw even at loss = 0.0, so any stochastic delay model downstream
+// of it sampled a shifted RNG stream — and a re-run with a cosmetically
+// different (but still zero) fault configuration produced a different
+// capture. Two same-seed runs must export byte-identical pcaps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "capture/pcap.h"
+#include "pkt/packet.h"
+#include "testbed/testbed.h"
+
+namespace scidive::capture {
+namespace {
+
+/// A stochastic-delay testbed run recorded off the hub. Uniform delays
+/// sample the network RNG on every transmission, so the export is only
+/// reproducible if nothing else consumes draws from the same stream.
+std::string exported_capture(bool extra_tap) {
+  testbed::TestbedConfig cfg;
+  cfg.ids_obs.time_stages = false;
+  cfg.link = {.delay = DelayModel::uniform(msec(1), msec(9)), .loss = 0.0, .mtu = 1500};
+
+  testbed::Testbed tb(cfg);
+  std::ostringstream out(std::ios::binary);
+  PcapWriter writer(out);
+  tb.net().add_tap([&writer](const pkt::Packet& p) { writer.write(p); });
+  size_t observed = 0;
+  if (extra_tap) {
+    // A passive observer must not perturb the capture.
+    tb.net().add_tap([&observed](const pkt::Packet&) { ++observed; });
+  }
+
+  tb.register_all();
+  tb.establish_call(sec(3));
+  tb.run_for(sec(2));
+  if (extra_tap) EXPECT_GT(observed, 0u);
+  return out.str();
+}
+
+TEST(ExportDeterminism, SameSeedUniformDelayRunsExportIdenticalPcaps) {
+  const std::string a = exported_capture(false);
+  const std::string b = exported_capture(false);
+  ASSERT_GT(a.size(), 24u) << "capture should contain records";
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExportDeterminism, PassiveTapDoesNotPerturbTheCapture) {
+  EXPECT_EQ(exported_capture(false), exported_capture(true));
+}
+
+}  // namespace
+}  // namespace scidive::capture

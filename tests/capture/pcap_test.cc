@@ -1,0 +1,297 @@
+// Pcap codec unit tests: byte/timestamp round trips under both link types,
+// every structural-rejection path, foreign-capture tolerance (byte order,
+// nanosecond magic, non-IPv4 frames), and the counted metrics.
+#include "capture/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "capture/packet_source.h"
+#include "obs/metrics.h"
+#include "pkt/packet.h"
+
+namespace scidive::capture {
+namespace {
+
+pkt::Packet make_packet(uint8_t tag, size_t payload_len, SimTime ts) {
+  Bytes payload(payload_len, tag);
+  pkt::Packet p = pkt::make_udp_packet({pkt::Ipv4Address(10, 0, 0, 1), 5060},
+                                       {pkt::Ipv4Address(10, 0, 0, 2), 5060}, payload);
+  p.timestamp = ts;
+  return p;
+}
+
+std::vector<pkt::Packet> sample_stream() {
+  return {
+      make_packet(0x11, 40, 1500),                    // sub-second
+      make_packet(0x22, 0, kSecond),                  // exactly 1s, empty payload
+      make_packet(0x33, 1200, 3 * kSecond + 999999),  // sub-second edge
+  };
+}
+
+std::string export_stream(const std::vector<pkt::Packet>& stream, PcapWriterOptions opt) {
+  std::ostringstream out(std::ios::binary);
+  PcapWriter writer(out, opt);
+  for (const auto& p : stream) writer.write(p);
+  return out.str();
+}
+
+void put32(std::string& s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put16(std::string& s, uint16_t v) {
+  s.push_back(static_cast<char>(v & 0xff));
+  s.push_back(static_cast<char>(v >> 8));
+}
+std::string global_header(uint32_t magic = 0xa1b2c3d4, uint16_t major = 2,
+                          uint32_t snaplen = 65535, uint32_t link = 101) {
+  std::string h;
+  put32(h, magic);
+  put16(h, major);
+  put16(h, 4);
+  put32(h, 0);
+  put32(h, 0);
+  put32(h, snaplen);
+  put32(h, link);
+  return h;
+}
+
+TEST(Pcap, RawRoundTripIsByteAndTimestampIdentical) {
+  for (PcapLinkType link : {PcapLinkType::kRaw, PcapLinkType::kEthernet}) {
+    const auto stream = sample_stream();
+    std::istringstream in(export_stream(stream, {.link = link}), std::ios::binary);
+    PcapFileSource source(in);
+    const auto back = read_all(source);
+    ASSERT_TRUE(source.ok()) << source.error();
+    ASSERT_EQ(back.size(), stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_EQ(back[i].data, stream[i].data) << "packet " << i;
+      EXPECT_EQ(back[i].timestamp, stream[i].timestamp) << "packet " << i;
+    }
+  }
+}
+
+TEST(Pcap, WriterIsDeterministic) {
+  const auto stream = sample_stream();
+  EXPECT_EQ(export_stream(stream, {}), export_stream(stream, {}));
+}
+
+TEST(Pcap, EthernetHeaderIsRecognizableAndStripped) {
+  const auto stream = sample_stream();
+  const std::string file = export_stream(stream, {.link = PcapLinkType::kEthernet});
+  // Record 1 payload starts after 24 (global) + 16 (record) bytes: the
+  // synthetic MAC spells "SCIDV" with the locally-administered bit.
+  ASSERT_GT(file.size(), 24u + 16u + 14u);
+  EXPECT_EQ(static_cast<uint8_t>(file[40]), 0x02);
+  EXPECT_EQ(file.substr(41, 5), "SCIDV");
+}
+
+TEST(Pcap, NonIpv4EthernetFramesAreSkippedAndCounted) {
+  std::string file = global_header(0xa1b2c3d4, 2, 65535, 1);
+  // One ARP frame (ethertype 0x0806), one runt, one IPv4 frame.
+  std::string arp(12, '\0');
+  arp += '\x08';
+  arp += '\x06';
+  arp.append(28, 'a');
+  put32(file, 1);
+  put32(file, 0);
+  put32(file, static_cast<uint32_t>(arp.size()));
+  put32(file, static_cast<uint32_t>(arp.size()));
+  file += arp;
+  put32(file, 1);
+  put32(file, 1);
+  put32(file, 6);
+  put32(file, 6);
+  file.append(6, 'r');
+  const pkt::Packet ip_packet = make_packet(0x44, 20, 2 * kSecond);
+  std::string eth(
+      "\x02SCIDV\x02SCID\x00\x08\x00", 14);
+  eth.append(ip_packet.data.begin(), ip_packet.data.end());
+  put32(file, 2);
+  put32(file, 0);
+  put32(file, static_cast<uint32_t>(eth.size()));
+  put32(file, static_cast<uint32_t>(eth.size()));
+  file += eth;
+
+  obs::MetricsRegistry metrics;
+  std::istringstream in(file, std::ios::binary);
+  PcapFileSource source(in, {.metrics = &metrics});
+  const auto back = read_all(source);
+  ASSERT_TRUE(source.ok()) << source.error();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].data, ip_packet.data);
+  EXPECT_EQ(source.reader().stats().records_skipped, 2u);
+  auto snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counter_value("scidive_capture_packets_total",
+                                   {{"source", "pcap"}}),
+            1u);
+  EXPECT_EQ(snapshot.counter_value("scidive_capture_drops_total",
+                                   {{"reason", "non_ip"}, {"source", "pcap"}}),
+            2u);
+}
+
+TEST(Pcap, RejectsBadMagicVersionAndLinkType) {
+  for (const std::string& file :
+       {std::string("\xde\xad\xbe\xef") + std::string(20, '\0'),  // magic
+        global_header(0xa1b2c3d4, 7),                             // version
+        global_header(0xa1b2c3d4, 2, 65535, 113)}) {              // SLL link
+    std::istringstream in(file, std::ios::binary);
+    PcapFileSource source(in);
+    pkt::Packet p;
+    EXPECT_FALSE(source.next(&p));
+    EXPECT_FALSE(source.ok());
+    EXPECT_FALSE(source.error().empty());
+  }
+}
+
+TEST(Pcap, RejectsTruncatedGlobalHeaderAndEmptyInput) {
+  for (const std::string& file : {std::string(), global_header().substr(0, 11)}) {
+    std::istringstream in(file, std::ios::binary);
+    PcapReader reader(in);
+    EXPECT_FALSE(reader.header_ok());
+    EXPECT_FALSE(reader.error().empty());
+  }
+}
+
+TEST(Pcap, RejectsSnaplenLieOversizedClaimAndTruncatedBody) {
+  struct Case {
+    std::string name;
+    std::string file;
+  };
+  std::vector<Case> cases;
+  {
+    std::string f = global_header(0xa1b2c3d4, 2, /*snaplen=*/64);
+    put32(f, 1);
+    put32(f, 0);
+    put32(f, 4096);  // incl_len over the declared snaplen
+    put32(f, 4096);
+    cases.push_back({"snaplen lie", f});
+  }
+  {
+    std::string f = global_header(0xa1b2c3d4, 2, /*snaplen=*/0);
+    put32(f, 1);
+    put32(f, 0);
+    put32(f, 0x7fffffff);  // over the 1 MiB hard cap
+    put32(f, 0x7fffffff);
+    cases.push_back({"oversized claim", f});
+  }
+  {
+    std::string f = global_header();
+    put32(f, 1);
+    put32(f, 0);
+    put32(f, 64);
+    put32(f, 64);
+    f += "short";
+    cases.push_back({"truncated body", f});
+  }
+  {
+    std::string f = global_header();
+    f += "\x01\x02\x03";  // torn record header
+    cases.push_back({"truncated record header", f});
+  }
+  for (const Case& c : cases) {
+    obs::MetricsRegistry metrics;
+    std::istringstream in(c.file, std::ios::binary);
+    PcapFileSource source(in, {.metrics = &metrics});
+    pkt::Packet p;
+    EXPECT_FALSE(source.next(&p)) << c.name;
+    EXPECT_FALSE(source.error().empty()) << c.name;
+    EXPECT_EQ(metrics.snapshot().counter_value(
+                  "scidive_capture_drops_total",
+                  {{"reason", "malformed"}, {"source", "pcap"}}),
+              1u)
+        << c.name;
+  }
+}
+
+TEST(Pcap, ReadsSwappedAndNanosecondCaptures) {
+  // Big-endian nanosecond file built by hand: magic 0xa1b23c4d written
+  // big-endian, one 4-byte record at t = 5s + 250000us (sub field in ns).
+  std::string f;
+  auto put32be = [&f](uint32_t v) {
+    for (int i = 3; i >= 0; --i) f.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  auto put16be = [&f](uint16_t v) {
+    f.push_back(static_cast<char>(v >> 8));
+    f.push_back(static_cast<char>(v & 0xff));
+  };
+  put32be(0xa1b23c4d);
+  put16be(2);
+  put16be(4);
+  put32be(0);
+  put32be(0);
+  put32be(65535);
+  put32be(101);
+  put32be(5);
+  put32be(250000000);  // ns
+  put32be(4);
+  put32be(4);
+  f += "data";
+
+  std::istringstream in(f, std::ios::binary);
+  PcapFileSource source(in);
+  const auto back = read_all(source);
+  ASSERT_TRUE(source.ok()) << source.error();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].timestamp, 5 * kSecond + 250000);
+  EXPECT_EQ(back[0].data, (Bytes{'d', 'a', 't', 'a'}));
+}
+
+TEST(Pcap, SnaplenTruncationIsCounted) {
+  std::ostringstream out(std::ios::binary);
+  PcapWriter writer(out, {.link = PcapLinkType::kRaw, .snaplen = 64});
+  writer.write(make_packet(0x55, 500, 1000));
+  std::istringstream in(out.str(), std::ios::binary);
+  PcapReader reader(in);
+  pkt::Packet p;
+  ASSERT_TRUE(reader.next(&p));
+  EXPECT_EQ(p.data.size(), 64u);
+  EXPECT_EQ(reader.stats().records_truncated, 1u);
+  EXPECT_FALSE(reader.next(&p));
+  EXPECT_TRUE(reader.error().empty());  // clean EOF, not an error
+}
+
+TEST(Pcap, FileConstructorsRoundTripThroughDisk) {
+  const std::string path =
+      ::testing::TempDir() + "/scidive_pcap_roundtrip_test.pcap";
+  const auto stream = sample_stream();
+  {
+    PcapFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    for (const auto& p : stream) sink.write(p);
+    EXPECT_EQ(sink.packets_written(), stream.size());
+  }
+  PcapFileSource source(path);
+  ASSERT_TRUE(source.ok()) << source.error();
+  const auto back = read_all(source);
+  ASSERT_EQ(back.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(back[i].data, stream[i].data);
+    EXPECT_EQ(back[i].timestamp, stream[i].timestamp);
+  }
+  std::remove(path.c_str());
+
+  PcapFileSource missing(path + ".does-not-exist");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_FALSE(missing.error().empty());
+}
+
+TEST(Pcap, NegativeTimestampsAreClampedNotCorrupted) {
+  pkt::Packet p = make_packet(0x66, 8, -5);
+  std::ostringstream out(std::ios::binary);
+  PcapWriter writer(out);
+  writer.write(p);
+  std::istringstream in(out.str(), std::ios::binary);
+  PcapReader reader(in);
+  pkt::Packet back;
+  ASSERT_TRUE(reader.next(&back));
+  EXPECT_EQ(back.timestamp, 0);
+  EXPECT_EQ(back.data, p.data);
+}
+
+}  // namespace
+}  // namespace scidive::capture

@@ -1,0 +1,146 @@
+// UdpSocketSource live-capture tests. These open real loopback sockets;
+// every test skips cleanly when the environment forbids that (sandboxed CI
+// without network namespaces).
+#include "capture/udp_source.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capture/packet_source.h"
+#include "obs/metrics.h"
+#include "pkt/packet.h"
+
+namespace scidive::capture {
+namespace {
+
+class LoopbackClient {
+ public:
+  LoopbackClient() { fd_ = ::socket(AF_INET, SOCK_DGRAM, 0); }
+  ~LoopbackClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool send(uint16_t port, const std::string& payload) {
+    sockaddr_in dst{};
+    dst.sin_family = AF_INET;
+    dst.sin_port = htons(port);
+    dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::sendto(fd_, payload.data(), payload.size(), 0,
+                    reinterpret_cast<sockaddr*>(&dst),
+                    sizeof(dst)) == static_cast<ssize_t>(payload.size());
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+UdpSourceConfig loopback_config() {
+  UdpSourceConfig config;
+  config.bind_address = "127.0.0.1";
+  config.port = 0;  // ephemeral
+  return config;
+}
+
+TEST(UdpSource, ReceivesDatagramsAsIpv4UdpPackets) {
+  UdpSourceConfig config = loopback_config();
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  UdpSocketSource source(config);
+  if (!source.ok()) GTEST_SKIP() << "cannot bind loopback: " << source.error();
+  LoopbackClient client;
+  if (!client.ok()) GTEST_SKIP() << "cannot open client socket";
+
+  const uint16_t port = source.local_endpoint().port;
+  ASSERT_NE(port, 0);
+  const std::string payload = "OPTIONS sip:probe@lab.net SIP/2.0\r\n\r\n";
+  ASSERT_TRUE(client.send(port, payload));
+
+  pkt::Packet p;
+  ASSERT_TRUE(source.next(&p));  // blocking mode waits for the datagram
+  // The payload is wrapped in a synthetic IPv4/UDP datagram addressed to
+  // the bound socket; re-parse it to prove the wrapping is well-formed.
+  auto datagram = pkt::parse_udp_packet(p.data);
+  ASSERT_TRUE(datagram.ok());
+  EXPECT_EQ(datagram.value().dst_port, port);
+  EXPECT_EQ(std::string(datagram.value().payload.begin(),
+                        datagram.value().payload.end()),
+            payload);
+  EXPECT_EQ(source.packets_received(), 1u);
+  EXPECT_EQ(source.packets_dropped(), 0u);
+  EXPECT_EQ(metrics.snapshot().counter_value("scidive_capture_packets_total",
+                                             {{"source", "udp"}}),
+            1u);
+
+  source.stop();
+  EXPECT_FALSE(source.next(&p));  // drained and stopped
+}
+
+TEST(UdpSource, PollingModeReturnsFalseOnEmptyRing) {
+  UdpSourceConfig config = loopback_config();
+  config.blocking = false;
+  UdpSocketSource source(config);
+  if (!source.ok()) GTEST_SKIP() << "cannot bind loopback: " << source.error();
+  pkt::Packet p;
+  EXPECT_FALSE(source.next(&p));
+
+  LoopbackClient client;
+  if (!client.ok()) GTEST_SKIP() << "cannot open client socket";
+  ASSERT_TRUE(client.send(source.local_endpoint().port, "ping"));
+  // Poll until the reader thread lands it in the ring.
+  bool got = false;
+  for (int i = 0; i < 500 && !got; ++i) {
+    got = source.next(&p);
+    if (!got) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(got);
+  source.stop();
+}
+
+TEST(UdpSource, StopDrainsPendingPacketsFirst) {
+  UdpSourceConfig config = loopback_config();
+  UdpSocketSource source(config);
+  if (!source.ok()) GTEST_SKIP() << "cannot bind loopback: " << source.error();
+  LoopbackClient client;
+  if (!client.ok()) GTEST_SKIP() << "cannot open client socket";
+
+  const uint16_t port = source.local_endpoint().port;
+  const int kCount = 16;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(client.send(port, "msg-" + std::to_string(i)));
+  }
+  // Wait until the reader thread has pulled everything off the kernel.
+  for (int i = 0; i < 500 && source.packets_received() < kCount; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(source.packets_received(), static_cast<uint64_t>(kCount));
+  source.stop();
+  int drained = 0;
+  pkt::Packet p;
+  while (source.next(&p)) ++drained;
+  EXPECT_EQ(drained, kCount);
+  EXPECT_FALSE(source.next(&p));  // false forever after the drain
+}
+
+TEST(UdpSource, ReportsBindFailure) {
+  UdpSourceConfig config;
+  config.bind_address = "203.0.113.7";  // TEST-NET-3, never local
+  config.port = 5060;
+  UdpSocketSource source(config);
+  EXPECT_FALSE(source.ok());
+  EXPECT_FALSE(source.error().empty());
+  pkt::Packet p;
+  EXPECT_FALSE(source.next(&p));
+}
+
+}  // namespace
+}  // namespace scidive::capture

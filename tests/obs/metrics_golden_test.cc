@@ -13,7 +13,11 @@
 #include <sstream>
 #include <string>
 
+#include "capture/carrier_mix.h"
+#include "capture/packet_source.h"
+#include "capture/pcap.h"
 #include "obs/metrics.h"
+#include "pkt/packet.h"
 #include "testbed/testbed.h"
 
 namespace scidive::obs {
@@ -60,6 +64,27 @@ Snapshot four_attacks_snapshot() {
     tb.inject_rtp_flood(30);
     tb.run_for(sec(1));
     merged.merge(tb.ids().metrics_snapshot());
+  }
+  {
+    // Capture-subsystem instruments: generate a small carrier-mix stream,
+    // round-trip it through an in-memory pcap, both ends instrumented into
+    // one registry. Fully deterministic (counter-based PRNG, no wall clock),
+    // so the capture counters pin alongside the detection ones.
+    MetricsRegistry capture_metrics;
+    capture::CarrierMixConfig mix;
+    mix.provisioned_users = 1000;
+    mix.max_packets = 500;
+    mix.metrics = &capture_metrics;
+    capture::CarrierMixSource source(mix);
+    std::ostringstream exported(std::ios::binary);
+    capture::PcapWriter writer(exported);
+    capture::drain(source, [&writer](const pkt::Packet& p) { writer.write(p); });
+    std::istringstream back(exported.str(), std::ios::binary);
+    capture::PcapFileSource reimport(back, {.metrics = &capture_metrics});
+    pkt::Packet p;
+    while (reimport.next(&p)) {
+    }
+    merged.merge(capture_metrics.snapshot());
   }
   return merged;
 }
