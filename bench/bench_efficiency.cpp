@@ -404,6 +404,57 @@ void BM_EngineRtpPacketAllocs(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRtpPacketAllocs)->Arg(0)->Arg(1);
 
+/// The inline-prevention variant of the RTP hot path: enforcement mode
+/// kInline with the prevention ruleset installed and a standing rate limit
+/// armed on the media source, so every packet takes the full decision path
+/// — block-list lookup, token-bucket charge, pending-verdict fold — on top
+/// of detection. The decision layer is FlatMap lookups and token arithmetic
+/// only; steady state must stay at zero allocs/op like the passive path.
+void BM_EngineRtpVerdictAllocs(benchmark::State& state) {
+  core::EngineConfig config;
+  config.obs.time_stages = false;
+  config.enforce.mode = core::EnforcementMode::kInline;
+  config.rules.spit_graylist = true;
+  core::ScidiveEngine engine(config);
+  establish_bench_call(engine);
+
+  // Graylist the media source so the bucket-charge branch (not just the
+  // miss path) is what gets measured.
+  core::Verdict graylist;
+  graylist.rule = "bench-graylist";
+  graylist.action = core::VerdictAction::kRateLimit;
+  graylist.endpoint = kBMedia;
+  graylist.time = msec(50);
+  engine.enforcer()->apply(graylist);
+
+  pkt::Packet p = make_rtp_pkt(0);
+  disable_udp_checksum(p);
+  uint16_t seq = 0;
+  SimTime now = msec(100);
+  for (int i = 0; i < 1000; ++i) {
+    ++seq;
+    p.data[kRtpSeqOffset] = static_cast<uint8_t>(seq >> 8);
+    p.data[kRtpSeqOffset + 1] = static_cast<uint8_t>(seq & 0xff);
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    ++seq;
+    p.data[kRtpSeqOffset] = static_cast<uint8_t>(seq >> 8);
+    p.data[kRtpSeqOffset + 1] = static_cast<uint8_t>(seq & 0xff);
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+  uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const uint64_t limited = engine.decisions(core::VerdictAction::kRateLimit);
+  state.SetLabel(limited > 0 ? "decisions=limiting" : "decisions=pass-only");
+}
+BENCHMARK(BM_EngineRtpVerdictAllocs);
+
 void BM_EngineGarbagePacket(benchmark::State& state) {
   core::ScidiveEngine engine;
   Bytes garbage(200, 0xa5);

@@ -133,8 +133,9 @@ void patch_seq(pkt::Packet& p, uint16_t seq) {
   p.data[kRtpSeqOffset + 1] = static_cast<uint8_t>(seq & 0xff);
 }
 
-RunResult run_single(SessionPlan& plan, int packets) {
-  core::ScidiveEngine engine;
+RunResult run_single(SessionPlan& plan, int packets,
+                     const core::EngineConfig& config = {}) {
+  core::ScidiveEngine engine(config);
   for (const auto& p : plan.signaling) engine.on_packet(p);
   auto start = std::chrono::steady_clock::now();
   SimTime now = sec(1);
@@ -210,6 +211,42 @@ int main() {
     snprintf(row, sizeof(row),
              "    %s{\"workload\": \"rtp_steady\", \"sessions\": %d, \"packets\": %d, \"pkts_per_sec\": %.0f, \"alerts\": %llu}",
              first ? "" : ",", k, kPackets, r.pps, (unsigned long long)r.alerts);
+    json += row;
+    json += "\n";
+    first = false;
+  }
+  json += "  ],\n  \"inline_mode\": [\n";
+
+  printf("\nEnforcement-mode overhead at 5000 sessions (single engine)\n");
+  printf("==========================================================\n\n");
+  printf("%-8s | %-14s | %-12s | %-12s\n", "mode", "wall time", "pkts/sec",
+         "overhead");
+  printf("------------------------------------------------------\n");
+
+  // Per-packet cost of the verdict layer: off = no decision path at all;
+  // passive/inline run the identical decide() (block-list + rate-limiter
+  // lookups per packet) and differ only in what callers do with the answer,
+  // so their rows should sit on top of each other. check_speedup.py gates
+  // the inline row's overhead against the off baseline.
+  first = true;
+  double off_pps = 0;
+  for (core::EnforcementMode mode :
+       {core::EnforcementMode::kOff, core::EnforcementMode::kPassive,
+        core::EnforcementMode::kInline}) {
+    auto plan = build_plan(5000);
+    core::EngineConfig config;
+    config.enforce.mode = mode;
+    RunResult r = run_single(plan, kPackets, config);
+    if (mode == core::EnforcementMode::kOff) off_pps = r.pps;
+    const double overhead = off_pps > 0 ? 1.0 - r.pps / off_pps : 0.0;
+    const std::string name(core::enforcement_mode_name(mode));
+    printf("%-8s | %11.3f s | %12.0f | %10.1f %%\n", name.c_str(), r.elapsed, r.pps,
+           overhead * 100.0);
+    char row[220];
+    snprintf(row, sizeof(row),
+             "    %s{\"workload\": \"rtp_steady\", \"mode\": \"%s\", \"sessions\": 5000, "
+             "\"packets\": %d, \"pkts_per_sec\": %.0f, \"overhead_vs_off\": %.4f}",
+             first ? "" : ",", name.c_str(), kPackets, r.pps, overhead);
     json += row;
     json += "\n";
     first = false;

@@ -8,10 +8,13 @@ Run the alloc-counting benchmarks with google-benchmark's JSON reporter:
     python3 scripts/check_allocs.py allocs.json
 
 The guarded benchmarks measure steady-state allocations per operation on
-the RTP hot path. BM_TrailRouteRtpAllocs (both metric arms) and
-BM_EngineRtpPacketAllocs (builtin and DSL rulesets) must stay at zero:
-the session arena + flat-map + interner layer exists precisely so that
-an in-session packet allocates nothing. A small epsilon absorbs one-time
+the RTP hot path. BM_TrailRouteRtpAllocs (both metric arms),
+BM_EngineRtpPacketAllocs (builtin and DSL rulesets) and
+BM_EngineRtpVerdictAllocs (inline enforcement: block-list lookup +
+token-bucket charge per packet) must stay at zero: the session arena +
+flat-map + interner layer exists precisely so that an in-session packet
+allocates nothing, and the enforcement decision path is FlatMaps and
+token arithmetic on top of it. A small epsilon absorbs one-time
 noise that leaks past warm-up (a rare flat-map rehash amortised over
 millions of iterations lands around 1e-6 allocs/op).
 
@@ -35,6 +38,7 @@ GUARDED = [
     "BM_TrailRouteRtpAllocs",
     "BM_TrailAddRtpAllocs",
     "BM_EngineRtpPacketAllocs",
+    "BM_EngineRtpVerdictAllocs",
 ]
 
 

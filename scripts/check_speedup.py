@@ -9,11 +9,19 @@ Reads the "multicore" section (pinned workers, 50k sessions) and fails when:
   * or any gated row dropped packets (a drop invalidates the throughput
     number: the engine did not process the offered load).
 
+Also gates the "inline_mode" section (enforcement-mode overhead, single
+engine at 5000 sessions): the inline and passive rows must stay within
+--max-inline-overhead (default 40%) of the enforcement-off baseline. This
+comparison is two single-threaded runs on the same machine, so it runs at
+every hardware-thread count.
+
 On a runner with fewer than 4 hardware threads every sharded row measures
-queue overhead, not scaling, so the check degrades to a warning and exits 0 —
-the multicore CI job (>= 4 vCPUs) is the authoritative execution.
+queue overhead, not scaling, so the multicore check degrades to a warning
+and (if the inline gate passed) exits 0 — the multicore CI job (>= 4 vCPUs)
+is the authoritative execution.
 
 Usage: check_speedup.py bench_scalability.json [--min-speedup 2.0]
+    [--max-inline-overhead 0.4]
 """
 
 import argparse
@@ -26,12 +34,42 @@ def main() -> int:
     parser.add_argument("results", help="bench_scalability.json")
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="required 4-worker speedup vs single engine")
+    parser.add_argument("--max-inline-overhead", type=float, default=0.4,
+                        help="ceiling on passive/inline throughput overhead "
+                             "vs enforcement-off (fraction)")
     args = parser.parse_args()
 
     with open(args.results) as f:
         data = json.load(f)
 
     hw = int(data.get("hardware_threads", 0))
+
+    # Enforcement-overhead gate: hardware-thread-independent (same-machine
+    # single-engine ratio), so it runs before any multicore skip.
+    inline_failures = []
+    modes = {r.get("mode"): r for r in data.get("inline_mode", [])
+             if r.get("workload", "rtp_steady") == "rtp_steady"}
+    if not modes:
+        inline_failures.append(
+            "no 'inline_mode' section in results "
+            "(bench_scalability predates the enforcement-overhead mode?)")
+    else:
+        for mode in ("off", "passive", "inline"):
+            if mode not in modes:
+                inline_failures.append(f"inline_mode section lacks a "
+                                       f"'{mode}' row")
+        for mode in ("passive", "inline"):
+            if mode not in modes or "off" not in modes:
+                continue
+            overhead = float(modes[mode].get("overhead_vs_off", 1.0))
+            print(f"enforcement {mode}: "
+                  f"{modes[mode].get('pkts_per_sec', 0):.0f} pkts/s, "
+                  f"{overhead * 100:.1f}% overhead vs off")
+            if overhead > args.max_inline_overhead:
+                inline_failures.append(
+                    f"enforcement-{mode} overhead {overhead * 100:.1f}% "
+                    f"exceeds the {args.max_inline_overhead * 100:.0f}% "
+                    f"ceiling")
     # Only the steady-RTP rows are comparable against the single-engine
     # baseline; carrier_mix rows (mixed signaling/media, lazy session churn)
     # are capacity data, not a scaling gate. Rows predating the workload tag
@@ -47,9 +85,11 @@ def main() -> int:
         print(f"WARNING: runner has {hw} hardware threads; multicore scaling "
               "is unmeasurable here. Skipping (CI multicore job is "
               "authoritative).")
-        return 0
+        for f_msg in inline_failures:
+            print(f"FAIL: {f_msg}")
+        return 1 if inline_failures else 0
 
-    failures = []
+    failures = list(inline_failures)
     four = None
     for row in rows:
         shards = int(row["shards"])

@@ -55,6 +55,9 @@ CarrierMixSource::CarrierMixSource(CarrierMixConfig config) : config_(std::move(
   if (config_.register_rate_hz > 0) {
     schedule(now_ + arrival_gap(config_.register_rate_hz), EventKind::kRegArrival);
   }
+  if (config_.spit_callers > 0 && config_.spit_call_rate_hz > 0) {
+    schedule(now_ + arrival_gap(config_.spit_call_rate_hz), EventKind::kSpitArrival);
+  }
 }
 
 // --- counter-based PRNG ---------------------------------------------------
@@ -148,6 +151,8 @@ bool CarrierMixSource::next(pkt::Packet* out) {
       case EventKind::kImOk: produced = on_im_ok(e.slot, out); break;
       case EventKind::kRegArrival: produced = on_reg_arrival(out); break;
       case EventKind::kRegStep: produced = on_reg_step(e.slot, out); break;
+      case EventKind::kSpitArrival: produced = on_spit_arrival(out); break;
+      case EventKind::kSpitCancel: produced = on_spit_cancel(e.slot, out); break;
     }
     if (produced) return true;
   }
@@ -190,6 +195,16 @@ uint32_t CarrierMixSource::alloc_im() {
   }
   ims_.emplace_back();
   return static_cast<uint32_t>(ims_.size() - 1);
+}
+
+uint32_t CarrierMixSource::alloc_spit() {
+  if (!free_spits_.empty()) {
+    const uint32_t slot = free_spits_.back();
+    free_spits_.pop_back();
+    return slot;
+  }
+  spits_.emplace_back();
+  return static_cast<uint32_t>(spits_.size() - 1);
 }
 
 // --- calls ----------------------------------------------------------------
@@ -711,6 +726,90 @@ bool CarrierMixSource::on_reg_step(uint32_t slot, pkt::Packet* out) {
     verdict.headers().add("Expires", "3600");
   }
   finish(std::move(verdict), /*from_proxy=*/true, /*done=*/true);
+  return true;
+}
+
+// --- SPIT cohort ----------------------------------------------------------
+
+pkt::Ipv4Address CarrierMixSource::spit_addr(uint32_t k) {
+  // 172.16/12: disjoint from the 10/8 user space and the 192.168.0.1 proxy,
+  // so blocking a spammer's source can never collateral-damage a subscriber.
+  return pkt::Ipv4Address((172u << 24) | (16u << 16) | (k + 1));
+}
+
+std::string CarrierMixSource::spit_aor(uint32_t k) {
+  return str::format("spit%u@%s", k, kDomain);
+}
+
+bool CarrierMixSource::on_spit_arrival(pkt::Packet* out) {
+  schedule(now_ + arrival_gap(config_.spit_call_rate_hz), EventKind::kSpitArrival);
+
+  const uint32_t spammer = static_cast<uint32_t>(draw_below(config_.spit_callers));
+  const uint32_t victim = static_cast<uint32_t>(draw_below(config_.provisioned_users));
+
+  const uint32_t slot = alloc_spit();
+  SpitAttempt& at = spits_[slot];
+  at.spammer = spammer;
+  at.victim = victim;
+  at.id = spit_counter_++;
+  at.free = false;
+  ++spit_attempts_;
+
+  const pkt::Ipv4Address src = spit_addr(spammer);
+  const std::string aor = spit_aor(spammer);
+  auto invite = sip::SipMessage::request(
+      sip::Method::kInvite, sip::SipUri(std::string(user_name(victim)), kDomain));
+  invite.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-sp%llu",
+                                          src.to_string().c_str(), kSipPort,
+                                          static_cast<unsigned long long>(at.id)));
+  invite.headers().add("Max-Forwards", "70");
+  invite.headers().add("From", str::format("<sip:%s>;tag=s%llu", aor.c_str(),
+                                           static_cast<unsigned long long>(at.id)));
+  invite.headers().add("To", str::format("<sip:%.*s>",
+                                         static_cast<int>(user_aor(victim).size()),
+                                         user_aor(victim).data()));
+  invite.headers().add("Call-ID",
+                       str::format("spit-%llu", static_cast<unsigned long long>(at.id)));
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", str::format("<sip:spit%u@%s:%u>", spammer,
+                                              src.to_string().c_str(), kSipPort));
+  invite.set_body(
+      sip::make_audio_sdp(src.to_string(), static_cast<uint16_t>(17000 + spammer * 2),
+                          at.id + 1, 1)
+          .to_string(),
+      "application/sdp");
+
+  schedule(now_ + config_.spit_hold, EventKind::kSpitCancel, slot);
+  emit(make_sip(0, {src, kSipPort}, {user_addr(victim), kSipPort}, invite.to_string()), out);
+  return true;
+}
+
+bool CarrierMixSource::on_spit_cancel(uint32_t slot, pkt::Packet* out) {
+  SpitAttempt& at = spits_[slot];
+  if (at.free) return false;
+  const pkt::Ipv4Address src = spit_addr(at.spammer);
+  const std::string aor = spit_aor(at.spammer);
+
+  auto cancel = sip::SipMessage::request(
+      sip::Method::kCancel, sip::SipUri(std::string(user_name(at.victim)), kDomain));
+  cancel.headers().add("Via", str::format("SIP/2.0/UDP %s:%u;branch=z9hG4bK-sp%llu",
+                                          src.to_string().c_str(), kSipPort,
+                                          static_cast<unsigned long long>(at.id)));
+  cancel.headers().add("Max-Forwards", "70");
+  cancel.headers().add("From", str::format("<sip:%s>;tag=s%llu", aor.c_str(),
+                                           static_cast<unsigned long long>(at.id)));
+  cancel.headers().add("To", str::format("<sip:%.*s>",
+                                         static_cast<int>(user_aor(at.victim).size()),
+                                         user_aor(at.victim).data()));
+  cancel.headers().add("Call-ID",
+                       str::format("spit-%llu", static_cast<unsigned long long>(at.id)));
+  cancel.headers().add("CSeq", "1 CANCEL");
+
+  const uint32_t victim = at.victim;
+  at.free = true;
+  free_spits_.push_back(slot);
+  ++spit_cancels_;
+  emit(make_sip(0, {src, kSipPort}, {user_addr(victim), kSipPort}, cancel.to_string()), out);
   return true;
 }
 

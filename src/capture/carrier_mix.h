@@ -62,6 +62,16 @@ struct CarrierMixConfig {
   double diurnal_amplitude = 0.0;
   SimDuration diurnal_period = sec(600);
 
+  /// SPIT spam cohort riding on the benign mix (0 disables). This many
+  /// dedicated spam identities (addresses in 172.16/12, AORs
+  /// "spit<k>@carrier.example") place call attempts as one Poisson process
+  /// at spit_call_rate_hz total across the cohort; each attempt rings for
+  /// spit_hold and is then CANCELled — the ring-and-abandon shape the SPIT
+  /// graylisting rule keys on, with victims drawn from the benign users.
+  size_t spit_callers = 0;
+  double spit_call_rate_hz = 5.0;
+  SimDuration spit_hold = msec(400);
+
   /// Hard bound on concurrent calls: arrivals beyond it are skipped and
   /// counted, so memory stays bounded no matter the rate/hold product.
   size_t max_active_calls = 65536;
@@ -89,6 +99,10 @@ class CarrierMixSource : public PacketSource {
   uint64_t registrations() const { return registrations_; }
   uint64_t digest_failures() const { return digest_failures_; }
   uint64_t reinvites() const { return reinvites_; }
+  uint64_t spit_attempts() const { return spit_attempts_; }
+  uint64_t spit_cancels() const { return spit_cancels_; }
+  /// AOR spelling of spam identity `k`, for tests asserting who got flagged.
+  static std::string spit_aor(uint32_t k);
   /// Users that have materialized (interned AOR + slot); the memory-bound
   /// claim is that this tracks traffic touched, not provisioned_users.
   size_t users_materialized() const { return interner_.size(); }
@@ -106,6 +120,8 @@ class CarrierMixSource : public PacketSource {
     kImOk,           // 200 OK to the MESSAGE
     kRegArrival,     // Poisson tick: REGISTER
     kRegStep,        // 401 / authorized retry / 200 OK state machine
+    kSpitArrival,    // Poisson tick: spam INVITE from the SPIT cohort
+    kSpitCancel,     // ring-and-abandon: CANCEL after spit_hold
   };
 
   struct Pending {
@@ -154,6 +170,13 @@ class CarrierMixSource : public PacketSource {
     bool free = true;
   };
 
+  struct SpitAttempt {
+    uint32_t spammer = 0;  // cohort index, not a user index
+    uint32_t victim = 0;   // benign user index
+    uint64_t id = 0;       // dense attempt number -> Call-ID "spit-<id>"
+    bool free = true;
+  };
+
   // Counter-based PRNG: draw i of seed s is splitmix64(s ^ mix(i)). Pure
   // function of (seed, index) — replay-identical by construction.
   uint64_t draw_u64();
@@ -191,11 +214,16 @@ class CarrierMixSource : public PacketSource {
   bool on_im_ok(uint32_t slot, pkt::Packet* out);
   bool on_reg_arrival(pkt::Packet* out);
   bool on_reg_step(uint32_t slot, pkt::Packet* out);
+  bool on_spit_arrival(pkt::Packet* out);
+  bool on_spit_cancel(uint32_t slot, pkt::Packet* out);
+
+  static pkt::Ipv4Address spit_addr(uint32_t k);
 
   uint32_t alloc_call();
   void free_call(uint32_t slot);
   uint32_t alloc_reg();
   uint32_t alloc_im();
+  uint32_t alloc_spit();
 
   CarrierMixConfig config_;
   uint64_t draw_counter_ = 0;
@@ -210,6 +238,8 @@ class CarrierMixSource : public PacketSource {
   std::vector<uint32_t> free_regs_;
   std::vector<ImExchange> ims_;
   std::vector<uint32_t> free_ims_;
+  std::vector<SpitAttempt> spits_;
+  std::vector<uint32_t> free_spits_;
 
   SymbolTable interner_;                  // AOR spellings, interned on first touch
   FlatMap<uint32_t, Symbol> user_syms_;   // user index -> interned AOR
@@ -224,6 +254,9 @@ class CarrierMixSource : public PacketSource {
   uint64_t registrations_ = 0;
   uint64_t digest_failures_ = 0;
   uint64_t reinvites_ = 0;
+  uint64_t spit_counter_ = 0;
+  uint64_t spit_attempts_ = 0;
+  uint64_t spit_cancels_ = 0;
 
   obs::Counter* packets_total_ = nullptr;
   obs::Counter* drops_deferred_ = nullptr;

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 #include <string_view>
+#include <tuple>
 
 #include "capture/pcap.h"
 #include "common/strings.h"
@@ -17,6 +18,47 @@ AlertMultiset alert_multiset(const std::vector<core::Alert>& alerts) {
   AlertMultiset out;
   for (const core::Alert& a : alerts) ++out[{a.rule, a.session}];
   return out;
+}
+
+/// (rule, session, action) -> count. The prevention identity: what a rule
+/// decided to do about whom must survive sharding just like alerts do.
+using VerdictMultiset = std::map<std::tuple<std::string, std::string, int>, size_t>;
+
+VerdictMultiset verdict_multiset(const std::vector<core::Verdict>& verdicts) {
+  VerdictMultiset out;
+  for (const core::Verdict& v : verdicts) {
+    ++out[{v.rule, v.session, static_cast<int>(v.action)}];
+  }
+  return out;
+}
+
+void compare_verdicts(const VerdictMultiset& single, const VerdictMultiset& sharded,
+                      size_t shards, std::vector<std::string>& mismatches) {
+  if (sharded == single) return;
+  for (const auto& [key, n] : single) {
+    auto it = sharded.find(key);
+    const size_t have = it == sharded.end() ? 0 : it->second;
+    if (have != n) {
+      mismatches.push_back(str::format(
+          "%zu shards: verdict (%s, %s, %s) x%zu, single has x%zu", shards,
+          std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+          std::string(core::verdict_action_name(
+                          static_cast<core::VerdictAction>(std::get<2>(key))))
+              .c_str(),
+          have, n));
+    }
+  }
+  for (const auto& [key, n] : sharded) {
+    if (single.find(key) == single.end()) {
+      mismatches.push_back(str::format(
+          "%zu shards: extra verdict (%s, %s, %s) x%zu not emitted by single engine",
+          shards, std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+          std::string(core::verdict_action_name(
+                          static_cast<core::VerdictAction>(std::get<2>(key))))
+              .c_str(),
+          n));
+    }
+  }
 }
 
 /// Detection-side metric families that must be topology-invariant. Packet,
@@ -104,8 +146,12 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
   if (config.make_rules) single.set_rules(config.make_rules());
   for (const pkt::Packet& packet : stream) single.on_packet(packet);
   const AlertMultiset single_alerts = alert_multiset(single.alerts().alerts());
+  const VerdictMultiset single_verdicts =
+      config.verdict_mode ? verdict_multiset(single.verdicts().verdicts())
+                          : VerdictMultiset{};
   const obs::Snapshot single_snapshot = single.metrics_snapshot();
   report.single_alerts = single.alerts().alerts().size();
+  report.single_verdicts = config.verdict_mode ? single.verdicts().count() : 0;
   const core::EngineStats single_stats = single.stats();
 
   // Pcap-replay mode: everything downstream consumes the stream after a
@@ -145,6 +191,11 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
       report.mismatches.push_back(
           "pcap roundtrip: alert multiset diverged after capture-file replay");
     }
+    if (config.verdict_mode &&
+        verdict_multiset(replayed.verdicts().verdicts()) != single_verdicts) {
+      report.mismatches.push_back(
+          "pcap roundtrip: verdict multiset diverged after capture-file replay");
+    }
     replay_stream = &reimported;
   }
 
@@ -155,6 +206,7 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
     sc.queue_capacity = config.queue_capacity;
     sc.overflow = config.overflow;
     if (config.batch_size != 0) sc.batch_size = config.batch_size;
+    sc.route_invite_by_caller = config.verdict_mode;
     core::ShardedEngine sharded(sc);
     if (config.make_rules) {
       sharded.set_rules([&](size_t) { return config.make_rules(); });
@@ -223,6 +275,11 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
               shards, key.first.c_str(), key.second.c_str(), n));
         }
       }
+    }
+
+    if (config.verdict_mode) {
+      compare_verdicts(single_verdicts, verdict_multiset(sharded.merged_verdicts()),
+                       shards, report.mismatches);
     }
 
     compare_metrics(single_snapshot, sharded.metrics_snapshot(), shards,

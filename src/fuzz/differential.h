@@ -43,11 +43,21 @@ struct DifferentialConfig {
   /// the oracle's identical-alert-multiset check then also proves migration
   /// loses no rule/event/trail state.
   size_t rebalance_interval = 0;
+  /// Verdict-parity mode: additionally require every sharded engine to emit
+  /// the identical (rule, session, action) verdict multiset as the single
+  /// engine. Implies route_invite_by_caller on the sharded front-ends so
+  /// principal-keyed prevention rules (SPIT graylisting) see a caller's
+  /// whole INVITE stream on one shard, exactly as the single engine does.
+  /// Pair with an EngineConfig whose enforce mode is kPassive or kInline
+  /// and a make_rules that installs a prevention ruleset.
+  bool verdict_mode = false;
 };
 
 struct DifferentialReport {
   size_t packets = 0;
   size_t single_alerts = 0;
+  /// Verdicts the single engine emitted (0 unless verdict_mode).
+  size_t single_verdicts = 0;
   /// Human-readable divergence descriptions; empty means the oracle holds.
   std::vector<std::string> mismatches;
 
@@ -59,6 +69,7 @@ struct DifferentialReport {
 /// per configured shard count, all built from the same EngineConfig, and
 /// compare:
 ///   - the (rule, session) alert multiset (always);
+///   - the (rule, session, action) verdict multiset (verdict_mode);
 ///   - the accounting identity seen == filtered + dropped + shard-seen
 ///     (always);
 ///   - the detection metric families — events, events by type, alerts,

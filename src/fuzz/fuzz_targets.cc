@@ -11,6 +11,7 @@
 #include "ruledsl/loader.h"
 #include "scidive/distiller.h"
 #include "scidive/engine.h"
+#include "scidive/rules.h"
 #include "sip/message.h"
 #include "sip/sdp.h"
 
@@ -156,6 +157,48 @@ int fuzz_ruledsl(const uint8_t* data, size_t size) {
     }
     (void)rule->state_entries();
   }
+  return 0;
+}
+
+int fuzz_verdict(const uint8_t* data, size_t size) {
+  core::EngineConfig config;
+  config.obs.time_stages = false;
+  config.enforce.mode = core::EnforcementMode::kInline;
+  // Hair-trigger prevention thresholds: two INVITEs from one caller inside
+  // the window already graylist, so mutated SIP streams reach the verdict
+  // and enforcement paths instead of dying in the parser.
+  core::RulesConfig rules;
+  rules.spit_graylist = true;
+  rules.spit_call_threshold = 2;
+  core::ScidiveEngine engine(config);
+  engine.set_rules(core::make_prevention_ruleset(rules));
+
+  uint64_t counted[core::kVerdictActionCount] = {};
+  SimTime now = 0;
+  for_each_record(data, size, [&](std::span<const uint8_t> record) {
+    now += msec(1);
+    pkt::Packet packet;
+    packet.data.assign(record.begin(), record.end());
+    packet.timestamp = now;
+    // The non-mutating preview must be total and must not charge buckets:
+    // any counter drift it caused would break the identity checked below.
+    (void)engine.peek_packet(packet);
+    ++counted[static_cast<size_t>(engine.on_packet(packet))];
+  });
+  engine.expire_idle(now + sec(120));
+  (void)engine.metrics_snapshot();
+  (void)engine.verdicts().verdicts();
+
+  // Accounting identity: every inspected packet got exactly one decision,
+  // and the engine's counters agree with the actions on_packet returned.
+  uint64_t decided = 0;
+  for (size_t a = 0; a < core::kVerdictActionCount; ++a) {
+    if (engine.decisions(static_cast<core::VerdictAction>(a)) != counted[a]) {
+      __builtin_trap();
+    }
+    decided += counted[a];
+  }
+  if (engine.stats().packets_inspected != decided) __builtin_trap();
   return 0;
 }
 

@@ -49,6 +49,15 @@ int fuzz_engine(const uint8_t* data, size_t size);
 /// synthetic event sweep so fuzzer-shaped rules exercise the interpreter.
 int fuzz_ruledsl(const uint8_t* data, size_t size);
 
+/// Prevention path: length-prefixed packet records through an inline-mode
+/// engine running the prevention ruleset with hair-trigger thresholds, so
+/// fuzzer-shaped SIP reaches the verdict/enforcement machinery. Beyond
+/// no-crash, the target traps if the per-packet accounting identity breaks:
+/// every inspected packet must get exactly one decision, the engine's
+/// decision counters must agree with the actions on_packet returned, and
+/// the non-mutating peek must never change them.
+int fuzz_verdict(const uint8_t* data, size_t size);
+
 /// Pcap file decoder: the raw input is read as a capture file (global
 /// header, record headers, bodies). Exercises truncated/oversized record
 /// lengths, snaplen lies, malformed global headers, both byte orders and
@@ -71,6 +80,7 @@ constexpr FuzzTarget kFuzzTargets[] = {
     {"distiller", fuzz_distiller},
     {"engine", fuzz_engine},
     {"ruledsl", fuzz_ruledsl},
+    {"verdict", fuzz_verdict},
     {"pcap", fuzz_pcap},
 };
 

@@ -38,6 +38,14 @@ void Router::on_packet(const pkt::Packet& packet) {
     return;
   }
 
+  // Inline enforcement point: the filter sees only routable packets (an
+  // undeliverable packet needs no verdict) and drops before delivery, so a
+  // blocked source's traffic never reaches the far segment.
+  if (filter_ && !filter_(packet)) {
+    ++stats_.filtered;
+    return;
+  }
+
   // Rewrite TTL (checksum is recomputed by the serializer).
   pkt::Ipv4Header out_header = header;
   out_header.ttl = static_cast<uint8_t>(header.ttl - 1);

@@ -5,6 +5,7 @@
 // TTL decrement, and per-interface forwarding onto each segment's hub.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,15 @@ struct RouterStats {
   uint64_t ttl_expired = 0;
   uint64_t no_route = 0;
   uint64_t undecodable = 0;
+  uint64_t filtered = 0;  // dropped by the inline packet filter
 };
+
+/// Inline enforcement hook (SCIDIVE prevention mode): consulted before a
+/// packet is forwarded. Return false to drop it — counted in
+/// RouterStats::filtered, never silently. The router stays ignorant of who
+/// decides (the IDS engine's standing block list, in practice): dependency
+/// points outward only, netsim never links the detection core.
+using PacketFilter = std::function<bool(const pkt::Packet&)>;
 
 class Router : public NetworkNode {
  public:
@@ -36,6 +45,9 @@ class Router : public NetworkNode {
 
   const RouterStats& stats() const { return stats_; }
 
+  /// Install (or clear, with nullptr) the inline packet filter.
+  void set_filter(PacketFilter filter) { filter_ = std::move(filter); }
+
  private:
   struct Interface {
     Network* network;
@@ -46,6 +58,7 @@ class Router : public NetworkNode {
   std::string name_;
   pkt::Ipv4Address addr_;
   std::vector<Interface> interfaces_;
+  PacketFilter filter_;
   RouterStats stats_;
 };
 

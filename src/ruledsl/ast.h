@@ -31,13 +31,14 @@ struct ExprNode {
 };
 
 struct StmtNode {
-  enum class Kind { kSet, kAdd, kIf, kAlert };
+  enum class Kind { kSet, kAdd, kIf, kAlert, kVerdict };
   Kind kind = Kind::kSet;
   SourceLoc loc;
   std::string target;                // set/add: slot name
   std::optional<ExprNode> expr;      // set: value; if: condition
-  std::string severity;              // alert: critical/warning/info
-  std::string template_text;         // alert: message template
+  std::string severity;              // alert: critical/warning/info;
+                                     // verdict: drop/quarantine/rate_limit
+  std::string template_text;         // alert/verdict: message template
   std::vector<StmtNode> then_body;   // if
   std::vector<StmtNode> else_body;   // if
 };

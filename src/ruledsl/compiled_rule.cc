@@ -193,10 +193,11 @@ CompiledRule::Value CompiledRule::eval(const ExprProgram& program, const core::E
   return stack[0];
 }
 
-std::string CompiledRule::render(const AlertTemplate& tmpl, const core::Event& event,
-                                 const Record* rec, core::RuleContext& ctx) const {
+std::string CompiledRule::render(const std::vector<AlertPiece>& pieces,
+                                 const core::Event& event, const Record* rec,
+                                 core::RuleContext& ctx) const {
   std::string out;
-  for (const AlertPiece& piece : tmpl.pieces) {
+  for (const AlertPiece& piece : pieces) {
     if (piece.expr_index < 0) {
       out += piece.literal;
       continue;
@@ -275,9 +276,17 @@ void CompiledRule::on_event(const core::Event& event, core::RuleContext& ctx) {
       case StmtOpKind::kAddEvent:
         rec->nums[op.slot] |= static_cast<int64_t>(uint64_t{1} << static_cast<size_t>(event.type));
         break;
+      case StmtOpKind::kAddInt:
+        rec->nums[op.slot] += 1;
+        break;
       case StmtOpKind::kAlert: {
         const AlertTemplate& tmpl = def_->alerts[op.alert];
-        ctx.raise(def_->name, tmpl.severity, event, render(tmpl, event, rec, ctx));
+        ctx.raise(def_->name, tmpl.severity, event, render(tmpl.pieces, event, rec, ctx));
+        break;
+      }
+      case StmtOpKind::kVerdict: {
+        const VerdictTemplate& tmpl = def_->verdicts[op.alert];
+        ctx.verdict(def_->name, tmpl.action, event, render(tmpl.pieces, event, rec, ctx));
         break;
       }
     }

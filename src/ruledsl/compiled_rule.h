@@ -56,8 +56,9 @@ class CompiledRule : public core::Rule {
   Record& record_for(const core::Event& event);
   Value eval(const ExprProgram& program, const core::Event& event, const Record* rec,
              core::RuleContext& ctx) const;
-  std::string render(const AlertTemplate& tmpl, const core::Event& event, const Record* rec,
-                     core::RuleContext& ctx) const;
+  /// Renders alert and verdict templates alike (both are AlertPiece lists).
+  std::string render(const std::vector<AlertPiece>& pieces, const core::Event& event,
+                     const Record* rec, core::RuleContext& ctx) const;
 
   std::shared_ptr<const CompiledRuleDef> def_;
   /// Rule-local interner: state keys (session ids or AORs) hash once as a

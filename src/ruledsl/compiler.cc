@@ -214,14 +214,16 @@ class RuleCompiler {
         if (it == slot_index_.end()) {
           return err(stmt.loc, str::format("unknown slot '%s'", stmt.target.c_str()));
         }
-        if (def_.slots[it->second].type != ValType::kEventSet) {
-          return err(stmt.loc, str::format("'add' needs an eventset slot; '%s' is %s",
+        const ValType slot_type = def_.slots[it->second].type;
+        if (slot_type != ValType::kEventSet && slot_type != ValType::kInt) {
+          return err(stmt.loc, str::format("'add' needs an eventset or int slot; '%s' is %s",
                                            stmt.target.c_str(),
-                                           std::string(val_type_name(def_.slots[it->second].type))
-                                               .c_str()));
+                                           std::string(val_type_name(slot_type)).c_str()));
         }
         StmtOp op;
-        op.kind = StmtOpKind::kAddEvent;
+        // On an eventset, `add` accumulates the event's type bit; on an int
+        // it increments — the counter form sliding-window rules need.
+        op.kind = slot_type == ValType::kEventSet ? StmtOpKind::kAddEvent : StmtOpKind::kAddInt;
         op.slot = it->second;
         def_.stmts.push_back(op);
         return Status::Ok();
@@ -260,6 +262,21 @@ class RuleCompiler {
         def_.stmts.push_back(op);
         return Status::Ok();
       }
+      case StmtNode::Kind::kVerdict: {
+        VerdictTemplate tmpl;
+        tmpl.action = stmt.severity == "rate_limit"   ? core::VerdictAction::kRateLimit
+                      : stmt.severity == "quarantine" ? core::VerdictAction::kQuarantine
+                                                      : core::VerdictAction::kDrop;
+        auto pieces = compile_template(stmt.template_text, stmt.loc, "verdict");
+        if (!pieces.ok()) return pieces.error();
+        tmpl.pieces = std::move(pieces).value();
+        def_.verdicts.push_back(std::move(tmpl));
+        StmtOp op;
+        op.kind = StmtOpKind::kVerdict;
+        op.alert = static_cast<uint32_t>(def_.verdicts.size() - 1);
+        def_.stmts.push_back(op);
+        return Status::Ok();
+      }
     }
     return err(stmt.loc, "unhandled statement");
   }
@@ -269,7 +286,16 @@ class RuleCompiler {
     tmpl.severity = stmt.severity == "critical" ? core::Severity::kCritical
                     : stmt.severity == "info"   ? core::Severity::kInfo
                                                 : core::Severity::kWarning;
-    const std::string& text = stmt.template_text;
+    auto pieces = compile_template(stmt.template_text, stmt.loc, "alert");
+    if (!pieces.ok()) return pieces.error();
+    tmpl.pieces = std::move(pieces).value();
+    def_.alerts.push_back(std::move(tmpl));
+    return static_cast<uint32_t>(def_.alerts.size() - 1);
+  }
+
+  Result<std::vector<AlertPiece>> compile_template(const std::string& text, SourceLoc loc,
+                                                   const char* what) {
+    std::vector<AlertPiece> pieces;
     std::string literal;
     for (size_t i = 0; i < text.size(); ++i) {
       const char c = text[i];
@@ -281,7 +307,8 @@ class RuleCompiler {
         }
         const size_t close = text.find('}', i + 1);
         if (close == std::string::npos) {
-          return err(stmt.loc, "unterminated '{' in alert template (use '{{' for a literal)");
+          return err(loc, str::format("unterminated '{' in %s template (use '{{' for a literal)",
+                                      what));
         }
         std::string hole = text.substr(i + 1, close - i - 1);
         i = close;
@@ -289,11 +316,11 @@ class RuleCompiler {
           AlertPiece piece;
           piece.literal = std::move(literal);
           literal.clear();
-          tmpl.pieces.push_back(std::move(piece));
+          pieces.push_back(std::move(piece));
         }
-        auto piece = compile_hole(hole, stmt.loc);
+        auto piece = compile_hole(hole, loc);
         if (!piece.ok()) return piece.error();
-        tmpl.pieces.push_back(std::move(piece).value());
+        pieces.push_back(std::move(piece).value());
         continue;
       }
       if (c == '}') {
@@ -302,17 +329,16 @@ class RuleCompiler {
           ++i;
           continue;
         }
-        return err(stmt.loc, "stray '}' in alert template (use '}}' for a literal)");
+        return err(loc, str::format("stray '}' in %s template (use '}}' for a literal)", what));
       }
       literal += c;
     }
     if (!literal.empty()) {
       AlertPiece piece;
       piece.literal = std::move(literal);
-      tmpl.pieces.push_back(std::move(piece));
+      pieces.push_back(std::move(piece));
     }
-    def_.alerts.push_back(std::move(tmpl));
-    return static_cast<uint32_t>(def_.alerts.size() - 1);
+    return pieces;
   }
 
   Result<AlertPiece> compile_hole(const std::string& hole, SourceLoc loc) {

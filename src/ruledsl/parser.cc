@@ -261,7 +261,27 @@ class Parser {
         return s.error();
       return stmt;
     }
-    return err(stmt.loc, "expected 'set', 'add', 'if' or 'alert'");
+    if (at_keyword("verdict")) {
+      take();
+      stmt.kind = StmtNode::Kind::kVerdict;
+      auto action = expect_ident("after 'verdict' (drop, quarantine or rate_limit)");
+      if (!action.ok()) return action.error();
+      stmt.severity = std::move(action).value();
+      if (stmt.severity != "drop" && stmt.severity != "quarantine" &&
+          stmt.severity != "rate_limit") {
+        return err(stmt.loc, str::format("unknown verdict action '%s' (expected drop, "
+                                         "quarantine or rate_limit)",
+                                         stmt.severity.c_str()));
+      }
+      if (!at(TokenKind::kString)) {
+        return err(peek().loc, "expected a string template after the verdict action");
+      }
+      stmt.template_text = take().text;
+      if (auto s = expect(TokenKind::kSemi, "after the verdict statement"); !s.ok())
+        return s.error();
+      return stmt;
+    }
+    return err(stmt.loc, "expected 'set', 'add', 'if', 'alert' or 'verdict'");
   }
 
   Result<ExprNode> parse_expr() { return parse_or(); }

@@ -81,6 +81,7 @@ std::string CompiledRuleset::dump() const {
                              op.expr);
           break;
         case StmtOpKind::kAddEvent:
+        case StmtOpKind::kAddInt:
           out += str::format("  %3zu: add %s\n", i, def->slots[op.slot].name.c_str());
           break;
         case StmtOpKind::kAlert:
@@ -88,6 +89,12 @@ std::string CompiledRuleset::dump() const {
                              std::string(core::severity_name(def->alerts[op.alert].severity))
                                  .c_str(),
                              op.alert);
+          break;
+        case StmtOpKind::kVerdict:
+          out += str::format(
+              "  %3zu: verdict %s template#%u\n", i,
+              std::string(core::verdict_action_name(def->verdicts[op.alert].action)).c_str(),
+              op.alert);
           break;
       }
     }

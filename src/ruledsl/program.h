@@ -94,19 +94,28 @@ struct AlertTemplate {
   std::vector<AlertPiece> pieces;
 };
 
+/// A `verdict` statement: the prevention-side twin of an alert template.
+/// Rendering reuses AlertPiece; the action names what enforcement should do.
+struct VerdictTemplate {
+  core::VerdictAction action = core::VerdictAction::kDrop;
+  std::vector<AlertPiece> pieces;
+};
+
 enum class StmtOpKind : uint8_t {
   kBranchIfFalse,  // evaluate exprs[expr]; jump to target when false
   kJump,           // jump to target
   kSetSlot,        // slots[slot] = evaluate exprs[expr]
   kAddEvent,       // eventset slots[slot] |= bit(event.type)
+  kAddInt,         // int slots[slot] += 1 (the `add` counter form)
   kAlert,          // render alerts[alert] and raise
+  kVerdict,        // render verdicts[alert] and emit via ctx.verdict()
 };
 
 struct StmtOp {
   StmtOpKind kind;
   uint32_t expr = 0;
   uint32_t slot = 0;
-  uint32_t alert = 0;
+  uint32_t alert = 0;   // kAlert: alerts index; kVerdict: verdicts index
   uint32_t target = 0;  // stmt index (branch/jump)
 };
 
@@ -137,6 +146,7 @@ struct CompiledRuleDef {
   std::vector<std::string> strings;  // interned string literals
   std::vector<ExprProgram> exprs;
   std::vector<AlertTemplate> alerts;
+  std::vector<VerdictTemplate> verdicts;
   std::vector<StmtOp> stmts;
   HandlerRange handlers[core::kEventTypeCount] = {};
   core::EventTypeMask subscriptions = 0;

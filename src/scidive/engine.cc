@@ -20,11 +20,28 @@ ScidiveEngine::ScidiveEngine(EngineConfig config)
       trails_(config_.max_footprints_per_trail),
       events_(trails_, config_.events),
       sink_(config_.obs.alert_capacity),
+      verdicts_(config_.enforce.verdict_capacity),
       ledger_(config_.obs.ledger_capacity) {
   // A packet rarely yields more than a handful of events; reserving once
   // keeps the per-packet clear()/push_back cycle allocation-free.
   scratch_events_.reserve(16);
   intern_pipeline_instruments();
+  if (config_.enforce.mode != EnforcementMode::kOff) {
+    enforcer_ = std::make_unique<Enforcer>(config_.enforce);
+    for (size_t i = 0; i < kVerdictActionCount; ++i) {
+      packet_verdicts_[i] = &registry_.counter(
+          "scidive_packet_verdicts_total", "Per-packet enforcement decisions, by action",
+          {{"action", std::string(verdict_action_name(static_cast<VerdictAction>(i)))}});
+    }
+  }
+  // Per-(action, rule) verdict attribution. Cells register lazily on the
+  // first verdict a rule emits, so detection-only runs expose no lines.
+  verdicts_.set_callback([this](const Verdict& v) {
+    registry_
+        .counter("scidive_verdicts_total", "Verdicts emitted by rules, by action and rule",
+                 {{"action", std::string(verdict_action_name(v.action))}, {"rule", v.rule}})
+        .inc();
+  });
   auto ruleset = make_default_ruleset(config_.rules);
   for (RulePtr& rule : ruleset) add_rule(std::move(rule));
 }
@@ -121,7 +138,7 @@ void ScidiveEngine::rebuild_subscriber_index() {
   }
 }
 
-void ScidiveEngine::on_packet(const pkt::Packet& packet) {
+VerdictAction ScidiveEngine::on_packet(const pkt::Packet& packet) {
   packets_seen_->inc();
 
   if (!config_.home_addresses.empty()) {
@@ -135,7 +152,7 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
     }
     if (!ours) {
       packets_filtered_->inc();
-      return;
+      return VerdictAction::kPass;
     }
   }
   packets_inspected_->inc();
@@ -145,6 +162,7 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
   Clock::time_point start{}, mark{};
   if (timed) start = mark = Clock::now();
 
+  VerdictAction decision = VerdictAction::kPass;
   auto fp = distiller_.distill(packet);
   if (timed) {
     const auto now = Clock::now();
@@ -152,7 +170,19 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
     mark = now;
   }
   if (fp) {
+    // Enforcement identities, captured before the footprint moves into the
+    // trail: network source, signaling principal, then (post-routing) the
+    // session. Pure hashing — nothing here allocates.
+    const SimTime pkt_time = fp->time;
+    uint64_t src_k = 0, principal_k = 0, sess_k = 0;
+    if (enforcer_ != nullptr) {
+      if (!fp->src.addr.is_unspecified()) src_k = source_key(fp->src.addr);
+      if (const SipFootprint* sip = fp->sip(); sip != nullptr && !sip->from_aor.empty()) {
+        principal_k = aor_key(sip->from_aor);
+      }
+    }
     Trail& trail = trails_.add(std::move(*fp));
+    if (enforcer_ != nullptr) sess_k = session_key(trail.key().session);
     if (timed) {
       const auto now = Clock::now();
       stage_route_->observe(ns_between(mark, now));
@@ -166,7 +196,7 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
       mark = now;
     }
     events_total_->inc(scratch_events_.size());
-    RuleContext ctx(trails_, sink_, &ledger_);
+    RuleContext ctx(trails_, sink_, &ledger_, &verdicts_, enforcer_.get());
     for (const Event& event : scratch_events_) {
       event_type_counters_[static_cast<size_t>(event.type)]->inc();
       if (event_callback_) event_callback_(event);
@@ -195,8 +225,29 @@ void ScidiveEngine::on_packet(const pkt::Packet& packet) {
       stage_rules_->observe(ns_between(mark, now));
       mark = now;
     }
+    if (enforcer_ != nullptr) {
+      // Standing state first (blocks, armed buckets), then escalate by any
+      // verdict this very packet's processing emitted — the packet that
+      // crossed a SPIT threshold is itself shaped, not just its successors.
+      decision = enforcer_->decide(src_k, sess_k, principal_k, pkt_time);
+      decision = max_action(decision, verdicts_.take_pending());
+    }
+  }
+  if (enforcer_ != nullptr) {
+    // Every inspected packet gets exactly one decision, so the accounting
+    // identity packets_inspected == Σ decisions holds (undistillable
+    // packets pass: there is no identity to enforce against).
+    packet_verdicts_[static_cast<size_t>(decision)]->inc();
   }
   if (timed) processing_ns_->inc(ns_between(start, mark));
+  return decision;
+}
+
+VerdictAction ScidiveEngine::peek_packet(const pkt::Packet& packet) const {
+  if (enforcer_ == nullptr) return VerdictAction::kPass;
+  auto ip = pkt::parse_ipv4(packet.data);
+  if (!ip.ok() || ip.value().header.src.is_unspecified()) return VerdictAction::kPass;
+  return enforcer_->peek(source_key(ip.value().header.src), 0, 0, packet.timestamp);
 }
 
 EngineStats ScidiveEngine::stats() const {
@@ -323,6 +374,52 @@ void ScidiveEngine::sync_component_stats() {
   ledger_recorded_->sync(ledger_.total_recorded());
   ledger_dropped_->sync(ledger_.dropped());
   ledger_size_->set(static_cast<int64_t>(ledger_.size()));
+
+  // Prevention-layer mirrors, registered only when enforcement is on so
+  // detection-only expositions stay byte-identical to the pre-verdict
+  // engine.
+  if (enforcer_ != nullptr) {
+    registry_
+        .counter("scidive_verdicts_raised_total",
+                 "Verdicts emitted by rules (including retention drops)")
+        .sync(verdicts_.total_raised());
+    registry_
+        .counter("scidive_verdicts_dropped_total",
+                 "Verdicts dropped from sink retention (capacity bound)")
+        .sync(verdicts_.dropped());
+    registry_.gauge("scidive_verdicts_retained", "Verdicts currently held by the sink")
+        .set(static_cast<int64_t>(verdicts_.count()));
+
+    const BlockList& bl = enforcer_->blocks();
+    registry_.gauge("scidive_blocklist_entries", "Live (unexpired) block-list entries")
+        .set(static_cast<int64_t>(bl.size()));
+    registry_.counter("scidive_blocklist_installed_total", "Block-list entries installed")
+        .sync(bl.installed_total());
+    registry_.counter("scidive_blocklist_expired_total", "Block-list entries TTL-expired")
+        .sync(bl.expired_total());
+    registry_
+        .counter("scidive_blocklist_rejected_total",
+                 "Blocks rejected at the capacity bound")
+        .sync(bl.rejected_total());
+
+    const RateLimiter& rl = enforcer_->limiter();
+    registry_.gauge("scidive_ratelimit_buckets", "Armed token buckets")
+        .set(static_cast<int64_t>(rl.size()));
+    registry_
+        .gauge("scidive_ratelimit_tokens",
+               "Whole tokens available across buckets (as of last refill)")
+        .set(rl.stored_tokens());
+    registry_.counter("scidive_ratelimit_armed_total", "Token buckets armed by verdicts")
+        .sync(rl.armed_total());
+    registry_
+        .counter("scidive_ratelimit_denied_total",
+                 "Admissions denied by an empty bucket")
+        .sync(rl.denied_total());
+    registry_
+        .counter("scidive_ratelimit_rejected_total",
+                 "Bucket arms rejected at the capacity bound")
+        .sync(rl.rejected_total());
+  }
 }
 
 obs::Snapshot ScidiveEngine::metrics_snapshot() {

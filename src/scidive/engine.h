@@ -21,10 +21,12 @@
 #include "obs/alert_ledger.h"
 #include "obs/metrics.h"
 #include "scidive/distiller.h"
+#include "scidive/enforce.h"
 #include "scidive/event_generator.h"
 #include "scidive/rule.h"
 #include "scidive/rules.h"
 #include "scidive/trail_manager.h"
+#include "scidive/verdict.h"
 
 namespace scidive::core {
 
@@ -55,6 +57,11 @@ struct EngineConfig {
   /// historical broadcast loop; kept as a knob so bench_efficiency can
   /// measure what the index saves.
   bool subscription_dispatch = true;
+  /// Prevention layer (off by default: pure detection, byte-identical
+  /// behavior and metrics to the pre-verdict engine). Passive and inline
+  /// compute identical per-packet decisions; only enforcement points
+  /// outside the engine treat them differently.
+  EnforceConfig enforce;
 };
 
 /// Aggregate pipeline counters. Since the observability subsystem landed
@@ -78,7 +85,12 @@ class ScidiveEngine {
   explicit ScidiveEngine(EngineConfig config);
 
   /// Feed one captured packet (fragment-level; reassembly is internal).
-  void on_packet(const pkt::Packet& packet);
+  /// Returns the enforcement decision for the packet: always kPass when the
+  /// prevention layer is off; otherwise the max over pre-existing blocks,
+  /// armed rate limits, and verdicts the packet's own processing emitted.
+  /// Detection is never gated on the decision — a dropped packet was still
+  /// fully inspected, which is what keeps alert parity across modes.
+  VerdictAction on_packet(const pkt::Packet& packet);
 
   /// A tap suitable for netsim::Network::add_tap.
   netsim::PacketTap tap() {
@@ -117,6 +129,28 @@ class ScidiveEngine {
 
   AlertSink& alerts() { return sink_; }
   const AlertSink& alerts() const { return sink_; }
+
+  VerdictSink& verdicts() { return verdicts_; }
+  const VerdictSink& verdicts() const { return verdicts_; }
+
+  /// The prevention stores (nullptr when EnforceConfig::mode is kOff).
+  Enforcer* enforcer() { return enforcer_.get(); }
+  const Enforcer* enforcer() const { return enforcer_.get(); }
+  EnforcementMode enforcement_mode() const { return config_.enforce.mode; }
+
+  /// Non-mutating decision for a raw datagram by source address alone —
+  /// the hook external enforcement points (router filter, proxy screen)
+  /// use without access to distilled identities. kPass when enforcement
+  /// is off or the packet has no parseable IPv4 header.
+  VerdictAction peek_packet(const pkt::Packet& packet) const;
+
+  /// Per-packet decision totals, indexed by VerdictAction (all zero when
+  /// enforcement is off). packets_inspected == sum over actions.
+  uint64_t decisions(VerdictAction a) const {
+    return packet_verdicts_[static_cast<size_t>(a)] == nullptr
+               ? 0
+               : packet_verdicts_[static_cast<size_t>(a)]->value();
+  }
 
   /// Registry-backed view (by value; fields as before).
   EngineStats stats() const;
@@ -183,6 +217,8 @@ class ScidiveEngine {
   std::vector<uint32_t> subscribers_[kEventTypeCount];
   std::function<void(const Event&)> event_callback_;
   AlertSink sink_;
+  VerdictSink verdicts_;
+  std::unique_ptr<Enforcer> enforcer_;
   obs::AlertLedger ledger_;
   std::vector<Event> scratch_events_;
 
@@ -192,6 +228,9 @@ class ScidiveEngine {
   obs::Counter* packets_inspected_ = nullptr;
   obs::Counter* events_total_ = nullptr;
   obs::Counter* processing_ns_ = nullptr;
+  /// Per-action decision counters; interned only when enforcement is on,
+  /// so detection-only engines expose no prevention cells.
+  obs::Counter* packet_verdicts_[kVerdictActionCount] = {};
   obs::Counter* event_type_counters_[kEventTypeCount] = {};
   obs::Histogram* stage_distill_ = nullptr;
   obs::Histogram* stage_route_ = nullptr;

@@ -10,16 +10,20 @@
 
 #include "obs/alert_ledger.h"
 #include "scidive/alert.h"
+#include "scidive/enforce.h"
 #include "scidive/event.h"
 #include "scidive/trail_manager.h"
+#include "scidive/verdict.h"
 
 namespace scidive::core {
 
 /// Everything a rule may touch while matching.
 class RuleContext {
  public:
-  RuleContext(const TrailManager& trails, AlertSink& sink, obs::AlertLedger* ledger = nullptr)
-      : trails_(trails), sink_(sink), ledger_(ledger) {}
+  RuleContext(const TrailManager& trails, AlertSink& sink, obs::AlertLedger* ledger = nullptr,
+              VerdictSink* verdicts = nullptr, Enforcer* enforcer = nullptr)
+      : trails_(trails), sink_(sink), ledger_(ledger), verdicts_(verdicts),
+        enforcer_(enforcer) {}
 
   /// Query access to all trails (cross-protocol, direct inspection).
   const TrailManager& trails() const { return trails_; }
@@ -30,10 +34,24 @@ class RuleContext {
     sink_.raise(std::move(alert));
   }
 
+  /// Emit a prevention verdict targeting the cause's principal/session/
+  /// source. A no-op in contexts without a verdict sink (detection-only
+  /// engines), so verdict-emitting rules run unchanged everywhere.
+  void verdict(std::string rule, VerdictAction action, const Event& cause,
+               std::string message) {
+    if (verdicts_ == nullptr) return;
+    Verdict v{std::move(rule), action,       cause.session, cause.time,
+              cause.aor,       cause.endpoint, std::move(message)};
+    if (enforcer_ != nullptr) enforcer_->apply(v);
+    verdicts_->raise(std::move(v));
+  }
+
  private:
   const TrailManager& trails_;
   AlertSink& sink_;
   obs::AlertLedger* ledger_;
+  VerdictSink* verdicts_;
+  Enforcer* enforcer_;
 };
 
 /// Bitmask over EventType values: which events a rule consumes.

@@ -306,6 +306,29 @@ void DirectTrailScanByeRule::install_session(const SessionId& session,
   alerted_.insert(sessions_interned_.intern(session));
 }
 
+void SpitGraylistRule::on_event(const Event& event, RuleContext& ctx) {
+  if (event.type != EventType::kSipInviteSeen || event.aor.empty()) return;
+  const Symbol caller = aors_.intern(event.aor);
+  CallerWindow& w = callers_[caller];
+  if (w.attempts == 0 || event.time - w.window_start > config_.spit_window) {
+    // Tumbling window: the first attempt (or the first after the window
+    // lapsed) opens a fresh one. Mirrors spit_graylist.sdr exactly.
+    w.window_start = event.time;
+    w.attempts = 0;
+    w.flagged = false;
+  }
+  ++w.attempts;
+  if (!w.flagged && w.attempts >= config_.spit_call_threshold) {
+    w.flagged = true;
+    std::string message = str::format(
+        "%lld call attempts from %s within %.0fs — SPIT campaign suspected, "
+        "graylisting caller",
+        static_cast<long long>(w.attempts), event.aor.c_str(), to_sec(config_.spit_window));
+    ctx.raise(std::string(name()), Severity::kWarning, event, message);
+    ctx.verdict(std::string(name()), VerdictAction::kRateLimit, event, std::move(message));
+  }
+}
+
 std::vector<RulePtr> make_default_ruleset(const RulesConfig& config) {
   std::vector<RulePtr> rules;
   rules.push_back(std::make_unique<ByeAttackRule>());
@@ -316,7 +339,13 @@ std::vector<RulePtr> make_default_ruleset(const RulesConfig& config) {
   rules.push_back(std::make_unique<BillingFraudRule>(config));
   rules.push_back(std::make_unique<RegisterFloodRule>(config));
   rules.push_back(std::make_unique<PasswordGuessRule>(config));
+  if (config.spit_graylist) rules.push_back(std::make_unique<SpitGraylistRule>(config));
   return rules;
+}
+
+std::vector<RulePtr> make_prevention_ruleset(RulesConfig config) {
+  config.spit_graylist = true;
+  return make_default_ruleset(config);
 }
 
 }  // namespace scidive::core

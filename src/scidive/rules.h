@@ -43,6 +43,15 @@ struct RulesConfig {
   /// Strawman stateless rule: any 4xx count in window (across sessions!).
   int stateless_4xx_threshold = 5;
   SimDuration stateless_4xx_window = sec(10);
+  /// SPIT graylisting: this many call attempts by one caller AOR within the
+  /// window flag the caller (alert + rate_limit verdict). A legitimate user
+  /// places a handful of calls a minute; a SPIT bot places dozens.
+  int spit_call_threshold = 8;
+  SimDuration spit_window = sec(60);
+  /// Install the SPIT graylisting rule. Off by default so the default
+  /// detection ruleset — and every golden pinned against it — is unchanged;
+  /// prevention deployments (and make_prevention_ruleset) turn it on.
+  bool spit_graylist = false;
 };
 
 /// §4.2.1 — "No RTP traffic should be seen after a SIP BYE from a
@@ -247,7 +256,40 @@ class DirectTrailScanByeRule : public Rule {
   FlatSet<Symbol> alerted_;
 };
 
+/// SPIT defense (the "SPAM over Internet Telephony" motivation): count call
+/// attempts per caller AOR in a fixed window; at the threshold, alert and
+/// emit a rate_limit verdict graylisting the caller. Principal-keyed like
+/// FakeImRule, so state never migrates between shards — sharded parity
+/// instead requires routing initial INVITEs by caller
+/// (ShardedEngineConfig::route_invite_by_caller).
+class SpitGraylistRule : public Rule {
+ public:
+  explicit SpitGraylistRule(const RulesConfig& config) : config_(config) {}
+  std::string_view name() const override { return "spit-graylist"; }
+  void on_event(const Event& event, RuleContext& ctx) override;
+  size_t state_entries() const override { return callers_.size(); }
+  EventTypeMask subscriptions() const override {
+    return event_mask(EventType::kSipInviteSeen);
+  }
+
+ private:
+  /// Fixed (tumbling) window, not sliding: cheap, deterministic, and
+  /// exactly expressible in the .sdr DSL twin (spit_graylist.sdr).
+  struct CallerWindow {
+    SimTime window_start = 0;
+    int64_t attempts = 0;
+    bool flagged = false;
+  };
+  RulesConfig config_;
+  SymbolTable aors_;
+  FlatMap<Symbol, CallerWindow> callers_;
+};
+
 /// The full SCIDIVE ruleset of the paper (without the strawman).
 std::vector<RulePtr> make_default_ruleset(const RulesConfig& config = {});
+
+/// The detection ruleset plus the verdict-emitting prevention rules
+/// (currently SPIT graylisting) — the ruleset an inline deployment runs.
+std::vector<RulePtr> make_prevention_ruleset(RulesConfig config = {});
 
 }  // namespace scidive::core

@@ -31,11 +31,13 @@
 #include <vector>
 
 #include "common/atomic_u64_map.h"
+#include "common/clock.h"
 #include "pkt/addr.h"
+#include "scidive/enforce.h"
 
 namespace scidive::core {
 
-class ShardDirectory {
+class ShardDirectory : public SharedEnforcement {
  public:
   explicit ShardDirectory(size_t num_shards)
       : ewma_(num_shards == 0 ? 1 : num_shards, 0.0) {}
@@ -77,6 +79,48 @@ class ShardDirectory {
     return principal_routed_.size() != 0 && principal_routed_.contains(call_id_hash);
   }
 
+  // --- published enforcement (SharedEnforcement) ------------------------
+  // A verdict applied on one worker is published here so every other
+  // shard's decide() honors it. Values pack into the map's u32:
+  // ceil-seconds of the expiry (30 bits, saturated) over the 2-bit action.
+  // The map cannot erase, so expiry is value-level: a published entry past
+  // its deadline reads as kPass, and a re-publish overwrites in place.
+
+  static uint32_t pack_enforcement(VerdictAction action, SimTime expires_at) {
+    const SimTime whole_sec = expires_at <= 0 ? 0 : (expires_at + 999'999) / 1'000'000;
+    const uint64_t capped =
+        static_cast<uint64_t>(whole_sec) > ((uint64_t{1} << 30) - 1)
+            ? ((uint64_t{1} << 30) - 1)
+            : static_cast<uint64_t>(whole_sec);
+    return static_cast<uint32_t>(capped << 2) | static_cast<uint32_t>(action);
+  }
+
+  void publish(uint64_t key, VerdictAction action, SimTime expires_at) override {
+    const uint32_t packed = pack_enforcement(action, expires_at);
+    uint32_t cur;
+    if (published_.find(key, cur)) {
+      // Merge-upgrade: never downgrade the action, never shorten the TTL.
+      const uint32_t merged =
+          ((cur >> 2) > (packed >> 2) ? cur & ~uint32_t{3} : packed & ~uint32_t{3}) |
+          ((cur & 3) > (packed & 3) ? cur & 3 : packed & 3);
+      if (merged == cur) return;
+      published_.insert_or_assign(key, merged);
+      return;
+    }
+    published_.insert_or_assign(key, packed);
+  }
+
+  VerdictAction published(uint64_t key, SimTime now) const override {
+    if (published_.size() == 0) return VerdictAction::kPass;  // common-path fast exit
+    uint32_t packed;
+    if (!published_.find(key, packed)) return VerdictAction::kPass;
+    const SimTime expires = static_cast<SimTime>(packed >> 2) * 1'000'000;
+    if (expires <= now) return VerdictAction::kPass;
+    return static_cast<VerdictAction>(packed & 3);
+  }
+
+  size_t published_count() const { return published_.size(); }
+
   /// Per-shard EWMA of recent load (packets processed between rebalance
   /// points). Quiesce-only: the rebalancer is the single reader and writer.
   void update_load(size_t shard, double sample, double alpha) {
@@ -89,6 +133,7 @@ class ShardDirectory {
   AtomicU64Map media_shard_{1024};
   AtomicU64Map overrides_{64};
   AtomicU64Map principal_routed_{256};
+  AtomicU64Map published_{256};
   std::vector<double> ewma_;
 };
 

@@ -133,14 +133,25 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
     // REGISTER and MESSAGE feed per-principal rule state (the registration
     // mirror, the fake-IM sender history); everything claiming one identity
     // must meet on one shard. Dialog traffic routes by Call-ID instead so a
-    // call's two directions (whose From AORs differ) stay together.
-    if ((cseq_method == "REGISTER" || cseq_method == "MESSAGE") && !from_aor.empty()) {
+    // call's two directions (whose From AORs differ) stay together. With
+    // route_invite_by_caller, INVITE-transaction traffic also routes by the
+    // caller's AOR (per-caller graylist state), and the Call-ID is pinned
+    // via an override so mid-dialog packets whose From differs (a callee's
+    // BYE) still land on the caller's shard.
+    const bool by_principal =
+        cseq_method == "REGISTER" || cseq_method == "MESSAGE" ||
+        (config_.route_invite_by_caller && cseq_method == "INVITE");
+    if (by_principal && !from_aor.empty()) {
       ++stats_.by_principal;
       shard = shard_of_key(from_aor);
       // This call-id's trails live wherever the principal's state lives;
       // pin the session so the rebalancer never separates them.
-      if (auto cid = m.call_id(); cid && !cid->empty())
-        directory_->mark_principal_routed(ShardDirectory::key_hash(*cid));
+      if (auto cid = m.call_id(); cid && !cid->empty()) {
+        const uint64_t cid_hash = ShardDirectory::key_hash(*cid);
+        directory_->mark_principal_routed(cid_hash);
+        if (cseq_method == "INVITE")
+          directory_->set_override(cid_hash, static_cast<uint32_t>(shard));
+      }
     } else {
       ++stats_.by_call_id;
       std::string call_id = m.call_id().value_or("");

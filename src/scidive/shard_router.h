@@ -48,6 +48,11 @@ struct ShardRouterConfig {
   std::set<uint16_t> sip_ports = {5060, 5061, 5062, 5064, 5070, 5080, 5081, 5082};
   uint16_t acc_port = 9009;
   SimDuration reassembly_timeout = sec(30);
+  /// Route initial INVITEs by the caller's From AOR and pin the dialog's
+  /// Call-ID to that shard (directory override), so per-caller rule state
+  /// (SPIT graylisting) stays coherent: every call attempt of one caller —
+  /// and every later packet of each dialog — lands on the caller's shard.
+  bool route_invite_by_caller = false;
 };
 
 struct ShardRouterStats {

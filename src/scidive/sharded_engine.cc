@@ -20,6 +20,7 @@ ShardRouterConfig router_config(const ShardedEngineConfig& config) {
   rc.sip_ports = config.engine.distiller.sip_ports;
   rc.acc_port = config.engine.distiller.acc_port;
   rc.reassembly_timeout = config.engine.distiller.reassembly_timeout;
+  rc.route_invite_by_caller = config.route_invite_by_caller;
   return rc;
 }
 
@@ -66,6 +67,12 @@ ShardedEngine::ShardedEngine(ShardedEngineConfig config)
   shards_.reserve(config_.num_shards);
   for (size_t i = 0; i < config_.num_shards; ++i)
     shards_.push_back(std::make_unique<Shard>(ec, config_.queue_capacity));
+  // Before any worker starts: attach each shard's enforcer (present when
+  // enforcement is on) to the shared directory so a verdict applied on one
+  // worker is honored by every shard's decide().
+  for (auto& shard : shards_) {
+    if (Enforcer* enf = shard->engine.enforcer()) enf->set_shared(&directory_);
+  }
   for (size_t i = 0; i < shards_.size(); ++i)
     shards_[i]->worker = std::thread([this, s = shards_[i].get(), i] { worker_loop(*s, i); });
 }
@@ -443,6 +450,12 @@ void ShardedEngine::sync_frontend_stats() {
   frontend_registry_
       .counter("scidive_rebalance_rounds_total", "rebalance() invocations")
       .sync(rebalance_rounds_);
+  if (config_.engine.enforce.mode != EnforcementMode::kOff) {
+    frontend_registry_
+        .gauge("scidive_router_published_enforcement",
+               "Enforcement entries published through the shard directory")
+        .set(static_cast<int64_t>(directory_.published_count()));
+  }
 }
 
 obs::Snapshot ShardedEngine::metrics_snapshot() {
@@ -472,6 +485,27 @@ std::vector<Alert> ShardedEngine::merged_alerts() const {
 size_t ShardedEngine::alert_count() const {
   size_t n = 0;
   for (const auto& shard : shards_) n += shard->engine.alerts().count();
+  return n;
+}
+
+std::vector<Verdict> ShardedEngine::merged_verdicts() const {
+  std::vector<Verdict> out;
+  for (const auto& shard : shards_) {
+    const auto& verdicts = shard->engine.verdicts().verdicts();
+    out.insert(out.end(), verdicts.begin(), verdicts.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Verdict& a, const Verdict& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.session != b.session) return a.session < b.session;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+size_t ShardedEngine::verdict_count() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->engine.verdicts().count();
   return n;
 }
 

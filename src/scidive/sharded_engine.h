@@ -71,6 +71,13 @@ struct ShardedEngineConfig {
   double rebalance_ewma_alpha = 0.5;  // weight of the newest load sample
   double rebalance_hot_ratio = 1.25;  // trigger: max load > ratio * mean
   size_t rebalance_max_migrations = 64;  // per rebalance() call
+  /// Route initial INVITEs by caller AOR (principal affinity) instead of
+  /// Call-ID. Per-caller rules (SPIT graylisting) keep their state coherent
+  /// only when every call attempt of one caller lands on one shard — the
+  /// same trade REGISTER/MESSAGE routing already makes. Off by default:
+  /// call-id routing spreads call load more evenly when no per-caller rule
+  /// is installed.
+  bool route_invite_by_caller = false;
 };
 
 /// Front-end counters plus shard-summed engine stats. Like EngineStats this
@@ -185,6 +192,12 @@ class ShardedEngine {
   /// All alerts across shards in a deterministic order (call after flush()).
   std::vector<Alert> merged_alerts() const;
   size_t alert_count() const;
+  /// All verdicts across shards in a deterministic order (call after
+  /// flush()). Worker-computed verdicts are additionally published through
+  /// the ShardDirectory, so enforcement state is topology-global even
+  /// though each sink is shard-local.
+  std::vector<Verdict> merged_verdicts() const;
+  size_t verdict_count() const;
   uint64_t packets_dropped() const;
 
   /// One merged view of every instrument: each shard engine's registry

@@ -1,0 +1,132 @@
+// Verdicts — the prevention-side counterpart of Alerts. A rule that has
+// concluded something about a principal can, in addition to raising an
+// alert, emit a Verdict naming the action the deployment should take:
+// pass, rate_limit, quarantine or drop. Detection and enforcement stay
+// decoupled on purpose: the engine always runs the full pipeline over
+// every packet (so alert parity across passive/inline modes and across
+// shard topologies is an invariant, not an aspiration), and a Verdict is
+// a *decision record* that enforcement points consume — the Enforcer's
+// block list and rate limiters inside the engine, and the proxy/router
+// hooks outside it. SecSip (Lahmadi & Festor) is the model: the same
+// stateful engine, moved into the packet path.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "pkt/addr.h"
+#include "scidive/trail.h"
+
+namespace scidive::core {
+
+/// Escalation-ordered: a packet's final decision is the max over every
+/// source that wants a say (block list, rate limiter, verdicts emitted
+/// while the packet itself was being processed).
+enum class VerdictAction : uint8_t {
+  kPass = 0,
+  kRateLimit = 1,
+  kQuarantine = 2,
+  kDrop = 3,
+};
+
+inline constexpr size_t kVerdictActionCount = 4;
+
+constexpr std::string_view verdict_action_name(VerdictAction a) {
+  switch (a) {
+    case VerdictAction::kPass: return "pass";
+    case VerdictAction::kRateLimit: return "rate_limit";
+    case VerdictAction::kQuarantine: return "quarantine";
+    case VerdictAction::kDrop: return "drop";
+  }
+  return "?";
+}
+
+constexpr VerdictAction max_action(VerdictAction a, VerdictAction b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+struct Verdict {
+  std::string rule;  // which rule decided
+  VerdictAction action = VerdictAction::kPass;
+  SessionId session;
+  SimTime time = 0;
+  /// Principal the verdict targets (caller AOR for SPIT graylisting; may
+  /// be empty when the rule only knows a network source).
+  std::string aor;
+  /// Network source the verdict targets (zero when unknown).
+  pkt::Endpoint endpoint;
+  std::string message;
+};
+
+/// Collects verdicts; mirrors AlertSink: bounded retention, an optional
+/// callback that sees every verdict, and monotone totals per action.
+///
+/// The sink additionally tracks the *pending* escalation — the max action
+/// raised since the last take_pending() — so the engine can fold verdicts
+/// emitted while processing a packet into that same packet's decision.
+class VerdictSink {
+ public:
+  using Callback = std::function<void(const Verdict&)>;
+
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit VerdictSink(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void raise(Verdict verdict) {
+    ++total_raised_;
+    ++raised_[static_cast<size_t>(verdict.action)];
+    pending_ = max_action(pending_, verdict.action);
+    if (callback_) callback_(verdict);
+    if (verdicts_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    verdicts_.push_back(std::move(verdict));
+  }
+
+  /// Max action raised since the last call; resets to kPass.
+  VerdictAction take_pending() {
+    VerdictAction p = pending_;
+    pending_ = VerdictAction::kPass;
+    return p;
+  }
+
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+  void set_capacity(size_t capacity) { capacity_ = capacity == 0 ? 1 : capacity; }
+
+  const std::vector<Verdict>& verdicts() const { return verdicts_; }
+  /// Retained verdicts (≤ capacity). See total_raised() for the true count.
+  size_t count() const { return verdicts_.size(); }
+  uint64_t total_raised() const { return total_raised_; }
+  uint64_t total_for(VerdictAction a) const { return raised_[static_cast<size_t>(a)]; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+  size_t count_for_rule(std::string_view rule) const {
+    size_t n = 0;
+    for (const auto& v : verdicts_) {
+      if (v.rule == rule) ++n;
+    }
+    return n;
+  }
+  void clear() {
+    verdicts_.clear();
+    total_raised_ = 0;
+    dropped_ = 0;
+    pending_ = VerdictAction::kPass;
+    for (auto& r : raised_) r = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<Verdict> verdicts_;
+  uint64_t total_raised_ = 0;
+  uint64_t raised_[kVerdictActionCount] = {};
+  uint64_t dropped_ = 0;
+  VerdictAction pending_ = VerdictAction::kPass;
+  Callback callback_;
+};
+
+}  // namespace scidive::core

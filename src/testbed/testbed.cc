@@ -10,6 +10,7 @@ core::EngineConfig ids_config(const TestbedConfig& config, pkt::Ipv4Address a,
   out.events = config.ids_events;
   out.rules = config.ids_rules;
   out.obs = config.ids_obs;
+  out.enforce = config.ids_enforce;
   if (config.ids_watches_client_a) out.home_addresses.insert(a);
   if (config.ids_watches_proxy) {
     out.home_addresses.insert(proxy);
@@ -62,6 +63,30 @@ Testbed::Testbed(TestbedConfig config)
       ids_config(config_, a_host_.address(), proxy_host_.address(), db_host_.address()));
   net_.add_tap(ids_->tap());
   net_.add_tap(sniffer_.tap());
+
+  // Prevention wiring: the proxy consults the IDS's standing enforcement
+  // state (block list + rate limiters) before processing a datagram. The
+  // screen only peeks — the engine's own decide() path, fed by the tap,
+  // is the single place tokens are consumed, so the screen and the tap
+  // never double-charge one packet.
+  if (ids_->enforcement_mode() != core::EnforcementMode::kOff) {
+    proxy_->set_screen(
+        [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now) {
+          uint64_t principal = 0;
+          if (auto msg = sip::SipMessage::parse(payload); msg.ok()) {
+            if (auto f = msg.value().from(); f.ok()) {
+              std::string aor = f.value().uri.address_of_record();
+              if (!aor.empty()) principal = core::aor_key(aor);
+            }
+          }
+          const core::VerdictAction act =
+              ids_->enforcer()->peek(core::source_key(from.addr), 0, principal, now);
+          if (act != core::VerdictAction::kPass) ++screen_nonpass_;
+          if (ids_->enforcement_mode() == core::EnforcementMode::kInline)
+            return static_cast<voip::ScreenAction>(act);
+          return voip::ScreenAction::kPass;  // passive: record, never interfere
+        });
+  }
 }
 
 voip::UserAgent& Testbed::add_client(const std::string& user, uint8_t last_octet,
@@ -166,6 +191,14 @@ void Testbed::inject_billing_fraud() {
   fraudster->place_fraudulent_call("bob", a_->aor());
   sim_.after(sec(3600), [fraudster] {});
   injected_.push_back({"billing-fraud", now(), ""});
+}
+
+void Testbed::inject_spit_campaign(int calls, SimDuration interval) {
+  spitter_ = std::make_shared<voip::SpitCampaigner>(
+      attacker_host_, pkt::Endpoint{proxy_host_.address(), 5060}, "spambot",
+      std::string(kDomain));
+  spitter_->start({"alice", "bob"}, calls, interval);
+  injected_.push_back({"spit-graylist", now(), ""});
 }
 
 Testbed::Score Testbed::score() const {

@@ -35,6 +35,10 @@ struct TestbedConfig {
   core::EventGeneratorConfig ids_events;
   core::RulesConfig ids_rules;
   core::EngineObsConfig ids_obs;
+  /// Prevention: kOff leaves the testbed purely passive (the default).
+  /// kPassive wires the proxy screen but only counts what it would have
+  /// done; kInline lets the screen drop/503 graylisted traffic for real.
+  core::EnforceConfig ids_enforce;
   rtp::CorruptionBehavior client_a_jitter = rtp::CorruptionBehavior::kGlitch;
   /// Media pacing for every client (the paper's "typical period employed is
   /// 20 milliseconds"; the detection-delay law scales with it).
@@ -69,6 +73,9 @@ class Testbed {
   void inject_register_flood(int count = 20);
   void inject_password_guessing(std::vector<std::string> guesses);
   void inject_billing_fraud();
+  /// SPIT campaign: `calls` short call attempts from one spam identity,
+  /// one every `interval`, each CANCELed moments later.
+  void inject_spit_campaign(int calls = 12, SimDuration interval = msec(500));
 
   const std::vector<InjectedAttack>& injected() const { return injected_; }
 
@@ -84,6 +91,12 @@ class Testbed {
   voip::CallSniffer& sniffer() { return sniffer_; }
   netsim::Host& attacker_host() { return attacker_host_; }
   Rng& rng() { return rng_; }
+  /// The active SPIT campaigner (null before inject_spit_campaign).
+  voip::SpitCampaigner* spitter() { return spitter_.get(); }
+  /// Datagrams the proxy screen judged non-pass. In kPassive mode these are
+  /// the would-have-dropped/shaped packets (the traffic still flowed); in
+  /// kInline mode they were actually rejected (see ProxyStats too).
+  uint64_t screen_nonpass() const { return screen_nonpass_; }
 
   /// Add another user agent to the testbed (registers with the proxy's
   /// user table; caller drives registration).
@@ -123,6 +136,8 @@ class Testbed {
   std::vector<std::unique_ptr<voip::UserAgent>> extra_clients_;
   std::unique_ptr<core::ScidiveEngine> ids_;
   voip::CallSniffer sniffer_;
+  std::shared_ptr<voip::SpitCampaigner> spitter_;
+  uint64_t screen_nonpass_ = 0;
 
   std::vector<InjectedAttack> injected_;
 };

@@ -380,6 +380,80 @@ void PasswordGuesser::on_response(const SipMessage& rsp) {
   host_.after(interval_, [this, guess] { send_register(&guess); });
 }
 
+// --- SpitCampaigner ---
+
+SpitCampaigner::SpitCampaigner(netsim::Host& host, pkt::Endpoint proxy,
+                               std::string caller_user, std::string domain, uint16_t sip_port)
+    : host_(host),
+      proxy_(proxy),
+      caller_user_(std::move(caller_user)),
+      domain_(std::move(domain)),
+      sip_port_(sip_port) {
+  host_.bind_udp(sip_port_, [this](pkt::Endpoint, std::span<const uint8_t> payload, SimTime) {
+    auto rsp = SipMessage::parse(payload);
+    if (rsp.ok() && rsp.value().is_response() && rsp.value().status_code() == 503)
+      ++rejected_503_;  // graylisted — noted, and pointedly ignored
+  });
+}
+
+void SpitCampaigner::start(std::vector<std::string> targets, int count, SimDuration interval,
+                           SimDuration hold) {
+  if (targets.empty() || count <= 0) return;
+  targets_ = std::move(targets);
+  interval_ = interval;
+  hold_ = hold;
+  place_next(count);
+}
+
+void SpitCampaigner::place_next(int remaining) {
+  if (remaining <= 0) return;
+  const std::string& target = targets_[next_target_++ % targets_.size()];
+  const uint64_t n = ++counter_;
+  std::string call_id = str::format("spit-%llu@%s", static_cast<unsigned long long>(n),
+                                    host_.address().to_string().c_str());
+  std::string tag = str::format("spittag-%llu", static_cast<unsigned long long>(n));
+  std::string branch = str::format("z9hG4bK-spit-%llu", static_cast<unsigned long long>(n));
+  std::string from = "<sip:" + caller_user_ + "@" + domain_ + ">;tag=" + tag;
+  std::string to = "<sip:" + target + "@" + domain_ + ">";
+
+  auto invite = SipMessage::request(Method::kInvite, sip::SipUri(target, domain_));
+  sip::Via via;
+  via.host = host_.address().to_string();
+  via.port = sip_port_;
+  via.params["branch"] = branch;
+  invite.headers().add("Via", via.to_string());
+  invite.headers().add("Max-Forwards", "70");
+  invite.headers().add("From", from);
+  invite.headers().add("To", to);
+  invite.headers().add("Call-ID", call_id);
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", "<sip:" + caller_user_ + "@" +
+                                      host_.address().to_string() +
+                                      str::format(":%u", sip_port_) + ">");
+  auto sdp = sip::make_audio_sdp(host_.address().to_string(), 17002, n);
+  invite.set_body(sdp.to_string(), "application/sdp");
+  host_.send_udp(sip_port_, proxy_, invite.to_string());
+  ++invites_sent_;
+
+  // Hang up before anyone can meaningfully answer: a CANCEL on the same
+  // transaction (same branch, same CSeq number) `hold` later.
+  host_.after(hold_, [this, call_id, tag, branch, from, to, target] {
+    auto cancel = SipMessage::request(Method::kCancel, sip::SipUri(target, domain_));
+    sip::Via via2;
+    via2.host = host_.address().to_string();
+    via2.port = sip_port_;
+    via2.params["branch"] = branch;
+    cancel.headers().add("Via", via2.to_string());
+    cancel.headers().add("Max-Forwards", "70");
+    cancel.headers().add("From", from);
+    cancel.headers().add("To", to);
+    cancel.headers().add("Call-ID", call_id);
+    cancel.headers().add("CSeq", "1 CANCEL");
+    host_.send_udp(sip_port_, proxy_, cancel.to_string());
+  });
+  host_.after(interval_, [this, remaining] { place_next(remaining - 1); });
+}
+
 // --- BillingFraudster ---
 
 BillingFraudster::BillingFraudster(netsim::Host& host, pkt::Endpoint proxy, std::string domain,

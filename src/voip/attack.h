@@ -216,6 +216,42 @@ class PasswordGuesser {
   uint64_t attempts_ = 0;
 };
 
+/// SPIT campaign (voice spam, the prevention scenario): one caller identity
+/// places many short call attempts in a burst — the high attempt rate and
+/// near-zero hold time that distinguish a spam bot from a human caller.
+/// Each attempt is CANCELed moments after it rings; the bot moves on.
+class SpitCampaigner {
+ public:
+  SpitCampaigner(netsim::Host& host, pkt::Endpoint proxy, std::string caller_user,
+                 std::string domain, uint16_t sip_port = 5083);
+
+  /// Place `count` attempts to `targets` (round-robin), one every
+  /// `interval`; each is CANCELed `hold` later.
+  void start(std::vector<std::string> targets, int count, SimDuration interval = msec(500),
+             SimDuration hold = msec(200));
+
+  uint64_t invites_sent() const { return invites_sent_; }
+  /// 503s the proxy answered with once the campaign was graylisted (the
+  /// observable that inline enforcement kicked in).
+  uint64_t rejected_503() const { return rejected_503_; }
+
+ private:
+  void place_next(int remaining);
+
+  netsim::Host& host_;
+  pkt::Endpoint proxy_;
+  std::string caller_user_;
+  std::string domain_;
+  uint16_t sip_port_;
+  std::vector<std::string> targets_;
+  SimDuration interval_ = msec(500);
+  SimDuration hold_ = msec(200);
+  size_t next_target_ = 0;
+  uint64_t counter_ = 0;
+  uint64_t invites_sent_ = 0;
+  uint64_t rejected_503_ = 0;
+};
+
 /// §3.2 billing fraud: exploit the proxy's billing-identity bug by placing
 /// a call whose crafted X-Billing-Identity header bills someone else.
 class BillingFraudster {

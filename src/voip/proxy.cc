@@ -39,6 +39,24 @@ void ProxyRegistrar::reply(const SipMessage& req, int code, const std::string& r
 
 void ProxyRegistrar::on_datagram(pkt::Endpoint from, std::span<const uint8_t> payload,
                                  SimTime now) {
+  if (screen_) {
+    switch (screen_(from, payload, now)) {
+      case ScreenAction::kPass:
+        break;
+      case ScreenAction::kRateLimit: {
+        ++stats_.screened_limited;
+        // Reject requests visibly so well-behaved UAs back off; responses
+        // cannot be 503'd, they are simply not forwarded while limited.
+        if (auto req = SipMessage::parse(payload); req && req.value().is_request())
+          reply(req.value(), 503, "Service Unavailable", from);
+        return;
+      }
+      case ScreenAction::kQuarantine:
+      case ScreenAction::kDrop:
+        ++stats_.screened_dropped;
+        return;
+    }
+  }
   auto msg = SipMessage::parse(payload);
   if (!msg) {
     LOG_DEBUG("proxy", "unparseable SIP datagram from %s", from.to_string().c_str());

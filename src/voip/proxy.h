@@ -33,7 +33,26 @@ struct ProxyStats {
   uint64_t responses_forwarded = 0;
   uint64_t not_found = 0;
   uint64_t loops_dropped = 0;
+  uint64_t screened_dropped = 0;  // screen said drop/quarantine
+  uint64_t screened_limited = 0;  // screen said rate-limit (503-rejected)
 };
+
+/// What the inline screen wants done with an incoming SIP datagram.
+/// Mirrors the IDS core's escalation order without linking it (voip is a
+/// layer below scidive_core): 0 pass < 1 rate-limit < 2 quarantine < 3 drop.
+enum class ScreenAction : uint8_t {
+  kPass = 0,
+  kRateLimit = 1,
+  kQuarantine = 2,
+  kDrop = 3,
+};
+
+/// Inline enforcement hook (SCIDIVE prevention mode): consulted for every
+/// SIP datagram before the proxy parses it. kDrop/kQuarantine discard
+/// silently (the attacker learns nothing); kRateLimit answers requests with
+/// 503 Service Unavailable so legitimate UAs back off cleanly.
+using ProxyScreen =
+    std::function<ScreenAction(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now)>;
 
 class ProxyRegistrar {
  public:
@@ -44,6 +63,9 @@ class ProxyRegistrar {
 
   /// Attach the accounting client that receives call-start CDRs.
   void set_accounting(AccountingClient* accounting) { accounting_ = accounting; }
+
+  /// Install (or clear, with nullptr) the inline screen.
+  void set_screen(ProxyScreen screen) { screen_ = std::move(screen); }
 
   /// Current registered contact for an AOR, if any.
   std::optional<pkt::Endpoint> lookup(const std::string& aor) const;
@@ -80,6 +102,7 @@ class ProxyRegistrar {
   std::map<std::string, Binding> bindings_;          // aor -> contact
   std::map<std::string, std::string> passwords_;     // user -> password
   AccountingClient* accounting_ = nullptr;
+  ProxyScreen screen_;
   std::map<std::string, PendingBill> pending_bills_;  // by our Via branch
   /// Transaction-stateful forwarding: a retransmitted request (same client
   /// branch/method/CSeq) is forwarded under the SAME proxy branch so the

@@ -54,6 +54,7 @@ TEST(CorpusReplay, SeedsPassEveryTargetUnmutated) {
   Bytes packets = to_record_stream(datagram_seeds());
   EXPECT_EQ(fuzz_distiller(packets.data(), packets.size()), 0);
   EXPECT_EQ(fuzz_engine(packets.data(), packets.size()), 0);
+  EXPECT_EQ(fuzz_verdict(packets.data(), packets.size()), 0);
   EXPECT_EQ(fuzz_fragment_reassembly(packets.data(), packets.size()), 0);
   for (const std::string& r : ruleset_seeds()) {
     EXPECT_EQ(fuzz_ruledsl(reinterpret_cast<const uint8_t*>(r.data()), r.size()), 0);
@@ -142,6 +143,9 @@ TEST(CorpusReplay, MutatedPacketStreamsThroughDistillerAndEngine) {
     ASSERT_EQ(fuzz_fragment_reassembly(stream.data(), stream.size()), 0);
     ASSERT_EQ(fuzz_distiller(stream.data(), stream.size()), 0);
     ASSERT_EQ(fuzz_engine(stream.data(), stream.size()), 0);
+    // Same mutated streams through the inline prevention engine: decisions
+    // must stay total and the per-packet accounting identity must hold.
+    ASSERT_EQ(fuzz_verdict(stream.data(), stream.size()), 0);
   }
 }
 

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "capture/carrier_mix.h"
+#include "capture/packet_source.h"
 #include "fuzz/corpus.h"
 #include "fuzz/mutator.h"
+#include "scidive/rules.h"
 #include "voip/attack.h"
 #include "voip/voip_fixture.h"
 
@@ -99,6 +102,110 @@ TEST(Differential, DropPolicySkipsStrictComparisonButKeepsAccounting) {
       run_differential(adversarial_stream(0xd20b0001, stream_config), config);
   // Only accounting mismatches would be reported; there must be none.
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+/// Carrier mix with a SPIT cohort spliced in: benign calls, IMs and
+/// registration churn from 200 users plus two spam identities hammering
+/// INVITEs — enough attempts inside the graylist window that the prevention
+/// rule must fire, so verdict parity is tested on a stream that actually
+/// emits verdicts.
+std::vector<pkt::Packet> spit_mix_stream(uint64_t seed) {
+  capture::CarrierMixConfig mix;
+  mix.seed = seed;
+  mix.provisioned_users = 200;
+  mix.call_rate_hz = 3.0;
+  mix.im_rate_hz = 2.0;
+  mix.register_rate_hz = 3.0;
+  mix.mean_call_hold_sec = 4.0;
+  mix.rtp_interval = msec(40);
+  mix.spit_callers = 2;
+  mix.spit_call_rate_hz = 6.0;
+  mix.spit_hold = msec(300);
+  mix.max_packets = 3000;
+  capture::CarrierMixSource source(mix);
+  return capture::read_all(source);
+}
+
+DifferentialConfig verdict_config() {
+  DifferentialConfig config;
+  config.verdict_mode = true;
+  config.engine.enforce.mode = core::EnforcementMode::kPassive;
+  config.make_rules = [] {
+    core::RulesConfig rc;
+    rc.spit_graylist = true;
+    return core::make_prevention_ruleset(rc);
+  };
+  return config;
+}
+
+TEST(Differential, VerdictParityAcrossShardCounts) {
+  const std::vector<pkt::Packet> stream = spit_mix_stream(0x5b17);
+  ASSERT_GT(stream.size(), 1000u);
+
+  DifferentialReport report = run_differential(stream, verdict_config());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // The oracle is vacuous unless the scenario actually emitted verdicts.
+  EXPECT_GE(report.single_verdicts, 2u) << "both spammers should be graylisted";
+}
+
+TEST(Differential, VerdictParitySurvivesMidReplayRebalancing) {
+  // Migration during replay: AOR-keyed prevention state must stay put (the
+  // router pins principal-routed sessions) while session state moves, and
+  // the verdict multiset must still match the single engine exactly.
+  const std::vector<pkt::Packet> stream = spit_mix_stream(0x5b18);
+  DifferentialConfig config = verdict_config();
+  config.shard_counts = {2, 4};
+  config.rebalance_interval = 400;
+  DifferentialReport report = run_differential(stream, config);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(report.single_verdicts, 2u);
+}
+
+TEST(Differential, VerdictParityThroughPcapRoundTrip) {
+  // Export/reimport the SPIT mix through the capture file format: replayed
+  // detection *and prevention* must be byte-equivalent to live processing.
+  const std::vector<pkt::Packet> stream = spit_mix_stream(0x5b19);
+  DifferentialConfig config = verdict_config();
+  config.shard_counts = {2};
+  config.pcap_roundtrip = true;
+  DifferentialReport report = run_differential(stream, config);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GE(report.single_verdicts, 2u);
+}
+
+TEST(Differential, InlineAndPassiveDecideIdentically) {
+  // The passive dry-run claim: enforcement mode changes what external
+  // points do, never what the engine decides. Same stream, both modes —
+  // identical per-action decision totals and identical verdicts.
+  const std::vector<pkt::Packet> stream = spit_mix_stream(0x5b20);
+  core::RulesConfig rc;
+  rc.spit_graylist = true;
+
+  uint64_t totals[2][core::kVerdictActionCount] = {};
+  size_t verdicts[2] = {};
+  int i = 0;
+  for (core::EnforcementMode mode :
+       {core::EnforcementMode::kPassive, core::EnforcementMode::kInline}) {
+    core::EngineConfig config;
+    config.obs.time_stages = false;
+    config.enforce.mode = mode;
+    core::ScidiveEngine engine(config);
+    engine.set_rules(core::make_prevention_ruleset(rc));
+    for (const pkt::Packet& p : stream) engine.on_packet(p);
+    for (size_t a = 0; a < core::kVerdictActionCount; ++a) {
+      totals[i][a] = engine.decisions(static_cast<core::VerdictAction>(a));
+    }
+    verdicts[i] = engine.verdicts().count();
+    ++i;
+  }
+  for (size_t a = 0; a < core::kVerdictActionCount; ++a) {
+    EXPECT_EQ(totals[0][a], totals[1][a])
+        << core::verdict_action_name(static_cast<core::VerdictAction>(a));
+  }
+  EXPECT_EQ(verdicts[0], verdicts[1]);
+  EXPECT_GE(verdicts[0], 2u);
+  EXPECT_GT(totals[0][static_cast<size_t>(core::VerdictAction::kRateLimit)], 0u)
+      << "graylisted spammers should have been shaped";
 }
 
 TEST(Differential, ReportFormatting) {

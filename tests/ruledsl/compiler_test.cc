@@ -157,9 +157,9 @@ TEST(RuledslCompiler, RejectsTypeErrors) {
   // set: int slot = string
   EXPECT_FALSE(compile_error(
       "rule r { state { int n; } on SipByeSeen { set n = \"s\"; } }").empty());
-  // add on a non-eventset slot
+  // add on a slot that is neither an eventset nor an int counter
   EXPECT_FALSE(compile_error(
-      "rule r { state { int n; } on SipByeSeen { add n; } }").empty());
+      "rule r { state { string s; } on SipByeSeen { add s; } }").empty());
   // if over a non-bool
   EXPECT_FALSE(compile_error(
       "rule r { on SipByeSeen { if value { alert info \"x\"; } } }").empty());

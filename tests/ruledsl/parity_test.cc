@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "capture/carrier_mix.h"
+#include "capture/packet_source.h"
 #include "fuzz/corpus.h"
 #include "fuzz/differential.h"
 #include "obs/metrics.h"
@@ -253,6 +255,68 @@ TEST(RuledslParity, ShardedDslMatchesSingleCppMultiset) {
       }
       EXPECT_EQ(got, want) << s.rule << " @ " << shards << " shards";
     }
+  }
+}
+
+// --- the prevention pack: verdict-emitting DSL rule vs its C++ original ---
+
+std::vector<std::string> verdict_strings(const ScidiveEngine& engine) {
+  std::vector<std::string> out;
+  for (const core::Verdict& v : engine.verdicts().verdicts()) {
+    out.push_back(v.rule + "|" + std::string(core::verdict_action_name(v.action)) + "|" +
+                  v.session + "|" + v.aor + "|" + v.endpoint.to_string() + "|" +
+                  std::to_string(v.time) + "|" + v.message);
+  }
+  return out;
+}
+
+TEST(RuledslParity, SpitGraylistDslMatchesCppAlertsAndVerdicts) {
+  // The shipped prevention pack compiles, and on a carrier mix with a spam
+  // cohort the compiled rule is byte-indistinguishable from the hand-written
+  // SpitGraylistRule — alerts, verdicts (action, principal, message) and the
+  // per-packet decision totals they induce.
+  auto compiled =
+      compile_ruleset_file(std::string(SCIDIVE_RULESET_DIR) + "/spit_graylist.sdr");
+  ASSERT_TRUE(compiled.ok()) << compiled.error().to_string();
+  ASSERT_EQ(compiled.value().rules.size(), 1u);
+
+  capture::CarrierMixConfig mix;
+  mix.seed = 0x5b17;
+  mix.provisioned_users = 100;
+  mix.call_rate_hz = 3.0;
+  mix.spit_callers = 2;
+  mix.spit_call_rate_hz = 6.0;
+  mix.spit_hold = msec(300);
+  mix.max_packets = 2500;
+  capture::CarrierMixSource source(mix);
+  const std::vector<pkt::Packet> stream = capture::read_all(source);
+
+  EngineConfig config;
+  config.obs.time_stages = false;
+  config.enforce.mode = core::EnforcementMode::kPassive;
+
+  ScidiveEngine cpp_engine(config);
+  {
+    std::vector<core::RulePtr> rules;
+    rules.push_back(std::make_unique<core::SpitGraylistRule>(core::RulesConfig{}));
+    cpp_engine.set_rules(std::move(rules));
+  }
+  ScidiveEngine dsl_engine(config);
+  dsl_engine.set_rules(make_rules(compiled.value()));
+
+  for (const pkt::Packet& p : stream) {
+    cpp_engine.on_packet(p);
+    dsl_engine.on_packet(p);
+  }
+
+  ASSERT_GE(cpp_engine.verdicts().count(), 2u) << "both spammers should be graylisted";
+  EXPECT_EQ(alert_strings(cpp_engine), alert_strings(dsl_engine));
+  EXPECT_EQ(ledger_strings(cpp_engine), ledger_strings(dsl_engine));
+  EXPECT_EQ(verdict_strings(cpp_engine), verdict_strings(dsl_engine));
+  for (size_t a = 0; a < core::kVerdictActionCount; ++a) {
+    const auto action = static_cast<core::VerdictAction>(a);
+    EXPECT_EQ(cpp_engine.decisions(action), dsl_engine.decisions(action))
+        << core::verdict_action_name(action);
   }
 }
 

@@ -1,0 +1,326 @@
+// Property tests for the enforcement primitives behind the verdict layer.
+// The token bucket is checked against a randomized oracle (10k operations
+// against an independently-computed model), the block list against its TTL
+// edge cases, and both against adversarial churn: 100k distinct keys must
+// neither grow memory past the configured bound nor corrupt survivors.
+#include "scidive/enforce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "scidive/shard_directory.h"
+
+namespace scidive::core {
+namespace {
+
+// --- tagged keys -----------------------------------------------------------
+
+TEST(EnforceKeys, TagLivesInTopByteAndLowBitsSurvive) {
+  const uint64_t k = enforce_key(EnforceKeyKind::kSession, 0x1234'5678'9abc'def0);
+  EXPECT_EQ(k >> 56, static_cast<uint64_t>(EnforceKeyKind::kSession));
+  EXPECT_EQ(k & ((uint64_t{1} << 56) - 1), 0x34'5678'9abc'def0u);
+}
+
+TEST(EnforceKeys, KindsNeverCollideOnTheSameIdentity) {
+  // The same spelling as an AOR and as a session id must produce distinct
+  // keys — blocking a session must not graylist a caller of the same name.
+  EXPECT_NE(aor_key("alice@lab.net"), session_key("alice@lab.net"));
+  EXPECT_NE(source_key(pkt::Ipv4Address(10, 0, 0, 1)),
+            enforce_key(EnforceKeyKind::kSession, pkt::Ipv4Address(10, 0, 0, 1).value()));
+}
+
+TEST(EnforceKeys, ContentDerivedAcrossInstances) {
+  // Two shards hashing the same identity independently agree — the property
+  // the ShardDirectory publication fabric rests on.
+  EXPECT_EQ(aor_key("spambot@lab.net"), aor_key(std::string("spambot@lab.net")));
+  EXPECT_EQ(source_key(pkt::Ipv4Address(10, 0, 0, 66)),
+            source_key(pkt::Ipv4Address(10, 0, 0, 66)));
+}
+
+// --- token bucket: randomized oracle ---------------------------------------
+
+TEST(RateLimiterProperty, TenThousandOpsAgainstOracle) {
+  RateLimiterConfig config;
+  config.rate_per_sec = 0.5;
+  config.burst = 3.0;
+  RateLimiter limiter(config);
+
+  // Independent model of one bucket: tokens refill linearly with forward
+  // time, cap at burst, and admit() consumes exactly one whole token.
+  constexpr uint64_t kKey = 0x0200'0000'0000'0001;
+  SimTime now = sec(1);
+  ASSERT_TRUE(limiter.arm(kKey, now));
+  double model_tokens = config.burst;
+  SimTime model_last = now;
+  uint64_t denied = 0;
+
+  Rng rng(0x5c1d17e5);
+  for (int i = 0; i < 10000; ++i) {
+    // Mostly forward steps; occasionally a backward or zero step (skewed
+    // shard clocks), which must refill nothing.
+    const int64_t step = rng.chance(0.15) ? -rng.uniform_int(0, sec(2))
+                                          : rng.uniform_int(0, sec(4));
+    now = std::max<SimTime>(0, now + step);
+
+    const double before = limiter.tokens(kKey, now);
+    // Invariants at every observation point: never negative, never above
+    // burst, and monotone in elapsed time from the last mutation.
+    ASSERT_GE(before, 0.0);
+    ASSERT_LE(before, config.burst + 1e-9);
+
+    // Oracle refill.
+    double expect = model_tokens;
+    if (now > model_last) {
+      expect = std::min(config.burst,
+                        model_tokens + static_cast<double>(now - model_last) * 1e-6 *
+                                           config.rate_per_sec);
+    }
+    ASSERT_NEAR(before, expect, 1e-6) << "op " << i;
+
+    if (rng.chance(0.5)) {
+      const bool admitted = limiter.admit(kKey, now);
+      ASSERT_EQ(admitted, expect >= 1.0) << "op " << i;
+      model_tokens = admitted ? expect - 1.0 : expect;
+      if (now > model_last) model_last = now;
+      if (!admitted) ++denied;
+    } else {
+      // would_admit is pure: it must agree with the oracle and must not
+      // advance the model.
+      ASSERT_EQ(limiter.would_admit(kKey, now), expect >= 1.0) << "op " << i;
+    }
+  }
+  EXPECT_EQ(limiter.denied_total(), denied);
+  EXPECT_EQ(limiter.size(), 1u);
+}
+
+TEST(RateLimiterProperty, UnarmedKeysAreUnlimited) {
+  RateLimiter limiter;
+  Rng rng(0xfeed);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t key = rng.next_u64() | 1;  // never the "absent" 0 key
+    ASSERT_TRUE(limiter.admit(key, sec(i)));
+    ASSERT_TRUE(limiter.would_admit(key, sec(i)));
+  }
+  EXPECT_EQ(limiter.size(), 0u);
+  EXPECT_EQ(limiter.denied_total(), 0u);
+}
+
+TEST(RateLimiter, ArmIsIdempotentAndBucketsStartFull) {
+  RateLimiterConfig config;
+  config.burst = 2.0;
+  config.rate_per_sec = 0.0;  // no refill: consumption alone drains
+  RateLimiter limiter(config);
+  const uint64_t key = aor_key("spambot@lab.net");
+  ASSERT_TRUE(limiter.arm(key, sec(1)));
+  EXPECT_TRUE(limiter.admit(key, sec(1)));   // burst token 1
+  ASSERT_TRUE(limiter.arm(key, sec(2)));     // re-arm must not refill
+  EXPECT_TRUE(limiter.admit(key, sec(2)));   // burst token 2
+  EXPECT_FALSE(limiter.admit(key, sec(3)));  // empty
+  EXPECT_EQ(limiter.armed_total(), 1u);
+}
+
+TEST(RateLimiter, CapacityBoundRejectsAndCounts) {
+  RateLimiterConfig config;
+  config.max_entries = 8;
+  RateLimiter limiter(config);
+  for (uint64_t i = 1; i <= 8; ++i) ASSERT_TRUE(limiter.arm(i, 0));
+  EXPECT_FALSE(limiter.arm(100, 0));
+  EXPECT_TRUE(limiter.arm(3, 0));  // existing keys still re-arm
+  EXPECT_EQ(limiter.size(), 8u);
+  EXPECT_EQ(limiter.rejected_total(), 1u);
+}
+
+// --- block list: TTL edges and churn ---------------------------------------
+
+TEST(BlockList, ExpiryBoundaryIsExclusive) {
+  BlockList blocks(BlockListConfig{sec(60), 64});
+  const uint64_t key = source_key(pkt::Ipv4Address(10, 0, 0, 9));
+  ASSERT_TRUE(blocks.block(key, VerdictAction::kDrop, sec(10)));
+  EXPECT_EQ(blocks.lookup(key, sec(69)), VerdictAction::kDrop);
+  EXPECT_EQ(blocks.peek(key, sec(70) - 1), VerdictAction::kDrop);
+  // expires_at <= now: the entry is gone exactly at the deadline.
+  EXPECT_EQ(blocks.peek(key, sec(70)), VerdictAction::kPass);
+  EXPECT_EQ(blocks.size(), 1u);  // peek never erases
+  EXPECT_EQ(blocks.lookup(key, sec(70)), VerdictAction::kPass);
+  EXPECT_EQ(blocks.size(), 0u);  // lookup lazily erased it
+  EXPECT_EQ(blocks.expired_total(), 1u);
+}
+
+TEST(BlockList, ReblockExtendsNeverShortensAndNeverDowngrades) {
+  BlockList blocks(BlockListConfig{sec(60), 64});
+  const uint64_t key = session_key("call-1");
+  ASSERT_TRUE(blocks.block(key, VerdictAction::kDrop, sec(100)));  // expires 160
+  // A later quarantine re-block: TTL extends to 170, action stays kDrop.
+  ASSERT_TRUE(blocks.block(key, VerdictAction::kQuarantine, sec(110)));
+  EXPECT_EQ(blocks.peek(key, sec(169)), VerdictAction::kDrop);
+  EXPECT_EQ(blocks.peek(key, sec(170)), VerdictAction::kPass);
+  // An *earlier* timestamp (skewed shard clock) must not shorten the TTL.
+  BlockList skew(BlockListConfig{sec(60), 64});
+  ASSERT_TRUE(skew.block(key, VerdictAction::kQuarantine, sec(100)));  // expires 160
+  ASSERT_TRUE(skew.block(key, VerdictAction::kDrop, sec(50)));         // would expire 110
+  EXPECT_EQ(skew.peek(key, sec(159)), VerdictAction::kDrop);  // upgraded AND still held
+  EXPECT_EQ(blocks.installed_total(), 1u);
+}
+
+TEST(BlockList, SweepErasesExactlyTheExpired) {
+  BlockList blocks(BlockListConfig{sec(10), 1024});
+  for (uint64_t i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(blocks.block(i, VerdictAction::kDrop, sec(i)));  // expires i+10
+  }
+  EXPECT_EQ(blocks.sweep(sec(60)), 50u);  // entries 1..50 expired at <= 60
+  EXPECT_EQ(blocks.size(), 50u);
+  EXPECT_EQ(blocks.expired_total(), 50u);
+  EXPECT_EQ(blocks.peek(51, sec(60)), VerdictAction::kDrop);  // expires at 61: survives
+  EXPECT_EQ(blocks.peek(50, sec(60)), VerdictAction::kPass);  // swept
+}
+
+TEST(BlockListProperty, HundredThousandSourceChurn) {
+  // Adversarial churn: far more distinct sources than the capacity bound.
+  // The list must hold its memory bound, reject (and count) the overflow,
+  // and keep serving correct answers for the survivors throughout.
+  BlockListConfig config;
+  config.ttl = sec(30);
+  config.max_entries = 4096;
+  BlockList blocks(config);
+
+  Rng rng(0xb10c);
+  uint64_t accepted = 0, rejected = 0;
+  SimTime now = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    now += msec(rng.uniform_int(0, 20));
+    const auto addr = pkt::Ipv4Address(static_cast<uint32_t>(rng.next_u32()));
+    if (blocks.block(source_key(addr), VerdictAction::kDrop, now)) {
+      ++accepted;
+      ASSERT_EQ(blocks.peek(source_key(addr), now), VerdictAction::kDrop);
+    } else {
+      ++rejected;
+    }
+    ASSERT_LE(blocks.size(), config.max_entries);
+    if (i % 4096 == 0) blocks.sweep(now);
+  }
+  blocks.sweep(now + sec(31));
+  EXPECT_EQ(blocks.size(), 0u);
+  EXPECT_EQ(blocks.rejected_total(), rejected);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);  // the bound actually bit
+  EXPECT_EQ(blocks.installed_total(), accepted);
+  EXPECT_EQ(blocks.expired_total(), accepted);  // every accepted entry expired
+}
+
+// --- the enforcer ----------------------------------------------------------
+
+Verdict make_verdict(VerdictAction action, std::string session, std::string aor,
+                     pkt::Endpoint endpoint, SimTime time) {
+  Verdict v;
+  v.rule = "test-rule";
+  v.action = action;
+  v.session = std::move(session);
+  v.aor = std::move(aor);
+  v.endpoint = endpoint;
+  v.time = time;
+  return v;
+}
+
+TEST(Enforcer, DropBlocksTheSourceQuarantineTheSession) {
+  EnforceConfig config;
+  config.mode = EnforcementMode::kInline;
+  Enforcer enf(config);
+  const pkt::Endpoint attacker{pkt::Ipv4Address(10, 0, 0, 66), 5060};
+  enf.apply(make_verdict(VerdictAction::kDrop, "call-1", "", attacker, sec(1)));
+  enf.apply(make_verdict(VerdictAction::kQuarantine, "call-2", "", attacker, sec(1)));
+
+  const uint64_t src = source_key(attacker.addr);
+  // Drop hit the source: any session from that source now decides kDrop.
+  EXPECT_EQ(enf.decide(src, session_key("call-9"), 0, sec(2)), VerdictAction::kDrop);
+  // Quarantine hit the session, visible even from another source.
+  EXPECT_EQ(enf.decide(0, session_key("call-2"), 0, sec(2)), VerdictAction::kQuarantine);
+  // Unrelated identities pass.
+  EXPECT_EQ(enf.decide(0, session_key("call-3"), 0, sec(2)), VerdictAction::kPass);
+}
+
+TEST(Enforcer, RateLimitArmsThePrincipalAndPeekNeverCharges) {
+  EnforceConfig config;
+  config.mode = EnforcementMode::kInline;
+  config.limiter.burst = 2.0;
+  config.limiter.rate_per_sec = 0.0;
+  Enforcer enf(config);
+  const pkt::Endpoint bot{pkt::Ipv4Address(10, 0, 0, 66), 5060};
+  enf.apply(make_verdict(VerdictAction::kRateLimit, "call-1", "spambot@lab.net", bot,
+                         sec(1)));
+
+  const uint64_t principal = aor_key("spambot@lab.net");
+  // peek() any number of times: pure, so the burst is never consumed.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(enf.peek(0, 0, principal, sec(2)), VerdictAction::kPass);
+  }
+  // decide() charges: two burst tokens, then shaped.
+  EXPECT_EQ(enf.decide(0, 0, principal, sec(2)), VerdictAction::kPass);
+  EXPECT_EQ(enf.decide(0, 0, principal, sec(2)), VerdictAction::kPass);
+  EXPECT_EQ(enf.decide(0, 0, principal, sec(2)), VerdictAction::kRateLimit);
+  // peek agrees with the now-empty bucket, still without charging.
+  EXPECT_EQ(enf.peek(0, 0, principal, sec(2)), VerdictAction::kRateLimit);
+  EXPECT_EQ(enf.limiter().denied_total(), 1u);
+}
+
+TEST(Enforcer, PassVerdictsAndIdentitylessVerdictsAreNoOps) {
+  Enforcer enf(EnforceConfig{});
+  enf.apply(make_verdict(VerdictAction::kPass, "call-1", "a@b", {}, sec(1)));
+  enf.apply(make_verdict(VerdictAction::kDrop, "", "", {}, sec(1)));  // nothing to key on
+  EXPECT_EQ(enf.blocks().size(), 0u);
+  EXPECT_EQ(enf.limiter().size(), 0u);
+}
+
+// --- shared publication through the ShardDirectory -------------------------
+
+TEST(ShardDirectory, PublishMergeUpgradesAndExpires) {
+  ShardDirectory dir(4);
+  const uint64_t key = source_key(pkt::Ipv4Address(10, 0, 0, 66));
+  dir.publish(key, VerdictAction::kQuarantine, sec(100));
+  EXPECT_EQ(dir.published(key, sec(50)), VerdictAction::kQuarantine);
+  // Upgrade with a *shorter* TTL: action upgrades, TTL must not shorten.
+  dir.publish(key, VerdictAction::kDrop, sec(40));
+  EXPECT_EQ(dir.published(key, sec(99)), VerdictAction::kDrop);
+  // Downgrade attempt: the action is ignored, but the longer deadline is
+  // adopted — the merge takes the max of each field independently.
+  dir.publish(key, VerdictAction::kRateLimit, sec(500));
+  EXPECT_EQ(dir.published(key, sec(99)), VerdictAction::kDrop);
+  EXPECT_EQ(dir.published(key, sec(499)), VerdictAction::kDrop);
+  // Value-level expiry (packed ceil-seconds): past the deadline reads kPass
+  // even though the atomic map cannot erase.
+  EXPECT_EQ(dir.published(key, sec(500)), VerdictAction::kPass);
+  EXPECT_EQ(dir.published_count(), 1u);
+}
+
+TEST(ShardDirectory, CrossShardAdoptionOfBlocksAndGraylists) {
+  // Shard A applies verdicts; shard B, sharing only the directory, must
+  // honor them: blocks immediately, graylists by arming a local bucket.
+  ShardDirectory dir(2);
+  EnforceConfig config;
+  config.mode = EnforcementMode::kInline;
+  config.limiter.burst = 1.0;
+  config.limiter.rate_per_sec = 0.0;
+  Enforcer a(config), b(config);
+  a.set_shared(&dir);
+  b.set_shared(&dir);
+
+  const pkt::Endpoint bot{pkt::Ipv4Address(10, 0, 0, 66), 5060};
+  a.apply(make_verdict(VerdictAction::kDrop, "call-1", "", bot, sec(1)));
+  a.apply(make_verdict(VerdictAction::kRateLimit, "call-2", "spambot@lab.net", bot,
+                       sec(1)));
+
+  const uint64_t src = source_key(bot.addr);
+  const uint64_t principal = aor_key("spambot@lab.net");
+  EXPECT_EQ(b.decide(src, 0, 0, sec(2)), VerdictAction::kDrop);
+  // First decide on the graylisted principal adopts the shared entry (arms
+  // a local bucket that starts full), so one attempt is admitted and the
+  // next is shaped — exactly what the publishing shard would do.
+  EXPECT_EQ(b.decide(0, 0, principal, sec(2)), VerdictAction::kPass);
+  EXPECT_EQ(b.decide(0, 0, principal, sec(2)), VerdictAction::kRateLimit);
+  EXPECT_TRUE(b.limiter().armed(principal));
+}
+
+}  // namespace
+}  // namespace scidive::core

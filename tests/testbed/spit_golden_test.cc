@@ -1,0 +1,210 @@
+// SPIT-scenario golden pin: a proxy-side deployment with graylisting
+// enabled watches a benign call ride out a ring-and-abandon spam campaign.
+// The checked-in goldens pin the full observable surface — alerts, verdict
+// records, the audit ledger and the Prometheus exposition — and a pcap
+// round trip must reproduce detection *and prevention* byte-for-byte.
+// Passive and inline runs share the same decisions; only the external
+// side effects (503s, proxy screen drops) may differ.
+//
+// Regenerate intentionally with:
+//
+//   SCIDIVE_REGEN_GOLDEN=1 ./scidive_tests --gtest_filter='SpitGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "capture/packet_source.h"
+#include "capture/pcap.h"
+#include "common/strings.h"
+#include "obs/alert_ledger.h"
+#include "obs/metrics.h"
+#include "scidive/engine.h"
+#include "scidive/rules.h"
+#include "testbed/testbed.h"
+
+namespace scidive::testbed {
+namespace {
+
+std::string golden_path(const char* file) {
+  return std::string(SCIDIVE_TESTBED_DATA_DIR) + "/" + file;
+}
+
+TestbedConfig spit_config(core::EnforcementMode mode) {
+  TestbedConfig cfg;
+  cfg.ids_obs.time_stages = false;
+  cfg.ids_watches_proxy = true;  // the spam INVITEs land on the proxy
+  cfg.ids_rules.spit_graylist = true;
+  cfg.ids_enforce.mode = mode;
+  return cfg;
+}
+
+/// One benign call riding out a 12-attempt spam campaign (default graylist
+/// threshold 8, so the campaign crosses it mid-run). Deterministic: fixed
+/// seed, fixed link delays, no wall clock.
+std::unique_ptr<Testbed> run_spit_scenario(core::EnforcementMode mode,
+                                           std::vector<pkt::Packet>* stream = nullptr,
+                                           bool with_campaign = true) {
+  auto tb = std::make_unique<Testbed>(spit_config(mode));
+  if (stream) {
+    tb->net().add_tap([stream](const pkt::Packet& p) { stream->push_back(p); });
+  }
+  tb->register_all();
+  tb->establish_call(sec(2));
+  if (with_campaign) tb->inject_spit_campaign(12, msec(500));
+  tb->run_for(sec(8));
+  return tb;
+}
+
+/// Canonical text of one verdict; every field is simulation-derived, so two
+/// identical runs (or a run and its pcap replay) must agree byte-for-byte.
+std::string verdict_key(const core::Verdict& v) {
+  return str::format("verdict %s|%s|session=%s|aor=%s|src=%s:%u|t=%lld", v.rule.c_str(),
+                     std::string(core::verdict_action_name(v.action)).c_str(),
+                     v.session.c_str(), v.aor.c_str(),
+                     v.endpoint.addr.to_string().c_str(), v.endpoint.port,
+                     static_cast<long long>(v.time));
+}
+
+/// Canonical text of one ledger record, wall clock excluded.
+std::string record_key(const obs::AlertRecord& r) {
+  return str::format(
+      "ledger %s|cause=%d:%s:%lld@%s:%u|trail=%s|t=%lld", r.alert.to_string().c_str(),
+      static_cast<int>(r.cause_type), r.cause_detail.c_str(),
+      static_cast<long long>(r.cause_value), r.cause_endpoint.addr.to_string().c_str(),
+      r.cause_endpoint.port, r.trail.to_string().c_str(),
+      static_cast<long long>(r.sim_time));
+}
+
+/// The pinned observable surface of an engine after a run: alerts, verdicts
+/// and ledger records in emission order, one canonical line each.
+std::string observable_text(core::ScidiveEngine& ids) {
+  std::string out;
+  for (const core::Alert& a : ids.alerts().alerts()) {
+    out += "alert " + a.to_string() + "\n";
+  }
+  for (const core::Verdict& v : ids.verdicts().verdicts()) {
+    out += verdict_key(v) + "\n";
+  }
+  for (const obs::AlertRecord& r : ids.ledger().records()) {
+    out += record_key(r) + "\n";
+  }
+  for (size_t a = 0; a < core::kVerdictActionCount; ++a) {
+    const auto action = static_cast<core::VerdictAction>(a);
+    out += str::format("decisions %s=%llu\n",
+                       std::string(core::verdict_action_name(action)).c_str(),
+                       static_cast<unsigned long long>(ids.decisions(action)));
+  }
+  return out;
+}
+
+void compare_or_regen(const std::string& actual, const char* file) {
+  const std::string path = golden_path(file);
+  if (std::getenv("SCIDIVE_REGEN_GOLDEN")) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run once with SCIDIVE_REGEN_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "observable surface changed; if the scenario or the rules changed "
+         "intentionally, regenerate with SCIDIVE_REGEN_GOLDEN=1";
+}
+
+TEST(SpitGolden, PassiveScenarioMatchesGolden) {
+  auto tb = run_spit_scenario(core::EnforcementMode::kPassive);
+
+  // Passive mode records what it would have done without interfering: the
+  // proxy screen counted non-pass datagrams, but nothing was 503'd.
+  EXPECT_GT(tb->screen_nonpass(), 0u);
+  EXPECT_EQ(tb->spitter()->rejected_503(), 0u);
+  EXPECT_EQ(tb->proxy().stats().screened_dropped, 0u);
+  EXPECT_EQ(tb->proxy().stats().screened_limited, 0u);
+
+  compare_or_regen(observable_text(tb->ids()), "spit_scenario.txt");
+}
+
+TEST(SpitGolden, PrometheusExpositionMatchesGolden) {
+  auto tb = run_spit_scenario(core::EnforcementMode::kPassive);
+  compare_or_regen(obs::to_prometheus(tb->ids().metrics_snapshot()),
+                   "spit_scenario.prom");
+}
+
+TEST(SpitGolden, PcapRoundTripReplaysDetectionAndPrevention) {
+  std::vector<pkt::Packet> stream;
+  auto tb = run_spit_scenario(core::EnforcementMode::kPassive, &stream);
+  ASSERT_FALSE(stream.empty());
+
+  // Through the capture file format and back, byte- and timestamp-intact.
+  std::ostringstream exported(std::ios::binary);
+  capture::PcapWriter writer(exported);
+  for (const pkt::Packet& p : stream) writer.write(p);
+  std::istringstream back(exported.str(), std::ios::binary);
+  capture::PcapFileSource source(back);
+  const std::vector<pkt::Packet> reimported = capture::read_all(source);
+  ASSERT_TRUE(source.ok()) << source.error();
+  ASSERT_EQ(reimported.size(), stream.size());
+
+  // A fresh engine configured exactly like the testbed's proxy-side IDS
+  // must reproduce the live run's whole observable surface from the file.
+  core::EngineConfig config;
+  config.obs.time_stages = false;
+  config.rules.spit_graylist = true;
+  config.enforce.mode = core::EnforcementMode::kPassive;
+  // The testbed's fixed addresses: client A, the proxy and the billing DB
+  // (ids_watches_client_a + ids_watches_proxy).
+  config.home_addresses = {pkt::Ipv4Address(10, 0, 0, 1), pkt::Ipv4Address(10, 0, 0, 100),
+                           pkt::Ipv4Address(10, 0, 0, 200)};
+  core::ScidiveEngine replayed(config);
+  for (const pkt::Packet& p : reimported) replayed.on_packet(p);
+
+  EXPECT_EQ(observable_text(replayed), observable_text(tb->ids()));
+  EXPECT_GT(replayed.verdicts().count(), 0u) << "replay should reproduce verdicts";
+}
+
+TEST(SpitGolden, InlineEnforcementShieldsTheProxy) {
+  auto tb = run_spit_scenario(core::EnforcementMode::kInline);
+
+  // Detection: the campaign was caught, with zero false positives from the
+  // benign call riding alongside it.
+  const Testbed::Score score = tb->score();
+  EXPECT_GE(score.true_positives, 1);
+  EXPECT_EQ(score.missed, 0);
+  EXPECT_EQ(score.false_positives, 0);
+
+  // Prevention: once graylisted, the campaigner's INVITEs were answered
+  // with 503 (rate-limit shaping) or silently screened out.
+  EXPECT_GT(tb->screen_nonpass(), 0u);
+  const voip::ProxyStats stats = tb->proxy().stats();
+  // (rejected_503 counts every shaped datagram — INVITEs and their CANCELs
+  // both — so it is compared against zero, not against invites_sent.)
+  EXPECT_GT(tb->spitter()->rejected_503() + stats.screened_dropped +
+                stats.screened_limited,
+            0u);
+  EXPECT_GT(stats.requests_forwarded, 0u)
+      << "the benign call and pre-threshold attempts must have gone through";
+}
+
+TEST(SpitGolden, BenignTrafficRaisesNoVerdicts) {
+  // Same deployment, same rules, no campaign: the graylist must stay empty
+  // — registration churn, a real call and its media are not SPIT.
+  auto tb = run_spit_scenario(core::EnforcementMode::kInline, nullptr,
+                              /*with_campaign=*/false);
+  EXPECT_EQ(tb->ids().verdicts().count(), 0u);
+  EXPECT_EQ(tb->ids().alerts().count_for_rule("spit-graylist"), 0u);
+  EXPECT_EQ(tb->screen_nonpass(), 0u);
+  EXPECT_EQ(tb->proxy().stats().screened_dropped, 0u);
+  EXPECT_EQ(tb->proxy().stats().screened_limited, 0u);
+}
+
+}  // namespace
+}  // namespace scidive::testbed
