@@ -19,12 +19,20 @@
 //     registration churn, digest auth, Poisson calls with RTP, IMs,
 //     re-INVITE mobility) at 10k/100k/1M provisioned users, single engine
 //     and 4 pinned workers. The stream is pre-generated so the timed loop
-//     measures the IDS feed, not the generator.
+//     measures the IDS feed, not the generator;
+//   * fleet mode: the same carrier mix at 100k/1M provisioned users fed
+//     through a 1/2/4-node cooperative cluster (src/fleet). Besides
+//     throughput this section measures the control-message economy the
+//     paper's §6 calls out: gossip bytes/sec on the SEP channel and the
+//     control overhead ratio (gossip bytes / monitored traffic bytes).
+//     check_speedup.py gates the overhead ceiling and that no gossip
+//     record was dropped from a bounded peer queue.
 //
 // Every JSON row carries a "workload" tag ("rtp_steady" for the synthetic
-// round-robin RTP sections, "carrier_mix" for the statistical mix) so
-// downstream gates can filter: check_speedup.py only trusts rtp_steady
-// rows, and CI archives the carrier_mix rows as a capacity artifact.
+// round-robin RTP sections, "carrier_mix" for the statistical mix,
+// "carrier_mix_fleet" for the cluster rows) so downstream gates can filter:
+// check_speedup.py only trusts rtp_steady rows for the speedup floor, and
+// CI archives the carrier_mix and fleet rows as capacity artifacts.
 //
 // Packets are pre-built once per session with a zero UDP checksum (legal
 // per RFC 768, skipped by the parser) so the feed loop only patches the RTP
@@ -40,6 +48,7 @@
 #include <vector>
 
 #include "capture/carrier_mix.h"
+#include "fleet/fleet.h"
 #include "pkt/packet.h"
 #include "rtp/rtp.h"
 #include "scidive/engine.h"
@@ -404,6 +413,82 @@ int main() {
                first ? "" : ",", (unsigned long long)users, source.users_materialized(),
                workers, stream.size(), pps, (unsigned long long)alerts,
                (unsigned long long)dropped, oversubscribed ? "true" : "false");
+      json += row;
+      json += "\n";
+      first = false;
+    }
+  }
+  json += "  ],\n  \"fleet\": [\n";
+
+  printf("\nFleet mode: carrier mix through a 1/2/4-node cooperative cluster\n");
+  printf("================================================================\n\n");
+  printf("%-12s | %-6s | %-12s | %-14s | %-12s | %-10s | %-8s\n", "users", "nodes",
+         "pkts/sec", "gossip B/s", "overhead", "gsp drops", "alerts");
+  printf("------------------------------------------------------------------------------------\n");
+
+  first = true;
+  for (uint64_t users : {100'000ull, 1'000'000ull}) {
+    capture::CarrierMixConfig mix;
+    mix.provisioned_users = users;
+    mix.max_packets = 100'000;
+    capture::CarrierMixSource source(mix);
+    std::vector<pkt::Packet> stream;
+    stream.reserve(mix.max_packets);
+    uint64_t stream_bytes = 0;
+    {
+      pkt::Packet p;
+      while (source.next(&p)) {
+        stream_bytes += p.data.size();
+        stream.push_back(std::move(p));
+      }
+    }
+
+    for (size_t nodes : {size_t{1}, size_t{2}, size_t{4}}) {
+      const bool oversubscribed = hw_threads != 0 && nodes > hw_threads;
+      fleet::FleetConfig fc;
+      fc.node.engine.num_shards = 1;  // one worker per node: nodes are "machines"
+      std::vector<std::string> names;
+      for (size_t n = 0; n < nodes; ++n) names.push_back("ids-" + std::to_string(n));
+      fleet::Fleet cluster(fc, names);
+
+      auto start = std::chrono::steady_clock::now();
+      for (const auto& p : stream) cluster.on_packet(p);
+      cluster.flush();
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+      const fleet::FleetNodeStats ns = cluster.node_stats();
+      uint64_t engine_dropped = 0;
+      for (size_t n = 0; n < cluster.size(); ++n) {
+        engine_dropped += cluster.node_at(n).engine().stats().packets_dropped;
+      }
+      const double pps = stream.size() / elapsed;
+      const double gossip_bps = ns.gossip_bytes_built / elapsed;
+      // §6's control-message economy: bytes spent on the SEP channel per
+      // byte of monitored traffic. Selective sharing (shared_types, counter
+      // partials instead of raw events) is what keeps this small.
+      const double overhead =
+          stream_bytes > 0 ? static_cast<double>(ns.gossip_bytes_built) / stream_bytes : 0.0;
+      const uint64_t alerts = cluster.merged_alerts().size();
+      printf("%-12llu | %-6zu | %12.0f | %12.0f | %11.5f | %-10llu | %-8llu%s\n",
+             (unsigned long long)users, nodes, pps, gossip_bps, overhead,
+             (unsigned long long)ns.gossip_records_dropped, (unsigned long long)alerts,
+             oversubscribed ? "  (oversubscribed)" : "");
+      char row[420];
+      snprintf(row, sizeof(row),
+               "    %s{\"workload\": \"carrier_mix_fleet\", \"provisioned_users\": %llu, "
+               "\"nodes\": %zu, \"packets\": %zu, \"stream_bytes\": %llu, "
+               "\"pkts_per_sec\": %.0f, \"gossip_bytes\": %llu, \"gossip_frames\": %llu, "
+               "\"gossip_bytes_per_sec\": %.0f, \"control_overhead\": %.6f, "
+               "\"gossip_records_dropped\": %llu, \"engine_dropped\": %llu, "
+               "\"alerts\": %llu, \"oversubscribed\": %s}",
+               first ? "" : ",", (unsigned long long)users, nodes, stream.size(),
+               (unsigned long long)stream_bytes, pps,
+               (unsigned long long)ns.gossip_bytes_built,
+               (unsigned long long)ns.gossip_frames_built, gossip_bps, overhead,
+               (unsigned long long)ns.gossip_records_dropped,
+               (unsigned long long)engine_dropped, (unsigned long long)alerts,
+               oversubscribed ? "true" : "false");
       json += row;
       json += "\n";
       first = false;

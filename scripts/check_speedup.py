@@ -15,13 +15,20 @@ engine at 5000 sessions): the inline and passive rows must stay within
 comparison is two single-threaded runs on the same machine, so it runs at
 every hardware-thread count.
 
+Also gates the "fleet" section (carrier mix through 1/2/4-node clusters):
+no gossip record may be dropped from a bounded peer queue, and on every
+multi-node row the control overhead — SEP gossip bytes per byte of
+monitored traffic, the paper's §6 control-message economy — must stay
+under --max-gossip-overhead (default 5%). Both are ratios of same-machine
+runs, so like the inline gate they run at every hardware-thread count.
+
 On a runner with fewer than 4 hardware threads every sharded row measures
 queue overhead, not scaling, so the multicore check degrades to a warning
-and (if the inline gate passed) exits 0 — the multicore CI job (>= 4 vCPUs)
-is the authoritative execution.
+and (if the inline and fleet gates passed) exits 0 — the multicore CI job
+(>= 4 vCPUs) is the authoritative execution.
 
 Usage: check_speedup.py bench_scalability.json [--min-speedup 2.0]
-    [--max-inline-overhead 0.4]
+    [--max-inline-overhead 0.4] [--max-gossip-overhead 0.05]
 """
 
 import argparse
@@ -37,6 +44,9 @@ def main() -> int:
     parser.add_argument("--max-inline-overhead", type=float, default=0.4,
                         help="ceiling on passive/inline throughput overhead "
                              "vs enforcement-off (fraction)")
+    parser.add_argument("--max-gossip-overhead", type=float, default=0.05,
+                        help="ceiling on fleet gossip bytes per monitored "
+                             "traffic byte (fraction)")
     args = parser.parse_args()
 
     with open(args.results) as f:
@@ -70,6 +80,37 @@ def main() -> int:
                     f"enforcement-{mode} overhead {overhead * 100:.1f}% "
                     f"exceeds the {args.max_inline_overhead * 100:.0f}% "
                     f"ceiling")
+    # Fleet control-channel economy gate: ratios of same-machine runs, so it
+    # also runs at every hardware-thread count. A dropped gossip record means
+    # a bounded peer queue overflowed — the cluster silently lost detection
+    # signal; an overhead blowout means the SEP channel stopped being cheap
+    # relative to the traffic it monitors.
+    fleet_rows = [r for r in data.get("fleet", [])
+                  if r.get("workload") == "carrier_mix_fleet"]
+    if not fleet_rows:
+        inline_failures.append(
+            "no 'fleet' section in results "
+            "(bench_scalability predates the fleet mode?)")
+    for row in fleet_rows:
+        nodes = int(row.get("nodes", 0))
+        users = int(row.get("provisioned_users", 0))
+        overhead = float(row.get("control_overhead", 0.0))
+        g_dropped = int(row.get("gossip_records_dropped", 0))
+        print(f"fleet {nodes} node(s) @ {users} users: "
+              f"{row.get('pkts_per_sec', 0):.0f} pkts/s, "
+              f"{row.get('gossip_bytes', 0)} gossip bytes "
+              f"({overhead * 100:.3f}% of traffic), "
+              f"{g_dropped} gossip records dropped")
+        if g_dropped != 0:
+            inline_failures.append(
+                f"fleet row nodes={nodes} users={users} dropped "
+                f"{g_dropped} gossip records (bounded peer queue overflow)")
+        if nodes > 1 and overhead > args.max_gossip_overhead:
+            inline_failures.append(
+                f"fleet row nodes={nodes} users={users} control overhead "
+                f"{overhead * 100:.2f}% exceeds the "
+                f"{args.max_gossip_overhead * 100:.1f}% ceiling")
+
     # Only the steady-RTP rows are comparable against the single-engine
     # baseline; carrier_mix rows (mixed signaling/media, lazy session churn)
     # are capacity data, not a scaling gate. Rows predating the workload tag

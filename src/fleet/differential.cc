@@ -1,0 +1,255 @@
+#include "fleet/differential.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace scidive::fleet {
+namespace {
+
+using AlertMultiset = std::map<std::pair<std::string, std::string>, size_t>;
+
+AlertMultiset alert_multiset(const std::vector<core::Alert>& alerts) {
+  AlertMultiset out;
+  for (const core::Alert& a : alerts) ++out[{a.rule, a.session}];
+  return out;
+}
+
+using VerdictMultiset = std::map<std::tuple<std::string, std::string, int>, size_t>;
+
+VerdictMultiset verdict_multiset(const std::vector<core::Verdict>& verdicts) {
+  VerdictMultiset out;
+  for (const core::Verdict& v : verdicts) ++out[{v.rule, v.session, static_cast<int>(v.action)}];
+  return out;
+}
+
+/// Same detection-side families the single-vs-sharded oracle compares.
+/// Fleet control-plane families (scidive_fleet_*, scidive_frontend_*,
+/// ring gauges) scale with topology by design and are out of scope.
+bool comparable_sample(const obs::Sample& s) {
+  if (s.kind != obs::InstrumentKind::kCounter) return false;
+  if (s.name != "scidive_events_total" && s.name != "scidive_events_by_type_total" &&
+      s.name != "scidive_alerts_total" && s.name != "scidive_rule_alerts_total" &&
+      s.name != "scidive_rule_events_total" && s.name != "scidive_parse_errors_total")
+    return false;
+  if (s.name == "scidive_parse_errors_total") {
+    for (const auto& [k, v] : s.labels) {
+      if (k == "proto" && v == "ipv4") return false;  // reassembly placement
+    }
+  }
+  return true;
+}
+
+std::string label_string(const obs::Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+void compare_alerts(const AlertMultiset& baseline, const AlertMultiset& fleet,
+                    const std::string& tag, std::vector<std::string>& mismatches) {
+  if (fleet == baseline) return;
+  for (const auto& [key, n] : baseline) {
+    auto it = fleet.find(key);
+    const size_t have = it == fleet.end() ? 0 : it->second;
+    if (have != n) {
+      mismatches.push_back(str::format("%s: alert (%s, %s) x%zu, baseline has x%zu",
+                                       tag.c_str(), key.first.c_str(), key.second.c_str(),
+                                       have, n));
+    }
+  }
+  for (const auto& [key, n] : fleet) {
+    if (baseline.find(key) == baseline.end()) {
+      mismatches.push_back(str::format("%s: extra alert (%s, %s) x%zu not in baseline",
+                                       tag.c_str(), key.first.c_str(), key.second.c_str(), n));
+    }
+  }
+}
+
+void compare_verdicts(const VerdictMultiset& baseline, const VerdictMultiset& fleet,
+                      const std::string& tag, std::vector<std::string>& mismatches) {
+  if (fleet == baseline) return;
+  for (const auto& [key, n] : baseline) {
+    auto it = fleet.find(key);
+    const size_t have = it == fleet.end() ? 0 : it->second;
+    if (have != n) {
+      mismatches.push_back(str::format(
+          "%s: verdict (%s, %s, %s) x%zu, baseline has x%zu", tag.c_str(),
+          std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+          std::string(core::verdict_action_name(
+                          static_cast<core::VerdictAction>(std::get<2>(key))))
+              .c_str(),
+          have, n));
+    }
+  }
+  for (const auto& [key, n] : fleet) {
+    if (baseline.find(key) == baseline.end()) {
+      mismatches.push_back(str::format(
+          "%s: extra verdict (%s, %s, %s) x%zu not in baseline", tag.c_str(),
+          std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+          std::string(core::verdict_action_name(
+                          static_cast<core::VerdictAction>(std::get<2>(key))))
+              .c_str(),
+          n));
+    }
+  }
+}
+
+void compare_metrics(const obs::Snapshot& baseline, const obs::Snapshot& fleet,
+                     const std::string& tag, std::vector<std::string>& mismatches) {
+  for (const obs::Sample& s : baseline.samples()) {
+    if (!comparable_sample(s)) continue;
+    const uint64_t other = fleet.counter_value(s.name, s.labels);
+    if (other != s.counter) {
+      mismatches.push_back(str::format(
+          "%s: %s{%s} = %llu, baseline = %llu", tag.c_str(), s.name.c_str(),
+          label_string(s.labels).c_str(), static_cast<unsigned long long>(other),
+          static_cast<unsigned long long>(s.counter)));
+    }
+  }
+  for (const obs::Sample& s : fleet.samples()) {
+    if (!comparable_sample(s) || s.counter == 0) continue;
+    if (baseline.find(s.name, s.labels) == nullptr) {
+      mismatches.push_back(str::format("%s: %s{%s} = %llu, absent from baseline",
+                                       tag.c_str(), s.name.c_str(),
+                                       label_string(s.labels).c_str(),
+                                       static_cast<unsigned long long>(s.counter)));
+    }
+  }
+}
+
+}  // namespace
+
+std::string FleetDifferentialReport::to_string() const {
+  if (ok()) {
+    return str::format("fleet differential oracle OK: %zu packets, %zu alerts", packets,
+                       baseline_alerts);
+  }
+  std::string out =
+      str::format("fleet differential oracle FAILED (%zu mismatches):", mismatches.size());
+  for (const std::string& m : mismatches) {
+    out += "\n  ";
+    out += m;
+  }
+  return out;
+}
+
+FleetDifferentialReport run_fleet_differential(const std::vector<pkt::Packet>& stream,
+                                               const FleetDifferentialConfig& config) {
+  FleetDifferentialReport report;
+  report.packets = stream.size();
+
+  core::EngineConfig engine_config = config.engine;
+  engine_config.obs.time_stages = false;
+
+  auto make_fleet = [&](size_t nodes, size_t workers) {
+    FleetConfig fc;
+    fc.num_slots = config.num_slots;
+    fc.home_addresses = engine_config.home_addresses;
+    fc.node.engine.engine = engine_config;
+    fc.node.engine.num_shards = workers;
+    fc.node.engine.route_invite_by_caller = config.verdict_mode;
+    fc.pump_every_packets = config.pump_every_packets;
+    fc.gossip_loss = config.gossip_loss;
+    fc.loss_seed = config.loss_seed;
+    std::vector<std::string> names;
+    names.reserve(nodes);
+    for (size_t i = 0; i < nodes; ++i) names.push_back(str::format("node-%zu", i));
+    auto fleet = std::make_unique<Fleet>(fc, names);
+    if (config.make_rules) {
+      for (size_t i = 0; i < fleet->size(); ++i) {
+        fleet->node_at(i).engine().set_rules([&](size_t) { return config.make_rules(); });
+      }
+    }
+    return fleet;
+  };
+
+  auto replay = [&](Fleet& fleet, bool churn) {
+    size_t fed = 0;
+    for (const pkt::Packet& packet : stream) {
+      fleet.on_packet(packet);
+      ++fed;
+      if (churn && config.join_at != 0 && fed == config.join_at) {
+        fleet.add_node("joiner");
+        if (config.make_rules) {
+          fleet.node("joiner")->engine().set_rules([&](size_t) { return config.make_rules(); });
+        }
+      }
+      if (churn && config.leave_at > config.join_at && fed == config.leave_at) {
+        fleet.remove_node("node-0");
+      }
+    }
+    fleet.flush();
+  };
+
+  // Baseline: one node, one worker — the fleet-shaped equivalent of a
+  // single engine (the single-vs-sharded oracle covers that reduction).
+  auto baseline = make_fleet(1, 1);
+  replay(*baseline, /*churn=*/false);
+  const AlertMultiset baseline_alerts = alert_multiset(baseline->merged_alerts());
+  const VerdictMultiset baseline_verdicts =
+      config.verdict_mode ? verdict_multiset(baseline->merged_verdicts()) : VerdictMultiset{};
+  const obs::Snapshot baseline_metrics = baseline->merged_metrics();
+  report.baseline_alerts = baseline->merged_alerts().size();
+  report.baseline_verdicts = baseline->merged_verdicts().size();
+
+  const bool churn_requested = config.join_at != 0 || config.leave_at != 0;
+  for (size_t workers : config.workers_per_node) {
+    for (size_t nodes : config.node_counts) {
+      const bool churn = churn_requested && nodes > 1;
+      const std::string tag =
+          str::format("%zu nodes x %zu workers%s", nodes, workers, churn ? " (churn)" : "");
+      auto fleet = make_fleet(nodes, workers);
+      replay(*fleet, churn);
+
+      const FleetStats fs = fleet->stats();
+      report.sessions_handed_off += fs.sessions_handed_off;
+      if (fs.packets_seen != stream.size()) {
+        report.mismatches.push_back(
+            str::format("%s: dispatcher saw %llu of %zu packets", tag.c_str(),
+                        static_cast<unsigned long long>(fs.packets_seen), stream.size()));
+      }
+      // Fleet accounting identity: every packet offered is filtered, held
+      // as an incomplete fragment, or seen by exactly one node's front-end
+      // (which in turn enforces its own seen == dropped + shard-seen).
+      uint64_t node_seen = fs.retired_engine_seen, node_dropped = fs.retired_engine_dropped;
+      for (size_t i = 0; i < fleet->size(); ++i) {
+        const core::ShardedEngineStats ns = fleet->node_at(i).engine().stats();
+        node_seen += ns.packets_seen;
+        node_dropped += ns.packets_dropped;
+      }
+      const uint64_t held = fleet->router().stats().fragments_held;
+      if (fs.packets_seen != fs.packets_filtered + held + node_seen) {
+        report.mismatches.push_back(str::format(
+            "%s: accounting identity broken: seen=%llu filtered=%llu held=%llu "
+            "node-seen=%llu",
+            tag.c_str(), static_cast<unsigned long long>(fs.packets_seen),
+            static_cast<unsigned long long>(fs.packets_filtered),
+            static_cast<unsigned long long>(held),
+            static_cast<unsigned long long>(node_seen)));
+      }
+
+      // Loss (gossip frames or ring drops) legitimately trades alerts for
+      // counted drops; the strict comparisons only apply to lossless runs.
+      const uint64_t gossip_dropped = fleet->node_stats().gossip_records_dropped;
+      if (config.gossip_loss > 0 || fs.frames_lost != 0 || gossip_dropped != 0 ||
+          node_dropped != 0)
+        continue;
+
+      compare_alerts(baseline_alerts, alert_multiset(fleet->merged_alerts()), tag,
+                     report.mismatches);
+      if (config.verdict_mode) {
+        compare_verdicts(baseline_verdicts, verdict_multiset(fleet->merged_verdicts()), tag,
+                         report.mismatches);
+      }
+      compare_metrics(baseline_metrics, fleet->merged_metrics(), tag, report.mismatches);
+    }
+  }
+  return report;
+}
+
+}  // namespace scidive::fleet

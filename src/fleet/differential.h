@@ -1,0 +1,67 @@
+// Fleet differential oracle. The fleet's contract extends the sharded
+// engine's: distributing session ownership across N nodes changes *where*
+// state lives and *which* control messages flow, never *what* is detected.
+// For any packet stream, the union (rule, session) alert multiset of an
+// N-node fleet — at any workers-per-node — must equal a 1-node fleet's,
+// including runs where a node joins or leaves mid-replay (handoff
+// preserves trail/event/rule state). Lossy gossip runs relax the strict
+// comparisons: the lost frames are counted, never hidden.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace scidive::fleet {
+
+struct FleetDifferentialConfig {
+  std::vector<size_t> node_counts = {2, 4};
+  std::vector<size_t> workers_per_node = {1, 4};
+  size_t num_slots = kDefaultSlots;
+  /// Per-node engine configuration. time_stages is forced off.
+  core::EngineConfig engine;
+  /// Optional ruleset override, applied to every shard of every node.
+  std::function<std::vector<core::RulePtr>()> make_rules;
+  /// Also require identical (rule, session, action) verdict multisets.
+  /// Implies route_invite_by_caller (principal-keyed prevention state).
+  /// Use EnforcementMode::kPassive: inline drops change detection inputs
+  /// across topologies by design.
+  bool verdict_mode = false;
+  /// Seeded gossip-frame loss; > 0 skips the strict multiset/metric
+  /// comparisons (counted drops are the contract there).
+  double gossip_loss = 0.0;
+  uint64_t loss_seed = 1;
+  size_t pump_every_packets = 512;
+  /// Churn mode: when join_at > 0, node "joiner" joins after that many
+  /// packets of each multi-node run; when leave_at > join_at, the fleet's
+  /// first seed node then leaves gracefully — both with session handoff.
+  size_t join_at = 0;
+  size_t leave_at = 0;
+};
+
+struct FleetDifferentialReport {
+  size_t packets = 0;
+  size_t baseline_alerts = 0;
+  size_t baseline_verdicts = 0;
+  uint64_t sessions_handed_off = 0;  // summed over churn runs
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string to_string() const;
+};
+
+/// Replay `stream` through a 1-node/1-worker baseline fleet and one fleet
+/// per (node count x workers) combination, and compare:
+///   - the union (rule, session) alert multiset (lossless runs);
+///   - the union verdict multiset (verdict_mode, lossless runs);
+///   - the fleet accounting identity seen == filtered + held + sum of
+///     node-engine seen (always);
+///   - the detection metric families summed across nodes (lossless,
+///     non-churn runs; fleet/gossip control-plane families are
+///     topology-dependent by design and excluded).
+FleetDifferentialReport run_fleet_differential(const std::vector<pkt::Packet>& stream,
+                                               const FleetDifferentialConfig& config = {});
+
+}  // namespace scidive::fleet

@@ -1,0 +1,55 @@
+#include "fleet/gossip.h"
+
+namespace scidive::fleet {
+
+GossipQueue::GossipQueue(std::string node, uint64_t epoch, GossipConfig config)
+    : config_(config), encoder_(std::move(node), epoch) {
+  if (config_.max_queue_records == 0) config_.max_queue_records = 1;
+  if (config_.max_batch_records == 0) config_.max_batch_records = 1;
+}
+
+bool GossipQueue::offer(SepRecord record) {
+  if (queue_.size() >= config_.max_queue_records) {
+    ++stats_.records_dropped;
+    return false;
+  }
+  queue_.push_back(std::move(record));
+  ++stats_.records_enqueued;
+  return true;
+}
+
+Bytes GossipQueue::take_frame() {
+  if (queue_.empty()) return {};
+  const size_t n = std::min(queue_.size(), config_.max_batch_records);
+  for (size_t i = 0; i < n; ++i) {
+    std::visit(
+        [&](const auto& rec) {
+          using T = std::decay_t<decltype(rec)>;
+          if constexpr (std::is_same_v<T, core::Event>) {
+            encoder_.add_event(rec);
+          } else if constexpr (std::is_same_v<T, SepVerdict>) {
+            encoder_.add_verdict(rec);
+          } else if constexpr (std::is_same_v<T, SepCounter>) {
+            encoder_.add_counter(rec);
+          } else if constexpr (std::is_same_v<T, SepVouch>) {
+            encoder_.add_vouch(rec);
+          } else {
+            encoder_.add_handoff(rec);
+          }
+        },
+        queue_.front());
+    queue_.pop_front();
+  }
+  Bytes frame = encoder_.finish(config_.compress);
+  ++stats_.frames_built;
+  stats_.bytes_built += frame.size();
+  return frame;
+}
+
+Bytes encode_hello(const std::string& node, uint64_t epoch) {
+  SepEncoder enc(node, epoch);
+  enc.add_hello();
+  return enc.finish(/*compress=*/false);
+}
+
+}  // namespace scidive::fleet

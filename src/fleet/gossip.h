@@ -1,0 +1,62 @@
+// Per-peer gossip egress: a bounded queue of SEP records batched into
+// SEP-v2 frames. The paper's §6 concern — "a challenge is to design the
+// appropriate protocol that does not overwhelm the system with control
+// messages" — is answered structurally: records are batched (amortizing the
+// frame header), timestamps delta-encode, bodies run-compress, and the
+// queue is bounded with counted drops instead of unbounded growth when a
+// peer (or the network) cannot keep up.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/bytes.h"
+#include "fleet/sep_wire.h"
+
+namespace scidive::fleet {
+
+struct GossipConfig {
+  /// Per-peer record bound. Overflow drops the NEW record (the queued
+  /// backlog is older and feeds time-ordered correlation).
+  size_t max_queue_records = 4096;
+  /// Records per emitted frame — keeps frames inside one UDP datagram.
+  size_t max_batch_records = 256;
+  bool compress = true;
+};
+
+struct GossipStats {
+  uint64_t records_enqueued = 0;
+  uint64_t records_dropped = 0;  // bounded-queue overflow
+  uint64_t frames_built = 0;
+  uint64_t bytes_built = 0;
+};
+
+/// One peer's outgoing queue. Single-threaded by design (owned by the fleet
+/// node's control plane, which runs between engine flushes).
+class GossipQueue {
+ public:
+  GossipQueue(std::string node, uint64_t epoch, GossipConfig config);
+
+  /// Queue one record for this peer. False (and counted) when full.
+  bool offer(SepRecord record);
+
+  bool empty() const { return queue_.empty(); }
+  size_t depth() const { return queue_.size(); }
+
+  /// Drain up to max_batch_records into one encoded frame. Empty when
+  /// nothing is queued.
+  Bytes take_frame();
+
+  const GossipStats& stats() const { return stats_; }
+
+ private:
+  GossipConfig config_;
+  SepEncoder encoder_;
+  std::deque<SepRecord> queue_;
+  GossipStats stats_;
+};
+
+/// A standalone liveness heartbeat frame (single kHello record).
+Bytes encode_hello(const std::string& node, uint64_t epoch);
+
+}  // namespace scidive::fleet

@@ -5,7 +5,9 @@
 #include <fstream>
 
 #include "common/strings.h"
+#include "fleet/sep_wire.h"
 #include "fuzz/mutator.h"
+#include "scidive/exchange.h"
 #include "rtp/rtcp.h"
 #include "rtp/rtp.h"
 #include "sip/message.h"
@@ -179,6 +181,54 @@ std::vector<Bytes> datagram_seeds() {
   empty.src = kAlice;
   empty.dst = kBob;
   out.push_back(pkt::serialize_ipv4(empty, {}));
+  return out;
+}
+
+std::vector<Bytes> sep_frame_seeds() {
+  std::vector<Bytes> out;
+
+  // One frame per record type, plus a kitchen-sink batch — uncompressed
+  // and run-compressed — so a mutation is one structured step away from
+  // every branch of the decoder.
+  core::Event event;
+  event.type = core::EventType::kRtpAfterBye;
+  event.session = "seed-call-1";
+  event.time = msec(1200);
+  event.aor = "bob@lab.net";
+  event.endpoint = {kBob, 4002};
+  event.value = -7;
+  event.detail = "RTP after BYE from the callee's old media endpoint";
+
+  for (bool compress : {false, true}) {
+    fleet::SepEncoder enc("ids-seed", /*epoch=*/3);
+    enc.add_event(event);
+    core::Event second = event;
+    second.type = core::EventType::kSipByeSeen;
+    second.time = event.time + msec(4);  // near-zero delta, the common case
+    second.value = 0;
+    second.detail.clear();
+    enc.add_event(second);
+    enc.add_verdict(fleet::SepVerdict{"spit-graylist", core::VerdictAction::kRateLimit,
+                                      "seed-call-9", "spammer@lab.net", {kBob, 5083},
+                                      msec(1500)});
+    enc.add_counter(fleet::SepCounter{fleet::CounterKind::kRegisterFlood, "10.0.0.66",
+                                      sec(10), 17});
+    enc.add_vouch(fleet::SepVouch{fleet::VouchKind::kBye, "seed-call-1", msec(1190)});
+    enc.add_handoff(fleet::SepHandoff{"seed-call-1", "ids-peer", 42});
+    enc.add_hello();
+    out.push_back(enc.finish(compress));
+  }
+
+  // A long-run detail makes the RLE branch genuinely shrink the body.
+  fleet::SepEncoder runs("ids-seed", 3);
+  core::Event padded = event;
+  padded.detail = std::string(600, 'a');
+  runs.add_event(padded);
+  out.push_back(runs.finish(/*compress=*/true));
+
+  // Deprecated SEP1 text line (the decode_frame_any compat path).
+  const std::string sep1 = core::serialize_event("ids-old", event);
+  out.emplace_back(sep1.begin(), sep1.end());
   return out;
 }
 

@@ -32,6 +32,11 @@ std::vector<Bytes> rtcp_seeds();
 /// non-UDP and minimal-size datagrams.
 std::vector<Bytes> datagram_seeds();
 
+/// Valid SEP-v2 gossip frames (fleet/sep_wire.h): every record type, both
+/// compression settings, a run-heavy body, plus one deprecated SEP1 text
+/// line for the compat decode path.
+std::vector<Bytes> sep_frame_seeds();
+
 /// Valid `.sdr` ruleset texts spanning the DSL grammar: the Table-1 rule
 /// ports plus small rules touching every slot type, expression function,
 /// template format and escape. Each compiles cleanly, so a mutation is one

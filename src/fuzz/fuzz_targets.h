@@ -58,6 +58,13 @@ int fuzz_ruledsl(const uint8_t* data, size_t size);
 /// the non-mutating peek must never change them.
 int fuzz_verdict(const uint8_t* data, size_t size);
 
+/// SEP-v2 gossip frame decoder (fleet/sep_wire.h) plus the SEP1 compat
+/// path. Beyond no-crash: any frame this build fully decodes (no unknown
+/// record types, not legacy SEP1) must survive a re-encode/decode round
+/// trip with an identical record list, under both compression settings —
+/// the property that makes versioned gossip safe to evolve.
+int fuzz_sep_wire(const uint8_t* data, size_t size);
+
 /// Pcap file decoder: the raw input is read as a capture file (global
 /// header, record headers, bodies). Exercises truncated/oversized record
 /// lengths, snaplen lies, malformed global headers, both byte orders and
@@ -81,6 +88,7 @@ constexpr FuzzTarget kFuzzTargets[] = {
     {"engine", fuzz_engine},
     {"ruledsl", fuzz_ruledsl},
     {"verdict", fuzz_verdict},
+    {"sep_wire", fuzz_sep_wire},
     {"pcap", fuzz_pcap},
 };
 

@@ -9,7 +9,28 @@ namespace scidive::core {
 
 CooperativeIds::CooperativeIds(netsim::Host& host, EngineConfig engine_config,
                                CoopConfig coop_config)
-    : host_(host), config_(std::move(coop_config)), engine_(std::move(engine_config)) {
+    : host_(host),
+      config_(std::move(coop_config)),
+      engine_(std::move(engine_config)),
+      events_shared_(engine_.metrics().counter("scidive_fleet_events_shared_total",
+                                               "Events shared with peer IDS nodes")),
+      events_received_(engine_.metrics().counter("scidive_fleet_events_received_total",
+                                                 "Events ingested from peer IDS nodes")),
+      parse_errors_(engine_.metrics().counter("scidive_fleet_parse_errors_total",
+                                              "Malformed peer datagrams rejected",
+                                              {{"format", "sep1"}})),
+      claims_held_(engine_.metrics().counter("scidive_fleet_claims_total",
+                                             "Cooperative verification outcomes",
+                                             {{"outcome", "held"}})),
+      claims_confirmed_(engine_.metrics().counter("scidive_fleet_claims_total",
+                                                  "Cooperative verification outcomes",
+                                                  {{"outcome", "confirmed"}})),
+      claims_flagged_(engine_.metrics().counter("scidive_fleet_claims_total",
+                                                "Cooperative verification outcomes",
+                                                {{"outcome", "flagged"}})),
+      claims_skipped_(engine_.metrics().counter("scidive_fleet_claims_total",
+                                                "Cooperative verification outcomes",
+                                                {{"outcome", "skipped_peer_down"}})) {
   engine_.set_event_callback([this](const Event& event) { on_local_event(event); });
   host_.bind_udp(config_.sep_port,
                  [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now) {
@@ -43,7 +64,7 @@ void CooperativeIds::share(const Event& event) {
   for (const pkt::Endpoint& peer : peers_) {
     host_.send_udp(config_.sep_port, peer, line);
   }
-  stats_.events_shared += peers_.empty() ? 0 : 1;
+  if (!peers_.empty()) events_shared_.inc();
 }
 
 void CooperativeIds::on_local_event(const Event& event) {
@@ -51,7 +72,7 @@ void CooperativeIds::on_local_event(const Event& event) {
 
   if (event.type == EventType::kImMessageSeen && peer_users_.contains(event.aor)) {
     // Hold the message for the peer's vouching; judge after the delay.
-    ++stats_.verifications;
+    claims_held_.inc();
     Event held = event;
     host_.after(config_.verify_delay, [this, held] { verify_im(held); });
   }
@@ -68,7 +89,7 @@ bool CooperativeIds::peer_vouched(const std::string& aor, SimTime around) const 
 
 void CooperativeIds::verify_im(Event im_event) {
   if (peer_vouched(im_event.aor, im_event.time)) {
-    ++stats_.confirmed_legit;
+    claims_confirmed_.inc();
     return;
   }
   // Fail-open when the control channel is silent: a down peer IDS must not
@@ -76,10 +97,10 @@ void CooperativeIds::verify_im(Event im_event) {
   if (config_.peer_liveness_window > 0 &&
       (last_peer_heard_ < 0 ||
        host_.now() - last_peer_heard_ > config_.peer_liveness_window)) {
-    ++stats_.skipped_peer_down;
+    claims_skipped_.inc();
     return;
   }
-  ++stats_.flagged_forged;
+  claims_flagged_.inc();
   engine_.alerts().raise(Alert{
       kCoopFakeImRule, Severity::kCritical, im_event.session, host_.now(),
       str::format("IM claiming %s from %s was never vouched by %s's own IDS — forged "
@@ -94,7 +115,7 @@ void CooperativeIds::on_sep_datagram(pkt::Endpoint from, std::span<const uint8_t
   std::string_view text(reinterpret_cast<const char*>(payload.data()), payload.size());
   auto parsed = parse_event(text);
   if (!parsed) {
-    ++stats_.parse_errors;
+    parse_errors_.inc();
     LOG_DEBUG("coop", "%s: bad SEP datagram: %s", config_.node_name.c_str(),
               parsed.error().to_string().c_str());
     return;
@@ -103,8 +124,20 @@ void CooperativeIds::on_sep_datagram(pkt::Endpoint from, std::span<const uint8_t
   remote.received_at = now;
   remote_events_.push_back(std::move(remote));
   last_peer_heard_ = now;
-  ++stats_.events_received;
+  events_received_.inc();
   if (remote_events_.size() > config_.remote_buffer_max) remote_events_.pop_front();
+}
+
+CoopStats CooperativeIds::coop_stats() const {
+  CoopStats out;
+  out.events_shared = events_shared_.value();
+  out.events_received = events_received_.value();
+  out.parse_errors = parse_errors_.value();
+  out.verifications = claims_held_.value();
+  out.confirmed_legit = claims_confirmed_.value();
+  out.flagged_forged = claims_flagged_.value();
+  out.skipped_peer_down = claims_skipped_.value();
+  return out;
 }
 
 }  // namespace scidive::core

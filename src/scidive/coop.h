@@ -51,6 +51,10 @@ struct CoopConfig {
   SimDuration peer_liveness_window = sec(30);
 };
 
+/// By-value view of the cooperative control plane. The authoritative state
+/// lives in obs::MetricsRegistry instruments on the wrapped engine (the
+/// scidive_fleet_* families), so coop health rides the same Prometheus/JSON
+/// exposition as everything else; this struct is the test-friendly read.
 struct CoopStats {
   uint64_t events_shared = 0;
   uint64_t events_received = 0;
@@ -82,7 +86,7 @@ class CooperativeIds {
   const AlertSink& alerts() const { return engine_.alerts(); }
 
   const std::deque<RemoteEvent>& remote_events() const { return remote_events_; }
-  const CoopStats& coop_stats() const { return stats_; }
+  CoopStats coop_stats() const;
 
   static constexpr const char* kCoopFakeImRule = "coop-fake-im";
 
@@ -100,7 +104,16 @@ class CooperativeIds {
   std::set<std::string> peer_users_;
   std::deque<RemoteEvent> remote_events_;
   SimTime last_peer_heard_ = -1;
-  CoopStats stats_;
+
+  // Registered once at construction so the families appear (zero-valued) in
+  // the exposition even before the first datagram.
+  obs::Counter& events_shared_;
+  obs::Counter& events_received_;
+  obs::Counter& parse_errors_;
+  obs::Counter& claims_held_;
+  obs::Counter& claims_confirmed_;
+  obs::Counter& claims_flagged_;
+  obs::Counter& claims_skipped_;
 };
 
 }  // namespace scidive::core

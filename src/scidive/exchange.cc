@@ -66,8 +66,16 @@ std::string serialize_event(std::string_view node_name, const Event& event) {
 }
 
 Result<RemoteEvent> parse_event(std::string_view line) {
-  auto fields = str::split(str::trim(line), '\t');
-  if (fields.size() < 9) return Error{Errc::kMalformed, "SEP line needs 9 fields"};
+  if (line.size() > kMaxSepLineBytes)
+    return Error{Errc::kMalformed, "SEP line exceeds size cap"};
+  // Strip line endings only — a full trim() would eat the trailing tab of
+  // an empty detail field and shift the field count.
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.remove_suffix(1);
+  auto fields = str::split(line, '\t');
+  // Exactly nine: serialize_event() sanitizes tabs out of the detail field,
+  // so extra separators mean a peer speaking something else — reject rather
+  // than guess at field boundaries.
+  if (fields.size() != 9) return Error{Errc::kMalformed, "SEP line needs 9 fields"};
   if (fields[0] != "SEP1") return Error{Errc::kUnsupported, "not SEP1"};
 
   RemoteEvent out;
@@ -108,14 +116,7 @@ Result<RemoteEvent> parse_event(std::string_view line) {
     out.event.value = static_cast<int64_t>(*value);
   }
 
-  // Detail: everything after the 8th tab (may itself contain no tabs by
-  // construction, but re-join defensively).
-  std::string detail(fields[8]);
-  for (size_t i = 9; i < fields.size(); ++i) {
-    detail += ' ';
-    detail += std::string(fields[i]);
-  }
-  out.event.detail = std::move(detail);
+  out.event.detail = std::string(fields[8]);
   return out;
 }
 

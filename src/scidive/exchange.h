@@ -7,6 +7,12 @@
 //   SEP1 \t <node> \t <type> \t <session> \t <time_usec> \t <aor>
 //        \t <addr:port> \t <value> \t <detail...>
 // The detail field is last and may contain anything but tab/newline.
+//
+// DEPRECATED: SEP1 is superseded by the versioned, length-prefixed binary
+// SEP-v2 format in fleet/sep_wire.h (batched records, varint deltas,
+// optional RLE compression, forward-compatible unknown-record skip). New
+// code should speak SEP-v2; fleet::decode_frame_any() keeps a one-release
+// compat path that still accepts SEP1 datagrams.
 #pragma once
 
 #include <string>
@@ -36,5 +42,9 @@ int event_type_wire_id(EventType type);
 Result<EventType> event_type_from_wire_id(int id);
 
 constexpr uint16_t kSepPort = 5999;
+
+/// Hard ceiling on an accepted SEP1 line. Anything longer is an attack or a
+/// framing bug, not an event — rejected outright rather than partially read.
+constexpr size_t kMaxSepLineBytes = 2048;
 
 }  // namespace scidive::core

@@ -68,6 +68,14 @@ ShardRouter::ShardRouter(ShardRouterConfig config, ShardDirectory* directory)
   }
 }
 
+size_t ShardRouter::shard_of(std::string_view key, size_t num_shards) {
+  return mix64(ShardDirectory::key_hash(key)) % (num_shards == 0 ? 1 : num_shards);
+}
+
+size_t ShardRouter::shard_of_hash(uint64_t key_hash, size_t num_shards) {
+  return mix64(key_hash) % (num_shards == 0 ? 1 : num_shards);
+}
+
 size_t ShardRouter::shard_of_key(std::string_view key) const {
   return mix64(ShardDirectory::key_hash(key)) % config_.num_shards;
 }
@@ -149,7 +157,7 @@ size_t ShardRouter::route_datagram(const pkt::Packet& packet) {
       if (auto cid = m.call_id(); cid && !cid->empty()) {
         const uint64_t cid_hash = ShardDirectory::key_hash(*cid);
         directory_->mark_principal_routed(cid_hash);
-        if (cseq_method == "INVITE")
+        if (cseq_method == "INVITE" || config_.pin_principal_call_ids)
           directory_->set_override(cid_hash, static_cast<uint32_t>(shard));
       }
     } else {

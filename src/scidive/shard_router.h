@@ -53,6 +53,12 @@ struct ShardRouterConfig {
   /// (SPIT graylisting) stays coherent: every call attempt of one caller —
   /// and every later packet of each dialog — lands on the caller's shard.
   bool route_invite_by_caller = false;
+  /// Record a directory override for *every* principal-routed call-id
+  /// (REGISTER/MESSAGE, not just pinned INVITEs). Routing is unchanged —
+  /// those packets carry their From on every message — but the override
+  /// makes the session's shard recoverable from its id alone, which the
+  /// fleet's churn handoff needs to relocate principal-routed sessions.
+  bool pin_principal_call_ids = false;
 };
 
 struct ShardRouterStats {
@@ -85,6 +91,12 @@ class ShardRouter {
   /// mangled to carry even an IPv4 header (routed nowhere — shard 0 gets
   /// them so their error accounting is not lost).
   std::optional<Routed> route(const pkt::Packet& packet);
+
+  /// The pure key -> shard mapping (no overrides), exposed so other layers
+  /// that must agree with the router — the fleet ring maps the same keys to
+  /// ownership slots — use the identical hash instead of a lookalike.
+  static size_t shard_of(std::string_view key, size_t num_shards);
+  static size_t shard_of_hash(uint64_t key_hash, size_t num_shards);
 
   const ShardRouterStats& stats() const { return stats_; }
   size_t media_binding_count() const { return directory_->media_binding_count(); }

@@ -242,6 +242,42 @@ void ShardedEngine::set_rules(
   }
 }
 
+void ShardedEngine::on_packet_to_shard(size_t shard, pkt::Packet&& packet) {
+  direct_seen_ += 1;
+  enqueue(shard % shards_.size(), std::move(packet));
+}
+
+bool ShardedEngine::has_session(const SessionId& session) const {
+  for (const auto& shard : shards_) {
+    if (shard->engine.has_session(session)) return true;
+  }
+  return false;
+}
+
+ScidiveEngine::SessionTransfer ShardedEngine::extract_session(const SessionId& session) {
+  for (auto& shard : shards_) {
+    if (shard->engine.has_session(session)) return shard->engine.extract_session(session);
+  }
+  return {};
+}
+
+bool ShardedEngine::install_session(ScidiveEngine::SessionTransfer&& transfer,
+                                    size_t shard) {
+  if (!transfer.valid) return false;
+  const size_t to = shard % shards_.size();
+  if (shards_[to]->engine.has_session(transfer.id)) return false;
+  const SessionId id = transfer.id;
+  shards_[to]->engine.install_session(std::move(transfer));
+  directory_.set_override(ShardDirectory::key_hash(id), static_cast<uint32_t>(to));
+  for (const pkt::Endpoint& ep : shards_[to]->engine.trails().media_endpoints(id))
+    directory_.learn_media(ep, static_cast<uint32_t>(to));
+  return true;
+}
+
+void ShardedEngine::adopt_verdict(const Verdict& verdict) {
+  if (Enforcer* enforcer = shards_.front()->engine.enforcer()) enforcer->apply(verdict);
+}
+
 bool ShardedEngine::migrate_session(const SessionId& session, size_t from, size_t to) {
   // install_session's precondition: the destination must not already hold
   // this session. Affinity makes a collision all but impossible; a stale
@@ -342,6 +378,7 @@ ShardedEngineStats ShardedEngine::stats() const {
     out.packets_seen += producer->seen_;
     out.packets_filtered += producer->filtered_;
   }
+  out.packets_seen += direct_seen_;
   out.packets_dropped = packets_dropped();
   for (const auto& shard : shards_) {
     const EngineStats s = shard->engine.stats();

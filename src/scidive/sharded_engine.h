@@ -134,6 +134,32 @@ class ShardedEngine {
     return [this](const pkt::Packet& packet) { on_packet(packet); };
   }
 
+  /// Pre-routed ingestion for callers that own the routing decision (the
+  /// fleet dispatcher routes once at fleet level — slot -> node -> worker —
+  /// and addresses the worker shard directly). Bypasses this engine's
+  /// router, home filter and per-producer counters; ring backpressure and
+  /// drop accounting apply unchanged. Calls must come from one thread at a
+  /// time, like a producer.
+  void on_packet_to_shard(size_t shard, pkt::Packet&& packet);
+
+  /// Session relocation between engines — the fleet's churn-handoff path,
+  /// riding the same SessionTransfer machinery as rebalance(). All three
+  /// calls require quiescence (flush() first), like shard(i) access.
+  bool has_session(const SessionId& session) const;
+  /// Extract from whichever shard holds the session; transfer.valid is
+  /// false when none does.
+  ScidiveEngine::SessionTransfer extract_session(const SessionId& session);
+  /// Install into `shard` (mod num_shards) and repoint routing — directory
+  /// override plus the session's media bindings — so every producer routes
+  /// the session there. False if invalid or the shard already has it.
+  bool install_session(ScidiveEngine::SessionTransfer&& transfer, size_t shard);
+
+  /// Adopt a verdict computed elsewhere (a fleet peer's engine): apply it
+  /// through shard 0's enforcer, which installs its content-derived keys
+  /// locally and publishes them through the directory to every shard. No-op
+  /// when enforcement is off. Quiescent-only, like shard(i) access.
+  void adopt_verdict(const Verdict& verdict);
+
   /// Drive loop over a capture source through the default producer, then
   /// flush() — so when this returns, merged alerts/stats/shards are safe to
   /// read. Flush-deterministic: the post-run state is a pure function of
@@ -250,6 +276,7 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
+  uint64_t direct_seen_ = 0;  // on_packet_to_shard ingestion (single caller)
   uint64_t sessions_migrated_ = 0;  // quiesce-only
   uint64_t rebalance_rounds_ = 0;
   /// Front-end instruments (touched only at snapshot time; the producer

@@ -475,6 +475,7 @@ void UserAgent::hangup(const std::string& call_id) {
   bye.headers().add("Call-ID", call_id);
   bye.headers().add("CSeq", str::format("%u BYE", call->dialog->next_local_cseq()));
   tm_.send_request(bye, remote, [](const sip::ClientResult&) {});
+  if (on_bye_sent) on_bye_sent(call_id);
   end_call(call_id);
 }
 
@@ -493,6 +494,7 @@ void UserAgent::migrate_media(const std::string& call_id, pkt::Endpoint new_medi
   auto sdp = sip::make_audio_sdp(new_media.addr.to_string(), new_media.port, next_id_, 2);
   reinvite.set_body(sdp.to_string(), "application/sdp");
   tm_.send_request(reinvite, remote, [](const sip::ClientResult&) {});
+  if (on_reinvite_sent) on_reinvite_sent(call_id);
   // The call has moved to the new device: this agent stops sourcing media.
   stop_media(*call);
 }

@@ -118,6 +118,12 @@ class UserAgent {
   /// Fires when this client genuinely sends an IM — host-based ground truth
   /// a co-located IDS can subscribe to (cooperative detection, paper §6).
   std::function<void(const std::string& target_aor, const std::string& text)> on_im_sent;
+  /// Fires when this client genuinely hangs up a call — host-based ground
+  /// truth a co-located IDS vouches to peers so a spoofed BYE (forged
+  /// source, correct dialog state) is attributable fleet-wide.
+  std::function<void(const std::string& call_id)> on_bye_sent;
+  /// Likewise for a genuine mid-call re-INVITE (media migration).
+  std::function<void(const std::string& call_id)> on_reinvite_sent;
 
  private:
   struct Call {

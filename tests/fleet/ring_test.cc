@@ -1,0 +1,114 @@
+// FleetRing: the consistent-hash properties the fleet's correctness rests
+// on — deterministic membership-agreed slot tables, join-order invariance,
+// minimal movement on churn, and reasonable balance.
+#include "fleet/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace scidive::fleet {
+namespace {
+
+TEST(FleetRing, SingleNodeOwnsEverything) {
+  FleetRing ring(16);
+  EXPECT_TRUE(ring.add_node("solo"));
+  for (size_t slot = 0; slot < ring.num_slots(); ++slot) {
+    EXPECT_EQ(ring.owner_of_slot(slot), "solo");
+  }
+  EXPECT_EQ(ring.owner_of_key("any-session-key"), "solo");
+  EXPECT_EQ(ring.slots_of("solo").size(), 16u);
+}
+
+TEST(FleetRing, EmptyRingOwnsNothing) {
+  FleetRing ring(8);
+  EXPECT_EQ(ring.owner_of_slot(0), "");
+  EXPECT_EQ(ring.owner_of_key("k"), "");
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(FleetRing, MembershipChangesAreIdempotent) {
+  FleetRing ring(8);
+  EXPECT_TRUE(ring.add_node("a"));
+  EXPECT_FALSE(ring.add_node("a"));
+  EXPECT_FALSE(ring.remove_node("ghost"));
+  EXPECT_TRUE(ring.remove_node("a"));
+  EXPECT_FALSE(ring.remove_node("a"));
+}
+
+TEST(FleetRing, JoinOrderDoesNotMatter) {
+  // Every node that agrees on the member set computes the identical table —
+  // regardless of the order members were learned in.
+  FleetRing forward(64), backward(64), shuffled(64);
+  const std::vector<std::string> names = {"node-0", "node-1", "node-2", "node-3", "node-4"};
+  for (const auto& n : names) forward.add_node(n);
+  for (auto it = names.rbegin(); it != names.rend(); ++it) backward.add_node(*it);
+  for (const auto& n : {"node-2", "node-0", "node-4", "node-1", "node-3"})
+    shuffled.add_node(n);
+  for (size_t slot = 0; slot < 64; ++slot) {
+    EXPECT_EQ(forward.owner_of_slot(slot), backward.owner_of_slot(slot)) << slot;
+    EXPECT_EQ(forward.owner_of_slot(slot), shuffled.owner_of_slot(slot)) << slot;
+  }
+  EXPECT_TRUE(FleetRing::moved_slots(forward, backward).empty());
+}
+
+TEST(FleetRing, SlotOfKeyIsMembershipIndependent) {
+  FleetRing small(64), big(64);
+  small.add_node("a");
+  for (const char* n : {"a", "b", "c", "d"}) big.add_node(n);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = str::format("call-%d@lab.net", i);
+    EXPECT_EQ(small.slot_of_key(key), big.slot_of_key(key));
+  }
+}
+
+TEST(FleetRing, JoinMovesOnlyTheJoinersSlots) {
+  FleetRing before(64), after(64);
+  for (const char* n : {"a", "b", "c"}) before.add_node(n);
+  for (const char* n : {"a", "b", "c", "d"}) after.add_node(n);
+  const std::vector<size_t> moved = FleetRing::moved_slots(before, after);
+  // Every moved slot moved TO the joiner; nothing reshuffled between
+  // incumbents (the rendezvous property churn handoff depends on).
+  for (size_t slot : moved) EXPECT_EQ(after.owner_of_slot(slot), "d");
+  EXPECT_EQ(moved.size(), after.slots_of("d").size());
+  // Expected slots/N movement: 64/4 = 16. Allow slack, but a full reshuffle
+  // (~48 slots) must be impossible by construction.
+  EXPECT_GT(moved.size(), 0u);
+  EXPECT_LE(moved.size(), 32u);
+}
+
+TEST(FleetRing, LeaveMovesOnlyTheLeaversSlots) {
+  FleetRing before(64), after(64);
+  for (const char* n : {"a", "b", "c", "d"}) before.add_node(n);
+  const std::vector<size_t> owned = before.slots_of("d");
+  for (const char* n : {"a", "b", "c"}) after.add_node(n);
+  const std::vector<size_t> moved = FleetRing::moved_slots(before, after);
+  EXPECT_EQ(moved, owned);  // both sorted ascending
+}
+
+TEST(FleetRing, BalanceAcrossNodes) {
+  FleetRing ring(256);
+  for (int i = 0; i < 4; ++i) ring.add_node(str::format("node-%d", i));
+  std::map<std::string, size_t> counts;
+  for (size_t slot = 0; slot < ring.num_slots(); ++slot)
+    ++counts[std::string(ring.owner_of_slot(slot))];
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [name, n] : counts) {
+    // Perfect balance is 64; rendezvous over 256 slots stays within 2x.
+    EXPECT_GE(n, 32u) << name;
+    EXPECT_LE(n, 128u) << name;
+  }
+}
+
+TEST(FleetRing, RejectsOversizedNames) {
+  FleetRing ring(8);
+  EXPECT_FALSE(ring.add_node(std::string(65, 'x')));
+  EXPECT_FALSE(ring.add_node(""));
+  EXPECT_TRUE(ring.add_node(std::string(64, 'x')));
+}
+
+}  // namespace
+}  // namespace scidive::fleet

@@ -56,6 +56,7 @@ TEST(CorpusReplay, SeedsPassEveryTargetUnmutated) {
   EXPECT_EQ(fuzz_engine(packets.data(), packets.size()), 0);
   EXPECT_EQ(fuzz_verdict(packets.data(), packets.size()), 0);
   EXPECT_EQ(fuzz_fragment_reassembly(packets.data(), packets.size()), 0);
+  for (const Bytes& b : sep_frame_seeds()) EXPECT_EQ(fuzz_sep_wire(b.data(), b.size()), 0);
   for (const std::string& r : ruleset_seeds()) {
     EXPECT_EQ(fuzz_ruledsl(reinterpret_cast<const uint8_t*>(r.data()), r.size()), 0);
     // The DSL seeds must actually be valid, not merely survivable.
@@ -105,6 +106,20 @@ TEST(CorpusReplay, TenThousandMutatedRulesets) {
     } else {
       ASSERT_FALSE(compiled.error().message.empty());
     }
+  }
+}
+
+TEST(CorpusReplay, TenThousandMutatedSepFrames) {
+  // Gossip frames arrive from other machines over an unauthenticated UDP
+  // channel: the decoder must survive anything, and whatever it does accept
+  // must hold the re-encode/decode round-trip invariant (fuzz_sep_wire
+  // traps on violation, which this harness would report as a crash).
+  Mutator m(0x5e95e95e);
+  const std::vector<Bytes> seeds = sep_frame_seeds();
+  for (int i = 0; i < 10000; ++i) {
+    Bytes b = seeds[static_cast<size_t>(i) % seeds.size()];
+    m.mutate_bytes(b, 1 + i % 4);
+    ASSERT_EQ(fuzz_sep_wire(b.data(), b.size()), 0);
   }
 }
 

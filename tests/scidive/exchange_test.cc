@@ -76,6 +76,36 @@ TEST(Exchange, RejectsMalformed) {
   EXPECT_FALSE(parse_event("totally unrelated text").ok());
 }
 
+TEST(Exchange, RejectsOversizedLines) {
+  // serialize never emits more than a few hundred bytes; anything past the
+  // cap is hostile input and must be rejected before field splitting.
+  std::string huge = serialize_event("ids-b", sample_event());
+  huge.append(kMaxSepLineBytes, 'x');
+  EXPECT_FALSE(parse_event(huge).ok());
+  // At the cap itself, padding the detail field is still fine.
+  Event e = sample_event();
+  e.detail = std::string(1500, 'd');
+  EXPECT_TRUE(parse_event(serialize_event("ids-b", e)).ok());
+}
+
+TEST(Exchange, EmptyDetailRoundTrips) {
+  // An empty detail leaves a trailing tab on the wire; the parser must not
+  // trim it away and miscount the fields.
+  Event e = sample_event();
+  e.detail.clear();
+  auto parsed = parse_event(serialize_event("ids-b", e));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().event.detail, "");
+}
+
+TEST(Exchange, RejectsExtraFields) {
+  // serialize sanitizes tabs out of every field, so exactly nine fields is
+  // an invariant — a tenth means a forged or corrupted line.
+  std::string wire = serialize_event("ids-b", sample_event());
+  EXPECT_FALSE(parse_event(wire + "\ttrailing-field").ok());
+  EXPECT_FALSE(parse_event(wire + "\t").ok());
+}
+
 TEST(Exchange, FuzzNeverCrashes) {
   std::mt19937 rng(5);
   for (int i = 0; i < 500; ++i) {
