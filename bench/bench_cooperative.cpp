@@ -4,7 +4,7 @@
 // system with control messages").
 #include <cstdio>
 
-#include "scidive/coop.h"
+#include "fleet/coop.h"
 #include "testbed/testbed.h"
 #include "voip/attack.h"
 
@@ -15,19 +15,19 @@ namespace {
 
 struct Deployment {
   Testbed tb;
-  core::CooperativeIds ids_a;
-  core::CooperativeIds ids_b;
+  fleet::CooperativeIds ids_a;
+  fleet::CooperativeIds ids_b;
 
   explicit Deployment(bool cooperative)
       : ids_a(tb.client_a().host(), engine_config(tb.client_a().host().address()),
-              core::CoopConfig{.node_name = "ids-a"}),
+              fleet::CoopConfig{.node_name = "ids-a"}),
         ids_b(tb.client_b().host(), engine_config(tb.client_b().host().address()),
-              core::CoopConfig{.node_name = "ids-b"}) {
+              fleet::CoopConfig{.node_name = "ids-b"}) {
     tb.net().add_tap(ids_a.tap());
     tb.net().add_tap(ids_b.tap());
     if (cooperative) {
-      ids_a.add_peer({tb.client_b().host().address(), core::kSepPort});
-      ids_b.add_peer({tb.client_a().host().address(), core::kSepPort});
+      ids_a.add_peer({tb.client_b().host().address(), fleet::kSepPort});
+      ids_b.add_peer({tb.client_a().host().address(), fleet::kSepPort});
       ids_a.attach_local_agent(tb.client_a());
       ids_b.attach_local_agent(tb.client_b());
       ids_a.add_peer_user(tb.client_b().aor());
@@ -50,7 +50,7 @@ struct Deployment {
 
   size_t detections() const {
     return ids_a.alerts().count_for_rule("fake-im") +
-           ids_a.alerts().count_for_rule(core::CooperativeIds::kCoopFakeImRule);
+           ids_a.alerts().count_for_rule(fleet::CooperativeIds::kCoopFakeImRule);
   }
 };
 

@@ -201,11 +201,15 @@ void BM_DistillRtpPacket(benchmark::State& state) {
 }
 BENCHMARK(BM_DistillRtpPacket);
 
-/// Full pipeline cost per in-session RTP packet: distill -> trail -> event
-/// generation -> rules (the common case the paper optimizes with the event
-/// abstraction).
+/// Cost per in-session RTP packet. Arg(0) pins the full pipeline — distill
+/// -> trail -> event generation -> rules (the common case the paper
+/// optimizes with the event abstraction); Arg(1) is the default engine with
+/// the established-flow fast path, where steady media settles onto the
+/// header-peek bypass. The delta is the fast path's single-engine win.
 void BM_EngineRtpPacket(benchmark::State& state) {
-  core::ScidiveEngine engine;
+  core::EngineConfig config;
+  config.fastpath.enabled = state.range(0) != 0;
+  core::ScidiveEngine engine(config);
   // Establish the session so RTP correlates.
   establish_bench_call(engine);
 
@@ -223,8 +227,9 @@ void BM_EngineRtpPacket(benchmark::State& state) {
     engine.on_packet(p);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(config.fastpath.enabled ? "fastpath=on" : "fastpath=off");
 }
-BENCHMARK(BM_EngineRtpPacket);
+BENCHMARK(BM_EngineRtpPacket)->Arg(0)->Arg(1);
 
 /// Event delivery strategy on the in-session RTP steady state: Arg(0)
 /// broadcasts every event to every rule (the historical loop); Arg(1) uses
@@ -362,7 +367,11 @@ void BM_TrailAddRtpAllocs(benchmark::State& state) {
 BENCHMARK(BM_TrailAddRtpAllocs);
 
 /// Allocations per in-session RTP packet through the whole engine
-/// (distill + route + events + rules). Not asserted to be zero — the
+/// (distill + route + events + rules). The established-flow fast path is
+/// explicitly disabled so this keeps measuring the full slow pipeline —
+/// otherwise every post-warm-up packet would take the bypass and the
+/// distiller/event/rule steady state would go unguarded (that path has its
+/// own guard, BM_EngineRtpFastpathAllocs). Not asserted to be zero — the
 /// distiller's footprint and event scratch work are measured here — but
 /// tracked so regressions are visible.
 ///
@@ -372,7 +381,9 @@ BENCHMARK(BM_TrailAddRtpAllocs);
 /// transition program runs on slot arithmetic alone.
 void BM_EngineRtpPacketAllocs(benchmark::State& state) {
   const bool dsl = state.range(0) != 0;
-  core::ScidiveEngine engine;
+  core::EngineConfig config;
+  config.fastpath.enabled = false;  // measure the slow pipeline, not the bypass
+  core::ScidiveEngine engine(config);
   if (dsl) engine.set_rules(shipped_dsl_rules());
   establish_bench_call(engine);
 
@@ -403,6 +414,55 @@ void BM_EngineRtpPacketAllocs(benchmark::State& state) {
   state.SetLabel(dsl ? "rules=dsl" : "rules=builtin");
 }
 BENCHMARK(BM_EngineRtpPacketAllocs)->Arg(0)->Arg(1);
+
+/// The established-flow fast path itself: a default engine (fastpath on),
+/// one steady in-session RTP flow. The warm-up populates the flow cache, so
+/// every measured packet must take the header-peek bypass — the label
+/// records the measured bypass share so a silently disengaged fast path
+/// (share ~0) is visible, and check_allocs.py fails the build on it. The
+/// bypass is FlatMap lookup + microstate arithmetic only: allocs_per_op
+/// must read 0.00.
+///
+/// Arg(0)/Arg(1) mirror BM_EngineRtpPacketAllocs (builtin vs shipped .sdr
+/// rules): the compiled-rule interest analysis must reach the same
+/// "no steady-state interest" answer as the C++ rules' virtual hook.
+void BM_EngineRtpFastpathAllocs(benchmark::State& state) {
+  const bool dsl = state.range(0) != 0;
+  core::ScidiveEngine engine;  // default config: fastpath enabled
+  if (dsl) engine.set_rules(shipped_dsl_rules());
+  establish_bench_call(engine);
+
+  pkt::Packet p = make_rtp_pkt(0);
+  disable_udp_checksum(p);
+  uint16_t seq = 0;
+  SimTime now = msec(100);
+  for (int i = 0; i < 1000; ++i) {
+    ++seq;
+    p.data[kRtpSeqOffset] = static_cast<uint8_t>(seq >> 8);
+    p.data[kRtpSeqOffset + 1] = static_cast<uint8_t>(seq & 0xff);
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const uint64_t bypassed_before = engine.fastpath_bypassed();
+  for (auto _ : state) {
+    ++seq;
+    p.data[kRtpSeqOffset] = static_cast<uint8_t>(seq >> 8);
+    p.data[kRtpSeqOffset + 1] = static_cast<uint8_t>(seq & 0xff);
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+  uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - before;
+  const double share =
+      static_cast<double>(engine.fastpath_bypassed() - bypassed_before) /
+      static_cast<double>(state.iterations());
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.counters["bypassed_share"] = benchmark::Counter(share);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(dsl ? "rules=dsl" : "rules=builtin");
+}
+BENCHMARK(BM_EngineRtpFastpathAllocs)->Arg(0)->Arg(1);
 
 /// The inline-prevention variant of the RTP hot path: enforcement mode
 /// kInline with the prevention ruleset installed and a standing rate limit

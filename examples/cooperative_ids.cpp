@@ -12,7 +12,7 @@
 //   $ ./cooperative_ids
 #include <cstdio>
 
-#include "scidive/coop.h"
+#include "fleet/coop.h"
 #include "voip/attack.h"
 #include "testbed/testbed.h"
 
@@ -29,14 +29,14 @@ int main() {
   core::EngineConfig cfg_b;
   cfg_b.home_addresses = {tb.client_b().host().address()};
 
-  core::CooperativeIds ids_a(tb.client_a().host(), cfg_a,
-                             core::CoopConfig{.node_name = "ids-a"});
-  core::CooperativeIds ids_b(tb.client_b().host(), cfg_b,
-                             core::CoopConfig{.node_name = "ids-b"});
+  fleet::CooperativeIds ids_a(tb.client_a().host(), cfg_a,
+                             fleet::CoopConfig{.node_name = "ids-a"});
+  fleet::CooperativeIds ids_b(tb.client_b().host(), cfg_b,
+                             fleet::CoopConfig{.node_name = "ids-b"});
   tb.net().add_tap(ids_a.tap());
   tb.net().add_tap(ids_b.tap());
-  ids_a.add_peer({tb.client_b().host().address(), core::kSepPort});
-  ids_b.add_peer({tb.client_a().host().address(), core::kSepPort});
+  ids_a.add_peer({tb.client_b().host().address(), fleet::kSepPort});
+  ids_b.add_peer({tb.client_a().host().address(), fleet::kSepPort});
   ids_a.attach_local_agent(tb.client_a());
   ids_b.attach_local_agent(tb.client_b());
   ids_a.add_peer_user(tb.client_b().aor());
@@ -64,12 +64,12 @@ int main() {
   printf("\n   local fake-im rule alerts:  %zu   (blind: source IP looked right)\n",
          ids_a.alerts().count_for_rule("fake-im"));
   printf("   cooperative rule alerts:    %zu   (bob's IDS never vouched the send)\n",
-         ids_a.alerts().count_for_rule(core::CooperativeIds::kCoopFakeImRule));
+         ids_a.alerts().count_for_rule(fleet::CooperativeIds::kCoopFakeImRule));
 
   printf("\nSEP control-channel cost: %llu events shared by ids-a, %llu received\n",
          (unsigned long long)ids_a.coop_stats().events_shared,
          (unsigned long long)ids_a.coop_stats().events_received);
-  bool ok = ids_a.alerts().count_for_rule(core::CooperativeIds::kCoopFakeImRule) >= 1 &&
+  bool ok = ids_a.alerts().count_for_rule(fleet::CooperativeIds::kCoopFakeImRule) >= 1 &&
             ids_a.coop_stats().confirmed_legit == 1;
   printf("\n%s\n", ok ? "cooperative detection closed the spoofing blind spot."
                       : "UNEXPECTED: scenario did not behave as designed");

@@ -9,7 +9,9 @@ Run the alloc-counting benchmarks with google-benchmark's JSON reporter:
 
 The guarded benchmarks measure steady-state allocations per operation on
 the RTP hot path. BM_TrailRouteRtpAllocs (both metric arms),
-BM_EngineRtpPacketAllocs (builtin and DSL rulesets) and
+BM_EngineRtpPacketAllocs (builtin and DSL rulesets, fast path disabled so
+the full slow pipeline stays covered), BM_EngineRtpFastpathAllocs (the
+established-flow bypass itself, both rulesets) and
 BM_EngineRtpVerdictAllocs (inline enforcement: block-list lookup +
 token-bucket charge per packet) must stay at zero: the session arena +
 flat-map + interner layer exists precisely so that an in-session packet
@@ -17,6 +19,11 @@ allocates nothing, and the enforcement decision path is FlatMaps and
 token arithmetic on top of it. A small epsilon absorbs one-time
 noise that leaks past warm-up (a rare flat-map rehash amortised over
 millions of iterations lands around 1e-6 allocs/op).
+
+BM_EngineRtpFastpathAllocs also reports a bypassed_share counter (bypass
+hits / measured iterations). It must stay near 1.0 — a zero-alloc run
+with share ~0 means the fast path silently disengaged and the benchmark
+is measuring the slow path twice, so that is a failure too.
 
 Exit status is non-zero if any guarded benchmark exceeds the threshold
 or is missing from the JSON (so a renamed/deleted benchmark cannot
@@ -38,8 +45,15 @@ GUARDED = [
     "BM_TrailRouteRtpAllocs",
     "BM_TrailAddRtpAllocs",
     "BM_EngineRtpPacketAllocs",
+    "BM_EngineRtpFastpathAllocs",
     "BM_EngineRtpVerdictAllocs",
 ]
+
+# Minimum fraction of measured iterations that must take the fast-path
+# bypass in benchmarks reporting a bypassed_share counter. Guards against
+# the vacuous pass where the bypass disengages but the slow path also
+# happens to be allocation-free.
+MIN_BYPASSED_SHARE = 0.9
 
 
 def main(path: str) -> int:
@@ -68,6 +82,15 @@ def main(path: str) -> int:
             status = 1
         else:
             print(f"OK   {name}: allocs_per_op = {allocs:.6g}")
+        share = run.get("bypassed_share")
+        if share is not None:
+            if share < MIN_BYPASSED_SHARE:
+                print(f"FAIL {name}: bypassed_share = {share:.4f} "
+                      f"(minimum {MIN_BYPASSED_SHARE}) — fast path "
+                      f"disengaged, zero allocs is vacuous")
+                status = 1
+            else:
+                print(f"OK   {name}: bypassed_share = {share:.4f}")
 
     for base, count in seen.items():
         if count == 0:

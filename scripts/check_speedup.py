@@ -27,8 +27,22 @@ queue overhead, not scaling, so the multicore check degrades to a warning
 and (if the inline and fleet gates passed) exits 0 — the multicore CI job
 (>= 4 vCPUs) is the authoritative execution.
 
+Also gates the "fastpath" section (established-flow fast path, single
+engine at 5k and 50k sessions on rtp_steady): each fastpath-on row must
+show at least --min-fastpath-speedup (default 1.5x) over its fastpath-off
+twin and a bypass hit rate of at least --min-fastpath-hit-rate (default
+0.9). Single-engine same-machine ratios, so this gate runs at every
+hardware-thread count.
+
+Also gates the "batch_sweep" section: the occupancy-adaptive batch ("auto")
+must stay within --max-batch-gap (default 10%) of the best fixed batch
+size. Like the multicore gate this is a threaded-throughput measurement,
+so it degrades to a warning on runners with fewer than 4 hardware threads.
+
 Usage: check_speedup.py bench_scalability.json [--min-speedup 2.0]
     [--max-inline-overhead 0.4] [--max-gossip-overhead 0.05]
+    [--min-fastpath-speedup 1.5] [--min-fastpath-hit-rate 0.9]
+    [--max-batch-gap 0.10]
 """
 
 import argparse
@@ -47,6 +61,15 @@ def main() -> int:
     parser.add_argument("--max-gossip-overhead", type=float, default=0.05,
                         help="ceiling on fleet gossip bytes per monitored "
                              "traffic byte (fraction)")
+    parser.add_argument("--min-fastpath-speedup", type=float, default=1.5,
+                        help="required fastpath-on speedup vs fastpath-off "
+                             "on the steady-RTP workload")
+    parser.add_argument("--min-fastpath-hit-rate", type=float, default=0.9,
+                        help="required fast-path bypass rate on the "
+                             "steady-RTP workload (fraction)")
+    parser.add_argument("--max-batch-gap", type=float, default=0.10,
+                        help="how far the adaptive batch may trail the best "
+                             "fixed batch size (fraction)")
     args = parser.parse_args()
 
     with open(args.results) as f:
@@ -111,6 +134,34 @@ def main() -> int:
                 f"{overhead * 100:.2f}% exceeds the "
                 f"{args.max_gossip_overhead * 100:.1f}% ceiling")
 
+    # Fast-path gate: single-engine same-machine on/off ratio, so it too is
+    # hardware-thread independent. Every "on" row must clear the speedup and
+    # hit-rate floors; an "on" row that alerts when its "off" twin did not
+    # (or vice versa) would be caught by the differential tests, not here.
+    fastpath_rows = [r for r in data.get("fastpath", [])
+                     if r.get("workload") == "rtp_steady"
+                     and r.get("fastpath") == "on"]
+    if not fastpath_rows:
+        inline_failures.append(
+            "no 'fastpath' section in results "
+            "(bench_scalability predates the established-flow fast path?)")
+    for row in fastpath_rows:
+        sessions = int(row.get("sessions", 0))
+        speedup = float(row.get("speedup_vs_off", 0.0))
+        hit_rate = float(row.get("hit_rate", 0.0))
+        print(f"fastpath @ {sessions} sessions: "
+              f"{row.get('pkts_per_sec', 0):.0f} pkts/s, "
+              f"{speedup:.2f}x vs off, {hit_rate * 100:.1f}% hit rate")
+        if speedup < args.min_fastpath_speedup:
+            inline_failures.append(
+                f"fastpath speedup {speedup:.2f}x at {sessions} sessions is "
+                f"below the {args.min_fastpath_speedup:.1f}x floor")
+        if hit_rate < args.min_fastpath_hit_rate:
+            inline_failures.append(
+                f"fastpath hit rate {hit_rate * 100:.1f}% at {sessions} "
+                f"sessions is below the "
+                f"{args.min_fastpath_hit_rate * 100:.0f}% floor")
+
     # Only the steady-RTP rows are comparable against the single-engine
     # baseline; carrier_mix rows (mixed signaling/media, lazy session churn)
     # are capacity data, not a scaling gate. Rows predating the workload tag
@@ -131,6 +182,38 @@ def main() -> int:
         return 1 if inline_failures else 0
 
     failures = list(inline_failures)
+
+    # Adaptive-batch honesty gate: "auto" must not trail the best fixed
+    # drain batch by more than the allowed gap. Threaded measurement, so it
+    # runs only where the multicore gate does.
+    batch_rows = [r for r in data.get("batch_sweep", [])
+                  if r.get("workload", "rtp_steady") == "rtp_steady"]
+    auto_pps = max((float(r.get("pkts_per_sec", 0.0)) for r in batch_rows
+                    if r.get("batch") == "auto"), default=0.0)
+    best_fixed = 0.0
+    best_label = ""
+    for row in batch_rows:
+        if row.get("batch") == "auto":
+            continue
+        pps = float(row.get("pkts_per_sec", 0.0))
+        if pps > best_fixed:
+            best_fixed = pps
+            best_label = str(row.get("batch"))
+    if not batch_rows:
+        failures.append("no 'batch_sweep' section in results")
+    elif auto_pps <= 0.0 or best_fixed <= 0.0:
+        failures.append("batch_sweep lacks an 'auto' row or any fixed row")
+    else:
+        gap = 1.0 - auto_pps / best_fixed
+        print(f"batch auto: {auto_pps:.0f} pkts/s vs best fixed "
+              f"(batch={best_label}) {best_fixed:.0f} pkts/s "
+              f"({gap * 100:+.1f}% gap)")
+        if gap > args.max_batch_gap:
+            failures.append(
+                f"adaptive batch trails best fixed batch ({best_label}) by "
+                f"{gap * 100:.1f}%, over the {args.max_batch_gap * 100:.0f}% "
+                f"allowance")
+
     four = None
     for row in rows:
         shards = int(row["shards"])

@@ -1,13 +1,13 @@
-#include "scidive/coop.h"
+#include "fleet/coop.h"
 
 #include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
 
-namespace scidive::core {
+namespace scidive::fleet {
 
-CooperativeIds::CooperativeIds(netsim::Host& host, EngineConfig engine_config,
+CooperativeIds::CooperativeIds(netsim::Host& host, core::EngineConfig engine_config,
                                CoopConfig coop_config)
     : host_(host),
       config_(std::move(coop_config)),
@@ -31,7 +31,7 @@ CooperativeIds::CooperativeIds(netsim::Host& host, EngineConfig engine_config,
       claims_skipped_(engine_.metrics().counter("scidive_fleet_claims_total",
                                                 "Cooperative verification outcomes",
                                                 {{"outcome", "skipped_peer_down"}})) {
-  engine_.set_event_callback([this](const Event& event) { on_local_event(event); });
+  engine_.set_event_callback([this](const core::Event& event) { on_local_event(event); });
   host_.bind_udp(config_.sep_port,
                  [this](pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now) {
                    on_sep_datagram(from, payload, now);
@@ -48,8 +48,8 @@ void CooperativeIds::attach_local_agent(voip::UserAgent& agent) {
   std::string aor = agent.aor();
   pkt::Endpoint source = agent.sip_endpoint();
   agent.on_im_sent = [this, aor, source](const std::string& target, const std::string&) {
-    Event sent;
-    sent.type = EventType::kImMessageSent;
+    core::Event sent;
+    sent.type = core::EventType::kImMessageSent;
     sent.session = "host:" + aor;
     sent.time = host_.now();
     sent.aor = aor;
@@ -59,7 +59,7 @@ void CooperativeIds::attach_local_agent(voip::UserAgent& agent) {
   };
 }
 
-void CooperativeIds::share(const Event& event) {
+void CooperativeIds::share(const core::Event& event) {
   std::string line = serialize_event(config_.node_name, event);
   for (const pkt::Endpoint& peer : peers_) {
     host_.send_udp(config_.sep_port, peer, line);
@@ -67,27 +67,27 @@ void CooperativeIds::share(const Event& event) {
   if (!peers_.empty()) events_shared_.inc();
 }
 
-void CooperativeIds::on_local_event(const Event& event) {
+void CooperativeIds::on_local_event(const core::Event& event) {
   if (config_.shared_types.contains(event.type)) share(event);
 
-  if (event.type == EventType::kImMessageSeen && peer_users_.contains(event.aor)) {
+  if (event.type == core::EventType::kImMessageSeen && peer_users_.contains(event.aor)) {
     // Hold the message for the peer's vouching; judge after the delay.
     claims_held_.inc();
-    Event held = event;
+    core::Event held = event;
     host_.after(config_.verify_delay, [this, held] { verify_im(held); });
   }
 }
 
 bool CooperativeIds::peer_vouched(const std::string& aor, SimTime around) const {
   for (const RemoteEvent& remote : remote_events_) {
-    if (remote.event.type != EventType::kImMessageSent) continue;
+    if (remote.event.type != core::EventType::kImMessageSent) continue;
     if (remote.event.aor != aor) continue;
     if (std::abs(remote.event.time - around) <= config_.match_window) return true;
   }
   return false;
 }
 
-void CooperativeIds::verify_im(Event im_event) {
+void CooperativeIds::verify_im(core::Event im_event) {
   if (peer_vouched(im_event.aor, im_event.time)) {
     claims_confirmed_.inc();
     return;
@@ -101,8 +101,8 @@ void CooperativeIds::verify_im(Event im_event) {
     return;
   }
   claims_flagged_.inc();
-  engine_.alerts().raise(Alert{
-      kCoopFakeImRule, Severity::kCritical, im_event.session, host_.now(),
+  engine_.alerts().raise(core::Alert{
+      kCoopFakeImRule, core::Severity::kCritical, im_event.session, host_.now(),
       str::format("IM claiming %s from %s was never vouched by %s's own IDS — forged "
                   "message (source-IP spoofing does not evade this check)",
                   im_event.aor.c_str(), im_event.endpoint.to_string().c_str(),
@@ -140,4 +140,4 @@ CoopStats CooperativeIds::coop_stats() const {
   return out;
 }
 
-}  // namespace scidive::core
+}  // namespace scidive::fleet

@@ -25,11 +25,11 @@
 #include <vector>
 
 #include "netsim/host.h"
+#include "fleet/sep_wire.h"
 #include "scidive/engine.h"
-#include "scidive/exchange.h"
 #include "voip/user_agent.h"
 
-namespace scidive::core {
+namespace scidive::fleet {
 
 struct CoopConfig {
   std::string node_name;        // e.g. "ids-a"
@@ -37,8 +37,9 @@ struct CoopConfig {
   /// Event types worth the control-channel bandwidth ("a challenge is to
   /// design the appropriate protocol that does not overwhelm the system
   /// with control messages", §6).
-  std::set<EventType> shared_types = {EventType::kImMessageSent, EventType::kRtpAfterBye,
-                                      EventType::kRtpAfterReinvite};
+  std::set<core::EventType> shared_types = {core::EventType::kImMessageSent,
+                                            core::EventType::kRtpAfterBye,
+                                            core::EventType::kRtpAfterReinvite};
   /// How long to wait for a peer's vouching before judging an IM forged.
   SimDuration verify_delay = msec(300);
   /// Local/remote event times closer than this are "the same" message.
@@ -67,7 +68,8 @@ struct CoopStats {
 
 class CooperativeIds {
  public:
-  CooperativeIds(netsim::Host& host, EngineConfig engine_config, CoopConfig coop_config);
+  CooperativeIds(netsim::Host& host, core::EngineConfig engine_config,
+                 CoopConfig coop_config);
 
   /// Another SCIDIVE node to exchange events with.
   void add_peer(pkt::Endpoint peer_sep_endpoint);
@@ -80,10 +82,10 @@ class CooperativeIds {
   /// it are verified cooperatively).
   void add_peer_user(const std::string& aor);
 
-  ScidiveEngine& engine() { return engine_; }
-  const ScidiveEngine& engine() const { return engine_; }
+  core::ScidiveEngine& engine() { return engine_; }
+  const core::ScidiveEngine& engine() const { return engine_; }
   netsim::PacketTap tap() { return engine_.tap(); }
-  const AlertSink& alerts() const { return engine_.alerts(); }
+  const core::AlertSink& alerts() const { return engine_.alerts(); }
 
   const std::deque<RemoteEvent>& remote_events() const { return remote_events_; }
   CoopStats coop_stats() const;
@@ -91,15 +93,15 @@ class CooperativeIds {
   static constexpr const char* kCoopFakeImRule = "coop-fake-im";
 
  private:
-  void on_local_event(const Event& event);
+  void on_local_event(const core::Event& event);
   void on_sep_datagram(pkt::Endpoint from, std::span<const uint8_t> payload, SimTime now);
-  void share(const Event& event);
-  void verify_im(Event im_event);
+  void share(const core::Event& event);
+  void verify_im(core::Event im_event);
   bool peer_vouched(const std::string& aor, SimTime around) const;
 
   netsim::Host& host_;
   CoopConfig config_;
-  ScidiveEngine engine_;
+  core::ScidiveEngine engine_;
   std::vector<pkt::Endpoint> peers_;
   std::set<std::string> peer_users_;
   std::deque<RemoteEvent> remote_events_;
@@ -116,4 +118,4 @@ class CooperativeIds {
   obs::Counter& claims_skipped_;
 };
 
-}  // namespace scidive::core
+}  // namespace scidive::fleet

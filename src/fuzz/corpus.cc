@@ -7,7 +7,6 @@
 #include "common/strings.h"
 #include "fleet/sep_wire.h"
 #include "fuzz/mutator.h"
-#include "scidive/exchange.h"
 #include "rtp/rtcp.h"
 #include "rtp/rtp.h"
 #include "sip/message.h"
@@ -227,7 +226,7 @@ std::vector<Bytes> sep_frame_seeds() {
   out.push_back(runs.finish(/*compress=*/true));
 
   // Deprecated SEP1 text line (the decode_frame_any compat path).
-  const std::string sep1 = core::serialize_event("ids-old", event);
+  const std::string sep1 = fleet::serialize_event("ids-old", event);
   out.emplace_back(sep1.begin(), sep1.end());
   return out;
 }

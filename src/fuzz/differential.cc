@@ -33,14 +33,14 @@ VerdictMultiset verdict_multiset(const std::vector<core::Verdict>& verdicts) {
 }
 
 void compare_verdicts(const VerdictMultiset& single, const VerdictMultiset& sharded,
-                      size_t shards, std::vector<std::string>& mismatches) {
+                      const std::string& who, std::vector<std::string>& mismatches) {
   if (sharded == single) return;
   for (const auto& [key, n] : single) {
     auto it = sharded.find(key);
     const size_t have = it == sharded.end() ? 0 : it->second;
     if (have != n) {
       mismatches.push_back(str::format(
-          "%zu shards: verdict (%s, %s, %s) x%zu, single has x%zu", shards,
+          "%s: verdict (%s, %s, %s) x%zu, single has x%zu", who.c_str(),
           std::get<0>(key).c_str(), std::get<1>(key).c_str(),
           std::string(core::verdict_action_name(
                           static_cast<core::VerdictAction>(std::get<2>(key))))
@@ -51,8 +51,8 @@ void compare_verdicts(const VerdictMultiset& single, const VerdictMultiset& shar
   for (const auto& [key, n] : sharded) {
     if (single.find(key) == single.end()) {
       mismatches.push_back(str::format(
-          "%zu shards: extra verdict (%s, %s, %s) x%zu not emitted by single engine",
-          shards, std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+          "%s: extra verdict (%s, %s, %s) x%zu not emitted by single engine",
+          who.c_str(), std::get<0>(key).c_str(), std::get<1>(key).c_str(),
           std::string(core::verdict_action_name(
                           static_cast<core::VerdictAction>(std::get<2>(key))))
               .c_str(),
@@ -93,14 +93,14 @@ std::string label_string(const obs::Labels& labels) {
   return out;
 }
 
-void compare_metrics(const obs::Snapshot& single, obs::Snapshot sharded, size_t shards,
-                     std::vector<std::string>& mismatches) {
+void compare_metrics(const obs::Snapshot& single, obs::Snapshot sharded,
+                     const std::string& who, std::vector<std::string>& mismatches) {
   for (const obs::Sample& s : single.samples()) {
     if (!comparable_sample(s)) continue;
     uint64_t other = sharded.counter_value(s.name, s.labels);
     if (other != s.counter) {
       mismatches.push_back(str::format(
-          "%zu shards: %s{%s} = %llu, single = %llu", shards, s.name.c_str(),
+          "%s: %s{%s} = %llu, single = %llu", who.c_str(), s.name.c_str(),
           label_string(s.labels).c_str(), static_cast<unsigned long long>(other),
           static_cast<unsigned long long>(s.counter)));
     }
@@ -111,7 +111,7 @@ void compare_metrics(const obs::Snapshot& single, obs::Snapshot sharded, size_t 
     if (!comparable_sample(s) || s.counter == 0) continue;
     if (single.find(s.name, s.labels) == nullptr) {
       mismatches.push_back(str::format(
-          "%zu shards: %s{%s} = %llu, absent from single engine", shards,
+          "%s: %s{%s} = %llu, absent from single engine", who.c_str(),
           s.name.c_str(), label_string(s.labels).c_str(),
           static_cast<unsigned long long>(s.counter)));
     }
@@ -141,8 +141,15 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
 
   core::EngineConfig engine_config = config.engine;
   engine_config.obs.time_stages = false;
+  // Fastpath-differential mode: the reference engine runs with the bypass
+  // disabled; everything compared against it runs with it enabled.
+  core::EngineConfig baseline_config = engine_config;
+  if (config.fastpath_differential) {
+    baseline_config.fastpath.enabled = false;
+    engine_config.fastpath.enabled = true;
+  }
 
-  core::ScidiveEngine single(engine_config);
+  core::ScidiveEngine single(baseline_config);
   if (config.make_rules) single.set_rules(config.make_rules());
   for (const pkt::Packet& packet : stream) single.on_packet(packet);
   const AlertMultiset single_alerts = alert_multiset(single.alerts().alerts());
@@ -153,6 +160,25 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
   report.single_alerts = single.alerts().alerts().size();
   report.single_verdicts = config.verdict_mode ? single.verdicts().count() : 0;
   const core::EngineStats single_stats = single.stats();
+
+  if (config.fastpath_differential) {
+    // A fastpath-on single engine against the fastpath-off baseline: the
+    // purest form of the bypass-changes-nothing claim, with no sharding in
+    // the mix.
+    core::ScidiveEngine fast(engine_config);
+    if (config.make_rules) fast.set_rules(config.make_rules());
+    for (const pkt::Packet& packet : stream) fast.on_packet(packet);
+    if (alert_multiset(fast.alerts().alerts()) != single_alerts) {
+      report.mismatches.push_back(
+          "fastpath-on single: alert multiset diverged from fastpath-off baseline");
+    }
+    if (config.verdict_mode) {
+      compare_verdicts(single_verdicts, verdict_multiset(fast.verdicts().verdicts()),
+                       "fastpath-on single", report.mismatches);
+    }
+    compare_metrics(single_snapshot, fast.metrics_snapshot(), "fastpath-on single",
+                    report.mismatches);
+  }
 
   // Pcap-replay mode: everything downstream consumes the stream after a
   // trip through the capture file format.
@@ -277,12 +303,13 @@ DifferentialReport run_differential(const std::vector<pkt::Packet>& stream,
       }
     }
 
+    const std::string who = str::format("%zu shards", shards);
     if (config.verdict_mode) {
       compare_verdicts(single_verdicts, verdict_multiset(sharded.merged_verdicts()),
-                       shards, report.mismatches);
+                       who, report.mismatches);
     }
 
-    compare_metrics(single_snapshot, sharded.metrics_snapshot(), shards,
+    compare_metrics(single_snapshot, sharded.metrics_snapshot(), who,
                     report.mismatches);
   }
   return report;

@@ -51,6 +51,13 @@ struct DifferentialConfig {
   /// Pair with an EngineConfig whose enforce mode is kPassive or kInline
   /// and a make_rules that installs a prevention ruleset.
   bool verdict_mode = false;
+  /// Fastpath-differential mode: the baseline single engine runs with the
+  /// established-flow fast path disabled, an extra single engine and every
+  /// sharded engine run with it enabled, and all of them must produce the
+  /// identical alert/verdict multisets and detection metric families. This
+  /// is the oracle for the fast path's core claim: bypassing steady-state
+  /// media never changes what is detected.
+  bool fastpath_differential = false;
 };
 
 struct DifferentialReport {

@@ -205,6 +205,100 @@ int fuzz_verdict(const uint8_t* data, size_t size) {
 
 namespace {
 
+/// INVITE/200 between fixed endpoints plus a short steady RTP train, so the
+/// established-flow fast path has a populated, actively bypassing flow-cache
+/// entry before the fuzzer's records arrive.
+void establish_cached_flow(core::ScidiveEngine& engine, SimTime upto) {
+  const pkt::Endpoint a_sip{pkt::Ipv4Address(10, 0, 0, 1), 5060};
+  const pkt::Endpoint b_sip{pkt::Ipv4Address(10, 0, 0, 2), 5060};
+  const pkt::Endpoint a_media{pkt::Ipv4Address(10, 0, 0, 1), 16384};
+  const pkt::Endpoint b_media{pkt::Ipv4Address(10, 0, 0, 2), 16384};
+  auto to_bytes = [](const std::string& s) { return Bytes(s.begin(), s.end()); };
+
+  auto invite = sip::SipMessage::request(sip::Method::kInvite, sip::SipUri("bob", "lab.net"));
+  invite.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-fp-1");
+  invite.headers().add("From", "<sip:alice@lab.net>;tag=ta");
+  invite.headers().add("To", "<sip:bob@lab.net>");
+  invite.headers().add("Call-ID", "fastpath-call-1");
+  invite.headers().add("CSeq", "1 INVITE");
+  invite.headers().add("Contact", "<sip:alice@10.0.0.1:5060>");
+  invite.set_body(sip::make_audio_sdp("10.0.0.1", 16384, 1).to_string(), "application/sdp");
+  pkt::Packet invite_pkt = pkt::make_udp_packet(a_sip, b_sip, to_bytes(invite.to_string()));
+  invite_pkt.timestamp = msec(1);
+  engine.on_packet(invite_pkt);
+
+  auto ok = sip::SipMessage::response(200, "OK");
+  ok.headers().add("Via", "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-fp-1");
+  ok.headers().add("From", "<sip:alice@lab.net>;tag=ta");
+  ok.headers().add("To", "<sip:bob@lab.net>;tag=tb");
+  ok.headers().add("Call-ID", "fastpath-call-1");
+  ok.headers().add("CSeq", "1 INVITE");
+  ok.headers().add("Contact", "<sip:bob@10.0.0.2:5060>");
+  ok.set_body(sip::make_audio_sdp("10.0.0.2", 16384, 2).to_string(), "application/sdp");
+  pkt::Packet ok_pkt = pkt::make_udp_packet(b_sip, a_sip, to_bytes(ok.to_string()));
+  ok_pkt.timestamp = msec(10);
+  engine.on_packet(ok_pkt);
+
+  const Bytes frame(160, 0xd5);
+  SimTime now = msec(20);
+  for (uint16_t i = 1; now < upto; ++i) {
+    rtp::RtpHeader h;
+    h.sequence = i;
+    h.timestamp = static_cast<uint32_t>(i) * rtp::kSamplesPer20Ms;
+    h.ssrc = 0xfa57;
+    pkt::Packet p = pkt::make_udp_packet(b_media, a_media, rtp::serialize_rtp(h, frame));
+    p.timestamp = (now += msec(20));
+    engine.on_packet(p);
+  }
+}
+
+}  // namespace
+
+int fuzz_fastpath(const uint8_t* data, size_t size) {
+  core::EngineConfig with_config;
+  with_config.obs.time_stages = false;
+  core::EngineConfig without_config = with_config;
+  without_config.fastpath.enabled = false;
+  core::ScidiveEngine with(with_config);
+  core::ScidiveEngine without(without_config);
+
+  // The deterministic prelude runs on both engines; by its end the
+  // fastpath-on engine is mid-bypass on the call's media flow, so the
+  // fuzzer's records land on a warm cache and every mutation that matters
+  // (SSRC flips, sequence jumps, BYEs, re-INVITEs, garbage) exercises an
+  // invalidation or write-back edge.
+  establish_cached_flow(with, msec(200));
+  establish_cached_flow(without, msec(200));
+
+  SimTime now = msec(300);
+  for_each_record(data, size, [&](std::span<const uint8_t> record) {
+    now += msec(1);
+    pkt::Packet packet;
+    packet.data.assign(record.begin(), record.end());
+    packet.timestamp = now;
+    with.on_packet(packet);
+    without.on_packet(packet);
+  });
+  with.expire_idle(now + sec(120));
+  without.expire_idle(now + sec(120));
+  (void)with.metrics_snapshot();
+  (void)without.metrics_snapshot();
+
+  // The fast path's core claim: bypassing steady-state media never changes
+  // what is detected. Any divergence in the rendered alert sequence or the
+  // packet accounting is a bug, not an interesting input.
+  const std::vector<core::Alert>& got = with.alerts().alerts();
+  const std::vector<core::Alert>& want = without.alerts().alerts();
+  if (got.size() != want.size()) __builtin_trap();
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].to_string() != want[i].to_string()) __builtin_trap();
+  }
+  if (with.stats().packets_inspected != without.stats().packets_inspected) __builtin_trap();
+  return 0;
+}
+
+namespace {
+
 bool same_event(const core::Event& a, const core::Event& b) {
   return a.type == b.type && a.session == b.session && a.time == b.time && a.aor == b.aor &&
          a.endpoint == b.endpoint && a.value == b.value && a.detail == b.detail;

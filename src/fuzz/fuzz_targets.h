@@ -58,6 +58,14 @@ int fuzz_ruledsl(const uint8_t* data, size_t size);
 /// the non-mutating peek must never change them.
 int fuzz_verdict(const uint8_t* data, size_t size);
 
+/// Established-flow fast-path differential: the same stream — a
+/// deterministic prelude that leaves a media flow mid-bypass, then the
+/// fuzzer's length-prefixed packet records — through two single engines,
+/// fast path on vs off. Mutated RTP trains (SSRC flips, sequence jumps,
+/// mid-stream BYEs, garbage) must never diverge the rendered alert
+/// sequence or the packet accounting; the target traps on any difference.
+int fuzz_fastpath(const uint8_t* data, size_t size);
+
 /// SEP-v2 gossip frame decoder (fleet/sep_wire.h) plus the SEP1 compat
 /// path. Beyond no-crash: any frame this build fully decodes (no unknown
 /// record types, not legacy SEP1) must survive a re-encode/decode round
@@ -88,6 +96,7 @@ constexpr FuzzTarget kFuzzTargets[] = {
     {"engine", fuzz_engine},
     {"ruledsl", fuzz_ruledsl},
     {"verdict", fuzz_verdict},
+    {"fastpath", fuzz_fastpath},
     {"sep_wire", fuzz_sep_wire},
     {"pcap", fuzz_pcap},
 };

@@ -27,6 +27,18 @@ class CompiledRule : public core::Rule {
   /// hand-written rules expose through the state-entry gauges.
   size_t state_entries() const override { return records_.size(); }
   core::EventTypeMask subscriptions() const override { return def_->subscriptions; }
+  /// Static analysis over the compiled transition programs: a DSL rule is
+  /// steady-state-media-interested exactly when it compiled a handler for
+  /// (or declared a subscription to) RtpPacketSeen — the only event an
+  /// anomaly-free in-order media packet can produce. Everything else a .sdr
+  /// rule can express (trail lookups included) keys off events the fast
+  /// path already falls back for.
+  bool media_steady_state_interest() const override {
+    const HandlerRange& r =
+        def_->handlers[static_cast<size_t>(core::EventType::kRtpPacketSeen)];
+    if (r.begin != r.end) return true;
+    return (def_->subscriptions & core::event_mask(core::EventType::kRtpPacketSeen)) != 0;
+  }
 
   /// Migration: session-keyed rules hand their Record over; AOR-keyed state
   /// is principal state and stays put (the router pins those sessions).

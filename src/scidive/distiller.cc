@@ -90,6 +90,32 @@ std::optional<Footprint> Distiller::distill(const pkt::Packet& packet) {
   return fp;
 }
 
+std::optional<RtpPeek> Distiller::peek_rtp(const pkt::Packet& packet) const {
+  auto ip = pkt::parse_ipv4(packet.data);
+  if (!ip || ip.value().header.is_fragment()) return std::nullopt;
+  auto udp = pkt::parse_udp_packet(packet.data);
+  if (!udp) return std::nullopt;
+  const pkt::UdpPacketView& u = udp.value();
+  // Any port decode() would classify before the final RTP attempt makes the
+  // packet ambiguous; odd ports additionally trigger the speculative RTCP
+  // parse. All of those must take the full path.
+  if (config_.sip_ports.contains(u.dst_port) || config_.sip_ports.contains(u.src_port)) {
+    return std::nullopt;
+  }
+  if (u.dst_port == config_.acc_port || u.src_port == config_.acc_port) return std::nullopt;
+  if (u.dst_port == h323::kH225Port || u.src_port == h323::kH225Port) return std::nullopt;
+  if (u.dst_port == h323::kRasPort || u.src_port == h323::kRasPort) return std::nullopt;
+  if (u.dst_port % 2 == 1 || u.src_port % 2 == 1) return std::nullopt;
+  auto rtp = rtp::parse_rtp(u.payload);
+  if (!rtp.ok()) return std::nullopt;
+  return RtpPeek{u.source(),
+                 u.destination(),
+                 rtp.value().header.ssrc,
+                 rtp.value().header.sequence,
+                 rtp.value().header.timestamp,
+                 packet.timestamp};
+}
+
 SipFootprint Distiller::decode_sip(const sip::SipMessage& msg) {
   SipFootprint s;
   s.is_request = msg.is_request();

@@ -69,6 +69,17 @@ struct DistillerStats {
   ParseErrorStats parse_errors;
 };
 
+/// The header fields of an unambiguous RTP media packet, extracted without
+/// building a Footprint. Input to the engine's established-flow fast path.
+struct RtpPeek {
+  pkt::Endpoint src;
+  pkt::Endpoint dst;
+  uint32_t ssrc = 0;
+  uint16_t sequence = 0;
+  uint32_t timestamp = 0;
+  SimTime time = 0;
+};
+
 class Distiller {
  public:
   Distiller() : Distiller(DistillerConfig{}) {}
@@ -77,6 +88,14 @@ class Distiller {
   /// Distill one captured packet. Returns nothing for fragments that do not
   /// yet complete a datagram and for packets that are not IPv4/UDP at all.
   std::optional<Footprint> distill(const pkt::Packet& packet);
+
+  /// Cheap, stateless header peek: succeeds exactly when distill() would
+  /// classify this packet as RTP *and* no other classification was even
+  /// attempted along the way — unfragmented, not on a signaling/accounting
+  /// port, and on even (RTP-convention) ports so the speculative RTCP parse
+  /// never runs. Records no stats and touches no reassembler state, so a
+  /// packet that peeks but then takes the full pipeline is accounted once.
+  std::optional<RtpPeek> peek_rtp(const pkt::Packet& packet) const;
 
   const DistillerStats& stats() const { return stats_; }
 

@@ -1,6 +1,7 @@
 #include "scidive/engine.h"
 
 #include "pkt/ipv4.h"
+#include "rtp/rtp.h"
 
 namespace scidive::core {
 
@@ -88,6 +89,17 @@ void ScidiveEngine::intern_pipeline_instruments() {
                                        "Audit records dropped at the ledger capacity bound");
   ledger_size_ =
       &registry_.gauge("scidive_alert_ledger_size", "Audit records currently in the ledger");
+  if (config_.fastpath.enabled) {
+    fastpath_hits_ = &registry_.counter(
+        "scidive_fastpath_hits_total",
+        "Packets fully handled by the established-flow fast path");
+    fastpath_misses_ = &registry_.counter(
+        "scidive_fastpath_misses_total",
+        "Inspected packets that took the full pipeline while the fast path was on");
+    fastpath_invalidations_ = &registry_.counter(
+        "scidive_fastpath_invalidations_total",
+        "Cached flows handed back to the full pipeline");
+  }
 }
 
 ScidiveEngine::RuleInstruments ScidiveEngine::intern_rule_instruments(const Rule& rule) {
@@ -136,6 +148,17 @@ void ScidiveEngine::rebuild_subscriber_index() {
       }
     }
   }
+  // Re-derive whether any installed rule wants to see steady-state media;
+  // a ruleset change (hot reload included) also invalidates every cached
+  // flow, since the new rules may watch sessions the old ones ignored.
+  fastpath_rules_ok_ = true;
+  for (const RulePtr& rule : rules_) {
+    if (rule->media_steady_state_interest()) {
+      fastpath_rules_ok_ = false;
+      break;
+    }
+  }
+  fastpath_flush();
 }
 
 VerdictAction ScidiveEngine::on_packet(const pkt::Packet& packet) {
@@ -157,6 +180,16 @@ VerdictAction ScidiveEngine::on_packet(const pkt::Packet& packet) {
   }
   packets_inspected_->inc();
 
+  // Established-flow fast path: steady-state media for a cached flow skips
+  // footprint construction, trail routing, event generation and rule
+  // dispatch entirely. Any deviation invalidates the entry and the packet
+  // falls through to the full pipeline below.
+  const bool fp_on = fastpath_on();
+  if (fp_on) {
+    if (fastpath_try(packet)) return VerdictAction::kPass;
+    fastpath_misses_->inc();
+  }
+
   using Clock = std::chrono::steady_clock;
   const bool timed = config_.obs.time_stages;
   Clock::time_point start{}, mark{};
@@ -170,6 +203,12 @@ VerdictAction ScidiveEngine::on_packet(const pkt::Packet& packet) {
     mark = now;
   }
   if (fp) {
+    if (fp->protocol == Protocol::kRtp && !fastpath_.empty()) {
+      // Slow-path RTP touching a cached destination or cached source is a
+      // hazard the peek could not see (fragment reassembly, parallel flow):
+      // hand the affected entries back before events are generated.
+      fastpath_probe_slow_rtp(*fp);
+    }
     // Enforcement identities, captured before the footprint moves into the
     // trail: network source, signaling principal, then (post-routing) the
     // session. Pure hashing — nothing here allocates.
@@ -225,6 +264,13 @@ VerdictAction ScidiveEngine::on_packet(const pkt::Packet& packet) {
       stage_rules_->observe(ns_between(mark, now));
       mark = now;
     }
+    if (fp_on && scratch_events_.empty() && trail.back().protocol == Protocol::kRtp) {
+      // A media packet that produced zero events is steady state: the flow
+      // is a candidate for bypass from the next packet on.
+      if (const RtpFootprint* rtp = trail.back().rtp()) {
+        fastpath_maybe_cache(trail, trail.back(), *rtp, src_k, sess_k);
+      }
+    }
     if (enforcer_ != nullptr) {
       // Standing state first (blocks, armed buckets), then escalate by any
       // verdict this very packet's processing emitted — the packet that
@@ -241,6 +287,154 @@ VerdictAction ScidiveEngine::on_packet(const pkt::Packet& packet) {
   }
   if (timed) processing_ns_->inc(ns_between(start, mark));
   return decision;
+}
+
+bool ScidiveEngine::fastpath_try(const pkt::Packet& packet) {
+  if (fastpath_.empty()) return false;
+  if (trails_.media_generation() != fp_media_gen_ ||
+      events_.watch_generation() != fp_watch_gen_) {
+    // Signaling moved the ground under the cache (media binding change,
+    // monitor armed, session migration or expiry): any entry may now be
+    // watched. Flush and take the slow path; flows that are still steady
+    // re-cache within a packet.
+    fastpath_flush();
+    return false;
+  }
+  auto peek = distiller_.peek_rtp(packet);
+  if (!peek) return false;
+  FastFlow* flow = fastpath_.find(pack_flow_endpoint(peek->dst));
+  if (flow == nullptr) return false;
+  if (flow->src == peek->src && flow->ssrc == peek->ssrc &&
+      (enforcer_ == nullptr || flow->enforce_gen == enforcer_->state_generation())) {
+    const int32_t gap = rtp::seq_distance(flow->last_seq, peek->sequence);
+    if (gap >= -config_.events.seq_jump_threshold &&
+        gap <= config_.events.seq_jump_threshold) {
+      // Advance the authoritative jitter-estimator copy. If this very
+      // packet would fire the one-shot jitter alarm, undo the advance and
+      // fall back: the slow path re-applies it identically and emits the
+      // event.
+      const rtp::RtpStreamStats before = flow->stats;
+      flow->stats.on_packet(peek->sequence, peek->timestamp, peek->time);
+      const bool jitter_alarm =
+          flow->jitter_armed &&
+          flow->stats.packets_received() > config_.events.jitter_warmup_packets &&
+          flow->stats.jitter_ms() > config_.events.jitter_alarm_ms;
+      if (!jitter_alarm) {
+        flow->last_seq = peek->sequence;
+        if (peek->time > flow->last_time) flow->last_time = peek->time;
+        ++flow->bypassed;
+        ++bypassed_total_;
+        if (flow->bound) {
+          ++bypassed_bound_;
+        } else {
+          ++bypassed_unbound_;
+        }
+        fastpath_hits_->inc();
+        if (enforcer_ != nullptr) {
+          // The accounting identity packets_inspected == Σ decisions still
+          // holds: a bypassed packet is a kPass decision.
+          packet_verdicts_[static_cast<size_t>(VerdictAction::kPass)]->inc();
+        }
+        return true;
+      }
+      flow->stats = before;
+    }
+  }
+  // Deviation: different source, SSRC change, sequence jump beyond the
+  // benign-reorder window, pending jitter alarm, or enforcement state that
+  // moved since the verdict was cached. Back to the full pipeline.
+  fastpath_invalidate(*flow);
+  return false;
+}
+
+void ScidiveEngine::fastpath_maybe_cache(Trail& trail, const Footprint& fp,
+                                         const RtpFootprint& rtp, uint64_t src_k,
+                                         uint64_t sess_k) {
+  // Only flows peek_rtp can re-recognize are worth caching: the peek
+  // refuses odd ports (speculative RTCP) outright.
+  if (fp.src.port % 2 == 1 || fp.dst.port % 2 == 1) return;
+  const uint64_t dst_key = pack_flow_endpoint(fp.dst);
+  if (fastpath_.contains(dst_key)) return;  // first flow owns a destination
+  const uint64_t src_key = pack_flow_endpoint(fp.src);
+  if (fastpath_src_.contains(src_key)) return;  // src already feeds a cached dst
+  const Symbol sym = trail.sym();
+  if (sym == kInvalidSymbol) return;
+  EventGenerator::SessionState* state = events_.find_state(sym);
+  if (state == nullptr || !state->monitors.empty()) return;
+  const uint16_t* last_seq = state->last_seq_by_dst.find(fp.dst);
+  const rtp::RtpStreamStats* stats = state->stats_by_src.find(fp.src);
+  if (last_seq == nullptr || stats == nullptr) return;
+  // With enforcement on, cache only a provably inert verdict: no block, no
+  // armed bucket, no cross-shard publication for either identity. Any later
+  // enforcement change bumps state_generation() and misses the entry.
+  if (enforcer_ != nullptr && !enforcer_->steady_pass(src_k, sess_k, fp.time)) return;
+
+  if (fastpath_.empty()) {
+    // First entry after a flush: adopt the current generations. The entry
+    // is built from current state, so everything older is already
+    // reflected in it.
+    fp_media_gen_ = trails_.media_generation();
+    fp_watch_gen_ = events_.watch_generation();
+  }
+  FastFlow flow;
+  flow.src = fp.src;
+  flow.dst = fp.dst;
+  flow.ssrc = rtp.ssrc;
+  flow.last_seq = *last_seq;
+  flow.bound = trail.key().session.rfind("flow:", 0) != 0;
+  flow.jitter_armed = !state->jitter_alarmed.contains(fp.src);
+  flow.trail = &trail;
+  flow.sym = sym;
+  flow.stats = *stats;
+  flow.enforce_gen = enforcer_ == nullptr ? 0 : enforcer_->state_generation();
+  flow.last_time = fp.time;
+  fastpath_.try_emplace(dst_key, flow);
+  fastpath_src_.try_emplace(src_key, dst_key);
+}
+
+void ScidiveEngine::fastpath_probe_slow_rtp(const Footprint& fp) {
+  if (FastFlow* flow = fastpath_.find(pack_flow_endpoint(fp.dst))) {
+    fastpath_invalidate(*flow);
+  }
+  if (const uint64_t* dst_key = fastpath_src_.find(pack_flow_endpoint(fp.src))) {
+    const uint64_t key = *dst_key;  // copy: invalidate erases the index entry
+    if (FastFlow* flow = fastpath_.find(key)) fastpath_invalidate(*flow);
+  }
+}
+
+void ScidiveEngine::fastpath_writeback(FastFlow& flow) {
+  if (flow.bypassed == 0) return;
+  flow.trail->note_bypassed(flow.bypassed, flow.last_time);
+  if (EventGenerator::SessionState* state = events_.find_state(flow.sym)) {
+    if (uint16_t* last_seq = state->last_seq_by_dst.find(flow.dst)) {
+      *last_seq = flow.last_seq;
+    }
+    if (rtp::RtpStreamStats* stats = state->stats_by_src.find(flow.src)) {
+      *stats = flow.stats;
+    }
+    if (flow.last_time > state->last_touched) state->last_touched = flow.last_time;
+  }
+  flow.bypassed = 0;
+}
+
+void ScidiveEngine::fastpath_invalidate(FastFlow& flow) {
+  fastpath_writeback(flow);
+  fastpath_invalidations_->inc();
+  fastpath_src_.erase(pack_flow_endpoint(flow.src));
+  fastpath_.erase(pack_flow_endpoint(flow.dst));  // `flow` dies here
+}
+
+void ScidiveEngine::fastpath_flush() {
+  if (!fastpath_.empty()) {
+    fastpath_.for_each([this](const uint64_t&, FastFlow& flow) {
+      fastpath_writeback(flow);
+      fastpath_invalidations_->inc();
+    });
+    fastpath_.clear();
+    fastpath_src_.clear();
+  }
+  fp_media_gen_ = trails_.media_generation();
+  fp_watch_gen_ = events_.watch_generation();
 }
 
 VerdictAction ScidiveEngine::peek_packet(const pkt::Packet& packet) const {
@@ -263,8 +457,14 @@ EngineStats ScidiveEngine::stats() const {
 
 void ScidiveEngine::sync_component_stats() {
   const DistillerStats& d = distiller_.stats();
+  // Fast-path mirrors: a bypassed packet is a packet the full pipeline
+  // *would have* distilled as RTP, routed through the flow cache into its
+  // bound trail and run through the event generator (producing nothing).
+  // Adding the bypass aggregates keeps every one of these families equal to
+  // its fastpath-off value, so the differential oracle and the single-vs-
+  // sharded parity check hold with the fast path on.
   registry_.counter("scidive_distiller_packets_total", "Packets entering the distiller")
-      .sync(d.packets_in);
+      .sync(d.packets_in + bypassed_total_);
   registry_
       .counter("scidive_distiller_undecodable_total", "Packets that were not even IPv4+UDP")
       .sync(d.undecodable);
@@ -280,7 +480,7 @@ void ScidiveEngine::sync_component_stats() {
   registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "sip"}})
       .sync(d.sip_footprints);
   registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "rtp"}})
-      .sync(d.rtp_footprints);
+      .sync(d.rtp_footprints + bypassed_total_);
   registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "rtcp"}})
       .sync(d.rtcp_footprints);
   registry_.counter("scidive_distiller_footprints_total", kHelp, {{"protocol", "acc"}})
@@ -311,21 +511,21 @@ void ScidiveEngine::sync_component_stats() {
   const TrailManagerStats& t = trails_.stats();
   registry_
       .counter("scidive_trail_footprints_routed_total", "Footprints routed into trails")
-      .sync(t.footprints_routed);
+      .sync(t.footprints_routed + bypassed_total_);
   registry_.counter("scidive_trail_sessions_created_total", "Sessions the trail manager created")
       .sync(t.sessions_created);
   registry_
       .counter("scidive_trail_rtp_bound_total",
                "RTP footprints bound to a session via SDP-learned endpoints")
-      .sync(t.rtp_bound_to_session);
+      .sync(t.rtp_bound_to_session + bypassed_bound_);
   registry_
       .counter("scidive_trail_rtp_unbound_total",
                "RTP footprints that fell back to a synthetic flow session")
-      .sync(t.rtp_unbound);
+      .sync(t.rtp_unbound + bypassed_unbound_);
   registry_
       .counter("scidive_trail_flow_cache_hits_total",
                "Media packets routed through the flow cache without classify")
-      .sync(t.flow_cache_hits);
+      .sync(t.flow_cache_hits + bypassed_total_);
   registry_.counter("scidive_trails_expired_total", "Trails dropped by idle expiry")
       .sync(t.trails_expired);
   registry_.gauge("scidive_trails_active", "Live trails (per-session, per-protocol)")
@@ -348,7 +548,7 @@ void ScidiveEngine::sync_component_stats() {
   const EventGeneratorStats& e = events_.stats();
   registry_
       .counter("scidive_eventgen_footprints_total", "Footprints the event generator processed")
-      .sync(e.footprints_processed);
+      .sync(e.footprints_processed + bypassed_total_);
   registry_
       .counter("scidive_monitors_started_total",
                "Post-BYE/re-INVITE/RTCP-BYE media monitors armed")
@@ -366,6 +566,17 @@ void ScidiveEngine::sync_component_stats() {
 
   for (size_t i = 0; i < rules_.size(); ++i) {
     rule_inst_[i].state_entries->set(static_cast<int64_t>(rules_[i]->state_entries()));
+  }
+
+  if (config_.fastpath.enabled) {
+    const uint64_t hits = fastpath_hits_->value();
+    const uint64_t seen = hits + fastpath_misses_->value();
+    registry_
+        .gauge("scidive_fastpath_hit_rate_permille",
+               "Fast-path hits per thousand inspected packets since start")
+        .set(seen == 0 ? 0 : static_cast<int64_t>(hits * 1000 / seen));
+    registry_.gauge("scidive_fastpath_flows", "Live established-flow cache entries")
+        .set(static_cast<int64_t>(fastpath_.size()));
   }
 
   alerts_total_->sync(sink_.total_raised());
@@ -428,11 +639,17 @@ obs::Snapshot ScidiveEngine::metrics_snapshot() {
 }
 
 void ScidiveEngine::expire_idle(SimTime cutoff) {
+  // Bypassed activity must count toward idleness before the scan, or a
+  // flow that went quiet *after* heavy bypass looks older than it is.
+  fastpath_flush();
   trails_.expire_idle(cutoff);
   events_.expire_idle(cutoff);
 }
 
 ScidiveEngine::SessionTransfer ScidiveEngine::extract_session(const SessionId& session) {
+  // A rebalance migration must ship fully written-back state: hand every
+  // cached flow's microstate to its trail/session before packing.
+  fastpath_flush();
   SessionTransfer out;
   out.trails = trails_.extract_session(session);
   if (!out.trails.valid()) return out;
@@ -449,6 +666,7 @@ ScidiveEngine::SessionTransfer ScidiveEngine::extract_session(const SessionId& s
 
 void ScidiveEngine::install_session(SessionTransfer&& transfer) {
   if (!transfer.valid) return;
+  fastpath_flush();
   trails_.install_session(std::move(transfer.trails));
   if (transfer.events) events_.install_session(transfer.id, std::move(*transfer.events));
   for (auto& [rule_name, state] : transfer.rule_states) {

@@ -41,11 +41,23 @@ struct EngineObsConfig {
   size_t ledger_capacity = 65536;
 };
 
+struct FastpathConfig {
+  /// The established-flow fast path: a flow-keyed microstate cache that
+  /// lets steady in-order RTP for sessions no rule is watching bypass
+  /// footprint construction, event generation and rule dispatch entirely.
+  /// Detection output is byte-identical on or off — any deviation (SSRC
+  /// change, out-of-window sequence jump, rule interest, monitor armed,
+  /// enforcement state change, migration, binding change) falls back to the
+  /// full pipeline with the cached microstate written back first.
+  bool enabled = true;
+};
+
 struct EngineConfig {
   DistillerConfig distiller;
   EventGeneratorConfig events;
   RulesConfig rules;
   EngineObsConfig obs;
+  FastpathConfig fastpath;
   /// Endpoint-based deployment (Figure 3/4): when non-empty, only packets
   /// to or from these addresses are inspected — "although the prototype IDS
   /// can also see the traffic of Client B and the SIP Proxy, it does not
@@ -159,6 +171,11 @@ class ScidiveEngine {
   const TrailManager& trails() const { return trails_; }
   const EventGenerator& events() const { return events_; }
 
+  /// Live established-flow cache entries (observability/test surface).
+  size_t fastpath_entries() const { return fastpath_.size(); }
+  /// Packets the fast path has bypassed since construction.
+  uint64_t fastpath_bypassed() const { return bypassed_total_; }
+
   obs::MetricsRegistry& metrics() { return registry_; }
   const obs::AlertLedger& ledger() const { return ledger_; }
 
@@ -206,6 +223,56 @@ class ScidiveEngine {
   /// Mirror the component-kept stats into registry cells (snapshot path).
   void sync_component_stats();
 
+  // --- Established-flow fast path ---------------------------------------
+  /// One cached flow, keyed in fastpath_ by the packed destination
+  /// endpoint. Holds everything a steady in-order RTP packet needs: the
+  /// identity to verify (src, ssrc), the microstate to advance (sequence
+  /// window, the authoritative jitter estimator copy) and the accounting to
+  /// defer (trail handle, session symbol, bypassed count). While cached,
+  /// the entry's copies are authoritative; invalidation writes them back
+  /// before the slow path touches the same state.
+  struct FastFlow {
+    pkt::Endpoint src;
+    pkt::Endpoint dst;
+    uint32_t ssrc = 0;
+    uint16_t last_seq = 0;
+    bool bound = false;         // routed via an SDP binding (stats mirror)
+    bool jitter_armed = false;  // the one-shot jitter alarm can still fire
+    Trail* trail = nullptr;
+    Symbol sym = kInvalidSymbol;
+    rtp::RtpStreamStats stats;
+    uint64_t enforce_gen = 0;
+    uint64_t bypassed = 0;  // packets bypassed since the last writeback
+    SimTime last_time = 0;
+  };
+
+  static uint64_t pack_flow_endpoint(const pkt::Endpoint& ep) {
+    return static_cast<uint64_t>(ep.addr.value()) << 16 | ep.port;
+  }
+
+  /// Engine-level switch: configured on, no installed rule interested in
+  /// steady-state media, and the per-packet-event ablation off.
+  bool fastpath_on() const {
+    return config_.fastpath.enabled && fastpath_rules_ok_ &&
+           !config_.events.emit_per_packet_events;
+  }
+  /// Try to bypass one packet. Returns true when it was fully handled.
+  bool fastpath_try(const pkt::Packet& packet);
+  /// Cache the flow of a just-processed, event-free RTP packet when every
+  /// eligibility gate passes.
+  void fastpath_maybe_cache(Trail& trail, const Footprint& fp, const RtpFootprint& rtp,
+                            uint64_t src_k, uint64_t sess_k);
+  /// Slow-path RTP for a cached dst or src races the cached microstate:
+  /// write back and drop the entry before event generation runs.
+  void fastpath_probe_slow_rtp(const Footprint& fp);
+  /// Flush the advanced microstate back into the trail and the event
+  /// generator's session state.
+  void fastpath_writeback(FastFlow& flow);
+  /// Writeback + erase of one entry (both indexes).
+  void fastpath_invalidate(FastFlow& flow);
+  /// Writeback + erase of every entry; resyncs the generation watermarks.
+  void fastpath_flush();
+
   EngineConfig config_;
   obs::MetricsRegistry registry_;
   Distiller distiller_;
@@ -222,6 +289,20 @@ class ScidiveEngine {
   obs::AlertLedger ledger_;
   std::vector<Event> scratch_events_;
 
+  // Established-flow fast path state.
+  FlatMap<uint64_t, FastFlow> fastpath_;        // packed dst -> flow
+  FlatMap<uint64_t, uint64_t> fastpath_src_;    // packed src -> packed dst
+  bool fastpath_rules_ok_ = false;  // no rule wants steady-state media
+  uint64_t fp_media_gen_ = 0;       // trail-manager binding generation seen
+  uint64_t fp_watch_gen_ = 0;       // event-generator monitor generation seen
+  /// Work the bypass skipped, added to the component-stat mirrors at sync
+  /// time so the pipeline counters read the same with the fast path on or
+  /// off (every bypassed packet *was* distilled/routed/processed, as far as
+  /// the totals are concerned — just not per packet).
+  uint64_t bypassed_total_ = 0;
+  uint64_t bypassed_bound_ = 0;
+  uint64_t bypassed_unbound_ = 0;
+
   // Hot-path instruments (registry-owned cells).
   obs::Counter* packets_seen_ = nullptr;
   obs::Counter* packets_filtered_ = nullptr;
@@ -236,6 +317,11 @@ class ScidiveEngine {
   obs::Histogram* stage_route_ = nullptr;
   obs::Histogram* stage_events_ = nullptr;
   obs::Histogram* stage_rules_ = nullptr;
+  /// Fast-path instruments; registered only when the fast path is
+  /// configured on, so disabled engines expose no extra lines.
+  obs::Counter* fastpath_hits_ = nullptr;
+  obs::Counter* fastpath_misses_ = nullptr;
+  obs::Counter* fastpath_invalidations_ = nullptr;
 
   // Snapshot-synced mirrors (see sync_component_stats()).
   obs::Counter* alerts_total_ = nullptr;

@@ -95,6 +95,7 @@ void EventGenerator::start_monitor(SessionState& state, SimTime now, pkt::Endpoi
                                         .emit = emit_type,
                                         .claimed_aor = std::move(claimed_aor)});
   ++stats_.monitors_started;
+  ++watch_generation_;
 }
 
 void EventGenerator::process_sip(const Footprint& fp, const SipFootprint& sip,
@@ -436,6 +437,8 @@ std::optional<EventGenerator::SessionState> EventGenerator::extract_session(
 
 void EventGenerator::install_session(const SessionId& session, SessionState state) {
   const Symbol sym = trails_.symbols().intern(session);
+  // Adopted state may carry live monitors this engine has never seen arm.
+  if (!state.monitors.empty()) ++watch_generation_;
   *sessions_.try_emplace(sym).first = std::move(state);
 }
 

@@ -92,6 +92,17 @@ class Rule {
   /// an event only visits its subscribers; the default (everything)
   /// preserves broadcast behavior for rules that do not declare interest.
   virtual EventTypeMask subscriptions() const { return kAllEventsMask; }
+  /// Whether the rule needs to observe anomaly-free steady-state media.
+  /// The engine's established-flow fast path only bypasses the pipeline for
+  /// a flow when no installed rule declares this interest: kRtpPacketSeen is
+  /// the one event an in-order, in-window RTP packet can produce, so the
+  /// default derives interest from that subscription bit. Rules keeping the
+  /// conservative kAllEventsMask are therefore conservatively interested —
+  /// narrowing subscriptions() is what opts a rule's sessions into the
+  /// bypass.
+  virtual bool media_steady_state_interest() const {
+    return (subscriptions() & event_mask(EventType::kRtpPacketSeen)) != 0;
+  }
 
   /// Migration hooks. extract_session detaches and returns the rule's
   /// state for `session` (nullptr when it holds none — the default for

@@ -30,10 +30,18 @@ EngineConfig shard_engine_config(const ShardedEngineConfig& config) {
   return ec;
 }
 
-/// Adaptive drain-batch bounds (batch_size = 0). The sweep shows B=8 wins
-/// at low ring occupancy and large batches only pay under backlog.
+/// Adaptive drain-batch tuning (batch_size = 0). Starting small and halving
+/// on any near-empty drain measured *worse* than every fixed size: steady
+/// producers leave the ring shallow most polls, so the batch thrashed at
+/// kMinBatch and paid a pop_batch round-trip per handful of packets. Start
+/// large instead, and only shrink after a sustained run of near-empty
+/// drains — a shallow ring costs nothing when drains are cheap, while a
+/// too-small batch costs ring traffic on every poll.
 constexpr size_t kMinBatch = 8;
 constexpr size_t kMaxBatch = 128;
+constexpr size_t kStartBatch = 64;
+/// Consecutive near-empty drains before the batch halves once.
+constexpr int kShrinkHysteresis = 8;
 
 uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -109,7 +117,8 @@ void ShardedEngine::pin_worker(size_t index) {
 void ShardedEngine::worker_loop(Shard& shard, size_t index) {
   if (config_.pin_workers) pin_worker(index);
   const bool adaptive = config_.batch_size == 0;
-  size_t batch = adaptive ? kMinBatch : config_.batch_size;
+  size_t batch = adaptive ? kStartBatch : config_.batch_size;
+  int near_empty_drains = 0;
   // Worker-local scratch: the batch is moved out of the ring in one pass,
   // then processed from this thread's own memory with zero ring traffic.
   std::vector<pkt::Packet> scratch;
@@ -140,10 +149,18 @@ void ShardedEngine::worker_loop(Shard& shard, size_t index) {
       // matters for flush(): processed must trail the processing itself.
       shard.processed.fetch_add(n, std::memory_order_release);
       if (adaptive) {
-        if (n == batch && batch < kMaxBatch) {
-          batch <<= 1;  // drains run full: the ring is backlogged
-        } else if (n <= batch / 4 && batch > kMinBatch) {
-          batch >>= 1;  // ring runs near-empty: shrink toward low latency
+        if (n == batch) {
+          near_empty_drains = 0;
+          if (batch < kMaxBatch) batch <<= 1;  // full drain: backlogged
+        } else if (n <= batch / 4) {
+          // Shrink only after a sustained near-empty run: a single shallow
+          // poll between producer bursts must not collapse the batch.
+          if (batch > kMinBatch && ++near_empty_drains >= kShrinkHysteresis) {
+            batch >>= 1;
+            near_empty_drains = 0;
+          }
+        } else {
+          near_empty_drains = 0;
         }
       }
       idle_polls = 0;

@@ -96,6 +96,17 @@ class Trail {
     ++total_appended_;
   }
 
+  /// Account `n` packets that the engine's established-flow fast path
+  /// observed for this trail without materializing footprints. Keeps the
+  /// activity counter (the rebalancer's load proxy) and the idle-expiry
+  /// clock exactly what they would be had every packet been appended; the
+  /// ring itself holds no record of bypassed packets, which is the point.
+  void note_bypassed(uint64_t n, SimTime last_seen) {
+    if (n == 0) return;
+    total_appended_ += n;
+    if (last_seen > last_time_) last_time_ = last_seen;
+  }
+
   const TrailKey& key() const { return key_; }
   /// Interned session id (kInvalidSymbol outside a TrailManager).
   Symbol sym() const { return sym_; }

@@ -125,11 +125,11 @@ void TrailManager::bind_media_endpoint(const pkt::Endpoint& media, const Session
   }
   // A new or changed binding can redirect flows that previously resolved to
   // a synthetic flow-session (or another call), so cached routes are stale.
-  media_flow_cache_.clear();
+  invalidate_media_routes();
 }
 
 void TrailManager::unbind_media_endpoint(const pkt::Endpoint& media) {
-  if (media_to_session_.erase(media)) media_flow_cache_.clear();
+  if (media_to_session_.erase(media)) invalidate_media_routes();
 }
 
 std::optional<SessionId> TrailManager::session_for_media(const pkt::Endpoint& media) const {
@@ -232,7 +232,7 @@ TrailManager::ExtractedSession TrailManager::extract_session(const SessionId& se
   // Cached media routes may point into the departed trails. The source
   // symbol stays interned (symbols are never recycled); it simply has no
   // state behind it any more.
-  media_flow_cache_.clear();
+  invalidate_media_routes();
   return out;
 }
 
@@ -247,7 +247,7 @@ void TrailManager::install_session(ExtractedSession&& moved) {
   }
   for (const pkt::Endpoint& ep : moved.media) media_to_session_.insert_or_assign(ep, sym);
   sessions_.try_emplace(sym, std::move(moved.slot));
-  if (!moved.media.empty()) media_flow_cache_.clear();
+  if (!moved.media.empty()) invalidate_media_routes();
 }
 
 size_t TrailManager::expire_idle(SimTime cutoff) {
@@ -267,7 +267,7 @@ size_t TrailManager::expire_idle(SimTime cutoff) {
     return true;
   });
   // Expired trails may still be referenced by cached media routes.
-  if (dropped != 0) media_flow_cache_.clear();
+  if (dropped != 0) invalidate_media_routes();
   return dropped;
 }
 

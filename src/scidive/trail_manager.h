@@ -80,6 +80,12 @@ class TrailManager {
   std::vector<const Trail*> session_trails(const SessionId& session) const;
 
   std::vector<SessionId> sessions() const;
+  /// Bumped whenever the media routing picture changes (binding learned or
+  /// dropped, session extracted/installed, trails expired) — exactly the
+  /// moments the internal flow-route cache is cleared. The engine's
+  /// established-flow fast path watches this to invalidate its own
+  /// flow-keyed cache in lockstep.
+  uint64_t media_generation() const { return media_generation_; }
   size_t trail_count() const { return trails_.size(); }
   size_t session_count() const { return sessions_.size(); }
   size_t media_binding_count() const { return media_to_session_.size(); }
@@ -173,6 +179,12 @@ class TrailManager {
 
   Symbol classify(const Footprint& fp, bool& media_bound);
   Trail& trail_for(Symbol sym, Protocol protocol);
+  /// Cached media routes are stale: drop them and advance the generation so
+  /// downstream flow caches (the engine fast path) invalidate too.
+  void invalidate_media_routes() {
+    media_flow_cache_.clear();
+    ++media_generation_;
+  }
   std::optional<Symbol> media_session_sym(pkt::Endpoint ep, Protocol protocol) const;
 
   size_t max_footprints_per_trail_;
@@ -184,6 +196,7 @@ class TrailManager {
   FlatMap<pkt::Endpoint, Symbol> media_to_session_;
   /// Flow-direction -> trail fast path; cleared when bindings change.
   FlatMap<MediaFlowKey, CachedRoute, MediaFlowKeyHash> media_flow_cache_;
+  uint64_t media_generation_ = 0;
   TrailManagerStats stats_;
 };
 

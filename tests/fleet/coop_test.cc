@@ -2,14 +2,14 @@
 // each client — exchanging events over SEP. The flagship scenario: a fake
 // IM with a perfectly spoofed source IP, invisible to the single-point
 // rule, caught by peer vouching.
-#include "scidive/coop.h"
+#include "fleet/coop.h"
 
 #include <gtest/gtest.h>
 
 #include "voip/attack.h"
 #include "voip/voip_fixture.h"
 
-namespace scidive::core {
+namespace scidive::fleet {
 namespace {
 
 using voip::testing::VoipFixture;
@@ -34,8 +34,8 @@ struct CoopFixture : VoipFixture {
     ids_b.add_peer_user("alice@lab.net");
   }
 
-  static EngineConfig engine_config(pkt::Ipv4Address home) {
-    EngineConfig config;
+  static core::EngineConfig engine_config(pkt::Ipv4Address home) {
+    core::EngineConfig config;
     config.home_addresses = {home};
     return config;
   }
@@ -110,7 +110,7 @@ TEST(Coop, OrphanEventsAreSharedAcrossNodes) {
   EXPECT_GE(f.ids_a.alerts().count_for_rule("bye-attack"), 1u);
   bool b_received_orphan = false;
   for (const auto& remote : f.ids_b.remote_events()) {
-    if (remote.event.type == EventType::kRtpAfterBye && remote.from_node == "ids-a")
+    if (remote.event.type == core::EventType::kRtpAfterBye && remote.from_node == "ids-a")
       b_received_orphan = true;
   }
   EXPECT_TRUE(b_received_orphan);
@@ -171,4 +171,4 @@ TEST(Coop, VerificationWaitsFullDelay) {
 }
 
 }  // namespace
-}  // namespace scidive::core
+}  // namespace scidive::fleet

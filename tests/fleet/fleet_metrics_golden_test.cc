@@ -14,7 +14,6 @@
 
 #include "fleet/node.h"
 #include "obs/metrics.h"
-#include "scidive/exchange.h"
 
 namespace scidive::fleet {
 namespace {
@@ -60,7 +59,7 @@ obs::Snapshot control_plane_snapshot() {
   legacy.session = "legacy-3";
   legacy.time = msec(130);
   legacy.aor = "bob@lab.net";
-  const std::string sep1 = core::serialize_event("ids-old", legacy);
+  const std::string sep1 = serialize_event("ids-old", legacy);
   node.on_datagram(std::span(reinterpret_cast<const uint8_t*>(sep1.data()), sep1.size()),
                    msec(230));
 

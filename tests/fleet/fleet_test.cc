@@ -11,7 +11,6 @@
 #include "fleet/udp_transport.h"
 #include "pkt/ipv4.h"
 #include "scidive/enforce.h"
-#include "scidive/exchange.h"
 #include "scidive/rules.h"
 #include "voip/attack.h"
 #include "voip/voip_fixture.h"
@@ -180,7 +179,7 @@ TEST(FleetNet, GarbageAndLegacyDatagramsAreCounted) {
   orphan.time = msec(10);
   orphan.aor = "bob@lab.net";
   f.attacker_host.send_udp(kFleetPort, {f.ids_a_host.address(), kFleetPort},
-                           core::serialize_event("ids-old", orphan));
+                           serialize_event("ids-old", orphan));
   f.sim.run_until(sec(1));
   f.settle();
 

@@ -1,15 +1,20 @@
-#include "scidive/exchange.h"
+// Deprecated SEP1 text compat (fleet/sep_wire.h): exact round-trips,
+// strict rejection of malformed/oversized/extra-field lines, stable wire
+// ids, and a never-crash sweep over random bytes. The format is frozen —
+// only the decode path remains load-bearing (decode_frame_any), but the
+// encoder must keep emitting byte-identical lines for the compat window.
+#include "fleet/sep_wire.h"
 
 #include <gtest/gtest.h>
 
 #include <random>
 
-namespace scidive::core {
+namespace scidive::fleet {
 namespace {
 
-Event sample_event() {
-  Event e;
-  e.type = EventType::kImMessageSent;
+core::Event sample_event() {
+  core::Event e;
+  e.type = core::EventType::kImMessageSent;
   e.session = "host:bob@lab.net";
   e.time = msec(1234);
   e.aor = "bob@lab.net";
@@ -19,13 +24,13 @@ Event sample_event() {
   return e;
 }
 
-TEST(Exchange, RoundTrip) {
-  Event e = sample_event();
+TEST(Sep1Compat, RoundTrip) {
+  core::Event e = sample_event();
   std::string wire = serialize_event("ids-b", e);
   auto parsed = parse_event(wire);
   ASSERT_TRUE(parsed.ok()) << wire << " -> " << parsed.error().to_string();
   EXPECT_EQ(parsed.value().from_node, "ids-b");
-  EXPECT_EQ(parsed.value().event.type, EventType::kImMessageSent);
+  EXPECT_EQ(parsed.value().event.type, core::EventType::kImMessageSent);
   EXPECT_EQ(parsed.value().event.session, "host:bob@lab.net");
   EXPECT_EQ(parsed.value().event.time, msec(1234));
   EXPECT_EQ(parsed.value().event.aor, "bob@lab.net");
@@ -34,29 +39,29 @@ TEST(Exchange, RoundTrip) {
   EXPECT_EQ(parsed.value().event.detail, "genuine IM to alice@lab.net");
 }
 
-TEST(Exchange, EveryEventTypeHasStableWireId) {
-  for (EventType type : {
-           EventType::kSipInviteSeen, EventType::kSipReinviteSeen,
-           EventType::kSipSessionEstablished, EventType::kSipByeSeen,
-           EventType::kSipMalformed, EventType::kSip4xxSeen, EventType::kSipRegisterSeen,
-           EventType::kSipAuthChallenge, EventType::kSipAuthFailure,
-           EventType::kImMessageSeen, EventType::kImMessageSent,
-           EventType::kRtpStreamStarted, EventType::kRtpSeqJump,
-           EventType::kRtpUnexpectedSource, EventType::kRtpAfterBye,
-           EventType::kRtpAfterReinvite, EventType::kRtpJitter,
-           EventType::kNonRtpOnMediaPort, EventType::kAccStartSeen,
-           EventType::kAccUnmatched, EventType::kAccBilledPartyAbsent,
+TEST(Sep1Compat, EveryEventTypeHasStableWireId) {
+  for (core::EventType type : {
+           core::EventType::kSipInviteSeen, core::EventType::kSipReinviteSeen,
+           core::EventType::kSipSessionEstablished, core::EventType::kSipByeSeen,
+           core::EventType::kSipMalformed, core::EventType::kSip4xxSeen, core::EventType::kSipRegisterSeen,
+           core::EventType::kSipAuthChallenge, core::EventType::kSipAuthFailure,
+           core::EventType::kImMessageSeen, core::EventType::kImMessageSent,
+           core::EventType::kRtpStreamStarted, core::EventType::kRtpSeqJump,
+           core::EventType::kRtpUnexpectedSource, core::EventType::kRtpAfterBye,
+           core::EventType::kRtpAfterReinvite, core::EventType::kRtpJitter,
+           core::EventType::kNonRtpOnMediaPort, core::EventType::kAccStartSeen,
+           core::EventType::kAccUnmatched, core::EventType::kAccBilledPartyAbsent,
        }) {
     int id = event_type_wire_id(type);
-    EXPECT_GT(id, 0) << event_type_name(type);
+    EXPECT_GT(id, 0) << core::event_type_name(type);
     auto back = event_type_from_wire_id(id);
     ASSERT_TRUE(back.ok());
     EXPECT_EQ(back.value(), type);
   }
 }
 
-TEST(Exchange, TabsInDetailSanitized) {
-  Event e = sample_event();
+TEST(Sep1Compat, TabsInDetailSanitized) {
+  core::Event e = sample_event();
   e.detail = "evil\tdetail\nwith\rbreaks";
   std::string wire = serialize_event("n", e);
   auto parsed = parse_event(wire);
@@ -64,7 +69,7 @@ TEST(Exchange, TabsInDetailSanitized) {
   EXPECT_EQ(parsed.value().event.detail, "evil detail with breaks");
 }
 
-TEST(Exchange, RejectsMalformed) {
+TEST(Sep1Compat, RejectsMalformed) {
   EXPECT_FALSE(parse_event("").ok());
   EXPECT_FALSE(parse_event("SEP2\tn\t1\ts\t0\ta\t1.2.3.4:5\t0\td").ok());   // version
   EXPECT_FALSE(parse_event("SEP1\tn\t999\ts\t0\ta\t1.2.3.4:5\t0\td").ok()); // type id
@@ -76,29 +81,29 @@ TEST(Exchange, RejectsMalformed) {
   EXPECT_FALSE(parse_event("totally unrelated text").ok());
 }
 
-TEST(Exchange, RejectsOversizedLines) {
+TEST(Sep1Compat, RejectsOversizedLines) {
   // serialize never emits more than a few hundred bytes; anything past the
   // cap is hostile input and must be rejected before field splitting.
   std::string huge = serialize_event("ids-b", sample_event());
   huge.append(kMaxSepLineBytes, 'x');
   EXPECT_FALSE(parse_event(huge).ok());
   // At the cap itself, padding the detail field is still fine.
-  Event e = sample_event();
+  core::Event e = sample_event();
   e.detail = std::string(1500, 'd');
   EXPECT_TRUE(parse_event(serialize_event("ids-b", e)).ok());
 }
 
-TEST(Exchange, EmptyDetailRoundTrips) {
+TEST(Sep1Compat, EmptyDetailRoundTrips) {
   // An empty detail leaves a trailing tab on the wire; the parser must not
   // trim it away and miscount the fields.
-  Event e = sample_event();
+  core::Event e = sample_event();
   e.detail.clear();
   auto parsed = parse_event(serialize_event("ids-b", e));
   ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
   EXPECT_EQ(parsed.value().event.detail, "");
 }
 
-TEST(Exchange, RejectsExtraFields) {
+TEST(Sep1Compat, RejectsExtraFields) {
   // serialize sanitizes tabs out of every field, so exactly nine fields is
   // an invariant — a tenth means a forged or corrupted line.
   std::string wire = serialize_event("ids-b", sample_event());
@@ -106,7 +111,7 @@ TEST(Exchange, RejectsExtraFields) {
   EXPECT_FALSE(parse_event(wire + "\t").ok());
 }
 
-TEST(Exchange, FuzzNeverCrashes) {
+TEST(Sep1Compat, FuzzNeverCrashes) {
   std::mt19937 rng(5);
   for (int i = 0; i < 500; ++i) {
     std::string junk(rng() % 100, '\0');
@@ -116,4 +121,4 @@ TEST(Exchange, FuzzNeverCrashes) {
 }
 
 }  // namespace
-}  // namespace scidive::core
+}  // namespace scidive::fleet

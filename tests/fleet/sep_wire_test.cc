@@ -8,7 +8,6 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
-#include "scidive/exchange.h"
 
 namespace scidive::fleet {
 namespace {
@@ -253,7 +252,7 @@ TEST(SepWire, Sep1CompatDecodePinned) {
   // decode_frame_any, marked legacy, with the event intact.
   core::Event e = sample_event();
   e.type = core::EventType::kImMessageSent;
-  std::string line = core::serialize_event("ids-b", e);
+  std::string line = serialize_event("ids-b", e);
   std::span<const uint8_t> bytes(reinterpret_cast<const uint8_t*>(line.data()), line.size());
   auto frame = decode_frame_any(bytes);
   ASSERT_TRUE(frame.ok()) << frame.error().to_string();

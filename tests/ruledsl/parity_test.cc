@@ -18,6 +18,7 @@
 #include "fuzz/corpus.h"
 #include "fuzz/differential.h"
 #include "obs/metrics.h"
+#include "rtp/rtp.h"
 #include "ruledsl/loader.h"
 #include "scidive/engine.h"
 #include "scidive/rules.h"
@@ -420,6 +421,187 @@ TEST(RuledslParity, ShardedInvalidReloadLeavesRulesUntouched) {
   EXPECT_TRUE(good.ok()) << good.error().to_string();
   snap = sharded.frontend_metrics().snapshot();
   EXPECT_EQ(snap.counter_value("scidive_ruleset_reloads_total", {{"result", "ok"}}), 1u);
+}
+
+// --- established-flow fast path × DSL rulesets (invalidation edges) -------
+
+/// A synthetic in-order RTP flow between even ports — exactly the
+/// steady-state media the fast path caches once the flow stops producing
+/// events. Timestamps advance at the nominal 8 kHz / 20 ms cadence so the
+/// jitter estimator stays flat.
+std::vector<pkt::Packet> steady_rtp(pkt::Endpoint src, pkt::Endpoint dst, uint32_t ssrc,
+                                    uint16_t first_seq, size_t count, SimTime start) {
+  std::vector<pkt::Packet> out;
+  const Bytes payload(160, 0xd5);
+  for (size_t i = 0; i < count; ++i) {
+    rtp::RtpHeader h;
+    h.sequence = static_cast<uint16_t>(first_seq + i);
+    h.timestamp = static_cast<uint32_t>(160 * i);
+    h.ssrc = ssrc;
+    pkt::Packet p = pkt::make_udp_packet(src, dst, rtp::serialize_rtp(h, payload));
+    p.timestamp = start + msec(20) * static_cast<SimTime>(i);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+uint64_t fastpath_invalidations(ScidiveEngine& engine) {
+  return engine.metrics_snapshot().counter_value("scidive_fastpath_invalidations_total", {});
+}
+
+TEST(RuledslParity, FastpathHotReloadMidStreamStaysByteIdentical) {
+  // Swapping rulesets flushes the flow cache (the new rules may watch
+  // steady media); the written-back microstate must leave the alert stream
+  // byte-identical to both an undisturbed fastpath-on run and a
+  // fastpath-off run — and the bypass must re-engage between swaps.
+  const CompiledRuleset ruleset = load_shipped();
+  Scenario s = bye_attack_scenario();
+
+  ScidiveEngine baseline = make_engine(s, make_rules(ruleset));
+  for (const pkt::Packet& p : s.capture) baseline.on_packet(p);
+  ASSERT_GE(baseline.alerts().count_for_rule("bye-attack"), 1u);
+  EXPECT_GT(baseline.fastpath_bypassed(), 0u)
+      << "the shipped DSL rules must not opt steady media out of the bypass";
+
+  EngineConfig off_config = replay_config(s.home);
+  off_config.fastpath.enabled = false;
+  ScidiveEngine off(off_config);
+  off.set_rules(make_rules(ruleset));
+  for (const pkt::Packet& p : s.capture) off.on_packet(p);
+  EXPECT_EQ(off.fastpath_bypassed(), 0u);
+  EXPECT_EQ(alert_strings(baseline), alert_strings(off));
+  EXPECT_EQ(ledger_strings(baseline), ledger_strings(off));
+
+  ScidiveEngine reloaded = make_engine(s, make_rules(ruleset));
+  for (size_t i = 0; i < s.capture.size(); ++i) {
+    if (i % 7 == 3) reloaded.set_rules(make_rules(ruleset));  // frequent swaps
+    reloaded.on_packet(s.capture[i]);
+  }
+  EXPECT_EQ(alert_strings(reloaded), alert_strings(baseline));
+  EXPECT_EQ(ledger_strings(reloaded), ledger_strings(baseline));
+  EXPECT_GT(reloaded.fastpath_bypassed(), 0u) << "bypass must re-engage after each swap";
+  EXPECT_GE(fastpath_invalidations(reloaded), 1u)
+      << "each swap must write back and drop the populated cache";
+}
+
+TEST(RuledslParity, FastpathDisabledByRtpPacketSeenSubscriptionUntilReload) {
+  // A DSL rule with an RtpPacketSeen handler declares steady-state media
+  // interest (the compiled-program static analysis), which must keep every
+  // flow on the full pipeline; hot-reloading to a ruleset without that
+  // interest must re-arm the bypass mid-stream — byte-identically to a
+  // fastpath-off twin driven through the same reload.
+  // The RtpPacketSeen handler is what declares the interest (per-packet
+  // events are off by default, so it never actually fires here); the
+  // RtpStreamStarted handler proves the rule is live on the slow path.
+  auto tap = compile_ruleset_text(R"sdr(rule media-tap {
+  on RtpPacketSeen {
+    alert info "media packet observed";
+  }
+  on RtpStreamStarted {
+    alert info "talker appeared";
+  }
+})sdr");
+  ASSERT_TRUE(tap.ok()) << tap.error().to_string();
+  ASSERT_TRUE(make_rules(tap.value()).front()->media_steady_state_interest());
+
+  const pkt::Endpoint media_src{pkt::Ipv4Address(10, 0, 0, 1), 16384};
+  const pkt::Endpoint media_dst{pkt::Ipv4Address(10, 0, 0, 2), 16386};
+  const std::vector<pkt::Packet> stream =
+      steady_rtp(media_src, media_dst, 0xabc, 100, 60, msec(10));
+  const std::string rtp_rules = shipped_ruleset_paths()[3];  // rtp_attack.sdr
+
+  auto run = [&](bool fastpath_enabled) {
+    EngineConfig config = replay_config(media_dst.addr);
+    config.fastpath.enabled = fastpath_enabled;
+    ScidiveEngine engine(config);
+    engine.set_rules(make_rules(tap.value()));
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (i == 30) {
+        // While media-tap is live the bypass must never have engaged.
+        EXPECT_EQ(engine.fastpath_bypassed(), 0u);
+        auto swapped = reload_from_file(engine, rtp_rules);
+        EXPECT_TRUE(swapped.ok()) << swapped.error().to_string();
+      }
+      engine.on_packet(stream[i]);
+    }
+    return engine;
+  };
+
+  ScidiveEngine on = run(/*fastpath_enabled=*/true);
+  ScidiveEngine off = run(/*fastpath_enabled=*/false);
+  EXPECT_GT(on.fastpath_bypassed(), 20u) << "reload away from media-tap re-arms the bypass";
+  EXPECT_EQ(off.fastpath_bypassed(), 0u);
+  EXPECT_EQ(alert_strings(on), alert_strings(off));
+  EXPECT_GE(on.alerts().count_for_rule("media-tap"), 1u)
+      << "the interested rule must have seen the flow on the slow path";
+}
+
+TEST(RuledslParity, FastpathSeqJumpFallsBackByteIdentical) {
+  // An out-of-window sequence jump on a cached flow must fall back to the
+  // full pipeline with the microstate written back first, so the slow path
+  // sees the same last-sequence and emits the same RtpSeqJump the
+  // fastpath-off engine does — then the flow re-caches at the new position.
+  const pkt::Endpoint media_src{pkt::Ipv4Address(10, 0, 0, 1), 16384};
+  const pkt::Endpoint media_dst{pkt::Ipv4Address(10, 0, 0, 2), 16386};
+  std::vector<pkt::Packet> stream =
+      steady_rtp(media_src, media_dst, 0xabc, 100, 60, msec(10));
+  for (pkt::Packet& p :
+       steady_rtp(media_src, media_dst, 0xabc, 100 + 60 + 500, 20, msec(10 + 20 * 60))) {
+    stream.push_back(std::move(p));
+  }
+
+  const CompiledRuleset ruleset = load_shipped();
+  ScidiveEngine on(replay_config(media_dst.addr));
+  on.set_rules(make_rules(ruleset));
+  EngineConfig off_config = replay_config(media_dst.addr);
+  off_config.fastpath.enabled = false;
+  ScidiveEngine off(off_config);
+  off.set_rules(make_rules(ruleset));
+  for (const pkt::Packet& p : stream) {
+    on.on_packet(p);
+    off.on_packet(p);
+  }
+
+  EXPECT_GE(on.alerts().count_for_rule("rtp-attack"), 1u) << "the jump must still alert";
+  EXPECT_EQ(alert_strings(on), alert_strings(off));
+  EXPECT_EQ(ledger_strings(on), ledger_strings(off));
+  EXPECT_GT(on.fastpath_bypassed(), 40u);
+  EXPECT_GE(fastpath_invalidations(on), 1u) << "the jump must invalidate the cached flow";
+}
+
+TEST(RuledslParity, FastpathSsrcChangeFallsBackAndRecaches) {
+  // A mid-flow SSRC change misses the cache (the cached talker is gone),
+  // falls back, and the flow re-caches under the new SSRC — with the alert
+  // stream (here: silence) identical to the fastpath-off engine.
+  const pkt::Endpoint media_src{pkt::Ipv4Address(10, 0, 0, 1), 16384};
+  const pkt::Endpoint media_dst{pkt::Ipv4Address(10, 0, 0, 2), 16386};
+  std::vector<pkt::Packet> stream =
+      steady_rtp(media_src, media_dst, 0xabc, 100, 60, msec(10));
+  for (pkt::Packet& p :
+       steady_rtp(media_src, media_dst, 0xdef, 100 + 60, 30, msec(10 + 20 * 60))) {
+    stream.push_back(std::move(p));
+  }
+
+  const CompiledRuleset ruleset = load_shipped();
+  ScidiveEngine on(replay_config(media_dst.addr));
+  on.set_rules(make_rules(ruleset));
+  EngineConfig off_config = replay_config(media_dst.addr);
+  off_config.fastpath.enabled = false;
+  ScidiveEngine off(off_config);
+  off.set_rules(make_rules(ruleset));
+  uint64_t bypassed_before_change = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (i == 60) bypassed_before_change = on.fastpath_bypassed();
+    on.on_packet(stream[i]);
+    off.on_packet(stream[i]);
+  }
+
+  EXPECT_EQ(alert_strings(on), alert_strings(off));
+  EXPECT_EQ(ledger_strings(on), ledger_strings(off));
+  EXPECT_GT(bypassed_before_change, 40u);
+  EXPECT_GE(fastpath_invalidations(on), 1u) << "the SSRC change must drop the cached flow";
+  EXPECT_GT(on.fastpath_bypassed(), bypassed_before_change + 10u)
+      << "the flow must re-cache under the new SSRC";
 }
 
 }  // namespace

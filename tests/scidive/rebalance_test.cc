@@ -185,5 +185,92 @@ TEST(Rebalance, DifferentialOracleHoldsUnderPeriodicRebalance) {
   EXPECT_GT(report.single_alerts, 0u);
 }
 
+TEST(Rebalance, MigrationFlushesFastpathCacheAndKeepsDetecting) {
+  // The migrated call's media flow was being bypassed by the established-
+  // flow fast path; extract/install on migration must flush the cache with
+  // an exact write-back so the destination shard still detects the BYE
+  // attack that depends on pre-migration dialog + media state.
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  const size_t pre_attack = f.capture.size();
+  voip::ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*sniffer.latest_active_call(), /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+  ASSERT_GT(f.capture.size(), pre_attack);
+
+  ShardedEngineConfig sc;
+  sc.engine = home_config(f.a_host.address());
+  sc.num_shards = 4;
+  ShardedEngine sharded(sc);
+  for (size_t i = 0; i < pre_attack; ++i) sharded.on_packet(f.capture[i]);
+  sharded.flush();
+  uint64_t bypassed = 0;
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    bypassed += sharded.shard(i).fastpath_bypassed();
+  }
+  ASSERT_GT(bypassed, 0u) << "the call's steady media must have engaged the fast path";
+
+  ASSERT_GE(sharded.rebalance(), 1u);
+  ASSERT_GE(sharded.sessions_migrated(), 1u);
+  for (size_t i = pre_attack; i < f.capture.size(); ++i) sharded.on_packet(f.capture[i]);
+  sharded.flush();
+
+  size_t with_rule = 0;
+  for (const Alert& a : sharded.merged_alerts()) {
+    if (a.rule == "bye-attack") ++with_rule;
+  }
+  EXPECT_GE(with_rule, 1u) << "migration of a bypassed flow must not lose the attack";
+  obs::Snapshot snap = sharded.metrics_snapshot();
+  EXPECT_GE(snap.counter_value("scidive_fastpath_invalidations_total", {}), 1u)
+      << "the extract-side shard must have flushed its populated cache";
+}
+
+TEST(Rebalance, ExtractInstallHandoffWritesBackExactMicrostate) {
+  // The fleet session-handoff primitive at engine level: extract a session
+  // whose media flow is mid-bypass, install it on a second engine, and the
+  // continued replay must produce alerts byte-identical to an undisturbed
+  // single engine — proving the written-back sequence/jitter microstate is
+  // exact, not merely close.
+  CaptureFixture f;
+  voip::CallSniffer sniffer;
+  f.net.add_tap(sniffer.tap());
+  f.establish_call(sec(3));
+  const size_t pre_attack = f.capture.size();
+  voip::ByeAttacker attacker(f.attacker_host);
+  attacker.attack(*sniffer.latest_active_call(), /*attack_caller=*/true);
+  f.sim.run_until(f.sim.now() + sec(1));
+
+  const EngineConfig config = home_config(f.a_host.address());
+  ScidiveEngine reference(config);
+  for (const pkt::Packet& packet : f.capture) reference.on_packet(packet);
+  ASSERT_GE(reference.alerts().count_for_rule("bye-attack"), 1u);
+  std::string session;
+  for (const Alert& a : reference.alerts().alerts()) {
+    if (a.rule == "bye-attack") session = a.session;
+  }
+  ASSERT_FALSE(session.empty());
+
+  ScidiveEngine source(config);
+  for (size_t i = 0; i < pre_attack; ++i) source.on_packet(f.capture[i]);
+  ASSERT_GT(source.fastpath_bypassed(), 0u);
+  ASSERT_TRUE(source.has_session(session));
+  ScidiveEngine::SessionTransfer transfer = source.extract_session(session);
+  ASSERT_TRUE(transfer.valid);
+  EXPECT_EQ(source.fastpath_entries(), 0u) << "handoff must flush the flow cache";
+
+  ScidiveEngine target(config);
+  target.install_session(std::move(transfer));
+  for (size_t i = pre_attack; i < f.capture.size(); ++i) target.on_packet(f.capture[i]);
+
+  std::vector<std::string> got, want;
+  for (const Alert& a : source.alerts().alerts()) got.push_back(a.to_string());
+  for (const Alert& a : target.alerts().alerts()) got.push_back(a.to_string());
+  for (const Alert& a : reference.alerts().alerts()) want.push_back(a.to_string());
+  EXPECT_EQ(got, want);
+  EXPECT_GE(target.alerts().count_for_rule("bye-attack"), 1u);
+}
+
 }  // namespace
 }  // namespace scidive::core
